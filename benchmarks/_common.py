@@ -1,0 +1,105 @@
+"""Shared infrastructure for the per-figure benchmark files.
+
+Every ``bench_*.py`` file in this directory serves two audiences:
+
+* ``pytest benchmarks/ --benchmark-only`` — pytest-benchmark timings of the
+  QFD-model and QMap-model variants of each operation; the benchmark table
+  itself is the figure's series (one row per model x database size).
+* ``python benchmarks/bench_figN_*.py`` — a standalone report that sweeps
+  the full parameter grid and prints the paper-style table, including
+  speedup factors.  ``python benchmarks/run_all.py`` runs every report.
+
+Scale note (DESIGN.md Section 5): the paper uses 1M Flickr histograms at
+512-d in C++; pure Python reproduces the *shape* at reduced database
+scale.  The default grid keeps the paper's exact dimensionality (8 bins
+per channel -> 512-d) with databases up to ``MAX_DB`` vectors; set
+``REPRO_BENCH_SCALE=small`` for a faster 64-d profile with larger m.
+"""
+
+from __future__ import annotations
+
+import functools
+import os
+
+import numpy as np
+
+from repro.bench import format_table, speedup
+from repro.datasets import Workload, histogram_workload
+
+__all__ = [
+    "BINS_PER_CHANNEL",
+    "MAX_DB",
+    "N_QUERIES",
+    "SIZES",
+    "get_workload",
+    "report_sweep",
+    "print_header",
+]
+
+_SMALL_SCALE = os.environ.get("REPRO_BENCH_SCALE", "").lower() == "small"
+
+#: 8 bins/channel -> the paper's 512-d histograms; 4 -> a fast 64-d profile.
+BINS_PER_CHANNEL = 4 if _SMALL_SCALE else 8
+
+#: Largest database in the growing sweep (the paper's 1M, scaled down).
+MAX_DB = 8_000 if _SMALL_SCALE else 2_000
+
+#: Queries averaged per measurement (the paper averages 500).
+N_QUERIES = 10
+
+#: Growing-database x-axis (Figures 2-7).
+SIZES = [MAX_DB // 8, MAX_DB // 4, MAX_DB // 2, MAX_DB]
+
+
+@functools.lru_cache(maxsize=2)
+def get_workload(max_db: int = MAX_DB, n_queries: int = N_QUERIES) -> Workload:
+    """The shared testbed workload (cached across benches in one process)."""
+    return histogram_workload(
+        max_db, n_queries, bins_per_channel=BINS_PER_CHANNEL, seed=2011
+    )
+
+
+def print_header(experiment: str, description: str) -> None:
+    """Uniform report banner."""
+    workload = get_workload()
+    print()
+    print("=" * 72)
+    print(f"{experiment}: {description}")
+    print(
+        f"testbed: {workload.name}, max m={workload.size}, "
+        f"{workload.queries.shape[0]} held-out queries "
+        f"(paper: 1M Flickr images, 512-d, 500 queries)"
+    )
+    print("=" * 72)
+
+
+def report_sweep(comparisons, *, metric: str, title: str) -> str:
+    """Paper-style series table from a list of ModelComparison results.
+
+    ``metric`` is ``"indexing"`` (Figures 2-4) or ``"querying"``
+    (Figures 5-9).
+    """
+    rows = []
+    for cmp in comparisons:
+        if metric == "indexing":
+            qfd_val = cmp.qfd_build.seconds
+            qmap_val = cmp.qmap_build.seconds
+            evals = cmp.qfd_build.distance_computations
+        else:
+            qfd_val = cmp.qfd_query.seconds_per_query
+            qmap_val = cmp.qmap_query.seconds_per_query
+            evals = int(cmp.qfd_query.evaluations_per_query)
+        rows.append(
+            [
+                cmp.database_size,
+                f"{qfd_val:.4f}",
+                f"{qmap_val:.4f}",
+                f"{speedup(qfd_val, qmap_val):.1f}x",
+                evals,
+            ]
+        )
+    return format_table(
+        ["db size", "QFD model [s]", "QMap model [s]", "speedup", "dist. evals"],
+        rows,
+        title=title,
+    )

@@ -1,0 +1,94 @@
+"""Ablation E_A9 — approximate kNN: epsilon vs cost vs recall (M-tree).
+
+The paper's reference [27] (Skopal's unified framework) motivates trading
+exactness for speed in metric search.  The epsilon-relaxed best-first kNN
+of :class:`~repro.mam.mtree.MTree` guarantees reported distances within
+``(1 + epsilon)`` of the truth; this bench sweeps epsilon and reports the
+distance-evaluation savings against the measured recall — in the QMap
+model, so the savings stack on top of the paper's O(n) evaluations.
+"""
+
+from __future__ import annotations
+
+import functools
+
+import numpy as np
+import pytest
+
+from _common import get_workload, print_header
+from repro.bench import format_table, measure_queries
+from repro.evaluation import compare_results, mean_quality
+from repro.models import QMapModel
+
+M = 2_000
+EPSILONS = [0.0, 0.1, 0.25, 0.5, 1.0, 2.0]
+
+
+@functools.lru_cache(maxsize=None)
+def _index(epsilon: float):
+    workload = get_workload().prefix(M)
+    return QMapModel(workload.matrix).build_index(
+        "mtree",
+        workload.database,
+        capacity=16,
+        epsilon=epsilon,
+        rng=np.random.default_rng(3),
+    )
+
+
+@pytest.mark.parametrize("epsilon", [0.0, 0.5, 2.0])
+def test_approximate_knn(benchmark, epsilon: float) -> None:
+    index = _index(epsilon)
+    queries = get_workload().queries
+    benchmark(lambda: [index.knn_search(q, 10) for q in queries])
+
+
+def test_guarantee_and_savings() -> None:
+    workload = get_workload().prefix(M)
+    exact = _index(0.0)
+    relaxed = _index(1.0)
+    exact_cost = measure_queries(exact, workload.queries, k=10).evaluations_per_query
+    relaxed_cost = measure_queries(relaxed, workload.queries, k=10).evaluations_per_query
+    assert relaxed_cost < exact_cost
+    for q in workload.queries:
+        truth = exact.knn_search(q, 10)
+        approx = relaxed.knn_search(q, 10)
+        assert approx[-1].distance <= truth[-1].distance * 2.0 + 1e-12
+
+
+def main() -> None:
+    print_header("Ablation E_A9", f"approximate M-tree kNN (m={M}, k=10, QMap model)")
+    workload = get_workload().prefix(M)
+    exact_answers = [_index(0.0).knn_search(q, 10) for q in workload.queries]
+    rows = []
+    for epsilon in EPSILONS:
+        index = _index(epsilon)
+        result = measure_queries(index, workload.queries, k=10)
+        qualities = [
+            compare_results(truth, index.knn_search(q, 10))
+            for q, truth in zip(workload.queries, exact_answers)
+        ]
+        quality = mean_quality(qualities)
+        rows.append(
+            [
+                epsilon,
+                f"{result.evaluations_per_query:.1f}",
+                f"{quality.recall:.3f}",
+                f"{quality.relative_error:.4f}",
+                f"{result.seconds_per_query * 1000:.2f}",
+            ]
+        )
+    print(
+        format_table(
+            ["epsilon", "evals / query", "recall@10", "rel. kth error", "ms / query"],
+            rows,
+        )
+    )
+    print(
+        "\nexpected: evaluations fall and recall degrades gracefully as "
+        "epsilon grows; the relative kth error never exceeds epsilon."
+    )
+
+
+if __name__ == "__main__":
+    main()

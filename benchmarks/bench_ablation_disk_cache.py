@@ -1,0 +1,126 @@
+"""Ablation E_A4 — the fixed-size disk cache effect (paper Section 5.3).
+
+The paper observed its speedups *decreasing* on the largest databases
+(227x -> 100x for the sequential file) and blamed the fixed-size disk
+cache: once the database outgrows it, every scan pays physical reads.
+This bench reproduces the mechanism with the paged storage substrate:
+page faults per query jump from ~0 to one-per-page as the database
+crosses the cache capacity.
+"""
+
+from __future__ import annotations
+
+import functools
+
+import pytest
+
+from _common import get_workload, print_header
+from repro.bench import format_table
+from repro.distances import CountingDistance, euclidean, euclidean_one_to_many
+from repro.mam import DiskSequentialFile
+
+#: Cache sizes in pages; the database below needs ~250 pages at 512-d.
+CACHE_PAGES = [16, 64, 256, 1024]
+M = 1_000
+PAGE_SIZE = 16_384
+
+
+@functools.lru_cache(maxsize=None)
+def _index(cache_pages: int) -> DiskSequentialFile:
+    workload = get_workload().prefix(M)
+    counter = CountingDistance(euclidean, one_to_many=euclidean_one_to_many)
+    return DiskSequentialFile(
+        workload.database, counter, page_size=PAGE_SIZE, cache_pages=cache_pages
+    )
+
+
+def _pages_needed() -> int:
+    index = _index(CACHE_PAGES[0])
+    return (M + index.store.records_per_page - 1) // index.store.records_per_page
+
+
+@pytest.mark.parametrize("cache_pages", CACHE_PAGES)
+def test_disk_cache_query(benchmark, cache_pages: int) -> None:
+    index = _index(cache_pages)
+    queries = get_workload().queries
+    benchmark(lambda: [index.knn_search(q, 1) for q in queries])
+
+
+def test_faults_vanish_when_cache_fits() -> None:
+    pages = _pages_needed()
+    small = _index(16)
+    big = _index(1024)
+    assert 1024 > pages > 16, "grid must straddle the database size"
+    for index in (small, big):
+        index.knn_search(get_workload().queries[0], 1)  # warm
+        index.store.cache.stats.reset()
+        index.knn_search(get_workload().queries[1], 1)
+    assert big.store.cache.stats.faults == 0
+    assert small.store.cache.stats.faults >= pages - 16
+
+
+def main() -> None:
+    print_header("Ablation E_A4", f"fixed-size disk cache (m={M}, {_pages_needed()} pages)")
+    workload = get_workload().prefix(M)
+    rows = []
+    for cache_pages in CACHE_PAGES:
+        index = _index(cache_pages)
+        index.knn_search(workload.queries[0], 1)  # warm the cache
+        index.store.cache.stats.reset()
+        for q in workload.queries:
+            index.knn_search(q, 1)
+        stats = index.store.cache.stats
+        rows.append(
+            [
+                cache_pages,
+                "yes" if cache_pages >= _pages_needed() else "no",
+                stats.faults // workload.queries.shape[0],
+                f"{stats.hit_rate:.3f}",
+            ]
+        )
+    print(
+        format_table(
+            ["cache [pages]", "database fits", "page faults / query", "hit rate"],
+            rows,
+        )
+    )
+
+    # The hierarchical case: the paged M-tree touches only the node pages
+    # its pruning visits, so cache pressure bites later but follows the
+    # same fits/thrashes pattern.
+    from repro.mam import PagedMTree
+
+    print("\npaged M-tree (node pages behind the same LRU cache):")
+    tree_rows = []
+    for cache_pages in (2, 8, 64, 512):
+        tree = PagedMTree(workload.database, euclidean, capacity=16, cache_pages=cache_pages)
+        tree.knn_search(workload.queries[0], 1)
+        tree.cache.stats.reset()
+        for q in workload.queries:
+            tree.knn_search(q, 1)
+        stats = tree.cache.stats
+        tree_rows.append(
+            [
+                cache_pages,
+                tree.node_pages(),
+                stats.faults // workload.queries.shape[0],
+                f"{stats.hit_rate:.3f}",
+            ]
+        )
+        tree.close()
+    print(
+        format_table(
+            ["cache [pages]", "node pages", "page faults / query", "hit rate"],
+            tree_rows,
+        )
+    )
+    print(
+        "\npaper shape check (Section 5.3): once the database outgrows the "
+        "cache, every scan faults on every page — the relative slowdown "
+        "seen on the 1M-image database.  The M-tree's pruned access "
+        "pattern delays but does not escape the effect."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,99 @@
+"""Ablation E_A8 — M-tree construction: dynamic inserts vs bulk loading.
+
+The paper builds its M-tree "by dynamic insertions in the same way as
+B-tree" (Section 4.3); bulk loading is the classic alternative (Ciaccia &
+Patella).  The bench compares build cost, tree shape and query pruning for
+both, in the QMap model where every distance is O(n).
+"""
+
+from __future__ import annotations
+
+import functools
+
+import numpy as np
+import pytest
+
+from _common import get_workload, print_header
+from repro.bench import format_table, measure_queries
+from repro.models import QMapModel
+
+M = 2_000
+CAPACITY = 16
+
+
+@functools.lru_cache(maxsize=None)
+def _index(mode: str):
+    workload = get_workload().prefix(M)
+    return QMapModel(workload.matrix).build_index(
+        "mtree",
+        workload.database,
+        capacity=CAPACITY,
+        bulk_load=(mode == "bulk"),
+        rng=np.random.default_rng(9),
+    )
+
+
+@pytest.mark.parametrize("mode", ["dynamic", "bulk"])
+def test_build(benchmark, mode: str) -> None:
+    workload = get_workload().prefix(M)
+    model = QMapModel(workload.matrix)
+    benchmark.pedantic(
+        lambda: model.build_index(
+            "mtree",
+            workload.database,
+            capacity=CAPACITY,
+            bulk_load=(mode == "bulk"),
+            rng=np.random.default_rng(9),
+        ),
+        rounds=1,
+        iterations=1,
+    )
+
+
+@pytest.mark.parametrize("mode", ["dynamic", "bulk"])
+def test_query(benchmark, mode: str) -> None:
+    index = _index(mode)
+    queries = get_workload().queries
+    benchmark(lambda: [index.knn_search(q, 5) for q in queries])
+
+
+def test_both_modes_exact() -> None:
+    workload = get_workload().prefix(M)
+    q = workload.queries[0]
+    a = _index("dynamic").knn_search(q, 10)
+    b = _index("bulk").knn_search(q, 10)
+    assert [n.index for n in a] == [n.index for n in b]
+
+
+def main() -> None:
+    print_header("Ablation E_A8", f"M-tree dynamic vs bulk construction (m={M})")
+    workload = get_workload().prefix(M)
+    rows = []
+    for mode in ("dynamic", "bulk"):
+        index = _index(mode)
+        tree = index.access_method
+        result = measure_queries(index, workload.queries, k=5)
+        rows.append(
+            [
+                mode,
+                index.build_costs.distance_computations,
+                f"{index.build_costs.seconds:.3f}",
+                tree.height(),
+                tree.node_count(),
+                f"{result.evaluations_per_query:.1f}",
+            ]
+        )
+    print(
+        format_table(
+            ["construction", "build evals", "build [s]", "height", "nodes", "evals / 5NN"],
+            rows,
+        )
+    )
+    print(
+        "\nexpected: bulk loading yields a shallower, more compact tree; "
+        "query pruning is comparable or better."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,77 @@
+"""Ablation E_A5 — M-tree split policy: mM_RAD vs random promotion.
+
+DESIGN.md design-choice ablation: the mM_RAD policy (minimize the larger
+covering radius) costs more at build time but yields tighter regions and
+therefore fewer distance evaluations per query than random promotion.
+"""
+
+from __future__ import annotations
+
+import functools
+
+import numpy as np
+import pytest
+
+from _common import get_workload, print_header
+from repro.bench import format_table, measure_queries
+from repro.models import QMapModel
+
+M = 2_000
+CAPACITY = 16
+
+
+@functools.lru_cache(maxsize=None)
+def _index(policy: str):
+    workload = get_workload().prefix(M)
+    return QMapModel(workload.matrix).build_index(
+        "mtree",
+        workload.database,
+        capacity=CAPACITY,
+        split_policy=policy,
+        rng=np.random.default_rng(5),
+    )
+
+
+@pytest.mark.parametrize("policy", ["mM_RAD", "random"])
+def test_split_policy_query(benchmark, policy: str) -> None:
+    index = _index(policy)
+    queries = get_workload().queries
+    benchmark(lambda: [index.knn_search(q, 5) for q in queries])
+
+
+def test_mm_rad_prunes_no_worse_than_random() -> None:
+    workload = get_workload().prefix(M)
+    evals = {
+        policy: measure_queries(_index(policy), workload.queries, k=5).evaluations_per_query
+        for policy in ("mM_RAD", "random")
+    }
+    # Tight regions must not *hurt*; allow 10% noise headroom.
+    assert evals["mM_RAD"] <= evals["random"] * 1.1
+
+
+def main() -> None:
+    print_header("Ablation E_A5", f"M-tree split policy (m={M}, capacity={CAPACITY}, 5NN)")
+    workload = get_workload().prefix(M)
+    rows = []
+    for policy in ("mM_RAD", "random"):
+        index = _index(policy)
+        result = measure_queries(index, workload.queries, k=5)
+        rows.append(
+            [
+                policy,
+                index.build_costs.distance_computations,
+                f"{result.evaluations_per_query:.1f}",
+                f"{result.seconds_per_query:.5f}",
+            ]
+        )
+    print(
+        format_table(
+            ["split policy", "build dist. evals", "evals / query", "s / query"],
+            rows,
+        )
+    )
+    print("\nexpected: mM_RAD pays more at build time and prunes better at query time.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,70 @@
+"""Ablation E_A2 — pivot count sweep (pivot table, QMap model).
+
+More pivots tighten the L∞ filter (fewer refinements per query) but cost
+more at indexing time and per-query pivot distances — the classic pivot
+table trade-off behind the paper's choice of a fixed p.
+"""
+
+from __future__ import annotations
+
+import functools
+
+import pytest
+
+from _common import get_workload, print_header
+from repro.bench import format_table, measure_queries
+from repro.models import QMapModel
+
+PIVOT_COUNTS = [2, 8, 32, 128]
+
+
+@functools.lru_cache(maxsize=None)
+def _index(p: int):
+    workload = get_workload()
+    return QMapModel(workload.matrix).build_index(
+        "pivot-table", workload.database, n_pivots=p
+    )
+
+
+@pytest.mark.parametrize("p", PIVOT_COUNTS)
+def test_pivot_count_query(benchmark, p: int) -> None:
+    index = _index(p)
+    queries = get_workload().queries
+    benchmark(lambda: [index.knn_search(q, 5) for q in queries])
+
+
+def test_more_pivots_fewer_refinements() -> None:
+    workload = get_workload()
+    refinements = []
+    for p in (2, 128):
+        result = measure_queries(_index(p), workload.queries, k=5)
+        refinements.append(result.evaluations_per_query - p)
+    assert refinements[1] < refinements[0]
+
+
+def main() -> None:
+    print_header("Ablation E_A2", "pivot count sweep (QMap model, 5NN)")
+    workload = get_workload()
+    rows = []
+    for p in PIVOT_COUNTS:
+        index = _index(p)
+        result = measure_queries(index, workload.queries, k=5)
+        rows.append(
+            [
+                p,
+                index.build_costs.distance_computations,
+                f"{result.evaluations_per_query - p:.1f}",
+                f"{result.seconds_per_query:.5f}",
+            ]
+        )
+    print(
+        format_table(
+            ["pivots p", "build dist. evals", "refinements / query", "s / query"],
+            rows,
+        )
+    )
+    print("\nexpected: refinements fall as p grows; build cost rises linearly in p.")
+
+
+if __name__ == "__main__":
+    main()

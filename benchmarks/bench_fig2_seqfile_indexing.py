@@ -1,0 +1,54 @@
+"""Figure 2 — Indexing: sequential file (QFD model vs QMap model).
+
+Paper result: this is the *only* configuration where the QFD model wins —
+indexing a sequential file is just storing vectors (O(mn)), while the QMap
+model additionally transforms every vector (O(mn^2)).
+
+Run ``pytest benchmarks/bench_fig2_seqfile_indexing.py --benchmark-only``
+for timings, or ``python benchmarks/bench_fig2_seqfile_indexing.py`` for
+the paper-style series table.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from _common import SIZES, get_workload, print_header, report_sweep
+from repro.bench import sweep_sizes
+from repro.models import QFDModel, QMapModel
+
+
+@pytest.mark.parametrize("m", SIZES)
+def test_fig2_indexing_qfd(benchmark, m: int) -> None:
+    workload = get_workload().prefix(m)
+    model = QFDModel(workload.matrix)
+    benchmark.pedantic(
+        lambda: model.build_index("sequential", workload.database),
+        rounds=3,
+        iterations=1,
+    )
+
+
+@pytest.mark.parametrize("m", SIZES)
+def test_fig2_indexing_qmap(benchmark, m: int) -> None:
+    workload = get_workload().prefix(m)
+    model = QMapModel(workload.matrix)
+    benchmark.pedantic(
+        lambda: model.build_index("sequential", workload.database),
+        rounds=3,
+        iterations=1,
+    )
+
+
+def main() -> None:
+    print_header("Figure 2", "indexing real time, sequential file")
+    comparisons = sweep_sizes(get_workload(), "sequential", SIZES, k=1)
+    print(report_sweep(comparisons, metric="indexing", title=""))
+    print(
+        "\npaper shape check: the QFD model should be FASTER here "
+        "(storing beats transform-then-store; Table 1, row 1)."
+    )
+
+
+if __name__ == "__main__":
+    main()

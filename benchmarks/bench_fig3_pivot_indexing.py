@@ -1,0 +1,54 @@
+"""Figure 3 — Indexing: pivot table (QFD model vs QMap model).
+
+Paper result: the QMap model beats the QFD model by an order of magnitude —
+the ``m * p`` pivot-table distances drop from O(n^2) to O(n) each, paying
+only one O(n^2) transform per vector.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from _common import SIZES, get_workload, print_header, report_sweep
+from repro.bench import sweep_sizes
+from repro.models import QFDModel, QMapModel
+
+N_PIVOTS = 32
+
+
+@pytest.mark.parametrize("m", SIZES)
+def test_fig3_indexing_qfd(benchmark, m: int) -> None:
+    workload = get_workload().prefix(m)
+    model = QFDModel(workload.matrix)
+    benchmark.pedantic(
+        lambda: model.build_index("pivot-table", workload.database, n_pivots=N_PIVOTS),
+        rounds=1,
+        iterations=1,
+    )
+
+
+@pytest.mark.parametrize("m", SIZES)
+def test_fig3_indexing_qmap(benchmark, m: int) -> None:
+    workload = get_workload().prefix(m)
+    model = QMapModel(workload.matrix)
+    benchmark.pedantic(
+        lambda: model.build_index("pivot-table", workload.database, n_pivots=N_PIVOTS),
+        rounds=1,
+        iterations=1,
+    )
+
+
+def main() -> None:
+    print_header("Figure 3", f"indexing real time, pivot table (p={N_PIVOTS})")
+    comparisons = sweep_sizes(
+        get_workload(), "pivot-table", SIZES, method_kwargs={"n_pivots": N_PIVOTS}, k=1
+    )
+    print(report_sweep(comparisons, metric="indexing", title=""))
+    print(
+        "\npaper shape check: QMap wins by roughly an order of magnitude "
+        "(paper reports ~10x; Table 1, row 2)."
+    )
+
+
+if __name__ == "__main__":
+    main()

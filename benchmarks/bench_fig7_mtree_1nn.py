@@ -1,0 +1,54 @@
+"""Figure 7 — 1NN queries on growing databases: M-tree.
+
+Paper result: the QMap M-tree answers 1NN queries up to 200x faster —
+the ``x`` distance computations of the traversal drop from O(n^2) to O(n).
+"""
+
+from __future__ import annotations
+
+import functools
+
+import pytest
+
+from _common import SIZES, get_workload, print_header, report_sweep
+from repro.bench import sweep_sizes
+from repro.models import QFDModel, QMapModel
+
+CAPACITY = 16
+
+
+@functools.lru_cache(maxsize=None)
+def _index(model_name: str, m: int):
+    workload = get_workload().prefix(m)
+    model = QFDModel(workload.matrix) if model_name == "qfd" else QMapModel(workload.matrix)
+    return model.build_index("mtree", workload.database, capacity=CAPACITY)
+
+
+@pytest.mark.parametrize("m", SIZES)
+def test_fig7_1nn_qfd(benchmark, m: int) -> None:
+    index = _index("qfd", m)
+    queries = get_workload().queries
+    benchmark(lambda: [index.knn_search(q, 1) for q in queries])
+
+
+@pytest.mark.parametrize("m", SIZES)
+def test_fig7_1nn_qmap(benchmark, m: int) -> None:
+    index = _index("qmap", m)
+    queries = get_workload().queries
+    benchmark(lambda: [index.knn_search(q, 1) for q in queries])
+
+
+def main() -> None:
+    print_header("Figure 7", f"1NN query real time vs database size, M-tree (capacity={CAPACITY})")
+    comparisons = sweep_sizes(
+        get_workload(), "mtree", SIZES, method_kwargs={"capacity": CAPACITY}, k=1
+    )
+    print(report_sweep(comparisons, metric="querying", title="(seconds per 1NN query)"))
+    print(
+        "\npaper shape check: QMap wins by 1-2 orders of magnitude "
+        "(paper reports a 200x speedup)."
+    )
+
+
+if __name__ == "__main__":
+    main()

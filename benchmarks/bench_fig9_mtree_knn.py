@@ -1,0 +1,75 @@
+"""Figure 9 — kNN queries on the largest database: M-tree.
+
+Paper result: the QMap M-tree is up to 47x faster across k = 1..100 on the
+largest database.
+"""
+
+from __future__ import annotations
+
+import functools
+
+import pytest
+
+from _common import MAX_DB, get_workload, print_header
+from repro.bench import format_table, measure_queries, speedup
+from repro.models import QFDModel, QMapModel
+
+CAPACITY = 16
+KS = [1, 5, 10, 25, 50, 100]
+
+
+@functools.lru_cache(maxsize=None)
+def _index(model_name: str):
+    workload = get_workload()
+    model = QFDModel(workload.matrix) if model_name == "qfd" else QMapModel(workload.matrix)
+    return model.build_index("mtree", workload.database, capacity=CAPACITY)
+
+
+@pytest.mark.parametrize("k", KS)
+def test_fig9_knn_qfd(benchmark, k: int) -> None:
+    index = _index("qfd")
+    queries = get_workload().queries
+    benchmark(lambda: [index.knn_search(q, k) for q in queries])
+
+
+@pytest.mark.parametrize("k", KS)
+def test_fig9_knn_qmap(benchmark, k: int) -> None:
+    index = _index("qmap")
+    queries = get_workload().queries
+    benchmark(lambda: [index.knn_search(q, k) for q in queries])
+
+
+def main() -> None:
+    print_header(
+        "Figure 9", f"kNN query real time on the largest database (m={MAX_DB}), M-tree"
+    )
+    workload = get_workload()
+    qfd_index, qmap_index = _index("qfd"), _index("qmap")
+    rows = []
+    for k in KS:
+        r_qfd = measure_queries(qfd_index, workload.queries, k=k)
+        r_qmap = measure_queries(qmap_index, workload.queries, k=k)
+        rows.append(
+            [
+                k,
+                f"{r_qfd.seconds_per_query:.4f}",
+                f"{r_qmap.seconds_per_query:.4f}",
+                f"{speedup(r_qfd.seconds_per_query, r_qmap.seconds_per_query):.1f}x",
+                int(r_qfd.evaluations_per_query),
+            ]
+        )
+    print(
+        format_table(
+            ["k", "QFD model [s]", "QMap model [s]", "speedup", "dist. evals"],
+            rows,
+            title="(seconds per kNN query)",
+        )
+    )
+    print(
+        "\npaper shape check: QMap wins at every k (paper: up to 47x), "
+        "by a larger factor than the pivot table (Figure 8)."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,103 @@
+"""Table 1 — Indexing time complexity comparison (empirical verification).
+
+For each MAM and model the bench measures distance evaluations and
+transforms during indexing, converts them into the paper's arithmetic cost
+units (QFD evaluation = n^2, L2 evaluation = n, transform = n^2) and prints
+them next to the Table 1 closed forms, including the "Better" verdict:
+
+    sequential file : QFD model better
+    pivot tables    : QMap model better
+    M-tree          : QMap model better
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from _common import MAX_DB, get_workload, print_header
+from repro.bench import format_table, measured_flops, theoretical_indexing_flops
+from repro.models import QFDModel, QMapModel
+
+N_PIVOTS = 32
+CAPACITY = 16
+
+_METHODS = [
+    ("sequential", {}),
+    ("pivot-table", {"n_pivots": N_PIVOTS}),
+    ("mtree", {"capacity": CAPACITY}),
+]
+
+
+def _build_costs(method: str, kwargs: dict, model_name: str, m: int):
+    workload = get_workload().prefix(m)
+    model = QFDModel(workload.matrix) if model_name == "qfd" else QMapModel(workload.matrix)
+    return model.build_index(method, workload.database, **kwargs).build_costs
+
+
+@pytest.mark.parametrize("method,kwargs", _METHODS, ids=[m for m, _ in _METHODS])
+@pytest.mark.parametrize("model_name", ["qfd", "qmap"])
+def test_table1_indexing_cost(benchmark, method: str, kwargs: dict, model_name: str) -> None:
+    m = MAX_DB // 2
+    benchmark.pedantic(
+        lambda: _build_costs(method, kwargs, model_name, m), rounds=1, iterations=1
+    )
+
+
+def test_table1_winners_match_paper() -> None:
+    """The qualitative Table 1 verdicts, checked on measured flops."""
+    m = MAX_DB // 2
+    n = get_workload().dim
+    flops = {
+        (method, model): measured_flops(_build_costs(method, kwargs, model, m), model, n)
+        for method, kwargs in _METHODS
+        for model in ("qfd", "qmap")
+    }
+    assert flops[("sequential", "qfd")] < flops[("sequential", "qmap")]
+    assert flops[("pivot-table", "qmap")] < flops[("pivot-table", "qfd")]
+    assert flops[("mtree", "qmap")] < flops[("mtree", "qfd")]
+
+
+def main() -> None:
+    print_header("Table 1", "indexing time complexity comparison")
+    workload = get_workload()
+    n = workload.dim
+    m = workload.size
+    rows = []
+    for method, kwargs in _METHODS:
+        flops = {}
+        for model in ("qfd", "qmap"):
+            costs = _build_costs(method, kwargs, model, m)
+            flops[model] = measured_flops(costs, model, n)
+            theory = theoretical_indexing_flops(
+                method,
+                model,
+                m=m,
+                n=n,
+                p=N_PIVOTS,
+                selection_cost=costs.distance_computations if method == "pivot-table" else 0,
+            )
+            rows.append(
+                [
+                    f"{method} ({model.upper()})",
+                    costs.distance_computations,
+                    costs.transforms,
+                    f"{flops[model]:.2e}",
+                    f"{theory:.2e}",
+                ]
+            )
+        better = "QFD" if flops["qfd"] < flops["qmap"] else "QMap"
+        rows.append([f"  -> better: {better}", "", "", "", ""])
+    print(
+        format_table(
+            ["method (model)", "dist. evals", "transforms", "measured flops", "O-form flops"],
+            rows,
+        )
+    )
+    print(
+        "\npaper verdicts (Table 1): sequential -> QFD; pivot tables -> QMap; "
+        "M-tree -> QMap."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,109 @@
+"""Table 2 — Querying time complexity comparison (empirical verification).
+
+The paper proves the QMap model cheaper for *every* MAM at query time.
+The bench measures per-query distance evaluations and transforms (1NN,
+averaged over the query set), converts to arithmetic cost units and prints
+the verdicts next to the Table 2 closed forms.
+"""
+
+from __future__ import annotations
+
+import functools
+
+import pytest
+
+from _common import MAX_DB, get_workload, print_header
+from repro.bench import (
+    format_table,
+    measure_queries,
+    measured_flops,
+    theoretical_querying_flops,
+)
+from repro.models import IndexCosts, QFDModel, QMapModel
+
+N_PIVOTS = 32
+CAPACITY = 16
+
+_METHODS = [
+    ("sequential", {}),
+    ("pivot-table", {"n_pivots": N_PIVOTS}),
+    ("mtree", {"capacity": CAPACITY}),
+]
+
+
+@functools.lru_cache(maxsize=None)
+def _index(method: str, model_name: str):
+    workload = get_workload()
+    kwargs = dict(_METHODS[[m for m, _ in _METHODS].index(method)][1])
+    model = QFDModel(workload.matrix) if model_name == "qfd" else QMapModel(workload.matrix)
+    return model.build_index(method, workload.database, **kwargs)
+
+
+@pytest.mark.parametrize("method", [m for m, _ in _METHODS])
+@pytest.mark.parametrize("model_name", ["qfd", "qmap"])
+def test_table2_query_cost(benchmark, method: str, model_name: str) -> None:
+    index = _index(method, model_name)
+    queries = get_workload().queries
+    benchmark(lambda: [index.knn_search(q, 1) for q in queries])
+
+
+def test_table2_qmap_always_wins() -> None:
+    workload = get_workload()
+    n = workload.dim
+    for method, _ in _METHODS:
+        per_model = {}
+        for model in ("qfd", "qmap"):
+            result = measure_queries(_index(method, model), workload.queries, k=1)
+            avg = IndexCosts(
+                distance_computations=result.total.distance_computations // result.queries,
+                transforms=result.total.transforms // result.queries,
+            )
+            per_model[model] = measured_flops(avg, model, n)
+        assert per_model["qmap"] < per_model["qfd"], method
+
+
+def main() -> None:
+    print_header("Table 2", "querying time complexity comparison (1NN)")
+    workload = get_workload()
+    n, m = workload.dim, workload.size
+    rows = []
+    for method, _ in _METHODS:
+        flops = {}
+        for model in ("qfd", "qmap"):
+            result = measure_queries(_index(method, model), workload.queries, k=1)
+            evals = result.total.distance_computations // result.queries
+            transforms = result.total.transforms // result.queries
+            avg = IndexCosts(distance_computations=evals, transforms=transforms)
+            flops[model] = measured_flops(avg, model, n)
+            x = max(evals - (N_PIVOTS if method == "pivot-table" else 0), 0)
+            theory = theoretical_querying_flops(
+                method, model, m=m, n=n, p=N_PIVOTS, x=x
+            )
+            rows.append(
+                [
+                    f"{method} ({model.upper()})",
+                    evals,
+                    transforms,
+                    f"{flops[model]:.2e}",
+                    f"{theory:.2e}",
+                ]
+            )
+        better = "QFD" if flops["qfd"] < flops["qmap"] else "QMap"
+        rows.append([f"  -> better: {better}", "", "", "", ""])
+    print(
+        format_table(
+            [
+                "method (model)",
+                "evals/query",
+                "transforms/query",
+                "measured flops",
+                "O-form flops",
+            ],
+            rows,
+        )
+    )
+    print("\npaper verdicts (Table 2): QMap better for ALL three methods.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,51 @@
+"""Run every per-figure/per-table benchmark report in sequence.
+
+Usage::
+
+    python benchmarks/run_all.py            # paper-dim profile (512-d)
+    REPRO_BENCH_SCALE=small python benchmarks/run_all.py   # fast 64-d
+
+The output of this script is what EXPERIMENTS.md records.
+"""
+
+from __future__ import annotations
+
+import importlib
+import sys
+import time
+
+REPORTS = [
+    "bench_table1_indexing",
+    "bench_table2_querying",
+    "bench_fig2_seqfile_indexing",
+    "bench_fig3_pivot_indexing",
+    "bench_fig4_mtree_indexing",
+    "bench_fig5_seqfile_1nn",
+    "bench_fig6_pivot_1nn",
+    "bench_fig7_mtree_1nn",
+    "bench_fig8_pivot_knn",
+    "bench_fig9_mtree_knn",
+    "bench_ablation_svd_rank",
+    "bench_ablation_pivot_count",
+    "bench_ablation_dimensionality",
+    "bench_ablation_disk_cache",
+    "bench_ablation_mtree_split",
+    "bench_ablation_mtree_bulk",
+    "bench_ablation_intrinsic_dim",
+    "bench_ablation_approximate",
+    "bench_ablation_trigen",
+    "bench_extra_access_methods",
+]
+
+
+def main() -> None:
+    start = time.perf_counter()
+    for name in REPORTS:
+        module = importlib.import_module(name)
+        module.main()
+    print(f"\nall reports done in {time.perf_counter() - start:.1f}s")
+
+
+if __name__ == "__main__":
+    sys.path.insert(0, str(__file__).rsplit("/", 1)[0])
+    main()

@@ -1,0 +1,117 @@
+"""QFD retrieval beyond images: protein binding-site histograms.
+
+The paper's Section 1.2 lists protein structures among the QFD's
+applications (references [4], [15], [16]: nearest-neighbor classification
+in 3D protein databases and binding-site retrieval via histogram
+comparison).  The essence of those systems: each binding site becomes a
+histogram over *geometric feature bins* (e.g. distance or angle ranges),
+and neighboring bins correlate — a site with mass in the 4.0-4.5 Å bin is
+similar to one with mass in the 4.5-5.0 Å bin.  A band QFD matrix captures
+exactly that.
+
+This example synthesizes a labeled corpus of binding-site histograms,
+compares retrieval quality (label agreement of nearest neighbors) under
+plain L2 vs the band-matrix QFD, and shows the QMap + vp-tree stack
+answering classification queries with few distance evaluations.
+
+Run: ``python examples/protein_binding_sites.py``
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import QMapModel, QuadraticFormDistance
+from repro.core import band_matrix
+from repro.distances import CountingDistance, euclidean, euclidean_one_to_many
+
+N_BINS = 48  # distance-range bins of the site descriptor
+N_FAMILIES = 6  # protein families (the labels)
+SITES_PER_FAMILY = 120
+
+
+def synthesize_sites(rng: np.random.Generator) -> tuple[np.ndarray, np.ndarray]:
+    """Binding-site histograms with within-family bin *shifts*.
+
+    Each family has a characteristic multi-peak profile; individual sites
+    jitter the peak positions by a bin or two — the measurement noise that
+    makes plain L2 fragile and bin-correlating QFD effective.
+    """
+    bins = np.arange(N_BINS)
+    histograms, labels = [], []
+    for family in range(N_FAMILIES):
+        peaks = rng.uniform(4, N_BINS - 4, size=3)
+        weights = rng.dirichlet(np.ones(3) * 3.0)
+        for _ in range(SITES_PER_FAMILY):
+            shifted = peaks + rng.normal(0.0, 2.2, size=3)  # the bin shift
+            profile = np.zeros(N_BINS)
+            for peak, weight in zip(shifted, weights):
+                profile += weight * np.exp(-((bins - peak) ** 2) / (2.0 * 1.0**2))
+            profile += rng.exponential(0.002, size=N_BINS)  # background noise
+            histograms.append(profile / profile.sum())
+            labels.append(family)
+    return np.array(histograms), np.array(labels)
+
+
+def knn_label_accuracy(
+    database: np.ndarray,
+    labels: np.ndarray,
+    distance,
+    rng: np.random.Generator,
+    k: int = 5,
+    n_queries: int = 100,
+) -> float:
+    """Leave-one-out kNN majority-vote accuracy under *distance*."""
+    picks = rng.choice(len(database), size=n_queries, replace=False)
+    correct = 0
+    for q_idx in picks:
+        dists = np.array([distance(database[q_idx], row) for row in database])
+        dists[q_idx] = np.inf
+        nearest = np.argsort(dists)[:k]
+        votes = np.bincount(labels[nearest], minlength=N_FAMILIES)
+        correct += int(np.argmax(votes) == labels[q_idx])
+    return correct / n_queries
+
+
+def main() -> None:
+    rng = np.random.default_rng(2011)
+    database, labels = synthesize_sites(rng)
+    print(
+        f"corpus: {len(database)} binding-site histograms, {N_BINS} bins, "
+        f"{N_FAMILIES} families"
+    )
+
+    # Neighboring distance-range bins correlate: a band QFD matrix.
+    matrix = band_matrix(N_BINS, correlation=0.6, bandwidth=3)
+    qfd = QuadraticFormDistance(matrix)
+
+    acc_l2 = knn_label_accuracy(database, labels, euclidean, np.random.default_rng(1))
+    acc_qfd = knn_label_accuracy(database, labels, qfd, np.random.default_rng(1))
+    print(f"\n5NN family classification accuracy:")
+    print(f"  plain L2 (no bin cross-talk): {acc_l2:.3f}")
+    print(f"  band-matrix QFD             : {acc_qfd:.3f}")
+    if acc_qfd <= acc_l2:
+        print("  (tie on this draw; QFD's edge grows with larger bin shifts)")
+
+    # Index with QMap + vp-tree and answer classification queries cheaply.
+    model = QMapModel(matrix)
+    index = model.build_index("vptree", database, leaf_size=12)
+    index.reset_query_costs()
+    query = database[0]
+    hits = index.knn_search(query, 6)[1:]  # drop the object itself
+    families = [int(labels[h.index]) for h in hits]
+    costs = index.query_costs()
+    print(
+        f"\nQMap + vp-tree: 5NN of site #0 -> families {families} "
+        f"(true: {labels[0]}), {costs.distance_computations} O(n) distance "
+        f"evaluations out of {len(database)} sites"
+    )
+    print(
+        "\ntakeaway: the paper's transform applies verbatim outside image "
+        "retrieval — any domain with a static bin-correlation matrix gets "
+        "O(n) metric indexing for free."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,78 @@
+"""Quickstart: the QMap model in five minutes.
+
+Reproduces the paper's running example — the 3-dimensional RGB similarity
+matrix of Section 1.2 — and walks through the whole pipeline:
+
+1. define a QFD with correlated dimensions,
+2. factor it once (Cholesky) into the QMap transform,
+3. verify distances are preserved *exactly*,
+4. index a database with an unmodified M-tree in the Euclidean space,
+5. run kNN and range queries at O(n) per distance.
+
+Run: ``python examples/quickstart.py``
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import QFDModel, QMap, QMapModel, QuadraticFormDistance
+
+
+def main() -> None:
+    # --- 1. the paper's Section 1.2 example matrix -----------------------
+    # Dimensions are (red, green, blue) pixel counts; green and blue are
+    # perceptually correlated at 0.5, red is independent.
+    a = np.array(
+        [
+            [1.0, 0.0, 0.0],
+            [0.0, 1.0, 0.5],
+            [0.0, 0.5, 1.0],
+        ]
+    )
+    qfd = QuadraticFormDistance(a)
+
+    sunset = np.array([0.7, 0.2, 0.1])  # red-ish histogram
+    ocean = np.array([0.1, 0.3, 0.6])  # blue-green-ish histogram
+    print(f"QFD(sunset, ocean)          = {qfd(sunset, ocean):.6f}")
+
+    # --- 2. factor once: A = B B^T ---------------------------------------
+    qmap = QMap(qfd)
+    print(f"Cholesky factor B =\n{np.round(qmap.matrix, 4)}")
+
+    # --- 3. distances preserved exactly ----------------------------------
+    mapped = qmap.distance_via_map(sunset, ocean)
+    print(f"L2(sunset*B, ocean*B)       = {mapped:.6f}")
+    assert np.isclose(mapped, qfd(sunset, ocean))
+
+    # --- 4. index a database with an unmodified MAM ----------------------
+    rng = np.random.default_rng(0)
+    database = rng.dirichlet(np.ones(3), size=5_000)  # random RGB histograms
+
+    qmap_model = QMapModel(a)
+    index = qmap_model.build_index("mtree", database, capacity=16)
+    print(
+        f"\nbuilt an M-tree over {len(database)} histograms "
+        f"({index.build_costs.distance_computations} O(n) distances, "
+        f"{index.build_costs.transforms} transforms, "
+        f"{index.build_costs.seconds:.3f}s)"
+    )
+
+    # --- 5. query in the source space ------------------------------------
+    hits = index.knn_search(sunset, k=5)
+    print("\n5 nearest histograms to the sunset query:")
+    for rank, hit in enumerate(hits, start=1):
+        print(f"  {rank}. object #{hit.index}: distance {hit.distance:.6f}")
+
+    ball = index.range_search(sunset, radius=hits[-1].distance)
+    print(f"range query with the 5th-NN radius returns {len(ball)} objects")
+
+    # The QFD model gives the same answers, just slower per distance.
+    qfd_model = QFDModel(a)
+    reference = qfd_model.build_index("sequential", database)
+    assert [h.index for h in reference.knn_search(sunset, 5)] == [h.index for h in hits]
+    print("\nsequential QFD scan agrees with the QMap M-tree — as proved in Section 3.3")
+
+
+if __name__ == "__main__":
+    main()

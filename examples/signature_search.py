@@ -1,0 +1,100 @@
+"""Feature signatures and the SQFD — beyond fixed histograms.
+
+The signature quadratic form distance (Beecks et al., paper Section 1.2.1)
+compares variable-length descriptors: per-image sets of clustered feature
+centroids with weights.  Because every compared pair gets its own dynamic
+similarity matrix, there is no static ``A`` to factor — the QMap transform
+does not apply, and search falls back to the (still metric) black-box
+sequential scan.  This example:
+
+* extracts signatures from rendered images (k-means over color+position),
+* searches by SQFD and shows that same-theme images rank first,
+* verifies the metric postulates empirically,
+* contrasts the per-pair cost with the static-QFD + QMap path.
+
+Run: ``python examples/signature_search.py``
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from repro.color import rgb_histogram
+from repro.core import QMap, prototype_similarity_matrix
+from repro.color import lab_bin_prototypes
+from repro.datasets import SyntheticImageCorpus
+from repro.distances import (
+    SignatureQuadraticFormDistance,
+    check_metric_postulates,
+    gaussian_similarity,
+)
+from repro.dynamic import extract_signature
+
+N_IMAGES = 24
+THEMES = 4
+
+
+def main() -> None:
+    corpus = SyntheticImageCorpus(height=24, width=24, themes=THEMES, seed=21)
+    rng = np.random.default_rng(0)
+
+    print(f"extracting signatures from {N_IMAGES} images ...")
+    images = [corpus.render(i) for i in range(N_IMAGES)]
+    signatures = [
+        extract_signature(img, n_clusters=6, rng=np.random.default_rng(i))
+        for i, img in enumerate(images)
+    ]
+    sizes = sorted({sig.size for sig in signatures})
+    print(f"signature sizes in the corpus: {sizes} (variable, unlike histograms)")
+
+    sqfd = SignatureQuadraticFormDistance(gaussian_similarity(sigma=0.35))
+
+    # ---- similarity search by SQFD --------------------------------------
+    query_id = 0
+    t0 = time.perf_counter()
+    distances = [(sqfd(signatures[query_id], sig), i) for i, sig in enumerate(signatures)]
+    scan_s = time.perf_counter() - t0
+    distances.sort()
+    print(f"\nSQFD scan over {N_IMAGES} signatures took {scan_s * 1000:.1f}ms")
+    print(f"query image #{query_id} (theme {query_id % THEMES}); nearest images:")
+    for dist, idx in distances[1:6]:
+        print(f"   image #{idx:2d} (theme {idx % THEMES})  SQFD {dist:.5f}")
+    same_theme = [idx % THEMES == query_id % THEMES for _, idx in distances[1:4]]
+    print(f"top-3 share the query's theme: {sum(same_theme)}/3")
+
+    # ---- it is a metric, so MAMs *could* index it ... --------------------
+    report = check_metric_postulates(sqfd, signatures[:10], tolerance=1e-7)
+    print(f"\nmetric postulates on a sample: violations = {len(report.violations)}")
+
+    # ---- ... but no static matrix exists to QMap ------------------------
+    m_01 = sqfd.dynamic_matrix(signatures[0], signatures[1])
+    m_02 = sqfd.dynamic_matrix(signatures[0], signatures[2])
+    same_shape = m_01.shape == m_02.shape
+    same_values = same_shape and bool(np.allclose(m_01, m_02))
+    print(
+        f"dynamic matrices per pair: shapes {m_01.shape} vs {m_02.shape}, "
+        f"identical values: {same_values} "
+        "-> nothing static to Cholesky-factor (paper Section 1.2.1)"
+    )
+
+    # ---- contrast: the static-histogram path ----------------------------
+    hist = np.vstack([rgb_histogram(img, 4) for img in images])
+    matrix = prototype_similarity_matrix(lab_bin_prototypes(4)).matrix
+    qmap = QMap(matrix)
+    mapped = qmap.transform_batch(hist)
+    t0 = time.perf_counter()
+    q = mapped[query_id]
+    np.sqrt(((mapped - q) ** 2).sum(axis=1))
+    static_s = time.perf_counter() - t0
+    print(
+        f"\nstatic 64-d histograms + QMap: the same scan costs "
+        f"{static_s * 1000:.2f}ms ({scan_s / max(static_s, 1e-9):.0f}x less) — "
+        "the price of the SQFD's adaptivity is exactly what the paper's "
+        "title warns about."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Legacy setup shim.
+
+The execution environment has no ``wheel`` package, so editable installs
+must go through ``setup.py develop`` (``pip install -e . --no-use-pep517
+--no-build-isolation``).  All real metadata lives in ``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,51 @@
+"""repro — reproduction of *"On (not) indexing quadratic form distance by
+metric access methods"* (Skopal, Bartoš & Lokoč, EDBT 2011).
+
+The headline result: a quadratic form distance with a **static** matrix is
+never a black-box metric to be indexed raw — the Cholesky factor of its
+matrix maps the QFD space homeomorphically onto a plain Euclidean space
+with distances preserved *exactly*, cutting every distance evaluation from
+O(n^2) to O(n).
+
+Quick start::
+
+    import numpy as np
+    from repro import QuadraticFormDistance, QMapModel, QFDModel
+
+    a = np.array([[1.0, 0.0, 0.0],
+                  [0.0, 1.0, 0.5],
+                  [0.0, 0.5, 1.0]])        # the paper's RGB example
+    database = np.random.default_rng(0).random((1000, 3))
+
+    model = QMapModel(a)                   # factor once ...
+    index = model.build_index("mtree", database)
+    hits = index.knn_search(database[0], k=5)   # ... query in O(n) distances
+
+Package map (see DESIGN.md for the full inventory):
+
+* :mod:`repro.core` — QFD, Cholesky, the QMap transform, matrix builders
+* :mod:`repro.distances` — Minkowski family, SQFD, counting, metric checks
+* :mod:`repro.color` / :mod:`repro.datasets` — the testbed substrate
+* :mod:`repro.mam` / :mod:`repro.sam` — access methods
+* :mod:`repro.lowerbound` — the Section 2.3.1 baselines
+* :mod:`repro.dynamic` — MindReader and feature signatures (dynamic QFD)
+* :mod:`repro.models` — the QFD-vs-QMap pipelines
+* :mod:`repro.bench` — the experiment harness
+"""
+
+from .core.qfd import QuadraticFormDistance
+from .core.qmap import QMap
+from .exceptions import ReproError
+from .models.qfd_model import QFDModel
+from .models.qmap_model import QMapModel
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "QuadraticFormDistance",
+    "QMap",
+    "QFDModel",
+    "QMapModel",
+    "ReproError",
+    "__version__",
+]

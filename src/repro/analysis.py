@@ -1,0 +1,116 @@
+"""Distance-distribution analysis (paper Section 2.2).
+
+MAM performance is governed not by the embedding dimensionality but by the
+*distance distribution* — specifically the intrinsic dimensionality
+
+    rho = mu^2 / (2 sigma^2)
+
+of Chávez et al. (the paper's reference [12]): concentrated distributions
+(large rho) leave the triangle inequality little room to prune.
+
+Because the QMap transformation preserves distances *exactly*, the QFD
+space and its Euclidean image have the *same* distance distribution and
+hence the same intrinsic dimensionality — the formal reason the paper can
+promise "the number of distance computations spent on indexing/querying in
+both models is the same, whatever MAM is used" (Section 4).  The tests and
+ablation bench E_A7 verify this empirically.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+from ._typing import ArrayLike, as_vector_batch
+from .exceptions import QueryError
+
+__all__ = [
+    "sample_distances",
+    "DistanceDistribution",
+    "analyze_distances",
+    "intrinsic_dimensionality",
+]
+
+
+def sample_distances(
+    data: ArrayLike,
+    distance: Callable[[np.ndarray, np.ndarray], float],
+    *,
+    n_pairs: int = 2_000,
+    rng: np.random.Generator | None = None,
+) -> np.ndarray:
+    """Distances of *n_pairs* random distinct object pairs from *data*."""
+    rows = as_vector_batch(data, name="data")
+    m = rows.shape[0]
+    if m < 2:
+        raise QueryError("need at least two objects to sample pair distances")
+    if n_pairs < 1:
+        raise QueryError(f"n_pairs must be >= 1, got {n_pairs}")
+    rng = np.random.default_rng(0) if rng is None else rng
+    first = rng.integers(0, m, size=n_pairs)
+    second = rng.integers(0, m - 1, size=n_pairs)
+    second = np.where(second >= first, second + 1, second)  # distinct pairs
+    one_to_many = getattr(distance, "one_to_many", None)
+    if callable(one_to_many):
+        # Group by first index to batch evaluations where possible.
+        out = np.empty(n_pairs, dtype=np.float64)
+        for i in range(n_pairs):
+            out[i] = float(distance(rows[first[i]], rows[second[i]]))
+        return out
+    return np.array(
+        [float(distance(rows[i], rows[j])) for i, j in zip(first, second)],
+        dtype=np.float64,
+    )
+
+
+@dataclass(frozen=True)
+class DistanceDistribution:
+    """Summary statistics of a sampled distance distribution."""
+
+    mean: float
+    std: float
+    minimum: float
+    maximum: float
+    intrinsic_dimensionality: float
+    histogram: np.ndarray
+    bin_edges: np.ndarray
+
+    def concentration(self) -> float:
+        """Relative spread ``sigma / mu`` — small values mean a concentrated
+        (hard to index) metric space."""
+        if self.mean == 0.0:
+            return 0.0
+        return self.std / self.mean
+
+
+def intrinsic_dimensionality(distances: ArrayLike) -> float:
+    """Chávez et al.'s estimator ``rho = mu^2 / (2 sigma^2)``."""
+    arr = np.asarray(distances, dtype=np.float64)
+    if arr.size < 2:
+        raise QueryError("need at least two distances")
+    mu = float(arr.mean())
+    var = float(arr.var())
+    if var == 0.0:
+        return float("inf") if mu > 0.0 else 0.0
+    return mu * mu / (2.0 * var)
+
+
+def analyze_distances(distances: ArrayLike, *, bins: int = 32) -> DistanceDistribution:
+    """Full distribution summary of a sampled distance array."""
+    arr = np.asarray(distances, dtype=np.float64)
+    if arr.size < 2:
+        raise QueryError("need at least two distances")
+    if bins < 1:
+        raise QueryError(f"bins must be >= 1, got {bins}")
+    histogram, edges = np.histogram(arr, bins=bins)
+    return DistanceDistribution(
+        mean=float(arr.mean()),
+        std=float(arr.std()),
+        minimum=float(arr.min()),
+        maximum=float(arr.max()),
+        intrinsic_dimensionality=intrinsic_dimensionality(arr),
+        histogram=histogram,
+        bin_edges=edges,
+    )

@@ -1,0 +1,40 @@
+"""Benchmark harness: timing, cost measurement, sweep running, reporting.
+
+One module per concern; the actual per-figure experiment definitions live
+in ``benchmarks/`` at the repository root (one file per paper table or
+figure, see DESIGN.md Section 3).
+"""
+
+from .complexity import (
+    ComplexityRow,
+    measured_flops,
+    theoretical_indexing_flops,
+    theoretical_querying_flops,
+)
+from .reporting import format_series, format_table, speedup
+from .runner import (
+    ModelComparison,
+    QueryMeasurement,
+    compare_models,
+    measure_queries,
+    sweep_sizes,
+)
+from .timing import Stopwatch, TimingResult, time_callable
+
+__all__ = [
+    "Stopwatch",
+    "TimingResult",
+    "time_callable",
+    "format_table",
+    "format_series",
+    "speedup",
+    "QueryMeasurement",
+    "ModelComparison",
+    "measure_queries",
+    "compare_models",
+    "sweep_sizes",
+    "measured_flops",
+    "theoretical_indexing_flops",
+    "theoretical_querying_flops",
+    "ComplexityRow",
+]

@@ -1,0 +1,62 @@
+"""Plain-text reporting of experiment tables and figure series.
+
+The benches print the same rows/series the paper's tables and figures
+report; these helpers keep the formatting uniform (fixed-width columns,
+explicit units) so the outputs in EXPERIMENTS.md stay readable.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+__all__ = ["format_table", "format_series", "speedup"]
+
+
+def _fmt(value: object) -> str:
+    if isinstance(value, float):
+        if value == 0.0:
+            return "0"
+        if abs(value) >= 1000 or abs(value) < 0.001:
+            return f"{value:.3e}"
+        return f"{value:.4f}".rstrip("0").rstrip(".")
+    return str(value)
+
+
+def format_table(headers: Sequence[str], rows: Iterable[Sequence[object]], *, title: str = "") -> str:
+    """Render an aligned fixed-width table."""
+    str_rows = [[_fmt(v) for v in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = []
+    if title:
+        lines.append(title)
+    header = "  ".join(h.ljust(widths[i]) for i, h in enumerate(headers))
+    lines.append(header)
+    lines.append("-" * len(header))
+    for row in str_rows:
+        lines.append("  ".join(cell.rjust(widths[i]) for i, cell in enumerate(row)))
+    return "\n".join(lines)
+
+
+def format_series(
+    x_label: str,
+    x_values: Sequence[object],
+    series: dict[str, Sequence[float]],
+    *,
+    title: str = "",
+) -> str:
+    """Render figure-style data: one x column plus one column per series."""
+    headers = [x_label, *series.keys()]
+    rows = []
+    for i, x in enumerate(x_values):
+        rows.append([x, *[values[i] for values in series.values()]])
+    return format_table(headers, rows, title=title)
+
+
+def speedup(baseline: float, improved: float) -> float:
+    """Baseline-over-improved ratio (how many times faster), inf-safe."""
+    if improved <= 0.0:
+        return float("inf") if baseline > 0.0 else 1.0
+    return baseline / improved

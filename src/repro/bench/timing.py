@@ -1,0 +1,65 @@
+"""Wall-clock measurement helpers for the experiment harness."""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable
+
+from ..exceptions import QueryError
+
+__all__ = ["Stopwatch", "time_callable", "TimingResult"]
+
+
+class Stopwatch:
+    """Context manager measuring elapsed seconds via ``perf_counter``.
+
+    Examples
+    --------
+    >>> with Stopwatch() as sw:
+    ...     _ = sum(range(1000))
+    >>> sw.seconds >= 0.0
+    True
+    """
+
+    def __init__(self) -> None:
+        self.seconds = 0.0
+        self._start = 0.0
+
+    def __enter__(self) -> "Stopwatch":
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.seconds = time.perf_counter() - self._start
+
+
+@dataclass(frozen=True)
+class TimingResult:
+    """Summary of repeated timings of one callable."""
+
+    repeats: int
+    total_seconds: float
+    per_call: list[float] = field(repr=False, default_factory=list)
+
+    @property
+    def mean(self) -> float:
+        """Mean seconds per call."""
+        return self.total_seconds / self.repeats
+
+    @property
+    def best(self) -> float:
+        """Fastest observed call."""
+        return min(self.per_call)
+
+
+def time_callable(func: Callable[[], object], *, repeats: int = 3) -> TimingResult:
+    """Time *func* for *repeats* calls (no warmup discard; callers decide)."""
+    if repeats < 1:
+        raise QueryError(f"repeats must be >= 1, got {repeats}")
+    per_call = []
+    for _ in range(repeats):
+        start = time.perf_counter()
+        func()
+        per_call.append(time.perf_counter() - start)
+    return TimingResult(repeats=repeats, total_seconds=sum(per_call), per_call=per_call)

@@ -1,0 +1,155 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``info``
+    Library version, registered access methods, and environment summary.
+``verify``
+    Fast self-check: QMap exactness, index/scan agreement, and identical
+    distance-evaluation counts across the two models on random data.
+``compare``
+    Run a QFD-model vs QMap-model comparison on a synthetic histogram
+    workload and print the paper-style row (build/query times + speedups).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+import numpy as np
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The argparse tree (exposed for tests)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "QMap reproduction of 'On (not) indexing quadratic form "
+            "distance by metric access methods' (EDBT 2011)"
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("info", help="show version and registered access methods")
+
+    verify = sub.add_parser("verify", help="run a fast correctness self-check")
+    verify.add_argument("--dim", type=int, default=32, help="vector dimensionality")
+    verify.add_argument("--size", type=int, default=500, help="database size")
+    verify.add_argument("--seed", type=int, default=0)
+
+    compare = sub.add_parser("compare", help="QFD vs QMap on a synthetic workload")
+    compare.add_argument("--method", default="mtree", help="access method name")
+    compare.add_argument("--size", type=int, default=1000, help="database size")
+    compare.add_argument(
+        "--bins", type=int, default=4, help="RGB bins per channel (4 -> 64-d, 8 -> 512-d)"
+    )
+    compare.add_argument("--k", type=int, default=5, help="kNN parameter")
+    compare.add_argument("--seed", type=int, default=0)
+    return parser
+
+
+def _cmd_info() -> int:
+    from . import __version__
+    from .models import MAM_REGISTRY, SAM_REGISTRY
+
+    print(f"repro {__version__}")
+    print("paper: Skopal, Bartos, Lokoc — EDBT 2011")
+    print(f"metric access methods : {', '.join(sorted(MAM_REGISTRY))}")
+    print(f"spatial access methods: {', '.join(sorted(SAM_REGISTRY))}")
+    print(f"numpy {np.__version__}")
+    return 0
+
+
+def _cmd_verify(dim: int, size: int, seed: int) -> int:
+    from .core import QMap, random_spd_matrix
+    from .datasets import gaussian_vectors
+    from .models import QFDModel, QMapModel
+
+    rng = np.random.default_rng(seed)
+    matrix = random_spd_matrix(dim, rng=rng, condition=20.0)
+    data = gaussian_vectors(size, dim, rng=rng)
+    queries = gaussian_vectors(8, dim, rng=rng)
+
+    qmap = QMap(matrix)
+    failures = 0
+
+    worst = 0.0
+    for q in queries:
+        for row in data[:50]:
+            worst = max(worst, abs(qmap.qfd(q, row) - qmap.distance_via_map(q, row)))
+    status = "ok" if worst < 1e-8 else "FAIL"
+    failures += status != "ok"
+    print(f"[{status}] QMap distance preservation (worst error {worst:.2e})")
+
+    i_qfd = QFDModel(matrix).build_index("mtree", data, capacity=8)
+    i_qmap = QMapModel(matrix).build_index("mtree", data, capacity=8)
+    scan = QFDModel(matrix).build_index("sequential", data)
+    agree = True
+    for q in queries:
+        truth = [n.index for n in scan.knn_search(q, 10)]
+        agree &= [n.index for n in i_qfd.knn_search(q, 10)] == truth
+        agree &= [n.index for n in i_qmap.knn_search(q, 10)] == truth
+    status = "ok" if agree else "FAIL"
+    failures += status != "ok"
+    print(f"[{status}] M-tree answers match the sequential scan in both models")
+
+    i_qfd.reset_query_costs()
+    i_qmap.reset_query_costs()
+    for q in queries:
+        i_qfd.knn_search(q, 10)
+        i_qmap.knn_search(q, 10)
+    same_counts = (
+        i_qfd.query_costs().distance_computations
+        == i_qmap.query_costs().distance_computations
+    )
+    status = "ok" if same_counts else "FAIL"
+    failures += status != "ok"
+    print(f"[{status}] identical distance-evaluation counts across models")
+
+    print("self-check:", "PASSED" if failures == 0 else f"{failures} FAILURES")
+    return 0 if failures == 0 else 1
+
+
+def _cmd_compare(method: str, size: int, bins: int, k: int, seed: int) -> int:
+    from .bench import compare_models
+    from .datasets import histogram_workload
+
+    workload = histogram_workload(size, 10, bins_per_channel=bins, seed=seed)
+    kwargs = {"pivot-table": {"n_pivots": 16}, "mtree": {"capacity": 16}}.get(method, {})
+    cmp = compare_models(workload, method, method_kwargs=kwargs, k=k)
+    print(f"workload : {workload.name}, m={size}")
+    print(f"method   : {method} {kwargs or ''}")
+    print(
+        f"indexing : QFD {cmp.qfd_build.seconds:.3f}s vs "
+        f"QMap {cmp.qmap_build.seconds:.3f}s "
+        f"({cmp.indexing_speedup:.1f}x)"
+    )
+    print(
+        f"query    : QFD {cmp.qfd_query.seconds_per_query * 1000:.2f}ms vs "
+        f"QMap {cmp.qmap_query.seconds_per_query * 1000:.2f}ms per {k}NN "
+        f"({cmp.querying_speedup:.1f}x)"
+    )
+    print(
+        f"evals    : {cmp.qfd_query.evaluations_per_query:.0f} per query "
+        "(identical in both models)"
+    )
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    if args.command == "info":
+        return _cmd_info()
+    if args.command == "verify":
+        return _cmd_verify(args.dim, args.size, args.seed)
+    if args.command == "compare":
+        return _cmd_compare(args.method, args.size, args.bins, args.k, args.seed)
+    raise AssertionError(f"unhandled command {args.command!r}")  # pragma: no cover
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,23 @@
+"""Color substrate of the paper's testbed (Section 5.1).
+
+RGB color histograms with ``b`` bins per channel, bin-center color
+prototypes, and the sRGB -> CIE Lab conversion used to measure perceptual
+distances between prototypes when building the Hafner QFD matrix.
+"""
+
+from .histograms import normalize_histogram, rgb_histogram, rgb_histograms
+from .lab import rgb_to_lab, rgb_to_xyz, srgb_to_linear, xyz_to_lab
+from .prototypes import bin_index, lab_bin_prototypes, rgb_bin_prototypes
+
+__all__ = [
+    "rgb_histogram",
+    "rgb_histograms",
+    "normalize_histogram",
+    "srgb_to_linear",
+    "rgb_to_xyz",
+    "xyz_to_lab",
+    "rgb_to_lab",
+    "rgb_bin_prototypes",
+    "lab_bin_prototypes",
+    "bin_index",
+]

@@ -1,0 +1,75 @@
+"""RGB histogram extraction and normalization (paper Section 5.1).
+
+Each image is represented by a ``b^3``-dimensional color histogram — bin *i*
+counts the pixels whose color falls into bin *i* — normalized to sum to one,
+exactly as the paper's testbed prescribes (Section 5.1: "Each histogram was
+normalized to have the sum equal to 1").
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..exceptions import DimensionMismatchError, MatrixError
+from .prototypes import bin_index
+
+__all__ = ["rgb_histogram", "rgb_histograms", "normalize_histogram"]
+
+
+def rgb_histogram(image: np.ndarray, bins_per_channel: int, *, normalize: bool = True) -> np.ndarray:
+    """Color histogram of one image.
+
+    Parameters
+    ----------
+    image:
+        ``(h, w, 3)`` or ``(pixels, 3)`` array of RGB values in [0, 1].
+    bins_per_channel:
+        ``b``; the histogram has ``b^3`` bins (8 -> 512 as in the paper).
+    normalize:
+        Normalize the histogram to unit sum (the paper's convention).
+    """
+    arr = np.asarray(image, dtype=np.float64)
+    if arr.ndim == 3 and arr.shape[2] == 3:
+        pixels = arr.reshape(-1, 3)
+    elif arr.ndim == 2 and arr.shape[1] == 3:
+        pixels = arr
+    else:
+        raise DimensionMismatchError(
+            f"expected (h, w, 3) image or (pixels, 3) array, got shape {arr.shape}"
+        )
+    if pixels.shape[0] == 0:
+        raise MatrixError("image has no pixels")
+    if pixels.min() < 0.0 or pixels.max() > 1.0:
+        raise MatrixError("pixel components must lie in [0, 1]")
+    n_bins = bins_per_channel**3
+    counts = np.bincount(bin_index(pixels, bins_per_channel), minlength=n_bins)
+    hist = counts.astype(np.float64)
+    if normalize:
+        hist = normalize_histogram(hist)
+    return hist
+
+
+def rgb_histograms(
+    images: list[np.ndarray] | np.ndarray,
+    bins_per_channel: int,
+    *,
+    normalize: bool = True,
+) -> np.ndarray:
+    """Stack :func:`rgb_histogram` over a collection of images."""
+    rows = [rgb_histogram(img, bins_per_channel, normalize=normalize) for img in images]
+    if not rows:
+        raise MatrixError("no images given")
+    return np.vstack(rows)
+
+
+def normalize_histogram(hist: np.ndarray) -> np.ndarray:
+    """Scale a non-negative histogram to unit sum."""
+    arr = np.asarray(hist, dtype=np.float64)
+    if arr.ndim != 1:
+        raise DimensionMismatchError(f"histogram must be 1-D, got shape {arr.shape}")
+    if np.any(arr < 0.0):
+        raise MatrixError("histogram bins must be non-negative")
+    total = arr.sum()
+    if total <= 0.0:
+        raise MatrixError("histogram sums to zero; cannot normalize")
+    return arr / total

@@ -1,0 +1,80 @@
+"""RGB to CIE Lab color conversion (paper Section 5.1).
+
+The paper's testbed converts each histogram bin's "color prototype" from RGB
+to CIE Lab before measuring inter-bin distances, because Euclidean distance
+in Lab approximates perceptual color difference far better than in RGB.
+
+The implementation follows the standard sRGB -> linear RGB -> CIE XYZ (D65
+white point) -> CIE L*a*b* chain; the same chain Rubner et al. (the paper's
+reference [25]) assume.  Inputs are arrays of RGB triples in [0, 1].
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .._typing import ArrayLike
+from ..exceptions import DimensionMismatchError
+
+__all__ = ["srgb_to_linear", "rgb_to_xyz", "xyz_to_lab", "rgb_to_lab"]
+
+#: sRGB -> XYZ matrix for the D65 white point (IEC 61966-2-1).
+_RGB_TO_XYZ = np.array(
+    [
+        [0.4124564, 0.3575761, 0.1804375],
+        [0.2126729, 0.7151522, 0.0721750],
+        [0.0193339, 0.1191920, 0.9503041],
+    ]
+)
+
+#: D65 reference white in XYZ.
+_WHITE_D65 = np.array([0.95047, 1.00000, 1.08883])
+
+#: CIE Lab nonlinearity threshold (6/29)^3 and slope constants.
+_LAB_EPS = 216.0 / 24389.0
+_LAB_KAPPA = 24389.0 / 27.0
+
+
+def _as_rgb(colors: ArrayLike) -> np.ndarray:
+    arr = np.asarray(colors, dtype=np.float64)
+    squeeze = arr.ndim == 1
+    if squeeze:
+        arr = arr.reshape(1, -1)
+    if arr.ndim != 2 or arr.shape[1] != 3:
+        raise DimensionMismatchError(f"expected (m, 3) RGB array, got shape {arr.shape}")
+    if arr.min(initial=0.0) < 0.0 or arr.max(initial=0.0) > 1.0:
+        raise DimensionMismatchError("RGB components must lie in [0, 1]")
+    return arr
+
+
+def srgb_to_linear(colors: ArrayLike) -> np.ndarray:
+    """Undo the sRGB gamma: companded [0,1] values -> linear-light values."""
+    rgb = _as_rgb(colors)
+    low = rgb <= 0.04045
+    return np.where(low, rgb / 12.92, np.power((rgb + 0.055) / 1.055, 2.4))
+
+
+def rgb_to_xyz(colors: ArrayLike) -> np.ndarray:
+    """sRGB triples in [0,1] -> CIE XYZ (D65)."""
+    return srgb_to_linear(colors) @ _RGB_TO_XYZ.T
+
+
+def xyz_to_lab(xyz: ArrayLike) -> np.ndarray:
+    """CIE XYZ (D65) -> CIE L*a*b*."""
+    arr = np.asarray(xyz, dtype=np.float64)
+    if arr.ndim == 1:
+        arr = arr.reshape(1, -1)
+    if arr.ndim != 2 or arr.shape[1] != 3:
+        raise DimensionMismatchError(f"expected (m, 3) XYZ array, got shape {arr.shape}")
+    ratio = arr / _WHITE_D65
+    big = ratio > _LAB_EPS
+    f = np.where(big, np.cbrt(ratio), (_LAB_KAPPA * ratio + 16.0) / 116.0)
+    lightness = 116.0 * f[:, 1] - 16.0
+    a = 500.0 * (f[:, 0] - f[:, 1])
+    b = 200.0 * (f[:, 1] - f[:, 2])
+    return np.column_stack([lightness, a, b])
+
+
+def rgb_to_lab(colors: ArrayLike) -> np.ndarray:
+    """sRGB triples in [0,1] -> CIE L*a*b* (the paper's prototype space)."""
+    return xyz_to_lab(rgb_to_xyz(_as_rgb(colors)))

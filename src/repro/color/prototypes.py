@@ -1,0 +1,58 @@
+"""Histogram bin color prototypes (paper Section 5.1).
+
+The testbed divides each of the R, G, B channels into ``b`` bins
+(``b = 8`` in the paper, hence ``8 * 8 * 8 = 512`` histogram bins) and
+assigns each bin the "color prototype" at its center,
+
+    ((R_min + R_max) / 2, (G_min + G_max) / 2, (B_min + B_max) / 2),
+
+which is then converted to CIE Lab.  The QFD matrix follows as
+``A_ij = 1 - d_ij / d_max`` with ``d_ij`` the Euclidean distance between the
+Lab prototypes — see :func:`repro.core.prototype_similarity_matrix`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..exceptions import MatrixError
+from .lab import rgb_to_lab
+
+__all__ = ["rgb_bin_prototypes", "lab_bin_prototypes", "bin_index"]
+
+
+def rgb_bin_prototypes(bins_per_channel: int) -> np.ndarray:
+    """Prototype RGB colors (bin centers) of the ``b^3`` histogram bins.
+
+    Returns an ``(b^3, 3)`` array in bin order ``index = r*b^2 + g*b + b_``,
+    each row the RGB center of a bin, components in [0, 1].
+    """
+    if bins_per_channel < 1:
+        raise MatrixError(f"bins_per_channel must be >= 1, got {bins_per_channel}")
+    b = bins_per_channel
+    centers = (np.arange(b) + 0.5) / b
+    r, g, bl = np.meshgrid(centers, centers, centers, indexing="ij")
+    return np.column_stack([r.ravel(), g.ravel(), bl.ravel()])
+
+
+def lab_bin_prototypes(bins_per_channel: int) -> np.ndarray:
+    """CIE Lab prototypes of the RGB histogram bins (the paper's choice)."""
+    return rgb_to_lab(rgb_bin_prototypes(bins_per_channel))
+
+
+def bin_index(colors: np.ndarray, bins_per_channel: int) -> np.ndarray:
+    """Histogram bin index of each RGB pixel (components in [0, 1]).
+
+    Vectorized over an ``(m, 3)`` pixel array; the component 1.0 falls into
+    the last bin.
+    """
+    if bins_per_channel < 1:
+        raise MatrixError(f"bins_per_channel must be >= 1, got {bins_per_channel}")
+    arr = np.asarray(colors, dtype=np.float64)
+    if arr.ndim == 1:
+        arr = arr.reshape(1, -1)
+    if arr.shape[-1] != 3:
+        raise MatrixError(f"expected RGB triples, got shape {arr.shape}")
+    b = bins_per_channel
+    idx = np.clip((arr * b).astype(np.int64), 0, b - 1)
+    return idx[:, 0] * b * b + idx[:, 1] * b + idx[:, 2]

@@ -1,0 +1,60 @@
+"""Core of the reproduction: QFD theory and the QMap transformation.
+
+This package implements the paper's primary contribution (Section 3):
+
+* :class:`~repro.core.qfd.QuadraticFormDistance` — the O(n^2) distance.
+* :class:`~repro.core.qmap.QMap` — the exact QFD-to-Euclidean map built from
+  the Cholesky factor of the QFD matrix.
+* :mod:`~repro.core.cholesky` — paper Algorithm 1 and its numpy twin.
+* :mod:`~repro.core.symmetrize` / :mod:`~repro.core.validation` — the WLOG
+  assumptions of Section 3.2.3 (symmetry, strict positive definiteness).
+* :mod:`~repro.core.matrices` — QFD matrix constructors, including the
+  Hafner prototype-similarity recipe used by the paper's testbed.
+"""
+
+from .cholesky import cholesky, cholesky_reference, is_lower_triangular
+from .geometry import EllipsoidAxes, qfd_ball_axes, sample_ball_boundary
+from .matrices import (
+    band_matrix,
+    diagonal_matrix,
+    gaussian_kernel_matrix,
+    identity_matrix,
+    laplacian_kernel_matrix,
+    prototype_similarity_matrix,
+    random_spd_matrix,
+)
+from .qfd import QuadraticFormDistance
+from .qmap import QMap
+from .symmetrize import is_symmetric, symmetrize
+from .validation import (
+    PDRepair,
+    ensure_positive_definite,
+    is_positive_definite,
+    min_eigenvalue,
+    require_positive_definite,
+)
+
+__all__ = [
+    "QuadraticFormDistance",
+    "QMap",
+    "cholesky",
+    "cholesky_reference",
+    "is_lower_triangular",
+    "symmetrize",
+    "is_symmetric",
+    "is_positive_definite",
+    "require_positive_definite",
+    "ensure_positive_definite",
+    "min_eigenvalue",
+    "PDRepair",
+    "identity_matrix",
+    "diagonal_matrix",
+    "prototype_similarity_matrix",
+    "gaussian_kernel_matrix",
+    "laplacian_kernel_matrix",
+    "band_matrix",
+    "random_spd_matrix",
+    "EllipsoidAxes",
+    "qfd_ball_axes",
+    "sample_ball_boundary",
+]

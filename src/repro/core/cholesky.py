@@ -1,0 +1,103 @@
+"""Cholesky decomposition of the QFD matrix (paper Section 3.2.2).
+
+The paper's Algorithm 1 computes, for a symmetric positive-definite matrix
+``A``, the unique lower-triangular matrix ``B`` with positive diagonal such
+that ``A = B B^T``.  Two implementations are provided:
+
+* :func:`cholesky_reference` — a line-for-line transcription of the paper's
+  Algorithm 1 (pure Python loops).  It is used in tests as the ground truth
+  for the numpy path and exposes exactly the paper's error behaviour.
+* :func:`cholesky` — the production path backed by LAPACK via numpy, with
+  the same error contract.
+
+Both raise :class:`~repro.exceptions.NotPositiveDefiniteError` when a pivot
+is non-positive, mirroring the ``"Matrix is not positive definite!"`` branch
+of Algorithm 1.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from .._typing import ArrayLike, Matrix, as_square_matrix
+from ..exceptions import NotPositiveDefiniteError, NotSymmetricError
+
+__all__ = ["cholesky", "cholesky_reference", "is_lower_triangular"]
+
+#: Relative tolerance used when verifying symmetry of the input matrix.
+_SYMMETRY_RTOL = 1e-9
+
+
+def _require_symmetric(a: Matrix, *, name: str) -> None:
+    """Raise :class:`NotSymmetricError` unless *a* is numerically symmetric."""
+    if not np.allclose(a, a.T, rtol=_SYMMETRY_RTOL, atol=1e-12):
+        raise NotSymmetricError(
+            f"{name} must be symmetric; use repro.core.symmetrize() first "
+            "(paper Section 3.2.3 shows this loses nothing)"
+        )
+
+
+def cholesky(a: ArrayLike, *, check_symmetry: bool = True) -> Matrix:
+    """Return the lower-triangular Cholesky factor ``B`` with ``B @ B.T == A``.
+
+    Parameters
+    ----------
+    a:
+        Symmetric positive-definite ``n x n`` matrix.
+    check_symmetry:
+        When true (default), reject non-symmetric input with
+        :class:`~repro.exceptions.NotSymmetricError` rather than silently
+        using only one triangle.
+
+    Raises
+    ------
+    NotPositiveDefiniteError
+        If *a* is not strictly positive-definite.
+    """
+    mat = as_square_matrix(a, name="QFD matrix")
+    if check_symmetry:
+        _require_symmetric(mat, name="QFD matrix")
+    try:
+        return np.linalg.cholesky(mat)
+    except np.linalg.LinAlgError as exc:
+        raise NotPositiveDefiniteError(
+            "Matrix is not positive definite!"
+        ) from exc
+
+
+def cholesky_reference(a: ArrayLike, *, check_symmetry: bool = True) -> Matrix:
+    """Paper Algorithm 1: pure-Python Cholesky decomposition.
+
+    This is a faithful transcription of the pseudo-code in Section 3.2.2,
+    kept as executable documentation and as the oracle for
+    :func:`cholesky`.  Complexity is O(n^3) like the paper states.
+    """
+    mat = as_square_matrix(a, name="QFD matrix")
+    if check_symmetry:
+        _require_symmetric(mat, name="QFD matrix")
+    n = mat.shape[0]
+    b = mat.copy()
+    for i in range(n):
+        for j in range(i, n):
+            total = b[i, j]
+            for k in range(i - 1, -1, -1):
+                total -= b[i, k] * b[j, k]
+            if i == j:
+                if total <= 0.0:
+                    raise NotPositiveDefiniteError("Matrix is not positive definite!")
+                b[i, i] = math.sqrt(total)
+            else:
+                b[j, i] = total / b[i, i]
+    # Algorithm 1 line 19: B.clearUpperTriangle()
+    return np.tril(b)
+
+
+def is_lower_triangular(b: ArrayLike, *, atol: float = 0.0) -> bool:
+    """Return whether *b* is lower-triangular (upper part within *atol* of 0)."""
+    mat = as_square_matrix(b, name="matrix")
+    upper = mat[np.triu_indices_from(mat, k=1)]
+    if upper.size == 0:
+        return True
+    return bool(np.max(np.abs(upper)) <= atol)

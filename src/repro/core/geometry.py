@@ -1,0 +1,110 @@
+"""The geometry of QFD balls (paper Figure 1, Section 3.1).
+
+A QFD ball ``{x : QFD_A(c, x) <= r}`` is an ellipsoid whose axes are the
+eigenvectors of ``A`` with semi-axis lengths ``r / sqrt(lambda_i)`` — all
+balls share one orientation because ``A`` is static.  The QMap transform
+is exactly the rotation-plus-scaling of Figure 1 that turns every such
+ellipsoid into a Euclidean ball of the *same radius*.
+
+These helpers compute the ellipsoid axes, sample points on a ball's
+boundary, and verify the sphere-image property — Figure 1 as executable
+code, used by tests and by anyone wanting to visualize the transform.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .._typing import ArrayLike, Matrix, Vector, as_vector
+from ..exceptions import QueryError
+from .qfd import QuadraticFormDistance
+
+__all__ = ["EllipsoidAxes", "qfd_ball_axes", "sample_ball_boundary"]
+
+
+@dataclass(frozen=True)
+class EllipsoidAxes:
+    """Principal axes of a QFD ball.
+
+    Attributes
+    ----------
+    directions:
+        ``(n, n)`` orthonormal matrix; column *i* is the i-th axis
+        direction (an eigenvector of ``A``).
+    lengths:
+        ``(n,)`` semi-axis lengths ``r / sqrt(lambda_i)``, sorted from
+        longest to shortest.
+    radius:
+        The QFD radius of the ball.
+    """
+
+    directions: Matrix
+    lengths: Vector
+    radius: float
+
+    @property
+    def eccentricity(self) -> float:
+        """Longest over shortest semi-axis (1 for a Euclidean ball)."""
+        return float(self.lengths[0] / self.lengths[-1])
+
+
+def qfd_ball_axes(qfd: QuadraticFormDistance | ArrayLike, radius: float) -> EllipsoidAxes:
+    """Principal axes of the QFD ball of the given *radius*.
+
+    Every point ``c + length_i * direction_i`` lies exactly on the ball
+    boundary; the identity matrix yields a sphere (all lengths = radius).
+    """
+    if not isinstance(qfd, QuadraticFormDistance):
+        qfd = QuadraticFormDistance(qfd)
+    if radius <= 0.0:
+        raise QueryError(f"radius must be positive, got {radius}")
+    eigenvalues, eigenvectors = np.linalg.eigh(qfd.matrix)
+    lengths = radius / np.sqrt(eigenvalues)
+    order = np.argsort(lengths)[::-1]
+    return EllipsoidAxes(
+        directions=eigenvectors[:, order],
+        lengths=lengths[order],
+        radius=float(radius),
+    )
+
+
+def sample_ball_boundary(
+    qfd: QuadraticFormDistance | ArrayLike,
+    center: ArrayLike,
+    radius: float,
+    n_points: int = 64,
+    *,
+    rng: np.random.Generator | None = None,
+) -> Matrix:
+    """Points with ``QFD(center, point) == radius`` exactly.
+
+    Sampling recipe: uniform directions on the Euclidean unit sphere,
+    pulled back through the inverse Cholesky factor so the quadratic form
+    evaluates to ``radius^2``.  Under the QMap transform these points land
+    on the Euclidean sphere of the same radius around the transformed
+    center — the testable content of Figure 1.
+    """
+    if not isinstance(qfd, QuadraticFormDistance):
+        qfd = QuadraticFormDistance(qfd)
+    if radius < 0.0:
+        raise QueryError(f"radius must be non-negative, got {radius}")
+    if n_points < 1:
+        raise QueryError(f"n_points must be >= 1, got {n_points}")
+    rng = np.random.default_rng(0) if rng is None else rng
+    c = as_vector(center, qfd.dim, name="center")
+    gauss = rng.standard_normal((n_points, qfd.dim))
+    norms = np.linalg.norm(gauss, axis=1, keepdims=True)
+    norms[norms == 0.0] = 1.0
+    sphere = gauss / norms  # uniform on the unit L2 sphere
+    # Want z with z A z^T = r^2. With A = B B^T take z = r * s B^{-1}
+    # (row convention: z B = r s, so |z B| = r).
+    import scipy.linalg
+
+    from .cholesky import cholesky
+
+    b = cholesky(qfd.matrix, check_symmetry=False)
+    # Solve z B = r s  <=>  B^T z^T = r s^T for each row.
+    z = scipy.linalg.solve_triangular(b.T, (radius * sphere).T, lower=False).T
+    return c + z

@@ -1,0 +1,113 @@
+"""The QMap model — homeomorphic QFD-to-Euclidean transformation (Section 3.3).
+
+Given the static QFD matrix ``A`` and its Cholesky factor ``B`` with
+``A = B B^T`` (Section 3.2.2), the paper derives
+
+    QFD_A(u, v)^2 = (u - v) B B^T (u - v)^T = (uB - vB)(uB - vB)^T
+                  = L2(uB, vB)^2
+
+so the linear map ``u -> uB`` carries the QFD space onto an equivalent
+Euclidean space with *exactly* preserved distances.  Databases transformed
+this way can be indexed by any unmodified metric (or spatial) access method,
+paying O(n) per distance instead of O(n^2).
+
+:class:`QMap` encapsulates the factorization and the forward/inverse maps.
+The transformation itself costs O(n^2) per vector (one matrix-to-vector
+product), which is why indexing a *sequential file* is the single case in
+Table 1 where the raw QFD model wins.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import scipy.linalg
+
+from .._typing import ArrayLike, Matrix, Vector, as_vector, as_vector_batch
+from .cholesky import cholesky
+from .qfd import QuadraticFormDistance
+
+__all__ = ["QMap"]
+
+
+class QMap:
+    """Transforms vectors from a QFD space to the equivalent Euclidean space.
+
+    Parameters
+    ----------
+    qfd:
+        The quadratic form distance to map, or a raw QFD matrix accepted by
+        :class:`~repro.core.qfd.QuadraticFormDistance`.
+
+    Examples
+    --------
+    >>> import numpy as np
+    >>> a = np.array([[1.0, 0.0, 0.0], [0.0, 1.0, 0.5], [0.0, 0.5, 1.0]])
+    >>> qmap = QMap(a)
+    >>> u, v = np.array([1.0, 0, 0]), np.array([0, 1.0, 0])
+    >>> l2 = np.linalg.norm(qmap.transform(u) - qmap.transform(v))
+    >>> bool(np.isclose(l2, qmap.qfd(u, v)))
+    True
+    """
+
+    def __init__(self, qfd: QuadraticFormDistance | ArrayLike) -> None:
+        if not isinstance(qfd, QuadraticFormDistance):
+            qfd = QuadraticFormDistance(qfd)
+        self._qfd = qfd
+        self._b = cholesky(qfd.matrix, check_symmetry=False)
+        self._b.setflags(write=False)
+
+    @property
+    def qfd(self) -> QuadraticFormDistance:
+        """The source quadratic form distance."""
+        return self._qfd
+
+    @property
+    def matrix(self) -> Matrix:
+        """The transformation matrix ``B`` (lower-triangular Cholesky factor)."""
+        return self._b
+
+    @property
+    def dim(self) -> int:
+        """Dimensionality of both the source and target spaces (``k = n``)."""
+        return self._qfd.dim
+
+    def transform(self, u: ArrayLike) -> Vector:
+        """Map one vector into the Euclidean space: ``u' = u B``  (O(n^2))."""
+        return as_vector(u, self.dim, name="u") @ self._b
+
+    def transform_batch(self, batch: ArrayLike) -> Matrix:
+        """Map a whole ``(m, n)`` database at once: ``U' = U B``."""
+        return as_vector_batch(batch, self.dim, name="batch") @ self._b
+
+    def inverse_transform(self, u_prime: ArrayLike) -> Vector:
+        """Map a Euclidean-space vector back to the QFD space.
+
+        ``B`` is lower-triangular with positive diagonal, hence invertible;
+        a triangular solve recovers ``u`` from ``u' = u B`` — the map is a
+        homeomorphism, as the paper's title transformation requires.
+        """
+        vec = as_vector(u_prime, self.dim, name="u_prime")
+        # u' = u B  <=>  B^T u^T = u'^T; B^T is upper-triangular.
+        return scipy.linalg.solve_triangular(self._b.T, vec, lower=False)
+
+    def inverse_transform_batch(self, batch: ArrayLike) -> Matrix:
+        """Inverse map for a batch of row vectors."""
+        rows = as_vector_batch(batch, self.dim, name="batch")
+        return scipy.linalg.solve_triangular(self._b.T, rows.T, lower=False).T
+
+    def euclidean(self, u_prime: ArrayLike, v_prime: ArrayLike) -> float:
+        """L2 distance in the target space (equals the source-space QFD)."""
+        a = as_vector(u_prime, self.dim, name="u_prime")
+        b = as_vector(v_prime, self.dim, name="v_prime")
+        return float(np.linalg.norm(a - b))
+
+    def distance_via_map(self, u: ArrayLike, v: ArrayLike) -> float:
+        """QFD computed the QMap way: transform both vectors, then L2.
+
+        Exposed for tests and didactic use; real deployments transform each
+        vector once at indexing time and never per-distance.
+        """
+        return self.euclidean(self.transform(u), self.transform(v))
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"QMap(dim={self.dim})"

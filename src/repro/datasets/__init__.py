@@ -1,0 +1,25 @@
+"""Dataset generators and benchmark workloads (Flickr substitute).
+
+See DESIGN.md Section 5 for the substitution rationale: synthetic clustered
+RGB histograms stand in for the paper's 1M Flickr images.
+"""
+
+from .synthetic import SyntheticImageCorpus, clustered_histograms, gaussian_vectors
+from .workloads import (
+    Workload,
+    calibrate_radius,
+    growing_prefixes,
+    histogram_workload,
+    vector_workload,
+)
+
+__all__ = [
+    "SyntheticImageCorpus",
+    "clustered_histograms",
+    "gaussian_vectors",
+    "Workload",
+    "histogram_workload",
+    "vector_workload",
+    "growing_prefixes",
+    "calibrate_radius",
+]

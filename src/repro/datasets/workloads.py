@@ -1,0 +1,175 @@
+"""Experiment workloads: database + held-out queries + QFD matrix.
+
+The paper's evaluation protocol (Section 5.1): index a growing database,
+then average query times over a set of query histograms that "were not
+indexed".  A :class:`Workload` bundles exactly those pieces, and the
+builders below produce the standard configurations used by the benches.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..color.prototypes import lab_bin_prototypes
+from ..core.matrices import prototype_similarity_matrix, random_spd_matrix
+from ..core.validation import PDRepair
+from ..exceptions import QueryError
+from .synthetic import clustered_histograms, gaussian_vectors
+
+__all__ = ["Workload", "histogram_workload", "vector_workload", "growing_prefixes"]
+
+
+@dataclass(frozen=True)
+class Workload:
+    """A benchmark workload.
+
+    Attributes
+    ----------
+    database:
+        ``(m, n)`` vectors to index.
+    queries:
+        ``(q, n)`` query vectors, disjoint from the database (the paper
+        keeps query histograms unindexed).
+    matrix:
+        The static QFD matrix ``A`` of the similarity model.
+    matrix_repair:
+        Positive-definiteness repair record for *matrix* (DESIGN.md §5);
+        ``shift == 0`` means the construction was already strictly PD.
+    name:
+        Human-readable tag used by bench reports.
+    """
+
+    database: np.ndarray
+    queries: np.ndarray
+    matrix: np.ndarray
+    matrix_repair: PDRepair
+    name: str
+
+    @property
+    def size(self) -> int:
+        """Number of database vectors ``m``."""
+        return self.database.shape[0]
+
+    @property
+    def dim(self) -> int:
+        """Vector dimensionality ``n``."""
+        return self.database.shape[1]
+
+    def prefix(self, m: int) -> "Workload":
+        """The same workload restricted to the first *m* database vectors.
+
+        Used for the paper's growing-database sweeps (Figures 2-7): all
+        sizes share one generation pass, so bigger databases are strict
+        supersets of smaller ones.
+        """
+        if not 1 <= m <= self.size:
+            raise QueryError(f"prefix size must be in [1, {self.size}], got {m}")
+        return Workload(
+            database=self.database[:m],
+            queries=self.queries,
+            matrix=self.matrix,
+            matrix_repair=self.matrix_repair,
+            name=f"{self.name}[:{m}]",
+        )
+
+
+def histogram_workload(
+    m: int,
+    n_queries: int,
+    *,
+    bins_per_channel: int = 4,
+    themes: int = 10,
+    seed: int = 0,
+) -> Workload:
+    """The paper's testbed, scaled: RGB histograms + Hafner Lab-prototype matrix.
+
+    ``bins_per_channel=8`` reproduces the 512-d setting exactly; the default
+    of 4 (64-d) keeps pure-Python sweeps tractable (DESIGN.md Section 5).
+    """
+    if m < 1 or n_queries < 1:
+        raise QueryError("m and n_queries must be >= 1")
+    rng = np.random.default_rng(seed)
+    data = clustered_histograms(m + n_queries, bins_per_channel, themes=themes, rng=rng)
+    repair = prototype_similarity_matrix(lab_bin_prototypes(bins_per_channel))
+    return Workload(
+        database=data[:m],
+        queries=data[m:],
+        matrix=repair.matrix,
+        matrix_repair=repair,
+        name=f"rgb-histograms(b={bins_per_channel}, n={bins_per_channel ** 3})",
+    )
+
+
+def vector_workload(
+    m: int,
+    n_queries: int,
+    dim: int,
+    *,
+    clusters: int = 8,
+    condition: float = 10.0,
+    seed: int = 0,
+) -> Workload:
+    """Generic clustered vectors under a random SPD matrix.
+
+    Used by dimensionality sweeps where ``n`` must vary freely rather than
+    being a cube of the bins-per-channel.
+    """
+    if m < 1 or n_queries < 1:
+        raise QueryError("m and n_queries must be >= 1")
+    rng = np.random.default_rng(seed)
+    data = gaussian_vectors(m + n_queries, dim, clusters=clusters, rng=rng)
+    matrix = random_spd_matrix(dim, rng=rng, condition=condition)
+    repair = PDRepair(matrix=matrix, shift=0.0, min_eigenvalue=float(np.linalg.eigvalsh(matrix)[0]))
+    return Workload(
+        database=data[:m],
+        queries=data[m:],
+        matrix=matrix,
+        matrix_repair=repair,
+        name=f"gaussian-vectors(n={dim})",
+    )
+
+
+def calibrate_radius(
+    workload: Workload,
+    target_results: int,
+    *,
+    sample_queries: int | None = None,
+) -> float:
+    """Radius whose range queries return about *target_results* objects.
+
+    Uses the exact QFD distances from (a sample of) the workload's queries
+    to the database, taking the mean ``target_results``-th smallest
+    distance.  Benches use this so range-query experiments run at a
+    controlled selectivity instead of a magic radius constant.
+    """
+    from ..core.qfd import QuadraticFormDistance
+
+    if not 1 <= target_results <= workload.size:
+        raise QueryError(
+            f"target_results must be in [1, {workload.size}], got {target_results}"
+        )
+    queries = workload.queries
+    if sample_queries is not None:
+        if sample_queries < 1:
+            raise QueryError("sample_queries must be >= 1")
+        queries = queries[:sample_queries]
+    qfd = QuadraticFormDistance(workload.matrix)
+    kth = []
+    for q in queries:
+        distances = qfd.one_to_many(q, workload.database)
+        kth.append(float(np.partition(distances, target_results - 1)[target_results - 1]))
+    return float(np.mean(kth))
+
+
+def growing_prefixes(workload: Workload, steps: int = 5) -> list[Workload]:
+    """Evenly spaced growing-database prefixes of *workload*.
+
+    Mirrors the paper's x-axes ("growing volumes of the indexed database");
+    the last prefix is always the full workload.
+    """
+    if steps < 1:
+        raise QueryError(f"steps must be >= 1, got {steps}")
+    sizes = np.unique(np.linspace(workload.size / steps, workload.size, steps).astype(int))
+    return [workload.prefix(int(s)) for s in sizes if s >= 1]

@@ -1,0 +1,50 @@
+"""Distance functions and distance-function plumbing.
+
+Covers everything the paper's Sections 1.1–1.2.1 discuss: the Minkowski
+family, the weighted Euclidean degenerate case, functional QFD forms, the
+dynamic signature QFD (SQFD), plus the evaluation-counting wrapper and an
+empirical metric-postulate checker used throughout the tests and benches.
+"""
+
+from .base import CountingDistance, DistanceFunction, DistanceStats
+from .metric_checks import MetricReport, MetricViolation, check_metric_postulates
+from .minkowski import (
+    MinkowskiDistance,
+    WeightedEuclidean,
+    chessboard,
+    euclidean,
+    euclidean_one_to_many,
+    manhattan,
+    minkowski,
+    weighted_euclidean,
+)
+from .quadratic import qfd, qfd_squared
+from .sqfd import (
+    FeatureSignature,
+    SignatureQuadraticFormDistance,
+    gaussian_similarity,
+    inverse_distance_similarity,
+)
+
+__all__ = [
+    "CountingDistance",
+    "DistanceFunction",
+    "DistanceStats",
+    "MetricReport",
+    "MetricViolation",
+    "check_metric_postulates",
+    "MinkowskiDistance",
+    "WeightedEuclidean",
+    "minkowski",
+    "manhattan",
+    "euclidean",
+    "chessboard",
+    "weighted_euclidean",
+    "euclidean_one_to_many",
+    "qfd",
+    "qfd_squared",
+    "FeatureSignature",
+    "SignatureQuadraticFormDistance",
+    "gaussian_similarity",
+    "inverse_distance_similarity",
+]

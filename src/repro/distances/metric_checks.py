@@ -1,0 +1,146 @@
+"""Empirical validation of metric postulates.
+
+MAMs require the black-box distance to be a metric (paper Section 2.2); the
+QFD qualifies exactly when its matrix is strictly positive-definite
+(Section 3.2.3).  This module samples object pairs/triples and checks the
+four postulates — non-negativity, identity of indiscernibles, symmetry and
+the triangle inequality — reporting every violation it finds.  It powers the
+property-based tests and is useful for vetting user-supplied distances.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Callable, Sequence
+
+import numpy as np
+
+from ..exceptions import QueryError
+
+__all__ = ["MetricViolation", "MetricReport", "check_metric_postulates"]
+
+#: Absolute slack allowed before a numeric discrepancy counts as a violation.
+_DEFAULT_TOLERANCE = 1e-9
+
+
+@dataclass(frozen=True)
+class MetricViolation:
+    """One observed violation of a metric postulate.
+
+    Attributes
+    ----------
+    postulate:
+        One of ``"non_negativity"``, ``"identity"``, ``"symmetry"``,
+        ``"triangle"``.
+    indices:
+        Indices of the objects involved (2 for pairwise postulates,
+        3 for the triangle inequality).
+    magnitude:
+        How far past the tolerance the violation went.
+    """
+
+    postulate: str
+    indices: tuple[int, ...]
+    magnitude: float
+
+
+@dataclass
+class MetricReport:
+    """Aggregated result of :func:`check_metric_postulates`."""
+
+    checked_pairs: int = 0
+    checked_triples: int = 0
+    violations: list[MetricViolation] = field(default_factory=list)
+
+    @property
+    def is_metric(self) -> bool:
+        """Whether no violation was observed on the sampled objects."""
+        return not self.violations
+
+    def worst(self) -> MetricViolation | None:
+        """The largest-magnitude violation, or ``None``."""
+        if not self.violations:
+            return None
+        return max(self.violations, key=lambda v: v.magnitude)
+
+
+def check_metric_postulates(
+    distance: Callable[[object, object], float],
+    objects: Sequence[object],
+    *,
+    max_triples: int = 2000,
+    tolerance: float = _DEFAULT_TOLERANCE,
+    rng: np.random.Generator | None = None,
+) -> MetricReport:
+    """Check metric postulates of *distance* over the given *objects*.
+
+    All pairs are checked for non-negativity, symmetry and identity (via
+    ``d(o, o) == 0``); triangle inequalities are sampled up to *max_triples*
+    triples to keep the cost cubic-free.
+
+    Parameters
+    ----------
+    distance:
+        The candidate metric.
+    objects:
+        At least two sample objects.
+    max_triples:
+        Cap on the number of triangle checks (sampled uniformly when the
+        full triple count exceeds it).
+    tolerance:
+        Numeric slack for floating-point noise.
+    rng:
+        Source of randomness for triple sampling.
+    """
+    if len(objects) < 2:
+        raise QueryError("need at least two objects to check metric postulates")
+    rng = np.random.default_rng(0) if rng is None else rng
+    report = MetricReport()
+    m = len(objects)
+
+    cache: dict[tuple[int, int], float] = {}
+
+    def dist(i: int, j: int) -> float:
+        key = (i, j) if i <= j else (j, i)
+        if key not in cache:
+            cache[key] = float(distance(objects[key[0]], objects[key[1]]))
+        return cache[key]
+
+    for i in range(m):
+        self_d = float(distance(objects[i], objects[i]))
+        if abs(self_d) > tolerance:
+            report.violations.append(
+                MetricViolation("identity", (i, i), abs(self_d) - tolerance)
+            )
+
+    for i, j in itertools.combinations(range(m), 2):
+        report.checked_pairs += 1
+        d_ij = float(distance(objects[i], objects[j]))
+        d_ji = float(distance(objects[j], objects[i]))
+        if d_ij < -tolerance:
+            report.violations.append(
+                MetricViolation("non_negativity", (i, j), -d_ij - tolerance)
+            )
+        if abs(d_ij - d_ji) > tolerance:
+            report.violations.append(
+                MetricViolation("symmetry", (i, j), abs(d_ij - d_ji) - tolerance)
+            )
+        cache[(i, j)] = d_ij
+
+    all_triples = m * (m - 1) * (m - 2) // 6
+    if all_triples <= max_triples:
+        triples = itertools.combinations(range(m), 3)
+    else:
+        picks = rng.integers(0, m, size=(max_triples, 3))
+        triples = (tuple(sorted(row)) for row in picks if len(set(row)) == 3)
+    for i, j, k in triples:
+        report.checked_triples += 1
+        d_ij, d_jk, d_ik = dist(i, j), dist(j, k), dist(i, k)
+        slack = tolerance * max(1.0, d_ij, d_jk, d_ik)
+        for lhs, a, b in ((d_ik, d_ij, d_jk), (d_ij, d_ik, d_jk), (d_jk, d_ij, d_ik)):
+            if lhs > a + b + slack:
+                report.violations.append(
+                    MetricViolation("triangle", (i, j, k), lhs - (a + b) - slack)
+                )
+    return report

@@ -1,0 +1,41 @@
+"""Functional forms of the quadratic form distance.
+
+The object-oriented entry point is
+:class:`repro.core.qfd.QuadraticFormDistance`; these free functions cover
+one-off evaluations where constructing (and validating) a distance object
+would be overkill, e.g. inside tests and the signature distance of
+:mod:`repro.distances.sqfd`, which must rebuild its matrix per pair.
+
+No positive-definiteness validation happens here — callers that need the
+metric guarantees should go through :mod:`repro.core`.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from .._typing import ArrayLike, as_square_matrix, as_vector
+from ..exceptions import DimensionMismatchError
+
+__all__ = ["qfd", "qfd_squared"]
+
+
+def qfd_squared(u: ArrayLike, v: ArrayLike, a: ArrayLike) -> float:
+    """Squared quadratic form ``(u - v) A (u - v)^T`` (clamped at zero)."""
+    mat = as_square_matrix(a, name="QFD matrix")
+    x = as_vector(u, name="u")
+    y = as_vector(v, x.shape[0], name="v")
+    if mat.shape[0] != x.shape[0]:
+        raise DimensionMismatchError(
+            f"matrix is {mat.shape[0]}x{mat.shape[0]} but vectors have "
+            f"dimensionality {x.shape[0]}"
+        )
+    z = x - y
+    return max(float(z @ mat @ z), 0.0)
+
+
+def qfd(u: ArrayLike, v: ArrayLike, a: ArrayLike) -> float:
+    """Quadratic form distance ``sqrt((u - v) A (u - v)^T)``."""
+    return math.sqrt(qfd_squared(u, v, a))

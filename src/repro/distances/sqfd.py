@@ -1,0 +1,175 @@
+"""Signature quadratic form distance — SQFD (paper Section 1.2.1).
+
+The SQFD of Beecks et al. generalizes the QFD from fixed-dimensionality
+histograms to *feature signatures*: variable-length sets of (centroid,
+weight) pairs.  Comparing signatures ``u`` and ``v`` concatenates their
+weights into ``(w_u | -w_v)`` and evaluates the usual quadratic form with a
+*dynamic* similarity matrix built from the union of both centroid sets:
+
+    SQFD(u, v) = sqrt((w_u | -w_v) A (w_u | -w_v)^T)
+
+Because ``A`` depends on the concrete pair of signatures, there is no static
+matrix to factor — the QMap transformation does not apply, which is part of
+the paper's "(not)" story: static matrices map to Euclidean space; dynamic
+ones keep their quadratic cost and invalidate MAM indexes built for a
+particular matrix.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+import numpy as np
+
+from .._typing import ArrayLike
+from ..exceptions import DimensionMismatchError, QueryError
+
+__all__ = [
+    "FeatureSignature",
+    "gaussian_similarity",
+    "inverse_distance_similarity",
+    "SignatureQuadraticFormDistance",
+]
+
+#: A similarity function over centroid matrices: f(X[(a,c)], Y[(b,c)]) -> (a, b).
+SimilarityFunction = Callable[[np.ndarray, np.ndarray], np.ndarray]
+
+
+@dataclass(frozen=True)
+class FeatureSignature:
+    """A feature signature: ``k`` centroids in R^c with positive weights.
+
+    Attributes
+    ----------
+    centroids:
+        ``(k, c)`` array of representative feature-space points.
+    weights:
+        ``(k,)`` array of strictly positive weights (typically cluster
+        sizes or normalized proportions).
+    """
+
+    centroids: np.ndarray
+    weights: np.ndarray
+
+    @staticmethod
+    def create(centroids: ArrayLike, weights: ArrayLike) -> "FeatureSignature":
+        """Validate and build a signature from array-likes."""
+        cents = np.asarray(centroids, dtype=np.float64)
+        w = np.asarray(weights, dtype=np.float64)
+        if cents.ndim != 2:
+            raise DimensionMismatchError(
+                f"centroids must be (k, c), got shape {cents.shape}"
+            )
+        if w.ndim != 1 or w.shape[0] != cents.shape[0]:
+            raise DimensionMismatchError(
+                f"weights must be (k,)={cents.shape[0]}, got shape {w.shape}"
+            )
+        if cents.shape[0] == 0:
+            raise QueryError("a signature needs at least one centroid")
+        if np.any(w <= 0.0):
+            raise QueryError("signature weights must be strictly positive")
+        cents = cents.copy()
+        w = w.copy()
+        cents.setflags(write=False)
+        w.setflags(write=False)
+        return FeatureSignature(centroids=cents, weights=w)
+
+    @property
+    def size(self) -> int:
+        """Number of centroids ``k`` (the signature's 'dimensionality')."""
+        return self.centroids.shape[0]
+
+    @property
+    def feature_dim(self) -> int:
+        """Dimensionality ``c`` of the underlying feature space."""
+        return self.centroids.shape[1]
+
+    def normalized(self) -> "FeatureSignature":
+        """Return a copy whose weights sum to one."""
+        return FeatureSignature.create(self.centroids, self.weights / self.weights.sum())
+
+
+def _pairwise_distances(x: np.ndarray, y: np.ndarray) -> np.ndarray:
+    diff = x[:, None, :] - y[None, :, :]
+    return np.sqrt(np.sum(diff * diff, axis=2))
+
+
+def gaussian_similarity(sigma: float = 1.0) -> SimilarityFunction:
+    """Similarity ``f(c_i, c_j) = exp(-d^2 / (2 sigma^2))`` (positive-definite)."""
+    if sigma <= 0.0:
+        raise QueryError(f"sigma must be positive, got {sigma}")
+
+    def func(x: np.ndarray, y: np.ndarray) -> np.ndarray:
+        d = _pairwise_distances(x, y)
+        return np.exp(-(d * d) / (2.0 * sigma * sigma))
+
+    return func
+
+
+def inverse_distance_similarity(alpha: float = 1.0) -> SimilarityFunction:
+    """Similarity ``f(c_i, c_j) = 1 / (1 + alpha d)`` (the Beecks default)."""
+    if alpha <= 0.0:
+        raise QueryError(f"alpha must be positive, got {alpha}")
+
+    def func(x: np.ndarray, y: np.ndarray) -> np.ndarray:
+        return 1.0 / (1.0 + alpha * _pairwise_distances(x, y))
+
+    return func
+
+
+class SignatureQuadraticFormDistance:
+    """The SQFD with a pluggable centroid-similarity function.
+
+    Parameters
+    ----------
+    similarity:
+        Function building similarity blocks between centroid sets; defaults
+        to :func:`gaussian_similarity` which guarantees a positive-definite
+        dynamic matrix (and therefore metric behaviour).
+
+    Examples
+    --------
+    >>> sig = FeatureSignature.create([[0.0, 0.0], [1.0, 1.0]], [0.5, 0.5])
+    >>> dist = SignatureQuadraticFormDistance()
+    >>> dist(sig, sig)
+    0.0
+    """
+
+    def __init__(self, similarity: SimilarityFunction | None = None) -> None:
+        self._similarity = similarity if similarity is not None else gaussian_similarity()
+
+    def __call__(self, u: FeatureSignature, v: FeatureSignature) -> float:
+        """SQFD between two signatures (O((k_u + k_v)^2) per evaluation)."""
+        if u.feature_dim != v.feature_dim:
+            raise DimensionMismatchError(
+                f"signatures live in different feature spaces "
+                f"({u.feature_dim} vs {v.feature_dim})"
+            )
+        w = np.concatenate([u.weights, -v.weights])
+        a = self.dynamic_matrix(u, v)
+        return float(np.sqrt(max(float(w @ a @ w), 0.0)))
+
+    def dynamic_matrix(self, u: FeatureSignature, v: FeatureSignature) -> np.ndarray:
+        """The per-pair QFD matrix over the concatenated centroid sets.
+
+        Exposed so tests (and curious readers) can confirm that the matrix
+        genuinely changes from pair to pair — the property that blocks a
+        static QMap factorization.
+        """
+        f = self._similarity
+        a_uu = f(u.centroids, u.centroids)
+        a_uv = f(u.centroids, v.centroids)
+        a_vv = f(v.centroids, v.centroids)
+        top = np.hstack([a_uu, a_uv])
+        bottom = np.hstack([a_uv.T, a_vv])
+        return np.vstack([top, bottom])
+
+    def pairwise(self, signatures: Sequence[FeatureSignature]) -> np.ndarray:
+        """Symmetric distance matrix over a sequence of signatures."""
+        m = len(signatures)
+        out = np.zeros((m, m), dtype=np.float64)
+        for i in range(m):
+            for j in range(i + 1, m):
+                out[i, j] = out[j, i] = self(signatures[i], signatures[j])
+        return out

@@ -1,0 +1,22 @@
+"""Dynamic QFD systems (paper Section 1.2.1) — the "(not)" side.
+
+MindReader-style relevance feedback changes the QFD matrix per query, and
+the signature quadratic form distance builds a fresh matrix per compared
+pair.  Both defeat a static QMap factorization and invalidate MAM indexes;
+this package implements them so the examples can demonstrate exactly that
+boundary of the paper's approach.
+"""
+
+from .mindreader import MindReaderEstimate, estimate_distance, matrix_changed
+from .session import FeedbackRound, RelevanceFeedbackSession
+from .signatures import extract_signature, kmeans
+
+__all__ = [
+    "MindReaderEstimate",
+    "estimate_distance",
+    "matrix_changed",
+    "extract_signature",
+    "kmeans",
+    "RelevanceFeedbackSession",
+    "FeedbackRound",
+]

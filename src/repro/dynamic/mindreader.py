@@ -1,0 +1,132 @@
+"""MindReader — dynamic QFD from relevance feedback (paper Section 1.2.1).
+
+Ishikawa, Subramanya & Faloutsos (the paper's reference [20]) infer the
+distance function a user has in mind from scored examples: given vectors
+``x_i`` with positive relevance scores ``pi_i``, the optimal query point is
+the score-weighted centroid and the optimal QFD matrix is (proportional to)
+the inverse of the score-weighted covariance — dimensions along which the
+relevant examples agree get high weight, correlated deviations are
+discounted via the off-diagonal terms.
+
+This is the paper's canonical example of a *dynamic* QFD matrix: it changes
+from query to query, so a MAM index built for one matrix is invalidated by
+the next round of feedback — the "(not)" side of the paper's title.
+:func:`matrix_changed` makes that staleness check explicit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .._typing import ArrayLike, as_vector, as_vector_batch
+from ..core.qfd import QuadraticFormDistance
+from ..exceptions import QueryError
+
+__all__ = ["MindReaderEstimate", "estimate_distance", "matrix_changed"]
+
+
+@dataclass(frozen=True)
+class MindReaderEstimate:
+    """Result of one MindReader feedback round.
+
+    Attributes
+    ----------
+    query_point:
+        The score-weighted centroid — the "ideal" query vector.
+    distance:
+        The inferred :class:`~repro.core.qfd.QuadraticFormDistance`.
+    regularization:
+        Diagonal term added to the covariance before inversion (0 when the
+        examples already span the space).
+    """
+
+    query_point: np.ndarray
+    distance: QuadraticFormDistance
+    regularization: float
+
+
+def estimate_distance(
+    examples: ArrayLike,
+    scores: ArrayLike,
+    *,
+    regularization: float = 1e-6,
+) -> MindReaderEstimate:
+    """Infer the user's implied query point and QFD matrix.
+
+    Parameters
+    ----------
+    examples:
+        ``(m, n)`` scored example vectors (``m >= 2``).
+    scores:
+        ``(m,)`` strictly positive relevance scores.
+    regularization:
+        Ridge term keeping the weighted covariance invertible when the
+        examples do not span the space (always needed for ``m <= n``).
+
+    Notes
+    -----
+    Following Ishikawa et al., the matrix is normalized to unit determinant
+    (``det(A) = 1``) so successive feedback rounds are comparable.
+    """
+    x = as_vector_batch(examples, name="examples")
+    pi = as_vector(scores, x.shape[0], name="scores")
+    if x.shape[0] < 2:
+        raise QueryError("MindReader needs at least two scored examples")
+    if np.any(pi <= 0.0):
+        raise QueryError("relevance scores must be strictly positive")
+    if regularization < 0.0:
+        raise QueryError("regularization must be non-negative")
+
+    total = pi.sum()
+    query_point = (pi @ x) / total
+    centered = x - query_point
+    cov = (centered.T * pi) @ centered / total
+    ridge = regularization
+    eye = np.eye(x.shape[1])
+    # Escalate the ridge until the covariance inverts to a PD matrix.
+    for _ in range(60):
+        try:
+            matrix = np.linalg.inv(cov + ridge * eye)
+            matrix = (matrix + matrix.T) / 2.0
+            if np.all(np.linalg.eigvalsh(matrix) > 0.0):
+                break
+        except np.linalg.LinAlgError:
+            pass
+        ridge = max(ridge * 10.0, 1e-12)
+    else:  # pragma: no cover - 60 decades of ridge always suffice
+        raise QueryError("could not regularize the weighted covariance")
+
+    # det-normalization (Ishikawa et al.): scale so det(A) = 1.
+    sign, logdet = np.linalg.slogdet(matrix)
+    if sign <= 0:  # pragma: no cover - PD implies positive determinant
+        raise QueryError("inferred matrix is not positive-definite")
+    matrix = matrix * np.exp(-logdet / x.shape[1])
+    return MindReaderEstimate(
+        query_point=query_point,
+        distance=QuadraticFormDistance(matrix),
+        regularization=ridge,
+    )
+
+
+def matrix_changed(
+    indexed: QuadraticFormDistance | ArrayLike,
+    current: QuadraticFormDistance | ArrayLike,
+    *,
+    rtol: float = 1e-9,
+    atol: float = 1e-12,
+) -> bool:
+    """Whether a MAM index built under *indexed* is stale under *current*.
+
+    "Changing the QFD matrix A would result in a different distance
+    function than the one used for indexing.  Such a change would require a
+    reorganization of the metric index" (paper Section 2.2).  Callers
+    should rebuild (or re-transform, in the QMap model) when this returns
+    true.
+    """
+    a = indexed.matrix if isinstance(indexed, QuadraticFormDistance) else np.asarray(indexed)
+    b = current.matrix if isinstance(current, QuadraticFormDistance) else np.asarray(current)
+    if a.shape != b.shape:
+        return True
+    return not np.allclose(a, b, rtol=rtol, atol=atol)

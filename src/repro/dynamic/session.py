@@ -1,0 +1,143 @@
+"""A full relevance-feedback retrieval session (MindReader + index policy).
+
+Ties together the pieces the paper's Sections 1.2.1 and 2.2 discuss but no
+single prior module owns: a user iteratively scores results, MindReader
+refits the QFD matrix and query point, and the session decides what to do
+with the now-stale index.  Two maintenance policies are provided:
+
+* ``"qmap"`` — re-factor the new matrix and re-transform the database
+  (O(n^3 + m n^2) arithmetic, **no** distance computations), then rebuild
+  the chosen MAM over Euclidean vectors at O(n) per distance;
+* ``"qfd"`` — rebuild the MAM directly under the new QFD at O(n^2) per
+  distance (the configuration the paper advises against).
+
+The session records the maintenance cost of every round, making the
+trade-off measurable — see ``examples/relevance_feedback.py``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from .._typing import ArrayLike, as_vector_batch
+from ..exceptions import QueryError
+from ..mam.base import Neighbor
+from ..models import BuiltIndex, QFDModel, QMapModel
+from .mindreader import estimate_distance, matrix_changed
+
+__all__ = ["FeedbackRound", "RelevanceFeedbackSession"]
+
+
+@dataclass(frozen=True)
+class FeedbackRound:
+    """Record of one feedback round's retrieval and maintenance cost."""
+
+    round_no: int
+    results: list[Neighbor]
+    matrix_was_stale: bool
+    maintenance_seconds: float
+    maintenance_distances: int
+    maintenance_transforms: int
+
+
+@dataclass
+class RelevanceFeedbackSession:
+    """Iterative QFD retrieval driven by user relevance scores.
+
+    Parameters
+    ----------
+    database:
+        ``(m, n)`` searchable vectors.
+    method:
+        Registered access method name to (re)build each round.
+    model:
+        ``"qmap"`` (default) or ``"qfd"`` — the index maintenance policy.
+    method_kwargs:
+        Forwarded to the access method constructor.
+    """
+
+    database: np.ndarray
+    method: str = "pivot-table"
+    model: str = "qmap"
+    method_kwargs: dict = field(default_factory=dict)
+    _matrix: np.ndarray | None = None
+    _index: BuiltIndex | None = None
+    _history: list[FeedbackRound] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        self.database = as_vector_batch(self.database, name="database")
+        if self.model not in ("qmap", "qfd"):
+            raise QueryError(f"model must be 'qmap' or 'qfd', got {self.model!r}")
+        if self._matrix is None:
+            self._matrix = np.eye(self.database.shape[1])
+
+    @property
+    def matrix(self) -> np.ndarray:
+        """The current QFD matrix (starts at identity = plain Euclidean)."""
+        assert self._matrix is not None
+        return self._matrix
+
+    @property
+    def history(self) -> list[FeedbackRound]:
+        """Per-round records, in order."""
+        return list(self._history)
+
+    def _rebuild(self) -> tuple[BuiltIndex, float, int, int]:
+        import time
+
+        model_cls = QMapModel if self.model == "qmap" else QFDModel
+        start = time.perf_counter()
+        index = model_cls(self.matrix).build_index(
+            self.method, self.database, **self.method_kwargs
+        )
+        elapsed = time.perf_counter() - start
+        return (
+            index,
+            elapsed,
+            index.build_costs.distance_computations,
+            index.build_costs.transforms,
+        )
+
+    def search(self, query: ArrayLike, k: int = 10) -> list[Neighbor]:
+        """kNN under the current matrix, (re)building the index if stale."""
+        stale = self._index is None or matrix_changed(
+            self._index_matrix, self.matrix
+        )
+        seconds = distances = transforms = 0
+        if stale:
+            self._index, seconds, distances, transforms = self._rebuild()
+            self._index_matrix = self.matrix.copy()
+        results = self._index.knn_search(query, k)
+        self._history.append(
+            FeedbackRound(
+                round_no=len(self._history) + 1,
+                results=results,
+                matrix_was_stale=bool(stale),
+                maintenance_seconds=float(seconds),
+                maintenance_distances=int(distances),
+                maintenance_transforms=int(transforms),
+            )
+        )
+        return results
+
+    def feedback(self, example_indices: ArrayLike, scores: ArrayLike) -> np.ndarray:
+        """Incorporate user scores; returns the new optimal query point.
+
+        Refits the MindReader estimate over the referenced database rows
+        and installs the inferred matrix (invalidating the index for the
+        next :meth:`search`).
+        """
+        idx = np.asarray(example_indices, dtype=np.int64)
+        if idx.ndim != 1 or idx.size < 2:
+            raise QueryError("feedback needs at least two scored examples")
+        if idx.min(initial=0) < 0 or idx.max(initial=0) >= self.database.shape[0]:
+            raise QueryError("feedback indices out of database range")
+        estimate = estimate_distance(self.database[idx], scores)
+        self._matrix = estimate.distance.matrix
+        return estimate.query_point
+
+    def total_maintenance_seconds(self) -> float:
+        """Index maintenance time summed over all rounds."""
+        return sum(r.maintenance_seconds for r in self._history)

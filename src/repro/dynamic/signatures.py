@@ -1,0 +1,119 @@
+"""Feature-signature extraction for the SQFD (paper Section 1.2.1).
+
+Beecks et al. (the paper's reference [5]) replace fixed histograms by
+*feature signatures*: per-image sets of cluster centroids with weights,
+obtained by clustering the image's pixels in a feature space (here color,
+optionally augmented with position).  Signatures of different images have
+different lengths and different centroids — which is why the SQFD needs a
+dynamic matrix and why the QMap transformation does not apply to it.
+
+The clustering is a small, dependency-free k-means (Lloyd's algorithm with
+k-means++ seeding) implemented over numpy.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..distances.sqfd import FeatureSignature
+from ..exceptions import DimensionMismatchError, QueryError
+
+__all__ = ["kmeans", "extract_signature"]
+
+
+def kmeans(
+    points: np.ndarray,
+    k: int,
+    *,
+    max_iter: int = 50,
+    rng: np.random.Generator | None = None,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Lloyd's k-means with k-means++ seeding.
+
+    Returns ``(centroids, labels)``.  Empty clusters are re-seeded on the
+    farthest point, so exactly ``k`` centroids come back whenever the data
+    has at least ``k`` distinct points (fewer otherwise).
+    """
+    data = np.asarray(points, dtype=np.float64)
+    if data.ndim != 2:
+        raise DimensionMismatchError(f"points must be (m, c), got shape {data.shape}")
+    m = data.shape[0]
+    if not 1 <= k <= m:
+        raise QueryError(f"k must be in [1, {m}], got {k}")
+    rng = np.random.default_rng(0) if rng is None else rng
+
+    # k-means++ seeding.
+    centroids = [data[rng.integers(0, m)]]
+    closest_sq = np.sum((data - centroids[0]) ** 2, axis=1)
+    while len(centroids) < k:
+        total = closest_sq.sum()
+        if total <= 0.0:
+            break  # fewer than k distinct points
+        probs = closest_sq / total
+        centroids.append(data[rng.choice(m, p=probs)])
+        dist_sq = np.sum((data - centroids[-1]) ** 2, axis=1)
+        closest_sq = np.minimum(closest_sq, dist_sq)
+    centers = np.array(centroids)
+
+    labels = np.zeros(m, dtype=np.int64)
+    for _ in range(max_iter):
+        diff = data[:, None, :] - centers[None, :, :]
+        dist_sq = np.sum(diff * diff, axis=2)
+        new_labels = np.argmin(dist_sq, axis=1)
+        if np.array_equal(new_labels, labels) and _ > 0:
+            break
+        labels = new_labels
+        for j in range(centers.shape[0]):
+            members = data[labels == j]
+            if members.shape[0] > 0:
+                centers[j] = members.mean(axis=0)
+            else:
+                # Re-seed an empty cluster on the farthest point.
+                farthest = int(np.argmax(np.min(dist_sq, axis=1)))
+                centers[j] = data[farthest]
+    return centers, labels
+
+
+def extract_signature(
+    image: np.ndarray,
+    n_clusters: int = 8,
+    *,
+    include_position: bool = True,
+    max_pixels: int = 2048,
+    rng: np.random.Generator | None = None,
+) -> FeatureSignature:
+    """Cluster an image's pixels into a feature signature.
+
+    Parameters
+    ----------
+    image:
+        ``(h, w, 3)`` RGB array with components in [0, 1].
+    n_clusters:
+        Target signature size (actual size can be smaller for flat images).
+    include_position:
+        Append normalized (x, y) to each pixel's feature (the common
+        7-dimensional variant uses Lab + position; we use RGB + position).
+    max_pixels:
+        Subsample cap keeping extraction fast on large images.
+    rng:
+        Randomness for subsampling and seeding.
+    """
+    arr = np.asarray(image, dtype=np.float64)
+    if arr.ndim != 3 or arr.shape[2] != 3:
+        raise DimensionMismatchError(f"expected (h, w, 3) image, got shape {arr.shape}")
+    rng = np.random.default_rng(0) if rng is None else rng
+    h, w = arr.shape[:2]
+    ys, xs = np.meshgrid(np.arange(h), np.arange(w), indexing="ij")
+    features = arr.reshape(-1, 3)
+    if include_position:
+        pos = np.column_stack([xs.ravel() / max(w - 1, 1), ys.ravel() / max(h - 1, 1)])
+        features = np.column_stack([features, pos])
+    if features.shape[0] > max_pixels:
+        picks = rng.choice(features.shape[0], size=max_pixels, replace=False)
+        features = features[picks]
+    k = min(n_clusters, features.shape[0])
+    centers, labels = kmeans(features, k, rng=rng)
+    counts = np.bincount(labels, minlength=centers.shape[0]).astype(np.float64)
+    keep = counts > 0
+    weights = counts[keep] / counts.sum()
+    return FeatureSignature.create(centers[keep], weights)

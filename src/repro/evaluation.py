@@ -1,0 +1,99 @@
+"""Result-quality metrics for approximate similarity search.
+
+Exact metric search (the paper's setting) admits no false dismissals; the
+approximate variants (e.g. :class:`~repro.mam.mtree.MTree` with
+``epsilon > 0``, in the spirit of the paper's reference [27]) trade recall
+for fewer distance evaluations.  This module quantifies that trade-off:
+
+* **recall@k** — fraction of the true k nearest neighbors retrieved;
+* **relative distance error** — how much farther the reported kth neighbor
+  is than the true kth;
+* **rank displacement** — average true rank of the reported objects minus
+  the ideal rank.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from .exceptions import QueryError
+from .mam.base import Neighbor
+
+__all__ = ["ApproximationQuality", "compare_results", "mean_quality"]
+
+
+@dataclass(frozen=True)
+class ApproximationQuality:
+    """Quality of one approximate kNN answer against the exact answer."""
+
+    recall: float
+    relative_error: float
+    rank_displacement: float
+
+    @property
+    def is_exact(self) -> bool:
+        """Whether the approximate answer matches the exact one entirely."""
+        return self.recall == 1.0 and self.relative_error == 0.0
+
+
+def compare_results(
+    exact: Sequence[Neighbor],
+    approximate: Sequence[Neighbor],
+    *,
+    full_ranking: Sequence[Neighbor] | None = None,
+) -> ApproximationQuality:
+    """Score one approximate kNN result list against the exact one.
+
+    Parameters
+    ----------
+    exact:
+        The true k nearest neighbors (sorted).
+    approximate:
+        The approximate answer (sorted, same k).
+    full_ranking:
+        Optional longer exact ranking used to compute rank displacement for
+        reported objects beyond the top k; objects not found in it are
+        assigned one past its end.
+    """
+    if not exact:
+        raise QueryError("exact result list must not be empty")
+    if len(approximate) > len(exact):
+        raise QueryError("approximate answer longer than the exact one")
+    exact_ids = [n.index for n in exact]
+    exact_set = set(exact_ids)
+    hits = sum(1 for n in approximate if n.index in exact_set)
+    recall = hits / len(exact)
+
+    true_kth = exact[-1].distance
+    got_kth = approximate[-1].distance if approximate else float("inf")
+    if true_kth == 0.0:
+        relative_error = 0.0 if got_kth == 0.0 else float("inf")
+    else:
+        relative_error = max(got_kth / true_kth - 1.0, 0.0)
+
+    ranking_ids = [n.index for n in (full_ranking or exact)]
+    rank_of = {idx: pos for pos, idx in enumerate(ranking_ids)}
+    fallback = len(ranking_ids)
+    displacement = 0.0
+    for ideal_pos, neighbor in enumerate(approximate):
+        displacement += max(rank_of.get(neighbor.index, fallback) - ideal_pos, 0)
+    rank_displacement = displacement / max(len(approximate), 1)
+
+    return ApproximationQuality(
+        recall=recall,
+        relative_error=relative_error,
+        rank_displacement=rank_displacement,
+    )
+
+
+def mean_quality(qualities: Sequence[ApproximationQuality]) -> ApproximationQuality:
+    """Average a batch of per-query quality records."""
+    if not qualities:
+        raise QueryError("no quality records to average")
+    n = len(qualities)
+    return ApproximationQuality(
+        recall=sum(q.recall for q in qualities) / n,
+        relative_error=sum(q.relative_error for q in qualities) / n,
+        rank_displacement=sum(q.rank_displacement for q in qualities) / n,
+    )

@@ -1,0 +1,77 @@
+"""Exception hierarchy for the :mod:`repro` library.
+
+Every error raised by the library derives from :class:`ReproError`, so
+callers can catch a single base class.  Specific subclasses mirror the
+distinct failure modes of the paper's pipeline: bad QFD matrices, shape
+mismatches between vectors and matrices, misuse of index structures and
+storage-layer faults.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "MatrixError",
+    "NotPositiveDefiniteError",
+    "NotSymmetricError",
+    "DimensionMismatchError",
+    "IndexStateError",
+    "EmptyIndexError",
+    "QueryError",
+    "StorageError",
+    "PageError",
+]
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by :mod:`repro`."""
+
+
+class MatrixError(ReproError, ValueError):
+    """A QFD matrix is malformed (wrong shape, dtype, or content)."""
+
+
+class NotPositiveDefiniteError(MatrixError):
+    """The QFD matrix is not strictly positive-definite.
+
+    Raised by the Cholesky decomposition (Algorithm 1 of the paper) when a
+    pivot becomes non-positive, which is exactly the paper's
+    ``"Matrix is not positive definite!"`` error branch.
+    """
+
+
+class NotSymmetricError(MatrixError):
+    """A matrix required to be symmetric is not.
+
+    Section 3.2.3 of the paper shows any general QFD matrix can be replaced
+    by an equivalent symmetric one; code paths that require the caller to
+    have done so raise this error instead of silently symmetrizing.
+    """
+
+
+class DimensionMismatchError(ReproError, ValueError):
+    """Vector/matrix dimensionalities do not agree."""
+
+
+class IndexStateError(ReproError, RuntimeError):
+    """An index operation was issued in an invalid state.
+
+    Examples: querying an unbuilt pivot table, inserting into a frozen
+    index, or re-building an already built structure.
+    """
+
+
+class EmptyIndexError(IndexStateError):
+    """A query was issued against an index that contains no objects."""
+
+
+class QueryError(ReproError, ValueError):
+    """A similarity query is malformed (negative radius, k < 1, ...)."""
+
+
+class StorageError(ReproError, IOError):
+    """The paged-storage substrate failed."""
+
+
+class PageError(StorageError):
+    """A page id is out of range or a page payload is malformed."""

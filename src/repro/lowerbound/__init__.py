@@ -1,0 +1,21 @@
+"""Lower-bounding baselines the paper compares against (Section 2.3.1).
+
+Rank-k SVD reduction (Hafner / Seidl–Kriegel style), the generalized QBIC
+average-color projection bound, and the sequential filter-and-refine search
+they plug into.  All are exact (contractive bounds admit false positives,
+never false dismissals); their cost drawback versus QMap is measured by
+bench E_A1.
+"""
+
+from .avg_color import ProjectionBound, average_color_bound
+from .filter_refine import ContractiveBound, FilterRefineScan, FilterRefineStats
+from .svd_reduction import SVDReduction
+
+__all__ = [
+    "SVDReduction",
+    "ProjectionBound",
+    "average_color_bound",
+    "FilterRefineScan",
+    "FilterRefineStats",
+    "ContractiveBound",
+]

@@ -1,0 +1,154 @@
+"""Filter-and-refine search over a contractive bound (paper Section 2.3.1).
+
+The QBIC-era methods ([14], [18]) run no index at all: a sequential scan
+over the *reduced* representations filters with the cheap lower bound, and
+only the surviving candidates are refined with the expensive exact QFD.
+The search is exact (contraction means no false dismissals) but pays one
+exact distance per false positive — the cost that grows as the reduction
+gets more aggressive.
+
+:class:`FilterRefineScan` works with any bound object exposing
+``transform_batch`` / ``transform`` / ``lower_bound_one_to_many`` and an
+exact ``qfd`` — i.e. :class:`~repro.lowerbound.svd_reduction.SVDReduction`
+and :class:`~repro.lowerbound.avg_color.ProjectionBound`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Protocol
+
+import numpy as np
+
+from .._typing import ArrayLike, as_vector, as_vector_batch
+from ..core.qfd import QuadraticFormDistance
+from ..exceptions import EmptyIndexError, QueryError
+from ..mam.base import Neighbor, _KnnHeap
+
+__all__ = ["ContractiveBound", "FilterRefineScan", "FilterRefineStats"]
+
+
+class ContractiveBound(Protocol):
+    """The interface shared by SVDReduction and ProjectionBound."""
+
+    @property
+    def qfd(self) -> QuadraticFormDistance: ...
+
+    @property
+    def source_dim(self) -> int: ...
+
+    def transform(self, u: ArrayLike) -> np.ndarray: ...
+
+    def transform_batch(self, batch: ArrayLike) -> np.ndarray: ...
+
+    def lower_bound_one_to_many(
+        self, q_reduced: ArrayLike, batch_reduced: ArrayLike
+    ) -> np.ndarray: ...
+
+
+@dataclass(frozen=True)
+class FilterRefineStats:
+    """Cost breakdown of one filter-and-refine query.
+
+    Attributes
+    ----------
+    candidates:
+        Objects that survived the lower-bound filter (exact QFD paid).
+    hits:
+        Objects in the final answer.
+    database_size:
+        Total objects scanned by the filter.
+    """
+
+    candidates: int
+    hits: int
+    database_size: int
+
+    @property
+    def false_positives(self) -> int:
+        """Candidates refuted by the exact distance."""
+        return self.candidates - self.hits
+
+    @property
+    def candidate_ratio(self) -> float:
+        """Fraction of the database needing exact refinement."""
+        return self.candidates / self.database_size
+
+
+class FilterRefineScan:
+    """Sequential filter-and-refine search in a reduced QFD space.
+
+    Parameters
+    ----------
+    database:
+        ``(m, n)`` histograms in the *source* space.
+    bound:
+        A contractive bound (SVD reduction or projection bound).
+    """
+
+    def __init__(self, database: ArrayLike, bound: ContractiveBound) -> None:
+        data = as_vector_batch(database, bound.source_dim, name="database")
+        if data.shape[0] == 0:
+            raise EmptyIndexError("cannot search an empty database")
+        self._data = data
+        self._bound = bound
+        self._reduced = bound.transform_batch(data)
+        self._last_stats: FilterRefineStats | None = None
+
+    @property
+    def size(self) -> int:
+        """Number of database objects."""
+        return self._data.shape[0]
+
+    @property
+    def bound(self) -> ContractiveBound:
+        """The contractive bound in use."""
+        return self._bound
+
+    @property
+    def last_stats(self) -> FilterRefineStats | None:
+        """Cost breakdown of the most recent query."""
+        return self._last_stats
+
+    def range_search(self, query: ArrayLike, radius: float) -> list[Neighbor]:
+        """Exact range query via filter-and-refine."""
+        if radius < 0.0:
+            raise QueryError(f"radius must be non-negative, got {radius}")
+        q = as_vector(query, self._bound.source_dim, name="query")
+        q_reduced = self._bound.transform(q)
+        bounds = self._bound.lower_bound_one_to_many(q_reduced, self._reduced)
+        candidates = np.flatnonzero(bounds <= radius)
+        exact = self._bound.qfd
+        out = []
+        for idx in candidates:
+            dist = exact(q, self._data[idx])
+            if dist <= radius:
+                out.append(Neighbor(float(dist), int(idx)))
+        out.sort()
+        self._last_stats = FilterRefineStats(
+            candidates=int(candidates.size), hits=len(out), database_size=self.size
+        )
+        return out
+
+    def knn_search(self, query: ArrayLike, k: int) -> list[Neighbor]:
+        """Exact kNN via ascending-lower-bound refinement."""
+        if k < 1:
+            raise QueryError(f"k must be >= 1, got {k}")
+        k = min(k, self.size)
+        q = as_vector(query, self._bound.source_dim, name="query")
+        q_reduced = self._bound.transform(q)
+        bounds = self._bound.lower_bound_one_to_many(q_reduced, self._reduced)
+        order = np.argsort(bounds, kind="stable")
+        exact = self._bound.qfd
+        heap = _KnnHeap(k)
+        refined = 0
+        for idx in order:
+            if bounds[idx] > heap.radius:
+                break
+            heap.offer(exact(q, self._data[idx]), int(idx))
+            refined += 1
+        result = heap.neighbors()
+        self._last_stats = FilterRefineStats(
+            candidates=refined, hits=len(result), database_size=self.size
+        )
+        return result

@@ -1,0 +1,38 @@
+"""Metric access methods (paper Sections 2.2 and 4).
+
+All indexes treat the (vector space, distance) pair as a black-box metric
+space: only distances are used for building and querying, never the raw
+coordinates.  Included are the paper's three analyzed representatives —
+sequential file, pivot tables (LAESA), M-tree — plus the vp-tree and GNAT
+that Section 2.2 lists among the representative MAMs.
+"""
+
+from .base import AccessMethod, DistancePort, Neighbor, neighbors_from_distances
+from .gnat import GNAT
+from .mindex import MIndex
+from .mtree import SPLIT_POLICIES, MTree
+from .paged_mtree import PagedMTree
+from .pivot_table import PivotTable
+from .pivots import PIVOT_METHODS, select_pivots
+from .sat import SATree
+from .sequential import DiskSequentialFile, SequentialFile
+from .vptree import VPTree
+
+__all__ = [
+    "AccessMethod",
+    "DistancePort",
+    "Neighbor",
+    "neighbors_from_distances",
+    "SequentialFile",
+    "DiskSequentialFile",
+    "PivotTable",
+    "MTree",
+    "PagedMTree",
+    "SPLIT_POLICIES",
+    "MIndex",
+    "SATree",
+    "VPTree",
+    "GNAT",
+    "select_pivots",
+    "PIVOT_METHODS",
+]

@@ -1,0 +1,237 @@
+"""Common interfaces of the access methods (paper Sections 2 and 4).
+
+All indexes in :mod:`repro.mam` and :mod:`repro.sam` implement
+:class:`AccessMethod`: they are built over an ``(m, n)`` database of row
+vectors plus a black-box distance function, and answer the paper's two
+query types —
+
+* **range query** ``(q, rad)``: all objects within distance ``rad`` of ``q``;
+* **kNN query** ``(q, k)``: the ``k`` nearest objects.
+
+Results are :class:`Neighbor` records ordered by distance (ties broken by
+index) so that every method's answer can be compared bit-for-bit with the
+sequential scan in the correctness tests.
+
+The distance is always accessed through :class:`DistancePort`, which
+understands plain callables as well as
+:class:`~repro.distances.base.CountingDistance` wrappers and optional
+vectorized one-to-many forms.  The evaluation counters behind that port are
+the cost measure of the complexity experiments (Tables 1 and 2).
+"""
+
+from __future__ import annotations
+
+import heapq
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+import numpy as np
+
+from .._typing import ArrayLike, as_vector, as_vector_batch
+from ..exceptions import EmptyIndexError, IndexStateError, QueryError
+
+__all__ = ["Neighbor", "DistancePort", "AccessMethod", "neighbors_from_distances"]
+
+
+@dataclass(frozen=True, order=True)
+class Neighbor:
+    """One query answer: the object's distance and database index.
+
+    Ordering is by ``(distance, index)``, the deterministic convention all
+    access methods share.
+    """
+
+    distance: float
+    index: int
+
+
+class DistancePort:
+    """Uniform access to a distance function, scalar or vectorized.
+
+    Parameters
+    ----------
+    func:
+        ``d(u, v) -> float``.  If the object also has ``one_to_many``
+        (e.g. :class:`~repro.distances.base.CountingDistance`), that method
+        is used for batched evaluations; otherwise *one_to_many* is used
+        when supplied, else a Python loop.
+    one_to_many:
+        Optional vectorized ``d1m(q, rows) -> ndarray`` fallback.
+
+    Notes
+    -----
+    Batched evaluation counts one logical distance computation per row —
+    the same cost model the paper uses, where vectorization changes
+    constants but not the number of distances.
+    """
+
+    def __init__(
+        self,
+        func: Callable[[np.ndarray, np.ndarray], float],
+        *,
+        one_to_many: Callable[[np.ndarray, np.ndarray], np.ndarray] | None = None,
+    ) -> None:
+        self._func = func
+        bound = getattr(func, "one_to_many", None)
+        self._one_to_many = bound if callable(bound) else one_to_many
+
+    def pair(self, u: np.ndarray, v: np.ndarray) -> float:
+        """One distance evaluation."""
+        return float(self._func(u, v))
+
+    def many(self, q: np.ndarray, rows: np.ndarray) -> np.ndarray:
+        """Distances from *q* to every row of *rows*."""
+        if rows.shape[0] == 0:
+            return np.empty(0, dtype=np.float64)
+        if self._one_to_many is not None:
+            return np.asarray(self._one_to_many(q, rows), dtype=np.float64)
+        return np.array([self._func(q, row) for row in rows], dtype=np.float64)
+
+    @property
+    def raw(self) -> Callable[[np.ndarray, np.ndarray], float]:
+        """The wrapped scalar distance function."""
+        return self._func
+
+
+def neighbors_from_distances(
+    distances: ArrayLike, indices: Sequence[int] | np.ndarray | None = None
+) -> list[Neighbor]:
+    """Sorted :class:`Neighbor` list from parallel distance/index arrays."""
+    dist = np.asarray(distances, dtype=np.float64)
+    if indices is None:
+        idx: Sequence[int] = range(dist.shape[0])
+    else:
+        idx = list(indices)
+    out = [Neighbor(float(d), int(i)) for d, i in zip(dist, idx)]
+    out.sort()
+    return out
+
+
+class AccessMethod(ABC):
+    """Base class for all metric/spatial access methods.
+
+    Subclasses receive the database and the distance at construction,
+    perform any build work there (or via dynamic inserts), and implement
+    :meth:`_range_search` / :meth:`_knn_search`.  Argument validation and
+    result-ordering guarantees live here so every index behaves uniformly.
+    """
+
+    def __init__(self, database: ArrayLike, distance: DistancePort | Callable) -> None:
+        data = as_vector_batch(database, name="database")
+        if data.shape[0] == 0:
+            raise EmptyIndexError("cannot build an index over an empty database")
+        self._data = data
+        self._port = distance if isinstance(distance, DistancePort) else DistancePort(distance)
+
+    @property
+    def database(self) -> np.ndarray:
+        """The indexed ``(m, n)`` database (row order = object index)."""
+        return self._data
+
+    @property
+    def size(self) -> int:
+        """Number of indexed objects ``m``."""
+        return self._data.shape[0]
+
+    @property
+    def dim(self) -> int:
+        """Vector dimensionality ``n``."""
+        return self._data.shape[1]
+
+    @property
+    def distance(self) -> DistancePort:
+        """The distance port used for every evaluation."""
+        return self._port
+
+    def range_search(self, query: ArrayLike, radius: float) -> list[Neighbor]:
+        """All objects within *radius* of *query*, sorted by distance."""
+        q = as_vector(query, self.dim, name="query")
+        if radius < 0.0:
+            raise QueryError(f"radius must be non-negative, got {radius}")
+        result = self._range_search(q, float(radius))
+        result.sort()
+        return result
+
+    def knn_search(self, query: ArrayLike, k: int) -> list[Neighbor]:
+        """The *k* nearest objects (fewer only if the database is smaller)."""
+        q = as_vector(query, self.dim, name="query")
+        if k < 1:
+            raise QueryError(f"k must be >= 1, got {k}")
+        result = self._knn_search(q, min(k, self.size))
+        result.sort()
+        return result
+
+    def insert(self, vector: ArrayLike) -> int:
+        """Dynamically insert one object, returning its new index.
+
+        The paper's Section 6: the QMap model "allows similarity searching
+        in dynamically changing databases without any distortion" — unlike
+        the database-dependent SVD/KLT reductions of Section 2.3.1, whose
+        embeddings degrade as the database drifts.  Every access method in
+        this library therefore supports dynamic inserts; structures
+        designed around static builds (vp-tree, GNAT, VA-file) absorb new
+        objects into existing regions, which keeps queries exact at the
+        cost of gradually looser partitions.
+        """
+        v = as_vector(vector, self.dim, name="vector")
+        index = self.size
+        self._data = np.vstack([self._data, v.reshape(1, -1)])
+        self._register_insert(index, self._data[index])
+        return index
+
+    def _register_insert(self, index: int, vector: np.ndarray) -> None:
+        """Subclass hook updating the structure for a freshly stored row."""
+        raise IndexStateError(
+            f"{type(self).__name__} does not support dynamic inserts"
+        )
+
+    @abstractmethod
+    def _range_search(self, query: np.ndarray, radius: float) -> list[Neighbor]:
+        """Subclass hook; may return results unsorted."""
+
+    @abstractmethod
+    def _knn_search(self, query: np.ndarray, k: int) -> list[Neighbor]:
+        """Subclass hook; may return results unsorted."""
+
+
+class _KnnHeap:
+    """Bounded max-heap of the current k best neighbors.
+
+    Shared helper for best-first kNN algorithms: keeps the k smallest
+    distances seen, exposes the current pruning radius, and resolves
+    distance ties by preferring smaller indices so results are
+    deterministic.
+    """
+
+    def __init__(self, k: int) -> None:
+        if k < 1:
+            raise QueryError(f"k must be >= 1, got {k}")
+        self._k = k
+        # Max-heap via negated distance; tie-break prefers *larger* index
+        # for eviction, i.e. keeps smaller indices.
+        self._heap: list[tuple[float, int]] = []
+
+    def offer(self, distance: float, index: int) -> None:
+        """Consider an object for the top-k."""
+        item = (-distance, -index)
+        if len(self._heap) < self._k:
+            heapq.heappush(self._heap, item)
+        elif item > self._heap[0]:
+            heapq.heapreplace(self._heap, item)
+
+    @property
+    def radius(self) -> float:
+        """Current kth-best distance (inf while the heap is not full)."""
+        if len(self._heap) < self._k:
+            return float("inf")
+        return -self._heap[0][0]
+
+    def neighbors(self) -> list[Neighbor]:
+        """The collected neighbors, sorted."""
+        out = [Neighbor(-d, -i) for d, i in self._heap]
+        out.sort()
+        return out
+
+    def __len__(self) -> int:
+        return len(self._heap)

@@ -1,0 +1,200 @@
+"""GNAT — Geometric Near-neighbor Access Tree (Brin), paper Section 2.2.
+
+Each node selects ``arity`` split points (farthest-first, like the original
+paper) and assigns every remaining object to its closest split point.  For
+each ordered pair of split points ``(i, j)`` the node stores the *range*
+``[min, max]`` of ``d(p_i, o)`` over the objects of group ``j``.  At query
+time, after computing ``d(q, p_i)``, any group ``j`` whose range cannot
+intersect ``[d - r, d + r]`` is discarded without touching its objects.
+
+kNN is implemented best-first over nodes with the group lower bounds as
+priorities, shrinking the dynamic radius exactly like the M-tree search.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Callable
+
+import numpy as np
+
+from .._typing import ArrayLike
+from ..exceptions import QueryError
+from .base import AccessMethod, DistancePort, Neighbor, _KnnHeap
+
+__all__ = ["GNAT"]
+
+
+class _GnatNode:
+    __slots__ = ("split_indices", "children", "ranges", "bucket")
+
+    def __init__(self) -> None:
+        self.split_indices: list[int] = []
+        self.children: list["_GnatNode"] = []
+        # ranges[i][j] = (lo, hi) of d(split_i, members of child j).
+        self.ranges: np.ndarray | None = None
+        self.bucket: list[int] | None = None
+
+
+class GNAT(AccessMethod):
+    """Geometric near-neighbor access tree.
+
+    Parameters
+    ----------
+    database:
+        ``(m, n)`` rows to index.
+    distance:
+        Black-box metric (port or plain callable).
+    arity:
+        Split points per node.
+    leaf_size:
+        Threshold below which a node keeps a scanned bucket.
+    rng:
+        Randomness for the first split point.
+    """
+
+    def __init__(
+        self,
+        database: ArrayLike,
+        distance: DistancePort | Callable,
+        *,
+        arity: int = 8,
+        leaf_size: int = 16,
+        rng: np.random.Generator | None = None,
+    ) -> None:
+        if arity < 2:
+            raise QueryError(f"arity must be >= 2, got {arity}")
+        if leaf_size < 1:
+            raise QueryError(f"leaf_size must be >= 1, got {leaf_size}")
+        super().__init__(database, distance)
+        self._arity = arity
+        self._leaf_size = leaf_size
+        self._rng = np.random.default_rng(0) if rng is None else rng
+        self._root = self._build(list(range(self.size)))
+
+    def _build(self, indices: list[int]) -> _GnatNode:
+        node = _GnatNode()
+        if len(indices) <= max(self._leaf_size, self._arity):
+            node.bucket = indices
+            return node
+        splits = self._pick_splits(indices)
+        node.split_indices = splits
+        rest = [i for i in indices if i not in set(splits)]
+        rest_rows = self._data[rest]
+        # d_matrix[s] = distances from split s to every remaining object.
+        d_matrix = np.array(
+            [self._port.many(self._data[s], rest_rows) for s in splits]
+        )
+        owner = np.argmin(d_matrix, axis=0)
+        arity = len(splits)
+        groups: list[list[int]] = [[] for _ in range(arity)]
+        for pos, obj in enumerate(rest):
+            groups[owner[pos]].append(obj)
+        # Split points are reported at this node (queries always compute
+        # d(q, p_i)), so children hold only their group members and the
+        # ranges cover exactly those members.  Empty groups get the empty
+        # range [inf, -inf], which no query interval can intersect.
+        ranges = np.zeros((arity, arity, 2), dtype=np.float64)
+        for j in range(arity):
+            member_pos = np.flatnonzero(owner == j)
+            for i in range(arity):
+                d_members = d_matrix[i][member_pos]
+                lo = float(d_members.min(initial=np.inf))
+                hi = float(d_members.max(initial=-np.inf))
+                ranges[i, j] = (lo, hi)
+        node.ranges = ranges
+        node.children = [self._build(groups[j]) for j in range(arity)]
+        return node
+
+    def _pick_splits(self, indices: list[int]) -> list[int]:
+        """Farthest-first split points, as in Brin's construction."""
+        arity = min(self._arity, len(indices))
+        first = indices[int(self._rng.integers(0, len(indices)))]
+        splits = [first]
+        rows = self._data[indices]
+        min_dist = self._port.many(self._data[first], rows)
+        while len(splits) < arity:
+            pick = int(np.argmax(min_dist))
+            candidate = indices[pick]
+            if candidate in splits:
+                remaining = [i for i in indices if i not in splits]
+                if not remaining:
+                    break
+                candidate = remaining[0]
+            splits.append(candidate)
+            min_dist = np.minimum(min_dist, self._port.many(self._data[candidate], rows))
+        return splits
+
+    def _register_insert(self, index: int, vector: np.ndarray) -> None:
+        """Route the new object to its nearest split point's subtree.
+
+        The ranges ``[min, max] of d(p_i, group_j)`` along the descent path
+        are widened to cover the newcomer, so the pruning tests remain
+        sound; queries stay exact.
+        """
+        node = self._root
+        while node.bucket is None:
+            dists = self._port.many(vector, self._data[node.split_indices])
+            owner = int(np.argmin(dists))
+            for i in range(len(node.split_indices)):
+                lo, hi = node.ranges[i, owner]  # type: ignore[index]
+                node.ranges[i, owner] = (  # type: ignore[index]
+                    min(lo, float(dists[i])),
+                    max(hi, float(dists[i])),
+                )
+            node = node.children[owner]
+        node.bucket.append(index)
+
+    def _range_search(self, query: np.ndarray, radius: float) -> list[Neighbor]:
+        out: list[Neighbor] = []
+        stack = [self._root]
+        while stack:
+            node = stack.pop()
+            if node.bucket is not None:
+                dists = self._port.many(query, self._data[node.bucket])
+                for idx, dist in zip(node.bucket, dists):
+                    if dist <= radius:
+                        out.append(Neighbor(float(dist), int(idx)))
+                continue
+            alive = np.ones(len(node.children), dtype=bool)
+            for i, split in enumerate(node.split_indices):
+                if not alive.any():
+                    break
+                d = self._port.pair(query, self._data[split])
+                if d <= radius:
+                    out.append(Neighbor(float(d), int(split)))
+                lows = node.ranges[i, :, 0]  # type: ignore[index]
+                highs = node.ranges[i, :, 1]  # type: ignore[index]
+                alive &= (d - radius <= highs) & (d + radius >= lows)
+            for j in np.flatnonzero(alive):
+                stack.append(node.children[j])
+        return out
+
+    def _knn_search(self, query: np.ndarray, k: int) -> list[Neighbor]:
+        heap = _KnnHeap(k)
+        counter = itertools.count()
+        queue: list[tuple[float, int, _GnatNode]] = [(0.0, next(counter), self._root)]
+        while queue:
+            dmin, _, node = heapq.heappop(queue)
+            if dmin > heap.radius:
+                break
+            if node.bucket is not None:
+                dists = self._port.many(query, self._data[node.bucket])
+                for idx, dist in zip(node.bucket, dists):
+                    heap.offer(float(dist), int(idx))
+                continue
+            arity = len(node.children)
+            lower = np.zeros(arity, dtype=np.float64)
+            for i, split in enumerate(node.split_indices):
+                d = self._port.pair(query, self._data[split])
+                heap.offer(float(d), int(split))
+                lows = node.ranges[i, :, 0]  # type: ignore[index]
+                highs = node.ranges[i, :, 1]  # type: ignore[index]
+                lower = np.maximum(lower, np.maximum(lows - d, d - highs))
+            tau = heap.radius
+            for j in range(arity):
+                child_dmin = max(float(lower[j]), 0.0)
+                if child_dmin <= tau:
+                    heapq.heappush(queue, (child_dmin, next(counter), node.children[j]))
+        return heap.neighbors()

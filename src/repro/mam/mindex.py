@@ -1,0 +1,162 @@
+"""M-index (Novak & Batko) — simplified single-level variant.
+
+Paper Section 2.2 lists the M-index among the representative MAMs.  The
+structure combines pivot clustering with iDistance-style scalar keys:
+
+* each object is assigned to the *cluster* of its nearest pivot;
+* within a cluster, objects are ordered by their distance to the cluster
+  pivot (the scalar key), enabling interval scans;
+* the full object-to-pivot distance table is kept for LAESA-style
+  filtering of interval candidates.
+
+A range query ``(q, r)`` visits, per cluster ``i``, only the key interval
+``[d(q, p_i) - r, d(q, p_i) + r]`` (a binary search), then filters the
+interval candidates with the pivot-table L∞ lower bound before any exact
+distance is paid.  kNN runs the classic iterative strategy: range queries
+with a growing radius until the kth neighbor is provably inside.
+"""
+
+from __future__ import annotations
+
+import bisect
+from typing import Callable, Sequence
+
+import numpy as np
+
+from .._typing import ArrayLike
+from ..exceptions import QueryError
+from .base import AccessMethod, DistancePort, Neighbor
+from .pivots import select_pivots
+
+__all__ = ["MIndex"]
+
+
+class MIndex(AccessMethod):
+    """Single-level M-index over a black-box metric.
+
+    Parameters
+    ----------
+    database:
+        ``(m, n)`` rows to index.
+    distance:
+        Black-box metric (port or plain callable).
+    n_pivots:
+        Number of pivots (= clusters).
+    pivot_method:
+        Pivot selection technique (see :mod:`repro.mam.pivots`).
+    rng:
+        Randomness for pivot selection.
+    growth:
+        Radius multiplier of the iterative kNN strategy (> 1).
+    """
+
+    def __init__(
+        self,
+        database: ArrayLike,
+        distance: DistancePort | Callable,
+        *,
+        n_pivots: int = 16,
+        pivot_method: str = "maxmin",
+        rng: np.random.Generator | None = None,
+        growth: float = 2.0,
+    ) -> None:
+        super().__init__(database, distance)
+        if growth <= 1.0:
+            raise QueryError(f"radius growth factor must exceed 1, got {growth}")
+        self._growth = growth
+        n_pivots = min(n_pivots, self.size)
+        self._pivot_indices = select_pivots(
+            self._data, n_pivots, self._port, method=pivot_method, rng=rng
+        )
+        self._pivot_rows = self._data[self._pivot_indices]
+        columns = [self._port.many(self._data[j], self._data) for j in self._pivot_indices]
+        self._table = np.column_stack(columns)  # (m, p)
+        self._assign_clusters()
+
+    def _assign_clusters(self) -> None:
+        owner = np.argmin(self._table, axis=1)
+        keys = self._table[np.arange(self.size), owner]
+        p = len(self._pivot_indices)
+        self._cluster_keys: list[np.ndarray] = []
+        self._cluster_members: list[np.ndarray] = []
+        for cluster in range(p):
+            members = np.flatnonzero(owner == cluster)
+            order = np.argsort(keys[members], kind="stable")
+            self._cluster_members.append(members[order])
+            self._cluster_keys.append(keys[members][order])
+
+    @property
+    def n_pivots(self) -> int:
+        """Number of pivots (= clusters)."""
+        return len(self._pivot_indices)
+
+    @property
+    def pivot_indices(self) -> list[int]:
+        """Database indices of the pivots."""
+        return list(self._pivot_indices)
+
+    def cluster_sizes(self) -> list[int]:
+        """Objects per cluster (diagnostic)."""
+        return [int(members.size) for members in self._cluster_members]
+
+    def _register_insert(self, index: int, vector: np.ndarray) -> None:
+        """Route the new object to its nearest pivot's cluster."""
+        row = self._port.many(vector, self._pivot_rows)
+        self._table = np.vstack([self._table, row.reshape(1, -1)])
+        cluster = int(np.argmin(row))
+        key = float(row[cluster])
+        pos = bisect.bisect_left(self._cluster_keys[cluster].tolist(), key)
+        self._cluster_keys[cluster] = np.insert(self._cluster_keys[cluster], pos, key)
+        self._cluster_members[cluster] = np.insert(
+            self._cluster_members[cluster], pos, index
+        )
+
+    def _candidates(self, query_vector: np.ndarray, radius: float) -> np.ndarray:
+        """Interval-scan + pivot-filter candidates for a range query."""
+        out: list[np.ndarray] = []
+        for cluster in range(self.n_pivots):
+            keys = self._cluster_keys[cluster]
+            if keys.size == 0:
+                continue
+            center = query_vector[cluster]
+            lo = np.searchsorted(keys, center - radius, side="left")
+            hi = np.searchsorted(keys, center + radius, side="right")
+            if lo >= hi:
+                continue
+            members = self._cluster_members[cluster][lo:hi]
+            # LAESA filter over the full pivot table.
+            lb = np.max(np.abs(self._table[members] - query_vector), axis=1)
+            out.append(members[lb <= radius])
+        if not out:
+            return np.empty(0, dtype=np.int64)
+        return np.concatenate(out)
+
+    def _range_search(self, query: np.ndarray, radius: float) -> list[Neighbor]:
+        query_vector = self._port.many(query, self._pivot_rows)
+        candidates = self._candidates(query_vector, radius)
+        result: list[Neighbor] = []
+        if candidates.size == 0:
+            return result
+        distances = self._port.many(query, self._data[candidates])
+        for idx, dist in zip(candidates, distances):
+            if dist <= radius:
+                result.append(Neighbor(float(dist), int(idx)))
+        return result
+
+    def _knn_search(self, query: np.ndarray, k: int) -> list[Neighbor]:
+        query_vector = self._port.many(query, self._pivot_rows)
+        # Initial radius guess: the key gap around the query in its nearest
+        # cluster — cheap and usually within one growth step of the answer.
+        radius = max(float(query_vector.min(initial=1.0)), 1e-12)
+        seen: dict[int, float] = {}
+        while True:
+            candidates = self._candidates(query_vector, radius)
+            fresh = [int(i) for i in candidates if int(i) not in seen]
+            if fresh:
+                distances = self._port.many(query, self._data[fresh])
+                for idx, dist in zip(fresh, distances):
+                    seen[idx] = float(dist)
+            ranked = sorted((d, i) for i, d in seen.items())
+            if len(ranked) >= k and ranked[k - 1][0] <= radius:
+                return [Neighbor(d, i) for d, i in ranked[:k]]
+            radius *= self._growth

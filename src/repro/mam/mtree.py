@@ -1,0 +1,542 @@
+"""The M-tree (Ciaccia, Patella & Zezula — paper reference [13], Section 4.3).
+
+A dynamic, balanced, hierarchical metric index.  Selected objects act as
+*routing objects* (local pivots) of ball-shaped regions; the remaining
+objects are partitioned among the regions.  Insertion descends like a
+B-tree (O(log m) distance computations per object plus splits, hence
+O(m log m) to build), and queries traverse only the nodes whose ball
+overlaps the query region.
+
+Implemented features:
+
+* dynamic inserts with the classic subtree-choice heuristic (prefer a
+  region that needs no enlargement, minimum distance; otherwise minimum
+  enlargement),
+* node splits with promotion policies ``mM_RAD`` (minimize the larger of
+  the two new covering radii — the policy recommended by the original
+  paper) and ``random``, both with generalized-hyperplane partitioning,
+* distance-to-parent pruning: the stored ``d(o, parent)`` values let both
+  query algorithms discard entries *without* computing any distance, the
+  key saving counted by the experiments,
+* range search and best-first kNN search.
+
+Every distance evaluation — during build and during queries — is charged
+to the :class:`~repro.mam.base.DistancePort`, making the index usable for
+the paper's cost accounting in both the QFD and the QMap model.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Callable
+
+import numpy as np
+
+from .._typing import ArrayLike
+from ..exceptions import QueryError
+from .base import AccessMethod, DistancePort, Neighbor, _KnnHeap
+
+__all__ = ["MTree", "SPLIT_POLICIES"]
+
+SPLIT_POLICIES = ("mM_RAD", "random")
+
+#: Cap on candidate promotion pairs examined by the mM_RAD policy; beyond
+#: this many pairs a random sample is scored instead of all of them.
+_MAX_PROMOTION_PAIRS = 64
+
+
+class _Entry:
+    """One node slot: a leaf object or a routing object with a subtree."""
+
+    __slots__ = ("vector", "index", "radius", "dist_to_parent", "subtree")
+
+    def __init__(
+        self,
+        vector: np.ndarray,
+        *,
+        index: int = -1,
+        radius: float = 0.0,
+        dist_to_parent: float = 0.0,
+        subtree: "_Node | None" = None,
+    ) -> None:
+        self.vector = vector
+        self.index = index
+        self.radius = radius
+        self.dist_to_parent = dist_to_parent
+        self.subtree = subtree
+
+
+class _Node:
+    """An M-tree node holding up to ``capacity`` entries."""
+
+    __slots__ = ("entries", "is_leaf")
+
+    def __init__(self, is_leaf: bool) -> None:
+        self.entries: list[_Entry] = []
+        self.is_leaf = is_leaf
+
+
+class MTree(AccessMethod):
+    """In-memory M-tree over a black-box metric.
+
+    Parameters
+    ----------
+    database:
+        ``(m, n)`` rows, inserted dynamically one by one (the paper builds
+        its M-tree "by dynamic insertions in the same way as B-tree").
+    distance:
+        Black-box metric (port or plain callable).
+    capacity:
+        Maximum entries per node (>= 2).
+    split_policy:
+        ``"mM_RAD"`` (default) or ``"random"``.
+    epsilon:
+        Relative-error relaxation for kNN queries: with ``epsilon > 0``
+        subtrees are pruned whenever they cannot contain an object closer
+        than ``tau / (1 + epsilon)``, so every reported distance is within
+        a factor ``(1 + epsilon)`` of the true kth distance while visiting
+        fewer nodes — the classic approximate best-first trade-off
+        (cf. the paper's reference [27]).  ``0`` (default) is exact.
+    rng:
+        Randomness for the random split policy and promotion sampling.
+    """
+
+    def __init__(
+        self,
+        database: ArrayLike,
+        distance: DistancePort | Callable,
+        *,
+        capacity: int = 16,
+        split_policy: str = "mM_RAD",
+        bulk_load: bool = False,
+        epsilon: float = 0.0,
+        rng: np.random.Generator | None = None,
+    ) -> None:
+        if capacity < 2:
+            raise QueryError(f"node capacity must be >= 2, got {capacity}")
+        if split_policy not in SPLIT_POLICIES:
+            raise QueryError(
+                f"unknown split policy {split_policy!r}; choose from {SPLIT_POLICIES}"
+            )
+        if epsilon < 0.0:
+            raise QueryError(f"epsilon must be non-negative, got {epsilon}")
+        super().__init__(database, distance)
+        self._capacity = capacity
+        self._split_policy = split_policy
+        self._epsilon = epsilon
+        self._rng = np.random.default_rng(0) if rng is None else rng
+        if bulk_load:
+            self._root, _, _ = self._bulk_build(list(range(self.size)))
+        else:
+            self._root = _Node(is_leaf=True)
+            for i, row in enumerate(self._data):
+                self._insert(row, i)
+
+    # ------------------------------------------------------------------
+    # bulk loading (Ciaccia & Patella style, simplified)
+    # ------------------------------------------------------------------
+
+    def _medoid(self, rows: np.ndarray) -> int:
+        """Position of the row minimizing the maximum distance to the rest."""
+        best_pos, best_score = 0, float("inf")
+        for pos in range(rows.shape[0]):
+            score = float(self._port.many(rows[pos], rows).max(initial=0.0))
+            if score < best_score:
+                best_pos, best_score = pos, score
+        return best_pos
+
+    def _bulk_build(self, indices: list[int]) -> tuple[_Node, np.ndarray, float]:
+        """Recursive bulk build.
+
+        Returns ``(node, routing_vector, covering_radius)`` for the built
+        subtree.  Seeds are sampled, objects are clustered to their nearest
+        seed, and subtrees are built per cluster — the classic recipe,
+        trading strict height balance (which search correctness never
+        needed) for tight clusters from the start.
+        """
+        rows = self._data[indices]
+        if len(indices) <= self._capacity:
+            node = _Node(is_leaf=True)
+            medoid = self._medoid(rows)
+            dists = self._port.many(rows[medoid], rows)
+            for pos, obj in enumerate(indices):
+                node.entries.append(
+                    _Entry(self._data[obj], index=obj, dist_to_parent=float(dists[pos]))
+                )
+            return node, rows[medoid], float(dists.max(initial=0.0))
+
+        n_seeds = min(self._capacity, len(indices))
+        seed_positions = self._rng.choice(len(indices), size=n_seeds, replace=False)
+        seed_rows = rows[seed_positions]
+        dist_matrix = np.array([self._port.many(s, rows) for s in seed_rows])
+        owner = np.argmin(dist_matrix, axis=0)
+        # Coincident seeds can dump every object into one cluster — no
+        # progress, infinite recursion.  Chunk arbitrarily instead: with
+        # (near-)identical objects any partition is equally tight.
+        largest = int(np.bincount(owner, minlength=n_seeds).max())
+        if largest == len(indices):
+            chunks = [
+                indices[start : start + self._capacity]
+                for start in range(0, len(indices), self._capacity)
+            ]
+            node = _Node(is_leaf=False)
+            child_info = []
+            for chunk in chunks:
+                child, routing_vec, radius = self._bulk_build(chunk)
+                child_info.append((child, routing_vec, radius))
+                node.entries.append(_Entry(routing_vec, radius=radius, subtree=child))
+            routing_rows = np.array([vec for _, vec, _ in child_info])
+            medoid = self._medoid(routing_rows)
+            dists = self._port.many(routing_rows[medoid], routing_rows)
+            radius = 0.0
+            for entry, dist in zip(node.entries, dists):
+                entry.dist_to_parent = float(dist)
+                radius = max(radius, float(dist) + entry.radius)
+            return node, routing_rows[medoid], radius
+        # Every seed owns at least itself, but a cluster can still collapse
+        # when seeds coincide; drop empty groups.
+        node = _Node(is_leaf=False)
+        child_info = []
+        for group_id in range(n_seeds):
+            members = [indices[pos] for pos in np.flatnonzero(owner == group_id)]
+            if not members:
+                continue
+            child, routing_vec, radius = self._bulk_build(members)
+            child_info.append((child, routing_vec, radius))
+            node.entries.append(_Entry(routing_vec, radius=radius, subtree=child))
+        if len(node.entries) == 1:
+            # Degenerate clustering (all seeds equal): fall back to the
+            # only child as this subtree.
+            only = node.entries[0]
+            return only.subtree, only.vector, only.radius  # type: ignore[return-value]
+        routing_rows = np.array([vec for _, vec, _ in child_info])
+        medoid = self._medoid(routing_rows)
+        dists = self._port.many(routing_rows[medoid], routing_rows)
+        radius = 0.0
+        for entry, dist in zip(node.entries, dists):
+            entry.dist_to_parent = float(dist)
+            radius = max(radius, float(dist) + entry.radius)
+        return node, routing_rows[medoid], radius
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+
+    def _insert(self, vector: np.ndarray, index: int) -> None:
+        path: list[tuple[_Node, _Entry]] = []  # (node, chosen routing entry)
+        node = self._root
+        descent_distance = 0.0
+        while not node.is_leaf:
+            entry, descent_distance = self._choose_subtree(node, vector)
+            path.append((node, entry))
+            node = entry.subtree  # type: ignore[assignment]
+        node.entries.append(
+            _Entry(vector, index=index, dist_to_parent=descent_distance)
+        )
+        if len(node.entries) > self._capacity:
+            self._split(node, path)
+
+    def _choose_subtree(self, node: _Node, vector: np.ndarray) -> tuple[_Entry, float]:
+        """Pick the routing entry to descend into, enlarging its radius if needed."""
+        rows = np.array([e.vector for e in node.entries])
+        dists = self._port.many(vector, rows)
+        best: _Entry | None = None
+        best_key = (float("inf"), float("inf"))
+        for entry, dist in zip(node.entries, dists):
+            if dist <= entry.radius:
+                key = (0.0, float(dist))
+            else:
+                key = (float(dist - entry.radius), float(dist))
+            if key < best_key:
+                best_key, best = key, entry
+        assert best is not None
+        chosen_dist = best_key[1]
+        if chosen_dist > best.radius:
+            best.radius = chosen_dist
+        return best, chosen_dist
+
+    def _split(self, node: _Node, path: list[tuple[_Node, _Entry]]) -> None:
+        entries = node.entries
+        # One pairwise distance matrix serves both promotion scoring and the
+        # final partition — the standard mM_RAD implementation trick that
+        # keeps split cost at O(capacity^2) distance computations.
+        pairwise = self._pairwise_matrix(entries)
+        first, second = self._promote(entries, pairwise)
+        group1, group2, radius1, radius2 = self._partition(entries, first, second, pairwise)
+
+        node1 = _Node(node.is_leaf)
+        node1.entries = group1
+        node2 = _Node(node.is_leaf)
+        node2.entries = group2
+        routing1 = _Entry(entries[first].vector, radius=radius1, subtree=node1)
+        routing2 = _Entry(entries[second].vector, radius=radius2, subtree=node2)
+
+        if not path:
+            new_root = _Node(is_leaf=False)
+            new_root.entries = [routing1, routing2]
+            self._root = new_root
+            return
+        parent, old_entry = path[-1]
+        parent.entries.remove(old_entry)
+        grandparent_vec = path[-2][1].vector if len(path) >= 2 else None
+        for routing in (routing1, routing2):
+            if grandparent_vec is not None:
+                routing.dist_to_parent = self._port.pair(routing.vector, grandparent_vec)
+            parent.entries.append(routing)
+        if len(parent.entries) > self._capacity:
+            self._split(parent, path[:-1])
+
+    def _pairwise_matrix(self, entries: list[_Entry]) -> np.ndarray:
+        """Symmetric distance matrix over the entry vectors (charged once)."""
+        n = len(entries)
+        rows = np.array([e.vector for e in entries])
+        out = np.zeros((n, n), dtype=np.float64)
+        for i in range(n - 1):
+            d = self._port.many(rows[i], rows[i + 1 :])
+            out[i, i + 1 :] = d
+            out[i + 1 :, i] = d
+        return out
+
+    def _promote(self, entries: list[_Entry], pairwise: np.ndarray) -> tuple[int, int]:
+        """Choose the two entries to promote as new routing objects."""
+        n = len(entries)
+        if self._split_policy == "random":
+            first, second = self._rng.choice(n, size=2, replace=False)
+            return int(first), int(second)
+        # mM_RAD: score candidate pairs by the larger resulting covering
+        # radius, reading all distances from the precomputed matrix.
+        all_pairs = list(itertools.combinations(range(n), 2))
+        if len(all_pairs) > _MAX_PROMOTION_PAIRS:
+            picks = self._rng.choice(len(all_pairs), size=_MAX_PROMOTION_PAIRS, replace=False)
+            pairs = [all_pairs[i] for i in picks]
+        else:
+            pairs = all_pairs
+        subtree_radii = np.array([e.radius for e in entries])
+        best_pair, best_score = pairs[0], float("inf")
+        for i, j in pairs:
+            closer_to_i = pairwise[i] <= pairwise[j]
+            cover_i = pairwise[i] + subtree_radii
+            cover_j = pairwise[j] + subtree_radii
+            r1 = float(np.max(np.where(closer_to_i, cover_i, 0.0)))
+            r2 = float(np.max(np.where(closer_to_i, 0.0, cover_j)))
+            score = max(r1, r2)
+            if score < best_score:
+                best_pair, best_score = (i, j), score
+        return best_pair
+
+    def _partition(
+        self, entries: list[_Entry], first: int, second: int, pairwise: np.ndarray
+    ) -> tuple[list[_Entry], list[_Entry], float, float]:
+        """Generalized-hyperplane partition around two promoted entries.
+
+        Returns the two entry groups (with ``dist_to_parent`` updated to
+        the respective promoted object) and the two covering radii.  For
+        internal entries the covering radius accounts for the subtree
+        radius: ``r = max(d + entry.radius)``.
+        """
+        d1 = pairwise[first]
+        d2 = pairwise[second]
+        group1: list[_Entry] = []
+        group2: list[_Entry] = []
+        radius1 = radius2 = 0.0
+        for pos, entry in enumerate(entries):
+            if pos == first:
+                to_first = True
+            elif pos == second:
+                to_first = False
+            else:
+                to_first = d1[pos] <= d2[pos]
+            if to_first:
+                entry.dist_to_parent = float(d1[pos])
+                group1.append(entry)
+                radius1 = max(radius1, float(d1[pos]) + entry.radius)
+            else:
+                entry.dist_to_parent = float(d2[pos])
+                group2.append(entry)
+                radius2 = max(radius2, float(d2[pos]) + entry.radius)
+        return group1, group2, radius1, radius2
+
+    def _register_insert(self, index: int, vector: np.ndarray) -> None:
+        """Dynamic insert — the M-tree's native operation (Section 4.3)."""
+        self._insert(vector, index)
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+
+    def _range_search(self, query: np.ndarray, radius: float) -> list[Neighbor]:
+        out: list[Neighbor] = []
+        self._range_node(self._root, query, radius, None, out)
+        return out
+
+    def _range_node(
+        self,
+        node: _Node,
+        query: np.ndarray,
+        radius: float,
+        d_query_parent: float | None,
+        out: list[Neighbor],
+    ) -> None:
+        for entry in node.entries:
+            # Distance-to-parent pruning: triangle inequality gives
+            # |d(q, parent) - d(o, parent)| <= d(q, o); if even that lower
+            # bound exceeds the region, skip without computing d(q, o).
+            if d_query_parent is not None:
+                if abs(d_query_parent - entry.dist_to_parent) > radius + entry.radius:
+                    continue
+            dist = self._port.pair(query, entry.vector)
+            if node.is_leaf:
+                if dist <= radius:
+                    out.append(Neighbor(float(dist), entry.index))
+            elif dist <= radius + entry.radius:
+                self._range_node(entry.subtree, query, radius, dist, out)
+
+    def _knn_search(self, query: np.ndarray, k: int) -> list[Neighbor]:
+        heap = _KnnHeap(k)
+        # Best-first queue of (dmin, tiebreak, node, d(query, routing)).
+        # With epsilon > 0 the effective pruning radius shrinks to
+        # tau / (1 + epsilon): any skipped object is farther than that, so
+        # reported distances stay within (1 + epsilon) of the true answer.
+        relax = 1.0 + self._epsilon
+        counter = itertools.count()
+        queue: list[tuple[float, int, _Node, float | None]] = [
+            (0.0, next(counter), self._root, None)
+        ]
+        while queue:
+            dmin, _, node, d_query_parent = heapq.heappop(queue)
+            if dmin > heap.radius / relax:
+                break
+            for entry in node.entries:
+                if d_query_parent is not None:
+                    lower = abs(d_query_parent - entry.dist_to_parent) - entry.radius
+                    if lower > heap.radius / relax:
+                        continue
+                dist = self._port.pair(query, entry.vector)
+                if node.is_leaf:
+                    heap.offer(float(dist), entry.index)
+                else:
+                    child_dmin = max(float(dist) - entry.radius, 0.0)
+                    if child_dmin <= heap.radius / relax:
+                        heapq.heappush(
+                            queue, (child_dmin, next(counter), entry.subtree, float(dist))
+                        )
+        return heap.neighbors()
+
+    def nearest_iter(self, query: ArrayLike):
+        """Lazily yield neighbors in increasing distance order.
+
+        The Hjaltason-Samet incremental algorithm: one priority queue holds
+        both unexplored subtrees (keyed by their dmin) and concrete objects
+        (keyed by their exact distance); popping an object is proof that no
+        unexplored subtree can contain anything closer.  Consuming ``k``
+        items costs no more distance evaluations than a kNN for the same
+        ``k`` — and the caller does not need to fix ``k`` in advance
+        (classic use: distance-ordered cursors in query pipelines).
+        """
+        from .._typing import as_vector
+
+        q = as_vector(query, self.dim, name="query")
+        counter = itertools.count()
+        # Three item kinds, all keyed by a LOWER BOUND on any object
+        # distance reachable through them, so a popped exact object beats
+        # everything still queued:
+        #   "entry"  — unevaluated node slot; key from the parent-distance
+        #              bound, exact distance deferred until popped;
+        #   "node"   — subtree whose routing distance is known; key dmin;
+        #   "object" — exact distance, ready to yield.
+        queue: list[tuple[float, int, str, object, float | None]] = []
+
+        def push_entries(node: _Node, d_query_routing: float | None) -> None:
+            for entry in node.entries:
+                if d_query_routing is None:
+                    bound = 0.0
+                else:
+                    bound = max(
+                        abs(d_query_routing - entry.dist_to_parent) - entry.radius, 0.0
+                    )
+                heapq.heappush(
+                    queue, (bound, next(counter), "entry", (entry, node.is_leaf), None)
+                )
+
+        push_entries(self._root, None)
+        while queue:
+            priority, _, kind, payload, stashed = heapq.heappop(queue)
+            if kind == "object":
+                yield Neighbor(priority, payload)  # type: ignore[arg-type]
+            elif kind == "entry":
+                entry, is_leaf_entry = payload  # type: ignore[misc]
+                dist = self._port.pair(q, entry.vector)
+                if is_leaf_entry:
+                    heapq.heappush(
+                        queue, (float(dist), next(counter), "object", entry.index, None)
+                    )
+                else:
+                    dmin = max(float(dist) - entry.radius, 0.0)
+                    heapq.heappush(
+                        queue, (dmin, next(counter), "node", entry.subtree, float(dist))
+                    )
+            else:
+                push_entries(payload, stashed)  # type: ignore[arg-type]
+
+    # ------------------------------------------------------------------
+    # introspection
+    # ------------------------------------------------------------------
+
+    @property
+    def capacity(self) -> int:
+        """Maximum entries per node."""
+        return self._capacity
+
+    @property
+    def split_policy(self) -> str:
+        """The promotion policy used for node splits."""
+        return self._split_policy
+
+    def height(self) -> int:
+        """Tree height (1 for a single leaf root)."""
+        h, node = 1, self._root
+        while not node.is_leaf:
+            h += 1
+            node = node.entries[0].subtree  # type: ignore[assignment]
+        return h
+
+    def node_count(self) -> int:
+        """Total number of nodes."""
+
+        def count(node: _Node) -> int:
+            if node.is_leaf:
+                return 1
+            return 1 + sum(count(e.subtree) for e in node.entries)  # type: ignore[arg-type]
+
+        return count(self._root)
+
+    def validate_invariants(self) -> None:
+        """Verify covering-radius and dist-to-parent invariants (tests).
+
+        Raises ``AssertionError`` on the first violation: every object in a
+        routing entry's subtree must lie within its covering radius, and
+        every stored ``dist_to_parent`` must equal the recomputed distance.
+        """
+
+        def walk(node: _Node, parent_vec: np.ndarray | None) -> list[np.ndarray]:
+            vectors: list[np.ndarray] = []
+            for entry in node.entries:
+                if parent_vec is not None:
+                    actual = self._port.raw(entry.vector, parent_vec)
+                    assert np.isclose(actual, entry.dist_to_parent, atol=1e-8), (
+                        f"dist_to_parent mismatch: {actual} != {entry.dist_to_parent}"
+                    )
+                if node.is_leaf:
+                    vectors.append(entry.vector)
+                else:
+                    below = walk(entry.subtree, entry.vector)  # type: ignore[arg-type]
+                    for vec in below:
+                        dist = self._port.raw(vec, entry.vector)
+                        assert dist <= entry.radius + 1e-8, (
+                            f"covering radius violated: {dist} > {entry.radius}"
+                        )
+                    vectors.extend(below)
+            return vectors
+
+        walk(self._root, None)

@@ -1,0 +1,418 @@
+"""Disk-resident M-tree over the paged storage substrate.
+
+"The M-tree is a dynamic index structure that provides a good performance
+in the secondary memory (i.e., in database environments)" — paper
+Section 4.3.  This module puts the library's M-tree there: every node is
+serialized into one fixed-size page of a :class:`~repro.storage.PagedFile`
+behind an LRU cache, so queries pay *page faults* in addition to distance
+computations, exactly the two-component cost model of the paper's
+experiments (and of the Section 5.3 cache discussion).
+
+Node page layout (little-endian)::
+
+    u8   is_leaf
+    u32  n_entries
+    per entry:
+        i64  child_page (-1 for leaf entries)
+        i64  object_index (-1 for routing entries)
+        f64  radius
+        f64  dist_to_parent
+        f64  vector[dim]
+
+Construction serializes a built in-memory :class:`~repro.mam.mtree.MTree`
+(children before parents, so page ids resolve); queries then run purely
+against pages — the in-memory tree is not retained.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+import struct
+from typing import Callable
+
+import numpy as np
+
+from .._typing import ArrayLike
+from ..exceptions import PageError, QueryError
+from ..storage.cache import LRUPageCache
+from ..storage.pages import PagedFile
+from .base import AccessMethod, DistancePort, Neighbor, _KnnHeap
+from .mtree import MTree, _Node
+
+__all__ = ["PagedMTree"]
+
+_HEADER = struct.Struct("<BI")
+_ENTRY_FIXED = struct.Struct("<qqdd")
+
+
+class _PagedNode:
+    """A node deserialized from a page."""
+
+    __slots__ = ("is_leaf", "children", "indices", "radii", "dist_to_parent", "vectors")
+
+    def __init__(
+        self,
+        is_leaf: bool,
+        children: list[int],
+        indices: list[int],
+        radii: np.ndarray,
+        dist_to_parent: np.ndarray,
+        vectors: np.ndarray,
+    ) -> None:
+        self.is_leaf = is_leaf
+        self.children = children
+        self.indices = indices
+        self.radii = radii
+        self.dist_to_parent = dist_to_parent
+        self.vectors = vectors
+
+
+class PagedMTree(AccessMethod):
+    """M-tree whose nodes live in fixed-size pages behind an LRU cache.
+
+    Parameters
+    ----------
+    database:
+        ``(m, n)`` rows to index.
+    distance:
+        Black-box metric (port or plain callable).
+    capacity:
+        Maximum entries per node; together with the dimensionality this
+        determines the page size.
+    cache_pages:
+        LRU node-cache capacity (the paper's "fixed-size disk cache").
+    path:
+        Optional real file for the pages (in-memory by default).
+    rng, split_policy, bulk_load:
+        Forwarded to the in-memory build.
+    """
+
+    def __init__(
+        self,
+        database: ArrayLike,
+        distance: DistancePort | Callable,
+        *,
+        capacity: int = 16,
+        cache_pages: int = 32,
+        path: str | None = None,
+        split_policy: str = "mM_RAD",
+        bulk_load: bool = False,
+        rng: np.random.Generator | None = None,
+    ) -> None:
+        super().__init__(database, distance)
+        tree = MTree(
+            self._data,
+            self._port,
+            capacity=capacity,
+            split_policy=split_policy,
+            bulk_load=bulk_load,
+            rng=rng,
+        )
+        self._capacity = capacity
+        entry_size = _ENTRY_FIXED.size + self.dim * 8
+        page_size = _HEADER.size + (capacity + 1) * entry_size
+        self._file = PagedFile(max(page_size, 64), path=path)
+        self._cache = LRUPageCache(self._file, cache_pages)
+        self._root_page = self._persist(tree._root)
+
+    @property
+    def cache(self) -> LRUPageCache:
+        """The node cache (hit/fault statistics)."""
+        return self._cache
+
+    @property
+    def capacity(self) -> int:
+        """Maximum entries per node."""
+        return self._capacity
+
+    # ------------------------------------------------------------------
+    # (de)serialization
+    # ------------------------------------------------------------------
+
+    def _persist(self, node: _Node) -> int:
+        """Write *node* (children first) and return its page id."""
+        if len(node.entries) > self._capacity + 1:
+            raise PageError(
+                f"node with {len(node.entries)} entries exceeds the page "
+                f"layout capacity {self._capacity + 1}"
+            )
+        parts = [_HEADER.pack(1 if node.is_leaf else 0, len(node.entries))]
+        for entry in node.entries:
+            child_page = -1 if entry.subtree is None else self._persist(entry.subtree)
+            parts.append(
+                _ENTRY_FIXED.pack(
+                    child_page, entry.index, entry.radius, entry.dist_to_parent
+                )
+            )
+            parts.append(np.ascontiguousarray(entry.vector, dtype="<f8").tobytes())
+        page_id = self._cache.allocate()
+        self._cache.write_page(page_id, b"".join(parts))
+        return page_id
+
+    def _load(self, page_id: int) -> _PagedNode:
+        payload = self._cache.read_page(page_id)
+        is_leaf, n_entries = _HEADER.unpack_from(payload, 0)
+        offset = _HEADER.size
+        children: list[int] = []
+        indices: list[int] = []
+        radii = np.empty(n_entries)
+        dist_to_parent = np.empty(n_entries)
+        vectors = np.empty((n_entries, self.dim))
+        vec_bytes = self.dim * 8
+        for pos in range(n_entries):
+            child_page, obj_index, radius, d_parent = _ENTRY_FIXED.unpack_from(
+                payload, offset
+            )
+            offset += _ENTRY_FIXED.size
+            vectors[pos] = np.frombuffer(payload, dtype="<f8", count=self.dim, offset=offset)
+            offset += vec_bytes
+            children.append(child_page)
+            indices.append(obj_index)
+            radii[pos] = radius
+            dist_to_parent[pos] = d_parent
+        return _PagedNode(bool(is_leaf), children, indices, radii, dist_to_parent, vectors)
+
+    def _write_node(
+        self,
+        page_id: int,
+        is_leaf: bool,
+        children: list[int],
+        indices: list[int],
+        radii: list[float],
+        dist_to_parent: list[float],
+        vectors: np.ndarray,
+    ) -> None:
+        """Serialize a node back into its page."""
+        n_entries = len(indices)
+        if n_entries > self._capacity + 1:
+            raise PageError(
+                f"node with {n_entries} entries exceeds the page layout "
+                f"capacity {self._capacity + 1}"
+            )
+        parts = [_HEADER.pack(1 if is_leaf else 0, n_entries)]
+        for pos in range(n_entries):
+            parts.append(
+                _ENTRY_FIXED.pack(
+                    children[pos], indices[pos], radii[pos], dist_to_parent[pos]
+                )
+            )
+            parts.append(np.ascontiguousarray(vectors[pos], dtype="<f8").tobytes())
+        self._cache.write_page(page_id, b"".join(parts))
+
+    # ------------------------------------------------------------------
+    # dynamic inserts (page-level, with mM_RAD splits)
+    # ------------------------------------------------------------------
+
+    def _register_insert(self, index: int, vector: np.ndarray) -> None:
+        """Descend, append to the leaf page, split overflowing pages upward."""
+        path: list[tuple[int, int]] = []  # (page_id, chosen entry position)
+        page_id = self._root_page
+        descent_dist = 0.0
+        while True:
+            node = self._load(page_id)
+            if node.is_leaf:
+                break
+            dists = self._port.many(vector, node.vectors)
+            keys = [
+                (0.0, float(d)) if d <= node.radii[pos] else (float(d - node.radii[pos]), float(d))
+                for pos, d in enumerate(dists)
+            ]
+            pos = min(range(len(keys)), key=keys.__getitem__)
+            chosen_dist = keys[pos][1]
+            if chosen_dist > node.radii[pos]:
+                node.radii[pos] = chosen_dist
+                self._write_node(
+                    page_id,
+                    node.is_leaf,
+                    node.children,
+                    node.indices,
+                    list(node.radii),
+                    list(node.dist_to_parent),
+                    node.vectors,
+                )
+            path.append((page_id, pos))
+            descent_dist = chosen_dist
+            page_id = node.children[pos]
+
+        leaf = self._load(page_id)
+        children = leaf.children + [-1]
+        indices = leaf.indices + [index]
+        radii = list(leaf.radii) + [0.0]
+        d_parent = list(leaf.dist_to_parent) + [descent_dist]
+        vectors = np.vstack([leaf.vectors, vector.reshape(1, -1)])
+        if len(indices) <= self._capacity:
+            self._write_node(page_id, True, children, indices, radii, d_parent, vectors)
+            return
+        self._split_page(page_id, True, children, indices, radii, vectors, path)
+
+    def _split_page(
+        self,
+        page_id: int,
+        is_leaf: bool,
+        children: list[int],
+        indices: list[int],
+        radii: list[float],
+        vectors: np.ndarray,
+        path: list[tuple[int, int]],
+    ) -> None:
+        """mM_RAD split of an overflowing page, propagating upward."""
+        n = vectors.shape[0]
+        pairwise = np.zeros((n, n))
+        for i in range(n - 1):
+            d = self._port.many(vectors[i], vectors[i + 1 :])
+            pairwise[i, i + 1 :] = d
+            pairwise[i + 1 :, i] = d
+        subtree_radii = np.asarray(radii)
+        best_pair, best_score = (0, 1), float("inf")
+        for i in range(n):
+            for j in range(i + 1, n):
+                closer_to_i = pairwise[i] <= pairwise[j]
+                r1 = float(np.max(np.where(closer_to_i, pairwise[i] + subtree_radii, 0.0)))
+                r2 = float(np.max(np.where(closer_to_i, 0.0, pairwise[j] + subtree_radii)))
+                if max(r1, r2) < best_score:
+                    best_pair, best_score = (i, j), max(r1, r2)
+        first, second = best_pair
+
+        group1, group2 = [], []
+        for pos in range(n):
+            if pos == first:
+                group1.append(pos)
+            elif pos == second:
+                group2.append(pos)
+            elif pairwise[first, pos] <= pairwise[second, pos]:
+                group1.append(pos)
+            else:
+                group2.append(pos)
+
+        def write_group(target_page: int, members: list[int], promoted: int) -> float:
+            cover = 0.0
+            d_parent = []
+            for pos in members:
+                d = float(pairwise[promoted, pos])
+                d_parent.append(d)
+                cover = max(cover, d + radii[pos])
+            self._write_node(
+                target_page,
+                is_leaf,
+                [children[pos] for pos in members],
+                [indices[pos] for pos in members],
+                [radii[pos] for pos in members],
+                d_parent,
+                vectors[members],
+            )
+            return cover
+
+        page2 = self._cache.allocate()
+        radius1 = write_group(page_id, group1, first)
+        radius2 = write_group(page2, group2, second)
+
+        routing_vectors = np.vstack([vectors[first], vectors[second]])
+        routing_radii = [radius1, radius2]
+        routing_pages = [page_id, page2]
+
+        if not path:
+            new_root = self._cache.allocate()
+            self._write_node(
+                new_root,
+                False,
+                routing_pages,
+                [-1, -1],
+                routing_radii,
+                [0.0, 0.0],
+                routing_vectors,
+            )
+            self._root_page = new_root
+            return
+
+        parent_page, entry_pos = path[-1]
+        parent = self._load(parent_page)
+        if len(path) >= 2:
+            grand_page, grand_pos = path[-2]
+            grand_vec = self._load(grand_page).vectors[grand_pos]
+            d_parent_new = [
+                self._port.pair(routing_vectors[0], grand_vec),
+                self._port.pair(routing_vectors[1], grand_vec),
+            ]
+        else:
+            d_parent_new = [0.0, 0.0]
+
+        keep = [pos for pos in range(len(parent.indices)) if pos != entry_pos]
+        p_children = [parent.children[pos] for pos in keep] + routing_pages
+        p_indices = [parent.indices[pos] for pos in keep] + [-1, -1]
+        p_radii = [float(parent.radii[pos]) for pos in keep] + routing_radii
+        p_dparent = [float(parent.dist_to_parent[pos]) for pos in keep] + d_parent_new
+        p_vectors = np.vstack([parent.vectors[keep], routing_vectors])
+        if len(p_indices) <= self._capacity:
+            self._write_node(
+                parent_page, False, p_children, p_indices, p_radii, p_dparent, p_vectors
+            )
+            return
+        self._split_page(
+            parent_page, False, p_children, p_indices, p_radii, p_vectors, path[:-1]
+        )
+
+    # ------------------------------------------------------------------
+    # queries (same algorithms as MTree, over paged nodes)
+    # ------------------------------------------------------------------
+
+    def _range_search(self, query: np.ndarray, radius: float) -> list[Neighbor]:
+        out: list[Neighbor] = []
+        stack: list[tuple[int, float | None]] = [(self._root_page, None)]
+        while stack:
+            page_id, d_query_parent = stack.pop()
+            node = self._load(page_id)
+            for pos in range(len(node.indices)):
+                if d_query_parent is not None:
+                    lower = abs(d_query_parent - node.dist_to_parent[pos]) - node.radii[pos]
+                    if lower > radius:
+                        continue
+                dist = self._port.pair(query, node.vectors[pos])
+                if node.is_leaf:
+                    if dist <= radius:
+                        out.append(Neighbor(float(dist), node.indices[pos]))
+                elif dist <= radius + node.radii[pos]:
+                    stack.append((node.children[pos], float(dist)))
+        return out
+
+    def _knn_search(self, query: np.ndarray, k: int) -> list[Neighbor]:
+        heap = _KnnHeap(k)
+        counter = itertools.count()
+        queue: list[tuple[float, int, int, float | None]] = [
+            (0.0, next(counter), self._root_page, None)
+        ]
+        while queue:
+            dmin, _, page_id, d_query_parent = heapq.heappop(queue)
+            if dmin > heap.radius:
+                break
+            node = self._load(page_id)
+            for pos in range(len(node.indices)):
+                if d_query_parent is not None:
+                    lower = abs(d_query_parent - node.dist_to_parent[pos]) - node.radii[pos]
+                    if lower > heap.radius:
+                        continue
+                dist = self._port.pair(query, node.vectors[pos])
+                if node.is_leaf:
+                    heap.offer(float(dist), node.indices[pos])
+                else:
+                    child_dmin = max(float(dist) - node.radii[pos], 0.0)
+                    if child_dmin <= heap.radius:
+                        heapq.heappush(
+                            queue,
+                            (child_dmin, next(counter), node.children[pos], float(dist)),
+                        )
+        return heap.neighbors()
+
+    def node_pages(self) -> int:
+        """Number of node pages on disk."""
+        return self._file.n_pages
+
+    def close(self) -> None:
+        """Release the backing paged file."""
+        self._file.close()
+
+    def __enter__(self) -> "PagedMTree":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()

@@ -1,0 +1,134 @@
+"""Pivot selection techniques (Bustos, Navarro & Chávez — paper reference [10]).
+
+The pivot table of Section 4.2 first selects ``p`` pivots "based on a pivot
+selection technique" over a database sample of size ``s``, spending ``c``
+distance computations.  Three standard techniques are implemented:
+
+* ``random`` — uniform sample, the zero-cost baseline;
+* ``maxmin`` — incremental farthest-first: each new pivot maximizes its
+  minimum distance to the pivots chosen so far (outlier pivots);
+* ``spread`` — the Bustos et al. efficiency criterion: pick, from random
+  candidate sets, the pivot maximizing the mean of the pivot-mapped L∞
+  lower bound over sampled object pairs (maximizing the distances in the
+  pivot space makes the filter tighter).
+
+All techniques charge their distance evaluations to the supplied
+:class:`~repro.mam.base.DistancePort`, so the indexing-cost experiments
+(Table 1, Figure 3) account for selection exactly like the paper does.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..exceptions import QueryError
+from .base import DistancePort
+
+__all__ = ["select_pivots", "PIVOT_METHODS"]
+
+PIVOT_METHODS = ("random", "maxmin", "spread")
+
+
+def _random_pivots(m: int, p: int, rng: np.random.Generator) -> list[int]:
+    return list(rng.choice(m, size=p, replace=False))
+
+
+def _maxmin_pivots(
+    data: np.ndarray, p: int, port: DistancePort, rng: np.random.Generator
+) -> list[int]:
+    m = data.shape[0]
+    pivots = [int(rng.integers(0, m))]
+    min_dist = port.many(data[pivots[0]], data)
+    while len(pivots) < p:
+        candidate = int(np.argmax(min_dist))
+        if candidate in pivots:
+            # All remaining objects coincide with chosen pivots; fall back
+            # to any unused index to keep the pivot count as requested.
+            unused = [i for i in range(m) if i not in pivots]
+            candidate = unused[0]
+        pivots.append(candidate)
+        min_dist = np.minimum(min_dist, port.many(data[candidate], data))
+    return pivots
+
+
+def _spread_pivots(
+    data: np.ndarray,
+    p: int,
+    port: DistancePort,
+    rng: np.random.Generator,
+    *,
+    candidates: int = 8,
+    pairs: int = 32,
+) -> list[int]:
+    m = data.shape[0]
+    pair_idx = rng.integers(0, m, size=(pairs, 2))
+    pivots: list[int] = []
+    # Lower bound contributed so far for each evaluation pair.
+    best_lb = np.zeros(pairs, dtype=np.float64)
+    for _ in range(p):
+        cand_pool = [c for c in rng.choice(m, size=min(candidates, m), replace=False)
+                     if c not in pivots]
+        if not cand_pool:
+            cand_pool = [i for i in range(m) if i not in pivots][:1]
+        best_candidate, best_gain = cand_pool[0], -1.0
+        for cand in cand_pool:
+            d_left = port.many(data[cand], data[pair_idx[:, 0]])
+            d_right = port.many(data[cand], data[pair_idx[:, 1]])
+            lb = np.maximum(best_lb, np.abs(d_left - d_right))
+            gain = float(lb.mean())
+            if gain > best_gain:
+                best_candidate, best_gain, best_lb_candidate = cand, gain, lb
+        pivots.append(int(best_candidate))
+        best_lb = best_lb_candidate
+    return pivots
+
+
+def select_pivots(
+    data: np.ndarray,
+    p: int,
+    port: DistancePort,
+    *,
+    method: str = "maxmin",
+    sample_size: int | None = None,
+    rng: np.random.Generator | None = None,
+) -> list[int]:
+    """Select ``p`` pivot indices from the rows of *data*.
+
+    Parameters
+    ----------
+    data:
+        The ``(m, n)`` database.
+    p:
+        Number of pivots; must satisfy ``1 <= p <= m``.
+    port:
+        Distance port charged for every selection-time evaluation.
+    method:
+        One of :data:`PIVOT_METHODS`.
+    sample_size:
+        Restrict selection to a random sample of this size (the paper's
+        ``s``); ``None`` uses the whole database.
+    rng:
+        Randomness source; defaults to a fixed seed for reproducibility.
+    """
+    m = data.shape[0]
+    if not 1 <= p <= m:
+        raise QueryError(f"p must be in [1, {m}], got {p}")
+    if method not in PIVOT_METHODS:
+        raise QueryError(f"unknown pivot method {method!r}; choose from {PIVOT_METHODS}")
+    rng = np.random.default_rng(0) if rng is None else rng
+
+    if sample_size is not None and sample_size < m:
+        if sample_size < p:
+            raise QueryError(f"sample_size {sample_size} is smaller than p={p}")
+        sample = rng.choice(m, size=sample_size, replace=False)
+    else:
+        sample = np.arange(m)
+
+    subset = data[sample]
+    if method == "random":
+        local = _random_pivots(subset.shape[0], p, rng)
+    elif method == "maxmin":
+        local = _maxmin_pivots(subset, p, port, rng)
+    else:
+        local = _spread_pivots(subset, p, port, rng)
+    return [int(sample[i]) for i in local]

@@ -1,0 +1,150 @@
+"""The vantage-point tree (Yianilos/Uhlmann) — paper Section 2.2 names the
+vp-tree among the representative MAMs able to index the QMap-transformed
+space.
+
+Each node picks a *vantage point*, computes the distances from it to the
+remaining objects and splits them at the median ``mu``: the inside subtree
+holds objects with ``d <= mu``, the outside subtree the rest.  Queries use
+the ball-shell geometry to skip whole subtrees:
+
+* inside subtree reachable only if ``d(q, vp) - radius <= mu``;
+* outside subtree reachable only if ``d(q, vp) + radius >= mu``.
+
+As everywhere in this library, every distance evaluation is charged to the
+:class:`~repro.mam.base.DistancePort`.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Callable
+
+import numpy as np
+
+from .._typing import ArrayLike
+from ..exceptions import QueryError
+from .base import AccessMethod, DistancePort, Neighbor, _KnnHeap
+
+__all__ = ["VPTree"]
+
+
+class _VPNode:
+    __slots__ = ("vp_index", "mu", "inside", "outside", "bucket")
+
+    def __init__(self) -> None:
+        self.vp_index = -1
+        self.mu = 0.0
+        self.inside: _VPNode | None = None
+        self.outside: _VPNode | None = None
+        self.bucket: list[int] | None = None
+
+
+class VPTree(AccessMethod):
+    """Vantage-point tree over a black-box metric.
+
+    Parameters
+    ----------
+    database:
+        ``(m, n)`` rows to index.
+    distance:
+        Black-box metric (port or plain callable).
+    leaf_size:
+        Node size below which objects are kept in a scanned bucket.
+    rng:
+        Randomness for vantage-point choice.
+    """
+
+    def __init__(
+        self,
+        database: ArrayLike,
+        distance: DistancePort | Callable,
+        *,
+        leaf_size: int = 8,
+        rng: np.random.Generator | None = None,
+    ) -> None:
+        if leaf_size < 1:
+            raise QueryError(f"leaf_size must be >= 1, got {leaf_size}")
+        super().__init__(database, distance)
+        self._leaf_size = leaf_size
+        self._rng = np.random.default_rng(0) if rng is None else rng
+        self._root = self._build(list(range(self.size)))
+
+    def _build(self, indices: list[int]) -> _VPNode:
+        node = _VPNode()
+        if len(indices) <= self._leaf_size:
+            node.bucket = indices
+            return node
+        pick = int(self._rng.integers(0, len(indices)))
+        node.vp_index = indices[pick]
+        rest = indices[:pick] + indices[pick + 1 :]
+        dists = self._port.many(self._data[node.vp_index], self._data[rest])
+        node.mu = float(np.median(dists))
+        inside = [i for i, d in zip(rest, dists) if d <= node.mu]
+        outside = [i for i, d in zip(rest, dists) if d > node.mu]
+        # A degenerate median (all distances equal) would recurse forever;
+        # fall back to a bucket in that case.
+        if not inside or not outside:
+            node.vp_index = -1
+            node.bucket = indices
+            return node
+        node.inside = self._build(inside)
+        node.outside = self._build(outside)
+        return node
+
+    def _register_insert(self, index: int, vector: np.ndarray) -> None:
+        """Route the new object down the existing ball shells to a bucket.
+
+        Each node's invariant (inside: ``d <= mu``; outside: ``d > mu``)
+        is preserved by descending on the vantage-point distance, so
+        queries stay exact; repeated inserts merely grow the buckets.
+        """
+        node = self._root
+        while node.bucket is None:
+            d_vp = self._port.pair(vector, self._data[node.vp_index])
+            node = node.inside if d_vp <= node.mu else node.outside  # type: ignore[assignment]
+        node.bucket.append(index)
+
+    def _range_search(self, query: np.ndarray, radius: float) -> list[Neighbor]:
+        out: list[Neighbor] = []
+        stack = [self._root]
+        while stack:
+            node = stack.pop()
+            if node.bucket is not None:
+                dists = self._port.many(query, self._data[node.bucket])
+                for idx, dist in zip(node.bucket, dists):
+                    if dist <= radius:
+                        out.append(Neighbor(float(dist), int(idx)))
+                continue
+            d_vp = self._port.pair(query, self._data[node.vp_index])
+            if d_vp <= radius:
+                out.append(Neighbor(float(d_vp), node.vp_index))
+            if d_vp - radius <= node.mu:
+                stack.append(node.inside)  # type: ignore[arg-type]
+            if d_vp + radius >= node.mu:
+                stack.append(node.outside)  # type: ignore[arg-type]
+        return out
+
+    def _knn_search(self, query: np.ndarray, k: int) -> list[Neighbor]:
+        heap = _KnnHeap(k)
+        counter = itertools.count()
+        queue: list[tuple[float, int, _VPNode]] = [(0.0, next(counter), self._root)]
+        while queue:
+            dmin, _, node = heapq.heappop(queue)
+            if dmin > heap.radius:
+                break
+            if node.bucket is not None:
+                dists = self._port.many(query, self._data[node.bucket])
+                for idx, dist in zip(node.bucket, dists):
+                    heap.offer(float(dist), int(idx))
+                continue
+            d_vp = self._port.pair(query, self._data[node.vp_index])
+            heap.offer(float(d_vp), node.vp_index)
+            tau = heap.radius
+            inside_dmin = max(d_vp - node.mu, 0.0)
+            outside_dmin = max(node.mu - d_vp, 0.0)
+            if inside_dmin <= tau:
+                heapq.heappush(queue, (inside_dmin, next(counter), node.inside))
+            if outside_dmin <= tau:
+                heapq.heappush(queue, (outside_dmin, next(counter), node.outside))
+        return heap.neighbors()

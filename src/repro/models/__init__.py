@@ -1,0 +1,21 @@
+"""The two similarity-model pipelines compared throughout the paper.
+
+:class:`QFDModel` indexes raw histograms under the O(n^2) QFD;
+:class:`QMapModel` transforms once and indexes under the O(n) Euclidean
+distance.  Both build any registered access method and expose uniform cost
+accounting, so every experiment is a two-line comparison.
+"""
+
+from .base import MAM_REGISTRY, SAM_REGISTRY, BuiltIndex, IndexCosts, resolve_method
+from .qfd_model import QFDModel
+from .qmap_model import QMapModel
+
+__all__ = [
+    "QFDModel",
+    "QMapModel",
+    "BuiltIndex",
+    "IndexCosts",
+    "MAM_REGISTRY",
+    "SAM_REGISTRY",
+    "resolve_method",
+]

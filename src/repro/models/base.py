@@ -1,0 +1,226 @@
+"""Shared machinery of the QFD and QMap models (paper Section 4).
+
+A *model* decides how the database and queries are represented and which
+distance the access method sees:
+
+* **QFD model** — raw histograms, black-box QFD (O(n^2) per evaluation);
+* **QMap model** — histograms mapped through the Cholesky factor once,
+  plain Euclidean distance (O(n) per evaluation), distances *exactly*
+  preserved.
+
+Both models build the same access methods through one registry, and both
+report their costs through :class:`IndexCosts`: distance evaluations
+(counted by :class:`~repro.distances.base.CountingDistance`) and vector
+transformations — the two quantities whose trade-off Tables 1 and 2
+analyze.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable
+
+import numpy as np
+
+from .._typing import ArrayLike, as_vector
+from ..distances.base import CountingDistance
+from ..exceptions import QueryError
+from ..mam.base import AccessMethod, Neighbor
+from ..mam.gnat import GNAT
+from ..mam.mindex import MIndex
+from ..mam.mtree import MTree
+from ..mam.paged_mtree import PagedMTree
+from ..mam.pivot_table import PivotTable
+from ..mam.sat import SATree
+from ..mam.sequential import DiskSequentialFile, SequentialFile
+from ..mam.vptree import VPTree
+from ..sam.rtree import RTree
+from ..sam.vafile import VAFile
+from ..sam.xtree import XTree
+
+__all__ = ["IndexCosts", "BuiltIndex", "MAM_REGISTRY", "SAM_REGISTRY", "resolve_method"]
+
+#: MAMs take (database, distance, **kwargs).
+MAM_REGISTRY: dict[str, type[AccessMethod]] = {
+    "sequential": SequentialFile,
+    "disk-sequential": DiskSequentialFile,
+    "pivot-table": PivotTable,
+    "mtree": MTree,
+    "paged-mtree": PagedMTree,
+    "mindex": MIndex,
+    "sat": SATree,
+    "vptree": VPTree,
+    "gnat": GNAT,
+}
+
+#: SAMs take (database, **kwargs) — they pick the distance at query time.
+SAM_REGISTRY: dict[str, type[AccessMethod]] = {
+    "rtree": RTree,
+    "xtree": XTree,
+    "vafile": VAFile,
+}
+
+
+def resolve_method(name: str) -> tuple[type[AccessMethod], bool]:
+    """Look up an access method by registry name.
+
+    Returns ``(cls, is_sam)``.
+    """
+    if name in MAM_REGISTRY:
+        return MAM_REGISTRY[name], False
+    if name in SAM_REGISTRY:
+        return SAM_REGISTRY[name], True
+    known = sorted(MAM_REGISTRY) + sorted(SAM_REGISTRY)
+    raise QueryError(f"unknown access method {name!r}; choose from {known}")
+
+
+@dataclass(frozen=True)
+class IndexCosts:
+    """Cost snapshot of a build or a batch of queries.
+
+    Attributes
+    ----------
+    distance_computations:
+        Logical distance evaluations (the paper's primary cost unit).
+    transforms:
+        Vector transformations into the Euclidean space (QMap model only;
+        each costs O(n^2), same order as one QFD evaluation).
+    seconds:
+        Wall-clock time, when measured by the caller (0 otherwise).
+    """
+
+    distance_computations: int
+    transforms: int
+    seconds: float = 0.0
+
+    def __add__(self, other: "IndexCosts") -> "IndexCosts":
+        return IndexCosts(
+            self.distance_computations + other.distance_computations,
+            self.transforms + other.transforms,
+            self.seconds + other.seconds,
+        )
+
+
+class BuiltIndex:
+    """An access method bound to a model's representation and counters.
+
+    Query methods accept vectors in the *source* (QFD) space; the QMap
+    model transforms them on the way in (and counts the transform), so the
+    two models are interchangeable drop-ins for the benches and tests.
+    """
+
+    def __init__(
+        self,
+        access_method: AccessMethod,
+        counter: CountingDistance,
+        *,
+        model_name: str,
+        query_mapper: Callable[[np.ndarray], np.ndarray] | None = None,
+        batch_mapper: Callable[[np.ndarray], np.ndarray] | None = None,
+        build_costs: IndexCosts,
+    ) -> None:
+        self._am = access_method
+        self._counter = counter
+        self._model_name = model_name
+        self._query_mapper = query_mapper
+        self._batch_mapper = batch_mapper
+        self._build_costs = build_costs
+        self._query_transforms = 0
+
+    @property
+    def access_method(self) -> AccessMethod:
+        """The underlying index structure."""
+        return self._am
+
+    @property
+    def model_name(self) -> str:
+        """``"qfd"`` or ``"qmap"``."""
+        return self._model_name
+
+    @property
+    def build_costs(self) -> IndexCosts:
+        """Costs spent building the index (including data transforms)."""
+        return self._build_costs
+
+    def _map_query(self, query: ArrayLike) -> np.ndarray:
+        q = as_vector(query, name="query")
+        if self._query_mapper is None:
+            return q
+        self._query_transforms += 1
+        return self._query_mapper(q)
+
+    def knn_search(self, query: ArrayLike, k: int) -> list[Neighbor]:
+        """kNN in the source space (transforming the query if needed)."""
+        return self._am.knn_search(self._map_query(query), k)
+
+    def range_search(self, query: ArrayLike, radius: float) -> list[Neighbor]:
+        """Range query in the source space (radii are preserved exactly)."""
+        return self._am.range_search(self._map_query(query), radius)
+
+    def knn_search_batch(self, queries: ArrayLike, k: int) -> list[list[Neighbor]]:
+        """kNN for a whole batch of source-space queries.
+
+        In the QMap model all queries are transformed in one matrix-matrix
+        product, amortizing the O(n^2) per-query mapping cost.
+        """
+        mapped = self._map_query_batch(queries)
+        return [self._am.knn_search(q, k) for q in mapped]
+
+    def range_search_batch(self, queries: ArrayLike, radius: float) -> list[list[Neighbor]]:
+        """Range queries for a whole batch of source-space queries."""
+        mapped = self._map_query_batch(queries)
+        return [self._am.range_search(q, radius) for q in mapped]
+
+    def _map_query_batch(self, queries: ArrayLike) -> np.ndarray:
+        rows = np.atleast_2d(np.asarray(queries, dtype=np.float64))
+        if self._query_mapper is None:
+            return rows
+        self._query_transforms += rows.shape[0]
+        if self._batch_mapper is not None:
+            return self._batch_mapper(rows)
+        return np.array([self._query_mapper(q) for q in rows])
+
+    def insert(self, vector: ArrayLike) -> int:
+        """Dynamically insert a source-space vector, returning its index.
+
+        In the QMap model the vector is transformed first (one O(n^2)
+        product, counted); the underlying structure then pays its normal
+        insertion distances.  This is the "dynamically changing databases
+        without any distortion" property of paper Section 6 — unlike the
+        database-dependent reductions of Section 2.3.1, the map never
+        degrades as objects arrive.
+        """
+        return self._am.insert(self._map_query(vector))
+
+    def reset_query_costs(self) -> None:
+        """Zero the query-time counters (call between measured batches)."""
+        self._counter.reset()
+        self._query_transforms = 0
+
+    def query_costs(self, seconds: float = 0.0) -> IndexCosts:
+        """Costs accumulated since the last :meth:`reset_query_costs`."""
+        return IndexCosts(
+            distance_computations=self._counter.count,
+            transforms=self._query_transforms,
+            seconds=seconds,
+        )
+
+
+def instantiate(
+    name: str,
+    database: np.ndarray,
+    counter: CountingDistance,
+    kwargs: dict[str, Any],
+) -> AccessMethod:
+    """Build a registry access method, wiring the model's counter in.
+
+    MAMs take the distance as their black box; SAMs pick their own query
+    distance but accept an injected refinement counter so the experiments
+    can account their distance evaluations identically.
+    """
+    cls, is_sam = resolve_method(name)
+    if is_sam:
+        from ..mam.base import DistancePort
+
+        return cls(database, refine_distance=DistancePort(counter), **kwargs)
+    return cls(database, counter, **kwargs)

@@ -1,0 +1,87 @@
+"""The QFD model: index raw histograms under the black-box QFD (Section 4).
+
+This is the "straightforward" configuration the paper argues *against* for
+static matrices: every distance evaluation — during indexing as well as
+querying — pays the full O(n^2) quadratic form.  The number of evaluations
+per operation is identical to the QMap model's (distances are the same);
+only the per-evaluation cost differs.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Any
+
+import numpy as np
+
+from .._typing import ArrayLike, as_vector_batch
+from ..core.qfd import QuadraticFormDistance
+from ..distances.base import CountingDistance
+from ..exceptions import QueryError
+from .base import SAM_REGISTRY, BuiltIndex, IndexCosts, instantiate
+
+__all__ = ["QFDModel"]
+
+
+class QFDModel:
+    """Builds access methods directly over the QFD space.
+
+    Parameters
+    ----------
+    qfd:
+        The static quadratic form distance (or a raw QFD matrix).
+    """
+
+    name = "qfd"
+
+    def __init__(self, qfd: QuadraticFormDistance | ArrayLike) -> None:
+        if not isinstance(qfd, QuadraticFormDistance):
+            qfd = QuadraticFormDistance(qfd)
+        self._qfd = qfd
+
+    @property
+    def qfd(self) -> QuadraticFormDistance:
+        """The model's distance function."""
+        return self._qfd
+
+    @property
+    def dim(self) -> int:
+        """Histogram dimensionality ``n``."""
+        return self._qfd.dim
+
+    def build_index(self, method: str, database: ArrayLike, **kwargs: Any) -> BuiltIndex:
+        """Build the named access method over *database*.
+
+        SAM methods are rejected: a coordinate index built for rectangles
+        cannot answer QFD ball queries without ellipsoid-aware bounds,
+        which is precisely the paper's Section 2.1 caveat.  Use the QMap
+        model for SAMs.
+        """
+        if method in SAM_REGISTRY:
+            raise QueryError(
+                f"SAM {method!r} cannot index the raw QFD space; transform "
+                "it with the QMap model first (paper Section 2.4)"
+            )
+        data = as_vector_batch(database, self.dim, name="database")
+        counter = CountingDistance(self._qfd, one_to_many=self._qfd.one_to_many)
+        start = time.perf_counter()
+        am = instantiate(method, data, counter, kwargs)
+        elapsed = time.perf_counter() - start
+        build_costs = IndexCosts(
+            distance_computations=counter.count, transforms=0, seconds=elapsed
+        )
+        counter.reset()
+        return BuiltIndex(
+            am,
+            counter,
+            model_name=self.name,
+            query_mapper=None,
+            build_costs=build_costs,
+        )
+
+    def distance(self, u: ArrayLike, v: ArrayLike) -> float:
+        """One exact QFD evaluation (convenience passthrough)."""
+        return self._qfd(u, v)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"QFDModel(dim={self.dim})"

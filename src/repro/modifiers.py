@@ -1,0 +1,188 @@
+"""TriGen-style distance modifiers (paper reference [27]).
+
+Skopal's unified framework observes that applying an increasing function
+``f`` with ``f(0) = 0`` to a metric changes the *distance distribution*
+without changing any kNN ordering:
+
+* a **concave** ``f`` (e.g. ``d -> d^(1/w)``, ``w >= 1``) can only widen
+  triangles, so the result is again a metric — but its distribution is
+  *more* concentrated (higher intrinsic dimensionality), which makes exact
+  indexing slower;
+* a **convex** ``f`` (e.g. ``d -> d^w``) spreads the distribution (lower
+  intrinsic dimensionality, better pruning) but may break the triangle
+  inequality — searches over the modified distance become approximate,
+  with an error rate governed by how often triangles actually break.
+
+This module implements the power-modifier family, the metric-preservation
+facts, and a tuner that finds the largest convex exponent whose measured
+triangle-violation rate stays under a budget — the essence of TriGen,
+driving ablation bench E_A10.
+
+Because kNN *orderings* are preserved by any increasing ``f``, an index
+built over the modified distance answers kNN queries whose results can be
+re-ranked in the original distance for free; range radii translate through
+``f`` directly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+from ._typing import ArrayLike, as_vector_batch
+from .exceptions import QueryError
+
+__all__ = [
+    "PowerModifier",
+    "ModifiedDistance",
+    "triangle_violation_rate",
+    "tune_convex_exponent",
+]
+
+
+@dataclass(frozen=True)
+class PowerModifier:
+    """The modifier ``f(d) = d ** exponent`` (concave for exponent < 1).
+
+    ``exponent < 1`` (concave): metric-preserving, concentrates distances.
+    ``exponent == 1``: identity.
+    ``exponent > 1`` (convex): spreads distances, may break triangles.
+    """
+
+    exponent: float
+
+    def __post_init__(self) -> None:
+        if self.exponent <= 0.0:
+            raise QueryError(f"exponent must be positive, got {self.exponent}")
+
+    def __call__(self, value: float) -> float:
+        return float(value) ** self.exponent
+
+    def inverse(self, value: float) -> float:
+        """Map a modified distance back to the original scale."""
+        return float(value) ** (1.0 / self.exponent)
+
+    @property
+    def is_metric_preserving(self) -> bool:
+        """Concave power modifiers (exponent <= 1) always yield a metric."""
+        return self.exponent <= 1.0
+
+
+class ModifiedDistance:
+    """A base metric composed with a :class:`PowerModifier`.
+
+    Increasing modifiers preserve kNN orderings exactly; range queries at
+    original-scale radius ``r`` translate to radius ``f(r)`` in the
+    modified space.  Exposes ``one_to_many`` when the base distance does,
+    so counting and vectorized paths keep working.
+    """
+
+    def __init__(
+        self,
+        base: Callable[[np.ndarray, np.ndarray], float],
+        modifier: PowerModifier,
+    ) -> None:
+        self._base = base
+        self._modifier = modifier
+        self._base_one_to_many = getattr(base, "one_to_many", None)
+
+    @property
+    def modifier(self) -> PowerModifier:
+        """The modifier in effect."""
+        return self._modifier
+
+    @property
+    def base(self) -> Callable[[np.ndarray, np.ndarray], float]:
+        """The unmodified distance."""
+        return self._base
+
+    def __call__(self, u: np.ndarray, v: np.ndarray) -> float:
+        return self._modifier(self._base(u, v))
+
+    def one_to_many(self, q: np.ndarray, rows: np.ndarray) -> np.ndarray:
+        if callable(self._base_one_to_many):
+            base_values = np.asarray(self._base_one_to_many(q, rows), dtype=np.float64)
+        else:
+            base_values = np.array([self._base(q, row) for row in rows])
+        return np.power(base_values, self._modifier.exponent)
+
+    def translate_radius(self, radius: float) -> float:
+        """Original-scale radius -> modified-space radius."""
+        if radius < 0.0:
+            raise QueryError(f"radius must be non-negative, got {radius}")
+        return self._modifier(radius)
+
+
+def triangle_violation_rate(
+    data: ArrayLike,
+    distance: Callable[[np.ndarray, np.ndarray], float],
+    *,
+    n_triples: int = 1_000,
+    rng: np.random.Generator | None = None,
+) -> float:
+    """Fraction of sampled triples violating the triangle inequality.
+
+    TriGen's "T-error": the operational measure of how approximate a
+    MAM over the (possibly non-metric) distance will be.
+    """
+    rows = as_vector_batch(data, name="data")
+    m = rows.shape[0]
+    if m < 3:
+        raise QueryError("need at least three objects")
+    if n_triples < 1:
+        raise QueryError(f"n_triples must be >= 1, got {n_triples}")
+    rng = np.random.default_rng(0) if rng is None else rng
+    violations = 0
+    checked = 0
+    for _ in range(n_triples):
+        i, j, k = rng.choice(m, size=3, replace=False)
+        d_ij = distance(rows[i], rows[j])
+        d_jk = distance(rows[j], rows[k])
+        d_ik = distance(rows[i], rows[k])
+        checked += 1
+        slack = 1e-12 * max(1.0, d_ij, d_jk, d_ik)
+        if (
+            d_ik > d_ij + d_jk + slack
+            or d_ij > d_ik + d_jk + slack
+            or d_jk > d_ij + d_ik + slack
+        ):
+            violations += 1
+    return violations / checked
+
+
+def tune_convex_exponent(
+    data: ArrayLike,
+    base: Callable[[np.ndarray, np.ndarray], float],
+    *,
+    max_violation_rate: float = 0.01,
+    exponents: ArrayLike = (1.0, 1.25, 1.5, 2.0, 3.0, 4.0),
+    n_triples: int = 500,
+    rng: np.random.Generator | None = None,
+) -> tuple[PowerModifier, float]:
+    """TriGen-style tuning: the largest exponent within the error budget.
+
+    Returns ``(modifier, measured_violation_rate)``.  Exponent 1.0 (the
+    identity, always metric) is the fallback when every convex candidate
+    breaks too many triangles.
+    """
+    if not 0.0 <= max_violation_rate <= 1.0:
+        raise QueryError("max_violation_rate must be in [0, 1]")
+    rng = np.random.default_rng(0) if rng is None else rng
+    candidates = sorted(float(e) for e in np.asarray(exponents, dtype=np.float64))
+    if candidates[0] < 1.0:
+        raise QueryError("convex tuning starts at exponent 1.0; use concave directly")
+    best = PowerModifier(1.0)
+    best_rate = 0.0
+    for exponent in candidates:
+        modifier = PowerModifier(exponent)
+        modified = ModifiedDistance(base, modifier)
+        rate = triangle_violation_rate(
+            data, modified, n_triples=n_triples, rng=np.random.default_rng(rng.integers(2**31))
+        )
+        if rate <= max_violation_rate:
+            best, best_rate = modifier, rate
+        else:
+            break  # rates grow with the exponent; no point going on
+    return best, best_rate

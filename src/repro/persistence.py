@@ -1,0 +1,190 @@
+"""Persistence of the library's numeric artifacts.
+
+A production deployment of the QMap model stores, between sessions:
+
+* the QFD matrix and its Cholesky factor (tiny — n x n, computed once
+  "at the time of designing the similarity", paper Section 4),
+* the transformed database (the expensive O(m n^2) pass),
+* flat index payloads such as the LAESA pivot table (m x p distances).
+
+All artifacts are written as numpy ``.npz`` archives with a ``kind``
+marker and explicit named arrays — no pickling of code objects, so files
+are portable across library versions and languages.  Hierarchical
+structures (M-tree, vp-tree, ...) are intentionally *not* serialized:
+in the QMap model rebuilding them from the persisted transformed database
+costs only O(n)-per-distance work, which is the paper's entire point.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Callable
+
+import numpy as np
+
+from ._typing import ArrayLike
+from .core.qmap import QMap
+from .core.validation import PDRepair
+from .datasets.workloads import Workload
+from .exceptions import StorageError
+from .mam.base import DistancePort
+from .mam.pivot_table import PivotTable
+
+__all__ = [
+    "save_qmap",
+    "load_qmap",
+    "save_workload",
+    "load_workload",
+    "save_transformed_database",
+    "load_transformed_database",
+    "save_pivot_table",
+    "load_pivot_table",
+]
+
+_PathLike = "str | os.PathLike[str]"
+
+
+def _check_kind(archive: np.lib.npyio.NpzFile, expected: str, path: object) -> None:
+    kind = str(archive["kind"]) if "kind" in archive else "<missing>"
+    if kind != expected:
+        raise StorageError(
+            f"{path!s} holds a {kind!r} artifact, expected {expected!r}"
+        )
+
+
+def save_qmap(qmap: QMap, path: "str | os.PathLike[str]") -> None:
+    """Persist a QMap: the QFD matrix A and its Cholesky factor B."""
+    np.savez_compressed(
+        path, kind="qmap", matrix=qmap.qfd.matrix, cholesky=qmap.matrix
+    )
+
+
+def load_qmap(path: "str | os.PathLike[str]") -> QMap:
+    """Load a QMap saved by :func:`save_qmap`.
+
+    The matrix is re-validated and re-factored (O(n^3), negligible); the
+    stored factor is cross-checked against the fresh one so silent file
+    corruption cannot produce a distance-distorting transform.
+    """
+    with np.load(path) as archive:
+        _check_kind(archive, "qmap", path)
+        matrix = archive["matrix"]
+        stored_factor = archive["cholesky"]
+    qmap = QMap(matrix)
+    if not np.allclose(qmap.matrix, stored_factor, rtol=1e-9, atol=1e-12):
+        raise StorageError(f"{path!s}: stored Cholesky factor does not match matrix")
+    return qmap
+
+
+def save_workload(workload: Workload, path: "str | os.PathLike[str]") -> None:
+    """Persist a benchmark workload (database, queries, matrix, repair)."""
+    np.savez_compressed(
+        path,
+        kind="workload",
+        database=workload.database,
+        queries=workload.queries,
+        matrix=workload.matrix,
+        shift=np.float64(workload.matrix_repair.shift),
+        min_eigenvalue=np.float64(workload.matrix_repair.min_eigenvalue),
+        name=np.str_(workload.name),
+    )
+
+
+def load_workload(path: "str | os.PathLike[str]") -> Workload:
+    """Load a workload saved by :func:`save_workload`."""
+    with np.load(path) as archive:
+        _check_kind(archive, "workload", path)
+        matrix = archive["matrix"]
+        repair = PDRepair(
+            matrix=matrix,
+            shift=float(archive["shift"]),
+            min_eigenvalue=float(archive["min_eigenvalue"]),
+        )
+        return Workload(
+            database=archive["database"],
+            queries=archive["queries"],
+            matrix=matrix,
+            matrix_repair=repair,
+            name=str(archive["name"]),
+        )
+
+
+def save_transformed_database(
+    qmap: QMap, database: ArrayLike, path: "str | os.PathLike[str]"
+) -> None:
+    """Transform *database* and persist both spaces' representations.
+
+    Stores the original rows, the mapped rows, and the matrix — everything
+    needed to rebuild any MAM/SAM in O(n)-per-distance work, or to verify
+    the mapping on load.
+    """
+    data = np.asarray(database, dtype=np.float64)
+    mapped = qmap.transform_batch(data)
+    np.savez_compressed(
+        path,
+        kind="transformed-database",
+        matrix=qmap.qfd.matrix,
+        database=data,
+        mapped=mapped,
+    )
+
+
+def load_transformed_database(
+    path: "str | os.PathLike[str]", *, verify_rows: int = 8
+) -> tuple[QMap, np.ndarray, np.ndarray]:
+    """Load ``(qmap, database, mapped)`` from :func:`save_transformed_database`.
+
+    A sample of *verify_rows* rows is re-transformed and compared against
+    the stored mapping to catch corrupted or mismatched files.
+    """
+    with np.load(path) as archive:
+        _check_kind(archive, "transformed-database", path)
+        matrix = archive["matrix"]
+        database = archive["database"]
+        mapped = archive["mapped"]
+    qmap = QMap(matrix)
+    if database.shape != mapped.shape:
+        raise StorageError(f"{path!s}: database/mapped shape mismatch")
+    sample = np.linspace(0, database.shape[0] - 1, min(verify_rows, database.shape[0]))
+    for i in sample.astype(int):
+        if not np.allclose(qmap.transform(database[i]), mapped[i], rtol=1e-9, atol=1e-9):
+            raise StorageError(f"{path!s}: stored mapping disagrees with the matrix")
+    return qmap, database, mapped
+
+
+def save_pivot_table(table: PivotTable, path: "str | os.PathLike[str]") -> None:
+    """Persist a LAESA pivot table: rows, pivot ids and the distance matrix."""
+    np.savez_compressed(
+        path,
+        kind="pivot-table",
+        database=table.database,
+        pivot_indices=np.asarray(table.pivot_indices, dtype=np.int64),
+        table=table.table,
+    )
+
+
+def load_pivot_table(
+    path: "str | os.PathLike[str]", distance: DistancePort | Callable
+) -> PivotTable:
+    """Load a pivot table saved by :func:`save_pivot_table`.
+
+    *distance* must be the same function the table was built with; a
+    sample entry is re-evaluated to catch obvious mismatches.
+    """
+    with np.load(path) as archive:
+        _check_kind(archive, "pivot-table", path)
+        instance = PivotTable.from_parts(
+            archive["database"],
+            distance,
+            [int(i) for i in archive["pivot_indices"]],
+            archive["table"],
+        )
+    probe = instance.distance.pair(
+        instance.database[0], instance.database[instance.pivot_indices[0]]
+    )
+    if not np.isclose(probe, instance.table[0, 0], rtol=1e-6, atol=1e-9):
+        raise StorageError(
+            f"{path!s}: supplied distance disagrees with the stored table "
+            "(wrong metric or wrong matrix?)"
+        )
+    return instance

@@ -1,0 +1,13 @@
+"""Spatial access methods (paper Section 2.1).
+
+SAMs index coordinates rather than a black-box distance — the R-tree family
+and the VA-file are the paper's named representatives.  In the QMap model
+the transformed (Euclidean) database "can be then indexed by any MAM or
+SAM"; bench E_A6 exercises both of these on that space.
+"""
+
+from .rtree import RTree
+from .vafile import VAFile
+from .xtree import XTree
+
+__all__ = ["RTree", "VAFile", "XTree"]

@@ -1,0 +1,19 @@
+"""Disk substrate: paged files, a fixed-size LRU cache, and vector storage.
+
+Reproduces the secondary-memory environment of the paper's experiments,
+including the Section 5.3 "fixed-size disk cache" whose overflow bends the
+query-time curves on the largest databases (ablation bench E_A4).
+"""
+
+from .cache import CacheStats, LRUPageCache
+from .pages import DEFAULT_PAGE_SIZE, PagedFile, PageStats
+from .vector_store import VectorStore
+
+__all__ = [
+    "PagedFile",
+    "PageStats",
+    "DEFAULT_PAGE_SIZE",
+    "LRUPageCache",
+    "CacheStats",
+    "VectorStore",
+]

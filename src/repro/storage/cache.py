@@ -1,0 +1,120 @@
+"""Fixed-size LRU page cache (paper Section 5.3).
+
+The paper explains the relative slowdown of query processing on its largest
+databases by "a fixed-size disk cache used in the experiments".  This cache
+reproduces that behaviour: while the working set fits, queries touch the
+disk only once; once the database outgrows ``capacity`` pages, every scan
+starts faulting and the cost curve bends upward (bench E_A4).
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+
+from ..exceptions import StorageError
+from .pages import PagedFile
+
+__all__ = ["CacheStats", "LRUPageCache"]
+
+
+@dataclass
+class CacheStats:
+    """Hit/fault counters of an :class:`LRUPageCache`."""
+
+    hits: int = 0
+    faults: int = 0
+
+    @property
+    def accesses(self) -> int:
+        """Total page accesses through the cache."""
+        return self.hits + self.faults
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of accesses served from the cache (0 when untouched)."""
+        if self.accesses == 0:
+            return 0.0
+        return self.hits / self.accesses
+
+    def reset(self) -> None:
+        """Zero the counters."""
+        self.hits = 0
+        self.faults = 0
+
+
+class LRUPageCache:
+    """Least-recently-used cache in front of a :class:`PagedFile`.
+
+    Writes are write-through: the page goes to the backing file immediately
+    and the cached copy (if any) is refreshed, so a crash-free read path
+    never observes stale data.
+
+    Parameters
+    ----------
+    backing:
+        The paged file to cache.
+    capacity:
+        Cache size in pages; must be at least 1.
+    """
+
+    def __init__(self, backing: PagedFile, capacity: int) -> None:
+        if capacity < 1:
+            raise StorageError(f"cache capacity must be >= 1 page, got {capacity}")
+        self._backing = backing
+        self._capacity = capacity
+        self._pages: OrderedDict[int, bytes] = OrderedDict()
+        self._stats = CacheStats()
+
+    @property
+    def capacity(self) -> int:
+        """Cache capacity in pages."""
+        return self._capacity
+
+    @property
+    def stats(self) -> CacheStats:
+        """Hit/fault counters."""
+        return self._stats
+
+    @property
+    def backing(self) -> PagedFile:
+        """The underlying paged file."""
+        return self._backing
+
+    def __len__(self) -> int:
+        return len(self._pages)
+
+    def read_page(self, page_id: int) -> bytes:
+        """Read a page, serving from the cache when possible."""
+        if page_id in self._pages:
+            self._stats.hits += 1
+            self._pages.move_to_end(page_id)
+            return self._pages[page_id]
+        self._stats.faults += 1
+        data = self._backing.read_page(page_id)
+        self._insert(page_id, data)
+        return data
+
+    def write_page(self, page_id: int, payload: bytes) -> None:
+        """Write-through a page and refresh the cached copy."""
+        self._backing.write_page(page_id, payload)
+        padded = payload.ljust(self._backing.page_size, b"\x00")
+        if page_id in self._pages:
+            self._pages[page_id] = padded
+            self._pages.move_to_end(page_id)
+        else:
+            self._insert(page_id, padded)
+
+    def allocate(self) -> int:
+        """Allocate a page in the backing file."""
+        return self._backing.allocate()
+
+    def _insert(self, page_id: int, data: bytes) -> None:
+        self._pages[page_id] = data
+        self._pages.move_to_end(page_id)
+        while len(self._pages) > self._capacity:
+            self._pages.popitem(last=False)
+
+    def clear(self) -> None:
+        """Drop all cached pages (counters are kept)."""
+        self._pages.clear()

@@ -1,0 +1,152 @@
+"""Paged binary storage — the disk substrate (paper Section 5.3).
+
+The paper's indexes live in secondary memory behind a *fixed-size disk
+cache*; Section 5.3 attributes the relative slowdown on the largest
+databases to that cache overflowing.  To reproduce the effect
+deterministically we model a disk as an array of fixed-size pages with
+explicit read/write accounting (and optional simulated latency), fronted by
+the LRU cache in :mod:`repro.storage.cache`.
+
+:class:`PagedFile` supports both a RAM-backed mode (fast, used by tests)
+and a real file on disk.
+"""
+
+from __future__ import annotations
+
+import io
+import os
+import time
+from dataclasses import dataclass
+
+from ..exceptions import PageError, StorageError
+
+__all__ = ["PageStats", "PagedFile", "DEFAULT_PAGE_SIZE"]
+
+#: Default page size in bytes; 4 KiB like a common filesystem block.
+DEFAULT_PAGE_SIZE = 4096
+
+
+@dataclass
+class PageStats:
+    """Physical I/O counters of a :class:`PagedFile`."""
+
+    reads: int = 0
+    writes: int = 0
+
+    def reset(self) -> None:
+        """Zero the counters."""
+        self.reads = 0
+        self.writes = 0
+
+
+class PagedFile:
+    """A file of fixed-size pages with physical-I/O accounting.
+
+    Parameters
+    ----------
+    page_size:
+        Page payload size in bytes.
+    path:
+        When given, pages live in a real file at *path*; otherwise in an
+        in-memory buffer (still paying the accounting, which is what the
+        experiments measure).
+    read_latency:
+        Optional simulated seconds per physical page read; lets benches
+        exaggerate the cost gap between cached and uncached access without
+        real spinning rust.
+    """
+
+    def __init__(
+        self,
+        page_size: int = DEFAULT_PAGE_SIZE,
+        *,
+        path: str | os.PathLike[str] | None = None,
+        read_latency: float = 0.0,
+    ) -> None:
+        if page_size < 16:
+            raise StorageError(f"page_size must be >= 16 bytes, got {page_size}")
+        if read_latency < 0.0:
+            raise StorageError("read_latency must be non-negative")
+        self._page_size = page_size
+        self._read_latency = read_latency
+        self._n_pages = 0
+        self._stats = PageStats()
+        self._path = os.fspath(path) if path is not None else None
+        if self._path is None:
+            self._buffer: io.BytesIO | None = io.BytesIO()
+            self._file = None
+        else:
+            self._buffer = None
+            self._file = open(self._path, "w+b")
+
+    @property
+    def page_size(self) -> int:
+        """Page payload size in bytes."""
+        return self._page_size
+
+    @property
+    def n_pages(self) -> int:
+        """Number of allocated pages."""
+        return self._n_pages
+
+    @property
+    def stats(self) -> PageStats:
+        """Physical I/O counters (reads bypass the cache layer only)."""
+        return self._stats
+
+    def _backend(self) -> io.BufferedRandom | io.BytesIO:
+        backend = self._file if self._file is not None else self._buffer
+        if backend is None:  # pragma: no cover - defensive
+            raise StorageError("paged file is closed")
+        return backend
+
+    def allocate(self) -> int:
+        """Allocate a zero-filled page, returning its page id."""
+        backend = self._backend()
+        page_id = self._n_pages
+        backend.seek(page_id * self._page_size)
+        backend.write(b"\x00" * self._page_size)
+        self._n_pages += 1
+        return page_id
+
+    def _check_page_id(self, page_id: int) -> None:
+        if not 0 <= page_id < self._n_pages:
+            raise PageError(f"page id {page_id} out of range [0, {self._n_pages})")
+
+    def write_page(self, page_id: int, payload: bytes) -> None:
+        """Write *payload* (at most one page) to page *page_id*."""
+        self._check_page_id(page_id)
+        if len(payload) > self._page_size:
+            raise PageError(
+                f"payload of {len(payload)} bytes exceeds page size {self._page_size}"
+            )
+        backend = self._backend()
+        backend.seek(page_id * self._page_size)
+        backend.write(payload.ljust(self._page_size, b"\x00"))
+        self._stats.writes += 1
+
+    def read_page(self, page_id: int) -> bytes:
+        """Read the full payload of page *page_id* (a physical read)."""
+        self._check_page_id(page_id)
+        if self._read_latency > 0.0:
+            time.sleep(self._read_latency)
+        backend = self._backend()
+        backend.seek(page_id * self._page_size)
+        data = backend.read(self._page_size)
+        if len(data) != self._page_size:
+            raise PageError(f"short read on page {page_id}")
+        self._stats.reads += 1
+        return data
+
+    def close(self) -> None:
+        """Release the backing file or buffer."""
+        if self._file is not None:
+            self._file.close()
+            self._file = None
+        self._buffer = None
+
+    def __enter__(self) -> "PagedFile":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()

@@ -1,0 +1,152 @@
+"""Disk-backed vector storage: fixed-length records packed into pages.
+
+This is the binary layout behind the paper's "sequential file" MAM
+(Section 4.1): appending a vector writes its ``float64`` coordinates into
+the next free slot; a sequential scan reads the pages in order through the
+LRU cache, paying one physical read per page not resident.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+import numpy as np
+
+from ..exceptions import DimensionMismatchError, PageError, StorageError
+from .cache import LRUPageCache
+from .pages import DEFAULT_PAGE_SIZE, PagedFile
+
+__all__ = ["VectorStore"]
+
+_FLOAT_BYTES = 8
+
+
+class VectorStore:
+    """Append-only store of fixed-dimensionality ``float64`` vectors.
+
+    Parameters
+    ----------
+    dim:
+        Vector dimensionality; fixed for the lifetime of the store.
+    page_size:
+        Page payload size in bytes; must fit at least one record.
+    cache_pages:
+        LRU cache capacity in pages.
+    path:
+        Optional real file backing; in-memory by default.
+    read_latency:
+        Simulated seconds per physical page read (see
+        :class:`~repro.storage.pages.PagedFile`).
+    """
+
+    def __init__(
+        self,
+        dim: int,
+        *,
+        page_size: int = DEFAULT_PAGE_SIZE,
+        cache_pages: int = 64,
+        path: str | None = None,
+        read_latency: float = 0.0,
+    ) -> None:
+        if dim < 1:
+            raise StorageError(f"dim must be >= 1, got {dim}")
+        record = dim * _FLOAT_BYTES
+        if record > page_size:
+            raise StorageError(
+                f"a {dim}-d float64 record ({record} B) does not fit a "
+                f"{page_size} B page; raise page_size"
+            )
+        self._dim = dim
+        self._record_size = record
+        self._per_page = page_size // record
+        self._file = PagedFile(page_size, path=path, read_latency=read_latency)
+        self._cache = LRUPageCache(self._file, cache_pages)
+        self._count = 0
+
+    @property
+    def dim(self) -> int:
+        """Vector dimensionality."""
+        return self._dim
+
+    def __len__(self) -> int:
+        return self._count
+
+    @property
+    def records_per_page(self) -> int:
+        """How many vectors share one page."""
+        return self._per_page
+
+    @property
+    def cache(self) -> LRUPageCache:
+        """The LRU page cache (for stats and capacity introspection)."""
+        return self._cache
+
+    def append(self, vector: np.ndarray) -> int:
+        """Append one vector, returning its record index."""
+        arr = np.ascontiguousarray(vector, dtype=np.float64)
+        if arr.shape != (self._dim,):
+            raise DimensionMismatchError(
+                f"expected shape ({self._dim},), got {arr.shape}"
+            )
+        page_id, slot = divmod(self._count, self._per_page)
+        if slot == 0:
+            allocated = self._cache.allocate()
+            if allocated != page_id:  # pragma: no cover - defensive
+                raise PageError(f"allocation out of order: {allocated} != {page_id}")
+            payload = bytearray(self._file.page_size)
+        else:
+            payload = bytearray(self._cache.read_page(page_id))
+        offset = slot * self._record_size
+        payload[offset : offset + self._record_size] = arr.tobytes()
+        self._cache.write_page(page_id, bytes(payload))
+        index = self._count
+        self._count += 1
+        return index
+
+    def extend(self, batch: np.ndarray) -> None:
+        """Append every row of *batch*."""
+        rows = np.atleast_2d(np.asarray(batch, dtype=np.float64))
+        for row in rows:
+            self.append(row)
+
+    def get(self, index: int) -> np.ndarray:
+        """Read the vector at record *index* (through the cache)."""
+        if not 0 <= index < self._count:
+            raise PageError(f"record index {index} out of range [0, {self._count})")
+        page_id, slot = divmod(index, self._per_page)
+        payload = self._cache.read_page(page_id)
+        offset = slot * self._record_size
+        return np.frombuffer(payload, dtype=np.float64, count=self._dim, offset=offset).copy()
+
+    def scan(self) -> Iterator[tuple[int, np.ndarray]]:
+        """Iterate ``(index, vector)`` in storage order, page by page."""
+        for start in range(0, self._count, self._per_page):
+            page_id = start // self._per_page
+            payload = self._cache.read_page(page_id)
+            in_page = min(self._per_page, self._count - start)
+            block = np.frombuffer(
+                payload, dtype=np.float64, count=in_page * self._dim
+            ).reshape(in_page, self._dim)
+            for slot in range(in_page):
+                yield start + slot, block[slot].copy()
+
+    def scan_pages(self) -> Iterator[tuple[int, np.ndarray]]:
+        """Iterate ``(first_index, rows)`` one page at a time (vectorized scan)."""
+        for start in range(0, self._count, self._per_page):
+            page_id = start // self._per_page
+            payload = self._cache.read_page(page_id)
+            in_page = min(self._per_page, self._count - start)
+            rows = np.frombuffer(
+                payload, dtype=np.float64, count=in_page * self._dim
+            ).reshape(in_page, self._dim)
+            yield start, rows.copy()
+
+    def close(self) -> None:
+        """Close the backing paged file."""
+        self._file.close()
+
+    def __enter__(self) -> "VectorStore":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()

@@ -1,0 +1,51 @@
+"""Shared fixtures for the test suite.
+
+Workload fixtures are session-scoped: generating clustered histograms and
+building QFD matrices is the expensive part of most tests, and the data is
+never mutated (tests that need mutation make copies).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.color import lab_bin_prototypes
+from repro.core import QuadraticFormDistance, prototype_similarity_matrix, random_spd_matrix
+from repro.datasets import clustered_histograms, histogram_workload
+
+
+@pytest.fixture()
+def rng() -> np.random.Generator:
+    """Fresh deterministic generator per test."""
+    return np.random.default_rng(0xC0FFEE)
+
+
+@pytest.fixture(scope="session")
+def hafner_matrix_64() -> np.ndarray:
+    """The paper's Hafner matrix at 4 bins/channel (64-d)."""
+    return prototype_similarity_matrix(lab_bin_prototypes(4)).matrix
+
+
+@pytest.fixture(scope="session")
+def qfd_64(hafner_matrix_64: np.ndarray) -> QuadraticFormDistance:
+    """QFD over the 64-d Hafner matrix."""
+    return QuadraticFormDistance(hafner_matrix_64)
+
+
+@pytest.fixture(scope="session")
+def spd_16() -> np.ndarray:
+    """A random 16-d SPD matrix (fixed seed)."""
+    return random_spd_matrix(16, rng=np.random.default_rng(11), condition=8.0)
+
+
+@pytest.fixture(scope="session")
+def histograms_64() -> np.ndarray:
+    """600 clustered 64-d histograms (unit row sums)."""
+    return clustered_histograms(600, 4, themes=10, rng=np.random.default_rng(42))
+
+
+@pytest.fixture(scope="session")
+def small_workload():
+    """A ready-made 400-object workload with 6 held-out queries."""
+    return histogram_workload(400, 6, bins_per_channel=4, seed=7)

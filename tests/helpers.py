@@ -1,0 +1,39 @@
+"""Assertion helpers shared across test modules."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.mam.base import Neighbor
+
+__all__ = ["assert_same_neighbors", "same_neighbors"]
+
+
+def same_neighbors(
+    got: Sequence[Neighbor], expected: Sequence[Neighbor], *, tol: float = 1e-8
+) -> bool:
+    """Whether two sorted neighbor lists agree in indices and distances.
+
+    Distances are compared with an absolute tolerance to absorb the ulp
+    differences between vectorized and scalar evaluation paths.
+    """
+    if len(got) != len(expected):
+        return False
+    return all(
+        g.index == e.index and abs(g.distance - e.distance) <= tol
+        for g, e in zip(got, expected)
+    )
+
+
+def assert_same_neighbors(
+    got: Sequence[Neighbor], expected: Sequence[Neighbor], *, tol: float = 1e-8, label: str = ""
+) -> None:
+    """Assert with a readable diff on mismatch."""
+    assert len(got) == len(expected), (
+        f"{label}: result size {len(got)} != expected {len(expected)}\n"
+        f"got:      {got[:5]}\nexpected: {expected[:5]}"
+    )
+    for pos, (g, e) in enumerate(zip(got, expected)):
+        assert g.index == e.index and abs(g.distance - e.distance) <= tol, (
+            f"{label}: mismatch at position {pos}: got {g}, expected {e}"
+        )

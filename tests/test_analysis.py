@@ -1,0 +1,115 @@
+"""Tests for repro.analysis — distance distributions and intrinsic dim."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    analyze_distances,
+    intrinsic_dimensionality,
+    sample_distances,
+)
+from repro.core import QMap, QuadraticFormDistance
+from repro.distances import euclidean
+from repro.exceptions import QueryError
+
+
+class TestSampleDistances:
+    def test_shape_and_positivity(self, histograms_64) -> None:
+        out = sample_distances(histograms_64[:100], euclidean, n_pairs=500)
+        assert out.shape == (500,)
+        assert np.all(out >= 0.0)
+
+    def test_distinct_pairs_only(self) -> None:
+        """With all-identical data every sampled distance is zero, but the
+        sampler must still pick distinct *indices* (never d(o, o) slots)."""
+        data = np.tile([1.0, 2.0], (10, 1))
+        out = sample_distances(data, euclidean, n_pairs=100)
+        assert np.all(out == 0.0)
+
+    def test_deterministic_given_rng(self, histograms_64) -> None:
+        a = sample_distances(histograms_64[:50], euclidean, rng=np.random.default_rng(1))
+        b = sample_distances(histograms_64[:50], euclidean, rng=np.random.default_rng(1))
+        assert np.array_equal(a, b)
+
+    def test_rejects_tiny_input(self) -> None:
+        with pytest.raises(QueryError):
+            sample_distances(np.ones((1, 3)), euclidean)
+        with pytest.raises(QueryError):
+            sample_distances(np.ones((5, 3)), euclidean, n_pairs=0)
+
+
+class TestIntrinsicDimensionality:
+    def test_known_value(self) -> None:
+        # mu = 2, var = 1 -> rho = 4 / 2 = 2.
+        distances = np.array([1.0, 3.0, 1.0, 3.0])
+        assert intrinsic_dimensionality(distances) == pytest.approx(2.0)
+
+    def test_concentrated_space_has_high_rho(self, rng) -> None:
+        tight = rng.normal(10.0, 0.01, 1000)
+        loose = rng.normal(10.0, 3.0, 1000)
+        assert intrinsic_dimensionality(tight) > intrinsic_dimensionality(loose)
+
+    def test_uniform_hypercube_grows_with_dim(self, rng) -> None:
+        """Classic sanity check: L2 on uniform [0,1]^d concentrates as d
+        grows, so rho must increase."""
+        rhos = []
+        for dim in (2, 8, 32):
+            data = rng.random((300, dim))
+            rhos.append(intrinsic_dimensionality(sample_distances(data, euclidean)))
+        assert rhos[0] < rhos[1] < rhos[2]
+
+    def test_degenerate_zero_variance(self) -> None:
+        assert intrinsic_dimensionality([2.0, 2.0, 2.0]) == float("inf")
+        assert intrinsic_dimensionality([0.0, 0.0]) == 0.0
+
+    def test_rejects_single_value(self) -> None:
+        with pytest.raises(QueryError):
+            intrinsic_dimensionality([1.0])
+
+
+class TestQMapPreservesDistribution:
+    """The formal core of paper Section 4's 'same number of distance
+    computations' claim: identical distances => identical distribution =>
+    identical intrinsic dimensionality."""
+
+    def test_identical_idim(self, qfd_64, histograms_64) -> None:
+        qmap = QMap(qfd_64)
+        data = histograms_64[:200]
+        mapped = qmap.transform_batch(data)
+        rng_a, rng_b = np.random.default_rng(3), np.random.default_rng(3)
+        d_qfd = sample_distances(data, qfd_64, n_pairs=800, rng=rng_a)
+        d_l2 = sample_distances(mapped, euclidean, n_pairs=800, rng=rng_b)
+        assert np.allclose(d_qfd, d_l2, atol=1e-9)
+        assert intrinsic_dimensionality(d_qfd) == pytest.approx(
+            intrinsic_dimensionality(d_l2), rel=1e-9
+        )
+
+    def test_qfd_vs_plain_l2_differ(self, qfd_64, histograms_64) -> None:
+        """Correlating bins genuinely changes the geometry: the QFD space
+        and the naive-L2-on-histograms space have different intrinsic
+        dimensionalities (it is NOT the identity transform)."""
+        data = histograms_64[:200]
+        rng_a, rng_b = np.random.default_rng(3), np.random.default_rng(3)
+        rho_qfd = intrinsic_dimensionality(
+            sample_distances(data, qfd_64, n_pairs=800, rng=rng_a)
+        )
+        rho_l2 = intrinsic_dimensionality(
+            sample_distances(data, euclidean, n_pairs=800, rng=rng_b)
+        )
+        assert abs(rho_qfd - rho_l2) / rho_l2 > 0.05
+
+
+class TestAnalyzeDistances:
+    def test_summary_fields(self, rng) -> None:
+        distances = rng.random(500) + 0.5
+        summary = analyze_distances(distances, bins=16)
+        assert summary.minimum <= summary.mean <= summary.maximum
+        assert summary.histogram.sum() == 500
+        assert summary.bin_edges.shape == (17,)
+        assert summary.concentration() == pytest.approx(summary.std / summary.mean)
+
+    def test_rejects_bad_bins(self, rng) -> None:
+        with pytest.raises(QueryError):
+            analyze_distances(rng.random(10), bins=0)

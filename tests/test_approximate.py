@@ -1,0 +1,135 @@
+"""Tests for approximate kNN (MTree epsilon) and repro.evaluation."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.datasets import clustered_histograms
+from repro.distances import CountingDistance, euclidean, euclidean_one_to_many
+from repro.evaluation import ApproximationQuality, compare_results, mean_quality
+from repro.exceptions import QueryError
+from repro.mam import MTree, Neighbor, SequentialFile
+
+
+@pytest.fixture(scope="module")
+def data():
+    return clustered_histograms(600, 4, themes=8, rng=np.random.default_rng(111))
+
+
+@pytest.fixture(scope="module")
+def scan(data):
+    return SequentialFile(data, euclidean)
+
+
+class TestEpsilonKNN:
+    def test_epsilon_zero_is_exact(self, data, scan) -> None:
+        tree = MTree(data, euclidean, capacity=8, epsilon=0.0)
+        q = data[0]
+        assert [n.index for n in tree.knn_search(q, 10)] == [
+            n.index for n in scan.knn_search(q, 10)
+        ]
+
+    def test_guarantee_holds(self, data, scan) -> None:
+        """Every reported kth distance is within (1+eps) of the true kth."""
+        for epsilon in (0.1, 0.5, 2.0):
+            tree = MTree(data, euclidean, capacity=8, epsilon=epsilon)
+            for q in data[:5]:
+                true_kth = scan.knn_search(q, 10)[-1].distance
+                got = tree.knn_search(q, 10)
+                assert len(got) == 10
+                assert got[-1].distance <= true_kth * (1.0 + epsilon) + 1e-12
+
+    def test_larger_epsilon_fewer_evaluations(self, data) -> None:
+        evals = []
+        for epsilon in (0.0, 1.0):
+            counter = CountingDistance(euclidean, one_to_many=euclidean_one_to_many)
+            tree = MTree(data, counter, capacity=8, epsilon=epsilon)
+            counter.reset()
+            for q in data[:10]:
+                tree.knn_search(q, 10)
+            evals.append(counter.count)
+        assert evals[1] < evals[0]
+
+    def test_recall_degrades_gracefully(self, data, scan) -> None:
+        tree = MTree(data, euclidean, capacity=8, epsilon=0.3)
+        recalls = []
+        for q in data[:10]:
+            exact = scan.knn_search(q, 10)
+            approx = tree.knn_search(q, 10)
+            recalls.append(compare_results(exact, approx).recall)
+        assert np.mean(recalls) > 0.5  # relaxed but not garbage
+
+    def test_rejects_negative_epsilon(self, data) -> None:
+        with pytest.raises(QueryError):
+            MTree(data[:10], euclidean, epsilon=-0.1)
+
+    def test_range_queries_stay_exact(self, data, scan) -> None:
+        """Epsilon only relaxes kNN; range queries remain exact."""
+        tree = MTree(data, euclidean, capacity=8, epsilon=5.0)
+        q = data[3]
+        nn = scan.knn_search(q, 20)
+        radius = (nn[-2].distance + nn[-1].distance) / 2.0
+        assert [n.index for n in tree.range_search(q, radius)] == [
+            n.index for n in scan.range_search(q, radius)
+        ]
+
+
+class TestEvaluationMetrics:
+    def _mk(self, pairs):
+        return [Neighbor(d, i) for d, i in pairs]
+
+    def test_perfect_answer(self) -> None:
+        exact = self._mk([(0.1, 1), (0.2, 2), (0.3, 3)])
+        quality = compare_results(exact, exact)
+        assert quality.is_exact
+        assert quality.recall == 1.0
+        assert quality.rank_displacement == 0.0
+
+    def test_partial_recall(self) -> None:
+        exact = self._mk([(0.1, 1), (0.2, 2), (0.3, 3), (0.4, 4)])
+        approx = self._mk([(0.1, 1), (0.2, 2), (0.5, 9), (0.6, 8)])
+        quality = compare_results(exact, approx)
+        assert quality.recall == pytest.approx(0.5)
+
+    def test_relative_error(self) -> None:
+        exact = self._mk([(0.1, 1), (0.2, 2)])
+        approx = self._mk([(0.1, 1), (0.3, 5)])
+        quality = compare_results(exact, approx)
+        assert quality.relative_error == pytest.approx(0.5)
+
+    def test_zero_kth_distance_edge(self) -> None:
+        exact = self._mk([(0.0, 1)])
+        assert compare_results(exact, exact).relative_error == 0.0
+        off = self._mk([(0.2, 5)])
+        assert compare_results(exact, off).relative_error == float("inf")
+
+    def test_rank_displacement_with_full_ranking(self) -> None:
+        full = self._mk([(0.1, 1), (0.2, 2), (0.3, 3), (0.4, 4), (0.5, 5)])
+        exact = full[:2]
+        approx = self._mk([(0.1, 1), (0.4, 4)])  # 4 has true rank 3, ideal 1
+        quality = compare_results(exact, approx, full_ranking=full)
+        assert quality.rank_displacement == pytest.approx(1.0)  # (0 + 2) / 2
+
+    def test_unknown_object_gets_fallback_rank(self) -> None:
+        exact = self._mk([(0.1, 1), (0.2, 2)])
+        approx = self._mk([(0.1, 1), (0.9, 77)])
+        quality = compare_results(exact, approx)
+        assert quality.rank_displacement > 0.0
+
+    def test_validation(self) -> None:
+        with pytest.raises(QueryError):
+            compare_results([], [])
+        exact = self._mk([(0.1, 1)])
+        with pytest.raises(QueryError):
+            compare_results(exact, self._mk([(0.1, 1), (0.2, 2)]))
+
+    def test_mean_quality(self) -> None:
+        a = ApproximationQuality(1.0, 0.0, 0.0)
+        b = ApproximationQuality(0.5, 0.2, 2.0)
+        mean = mean_quality([a, b])
+        assert mean.recall == pytest.approx(0.75)
+        assert mean.relative_error == pytest.approx(0.1)
+        assert mean.rank_displacement == pytest.approx(1.0)
+        with pytest.raises(QueryError):
+            mean_quality([])

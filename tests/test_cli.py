@@ -1,0 +1,49 @@
+"""Tests for repro.cli — command parsing and exit codes."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self) -> None:
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_unknown_command_rejected(self) -> None:
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["optimize"])
+
+    def test_verify_defaults(self) -> None:
+        args = build_parser().parse_args(["verify"])
+        assert args.dim == 32 and args.size == 500
+
+    def test_compare_options(self) -> None:
+        args = build_parser().parse_args(
+            ["compare", "--method", "vptree", "--size", "100", "--bins", "2", "--k", "3"]
+        )
+        assert args.method == "vptree"
+        assert (args.size, args.bins, args.k) == (100, 2, 3)
+
+
+class TestCommands:
+    def test_info(self, capsys) -> None:
+        assert main(["info"]) == 0
+        out = capsys.readouterr().out
+        assert "repro" in out and "mtree" in out and "rtree" in out
+
+    def test_verify_passes(self, capsys) -> None:
+        assert main(["verify", "--dim", "8", "--size", "120", "--seed", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "PASSED" in out
+        assert out.count("[ok]") == 3
+
+    def test_compare_runs(self, capsys) -> None:
+        code = main(
+            ["compare", "--method", "sequential", "--size", "80", "--bins", "2", "--k", "2"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "indexing" in out and "query" in out and "identical" in out

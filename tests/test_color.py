@@ -1,0 +1,159 @@
+"""Tests for repro.color — Lab conversion, prototypes, histograms."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.color import (
+    bin_index,
+    lab_bin_prototypes,
+    normalize_histogram,
+    rgb_bin_prototypes,
+    rgb_histogram,
+    rgb_histograms,
+    rgb_to_lab,
+    rgb_to_xyz,
+    srgb_to_linear,
+    xyz_to_lab,
+)
+from repro.exceptions import DimensionMismatchError, MatrixError
+
+
+class TestLabConversion:
+    def test_white_point(self) -> None:
+        lab = rgb_to_lab([[1.0, 1.0, 1.0]])[0]
+        assert lab[0] == pytest.approx(100.0, abs=0.01)
+        assert lab[1] == pytest.approx(0.0, abs=0.01)
+        assert lab[2] == pytest.approx(0.0, abs=0.01)
+
+    def test_black_point(self) -> None:
+        lab = rgb_to_lab([[0.0, 0.0, 0.0]])[0]
+        assert lab[0] == pytest.approx(0.0, abs=1e-6)
+
+    def test_primary_red_reference(self) -> None:
+        # sRGB pure red is approximately L=53.24, a=80.09, b=67.20.
+        lab = rgb_to_lab([[1.0, 0.0, 0.0]])[0]
+        assert lab[0] == pytest.approx(53.24, abs=0.1)
+        assert lab[1] == pytest.approx(80.09, abs=0.2)
+        assert lab[2] == pytest.approx(67.20, abs=0.2)
+
+    def test_mid_gray_is_neutral(self) -> None:
+        lab = rgb_to_lab([[0.5, 0.5, 0.5]])[0]
+        assert abs(lab[1]) < 0.01 and abs(lab[2]) < 0.01
+
+    def test_linearization_breakpoints(self) -> None:
+        low = srgb_to_linear([[0.04, 0.04, 0.04]])[0]
+        assert np.allclose(low, 0.04 / 12.92)
+
+    def test_xyz_of_white(self) -> None:
+        xyz = rgb_to_xyz([[1.0, 1.0, 1.0]])[0]
+        assert xyz[1] == pytest.approx(1.0, abs=1e-4)  # Y of D65 white
+
+    def test_lightness_monotone_in_gray_level(self) -> None:
+        grays = np.linspace(0.0, 1.0, 11)
+        lab = rgb_to_lab(np.column_stack([grays, grays, grays]))
+        assert np.all(np.diff(lab[:, 0]) > 0.0)
+
+    def test_rejects_out_of_range(self) -> None:
+        with pytest.raises(DimensionMismatchError):
+            rgb_to_lab([[1.5, 0.0, 0.0]])
+
+    def test_rejects_wrong_shape(self) -> None:
+        with pytest.raises(DimensionMismatchError):
+            xyz_to_lab(np.ones((3, 4)))
+
+    def test_perceptual_claim_sunset_vs_tennis_ball(self) -> None:
+        """The paper's Section 1.1 story: an orange tone must be closer to
+        red (sunset) than blue is — the ordering a Lab-prototype QFD matrix
+        encodes and a plain Lp on bin indices ignores."""
+        labs = rgb_to_lab([[1.0, 0, 0], [1.0, 0.5, 0.0], [0, 0, 1.0]])
+        d_red_orange = np.linalg.norm(labs[0] - labs[1])
+        d_red_blue = np.linalg.norm(labs[0] - labs[2])
+        assert d_red_orange < d_red_blue
+
+
+class TestPrototypes:
+    def test_count(self) -> None:
+        assert rgb_bin_prototypes(4).shape == (64, 3)
+        assert rgb_bin_prototypes(8).shape == (512, 3)
+
+    def test_centers(self) -> None:
+        protos = rgb_bin_prototypes(2)
+        assert protos.min() == pytest.approx(0.25)
+        assert protos.max() == pytest.approx(0.75)
+
+    def test_ordering_convention(self) -> None:
+        protos = rgb_bin_prototypes(2)
+        # index = r*4 + g*2 + b; index 1 -> (r=0, g=0, b=1).
+        assert np.allclose(protos[1], [0.25, 0.25, 0.75])
+
+    def test_lab_prototypes_shape(self) -> None:
+        assert lab_bin_prototypes(4).shape == (64, 3)
+
+    def test_rejects_bad_bins(self) -> None:
+        with pytest.raises(MatrixError):
+            rgb_bin_prototypes(0)
+
+    def test_bin_index_roundtrip(self) -> None:
+        protos = rgb_bin_prototypes(4)
+        idx = bin_index(protos, 4)
+        assert np.array_equal(idx, np.arange(64))
+
+    def test_bin_index_boundary_value(self) -> None:
+        # Component 1.0 falls in the last bin, not out of range.
+        assert bin_index(np.array([[1.0, 1.0, 1.0]]), 4)[0] == 63
+
+
+class TestHistograms:
+    def test_unit_sum(self, rng: np.random.Generator) -> None:
+        image = rng.random((16, 16, 3))
+        hist = rgb_histogram(image, 4)
+        assert hist.sum() == pytest.approx(1.0)
+        assert hist.shape == (64,)
+
+    def test_single_color_image(self) -> None:
+        image = np.full((8, 8, 3), 0.1)
+        hist = rgb_histogram(image, 2)
+        assert np.count_nonzero(hist) == 1
+        assert hist[bin_index(np.array([[0.1, 0.1, 0.1]]), 2)[0]] == pytest.approx(1.0)
+
+    def test_flat_pixel_array_accepted(self, rng: np.random.Generator) -> None:
+        pixels = rng.random((100, 3))
+        hist = rgb_histogram(pixels, 2)
+        assert hist.sum() == pytest.approx(1.0)
+
+    def test_unnormalized_counts(self) -> None:
+        image = np.zeros((4, 4, 3))
+        hist = rgb_histogram(image, 2, normalize=False)
+        assert hist.sum() == 16.0
+
+    def test_batch(self, rng: np.random.Generator) -> None:
+        images = [rng.random((8, 8, 3)) for _ in range(3)]
+        hists = rgb_histograms(images, 2)
+        assert hists.shape == (3, 8)
+        assert np.allclose(hists.sum(axis=1), 1.0)
+
+    def test_rejects_empty_image(self) -> None:
+        with pytest.raises(MatrixError):
+            rgb_histogram(np.empty((0, 3)), 2)
+
+    def test_rejects_out_of_range_pixels(self) -> None:
+        with pytest.raises(MatrixError):
+            rgb_histogram(np.full((2, 2, 3), 1.5), 2)
+
+    def test_rejects_wrong_shape(self) -> None:
+        with pytest.raises(DimensionMismatchError):
+            rgb_histogram(np.ones((4, 4)), 2)
+
+    def test_normalize_rejects_zero_histogram(self) -> None:
+        with pytest.raises(MatrixError):
+            normalize_histogram(np.zeros(8))
+
+    def test_normalize_rejects_negative(self) -> None:
+        with pytest.raises(MatrixError):
+            normalize_histogram(np.array([1.0, -0.5]))
+
+    def test_normalize_rejects_2d(self) -> None:
+        with pytest.raises(DimensionMismatchError):
+            normalize_histogram(np.ones((2, 2)))

@@ -1,0 +1,118 @@
+"""Tests for repro.core.cholesky — paper Algorithm 1 and the numpy path."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import cholesky, cholesky_reference, is_lower_triangular, random_spd_matrix
+from repro.exceptions import MatrixError, NotPositiveDefiniteError, NotSymmetricError
+
+
+class TestCholesky:
+    def test_reconstructs_matrix(self, spd_16: np.ndarray) -> None:
+        b = cholesky(spd_16)
+        assert np.allclose(b @ b.T, spd_16)
+
+    def test_factor_is_lower_triangular(self, spd_16: np.ndarray) -> None:
+        b = cholesky(spd_16)
+        assert is_lower_triangular(b)
+
+    def test_diagonal_is_positive(self, spd_16: np.ndarray) -> None:
+        b = cholesky(spd_16)
+        assert np.all(np.diag(b) > 0.0)
+
+    def test_identity_factors_to_identity(self) -> None:
+        assert np.allclose(cholesky(np.eye(5)), np.eye(5))
+
+    def test_diagonal_matrix_factors_to_sqrt(self) -> None:
+        a = np.diag([4.0, 9.0, 16.0])
+        assert np.allclose(cholesky(a), np.diag([2.0, 3.0, 4.0]))
+
+    def test_paper_rgb_example(self) -> None:
+        # The 3x3 RGB matrix from the paper's Section 1.2.
+        a = np.array([[1.0, 0.0, 0.0], [0.0, 1.0, 0.5], [0.0, 0.5, 1.0]])
+        b = cholesky(a)
+        assert np.allclose(b @ b.T, a)
+
+    def test_rejects_indefinite(self) -> None:
+        a = np.array([[1.0, 2.0], [2.0, 1.0]])  # eigenvalues 3, -1
+        with pytest.raises(NotPositiveDefiniteError):
+            cholesky(a)
+
+    def test_rejects_semidefinite(self) -> None:
+        a = np.array([[1.0, 1.0], [1.0, 1.0]])  # rank 1
+        with pytest.raises(NotPositiveDefiniteError):
+            cholesky(a)
+
+    def test_rejects_zero_matrix(self) -> None:
+        with pytest.raises(NotPositiveDefiniteError):
+            cholesky(np.zeros((3, 3)))
+
+    def test_rejects_non_symmetric(self) -> None:
+        a = np.array([[1.0, 0.3], [0.0, 1.0]])
+        with pytest.raises(NotSymmetricError):
+            cholesky(a)
+
+    def test_symmetry_check_can_be_disabled(self) -> None:
+        a = np.array([[1.0, 0.3], [0.0, 1.0]])
+        # numpy uses only one triangle; just ensure no symmetry error.
+        cholesky(a + a.T + np.eye(2), check_symmetry=False)
+
+    def test_rejects_non_square(self) -> None:
+        with pytest.raises(MatrixError):
+            cholesky(np.ones((2, 3)))
+
+    def test_rejects_nan(self) -> None:
+        a = np.eye(3)
+        a[0, 0] = np.nan
+        with pytest.raises(MatrixError):
+            cholesky(a)
+
+
+class TestCholeskyReference:
+    """The pure-Python Algorithm 1 must agree with LAPACK exactly."""
+
+    def test_agrees_with_numpy(self, spd_16: np.ndarray) -> None:
+        assert np.allclose(cholesky_reference(spd_16), cholesky(spd_16))
+
+    @pytest.mark.parametrize("dim", [1, 2, 3, 7, 12])
+    def test_agrees_on_random_matrices(self, dim: int) -> None:
+        rng = np.random.default_rng(dim)
+        a = random_spd_matrix(dim, rng=rng, condition=5.0)
+        assert np.allclose(cholesky_reference(a), cholesky(a), atol=1e-10)
+
+    def test_reference_error_message_matches_paper(self) -> None:
+        # Algorithm 1 line 10 error text.
+        a = np.array([[1.0, 2.0], [2.0, 1.0]])
+        with pytest.raises(NotPositiveDefiniteError, match="not positive definite"):
+            cholesky_reference(a)
+
+    def test_reference_clears_upper_triangle(self, spd_16: np.ndarray) -> None:
+        b = cholesky_reference(spd_16)
+        assert is_lower_triangular(b)
+
+    def test_one_by_one(self) -> None:
+        assert np.allclose(cholesky_reference([[9.0]]), [[3.0]])
+
+    def test_one_by_one_nonpositive(self) -> None:
+        with pytest.raises(NotPositiveDefiniteError):
+            cholesky_reference([[0.0]])
+
+
+class TestIsLowerTriangular:
+    def test_accepts_lower(self) -> None:
+        assert is_lower_triangular(np.tril(np.ones((4, 4))))
+
+    def test_rejects_upper_entries(self) -> None:
+        a = np.tril(np.ones((4, 4)))
+        a[0, 3] = 0.5
+        assert not is_lower_triangular(a)
+
+    def test_tolerance(self) -> None:
+        a = np.tril(np.ones((4, 4)))
+        a[0, 3] = 1e-14
+        assert is_lower_triangular(a, atol=1e-12)
+
+    def test_single_element(self) -> None:
+        assert is_lower_triangular([[5.0]])

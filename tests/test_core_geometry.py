@@ -1,0 +1,91 @@
+"""Tests for repro.core.geometry — Figure 1 as executable code."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import QMap, QuadraticFormDistance, random_spd_matrix
+from repro.core.geometry import EllipsoidAxes, qfd_ball_axes, sample_ball_boundary
+from repro.exceptions import QueryError
+
+
+class TestQfdBallAxes:
+    def test_identity_gives_sphere(self) -> None:
+        axes = qfd_ball_axes(np.eye(4), radius=2.0)
+        assert np.allclose(axes.lengths, 2.0)
+        assert axes.eccentricity == pytest.approx(1.0)
+
+    def test_diagonal_matrix_axis_lengths(self) -> None:
+        a = np.diag([4.0, 1.0])
+        axes = qfd_ball_axes(a, radius=1.0)
+        # lambda = 4 -> semi-axis 1/2; lambda = 1 -> semi-axis 1.
+        assert axes.lengths[0] == pytest.approx(1.0)
+        assert axes.lengths[1] == pytest.approx(0.5)
+
+    def test_axis_endpoints_on_boundary(self, spd_16: np.ndarray) -> None:
+        qfd = QuadraticFormDistance(spd_16)
+        axes = qfd_ball_axes(qfd, radius=0.7)
+        center = np.zeros(16)
+        for i in range(16):
+            endpoint = center + axes.lengths[i] * axes.directions[:, i]
+            assert qfd(center, endpoint) == pytest.approx(0.7, abs=1e-9)
+
+    def test_directions_orthonormal(self, spd_16: np.ndarray) -> None:
+        axes = qfd_ball_axes(spd_16, radius=1.0)
+        assert np.allclose(axes.directions.T @ axes.directions, np.eye(16), atol=1e-9)
+
+    def test_lengths_sorted_descending(self, spd_16: np.ndarray) -> None:
+        axes = qfd_ball_axes(spd_16, radius=1.0)
+        assert np.all(np.diff(axes.lengths) <= 1e-15)
+
+    def test_shared_orientation_across_radii(self, spd_16: np.ndarray) -> None:
+        """All QFD balls are oriented the same way (paper Section 3.1)."""
+        small = qfd_ball_axes(spd_16, radius=0.1)
+        large = qfd_ball_axes(spd_16, radius=10.0)
+        assert np.allclose(np.abs(small.directions), np.abs(large.directions))
+        assert np.allclose(large.lengths / small.lengths, 100.0)
+
+    def test_rejects_bad_radius(self, spd_16: np.ndarray) -> None:
+        with pytest.raises(QueryError):
+            qfd_ball_axes(spd_16, radius=0.0)
+
+
+class TestSampleBallBoundary:
+    def test_points_on_boundary(self, spd_16: np.ndarray, rng) -> None:
+        qfd = QuadraticFormDistance(spd_16)
+        center = rng.random(16)
+        points = sample_ball_boundary(qfd, center, radius=0.9, n_points=40, rng=rng)
+        for point in points:
+            assert qfd(center, point) == pytest.approx(0.9, abs=1e-9)
+
+    def test_figure_1_sphere_image(self, spd_16: np.ndarray, rng) -> None:
+        """The testable content of Figure 1: the QMap transform sends the
+        QFD ball boundary onto a Euclidean sphere of the SAME radius."""
+        qmap = QMap(spd_16)
+        center = rng.random(16)
+        points = sample_ball_boundary(spd_16, center, radius=0.42, n_points=50, rng=rng)
+        mapped_center = qmap.transform(center)
+        mapped = qmap.transform_batch(points)
+        distances = np.linalg.norm(mapped - mapped_center, axis=1)
+        assert np.allclose(distances, 0.42, atol=1e-9)
+
+    def test_zero_radius_collapses_to_center(self, spd_16: np.ndarray, rng) -> None:
+        center = rng.random(16)
+        points = sample_ball_boundary(spd_16, center, radius=0.0, n_points=5, rng=rng)
+        assert np.allclose(points, center)
+
+    def test_validation(self, spd_16: np.ndarray) -> None:
+        with pytest.raises(QueryError):
+            sample_ball_boundary(spd_16, np.zeros(16), radius=-1.0)
+        with pytest.raises(QueryError):
+            sample_ball_boundary(spd_16, np.zeros(16), radius=1.0, n_points=0)
+
+    def test_random_matrix_family(self) -> None:
+        for seed in range(3):
+            rng = np.random.default_rng(seed)
+            a = random_spd_matrix(6, rng=rng, condition=40.0)
+            qfd = QuadraticFormDistance(a)
+            center = rng.random(6)
+            for point in sample_ball_boundary(a, center, 1.3, n_points=10, rng=rng):
+                assert qfd(center, point) == pytest.approx(1.3, abs=1e-8)

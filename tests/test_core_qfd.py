@@ -1,0 +1,122 @@
+"""Tests for repro.core.qfd — the quadratic form distance."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import QuadraticFormDistance
+from repro.distances import euclidean, weighted_euclidean
+from repro.exceptions import (
+    DimensionMismatchError,
+    NotPositiveDefiniteError,
+    NotSymmetricError,
+)
+
+
+class TestConstruction:
+    def test_rejects_non_symmetric_by_default(self) -> None:
+        a = np.array([[1.0, 0.4], [0.0, 1.0]])
+        with pytest.raises(NotSymmetricError):
+            QuadraticFormDistance(a)
+
+    def test_symmetrize_input_accepts_general_matrix(self) -> None:
+        a = np.array([[1.0, 0.4], [0.0, 1.0]])
+        qfd = QuadraticFormDistance(a, symmetrize_input=True)
+        assert np.allclose(qfd.matrix, (a + a.T) / 2.0)
+
+    def test_symmetrized_matrix_gives_same_distance(self, rng: np.random.Generator) -> None:
+        """Section 3.2.3: a general matrix and its symmetric part agree."""
+        skew = rng.random((6, 6)) * 0.1
+        a = np.eye(6) + skew  # symmetric part I + (skew+skew.T)/2, PD for small skew
+        qfd = QuadraticFormDistance(a, symmetrize_input=True)
+        for _ in range(10):
+            u, v = rng.random(6), rng.random(6)
+            z = u - v
+            direct = np.sqrt(max(float(z @ a @ z), 0.0))
+            assert qfd(u, v) == pytest.approx(direct, abs=1e-10)
+
+    def test_rejects_indefinite(self) -> None:
+        with pytest.raises(NotPositiveDefiniteError):
+            QuadraticFormDistance(np.array([[1.0, 2.0], [2.0, 1.0]]))
+
+    def test_matrix_is_read_only(self, spd_16: np.ndarray) -> None:
+        qfd = QuadraticFormDistance(spd_16)
+        with pytest.raises(ValueError):
+            qfd.matrix[0, 0] = 99.0
+
+    def test_dim(self, spd_16: np.ndarray) -> None:
+        assert QuadraticFormDistance(spd_16).dim == 16
+
+
+class TestDegenerateCases:
+    """Identity matrix -> L2; diagonal matrix -> weighted L2 (Section 1.2)."""
+
+    def test_identity_reduces_to_euclidean(self, rng: np.random.Generator) -> None:
+        qfd = QuadraticFormDistance(np.eye(8))
+        for _ in range(10):
+            u, v = rng.random(8), rng.random(8)
+            assert qfd(u, v) == pytest.approx(euclidean(u, v), abs=1e-12)
+
+    def test_diagonal_reduces_to_weighted_euclidean(self, rng: np.random.Generator) -> None:
+        weights = rng.random(8) + 0.5
+        qfd = QuadraticFormDistance(np.diag(weights))
+        for _ in range(10):
+            u, v = rng.random(8), rng.random(8)
+            assert qfd(u, v) == pytest.approx(weighted_euclidean(u, v, weights), abs=1e-12)
+
+    def test_paper_rgb_example_ordering(self) -> None:
+        """The sunset/tennis-ball/orange story: with the correlated matrix,
+        an orange-ish histogram is closer to red than a yellow-vs-green
+        mixup would suggest under plain L2."""
+        a = np.array([[1.0, 0.0, 0.0], [0.0, 1.0, 0.5], [0.0, 0.5, 1.0]])
+        qfd = QuadraticFormDistance(a)
+        red = np.array([1.0, 0.0, 0.0])
+        green = np.array([0.0, 1.0, 0.0])
+        blue = np.array([0.0, 0.0, 1.0])
+        # G and B are correlated at 0.5 -> their distance is smaller than
+        # R-G or R-B, matching the perceptual claim in Section 1.2.
+        assert qfd(green, blue) < qfd(red, green)
+        assert qfd(green, blue) < qfd(red, blue)
+
+
+class TestEvaluation:
+    def test_self_distance_zero(self, qfd_64, histograms_64) -> None:
+        assert qfd_64(histograms_64[0], histograms_64[0]) == 0.0
+
+    def test_symmetry(self, qfd_64, histograms_64) -> None:
+        u, v = histograms_64[0], histograms_64[1]
+        assert qfd_64(u, v) == pytest.approx(qfd_64(v, u), abs=1e-12)
+
+    def test_squared_matches(self, qfd_64, histograms_64) -> None:
+        u, v = histograms_64[2], histograms_64[3]
+        assert qfd_64(u, v) ** 2 == pytest.approx(qfd_64.squared(u, v), abs=1e-12)
+
+    def test_squared_clamped_non_negative(self, spd_16: np.ndarray) -> None:
+        qfd = QuadraticFormDistance(spd_16)
+        u = np.full(16, 0.125)
+        assert qfd.squared(u, u + 1e-300) >= 0.0
+
+    def test_dimension_mismatch(self, qfd_64) -> None:
+        with pytest.raises(DimensionMismatchError):
+            qfd_64(np.ones(64), np.ones(32))
+
+    def test_one_to_many_matches_scalar(self, qfd_64, histograms_64) -> None:
+        q = histograms_64[0]
+        batch = histograms_64[1:40]
+        vectorized = qfd_64.one_to_many(q, batch)
+        scalar = np.array([qfd_64(q, row) for row in batch])
+        assert np.allclose(vectorized, scalar, atol=1e-10)
+
+    def test_pairwise_matches_scalar(self, qfd_64, histograms_64) -> None:
+        batch = histograms_64[:15]
+        matrix = qfd_64.pairwise(batch)
+        assert matrix.shape == (15, 15)
+        assert np.allclose(np.diag(matrix), 0.0, atol=1e-7)
+        for i in range(0, 15, 5):
+            for j in range(0, 15, 3):
+                assert matrix[i, j] == pytest.approx(qfd_64(batch[i], batch[j]), abs=1e-7)
+
+    def test_pairwise_symmetric(self, qfd_64, histograms_64) -> None:
+        matrix = qfd_64.pairwise(histograms_64[:10])
+        assert np.allclose(matrix, matrix.T)

@@ -1,0 +1,112 @@
+"""Tests for repro.core.qmap — the paper's main theorem (Section 3.3)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import QMap, QuadraticFormDistance, random_spd_matrix
+from repro.distances import euclidean
+from repro.exceptions import DimensionMismatchError, NotPositiveDefiniteError
+
+
+class TestConstruction:
+    def test_accepts_matrix_or_distance(self, spd_16: np.ndarray) -> None:
+        via_matrix = QMap(spd_16)
+        via_distance = QMap(QuadraticFormDistance(spd_16))
+        assert np.allclose(via_matrix.matrix, via_distance.matrix)
+
+    def test_rejects_indefinite_matrix(self) -> None:
+        with pytest.raises(NotPositiveDefiniteError):
+            QMap(np.array([[1.0, 2.0], [2.0, 1.0]]))
+
+    def test_b_times_bt_is_a(self, spd_16: np.ndarray) -> None:
+        qmap = QMap(spd_16)
+        assert np.allclose(qmap.matrix @ qmap.matrix.T, spd_16)
+
+    def test_map_matrix_read_only(self, spd_16: np.ndarray) -> None:
+        qmap = QMap(spd_16)
+        with pytest.raises(ValueError):
+            qmap.matrix[0, 0] = 5.0
+
+    def test_target_dim_equals_source_dim(self, spd_16: np.ndarray) -> None:
+        """The paper insists on k = n (homeomorphism, not reduction)."""
+        assert QMap(spd_16).dim == 16
+
+
+class TestDistancePreservation:
+    """QFD_A(u, v) == L2(uB, vB) — the theorem of Section 3.3."""
+
+    def test_exact_on_hafner_matrix(self, qfd_64, histograms_64) -> None:
+        qmap = QMap(qfd_64)
+        mapped = qmap.transform_batch(histograms_64[:60])
+        for i in range(0, 50, 7):
+            for j in range(1, 60, 11):
+                expected = qfd_64(histograms_64[i], histograms_64[j])
+                got = euclidean(mapped[i], mapped[j])
+                assert got == pytest.approx(expected, abs=1e-9)
+
+    @pytest.mark.parametrize("dim", [1, 2, 3, 8, 33])
+    def test_exact_on_random_matrices(self, dim: int) -> None:
+        rng = np.random.default_rng(dim * 7 + 1)
+        qmap = QMap(random_spd_matrix(dim, rng=rng, condition=30.0))
+        for _ in range(15):
+            u, v = rng.standard_normal(dim), rng.standard_normal(dim)
+            assert qmap.distance_via_map(u, v) == pytest.approx(
+                qmap.qfd(u, v), rel=1e-9, abs=1e-9
+            )
+
+    def test_identity_matrix_is_identity_map(self, rng: np.random.Generator) -> None:
+        qmap = QMap(np.eye(6))
+        u = rng.random(6)
+        assert np.allclose(qmap.transform(u), u)
+
+    def test_radius_preservation(self, qfd_64, histograms_64) -> None:
+        """Range queries carry over with unchanged radii: mapped distances
+        equal source distances, so ball membership is invariant."""
+        qmap = QMap(qfd_64)
+        q, others = histograms_64[0], histograms_64[1:100]
+        radius = float(np.median(qfd_64.one_to_many(q, others)))
+        in_source = qfd_64.one_to_many(q, others) <= radius
+        mapped_q = qmap.transform(q)
+        mapped = qmap.transform_batch(others)
+        dists = np.linalg.norm(mapped - mapped_q, axis=1)
+        in_target = dists <= radius + 1e-12
+        assert np.array_equal(in_source, in_target)
+
+
+class TestInverse:
+    """The map is a homeomorphism — it must invert exactly."""
+
+    def test_roundtrip_single(self, spd_16: np.ndarray, rng: np.random.Generator) -> None:
+        qmap = QMap(spd_16)
+        u = rng.random(16)
+        assert np.allclose(qmap.inverse_transform(qmap.transform(u)), u)
+
+    def test_roundtrip_batch(self, spd_16: np.ndarray, rng: np.random.Generator) -> None:
+        qmap = QMap(spd_16)
+        batch = rng.random((20, 16))
+        assert np.allclose(qmap.inverse_transform_batch(qmap.transform_batch(batch)), batch)
+
+    def test_inverse_then_forward(self, spd_16: np.ndarray, rng: np.random.Generator) -> None:
+        qmap = QMap(spd_16)
+        u_prime = rng.random(16)
+        assert np.allclose(qmap.transform(qmap.inverse_transform(u_prime)), u_prime)
+
+
+class TestBatchTransform:
+    def test_batch_matches_single(self, spd_16: np.ndarray, rng: np.random.Generator) -> None:
+        qmap = QMap(spd_16)
+        batch = rng.random((10, 16))
+        stacked = np.array([qmap.transform(row) for row in batch])
+        assert np.allclose(qmap.transform_batch(batch), stacked)
+
+    def test_dimension_mismatch(self, spd_16: np.ndarray) -> None:
+        qmap = QMap(spd_16)
+        with pytest.raises(DimensionMismatchError):
+            qmap.transform(np.ones(5))
+
+    def test_euclidean_helper(self, spd_16: np.ndarray, rng: np.random.Generator) -> None:
+        qmap = QMap(spd_16)
+        a, b = rng.random(16), rng.random(16)
+        assert qmap.euclidean(a, b) == pytest.approx(euclidean(a, b))

@@ -1,0 +1,64 @@
+"""Tests for repro.core.symmetrize — the Section 3.2.3 WLOG argument."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import is_symmetric, symmetrize
+from repro.core.symmetrize import symmetric_part_equals_form
+from repro.distances import qfd_squared
+from repro.exceptions import MatrixError
+
+
+class TestSymmetrize:
+    def test_output_is_symmetric(self, rng: np.random.Generator) -> None:
+        a = rng.random((6, 6))
+        assert is_symmetric(symmetrize(a))
+
+    def test_diagonal_preserved(self, rng: np.random.Generator) -> None:
+        a = rng.random((5, 5))
+        assert np.allclose(np.diag(symmetrize(a)), np.diag(a))
+
+    def test_off_diagonal_averaged(self) -> None:
+        a = np.array([[1.0, 4.0], [2.0, 1.0]])
+        b = symmetrize(a)
+        assert b[0, 1] == b[1, 0] == pytest.approx(3.0)
+
+    def test_idempotent(self, rng: np.random.Generator) -> None:
+        a = rng.random((4, 4))
+        once = symmetrize(a)
+        assert np.allclose(symmetrize(once), once)
+
+    def test_symmetric_input_unchanged(self, spd_16: np.ndarray) -> None:
+        assert np.allclose(symmetrize(spd_16), spd_16)
+
+    def test_preserves_quadratic_form(self, rng: np.random.Generator) -> None:
+        """The paper's theorem: z A z^T == z sym(A) z^T for every z."""
+        a = rng.random((8, 8)) * 2.0 - 1.0
+        b = symmetrize(a)
+        for _ in range(20):
+            u, v = rng.random(8), rng.random(8)
+            assert qfd_squared(u, v, a) == pytest.approx(qfd_squared(u, v, b), abs=1e-9)
+
+    def test_rejects_non_square(self) -> None:
+        with pytest.raises(MatrixError):
+            symmetrize(np.ones((3, 4)))
+
+    def test_helper_confirms_identity(self, rng: np.random.Generator) -> None:
+        a = rng.random((5, 5))
+        z = rng.random(5)
+        assert symmetric_part_equals_form(a, z)
+
+
+class TestIsSymmetric:
+    def test_true_case(self) -> None:
+        assert is_symmetric(np.eye(3))
+
+    def test_false_case(self) -> None:
+        assert not is_symmetric(np.array([[1.0, 2.0], [0.0, 1.0]]))
+
+    def test_near_symmetric_within_tolerance(self) -> None:
+        a = np.eye(3)
+        a[0, 1] = 1e-15
+        assert is_symmetric(a)

@@ -1,0 +1,91 @@
+"""Tests for repro.core.validation — strict positive definiteness."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    ensure_positive_definite,
+    is_positive_definite,
+    min_eigenvalue,
+    require_positive_definite,
+)
+from repro.exceptions import NotPositiveDefiniteError
+
+
+class TestIsPositiveDefinite:
+    def test_identity(self) -> None:
+        assert is_positive_definite(np.eye(4))
+
+    def test_spd(self, spd_16: np.ndarray) -> None:
+        assert is_positive_definite(spd_16)
+
+    def test_indefinite(self) -> None:
+        assert not is_positive_definite(np.array([[1.0, 2.0], [2.0, 1.0]]))
+
+    def test_semidefinite(self) -> None:
+        assert not is_positive_definite(np.ones((3, 3)))
+
+    def test_negative_definite(self) -> None:
+        assert not is_positive_definite(-np.eye(3))
+
+    def test_non_symmetric_uses_symmetric_part(self) -> None:
+        # Symmetric part is I, which is PD regardless of skew part.
+        a = np.eye(3)
+        a[0, 1], a[1, 0] = 0.4, -0.4
+        assert is_positive_definite(a)
+
+
+class TestRequirePositiveDefinite:
+    def test_passes_through(self, spd_16: np.ndarray) -> None:
+        out = require_positive_definite(spd_16)
+        assert np.allclose(out, spd_16)
+
+    def test_raises_with_context(self) -> None:
+        with pytest.raises(NotPositiveDefiniteError, match="identity metric postulate"):
+            require_positive_definite(np.ones((3, 3)))
+
+
+class TestMinEigenvalue:
+    def test_identity(self) -> None:
+        assert min_eigenvalue(np.eye(5)) == pytest.approx(1.0)
+
+    def test_known_spectrum(self) -> None:
+        a = np.diag([3.0, 0.5, 7.0])
+        assert min_eigenvalue(a) == pytest.approx(0.5)
+
+    def test_negative_for_indefinite(self) -> None:
+        assert min_eigenvalue(np.array([[1.0, 2.0], [2.0, 1.0]])) == pytest.approx(-1.0)
+
+
+class TestEnsurePositiveDefinite:
+    def test_no_repair_needed(self, spd_16: np.ndarray) -> None:
+        repair = ensure_positive_definite(spd_16)
+        assert not repair.was_repaired
+        assert repair.shift == 0.0
+        assert np.allclose(repair.matrix, spd_16)
+
+    def test_repairs_semidefinite(self) -> None:
+        repair = ensure_positive_definite(np.ones((3, 3)))
+        assert repair.was_repaired
+        assert is_positive_definite(repair.matrix)
+
+    def test_repairs_indefinite_and_records_shift(self) -> None:
+        a = np.array([[1.0, 2.0], [2.0, 1.0]])  # lambda_min = -1
+        repair = ensure_positive_definite(a, margin=1e-6)
+        assert repair.min_eigenvalue == pytest.approx(-1.0)
+        assert repair.shift == pytest.approx(1.0 + 1e-6)
+        assert is_positive_definite(repair.matrix)
+
+    def test_shift_is_minimal(self) -> None:
+        a = np.array([[1.0, 2.0], [2.0, 1.0]])
+        repair = ensure_positive_definite(a, margin=1e-9)
+        # Shift is |lambda_min| + margin, no more.
+        assert repair.shift <= 1.0 + 1e-6
+
+    def test_repair_preserves_off_diagonal(self) -> None:
+        a = np.ones((3, 3))
+        repair = ensure_positive_definite(a)
+        off_diag = repair.matrix[~np.eye(3, dtype=bool)]
+        assert np.allclose(off_diag, 1.0)

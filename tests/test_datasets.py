@@ -1,0 +1,161 @@
+"""Tests for repro.datasets — synthetic corpora and workloads."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.datasets import (
+    SyntheticImageCorpus,
+    Workload,
+    clustered_histograms,
+    gaussian_vectors,
+    growing_prefixes,
+    histogram_workload,
+    vector_workload,
+)
+from repro.exceptions import QueryError
+
+
+class TestSyntheticImageCorpus:
+    def test_render_shape_and_range(self) -> None:
+        corpus = SyntheticImageCorpus(height=8, width=12, seed=1)
+        image = corpus.render(0)
+        assert image.shape == (8, 12, 3)
+        assert image.min() >= 0.0 and image.max() <= 1.0
+
+    def test_deterministic(self) -> None:
+        corpus = SyntheticImageCorpus(seed=3)
+        assert np.array_equal(corpus.render(5), corpus.render(5))
+
+    def test_distinct_images(self) -> None:
+        corpus = SyntheticImageCorpus(seed=3)
+        assert not np.array_equal(corpus.render(0), corpus.render(1))
+
+    def test_histograms(self) -> None:
+        corpus = SyntheticImageCorpus(height=8, width=8, seed=2)
+        hists = corpus.histograms(4, bins_per_channel=2)
+        assert hists.shape == (4, 8)
+        assert np.allclose(hists.sum(axis=1), 1.0)
+
+    def test_theme_clustering(self) -> None:
+        """Images of the same theme should be closer (L1 on histograms)
+        than images of different themes, on average."""
+        corpus = SyntheticImageCorpus(height=16, width=16, themes=4, seed=9)
+        hists = corpus.histograms(16, bins_per_channel=2)
+        same, diff = [], []
+        for i in range(16):
+            for j in range(i + 1, 16):
+                d = np.abs(hists[i] - hists[j]).sum()
+                (same if i % 4 == j % 4 else diff).append(d)
+        assert np.mean(same) < np.mean(diff)
+
+    def test_rejects_bad_size(self) -> None:
+        with pytest.raises(QueryError):
+            SyntheticImageCorpus(height=0)
+
+    def test_rejects_negative_index(self) -> None:
+        with pytest.raises(QueryError):
+            SyntheticImageCorpus().render(-1)
+
+
+class TestClusteredHistograms:
+    def test_shape_and_normalization(self, rng: np.random.Generator) -> None:
+        hists = clustered_histograms(50, 4, rng=rng)
+        assert hists.shape == (50, 64)
+        assert np.allclose(hists.sum(axis=1), 1.0)
+        assert hists.min() >= 0.0
+
+    def test_clustered_structure(self) -> None:
+        """Within-theme pairs are closer than cross-theme pairs on average
+        — the property MAM pruning depends on."""
+        rng = np.random.default_rng(4)
+        hists = clustered_histograms(60, 4, themes=3, rng=rng)
+        # Regenerate theme assignment logic: themes are drawn from rng, so
+        # use distances to cluster instead: nearest-neighbor distance must
+        # be far below the median pairwise distance.
+        from scipy.spatial.distance import pdist, squareform
+
+        d = squareform(pdist(hists))
+        np.fill_diagonal(d, np.inf)
+        nn = d.min(axis=1)
+        assert np.median(nn) < 0.3 * np.median(d[np.isfinite(d)])
+
+    def test_rejects_bad_params(self) -> None:
+        with pytest.raises(QueryError):
+            clustered_histograms(0, 4)
+        with pytest.raises(QueryError):
+            clustered_histograms(5, 4, themes=0)
+        with pytest.raises(QueryError):
+            clustered_histograms(5, 4, smoothing=0.0)
+
+
+class TestGaussianVectors:
+    def test_shape(self, rng: np.random.Generator) -> None:
+        assert gaussian_vectors(20, 5, rng=rng).shape == (20, 5)
+
+    def test_rejects_bad_params(self) -> None:
+        with pytest.raises(QueryError):
+            gaussian_vectors(0, 5)
+        with pytest.raises(QueryError):
+            gaussian_vectors(5, 5, clusters=0)
+        with pytest.raises(QueryError):
+            gaussian_vectors(5, 5, spread=0.0)
+
+
+class TestWorkloads:
+    def test_histogram_workload_shapes(self) -> None:
+        w = histogram_workload(100, 10, bins_per_channel=2, seed=1)
+        assert w.database.shape == (100, 8)
+        assert w.queries.shape == (10, 8)
+        assert w.matrix.shape == (8, 8)
+        assert w.size == 100 and w.dim == 8
+
+    def test_queries_disjoint_from_database(self) -> None:
+        w = histogram_workload(50, 5, bins_per_channel=2, seed=2)
+        for q in w.queries:
+            assert not any(np.array_equal(q, row) for row in w.database)
+
+    def test_matrix_repair_recorded(self) -> None:
+        w = histogram_workload(10, 2, bins_per_channel=2, seed=3)
+        assert w.matrix_repair.shift == 0.0  # Hafner/Lab matrices are PD
+
+    def test_prefix(self) -> None:
+        w = histogram_workload(50, 5, bins_per_channel=2, seed=4)
+        p = w.prefix(20)
+        assert p.size == 20
+        assert np.array_equal(p.database, w.database[:20])
+        assert np.array_equal(p.queries, w.queries)
+
+    def test_prefix_bounds(self) -> None:
+        w = histogram_workload(10, 2, bins_per_channel=2, seed=5)
+        with pytest.raises(QueryError):
+            w.prefix(0)
+        with pytest.raises(QueryError):
+            w.prefix(11)
+
+    def test_growing_prefixes(self) -> None:
+        w = histogram_workload(100, 5, bins_per_channel=2, seed=6)
+        prefixes = growing_prefixes(w, steps=4)
+        sizes = [p.size for p in prefixes]
+        assert sizes[-1] == 100
+        assert sizes == sorted(sizes)
+        assert len(sizes) == 4
+
+    def test_growing_prefixes_rejects_zero_steps(self) -> None:
+        w = histogram_workload(10, 2, bins_per_channel=2, seed=7)
+        with pytest.raises(QueryError):
+            growing_prefixes(w, steps=0)
+
+    def test_vector_workload(self) -> None:
+        w = vector_workload(40, 5, dim=12, seed=8)
+        assert w.database.shape == (40, 12)
+        assert w.matrix.shape == (12, 12)
+        # Matrix must be PD (it feeds QuadraticFormDistance downstream).
+        assert np.all(np.linalg.eigvalsh(w.matrix) > 0.0)
+
+    def test_workload_determinism(self) -> None:
+        a = histogram_workload(30, 3, bins_per_channel=2, seed=9)
+        b = histogram_workload(30, 3, bins_per_channel=2, seed=9)
+        assert np.array_equal(a.database, b.database)
+        assert np.array_equal(a.matrix, b.matrix)

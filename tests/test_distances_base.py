@@ -1,0 +1,56 @@
+"""Tests for repro.distances.base — the counting wrapper."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.distances import CountingDistance, euclidean, euclidean_one_to_many
+
+
+class TestCountingDistance:
+    def test_counts_scalar_calls(self) -> None:
+        cd = CountingDistance(euclidean)
+        u, v = np.zeros(3), np.ones(3)
+        for _ in range(5):
+            cd(u, v)
+        assert cd.count == 5
+        assert cd.stats.calls == 5
+        assert cd.stats.batch_rows == 0
+
+    def test_counts_batch_rows(self) -> None:
+        cd = CountingDistance(euclidean, one_to_many=euclidean_one_to_many)
+        cd.one_to_many(np.zeros(3), np.ones((7, 3)))
+        assert cd.count == 7
+        assert cd.stats.batch_rows == 7
+
+    def test_mixed_counting(self) -> None:
+        cd = CountingDistance(euclidean, one_to_many=euclidean_one_to_many)
+        cd(np.zeros(2), np.ones(2))
+        cd.one_to_many(np.zeros(2), np.ones((3, 2)))
+        assert cd.stats.total == 4
+
+    def test_values_unchanged(self) -> None:
+        cd = CountingDistance(euclidean)
+        assert cd(np.zeros(2), np.array([3.0, 4.0])) == pytest.approx(5.0)
+
+    def test_fallback_loop_when_no_vectorized_form(self) -> None:
+        cd = CountingDistance(euclidean)
+        batch = np.arange(12.0).reshape(4, 3)
+        out = cd.one_to_many(np.zeros(3), batch)
+        assert np.allclose(out, [euclidean(np.zeros(3), row) for row in batch])
+        assert cd.count == 4
+
+    def test_reset_returns_previous_stats(self) -> None:
+        cd = CountingDistance(euclidean)
+        cd(np.zeros(2), np.ones(2))
+        before = cd.reset()
+        assert before.calls == 1
+        assert cd.count == 0
+
+    def test_one_to_many_counts_even_when_vectorized(self) -> None:
+        """Batched rows count one evaluation each — the paper's cost unit
+        is logical distance computations, not BLAS calls."""
+        cd = CountingDistance(euclidean, one_to_many=euclidean_one_to_many)
+        cd.one_to_many(np.zeros(4), np.ones((100, 4)))
+        assert cd.count == 100

@@ -1,0 +1,81 @@
+"""Tests for repro.distances.metric_checks — empirical postulate checking."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import QuadraticFormDistance
+from repro.distances import check_metric_postulates, euclidean
+from repro.exceptions import QueryError
+
+
+class TestCheckMetricPostulates:
+    def test_euclidean_is_metric(self, rng: np.random.Generator) -> None:
+        objs = list(rng.random((15, 4)))
+        report = check_metric_postulates(euclidean, objs)
+        assert report.is_metric
+        assert report.checked_pairs == 15 * 14 // 2
+        assert report.checked_triples > 0
+
+    def test_qfd_with_pd_matrix_is_metric(self, qfd_64, histograms_64) -> None:
+        objs = list(histograms_64[:12])
+        report = check_metric_postulates(qfd_64, objs, tolerance=1e-8)
+        assert report.is_metric, report.worst()
+
+    def test_detects_asymmetry(self, rng: np.random.Generator) -> None:
+        def lopsided(u: np.ndarray, v: np.ndarray) -> float:
+            return float(np.sum(np.maximum(u - v, 0.0)))
+
+        objs = list(rng.random((8, 3)))
+        report = check_metric_postulates(lopsided, objs)
+        assert any(v.postulate == "symmetry" for v in report.violations)
+
+    def test_detects_triangle_violation(self, rng: np.random.Generator) -> None:
+        def squared_l2(u: np.ndarray, v: np.ndarray) -> float:
+            return float(np.sum((u - v) ** 2))
+
+        # Squared L2 famously breaks the triangle inequality.
+        objs = [np.zeros(1), np.array([1.0]), np.array([2.0])]
+        report = check_metric_postulates(squared_l2, objs)
+        assert any(v.postulate == "triangle" for v in report.violations)
+
+    def test_detects_identity_violation(self) -> None:
+        def off_by_one(u: np.ndarray, v: np.ndarray) -> float:
+            return euclidean(u, v) + 1.0
+
+        objs = [np.zeros(2), np.ones(2), np.full(2, 2.0)]
+        report = check_metric_postulates(off_by_one, objs)
+        assert any(v.postulate == "identity" for v in report.violations)
+
+    def test_detects_negative_distance(self) -> None:
+        def negative(u: np.ndarray, v: np.ndarray) -> float:
+            return -euclidean(u, v)
+
+        objs = [np.zeros(2), np.ones(2), np.full(2, 3.0)]
+        report = check_metric_postulates(negative, objs)
+        assert any(v.postulate == "non_negativity" for v in report.violations)
+
+    def test_semidefinite_qfd_breaks_identity(self, rng: np.random.Generator) -> None:
+        """The Section 3.2.3 argument: a PSD-but-singular matrix lets two
+        distinct vectors collapse to distance zero — check_metric_postulates
+        must not flag it (identity of indiscernibles is only checkable via
+        d(o,o)==0 from outside) but the library refuses such matrices."""
+        from repro.exceptions import NotPositiveDefiniteError
+
+        singular = np.ones((3, 3))
+        with pytest.raises(NotPositiveDefiniteError):
+            QuadraticFormDistance(singular)
+
+    def test_triple_sampling_cap(self, rng: np.random.Generator) -> None:
+        objs = list(rng.random((40, 3)))
+        report = check_metric_postulates(euclidean, objs, max_triples=100)
+        assert report.checked_triples <= 100
+
+    def test_needs_two_objects(self) -> None:
+        with pytest.raises(QueryError):
+            check_metric_postulates(euclidean, [np.zeros(2)])
+
+    def test_worst_is_none_for_metric(self, rng: np.random.Generator) -> None:
+        objs = list(rng.random((6, 2)))
+        assert check_metric_postulates(euclidean, objs).worst() is None

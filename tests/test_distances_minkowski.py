@@ -1,0 +1,118 @@
+"""Tests for repro.distances.minkowski — the Lp family (Section 1.1)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.distances import (
+    MinkowskiDistance,
+    WeightedEuclidean,
+    chessboard,
+    euclidean,
+    euclidean_one_to_many,
+    manhattan,
+    minkowski,
+    weighted_euclidean,
+)
+from repro.exceptions import DimensionMismatchError, QueryError
+
+
+class TestMinkowski:
+    def test_345_triangle(self) -> None:
+        assert euclidean([0, 0], [3, 4]) == pytest.approx(5.0)
+
+    def test_manhattan(self) -> None:
+        assert manhattan([0, 0], [3, 4]) == pytest.approx(7.0)
+
+    def test_chessboard(self) -> None:
+        assert chessboard([0, 0], [3, 4]) == pytest.approx(4.0)
+
+    def test_general_p(self) -> None:
+        assert minkowski([0, 0], [1, 1], 3) == pytest.approx(2.0 ** (1.0 / 3.0))
+
+    def test_p1_equals_manhattan(self, rng: np.random.Generator) -> None:
+        u, v = rng.random(8), rng.random(8)
+        assert minkowski(u, v, 1.0) == pytest.approx(manhattan(u, v))
+
+    def test_p2_equals_euclidean(self, rng: np.random.Generator) -> None:
+        u, v = rng.random(8), rng.random(8)
+        assert minkowski(u, v, 2.0) == pytest.approx(euclidean(u, v))
+
+    def test_p_inf_equals_chessboard(self, rng: np.random.Generator) -> None:
+        u, v = rng.random(8), rng.random(8)
+        assert minkowski(u, v, float("inf")) == pytest.approx(chessboard(u, v))
+
+    def test_lp_monotone_in_p(self, rng: np.random.Generator) -> None:
+        """For fixed vectors, Lp is non-increasing in p."""
+        u, v = rng.random(10), rng.random(10)
+        values = [minkowski(u, v, p) for p in (1, 1.5, 2, 4, 16, float("inf"))]
+        assert all(a >= b - 1e-12 for a, b in zip(values, values[1:]))
+
+    def test_rejects_p_below_one(self) -> None:
+        with pytest.raises(QueryError):
+            minkowski([0], [1], 0.5)
+
+    def test_dimension_mismatch(self) -> None:
+        with pytest.raises(DimensionMismatchError):
+            euclidean([1, 2], [1, 2, 3])
+
+    def test_identity(self, rng: np.random.Generator) -> None:
+        u = rng.random(5)
+        for dist in (manhattan, euclidean, chessboard):
+            assert dist(u, u) == 0.0
+
+
+class TestWeightedEuclidean:
+    def test_unit_weights_equal_euclidean(self, rng: np.random.Generator) -> None:
+        u, v = rng.random(6), rng.random(6)
+        assert weighted_euclidean(u, v, np.ones(6)) == pytest.approx(euclidean(u, v))
+
+    def test_weights_scale_dimensions(self) -> None:
+        assert weighted_euclidean([0, 0], [1, 0], [4.0, 1.0]) == pytest.approx(2.0)
+
+    def test_rejects_negative_weights(self) -> None:
+        with pytest.raises(QueryError):
+            weighted_euclidean([0], [1], [-1.0])
+
+    def test_callable_class_requires_positive_weights(self) -> None:
+        with pytest.raises(QueryError):
+            WeightedEuclidean([1.0, 0.0])
+
+    def test_callable_class_matches_function(self, rng: np.random.Generator) -> None:
+        w = rng.random(5) + 0.1
+        dist = WeightedEuclidean(w)
+        u, v = rng.random(5), rng.random(5)
+        assert dist(u, v) == pytest.approx(weighted_euclidean(u, v, w))
+
+    def test_one_to_many_matches_scalar(self, rng: np.random.Generator) -> None:
+        w = rng.random(5) + 0.1
+        dist = WeightedEuclidean(w)
+        q = rng.random(5)
+        batch = rng.random((12, 5))
+        vec = dist.one_to_many(q, batch)
+        assert np.allclose(vec, [dist(q, row) for row in batch])
+
+
+class TestVectorizedEuclidean:
+    def test_matches_scalar(self, rng: np.random.Generator) -> None:
+        q = rng.random(7)
+        batch = rng.random((30, 7))
+        assert np.allclose(
+            euclidean_one_to_many(q, batch), [euclidean(q, row) for row in batch]
+        )
+
+    def test_empty_batch(self) -> None:
+        out = euclidean_one_to_many(np.ones(3), np.empty((0, 3)))
+        assert out.shape == (0,)
+
+
+class TestMinkowskiDistanceClass:
+    def test_callable(self) -> None:
+        d = MinkowskiDistance(2.0)
+        assert d([0, 0], [3, 4]) == pytest.approx(5.0)
+        assert d.p == 2.0
+
+    def test_rejects_bad_order(self) -> None:
+        with pytest.raises(QueryError):
+            MinkowskiDistance(0.9)

@@ -1,0 +1,45 @@
+"""Tests for repro.distances.quadratic — functional QFD forms."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import QuadraticFormDistance
+from repro.distances import qfd, qfd_squared
+from repro.exceptions import DimensionMismatchError
+
+
+class TestFunctionalQFD:
+    def test_matches_class(self, spd_16: np.ndarray, rng: np.random.Generator) -> None:
+        dist = QuadraticFormDistance(spd_16)
+        u, v = rng.random(16), rng.random(16)
+        assert qfd(u, v, spd_16) == pytest.approx(dist(u, v))
+
+    def test_squared_relationship(self, spd_16: np.ndarray, rng: np.random.Generator) -> None:
+        u, v = rng.random(16), rng.random(16)
+        assert qfd(u, v, spd_16) ** 2 == pytest.approx(qfd_squared(u, v, spd_16))
+
+    def test_identity_matrix(self, rng: np.random.Generator) -> None:
+        u, v = rng.random(4), rng.random(4)
+        assert qfd(u, v, np.eye(4)) == pytest.approx(float(np.linalg.norm(u - v)))
+
+    def test_no_validation_accepts_general_matrix(self, rng: np.random.Generator) -> None:
+        """The functional forms skip PD validation by design."""
+        a = rng.random((4, 4))  # arbitrary, possibly indefinite
+        u, v = rng.random(4), rng.random(4)
+        z = u - v
+        expected = max(float(z @ a @ z), 0.0)
+        assert qfd_squared(u, v, a) == pytest.approx(expected)
+
+    def test_dimension_mismatch_vectors(self) -> None:
+        with pytest.raises(DimensionMismatchError):
+            qfd([1.0, 2.0], [1.0], np.eye(2))
+
+    def test_dimension_mismatch_matrix(self) -> None:
+        with pytest.raises(DimensionMismatchError):
+            qfd([1.0, 2.0], [0.0, 0.0], np.eye(3))
+
+    def test_clamps_negative_roundoff(self) -> None:
+        u = np.array([1e-200, 1e-200])
+        assert qfd_squared(u, u, np.eye(2)) == 0.0

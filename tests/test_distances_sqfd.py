@@ -1,0 +1,130 @@
+"""Tests for repro.distances.sqfd — signatures and the dynamic SQFD."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.distances import (
+    FeatureSignature,
+    SignatureQuadraticFormDistance,
+    check_metric_postulates,
+    gaussian_similarity,
+    inverse_distance_similarity,
+)
+from repro.exceptions import DimensionMismatchError, QueryError
+
+
+def _make_signature(rng: np.random.Generator, k: int, c: int = 3) -> FeatureSignature:
+    return FeatureSignature.create(rng.random((k, c)), rng.random(k) + 0.1)
+
+
+class TestFeatureSignature:
+    def test_create_and_properties(self, rng: np.random.Generator) -> None:
+        sig = _make_signature(rng, 4)
+        assert sig.size == 4
+        assert sig.feature_dim == 3
+
+    def test_rejects_empty(self) -> None:
+        with pytest.raises(QueryError):
+            FeatureSignature.create(np.empty((0, 3)), np.empty(0))
+
+    def test_rejects_nonpositive_weights(self) -> None:
+        with pytest.raises(QueryError):
+            FeatureSignature.create([[0.0, 0.0]], [0.0])
+
+    def test_rejects_mismatched_weights(self) -> None:
+        with pytest.raises(DimensionMismatchError):
+            FeatureSignature.create([[0.0, 0.0]], [1.0, 2.0])
+
+    def test_rejects_1d_centroids(self) -> None:
+        with pytest.raises(DimensionMismatchError):
+            FeatureSignature.create([1.0, 2.0], [1.0])
+
+    def test_normalized(self, rng: np.random.Generator) -> None:
+        sig = _make_signature(rng, 5)
+        assert sig.normalized().weights.sum() == pytest.approx(1.0)
+
+    def test_immutable(self, rng: np.random.Generator) -> None:
+        sig = _make_signature(rng, 3)
+        with pytest.raises(ValueError):
+            sig.weights[0] = 9.0
+
+
+class TestSQFD:
+    def test_self_distance_zero(self, rng: np.random.Generator) -> None:
+        sig = _make_signature(rng, 4)
+        dist = SignatureQuadraticFormDistance()
+        assert dist(sig, sig) == pytest.approx(0.0, abs=1e-7)
+
+    def test_symmetry(self, rng: np.random.Generator) -> None:
+        dist = SignatureQuadraticFormDistance()
+        a, b = _make_signature(rng, 3), _make_signature(rng, 5)
+        assert dist(a, b) == pytest.approx(dist(b, a))
+
+    def test_different_signature_sizes_supported(self, rng: np.random.Generator) -> None:
+        """The SQFD's raison d'être: variable-length descriptors."""
+        dist = SignatureQuadraticFormDistance()
+        a, b = _make_signature(rng, 2), _make_signature(rng, 7)
+        assert dist(a, b) > 0.0
+
+    def test_feature_space_mismatch(self, rng: np.random.Generator) -> None:
+        dist = SignatureQuadraticFormDistance()
+        a = _make_signature(rng, 3, c=3)
+        b = _make_signature(rng, 3, c=5)
+        with pytest.raises(DimensionMismatchError):
+            dist(a, b)
+
+    def test_dynamic_matrix_shape(self, rng: np.random.Generator) -> None:
+        dist = SignatureQuadraticFormDistance()
+        a, b = _make_signature(rng, 3), _make_signature(rng, 4)
+        assert dist.dynamic_matrix(a, b).shape == (7, 7)
+
+    def test_matrix_genuinely_dynamic(self, rng: np.random.Generator) -> None:
+        """Different pairs get different matrices — why QMap cannot apply."""
+        dist = SignatureQuadraticFormDistance()
+        a, b, c = (_make_signature(rng, 3) for _ in range(3))
+        m_ab = dist.dynamic_matrix(a, b)
+        m_ac = dist.dynamic_matrix(a, c)
+        assert m_ab.shape == m_ac.shape
+        assert not np.allclose(m_ab, m_ac)
+
+    def test_gaussian_similarity_is_metric_on_sample(self, rng: np.random.Generator) -> None:
+        dist = SignatureQuadraticFormDistance(gaussian_similarity(sigma=0.5))
+        sigs = [_make_signature(rng, int(rng.integers(2, 6))) for _ in range(8)]
+        report = check_metric_postulates(dist, sigs, tolerance=1e-7)
+        assert report.is_metric, report.worst()
+
+    def test_inverse_distance_similarity_runs(self, rng: np.random.Generator) -> None:
+        dist = SignatureQuadraticFormDistance(inverse_distance_similarity(alpha=2.0))
+        a, b = _make_signature(rng, 3), _make_signature(rng, 4)
+        assert dist(a, b) >= 0.0
+
+    def test_pairwise(self, rng: np.random.Generator) -> None:
+        dist = SignatureQuadraticFormDistance()
+        sigs = [_make_signature(rng, 3) for _ in range(5)]
+        mat = dist.pairwise(sigs)
+        assert mat.shape == (5, 5)
+        assert np.allclose(mat, mat.T)
+        assert np.allclose(np.diag(mat), 0.0, atol=1e-7)
+
+    def test_similarity_parameter_validation(self) -> None:
+        with pytest.raises(QueryError):
+            gaussian_similarity(sigma=0.0)
+        with pytest.raises(QueryError):
+            inverse_distance_similarity(alpha=0.0)
+
+    def test_reduces_to_qfd_for_shared_centroids(self, rng: np.random.Generator) -> None:
+        """With identical centroid sets, the SQFD equals the static QFD of
+        the weight difference under the similarity matrix of the centroids."""
+        from repro.distances import qfd as static_qfd
+
+        cents = rng.random((4, 3))
+        w_u = rng.random(4) + 0.1
+        w_v = rng.random(4) + 0.1
+        sim = gaussian_similarity(sigma=1.0)
+        a = sim(cents, cents)
+        sig_u = FeatureSignature.create(cents, w_u)
+        sig_v = FeatureSignature.create(cents, w_v)
+        dist = SignatureQuadraticFormDistance(sim)
+        assert dist(sig_u, sig_v) == pytest.approx(static_qfd(w_u, w_v, a), abs=1e-9)

@@ -1,0 +1,169 @@
+"""Tests for repro.dynamic — MindReader and signature extraction."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import QuadraticFormDistance
+from repro.datasets import SyntheticImageCorpus
+from repro.dynamic import estimate_distance, extract_signature, kmeans, matrix_changed
+from repro.exceptions import DimensionMismatchError, QueryError
+
+
+class TestMindReader:
+    def test_query_point_is_weighted_centroid(self, rng: np.random.Generator) -> None:
+        x = rng.random((5, 3))
+        pi = np.array([1.0, 1.0, 1.0, 1.0, 6.0])
+        est = estimate_distance(x, pi)
+        expected = (pi @ x) / pi.sum()
+        assert np.allclose(est.query_point, expected)
+
+    def test_matrix_is_pd_and_unit_det(self, rng: np.random.Generator) -> None:
+        x = rng.random((30, 4))
+        pi = rng.random(30) + 0.1
+        est = estimate_distance(x, pi)
+        eigs = np.linalg.eigvalsh(est.distance.matrix)
+        assert np.all(eigs > 0.0)
+        assert np.prod(eigs) == pytest.approx(1.0, rel=1e-6)
+
+    def test_low_variance_dimension_gets_high_weight(self, rng: np.random.Generator) -> None:
+        """Dimensions where relevant examples agree matter more — the core
+        MindReader intuition."""
+        m = 60
+        x = np.column_stack([
+            rng.normal(0.5, 0.01, m),   # user cares: tight
+            rng.normal(0.5, 0.5, m),    # user doesn't: loose
+        ])
+        est = estimate_distance(x, np.ones(m))
+        a = est.distance.matrix
+        assert a[0, 0] > a[1, 1]
+
+    def test_correlation_captured_off_diagonal(self, rng: np.random.Generator) -> None:
+        m = 100
+        t = rng.normal(0.0, 1.0, m)
+        x = np.column_stack([t, t + rng.normal(0.0, 0.05, m), rng.normal(0.0, 1.0, m)])
+        est = estimate_distance(x, np.ones(m))
+        # Strongly correlated dims 0 and 1 -> large |off-diagonal| weight.
+        a = est.distance.matrix
+        assert abs(a[0, 1]) > abs(a[0, 2]) * 5.0
+
+    def test_needs_two_examples(self) -> None:
+        with pytest.raises(QueryError):
+            estimate_distance(np.ones((1, 3)), [1.0])
+
+    def test_rejects_nonpositive_scores(self, rng: np.random.Generator) -> None:
+        with pytest.raises(QueryError):
+            estimate_distance(rng.random((4, 2)), [1.0, 0.0, 1.0, 1.0])
+
+    def test_rank_deficient_examples_regularized(self, rng: np.random.Generator) -> None:
+        # m < n: covariance is singular; the ridge must save the day.
+        x = rng.random((3, 10))
+        est = estimate_distance(x, np.ones(3))
+        assert est.regularization > 0.0
+        assert np.all(np.linalg.eigvalsh(est.distance.matrix) > 0.0)
+
+    def test_feedback_round_changes_matrix(self, rng: np.random.Generator) -> None:
+        """Two feedback rounds produce different matrices — the index
+        invalidation scenario of paper Section 2.2."""
+        x = rng.random((20, 4))
+        est1 = estimate_distance(x, np.ones(20))
+        scores2 = np.ones(20)
+        scores2[:10] = 10.0
+        est2 = estimate_distance(x, scores2)
+        assert matrix_changed(est1.distance, est2.distance)
+
+
+class TestMatrixChanged:
+    def test_same_matrix_not_changed(self, spd_16: np.ndarray) -> None:
+        assert not matrix_changed(spd_16, spd_16.copy())
+
+    def test_different_matrix_changed(self, spd_16: np.ndarray) -> None:
+        other = spd_16 + 0.1 * np.eye(16)
+        assert matrix_changed(spd_16, other)
+
+    def test_shape_mismatch_changed(self, spd_16: np.ndarray) -> None:
+        assert matrix_changed(spd_16, np.eye(4))
+
+    def test_accepts_distance_objects(self, spd_16: np.ndarray) -> None:
+        d = QuadraticFormDistance(spd_16)
+        assert not matrix_changed(d, d)
+
+
+class TestKMeans:
+    def test_recovers_separated_clusters(self, rng: np.random.Generator) -> None:
+        a = rng.normal(0.0, 0.05, (40, 2))
+        b = rng.normal(5.0, 0.05, (40, 2))
+        centers, labels = kmeans(np.vstack([a, b]), 2, rng=rng)
+        assert centers.shape == (2, 2)
+        # Both true centers found (in some order).
+        found = sorted(centers[:, 0])
+        assert found[0] == pytest.approx(0.0, abs=0.2)
+        assert found[1] == pytest.approx(5.0, abs=0.2)
+        # Cluster assignment separates the two blobs.
+        assert len(set(labels[:40])) == 1 and len(set(labels[40:])) == 1
+
+    def test_k_equals_m(self, rng: np.random.Generator) -> None:
+        pts = rng.random((5, 3))
+        centers, labels = kmeans(pts, 5, rng=rng)
+        assert centers.shape[0] == 5
+
+    def test_fewer_distinct_points_than_k(self) -> None:
+        pts = np.tile([1.0, 2.0], (10, 1))
+        centers, labels = kmeans(pts, 3)
+        assert centers.shape[0] <= 3
+        assert np.allclose(centers[labels], pts)
+
+    def test_rejects_bad_k(self, rng: np.random.Generator) -> None:
+        with pytest.raises(QueryError):
+            kmeans(rng.random((5, 2)), 0)
+        with pytest.raises(QueryError):
+            kmeans(rng.random((5, 2)), 6)
+
+    def test_rejects_1d_points(self) -> None:
+        with pytest.raises(DimensionMismatchError):
+            kmeans(np.ones(5), 2)
+
+
+class TestExtractSignature:
+    def test_signature_shape(self) -> None:
+        corpus = SyntheticImageCorpus(height=16, width=16, seed=5)
+        sig = extract_signature(corpus.render(0), n_clusters=6)
+        assert sig.size <= 6
+        assert sig.feature_dim == 5  # RGB + (x, y)
+        assert sig.weights.sum() == pytest.approx(1.0)
+
+    def test_without_position(self) -> None:
+        corpus = SyntheticImageCorpus(height=8, width=8, seed=5)
+        sig = extract_signature(corpus.render(1), n_clusters=4, include_position=False)
+        assert sig.feature_dim == 3
+
+    def test_variable_sizes_across_images(self) -> None:
+        """Flat images yield smaller signatures than busy ones — the
+        variable dimensionality the SQFD exists for."""
+        flat = np.full((8, 8, 3), 0.5)
+        sig = extract_signature(flat, n_clusters=8, include_position=False)
+        assert sig.size == 1
+
+    def test_subsampling_cap(self) -> None:
+        corpus = SyntheticImageCorpus(height=64, width=64, seed=6)
+        sig = extract_signature(corpus.render(0), n_clusters=4, max_pixels=256)
+        assert sig.size <= 4
+
+    def test_rejects_bad_image(self) -> None:
+        with pytest.raises(DimensionMismatchError):
+            extract_signature(np.ones((4, 4)), 2)
+
+    def test_sqfd_pipeline_end_to_end(self) -> None:
+        """Signatures from similar images are closer in SQFD than from a
+        different theme."""
+        from repro.distances import SignatureQuadraticFormDistance
+
+        corpus = SyntheticImageCorpus(height=16, width=16, themes=2, seed=8)
+        rng = np.random.default_rng(0)
+        # Images 0 and 2 share theme 0; image 1 has theme 1.
+        sig_a = extract_signature(corpus.render(0), 5, rng=rng)
+        sig_b = extract_signature(corpus.render(2), 5, rng=rng)
+        sig_c = extract_signature(corpus.render(1), 5, rng=rng)
+        dist = SignatureQuadraticFormDistance()
+        assert dist(sig_a, sig_b) < dist(sig_a, sig_c)

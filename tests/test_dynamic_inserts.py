@@ -1,0 +1,146 @@
+"""Dynamic insert support across all access methods.
+
+The paper's Section 6 claim: the QMap model supports "similarity searching
+in dynamically changing databases without any distortion".  These tests
+grow every index object by object and assert that queries remain exactly
+correct after each batch of inserts, in both models.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.datasets import histogram_workload
+from repro.distances import euclidean
+from repro.mam import GNAT, MTree, PivotTable, SequentialFile, VPTree
+from repro.models import MAM_REGISTRY, SAM_REGISTRY, QFDModel, QMapModel
+from repro.sam import RTree, VAFile
+
+from .helpers import assert_same_neighbors
+
+METHOD_KWARGS = {
+    "sequential": {},
+    "disk-sequential": {"cache_pages": 8},
+    "pivot-table": {"n_pivots": 8},
+    "mtree": {"capacity": 6},
+    "paged-mtree": {"capacity": 6, "cache_pages": 4},
+    "vptree": {"leaf_size": 4},
+    "gnat": {"arity": 4, "leaf_size": 8},
+    "mindex": {"n_pivots": 6},
+    "sat": {},
+    "rtree": {"capacity": 6},
+    "xtree": {"capacity": 6, "max_overlap": 0.75},
+    "vafile": {"bits": 4},
+}
+
+
+@pytest.fixture(scope="module")
+def workload():
+    return histogram_workload(260, 4, bins_per_channel=4, seed=37)
+
+
+@pytest.mark.parametrize("method", sorted(MAM_REGISTRY) + sorted(SAM_REGISTRY))
+class TestInsertKeepsQueriesExact:
+    def test_grow_then_query(self, method, workload) -> None:
+        """Build on 200 objects, insert 60 more, compare against a scan
+        built over the full 260."""
+        model = QMapModel(workload.matrix)
+        index = model.build_index(method, workload.database[:200], **METHOD_KWARGS[method])
+        for row in workload.database[200:]:
+            index.insert(row)
+        reference = model.build_index("sequential", workload.database)
+        for q in workload.queries:
+            assert_same_neighbors(
+                index.knn_search(q, 10),
+                reference.knn_search(q, 10),
+                tol=1e-7,
+                label=f"{method} after inserts",
+            )
+
+    def test_insert_returns_sequential_indices(self, method, workload) -> None:
+        model = QMapModel(workload.matrix)
+        index = model.build_index(method, workload.database[:50], **METHOD_KWARGS[method])
+        got = [index.insert(row) for row in workload.database[50:55]]
+        assert got == [50, 51, 52, 53, 54]
+
+    def test_inserted_object_is_findable(self, method, workload) -> None:
+        model = QMapModel(workload.matrix)
+        index = model.build_index(method, workload.database[:50], **METHOD_KWARGS[method])
+        new_idx = index.insert(workload.queries[0])
+        top = index.knn_search(workload.queries[0], 1)[0]
+        assert top.index == new_idx
+        assert top.distance == pytest.approx(0.0, abs=1e-9)
+
+
+class TestInsertDetails:
+    def test_qfd_model_insert(self, workload) -> None:
+        model = QFDModel(workload.matrix)
+        index = model.build_index("mtree", workload.database[:100], capacity=6)
+        index.insert(workload.database[100])
+        top = index.knn_search(workload.database[100], 1)[0]
+        assert top.distance == pytest.approx(0.0, abs=1e-9)
+
+    def test_qmap_insert_counts_transform(self, workload) -> None:
+        model = QMapModel(workload.matrix)
+        index = model.build_index("sequential", workload.database[:10])
+        index.reset_query_costs()
+        index.insert(workload.database[10])
+        assert index.query_costs().transforms == 1
+
+    def test_mtree_invariants_after_inserts(self, workload) -> None:
+        tree = MTree(workload.database[:100], euclidean, capacity=5)
+        for row in workload.database[100:160]:
+            tree.insert(row)
+        tree.validate_invariants()
+
+    def test_mtree_insert_cost_logarithmic(self, workload) -> None:
+        from repro.distances import CountingDistance, euclidean_one_to_many
+
+        counter = CountingDistance(euclidean, one_to_many=euclidean_one_to_many)
+        tree = MTree(workload.database[:200], counter, capacity=8)
+        counter.reset()
+        tree.insert(workload.database[200])
+        # One root-to-leaf descent: far below a full scan.
+        assert counter.count < 100
+
+    def test_pivot_table_grows(self, workload) -> None:
+        pt = PivotTable(workload.database[:50], euclidean, n_pivots=6)
+        pt.insert(workload.database[50])
+        assert pt.table.shape == (51, 6)
+        assert pt.size == 51
+
+    def test_vafile_insert_out_of_grid_range(self, workload) -> None:
+        """A vector outside the build-time data range clamps into the
+        outer cells and must still be retrievable exactly."""
+        va = VAFile(workload.database[:100], bits=3)
+        weird = np.full(workload.dim, 0.9)  # way above any histogram mass
+        idx = va.insert(weird)
+        top = va.knn_search(weird, 1)[0]
+        assert top.index == idx and top.distance == pytest.approx(0.0, abs=1e-12)
+
+    def test_disk_sequential_persists_inserts(self, workload) -> None:
+        from repro.mam import DiskSequentialFile
+
+        disk = DiskSequentialFile(workload.database[:20], euclidean, cache_pages=2)
+        disk.insert(workload.database[20])
+        assert len(disk.store) == 21
+
+    def test_vptree_gnat_rtree_grow(self, workload) -> None:
+        for cls, kwargs in [
+            (VPTree, {"leaf_size": 4}),
+            (GNAT, {"arity": 4, "leaf_size": 8}),
+        ]:
+            index = cls(workload.database[:60], euclidean, **kwargs)
+            index.insert(workload.database[60])
+            assert index.size == 61
+        rt = RTree(workload.database[:60], capacity=6)
+        rt.insert(workload.database[60])
+        assert rt.size == 61
+
+    def test_dimension_checked(self, workload) -> None:
+        from repro.exceptions import DimensionMismatchError
+
+        seq = SequentialFile(workload.database[:5], euclidean)
+        with pytest.raises(DimensionMismatchError):
+            seq.insert(np.ones(3))

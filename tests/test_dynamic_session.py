@@ -1,0 +1,90 @@
+"""Tests for repro.dynamic.session — the relevance-feedback loop."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.datasets import clustered_histograms
+from repro.dynamic import RelevanceFeedbackSession
+from repro.exceptions import QueryError
+
+
+@pytest.fixture(scope="module")
+def database():
+    return clustered_histograms(400, 4, themes=8, rng=np.random.default_rng(91))
+
+
+class TestSessionLifecycle:
+    def test_first_search_builds_index(self, database) -> None:
+        session = RelevanceFeedbackSession(database, method="sequential")
+        session.search(database[0], k=5)
+        assert len(session.history) == 1
+        assert session.history[0].matrix_was_stale  # cold start
+
+    def test_repeat_search_reuses_index(self, database) -> None:
+        session = RelevanceFeedbackSession(database, method="sequential")
+        session.search(database[0], k=5)
+        session.search(database[1], k=5)
+        assert not session.history[1].matrix_was_stale
+        assert session.history[1].maintenance_seconds == 0.0
+
+    def test_feedback_invalidates_index(self, database) -> None:
+        session = RelevanceFeedbackSession(database, method="sequential")
+        hits = session.search(database[0], k=10)
+        idx = [h.index for h in hits]
+        scores = np.linspace(1.0, 2.0, len(idx))
+        new_query = session.feedback(idx, scores)
+        assert new_query.shape == (database.shape[1],)
+        session.search(new_query, k=5)
+        assert session.history[-1].matrix_was_stale
+
+    def test_matrix_starts_as_identity(self, database) -> None:
+        session = RelevanceFeedbackSession(database)
+        assert np.array_equal(session.matrix, np.eye(database.shape[1]))
+
+    def test_feedback_changes_matrix(self, database) -> None:
+        session = RelevanceFeedbackSession(database)
+        before = session.matrix.copy()
+        session.feedback([0, 1, 2, 3, 4], [1.0, 2.0, 1.0, 3.0, 1.0])
+        assert not np.allclose(session.matrix, before)
+
+    def test_results_match_direct_model(self, database) -> None:
+        """A session search under the current matrix equals a fresh
+        QMapModel search under the same matrix."""
+        from repro.models import QMapModel
+
+        session = RelevanceFeedbackSession(database, method="pivot-table",
+                                           method_kwargs={"n_pivots": 8})
+        hits = session.search(database[5], k=7)
+        direct = QMapModel(session.matrix).build_index(
+            "pivot-table", database, n_pivots=8
+        )
+        expected = direct.knn_search(database[5], 7)
+        assert [h.index for h in hits] == [h.index for h in expected]
+
+    def test_qfd_policy_counts_no_transforms(self, database) -> None:
+        session = RelevanceFeedbackSession(database, method="sequential", model="qfd")
+        session.search(database[0], k=3)
+        assert session.history[0].maintenance_transforms == 0
+
+    def test_qmap_policy_transforms_whole_database(self, database) -> None:
+        session = RelevanceFeedbackSession(database, method="sequential", model="qmap")
+        session.search(database[0], k=3)
+        assert session.history[0].maintenance_transforms == database.shape[0]
+
+    def test_total_maintenance_accumulates(self, database) -> None:
+        session = RelevanceFeedbackSession(database, method="sequential")
+        session.search(database[0], k=5)
+        session.feedback([0, 1, 2], [1.0, 2.0, 3.0])
+        session.search(database[0], k=5)
+        assert session.total_maintenance_seconds() >= session.history[0].maintenance_seconds
+
+    def test_validation(self, database) -> None:
+        with pytest.raises(QueryError):
+            RelevanceFeedbackSession(database, model="hybrid")
+        session = RelevanceFeedbackSession(database)
+        with pytest.raises(QueryError):
+            session.feedback([0], [1.0])
+        with pytest.raises(QueryError):
+            session.feedback([0, 99999], [1.0, 1.0])

@@ -1,0 +1,164 @@
+"""Integration: every access method answers exactly like the sequential scan.
+
+DESIGN.md invariant 4 — no false dismissals, no false positives, identical
+ordering — checked for all MAMs and SAMs, under both the QFD and the QMap
+model, for range and kNN queries across a grid of parameters.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.datasets import histogram_workload
+from repro.models import MAM_REGISTRY, SAM_REGISTRY, QFDModel, QMapModel
+
+from .helpers import assert_same_neighbors
+
+METHOD_KWARGS = {
+    "sequential": {},
+    "disk-sequential": {"cache_pages": 4},
+    "pivot-table": {"n_pivots": 12},
+    "mtree": {"capacity": 8},
+    "paged-mtree": {"capacity": 8, "cache_pages": 4},
+    "vptree": {"leaf_size": 6},
+    "gnat": {"arity": 5, "leaf_size": 10},
+    "mindex": {"n_pivots": 8},
+    "sat": {},
+    "rtree": {"capacity": 8},
+    "xtree": {"capacity": 8, "max_overlap": 0.75},
+    "vafile": {"bits": 4},
+}
+
+
+@pytest.fixture(scope="module")
+def workload():
+    return histogram_workload(350, 4, bins_per_channel=4, seed=13)
+
+
+@pytest.fixture(scope="module")
+def reference(workload):
+    """Ground truth: sequential scan in the QFD model."""
+    model = QFDModel(workload.matrix)
+    return model.build_index("sequential", workload.database)
+
+
+@pytest.mark.parametrize("method", sorted(MAM_REGISTRY))
+class TestMAMExactness:
+    def test_knn_qfd_model(self, method, workload, reference) -> None:
+        index = QFDModel(workload.matrix).build_index(
+            method, workload.database, **METHOD_KWARGS[method]
+        )
+        for q in workload.queries:
+            for k in (1, 5, 17):
+                assert_same_neighbors(
+                    index.knn_search(q, k),
+                    reference.knn_search(q, k),
+                    label=f"{method}/qfd knn k={k}",
+                )
+
+    def test_knn_qmap_model(self, method, workload, reference) -> None:
+        index = QMapModel(workload.matrix).build_index(
+            method, workload.database, **METHOD_KWARGS[method]
+        )
+        for q in workload.queries:
+            for k in (1, 5, 17):
+                assert_same_neighbors(
+                    index.knn_search(q, k),
+                    reference.knn_search(q, k),
+                    tol=1e-7,
+                    label=f"{method}/qmap knn k={k}",
+                )
+
+    def test_range_both_models(self, method, workload, reference) -> None:
+        qfd_index = QFDModel(workload.matrix).build_index(
+            method, workload.database, **METHOD_KWARGS[method]
+        )
+        qmap_index = QMapModel(workload.matrix).build_index(
+            method, workload.database, **METHOD_KWARGS[method]
+        )
+        for q in workload.queries[:2]:
+            # Radii chosen from the actual distance distribution so each
+            # selectivity regime (empty, sparse, dense) is exercised; taken
+            # as midpoints between consecutive neighbor distances so no
+            # object sits exactly on the query ball boundary (where the
+            # two models could disagree by one float ulp).
+            nn = reference.knn_search(q, 50)
+            radii = [
+                0.0,
+                (nn[0].distance + nn[1].distance) / 2.0,
+                (nn[10].distance + nn[11].distance) / 2.0,
+                (nn[-2].distance + nn[-1].distance) / 2.0,
+            ]
+            for radius in radii:
+                truth = reference.range_search(q, radius)
+                assert_same_neighbors(
+                    qfd_index.range_search(q, radius),
+                    truth,
+                    label=f"{method}/qfd range r={radius:.4f}",
+                )
+                assert_same_neighbors(
+                    qmap_index.range_search(q, radius),
+                    truth,
+                    tol=1e-7,
+                    label=f"{method}/qmap range r={radius:.4f}",
+                )
+
+
+@pytest.mark.parametrize("method", sorted(SAM_REGISTRY))
+class TestSAMExactness:
+    """SAMs run in the QMap model only (Section 2.1 / 2.4)."""
+
+    def test_knn(self, method, workload, reference) -> None:
+        index = QMapModel(workload.matrix).build_index(
+            method, workload.database, **METHOD_KWARGS[method]
+        )
+        for q in workload.queries:
+            for k in (1, 5, 17):
+                assert_same_neighbors(
+                    index.knn_search(q, k),
+                    reference.knn_search(q, k),
+                    tol=1e-7,
+                    label=f"{method} knn k={k}",
+                )
+
+    def test_range(self, method, workload, reference) -> None:
+        index = QMapModel(workload.matrix).build_index(
+            method, workload.database, **METHOD_KWARGS[method]
+        )
+        for q in workload.queries[:2]:
+            nn = reference.knn_search(q, 30)
+            radii = (
+                0.0,
+                (nn[5].distance + nn[6].distance) / 2.0,
+                (nn[-2].distance + nn[-1].distance) / 2.0,
+            )
+            for radius in radii:
+                assert_same_neighbors(
+                    index.range_search(q, radius),
+                    reference.range_search(q, radius),
+                    tol=1e-7,
+                    label=f"{method} range r={radius:.4f}",
+                )
+
+
+class TestDuplicateObjects:
+    """Databases with exact duplicates must not confuse any index."""
+
+    @pytest.mark.parametrize("method", sorted(MAM_REGISTRY))
+    def test_duplicates(self, method, workload) -> None:
+        dup = np.vstack([workload.database[:40], workload.database[:10]])
+        model = QMapModel(workload.matrix)
+        index = model.build_index(method, dup, **METHOD_KWARGS[method])
+        scan = model.build_index("sequential", dup)
+        q = workload.queries[0]
+        assert_same_neighbors(
+            index.knn_search(q, 8), scan.knn_search(q, 8), label=f"{method} dup"
+        )
+
+    def test_query_equal_to_database_object(self, workload) -> None:
+        model = QMapModel(workload.matrix)
+        index = model.build_index("mtree", workload.database, capacity=8)
+        q = workload.database[17]
+        top = index.knn_search(q, 1)[0]
+        assert top.index == 17 or top.distance == pytest.approx(0.0, abs=1e-9)

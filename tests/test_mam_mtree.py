@@ -1,0 +1,114 @@
+"""Tests for repro.mam.mtree — structure invariants and behaviour."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.datasets import clustered_histograms
+from repro.distances import CountingDistance, euclidean, euclidean_one_to_many
+from repro.exceptions import QueryError
+from repro.mam import MTree, SequentialFile
+
+from .helpers import assert_same_neighbors
+
+
+@pytest.fixture(scope="module")
+def data():
+    return clustered_histograms(400, 4, themes=8, rng=np.random.default_rng(21))
+
+
+class TestConstruction:
+    def test_rejects_capacity_below_two(self, data) -> None:
+        with pytest.raises(QueryError):
+            MTree(data, euclidean, capacity=1)
+
+    def test_rejects_unknown_split_policy(self, data) -> None:
+        with pytest.raises(QueryError):
+            MTree(data, euclidean, split_policy="linear")
+
+    def test_single_object_tree(self) -> None:
+        tree = MTree(np.ones((1, 4)), euclidean)
+        assert tree.height() == 1
+        assert tree.knn_search(np.zeros(4), 1)[0].index == 0
+
+    def test_height_grows_logarithmically(self, data) -> None:
+        tree = MTree(data, euclidean, capacity=8)
+        # 400 objects, capacity 8 -> height around log_4..8(400); sanity bounds.
+        assert 2 <= tree.height() <= 8
+
+    def test_invariants_mm_rad(self, data) -> None:
+        tree = MTree(data[:200], euclidean, capacity=6, split_policy="mM_RAD")
+        tree.validate_invariants()
+
+    def test_invariants_random_split(self, data) -> None:
+        tree = MTree(data[:200], euclidean, capacity=6, split_policy="random")
+        tree.validate_invariants()
+
+    def test_node_count_positive(self, data) -> None:
+        tree = MTree(data[:100], euclidean, capacity=4)
+        assert tree.node_count() >= 100 // 4
+
+    def test_capacity_two_works(self, data) -> None:
+        tree = MTree(data[:50], euclidean, capacity=2)
+        tree.validate_invariants()
+        scan = SequentialFile(data[:50], euclidean)
+        q = data[60]
+        assert_same_neighbors(tree.knn_search(q, 3), scan.knn_search(q, 3))
+
+
+class TestQueryBehaviour:
+    def test_random_split_still_exact(self, data) -> None:
+        port = CountingDistance(euclidean, one_to_many=euclidean_one_to_many)
+        tree = MTree(data, port, capacity=8, split_policy="random")
+        scan = SequentialFile(data, euclidean)
+        for q in data[:3]:
+            assert_same_neighbors(tree.knn_search(q, 10), scan.knn_search(q, 10))
+
+    def test_knn_prunes_on_clustered_data(self, data) -> None:
+        counter = CountingDistance(euclidean, one_to_many=euclidean_one_to_many)
+        tree = MTree(data, counter, capacity=16)
+        counter.reset()
+        tree.knn_search(data[0], 5)
+        # Far fewer evaluations than the 400-object scan.
+        assert counter.count < 0.6 * len(data)
+
+    def test_range_with_zero_radius(self, data) -> None:
+        tree = MTree(data[:100], euclidean, capacity=8)
+        hits = tree.range_search(data[5], 0.0)
+        assert any(n.index == 5 for n in hits)
+        assert all(n.distance == 0.0 for n in hits)
+
+    def test_range_radius_covering_everything(self, data) -> None:
+        tree = MTree(data[:80], euclidean, capacity=8)
+        hits = tree.range_search(data[0], 1e6)
+        assert len(hits) == 80
+
+    def test_knn_more_than_size(self, data) -> None:
+        tree = MTree(data[:10], euclidean, capacity=4)
+        assert len(tree.knn_search(data[0], 50)) == 10
+
+    def test_build_cost_scales_m_log_m(self) -> None:
+        """Distance evaluations per insert should grow slowly (log-ish),
+        not linearly, as the database doubles (Section 4.3.1)."""
+        rng = np.random.default_rng(33)
+        big = clustered_histograms(1600, 4, themes=8, rng=rng)
+        costs = []
+        for m in (400, 1600):
+            counter = CountingDistance(euclidean, one_to_many=euclidean_one_to_many)
+            MTree(big[:m], counter, capacity=16)
+            costs.append(counter.count / m)
+        # Quadrupling m must not quadruple the per-object cost; allow 2.5x
+        # slack for split amortization noise.
+        assert costs[1] < costs[0] * 2.5
+
+    def test_deterministic_given_seed(self, data) -> None:
+        t1 = MTree(data[:100], euclidean, capacity=8, rng=np.random.default_rng(5))
+        t2 = MTree(data[:100], euclidean, capacity=8, rng=np.random.default_rng(5))
+        q = data[200]
+        assert t1.knn_search(q, 7) == t2.knn_search(q, 7)
+
+    def test_properties(self, data) -> None:
+        tree = MTree(data[:50], euclidean, capacity=9, split_policy="random")
+        assert tree.capacity == 9
+        assert tree.split_policy == "random"

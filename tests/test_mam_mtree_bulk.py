@@ -1,0 +1,73 @@
+"""Tests for M-tree bulk loading."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.datasets import clustered_histograms
+from repro.distances import euclidean
+from repro.mam import MTree, SequentialFile
+
+from .helpers import assert_same_neighbors
+
+
+@pytest.fixture(scope="module")
+def data():
+    return clustered_histograms(500, 4, themes=8, rng=np.random.default_rng(81))
+
+
+@pytest.fixture(scope="module")
+def bulk_tree(data):
+    return MTree(data, euclidean, capacity=12, bulk_load=True)
+
+
+@pytest.fixture(scope="module")
+def scan(data):
+    return SequentialFile(data, euclidean)
+
+
+class TestBulkLoad:
+    def test_invariants(self, bulk_tree) -> None:
+        bulk_tree.validate_invariants()
+
+    def test_exact_knn(self, data, bulk_tree, scan) -> None:
+        for q in data[:5]:
+            assert_same_neighbors(bulk_tree.knn_search(q, 9), scan.knn_search(q, 9))
+
+    def test_exact_range(self, data, bulk_tree, scan) -> None:
+        q = data[77]
+        nn = scan.knn_search(q, 20)
+        radius = (nn[-2].distance + nn[-1].distance) / 2.0
+        assert_same_neighbors(bulk_tree.range_search(q, radius), scan.range_search(q, radius))
+
+    def test_all_objects_present(self, data, bulk_tree) -> None:
+        hits = bulk_tree.range_search(data[0], 1e6)
+        assert sorted(h.index for h in hits) == list(range(len(data)))
+
+    def test_single_object(self) -> None:
+        tree = MTree(np.ones((1, 4)), euclidean, bulk_load=True)
+        assert tree.knn_search(np.zeros(4), 1)[0].index == 0
+
+    def test_capacity_sized_database(self, data) -> None:
+        tree = MTree(data[:12], euclidean, capacity=12, bulk_load=True)
+        assert tree.height() == 1
+
+    def test_all_identical_objects(self) -> None:
+        same = np.tile(np.full(4, 0.25), (60, 1))
+        tree = MTree(same, euclidean, capacity=8, bulk_load=True)
+        tree.validate_invariants()
+        assert len(tree.knn_search(same[0], 10)) == 10
+
+    def test_insert_after_bulk(self, data, bulk_tree, scan) -> None:
+        tree = MTree(data[:400], euclidean, capacity=12, bulk_load=True)
+        for row in data[400:450]:
+            tree.insert(row)
+        tree.validate_invariants()
+        local_scan = SequentialFile(data[:450], euclidean)
+        q = data[460]
+        assert_same_neighbors(tree.knn_search(q, 7), local_scan.knn_search(q, 7))
+
+    def test_bulk_no_shallower_than_log(self, data, bulk_tree) -> None:
+        dynamic = MTree(data, euclidean, capacity=12)
+        assert bulk_tree.height() <= dynamic.height()

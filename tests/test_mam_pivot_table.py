@@ -1,0 +1,155 @@
+"""Tests for repro.mam.pivot_table and repro.mam.pivots."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.datasets import clustered_histograms
+from repro.distances import CountingDistance, euclidean, euclidean_one_to_many
+from repro.exceptions import QueryError
+from repro.mam import PIVOT_METHODS, PivotTable, SequentialFile, select_pivots
+from repro.mam.base import DistancePort
+
+from .helpers import assert_same_neighbors
+
+
+@pytest.fixture(scope="module")
+def data():
+    return clustered_histograms(300, 4, themes=6, rng=np.random.default_rng(31))
+
+
+class TestPivotSelection:
+    @pytest.mark.parametrize("method", PIVOT_METHODS)
+    def test_returns_p_distinct_pivots(self, method, data) -> None:
+        port = DistancePort(euclidean, one_to_many=euclidean_one_to_many)
+        pivots = select_pivots(data, 8, port, method=method)
+        assert len(pivots) == 8
+        assert len(set(pivots)) == 8
+        assert all(0 <= i < len(data) for i in pivots)
+
+    def test_maxmin_spreads_pivots(self, data) -> None:
+        """Farthest-first pivots must be pairwise farther apart than random
+        ones on average."""
+        port = DistancePort(euclidean, one_to_many=euclidean_one_to_many)
+        rng1, rng2 = np.random.default_rng(1), np.random.default_rng(1)
+        maxmin = select_pivots(data, 6, port, method="maxmin", rng=rng1)
+        random_ = select_pivots(data, 6, port, method="random", rng=rng2)
+
+        def mean_pairwise(idx: list[int]) -> float:
+            rows = data[idx]
+            total, count = 0.0, 0
+            for i in range(len(idx)):
+                for j in range(i + 1, len(idx)):
+                    total += euclidean(rows[i], rows[j])
+                    count += 1
+            return total / count
+
+        assert mean_pairwise(maxmin) > mean_pairwise(random_)
+
+    def test_sample_restriction(self, data) -> None:
+        port = DistancePort(euclidean, one_to_many=euclidean_one_to_many)
+        rng = np.random.default_rng(2)
+        sample_rng = np.random.default_rng(2)
+        sample = sample_rng.choice(len(data), size=50, replace=False)
+        pivots = select_pivots(data, 5, port, method="maxmin", sample_size=50, rng=rng)
+        assert set(pivots) <= set(int(i) for i in sample)
+
+    def test_selection_charges_distances(self, data) -> None:
+        counter = CountingDistance(euclidean, one_to_many=euclidean_one_to_many)
+        port = DistancePort(counter)
+        select_pivots(data, 5, port, method="maxmin")
+        assert counter.count > 0
+
+    def test_random_selection_is_free(self, data) -> None:
+        counter = CountingDistance(euclidean, one_to_many=euclidean_one_to_many)
+        port = DistancePort(counter)
+        select_pivots(data, 5, port, method="random")
+        assert counter.count == 0
+
+    def test_invalid_method(self, data) -> None:
+        port = DistancePort(euclidean)
+        with pytest.raises(QueryError):
+            select_pivots(data, 3, port, method="magic")
+
+    def test_invalid_p(self, data) -> None:
+        port = DistancePort(euclidean)
+        with pytest.raises(QueryError):
+            select_pivots(data, 0, port)
+        with pytest.raises(QueryError):
+            select_pivots(data, len(data) + 1, port)
+
+    def test_sample_smaller_than_p(self, data) -> None:
+        port = DistancePort(euclidean)
+        with pytest.raises(QueryError):
+            select_pivots(data, 10, port, sample_size=5)
+
+
+class TestPivotTable:
+    def test_table_shape_and_content(self, data) -> None:
+        pt = PivotTable(data, euclidean, n_pivots=6)
+        assert pt.table.shape == (len(data), 6)
+        # Column j holds d(o_i, pivot_j).
+        for col, piv in enumerate(pt.pivot_indices[:3]):
+            assert pt.table[piv, col] == pytest.approx(0.0, abs=1e-12)
+
+    def test_table_read_only(self, data) -> None:
+        pt = PivotTable(data, euclidean, n_pivots=4)
+        with pytest.raises(ValueError):
+            pt.table[0, 0] = 1.0
+
+    def test_explicit_pivots(self, data) -> None:
+        pt = PivotTable(data, euclidean, pivots=[0, 5, 9])
+        assert pt.pivot_indices == [0, 5, 9]
+        assert pt.n_pivots == 3
+
+    def test_explicit_pivots_validated(self, data) -> None:
+        with pytest.raises(QueryError):
+            PivotTable(data, euclidean, pivots=[len(data)])
+        with pytest.raises(QueryError):
+            PivotTable(data, euclidean, pivots=[])
+
+    def test_pivot_count_clamped(self) -> None:
+        small = clustered_histograms(5, 2, rng=np.random.default_rng(1))
+        pt = PivotTable(small, euclidean, n_pivots=100)
+        assert pt.n_pivots == 5
+
+    def test_more_pivots_filter_better(self, data) -> None:
+        """More pivots -> tighter L∞ bound -> fewer refinement distances."""
+        q = data[0]
+        evals = []
+        for p in (2, 8, 32):
+            counter = CountingDistance(euclidean, one_to_many=euclidean_one_to_many)
+            pt = PivotTable(data, counter, n_pivots=p, rng=np.random.default_rng(3))
+            counter.reset()
+            pt.knn_search(q, 5)
+            evals.append(counter.count - p)  # subtract query-to-pivot cost
+        assert evals[2] <= evals[0]
+
+    def test_exactness_all_pivot_methods(self, data) -> None:
+        scan = SequentialFile(data, euclidean)
+        for method in PIVOT_METHODS:
+            pt = PivotTable(data, euclidean, n_pivots=8, pivot_method=method)
+            for q in data[:2]:
+                assert_same_neighbors(
+                    pt.knn_search(q, 6), scan.knn_search(q, 6), label=method
+                )
+
+    def test_candidates_for_radius(self, data) -> None:
+        pt = PivotTable(data, euclidean, n_pivots=8)
+        q = data[0] * 0.99 + 0.01 / data.shape[1]
+        all_cands = pt.candidates_for_radius(q, 1e6)
+        assert all_cands == len(data)
+        few = pt.candidates_for_radius(q, 1e-6)
+        assert few < all_cands
+
+    def test_candidates_rejects_negative_radius(self, data) -> None:
+        pt = PivotTable(data, euclidean, n_pivots=4)
+        with pytest.raises(QueryError):
+            pt.candidates_for_radius(data[0], -1.0)
+
+    def test_single_pivot(self, data) -> None:
+        scan = SequentialFile(data, euclidean)
+        pt = PivotTable(data, euclidean, n_pivots=1)
+        q = data[10]
+        assert_same_neighbors(pt.knn_search(q, 4), scan.knn_search(q, 4))

@@ -1,0 +1,104 @@
+"""Tests for repro.mam.stats and datasets.calibrate_radius."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.datasets import calibrate_radius, clustered_histograms, histogram_workload
+from repro.distances import euclidean
+from repro.exceptions import QueryError
+from repro.mam import GNAT, MIndex, MTree, PivotTable, SATree, SequentialFile, VPTree
+from repro.mam.stats import describe_index
+from repro.models import QFDModel
+from repro.sam import RTree
+
+
+@pytest.fixture(scope="module")
+def data():
+    return clustered_histograms(250, 4, themes=6, rng=np.random.default_rng(151))
+
+
+class TestDescribeIndex:
+    def test_mtree(self, data) -> None:
+        tree = MTree(data, euclidean, capacity=8)
+        desc = describe_index(tree)
+        assert desc.structure == "MTree"
+        assert desc.size == 250
+        assert desc.nodes == tree.node_count()
+        assert desc.height == tree.height()
+        assert 0.0 < desc.extra["fill_factor"] <= 1.0
+        assert desc.extra["max_covering_radius"] >= desc.extra["median_covering_radius"]
+
+    def test_vptree(self, data) -> None:
+        tree = VPTree(data, euclidean, leaf_size=6)
+        desc = describe_index(tree)
+        assert desc.structure == "VPTree"
+        assert desc.extra["buckets"] > 0
+        assert desc.extra["mean_bucket"] <= 6.0
+
+    def test_gnat(self, data) -> None:
+        desc = describe_index(GNAT(data, euclidean, arity=5, leaf_size=10))
+        assert desc.structure == "GNAT"
+        assert desc.nodes > 1
+
+    def test_sat(self, data) -> None:
+        desc = describe_index(SATree(data, euclidean))
+        assert desc.structure == "SATree"
+        assert desc.extra["mean_fanout"] > 1.0
+
+    def test_pivot_table(self, data) -> None:
+        desc = describe_index(PivotTable(data, euclidean, n_pivots=7))
+        assert desc.extra["pivots"] == 7.0
+        assert desc.nodes == 1 and desc.height == 1
+
+    def test_mindex(self, data) -> None:
+        desc = describe_index(MIndex(data, euclidean, n_pivots=6))
+        assert desc.extra["clusters"] == 6.0
+        assert desc.extra["largest_cluster"] >= 250 / 6
+
+    def test_sequential(self, data) -> None:
+        desc = describe_index(SequentialFile(data, euclidean))
+        assert desc.structure == "SequentialFile"
+        assert desc.height == 1
+
+    def test_sam_fallback(self, data) -> None:
+        desc = describe_index(RTree(data, capacity=8))
+        assert desc.structure == "RTree"
+        assert desc.height >= 2
+
+    def test_rejects_non_index(self) -> None:
+        with pytest.raises(QueryError):
+            describe_index(object())  # type: ignore[arg-type]
+
+
+class TestCalibrateRadius:
+    @pytest.fixture(scope="class")
+    def workload(self):
+        return histogram_workload(300, 6, bins_per_channel=4, seed=3)
+
+    def test_selectivity_in_right_ballpark(self, workload) -> None:
+        radius = calibrate_radius(workload, target_results=10)
+        index = QFDModel(workload.matrix).build_index("sequential", workload.database)
+        sizes = [len(index.range_search(q, radius)) for q in workload.queries]
+        # Mean within a factor ~3 of the target (distributions are skewed).
+        assert 3 <= np.mean(sizes) <= 30
+
+    def test_monotone_in_target(self, workload) -> None:
+        small = calibrate_radius(workload, target_results=2)
+        large = calibrate_radius(workload, target_results=100)
+        assert small < large
+
+    def test_sample_queries_option(self, workload) -> None:
+        full = calibrate_radius(workload, target_results=5)
+        sampled = calibrate_radius(workload, target_results=5, sample_queries=2)
+        assert sampled > 0.0
+        assert abs(full - sampled) < full  # same order of magnitude
+
+    def test_validation(self, workload) -> None:
+        with pytest.raises(QueryError):
+            calibrate_radius(workload, target_results=0)
+        with pytest.raises(QueryError):
+            calibrate_radius(workload, target_results=10_000)
+        with pytest.raises(QueryError):
+            calibrate_radius(workload, target_results=5, sample_queries=0)

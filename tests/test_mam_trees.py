@@ -1,0 +1,154 @@
+"""Tests for repro.mam.vptree, repro.mam.gnat and repro.mam.sequential."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.datasets import clustered_histograms
+from repro.distances import CountingDistance, euclidean, euclidean_one_to_many
+from repro.exceptions import QueryError
+from repro.mam import GNAT, DiskSequentialFile, SequentialFile, VPTree
+
+from .helpers import assert_same_neighbors
+
+
+@pytest.fixture(scope="module")
+def data():
+    return clustered_histograms(350, 4, themes=7, rng=np.random.default_rng(51))
+
+
+@pytest.fixture(scope="module")
+def scan(data):
+    return SequentialFile(data, euclidean)
+
+
+class TestVPTree:
+    def test_exact_knn(self, data, scan) -> None:
+        tree = VPTree(data, euclidean, leaf_size=6)
+        for q in data[:4]:
+            assert_same_neighbors(tree.knn_search(q, 9), scan.knn_search(q, 9))
+
+    def test_exact_range(self, data, scan) -> None:
+        tree = VPTree(data, euclidean, leaf_size=6)
+        q = data[100]
+        for radius in (0.0, 0.03, 0.2):
+            assert_same_neighbors(tree.range_search(q, radius), scan.range_search(q, radius))
+
+    def test_prunes(self, data) -> None:
+        counter = CountingDistance(euclidean, one_to_many=euclidean_one_to_many)
+        tree = VPTree(data, counter, leaf_size=8)
+        counter.reset()
+        tree.knn_search(data[0], 3)
+        assert counter.count < 0.8 * len(data)
+
+    def test_leaf_size_one(self, data, scan) -> None:
+        tree = VPTree(data[:60], euclidean, leaf_size=1)
+        scan60 = SequentialFile(data[:60], euclidean)
+        q = data[70]
+        assert_same_neighbors(tree.knn_search(q, 5), scan60.knn_search(q, 5))
+
+    def test_rejects_bad_leaf_size(self, data) -> None:
+        with pytest.raises(QueryError):
+            VPTree(data, euclidean, leaf_size=0)
+
+    def test_degenerate_all_identical(self) -> None:
+        """All-equal objects make every median split degenerate; the tree
+        must fall back to a bucket rather than recurse forever."""
+        same = np.tile(np.full(4, 0.25), (20, 1))
+        tree = VPTree(same, euclidean, leaf_size=2)
+        hits = tree.knn_search(same[0], 5)
+        assert len(hits) == 5
+        assert all(h.distance == 0.0 for h in hits)
+
+    def test_single_object(self) -> None:
+        tree = VPTree(np.ones((1, 3)), euclidean)
+        assert tree.knn_search(np.zeros(3), 1)[0].index == 0
+
+
+class TestGNAT:
+    def test_exact_knn(self, data, scan) -> None:
+        tree = GNAT(data, euclidean, arity=6, leaf_size=10)
+        for q in data[:4]:
+            assert_same_neighbors(tree.knn_search(q, 9), scan.knn_search(q, 9))
+
+    def test_exact_range(self, data, scan) -> None:
+        tree = GNAT(data, euclidean, arity=6, leaf_size=10)
+        q = data[42]
+        for radius in (0.0, 0.03, 0.2):
+            assert_same_neighbors(tree.range_search(q, radius), scan.range_search(q, radius))
+
+    def test_prunes(self, data) -> None:
+        counter = CountingDistance(euclidean, one_to_many=euclidean_one_to_many)
+        tree = GNAT(data, counter, arity=8, leaf_size=16)
+        counter.reset()
+        tree.knn_search(data[0], 3)
+        assert counter.count < 0.8 * len(data)
+
+    def test_rejects_bad_arity(self, data) -> None:
+        with pytest.raises(QueryError):
+            GNAT(data, euclidean, arity=1)
+
+    def test_rejects_bad_leaf_size(self, data) -> None:
+        with pytest.raises(QueryError):
+            GNAT(data, euclidean, leaf_size=0)
+
+    def test_small_database(self) -> None:
+        small = np.eye(4)
+        tree = GNAT(small, euclidean, arity=2, leaf_size=2)
+        hits = tree.knn_search(np.zeros(4), 4)
+        assert len(hits) == 4
+
+    def test_all_identical(self) -> None:
+        same = np.tile(np.full(3, 0.5), (30, 1))
+        tree = GNAT(same, euclidean, arity=4, leaf_size=4)
+        assert len(tree.knn_search(same[0], 10)) == 10
+
+
+class TestDiskSequentialFile:
+    def test_matches_in_memory(self, data, scan) -> None:
+        disk = DiskSequentialFile(data, euclidean, cache_pages=2)
+        q = data[33]
+        assert_same_neighbors(disk.knn_search(q, 8), scan.knn_search(q, 8))
+        assert_same_neighbors(disk.range_search(q, 0.1), scan.range_search(q, 0.1))
+
+    def test_cache_faults_on_large_scan(self, data) -> None:
+        disk = DiskSequentialFile(data, euclidean, page_size=2048, cache_pages=2)
+        disk.store.cache.stats.reset()
+        disk.knn_search(data[0], 1)
+        pages = (len(data) + disk.store.records_per_page - 1) // disk.store.records_per_page
+        assert disk.store.cache.stats.faults >= pages - 2
+
+    def test_small_database_fits_cache(self) -> None:
+        small = clustered_histograms(10, 2, rng=np.random.default_rng(3))
+        disk = DiskSequentialFile(small, euclidean, cache_pages=64)
+        disk.knn_search(small[0], 2)
+        disk.store.cache.stats.reset()
+        disk.knn_search(small[0], 2)
+        assert disk.store.cache.stats.faults == 0  # warm cache
+
+    def test_scan_costs_full_database(self, data) -> None:
+        counter = CountingDistance(euclidean, one_to_many=euclidean_one_to_many)
+        disk = DiskSequentialFile(data, counter)
+        counter.reset()
+        disk.knn_search(data[0], 1)
+        assert counter.count == len(data)
+
+
+class TestSequentialFile:
+    def test_knn_evaluates_everything(self, data) -> None:
+        counter = CountingDistance(euclidean, one_to_many=euclidean_one_to_many)
+        seq = SequentialFile(data, counter)
+        counter.reset()
+        seq.knn_search(data[0], 5)
+        assert counter.count == len(data)
+
+    def test_range_empty_result(self, data, scan) -> None:
+        q = np.full(data.shape[1], 10.0)
+        assert scan.range_search(q, 0.001) == []
+
+    def test_knn_ties_resolved_by_index(self) -> None:
+        rows = np.zeros((4, 3))
+        seq = SequentialFile(rows, euclidean)
+        out = seq.knn_search(np.zeros(3), 2)
+        assert [n.index for n in out] == [0, 1]

@@ -1,0 +1,140 @@
+"""Tests for repro.models — the QFD and QMap pipelines and cost accounting."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import QuadraticFormDistance
+from repro.datasets import histogram_workload
+from repro.exceptions import QueryError
+from repro.models import MAM_REGISTRY, QFDModel, QMapModel, resolve_method
+
+from .helpers import assert_same_neighbors
+
+
+@pytest.fixture(scope="module")
+def workload():
+    return histogram_workload(300, 4, bins_per_channel=4, seed=17)
+
+
+class TestRegistry:
+    def test_resolve_known_mam(self) -> None:
+        cls, is_sam = resolve_method("mtree")
+        assert not is_sam and cls.__name__ == "MTree"
+
+    def test_resolve_known_sam(self) -> None:
+        cls, is_sam = resolve_method("rtree")
+        assert is_sam and cls.__name__ == "RTree"
+
+    def test_resolve_unknown(self) -> None:
+        with pytest.raises(QueryError, match="unknown access method"):
+            resolve_method("btree")
+
+
+class TestQFDModel:
+    def test_accepts_matrix_or_distance(self, workload) -> None:
+        by_matrix = QFDModel(workload.matrix)
+        by_distance = QFDModel(QuadraticFormDistance(workload.matrix))
+        assert by_matrix.dim == by_distance.dim == workload.dim
+
+    def test_rejects_sam(self, workload) -> None:
+        with pytest.raises(QueryError, match="cannot index the raw QFD space"):
+            QFDModel(workload.matrix).build_index("rtree", workload.database)
+
+    def test_distance_passthrough(self, workload) -> None:
+        model = QFDModel(workload.matrix)
+        qfd = QuadraticFormDistance(workload.matrix)
+        u, v = workload.database[0], workload.database[1]
+        assert model.distance(u, v) == pytest.approx(qfd(u, v))
+
+    def test_no_transforms_counted(self, workload) -> None:
+        index = QFDModel(workload.matrix).build_index("mtree", workload.database)
+        assert index.build_costs.transforms == 0
+        index.knn_search(workload.queries[0], 3)
+        assert index.query_costs().transforms == 0
+
+
+class TestQMapModel:
+    def test_transforms_counted(self, workload) -> None:
+        index = QMapModel(workload.matrix).build_index("sequential", workload.database)
+        assert index.build_costs.transforms == workload.size
+        index.reset_query_costs()
+        index.knn_search(workload.queries[0], 3)
+        index.knn_search(workload.queries[1], 3)
+        assert index.query_costs().transforms == 2
+
+    def test_distance_via_map_matches_qfd(self, workload) -> None:
+        model = QMapModel(workload.matrix)
+        qfd = QuadraticFormDistance(workload.matrix)
+        u, v = workload.database[0], workload.database[1]
+        assert model.distance(u, v) == pytest.approx(qfd(u, v), abs=1e-9)
+
+    def test_model_name(self, workload) -> None:
+        index = QMapModel(workload.matrix).build_index("sequential", workload.database)
+        assert index.model_name == "qmap"
+
+
+class TestModelEquivalence:
+    """DESIGN.md invariant 5: same results AND same evaluation counts."""
+
+    @pytest.mark.parametrize("method", sorted(MAM_REGISTRY))
+    def test_same_results_and_counts(self, method, workload) -> None:
+        kwargs = {
+            "sequential": {},
+            "disk-sequential": {"cache_pages": 8},
+            "pivot-table": {"n_pivots": 10, "rng": np.random.default_rng(1)},
+            "mtree": {"capacity": 8, "rng": np.random.default_rng(1)},
+            "paged-mtree": {"capacity": 8, "cache_pages": 8, "rng": np.random.default_rng(1)},
+            "vptree": {"leaf_size": 6, "rng": np.random.default_rng(1)},
+            "gnat": {"arity": 5, "leaf_size": 10, "rng": np.random.default_rng(1)},
+            "mindex": {"n_pivots": 8, "rng": np.random.default_rng(1)},
+            "sat": {"rng": np.random.default_rng(1)},
+        }[method]
+        # Fresh rngs per model so both runs draw identical random choices.
+        if "rng" in kwargs:
+            kwargs_qfd = dict(kwargs, rng=np.random.default_rng(1))
+            kwargs_qmap = dict(kwargs, rng=np.random.default_rng(1))
+        else:
+            kwargs_qfd = kwargs_qmap = kwargs
+        i_qfd = QFDModel(workload.matrix).build_index(
+            method, workload.database, **kwargs_qfd
+        )
+        i_qmap = QMapModel(workload.matrix).build_index(
+            method, workload.database, **kwargs_qmap
+        )
+        assert (
+            i_qfd.build_costs.distance_computations
+            == i_qmap.build_costs.distance_computations
+        )
+        for q in workload.queries:
+            i_qfd.reset_query_costs()
+            i_qmap.reset_query_costs()
+            r1 = i_qfd.knn_search(q, 8)
+            r2 = i_qmap.knn_search(q, 8)
+            assert_same_neighbors(r1, r2, tol=1e-7, label=method)
+            assert (
+                i_qfd.query_costs().distance_computations
+                == i_qmap.query_costs().distance_computations
+            ), f"{method}: pruning behaviour diverged between models"
+
+    def test_qmap_wall_time_wins_on_pivot_build(self, workload) -> None:
+        """The headline effect: QMap indexing is faster in real time for
+        distance-hungry builds (Figure 3)."""
+        i_qfd = QFDModel(workload.matrix).build_index(
+            "pivot-table", workload.database, n_pivots=16
+        )
+        i_qmap = QMapModel(workload.matrix).build_index(
+            "pivot-table", workload.database, n_pivots=16
+        )
+        assert i_qmap.build_costs.seconds < i_qfd.build_costs.seconds
+
+
+class TestIndexCosts:
+    def test_addition(self) -> None:
+        from repro.models import IndexCosts
+
+        total = IndexCosts(10, 2, 1.0) + IndexCosts(5, 3, 0.5)
+        assert total.distance_computations == 15
+        assert total.transforms == 5
+        assert total.seconds == pytest.approx(1.5)

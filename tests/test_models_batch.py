@@ -1,0 +1,57 @@
+"""Tests for the batch query API on BuiltIndex."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.datasets import histogram_workload
+from repro.models import QFDModel, QMapModel
+
+from .helpers import assert_same_neighbors
+
+
+@pytest.fixture(scope="module")
+def workload():
+    return histogram_workload(200, 6, bins_per_channel=4, seed=41)
+
+
+class TestBatchQueries:
+    def test_knn_batch_matches_singles(self, workload) -> None:
+        index = QMapModel(workload.matrix).build_index("mtree", workload.database, capacity=8)
+        batch = index.knn_search_batch(workload.queries, k=5)
+        assert len(batch) == workload.queries.shape[0]
+        for q, result in zip(workload.queries, batch):
+            assert_same_neighbors(result, index.knn_search(q, 5), tol=1e-9)
+
+    def test_range_batch_matches_singles(self, workload) -> None:
+        index = QMapModel(workload.matrix).build_index("sequential", workload.database)
+        batch = index.range_search_batch(workload.queries, radius=0.1)
+        for q, result in zip(workload.queries, batch):
+            assert_same_neighbors(result, index.range_search(q, 0.1), tol=1e-9)
+
+    def test_batch_transform_counted_once_per_query(self, workload) -> None:
+        index = QMapModel(workload.matrix).build_index("sequential", workload.database)
+        index.reset_query_costs()
+        index.knn_search_batch(workload.queries, k=1)
+        assert index.query_costs().transforms == workload.queries.shape[0]
+
+    def test_qfd_model_batch_needs_no_transform(self, workload) -> None:
+        index = QFDModel(workload.matrix).build_index("sequential", workload.database)
+        index.reset_query_costs()
+        index.knn_search_batch(workload.queries, k=1)
+        assert index.query_costs().transforms == 0
+
+    def test_single_query_promoted(self, workload) -> None:
+        index = QMapModel(workload.matrix).build_index("sequential", workload.database)
+        batch = index.knn_search_batch(workload.queries[0], k=3)
+        assert len(batch) == 1
+        assert_same_neighbors(batch[0], index.knn_search(workload.queries[0], 3), tol=1e-9)
+
+    def test_both_models_agree_on_batches(self, workload) -> None:
+        i1 = QFDModel(workload.matrix).build_index("pivot-table", workload.database, n_pivots=8)
+        i2 = QMapModel(workload.matrix).build_index("pivot-table", workload.database, n_pivots=8)
+        b1 = i1.knn_search_batch(workload.queries, k=4)
+        b2 = i2.knn_search_batch(workload.queries, k=4)
+        for r1, r2 in zip(b1, b2):
+            assert_same_neighbors(r1, r2, tol=1e-7)

@@ -1,0 +1,150 @@
+"""Tests for repro.modifiers — TriGen-style distance modifiers."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.datasets import clustered_histograms
+from repro.distances import CountingDistance, euclidean, euclidean_one_to_many
+from repro.exceptions import QueryError
+from repro.modifiers import (
+    ModifiedDistance,
+    PowerModifier,
+    triangle_violation_rate,
+    tune_convex_exponent,
+)
+
+
+@pytest.fixture(scope="module")
+def data():
+    return clustered_histograms(200, 4, themes=6, rng=np.random.default_rng(141))
+
+
+class TestPowerModifier:
+    def test_identity(self) -> None:
+        mod = PowerModifier(1.0)
+        assert mod(0.7) == pytest.approx(0.7)
+        assert mod.is_metric_preserving
+
+    def test_concave_preserving(self) -> None:
+        assert PowerModifier(0.5).is_metric_preserving
+
+    def test_convex_not_guaranteed(self) -> None:
+        assert not PowerModifier(2.0).is_metric_preserving
+
+    def test_inverse_roundtrip(self) -> None:
+        mod = PowerModifier(2.5)
+        assert mod.inverse(mod(0.37)) == pytest.approx(0.37)
+
+    def test_rejects_nonpositive(self) -> None:
+        with pytest.raises(QueryError):
+            PowerModifier(0.0)
+
+
+class TestModifiedDistance:
+    def test_values(self, data) -> None:
+        dist = ModifiedDistance(euclidean, PowerModifier(0.5))
+        expected = np.sqrt(euclidean(data[0], data[1]))
+        assert dist(data[0], data[1]) == pytest.approx(expected)
+
+    def test_knn_ordering_preserved(self, data) -> None:
+        """Any increasing modifier keeps kNN orderings identical."""
+        from repro.mam import SequentialFile
+
+        base_scan = SequentialFile(data, euclidean)
+        for exponent in (0.5, 2.0):
+            mod_scan = SequentialFile(data, ModifiedDistance(euclidean, PowerModifier(exponent)))
+            q = data[0]
+            assert [n.index for n in mod_scan.knn_search(q, 10)] == [
+                n.index for n in base_scan.knn_search(q, 10)
+            ]
+
+    def test_range_radius_translation(self, data) -> None:
+        from repro.mam import SequentialFile
+
+        base_scan = SequentialFile(data, euclidean)
+        mod = ModifiedDistance(euclidean, PowerModifier(2.0))
+        mod_scan = SequentialFile(data, mod)
+        q, radius = data[0], 0.2
+        base_hits = {n.index for n in base_scan.range_search(q, radius)}
+        mod_hits = {n.index for n in mod_scan.range_search(q, mod.translate_radius(radius))}
+        assert base_hits == mod_hits
+
+    def test_one_to_many_matches_scalar(self, data) -> None:
+        counting = CountingDistance(euclidean, one_to_many=euclidean_one_to_many)
+        dist = ModifiedDistance(counting, PowerModifier(1.5))
+        batch = dist.one_to_many(data[0], data[:20])
+        scalar = [dist(data[0], row) for row in data[:20]]
+        assert np.allclose(batch, scalar)
+
+    def test_translate_radius_validation(self) -> None:
+        dist = ModifiedDistance(euclidean, PowerModifier(2.0))
+        with pytest.raises(QueryError):
+            dist.translate_radius(-1.0)
+
+
+class TestTriangleViolationRate:
+    def test_metric_has_zero_rate(self, data) -> None:
+        rate = triangle_violation_rate(data, euclidean, n_triples=400)
+        assert rate == 0.0
+
+    def test_concave_modifier_stays_metric(self, data) -> None:
+        dist = ModifiedDistance(euclidean, PowerModifier(0.5))
+        assert triangle_violation_rate(data, dist, n_triples=400) == 0.0
+
+    def test_squared_l2_breaks_triangles(self, data) -> None:
+        dist = ModifiedDistance(euclidean, PowerModifier(2.0))
+        assert triangle_violation_rate(data, dist, n_triples=400) > 0.0
+
+    def test_rate_grows_with_exponent(self, data) -> None:
+        rates = [
+            triangle_violation_rate(
+                data,
+                ModifiedDistance(euclidean, PowerModifier(e)),
+                n_triples=400,
+                rng=np.random.default_rng(1),
+            )
+            for e in (1.0, 2.0, 4.0)
+        ]
+        assert rates[0] <= rates[1] <= rates[2]
+
+    def test_validation(self, data) -> None:
+        with pytest.raises(QueryError):
+            triangle_violation_rate(data[:2], euclidean)
+        with pytest.raises(QueryError):
+            triangle_violation_rate(data, euclidean, n_triples=0)
+
+
+class TestTuneConvexExponent:
+    def test_zero_budget_returns_identity(self, data) -> None:
+        modifier, rate = tune_convex_exponent(
+            data, euclidean, max_violation_rate=0.0, exponents=(1.0, 2.0, 4.0)
+        )
+        assert modifier.exponent == 1.0
+        assert rate == 0.0
+
+    def test_generous_budget_goes_convex(self, data) -> None:
+        modifier, rate = tune_convex_exponent(
+            data, euclidean, max_violation_rate=0.5, exponents=(1.0, 1.5, 2.0)
+        )
+        assert modifier.exponent > 1.0
+        assert rate <= 0.5
+
+    def test_rejects_concave_candidates(self, data) -> None:
+        with pytest.raises(QueryError):
+            tune_convex_exponent(data, euclidean, exponents=(0.5, 1.0))
+
+    def test_lower_intrinsic_dimensionality(self, data) -> None:
+        """The point of convex modifiers: the modified distribution has a
+        lower Chávez intrinsic dimensionality -> easier pruning."""
+        from repro.analysis import intrinsic_dimensionality, sample_distances
+
+        base_rho = intrinsic_dimensionality(
+            sample_distances(data, euclidean, rng=np.random.default_rng(2))
+        )
+        dist = ModifiedDistance(euclidean, PowerModifier(2.0))
+        mod_rho = intrinsic_dimensionality(
+            sample_distances(data, dist, rng=np.random.default_rng(2))
+        )
+        assert mod_rho < base_rho

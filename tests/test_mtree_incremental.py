@@ -1,0 +1,83 @@
+"""Tests for MTree.nearest_iter — incremental nearest-neighbor search."""
+
+from __future__ import annotations
+
+import itertools
+
+import numpy as np
+import pytest
+
+from repro.datasets import clustered_histograms
+from repro.distances import CountingDistance, euclidean, euclidean_one_to_many
+from repro.mam import MTree, SequentialFile
+
+
+@pytest.fixture(scope="module")
+def data():
+    return clustered_histograms(350, 4, themes=7, rng=np.random.default_rng(121))
+
+
+@pytest.fixture(scope="module")
+def tree(data):
+    return MTree(data, euclidean, capacity=8)
+
+
+@pytest.fixture(scope="module")
+def scan(data):
+    return SequentialFile(data, euclidean)
+
+
+class TestNearestIter:
+    def test_yields_in_distance_order(self, data, tree) -> None:
+        q = data[0]
+        distances = [n.distance for n in itertools.islice(tree.nearest_iter(q), 50)]
+        assert distances == sorted(distances)
+
+    def test_prefix_equals_knn(self, data, tree, scan) -> None:
+        q = data[5]
+        first_15 = list(itertools.islice(tree.nearest_iter(q), 15))
+        expected = scan.knn_search(q, 15)
+        assert [n.index for n in first_15] == [n.index for n in expected]
+
+    def test_exhausts_whole_database(self, data, tree) -> None:
+        q = data[9]
+        everything = list(tree.nearest_iter(q))
+        assert len(everything) == len(data)
+        assert sorted(n.index for n in everything) == list(range(len(data)))
+
+    def test_lazy_cost(self, data) -> None:
+        """Consuming only the first neighbor must cost far fewer distance
+        evaluations than exhausting the iterator."""
+        counter = CountingDistance(euclidean, one_to_many=euclidean_one_to_many)
+        lazy_tree = MTree(data, counter, capacity=8)
+        counter.reset()
+        next(iter(lazy_tree.nearest_iter(data[0])))
+        first_cost = counter.count
+        counter.reset()
+        list(lazy_tree.nearest_iter(data[0]))
+        full_cost = counter.count
+        assert first_cost < full_cost / 3
+
+    def test_cost_comparable_to_knn(self, data) -> None:
+        counter = CountingDistance(euclidean, one_to_many=euclidean_one_to_many)
+        lazy_tree = MTree(data, counter, capacity=8)
+        counter.reset()
+        lazy_tree.knn_search(data[1], 10)
+        knn_cost = counter.count
+        counter.reset()
+        list(itertools.islice(lazy_tree.nearest_iter(data[1]), 10))
+        inc_cost = counter.count
+        # The incremental scheme may differ by a small constant, not blow up.
+        assert inc_cost <= knn_cost * 2
+
+    def test_works_on_bulk_loaded_tree(self, data, scan) -> None:
+        bulk = MTree(data, euclidean, capacity=8, bulk_load=True)
+        q = data[3]
+        got = list(itertools.islice(bulk.nearest_iter(q), 8))
+        expected = scan.knn_search(q, 8)
+        assert [n.index for n in got] == [n.index for n in expected]
+
+    def test_single_object_tree(self) -> None:
+        tree = MTree(np.ones((1, 3)), euclidean)
+        out = list(tree.nearest_iter(np.zeros(3)))
+        assert len(out) == 1 and out[0].index == 0

@@ -1,0 +1,103 @@
+"""End-to-end test at the paper's exact feature configuration.
+
+Section 5.1 verbatim: 512-dimensional RGB histograms (8 bins per channel),
+unit-normalized, QFD matrix ``A_ij = 1 - d_ij/d_max`` over CIE Lab bin
+prototypes.  Only the corpus (synthetic) and the database size are scaled
+down; every algorithmic component runs exactly as in the paper.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.color import lab_bin_prototypes
+from repro.core import QMap, QuadraticFormDistance, prototype_similarity_matrix
+from repro.datasets import histogram_workload
+from repro.models import QFDModel, QMapModel
+
+from .helpers import assert_same_neighbors
+
+
+@pytest.fixture(scope="module")
+def paper_workload():
+    return histogram_workload(150, 3, bins_per_channel=8, seed=512)
+
+
+class TestPaperConfiguration:
+    def test_dimensionality(self, paper_workload) -> None:
+        assert paper_workload.dim == 512
+        assert np.allclose(paper_workload.database.sum(axis=1), 1.0)
+
+    def test_matrix_construction_matches_section_5_1(self) -> None:
+        repair = prototype_similarity_matrix(lab_bin_prototypes(8))
+        a = repair.matrix
+        assert a.shape == (512, 512)
+        assert np.allclose(np.diag(a), 1.0)  # d_ii = 0 -> A_ii = 1
+        # The farthest prototype pair has similarity exactly 0.
+        off = a[~np.eye(512, dtype=bool)]
+        assert off.min() == pytest.approx(0.0, abs=1e-12)
+        # Strictly PD without any repair shift (measured property).
+        assert repair.shift == 0.0
+        assert repair.min_eigenvalue > 0.0
+
+    def test_qmap_exactness_at_512d(self, paper_workload) -> None:
+        qfd = QuadraticFormDistance(paper_workload.matrix)
+        qmap = QMap(qfd)
+        mapped = qmap.transform_batch(paper_workload.database[:30])
+        for i in range(0, 30, 7):
+            for j in range(1, 30, 5):
+                expected = qfd(paper_workload.database[i], paper_workload.database[j])
+                got = float(np.linalg.norm(mapped[i] - mapped[j]))
+                assert got == pytest.approx(expected, abs=1e-9)
+
+    def test_models_agree_at_512d(self, paper_workload) -> None:
+        i_qfd = QFDModel(paper_workload.matrix).build_index(
+            "mtree", paper_workload.database, capacity=8
+        )
+        i_qmap = QMapModel(paper_workload.matrix).build_index(
+            "mtree", paper_workload.database, capacity=8
+        )
+        for q in paper_workload.queries:
+            assert_same_neighbors(
+                i_qfd.knn_search(q, 10), i_qmap.knn_search(q, 10), tol=1e-7
+            )
+
+    def test_query_evaluations_identical_at_512d(self, paper_workload) -> None:
+        i_qfd = QFDModel(paper_workload.matrix).build_index(
+            "pivot-table", paper_workload.database, n_pivots=16
+        )
+        i_qmap = QMapModel(paper_workload.matrix).build_index(
+            "pivot-table", paper_workload.database, n_pivots=16
+        )
+        for q in paper_workload.queries:
+            i_qfd.reset_query_costs()
+            i_qmap.reset_query_costs()
+            i_qfd.knn_search(q, 5)
+            i_qmap.knn_search(q, 5)
+            assert (
+                i_qfd.query_costs().distance_computations
+                == i_qmap.query_costs().distance_computations
+            )
+
+    def test_wall_time_direction_at_512d(self, paper_workload) -> None:
+        """At the paper's dimensionality the QMap speedup must be visible
+        even at tiny scale — the per-evaluation gap is a factor ~n."""
+        import time
+
+        qfd = QuadraticFormDistance(paper_workload.matrix)
+        qmap = QMap(qfd)
+        mapped = qmap.transform_batch(paper_workload.database)
+        q = paper_workload.queries[0]
+        mapped_q = qmap.transform(q)
+
+        start = time.perf_counter()
+        for _ in range(5):
+            qfd.one_to_many(q, paper_workload.database)
+        t_qfd = time.perf_counter() - start
+
+        start = time.perf_counter()
+        for _ in range(5):
+            np.sqrt(((mapped - mapped_q) ** 2).sum(axis=1))
+        t_l2 = time.perf_counter() - start
+        assert t_l2 < t_qfd

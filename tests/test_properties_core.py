@@ -1,0 +1,126 @@
+"""Property-based tests (hypothesis) for the core invariants.
+
+These cover DESIGN.md invariants 1-3, 6 and 7: exact distance preservation
+by QMap, symmetrization equivalence, Cholesky correctness against the
+paper's Algorithm 1, SVD contraction, and QFD metric postulates.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.core import (
+    QMap,
+    QuadraticFormDistance,
+    cholesky,
+    cholesky_reference,
+    is_lower_triangular,
+    random_spd_matrix,
+    symmetrize,
+)
+from repro.distances import check_metric_postulates, qfd_squared
+from repro.lowerbound import SVDReduction
+
+_DIMS = st.integers(min_value=1, max_value=12)
+
+
+def _spd(seed: int, dim: int) -> np.ndarray:
+    return random_spd_matrix(dim, rng=np.random.default_rng(seed), condition=50.0)
+
+
+def _finite_vectors(dim: int):
+    return arrays(
+        np.float64,
+        (dim,),
+        elements=st.floats(min_value=-100.0, max_value=100.0, allow_nan=False),
+    )
+
+
+class TestQMapPreservesDistances:
+    @given(seed=st.integers(0, 10_000), dim=_DIMS, data=st.data())
+    @settings(max_examples=60, deadline=None)
+    def test_invariant_1(self, seed: int, dim: int, data) -> None:
+        """L2(qmap(u), qmap(v)) == QFD_A(u, v) for random SPD A."""
+        a = _spd(seed, dim)
+        qmap = QMap(a)
+        u = data.draw(_finite_vectors(dim))
+        v = data.draw(_finite_vectors(dim))
+        expected = qmap.qfd(u, v)
+        got = qmap.distance_via_map(u, v)
+        assert got == pytest.approx(expected, rel=1e-7, abs=1e-7)
+
+    @given(seed=st.integers(0, 10_000), dim=_DIMS, data=st.data())
+    @settings(max_examples=30, deadline=None)
+    def test_inverse_roundtrip(self, seed: int, dim: int, data) -> None:
+        a = _spd(seed, dim)
+        qmap = QMap(a)
+        u = data.draw(_finite_vectors(dim))
+        back = qmap.inverse_transform(qmap.transform(u))
+        assert np.allclose(back, u, rtol=1e-6, atol=1e-6)
+
+
+class TestSymmetrizationEquivalence:
+    @given(
+        dim=st.integers(1, 10),
+        seed=st.integers(0, 10_000),
+        data=st.data(),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_invariant_2(self, dim: int, seed: int, data) -> None:
+        """z A z^T == z sym(A) z^T for arbitrary square A and any z."""
+        rng = np.random.default_rng(seed)
+        a = rng.uniform(-5.0, 5.0, size=(dim, dim))
+        z = data.draw(_finite_vectors(dim))
+        zero = np.zeros(dim)
+        direct = qfd_squared(z, zero, a)
+        via_sym = qfd_squared(z, zero, symmetrize(a))
+        assert via_sym == pytest.approx(direct, rel=1e-9, abs=1e-6)
+
+
+class TestCholeskyProperties:
+    @given(seed=st.integers(0, 10_000), dim=st.integers(1, 10))
+    @settings(max_examples=40, deadline=None)
+    def test_invariant_3(self, seed: int, dim: int) -> None:
+        """B @ B.T == A, B lower-triangular with positive diagonal, and the
+        paper's Algorithm 1 agrees with the LAPACK path."""
+        a = _spd(seed, dim)
+        b = cholesky(a)
+        assert np.allclose(b @ b.T, a, rtol=1e-8, atol=1e-10)
+        assert is_lower_triangular(b)
+        assert np.all(np.diag(b) > 0.0)
+        assert np.allclose(cholesky_reference(a), b, rtol=1e-8, atol=1e-10)
+
+
+class TestSVDContraction:
+    @given(seed=st.integers(0, 10_000), dim=st.integers(2, 10), data=st.data())
+    @settings(max_examples=40, deadline=None)
+    def test_invariant_6(self, seed: int, dim: int, data) -> None:
+        """Rank-k reduction is contractive; exact at k = n."""
+        a = _spd(seed, dim)
+        qfd = QuadraticFormDistance(a)
+        k = data.draw(st.integers(1, dim))
+        red = SVDReduction(qfd, k)
+        u = data.draw(_finite_vectors(dim))
+        v = data.draw(_finite_vectors(dim))
+        exact = qfd(u, v)
+        bound = red.lower_bound(red.transform(u), red.transform(v))
+        assert bound <= exact * (1.0 + 1e-7) + 1e-7
+        if k == dim:
+            assert bound == pytest.approx(exact, rel=1e-7, abs=1e-7)
+
+
+class TestQFDMetricPostulates:
+    @given(seed=st.integers(0, 5_000), dim=st.integers(2, 8))
+    @settings(max_examples=20, deadline=None)
+    def test_invariant_7(self, seed: int, dim: int) -> None:
+        """QFD with a strictly PD matrix satisfies the metric postulates."""
+        rng = np.random.default_rng(seed)
+        a = _spd(seed, dim)
+        qfd = QuadraticFormDistance(a)
+        objects = list(rng.uniform(-10.0, 10.0, size=(8, dim)))
+        report = check_metric_postulates(qfd, objects, tolerance=1e-7, rng=rng)
+        assert report.is_metric, report.worst()

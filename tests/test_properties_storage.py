@@ -1,0 +1,100 @@
+"""Property-based tests for the storage substrate and persistence."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.storage import LRUPageCache, PagedFile, VectorStore
+
+
+class TestPagedFileProperties:
+    @given(
+        page_size=st.integers(16, 256),
+        payloads=st.lists(st.binary(min_size=0, max_size=16), min_size=1, max_size=20),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_write_read_roundtrip(self, page_size: int, payloads: list[bytes]) -> None:
+        with PagedFile(page_size) as pf:
+            ids = []
+            for payload in payloads:
+                pid = pf.allocate()
+                pf.write_page(pid, payload)
+                ids.append((pid, payload))
+            for pid, payload in ids:
+                data = pf.read_page(pid)
+                assert data[: len(payload)] == payload
+                assert len(data) == page_size
+
+    @given(
+        capacity=st.integers(1, 8),
+        accesses=st.lists(st.integers(0, 9), min_size=1, max_size=60),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_cache_never_serves_wrong_page(self, capacity: int, accesses: list[int]) -> None:
+        with PagedFile(32) as pf:
+            for i in range(10):
+                pid = pf.allocate()
+                pf.write_page(pid, bytes([i]) * 4)
+            cache = LRUPageCache(pf, capacity)
+            for pid in accesses:
+                data = cache.read_page(pid)
+                assert data[0] == pid
+
+    @given(
+        capacity=st.integers(1, 5),
+        accesses=st.lists(st.integers(0, 7), min_size=1, max_size=40),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_cache_size_bounded(self, capacity: int, accesses: list[int]) -> None:
+        with PagedFile(32) as pf:
+            for i in range(8):
+                pid = pf.allocate()
+                pf.write_page(pid, bytes([i]))
+            cache = LRUPageCache(pf, capacity)
+            for pid in accesses:
+                cache.read_page(pid)
+                assert len(cache) <= capacity
+
+
+class TestVectorStoreProperties:
+    @given(
+        dim=st.integers(1, 12),
+        count=st.integers(1, 30),
+        seed=st.integers(0, 1_000),
+        cache_pages=st.integers(1, 4),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_roundtrip_any_geometry(
+        self, dim: int, count: int, seed: int, cache_pages: int
+    ) -> None:
+        rng = np.random.default_rng(seed)
+        rows = rng.standard_normal((count, dim))
+        page_size = max(dim * 8, 16)  # at least one record per page
+        with VectorStore(dim, page_size=page_size, cache_pages=cache_pages) as store:
+            store.extend(rows)
+            assert len(store) == count
+            for i in range(count):
+                assert np.array_equal(store.get(i), rows[i])
+            scanned = np.vstack([vec for _, vec in store.scan()])
+            assert np.array_equal(scanned, rows)
+
+
+class TestPersistenceProperties:
+    @given(dim=st.integers(1, 10), seed=st.integers(0, 500))
+    @settings(max_examples=25, deadline=None)
+    def test_qmap_roundtrip_any_spd(self, dim: int, seed: int, tmp_path_factory) -> None:
+        from repro.core import QMap, random_spd_matrix
+        from repro.persistence import load_qmap, save_qmap
+
+        path = tmp_path_factory.mktemp("qmaps") / f"qmap_{dim}_{seed}.npz"
+        qmap = QMap(random_spd_matrix(dim, rng=np.random.default_rng(seed)))
+        save_qmap(qmap, path)
+        loaded = load_qmap(path)
+        rng = np.random.default_rng(seed + 1)
+        u, v = rng.standard_normal(dim), rng.standard_normal(dim)
+        assert loaded.distance_via_map(u, v) == pytest.approx(
+            qmap.distance_via_map(u, v), rel=1e-12, abs=1e-12
+        )

@@ -1,0 +1,115 @@
+"""Tests for repro.sam.xtree — supernode behaviour and exactness."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.datasets import clustered_histograms, gaussian_vectors
+from repro.distances import euclidean
+from repro.exceptions import QueryError
+from repro.mam import SequentialFile
+from repro.sam import RTree, XTree
+from repro.sam.xtree import _overlap_fraction
+
+from .helpers import assert_same_neighbors
+
+
+@pytest.fixture(scope="module")
+def data():
+    return clustered_histograms(300, 4, themes=6, rng=np.random.default_rng(131))
+
+
+@pytest.fixture(scope="module")
+def scan(data):
+    return SequentialFile(data, euclidean)
+
+
+class TestOverlapFraction:
+    def test_disjoint(self) -> None:
+        frac = _overlap_fraction(
+            np.zeros(2), np.ones(2), np.full(2, 2.0), np.full(2, 3.0)
+        )
+        assert frac == 0.0
+
+    def test_identical(self) -> None:
+        frac = _overlap_fraction(np.zeros(2), np.ones(2), np.zeros(2), np.ones(2))
+        assert frac == pytest.approx(1.0)
+
+    def test_point_rectangles(self) -> None:
+        p = np.full(3, 0.5)
+        assert _overlap_fraction(p, p, p, p) == 1.0
+
+    def test_partial(self) -> None:
+        frac = _overlap_fraction(
+            np.array([0.0]), np.array([2.0]), np.array([1.0]), np.array([3.0])
+        )
+        assert frac == pytest.approx(1.0 / 3.0)
+
+
+class TestXTree:
+    def test_exact_knn(self, data, scan) -> None:
+        tree = XTree(data, capacity=10, max_overlap=0.75)
+        for q in data[:4]:
+            assert_same_neighbors(tree.knn_search(q, 7), scan.knn_search(q, 7))
+
+    def test_exact_range(self, data, scan) -> None:
+        tree = XTree(data, capacity=10, max_overlap=0.75)
+        q = data[50]
+        nn = scan.knn_search(q, 25)
+        radius = (nn[-2].distance + nn[-1].distance) / 2.0
+        assert_same_neighbors(tree.range_search(q, radius), scan.range_search(q, radius))
+
+    def test_high_dim_uniform_data_creates_supernodes(self) -> None:
+        """Uniform high-dimensional data is the X-tree's target regime:
+        any split separates the points in one dimension while both groups
+        span the full range everywhere else, so the mean per-dimension
+        overlap is high and splits get refused."""
+        rng = np.random.default_rng(3)
+        uniform = rng.random((300, 16))
+        tree = XTree(uniform, capacity=10, max_overlap=0.6)
+        assert tree.supernode_count() > 0
+
+    def test_supernodes_stay_exact(self, scan, data) -> None:
+        rng = np.random.default_rng(3)
+        uniform = rng.random((300, 16))
+        from repro.mam import SequentialFile
+        from repro.distances import euclidean as l2
+
+        tree = XTree(uniform, capacity=10, max_overlap=0.6)
+        ref = SequentialFile(uniform, l2)
+        q = rng.random(16)
+        assert_same_neighbors(tree.knn_search(q, 9), ref.knn_search(q, 9))
+
+    def test_zero_threshold_goes_fully_super(self, data) -> None:
+        tree = XTree(data, capacity=10, max_overlap=0.0)
+        # One giant supernode root: height 1.
+        assert tree.height() == 1
+        assert tree.supernode_count() >= 1
+
+    def test_threshold_one_matches_rtree_shape(self) -> None:
+        """With max_overlap=1 no split is ever refused -> identical tree
+        shape to the plain R-tree."""
+        rng = np.random.default_rng(7)
+        points = gaussian_vectors(200, 3, rng=rng)
+        xtree = XTree(points, capacity=8, max_overlap=1.0)
+        rtree = RTree(points, capacity=8)
+        assert xtree.supernode_count() == 0
+        assert xtree.height() == rtree.height()
+
+    def test_insert_into_supernode(self, data, scan) -> None:
+        tree = XTree(data[:250], capacity=10, max_overlap=0.6)
+        for row in data[250:]:
+            tree.insert(row)
+        q = data[0]
+        assert_same_neighbors(tree.knn_search(q, 6), scan.knn_search(q, 6))
+
+    def test_rejects_bad_threshold(self, data) -> None:
+        with pytest.raises(QueryError):
+            XTree(data, max_overlap=1.5)
+
+    def test_low_dim_separable_data_splits_normally(self) -> None:
+        rng = np.random.default_rng(11)
+        points = gaussian_vectors(300, 2, clusters=4, spread=0.05, rng=rng)
+        tree = XTree(points, capacity=8, max_overlap=0.75)
+        assert tree.height() > 1  # separable data splits fine

@@ -1,0 +1,195 @@
+"""Tests for repro.storage — pages, LRU cache, vector store."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import DimensionMismatchError, PageError, StorageError
+from repro.storage import DEFAULT_PAGE_SIZE, LRUPageCache, PagedFile, VectorStore
+
+
+class TestPagedFile:
+    def test_allocate_and_roundtrip(self) -> None:
+        with PagedFile(64) as pf:
+            pid = pf.allocate()
+            pf.write_page(pid, b"hello")
+            assert pf.read_page(pid)[:5] == b"hello"
+
+    def test_pages_padded_to_page_size(self) -> None:
+        with PagedFile(64) as pf:
+            pid = pf.allocate()
+            pf.write_page(pid, b"x")
+            assert len(pf.read_page(pid)) == 64
+
+    def test_sequential_page_ids(self) -> None:
+        with PagedFile(32) as pf:
+            assert [pf.allocate() for _ in range(4)] == [0, 1, 2, 3]
+            assert pf.n_pages == 4
+
+    def test_stats_counting(self) -> None:
+        with PagedFile(32) as pf:
+            pid = pf.allocate()
+            pf.write_page(pid, b"a")
+            pf.read_page(pid)
+            pf.read_page(pid)
+            assert pf.stats.writes == 1
+            assert pf.stats.reads == 2
+            pf.stats.reset()
+            assert pf.stats.reads == 0
+
+    def test_out_of_range_page(self) -> None:
+        with PagedFile(32) as pf:
+            with pytest.raises(PageError):
+                pf.read_page(0)
+
+    def test_oversized_payload(self) -> None:
+        with PagedFile(32) as pf:
+            pid = pf.allocate()
+            with pytest.raises(PageError):
+                pf.write_page(pid, b"z" * 33)
+
+    def test_file_backed(self, tmp_path) -> None:
+        path = tmp_path / "pages.bin"
+        with PagedFile(32, path=path) as pf:
+            pid = pf.allocate()
+            pf.write_page(pid, b"disk")
+            assert pf.read_page(pid)[:4] == b"disk"
+        assert path.exists()
+
+    def test_rejects_tiny_page(self) -> None:
+        with pytest.raises(StorageError):
+            PagedFile(8)
+
+    def test_rejects_negative_latency(self) -> None:
+        with pytest.raises(StorageError):
+            PagedFile(64, read_latency=-1.0)
+
+
+class TestLRUPageCache:
+    def _file_with_pages(self, count: int) -> PagedFile:
+        pf = PagedFile(32)
+        for i in range(count):
+            pid = pf.allocate()
+            pf.write_page(pid, bytes([i]) * 4)
+        pf.stats.reset()
+        return pf
+
+    def test_hit_after_miss(self) -> None:
+        cache = LRUPageCache(self._file_with_pages(3), capacity=2)
+        cache.read_page(0)
+        cache.read_page(0)
+        assert cache.stats.faults == 1
+        assert cache.stats.hits == 1
+
+    def test_eviction_order_is_lru(self) -> None:
+        cache = LRUPageCache(self._file_with_pages(3), capacity=2)
+        cache.read_page(0)
+        cache.read_page(1)
+        cache.read_page(0)  # 0 is now most recent
+        cache.read_page(2)  # evicts 1
+        cache.stats.reset()
+        cache.read_page(0)
+        assert cache.stats.hits == 1
+        cache.read_page(1)
+        assert cache.stats.faults == 1
+
+    def test_working_set_within_capacity_never_refaults(self) -> None:
+        """The Section 5.3 fixed-cache effect, small-database side."""
+        cache = LRUPageCache(self._file_with_pages(3), capacity=4)
+        for _ in range(5):
+            for pid in range(3):
+                cache.read_page(pid)
+        assert cache.stats.faults == 3  # only the cold reads
+
+    def test_working_set_exceeding_capacity_thrashes(self) -> None:
+        """... and the large-database side: sequential scans larger than
+        the LRU capacity fault on every page, every pass."""
+        cache = LRUPageCache(self._file_with_pages(4), capacity=2)
+        for _ in range(3):
+            for pid in range(4):
+                cache.read_page(pid)
+        assert cache.stats.faults == 12  # no reuse at all
+
+    def test_write_through_updates_cache(self) -> None:
+        pf = self._file_with_pages(1)
+        cache = LRUPageCache(pf, capacity=2)
+        cache.write_page(0, b"new!")
+        data = cache.read_page(0)
+        assert data[:4] == b"new!"
+        assert cache.stats.hits == 1  # served from cache
+        assert pf.stats.writes == 1  # but persisted
+
+    def test_hit_rate(self) -> None:
+        cache = LRUPageCache(self._file_with_pages(2), capacity=2)
+        assert cache.stats.hit_rate == 0.0
+        cache.read_page(0)
+        cache.read_page(0)
+        assert cache.stats.hit_rate == pytest.approx(0.5)
+
+    def test_clear_drops_pages(self) -> None:
+        cache = LRUPageCache(self._file_with_pages(2), capacity=2)
+        cache.read_page(0)
+        cache.clear()
+        cache.read_page(0)
+        assert cache.stats.faults == 2
+
+    def test_rejects_zero_capacity(self) -> None:
+        with pytest.raises(StorageError):
+            LRUPageCache(self._file_with_pages(1), capacity=0)
+
+
+class TestVectorStore:
+    def test_append_get_roundtrip(self, rng: np.random.Generator) -> None:
+        with VectorStore(8, page_size=128) as store:
+            rows = rng.random((10, 8))
+            for row in rows:
+                store.append(row)
+            for i in range(10):
+                assert np.allclose(store.get(i), rows[i])
+
+    def test_len_and_records_per_page(self) -> None:
+        with VectorStore(4, page_size=128) as store:
+            assert store.records_per_page == 4  # 4 * 32B per page
+            store.extend(np.ones((9, 4)))
+            assert len(store) == 9
+
+    def test_scan_order(self, rng: np.random.Generator) -> None:
+        with VectorStore(4, page_size=64) as store:
+            rows = rng.random((7, 4))
+            store.extend(rows)
+            scanned = list(store.scan())
+            assert [i for i, _ in scanned] == list(range(7))
+            assert all(np.allclose(vec, rows[i]) for i, vec in scanned)
+
+    def test_scan_pages_blocks(self, rng: np.random.Generator) -> None:
+        with VectorStore(4, page_size=64) as store:  # 2 records per page
+            rows = rng.random((5, 4))
+            store.extend(rows)
+            blocks = list(store.scan_pages())
+            assert [first for first, _ in blocks] == [0, 2, 4]
+            assert blocks[-1][1].shape == (1, 4)
+
+    def test_wrong_dim_rejected(self) -> None:
+        with VectorStore(4) as store:
+            with pytest.raises(DimensionMismatchError):
+                store.append(np.ones(5))
+
+    def test_out_of_range_get(self) -> None:
+        with VectorStore(4) as store:
+            store.append(np.ones(4))
+            with pytest.raises(PageError):
+                store.get(1)
+
+    def test_record_must_fit_page(self) -> None:
+        with pytest.raises(StorageError):
+            VectorStore(100, page_size=64)
+
+    def test_cache_stats_exposed(self, rng: np.random.Generator) -> None:
+        with VectorStore(4, page_size=64, cache_pages=1) as store:
+            store.extend(rng.random((6, 4)))  # 3 pages, cache of 1
+            store.cache.stats.reset()
+            list(store.scan_pages())
+            list(store.scan_pages())
+            # Each full scan faults on every page (thrashing).
+            assert store.cache.stats.faults == 6
