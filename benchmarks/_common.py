@@ -21,7 +21,6 @@ from __future__ import annotations
 import functools
 import os
 
-import numpy as np
 
 from repro.bench import format_table, speedup
 from repro.datasets import Workload, histogram_workload

@@ -12,7 +12,7 @@ import functools
 
 import pytest
 
-from _common import MAX_DB, get_workload, print_header
+from _common import get_workload, print_header
 from repro.bench import (
     format_table,
     measure_queries,

@@ -23,7 +23,7 @@ import numpy as np
 
 from repro import QMapModel, QuadraticFormDistance
 from repro.core import band_matrix
-from repro.distances import CountingDistance, euclidean, euclidean_one_to_many
+from repro.distances import euclidean
 
 N_BINS = 48  # distance-range bins of the site descriptor
 N_FAMILIES = 6  # protein families (the labels)

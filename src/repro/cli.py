@@ -10,6 +10,11 @@ Commands
 ``compare``
     Run a QFD-model vs QMap-model comparison on a synthetic histogram
     workload and print the paper-style row (build/query times + speedups).
+``query``
+    Run a batch of queries through the batch engine: pick the access
+    method, model, executor and worker count; ``--trace`` prints the
+    per-query cost aggregation (distance evaluations, filter hits,
+    candidates) next to the throughput.
 """
 
 from __future__ import annotations
@@ -48,6 +53,44 @@ def build_parser() -> argparse.ArgumentParser:
     )
     compare.add_argument("--k", type=int, default=5, help="kNN parameter")
     compare.add_argument("--seed", type=int, default=0)
+
+    query = sub.add_parser(
+        "query", help="run a query batch through the batch engine"
+    )
+    query.add_argument("--method", default="pivot-table", help="access method name")
+    query.add_argument(
+        "--model", choices=["qfd", "qmap"], default="qmap", help="distance model"
+    )
+    query.add_argument("--size", type=int, default=1000, help="database size")
+    query.add_argument(
+        "--bins", type=int, default=4, help="RGB bins per channel (4 -> 64-d, 8 -> 512-d)"
+    )
+    query.add_argument("--queries", type=int, default=50, help="number of queries")
+    query.add_argument("--k", type=int, default=10, help="kNN parameter")
+    query.add_argument(
+        "--radius",
+        type=float,
+        default=None,
+        help="run range queries with this radius instead of kNN",
+    )
+    query.add_argument(
+        "--batch",
+        action="store_true",
+        help="use the batch engine (otherwise a plain per-query loop)",
+    )
+    query.add_argument(
+        "--executor",
+        choices=["serial", "thread", "process"],
+        default=None,
+        help="batch executor (default: serial, or thread when --workers > 1)",
+    )
+    query.add_argument("--workers", type=int, default=None, help="parallel workers")
+    query.add_argument(
+        "--trace",
+        action="store_true",
+        help="collect per-query traces and print the aggregated cost model",
+    )
+    query.add_argument("--seed", type=int, default=0)
     return parser
 
 
@@ -139,15 +182,97 @@ def _cmd_compare(method: str, size: int, bins: int, k: int, seed: int) -> int:
     return 0
 
 
+def _cmd_query(args: "argparse.Namespace") -> int:
+    import time
+
+    from .datasets import histogram_workload
+    from .engine import TraceCollector
+    from .models import QFDModel, QMapModel
+
+    workload = histogram_workload(
+        args.size, args.queries, bins_per_channel=args.bins, seed=args.seed
+    )
+    model = (QMapModel if args.model == "qmap" else QFDModel)(workload.matrix)
+    kwargs = {"pivot-table": {"n_pivots": 16}, "mtree": {"capacity": 16}}.get(
+        args.method, {}
+    )
+    index = model.build_index(args.method, workload.database, **kwargs)
+    index.reset_query_costs()
+    collector = TraceCollector() if args.trace else None
+
+    if args.radius is not None:
+        what = f"range(r={args.radius})"
+    else:
+        what = f"{args.k}NN"
+    mode = "batch engine" if args.batch else "per-query loop"
+    print(f"workload : {workload.name}, m={args.size}, q={args.queries}")
+    print(f"method   : {args.method} {kwargs or ''} [{args.model} model], {what}")
+
+    start = time.perf_counter()
+    if args.batch:
+        engine_kwargs = {
+            "executor": args.executor,
+            "workers": args.workers,
+            "collector": collector,
+        }
+        if args.radius is not None:
+            results = index.range_search_batch(
+                workload.queries, args.radius, **engine_kwargs
+            )
+        else:
+            results = index.knn_search_batch(workload.queries, args.k, **engine_kwargs)
+    elif args.radius is not None:
+        results = [index.range_search(q, args.radius) for q in workload.queries]
+    else:
+        results = [index.knn_search(q, args.k) for q in workload.queries]
+    elapsed = time.perf_counter() - start
+
+    n = len(results)
+    executor = args.executor or ("thread" if (args.workers or 1) > 1 else "serial")
+    workers = f"{args.workers} workers" if args.workers else "default workers"
+    print(
+        f"execution: {mode}" + (f" ({executor}, {workers})" if args.batch else "")
+    )
+    print(
+        f"wall time: {elapsed:.3f}s for {n} queries "
+        f"-> {n / elapsed:.1f} queries/s"
+    )
+    costs = index.query_costs(elapsed)
+    print(
+        f"costs    : {costs.distance_computations} distance evaluations, "
+        f"{costs.transforms} query transforms"
+    )
+    if collector is not None:
+        summary = collector.summary()
+        print(
+            "trace    : "
+            f"{summary.evaluations_per_query:.1f} evals/query "
+            f"({summary.scalar_evaluations} scalar + "
+            f"{summary.batched_evaluations} batched), "
+            f"filter {summary.filter_hits}/{summary.filter_checked} passed, "
+            f"{summary.candidates} candidates refined, "
+            f"{summary.results} results"
+        )
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     """CLI entry point; returns the process exit code."""
+    from .exceptions import ReproError
+
     args = build_parser().parse_args(argv)
-    if args.command == "info":
-        return _cmd_info()
-    if args.command == "verify":
-        return _cmd_verify(args.dim, args.size, args.seed)
-    if args.command == "compare":
-        return _cmd_compare(args.method, args.size, args.bins, args.k, args.seed)
+    try:
+        if args.command == "info":
+            return _cmd_info()
+        if args.command == "verify":
+            return _cmd_verify(args.dim, args.size, args.seed)
+        if args.command == "compare":
+            return _cmd_compare(args.method, args.size, args.bins, args.k, args.seed)
+        if args.command == "query":
+            return _cmd_query(args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
     raise AssertionError(f"unhandled command {args.command!r}")  # pragma: no cover
 
 

@@ -11,8 +11,9 @@ This module adds the two pieces of glue the experiments need:
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass
-from typing import Callable, Protocol, runtime_checkable
+from typing import Any, Callable, Protocol, runtime_checkable
 
 import numpy as np
 
@@ -76,15 +77,30 @@ class CountingDistance:
         self._one_to_many = one_to_many
         self._calls = 0
         self._batch_rows = 0
+        # Counter updates must survive the batch engine's thread
+        # executor: plain += on an attribute loses increments under
+        # concurrent queries.
+        self._lock = threading.Lock()
+
+    def __getstate__(self) -> dict[str, Any]:
+        state = self.__dict__.copy()
+        del state["_lock"]  # locks do not pickle (process executor)
+        return state
+
+    def __setstate__(self, state: dict[str, Any]) -> None:
+        self.__dict__.update(state)
+        self._lock = threading.Lock()
 
     def __call__(self, u: np.ndarray, v: np.ndarray) -> float:
-        self._calls += 1
+        with self._lock:
+            self._calls += 1
         return self._func(u, v)
 
     def one_to_many(self, q: np.ndarray, batch: np.ndarray) -> np.ndarray:
         """Distances from *q* to every row of *batch* (each row counted)."""
         rows = np.asarray(batch)
-        self._batch_rows += rows.shape[0]
+        with self._lock:
+            self._batch_rows += rows.shape[0]
         if self._one_to_many is not None:
             return self._one_to_many(q, rows)
         return np.array([self._func(q, row) for row in rows], dtype=np.float64)
@@ -101,7 +117,8 @@ class CountingDistance:
 
     def reset(self) -> DistanceStats:
         """Zero the counters, returning the snapshot from before the reset."""
-        before = self.stats
-        self._calls = 0
-        self._batch_rows = 0
+        with self._lock:
+            before = DistanceStats(calls=self._calls, batch_rows=self._batch_rows)
+            self._calls = 0
+            self._batch_rows = 0
         return before

@@ -14,7 +14,6 @@ from __future__ import annotations
 
 import math
 
-import numpy as np
 
 from .._typing import ArrayLike, as_square_matrix, as_vector
 from ..exceptions import DimensionMismatchError

@@ -1,0 +1,267 @@
+"""The batch query planner: many queries, one execution plan.
+
+A :class:`QueryBatch` bundles homogeneous queries (all-range or all-kNN
+with shared parameters), validates them once, and executes them against
+any :class:`~repro.mam.base.AccessMethod` through a pluggable
+:class:`~repro.engine.executors.BatchExecutor`:
+
+* queries are split into contiguous chunks so structures with a
+  vectorized batch hook (sequential file, pivot table) amortize their
+  per-scan work across the whole chunk;
+* the serial executor runs the chunks inline, the thread executor fans
+  them out (numpy distance kernels release the GIL), and the process
+  executor ships pickled chunks to worker processes for pure-Python
+  distances;
+* with a :class:`~repro.engine.trace.TraceCollector` attached, every
+  query gets a :class:`~repro.engine.trace.QueryTrace` and the access
+  method's port is wrapped in a :class:`TracingPort` for the duration of
+  the batch.
+
+Results are, by construction, bit-identical to looping the single-query
+entry points: chunk hooks reuse the exact per-query search code (or a
+reduction that is float-exact), and ordering guarantees are unchanged.
+"""
+
+from __future__ import annotations
+
+import functools
+import pickle
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+from .._typing import ArrayLike, as_vector_batch
+from ..exceptions import QueryError
+from .executors import (
+    BatchExecutor,
+    ProcessPoolBatchExecutor,
+    SerialExecutor,
+    resolve_executor,
+)
+from .trace import QueryTrace, TraceCollector, TracingPort
+
+if TYPE_CHECKING:  # imported lazily at runtime to keep the layering acyclic
+    from ..mam.base import AccessMethod, Neighbor
+
+__all__ = ["QueryBatch"]
+
+
+def _chunk_ranges(n: int, n_chunks: int) -> list[tuple[int, int]]:
+    """Split ``[0, n)`` into at most *n_chunks* contiguous ranges."""
+    n_chunks = max(1, min(n, n_chunks))
+    size = -(-n // n_chunks)  # ceil
+    return [(a, min(a + size, n)) for a in range(0, n, size)]
+
+
+def _run_chunk(
+    bounds: tuple[int, int],
+    *,
+    am: "AccessMethod",
+    kind: str,
+    parameter: float,
+    queries: np.ndarray,
+    tracing: bool,
+) -> tuple[list[list["Neighbor"]], list[QueryTrace] | None]:
+    """Execute one contiguous chunk of the batch (process-pool entry).
+
+    Runs in a worker process: *am* is this process's private copy, so
+    wrapping its port for tracing cannot race with anyone.  Traces are
+    returned alongside the results and merged by the parent.
+    """
+    start, stop = bounds
+    traces = None
+    if tracing:
+        traces = [
+            QueryTrace(query_index=j, kind=kind, parameter=parameter)
+            for j in range(start, stop)
+        ]
+        am._port = TracingPort(am._port)
+    chunk = queries[start:stop]
+    if kind == "range":
+        results = am._range_search_batch(chunk, parameter, traces=traces)
+    else:
+        results = am._knn_search_batch(chunk, int(parameter), traces=traces)
+    return results, traces
+
+
+class QueryBatch:
+    """A homogeneous batch of similarity queries plus its execution plan.
+
+    Build one with :meth:`range_queries` or :meth:`knn_queries`, then
+    :meth:`run` it against an access method.  The planner owns batch-wide
+    validation (dimensionality, radius/k) so the per-query hot path skips
+    it, and guarantees results in input-query order.
+    """
+
+    def __init__(self, kind: str, queries: ArrayLike, parameter: float) -> None:
+        if kind not in ("range", "knn"):
+            raise QueryError(f"query kind must be 'range' or 'knn', got {kind!r}")
+        self.kind = kind
+        self.queries = queries
+        self.parameter = parameter
+
+    @classmethod
+    def range_queries(cls, queries: ArrayLike, radius: float) -> "QueryBatch":
+        """A batch of range queries sharing one *radius*."""
+        if radius < 0.0:
+            raise QueryError(f"radius must be non-negative, got {radius}")
+        return cls("range", queries, float(radius))
+
+    @classmethod
+    def knn_queries(cls, queries: ArrayLike, k: int) -> "QueryBatch":
+        """A batch of kNN queries sharing one *k*."""
+        if k < 1:
+            raise QueryError(f"k must be >= 1, got {k}")
+        return cls("knn", queries, int(k))
+
+    def run(
+        self,
+        am: "AccessMethod",
+        *,
+        executor: "str | BatchExecutor | None" = None,
+        workers: int | None = None,
+        chunk_size: int | None = None,
+        collector: TraceCollector | None = None,
+    ) -> list[list["Neighbor"]]:
+        """Execute the batch, returning one result list per query.
+
+        Parameters
+        ----------
+        am:
+            Any access method.
+        executor:
+            ``"serial"``, ``"thread"``, ``"process"``, an executor
+            instance, or ``None`` (serial, or threads when *workers*
+            asks for parallelism).
+        workers, chunk_size:
+            Forwarded to the executor when it is built from a name.
+        collector:
+            Attach to receive one :class:`QueryTrace` per query.  With
+            the process executor, traces are recorded in the workers and
+            merged back; note that in that case any in-process
+            ``CountingDistance`` owned by the caller will *not* observe
+            the workers' evaluations — the traces are the authoritative
+            per-query counts.
+        """
+        queries = np.asarray(self.queries, dtype=np.float64)
+        if queries.size == 0:
+            return []
+        qs = as_vector_batch(queries, am.dim, name="queries")
+        parameter = self.parameter
+        if self.kind == "knn":
+            parameter = min(int(parameter), am.size)
+        exec_ = resolve_executor(executor, workers=workers, chunk_size=chunk_size)
+        if isinstance(exec_, ProcessPoolBatchExecutor):
+            return self._run_process(am, qs, parameter, exec_, collector)
+        return self._run_in_process(am, qs, parameter, exec_, collector)
+
+    # ------------------------------------------------------------------
+    # in-process execution (serial / threads)
+    # ------------------------------------------------------------------
+
+    def _run_in_process(
+        self,
+        am: "AccessMethod",
+        qs: np.ndarray,
+        parameter: float,
+        exec_: BatchExecutor,
+        collector: TraceCollector | None,
+    ) -> list[list["Neighbor"]]:
+        n = qs.shape[0]
+        traces: list[QueryTrace] | None = None
+        original_port = am._port
+        if collector is not None:
+            traces = [
+                QueryTrace(query_index=j, kind=self.kind, parameter=float(self.parameter))
+                for j in range(n)
+            ]
+            am._port = TracingPort(original_port)
+        try:
+            if isinstance(exec_, SerialExecutor):
+                ranges = [(0, n)]
+            else:
+                # A few chunks per worker balances load while keeping the
+                # vectorized batch hooks' per-chunk work worthwhile.
+                workers = getattr(exec_, "workers", 1)
+                ranges = _chunk_ranges(n, workers * 4)
+
+            def chunk_task(ci: int) -> list[list["Neighbor"]]:
+                a, b = ranges[ci]
+                chunk_traces = traces[a:b] if traces is not None else None
+                if self.kind == "range":
+                    return am._range_search_batch(qs[a:b], parameter, traces=chunk_traces)
+                return am._knn_search_batch(qs[a:b], int(parameter), traces=chunk_traces)
+
+            parts = exec_.map_ordered(chunk_task, range(len(ranges)))
+        finally:
+            am._port = original_port
+        results: list[list["Neighbor"]] = []
+        for part in parts:
+            results.extend(part)
+        if collector is not None and traces is not None:
+            collector.extend(traces)
+        return results
+
+    # ------------------------------------------------------------------
+    # process-pool execution (chunked, pickled)
+    # ------------------------------------------------------------------
+
+    def _run_process(
+        self,
+        am: "AccessMethod",
+        qs: np.ndarray,
+        parameter: float,
+        exec_: ProcessPoolBatchExecutor,
+        collector: TraceCollector | None,
+    ) -> list[list["Neighbor"]]:
+        n = qs.shape[0]
+        fn = functools.partial(
+            _run_chunk,
+            am=am,
+            kind=self.kind,
+            parameter=float(parameter),
+            queries=qs,
+            tracing=collector is not None,
+        )
+        try:
+            parts = exec_.map_chunks(fn, n)
+        except (pickle.PicklingError, AttributeError, TypeError) as exc:
+            raise QueryError(
+                "the process executor must pickle the index and its distance "
+                "function; use module-level distance callables, or the "
+                "'thread' executor for unpicklable indexes"
+            ) from exc
+        results: list[list["Neighbor"]] = []
+        all_traces: list[QueryTrace] = []
+        for part_results, part_traces in parts:
+            results.extend(part_results)
+            if part_traces is not None:
+                all_traces.extend(part_traces)
+        if collector is not None:
+            collector.extend(all_traces)
+        return results
+
+
+def run_query_batch(
+    am: "AccessMethod",
+    kind: str,
+    queries: ArrayLike,
+    parameter: float,
+    *,
+    executor: "str | BatchExecutor | None" = None,
+    workers: int | None = None,
+    chunk_size: int | None = None,
+    collector: TraceCollector | None = None,
+) -> list[list["Neighbor"]]:
+    """Functional shorthand used by ``AccessMethod.*_search_batch``."""
+    if kind == "range":
+        batch = QueryBatch.range_queries(queries, parameter)
+    else:
+        batch = QueryBatch.knn_queries(queries, int(parameter))
+    return batch.run(
+        am,
+        executor=executor,
+        workers=workers,
+        chunk_size=chunk_size,
+        collector=collector,
+    )

@@ -24,12 +24,18 @@ from __future__ import annotations
 import heapq
 from abc import ABC, abstractmethod
 from dataclasses import dataclass
-from typing import Callable, Sequence
+from time import perf_counter
+from typing import TYPE_CHECKING, Callable, Sequence
 
 import numpy as np
 
 from .._typing import ArrayLike, as_vector, as_vector_batch
+from ..engine.trace import activate_trace
 from ..exceptions import EmptyIndexError, IndexStateError, QueryError
+
+if TYPE_CHECKING:
+    from ..engine.batch import BatchExecutor
+    from ..engine.trace import QueryTrace, TraceCollector
 
 __all__ = ["Neighbor", "DistancePort", "AccessMethod", "neighbors_from_distances"]
 
@@ -162,6 +168,112 @@ class AccessMethod(ABC):
         result.sort()
         return result
 
+    def range_search_batch(
+        self,
+        queries: ArrayLike,
+        radius: float,
+        *,
+        executor: "str | BatchExecutor | None" = None,
+        workers: int | None = None,
+        chunk_size: int | None = None,
+        collector: "TraceCollector | None" = None,
+    ) -> list[list[Neighbor]]:
+        """Range queries for a whole batch, one result list per query.
+
+        Results are bit-identical to looping :meth:`range_search`; the
+        batch form validates once, lets structures with a vectorized
+        batch hook amortize their scans, and can fan chunks out over a
+        thread or process pool (see :mod:`repro.engine`).  Attach a
+        :class:`~repro.engine.trace.TraceCollector` to receive one
+        :class:`~repro.engine.trace.QueryTrace` per query.
+        """
+        from ..engine.batch import run_query_batch  # engine sits above mam
+
+        return run_query_batch(
+            self,
+            "range",
+            queries,
+            float(radius),
+            executor=executor,
+            workers=workers,
+            chunk_size=chunk_size,
+            collector=collector,
+        )
+
+    def knn_search_batch(
+        self,
+        queries: ArrayLike,
+        k: int,
+        *,
+        executor: "str | BatchExecutor | None" = None,
+        workers: int | None = None,
+        chunk_size: int | None = None,
+        collector: "TraceCollector | None" = None,
+    ) -> list[list[Neighbor]]:
+        """kNN for a whole batch of queries; see :meth:`range_search_batch`."""
+        from ..engine.batch import run_query_batch  # engine sits above mam
+
+        return run_query_batch(
+            self,
+            "knn",
+            queries,
+            k,
+            executor=executor,
+            workers=workers,
+            chunk_size=chunk_size,
+            collector=collector,
+        )
+
+    def _range_search_batch(
+        self,
+        queries: np.ndarray,
+        radius: float,
+        traces: "list[QueryTrace] | None" = None,
+    ) -> list[list[Neighbor]]:
+        """Chunk hook: already-validated queries, sorted per-query results.
+
+        The default runs the single-query search per row under that
+        query's trace; subclasses with genuinely vectorizable batch
+        plans (sequential file, pivot table) override it.
+        """
+        out: list[list[Neighbor]] = []
+        for pos in range(queries.shape[0]):
+            trace = traces[pos] if traces is not None else None
+            start = perf_counter()
+            with activate_trace(trace):
+                result = self._range_search(queries[pos], radius)
+            result.sort()
+            if trace is not None:
+                trace.seconds += perf_counter() - start
+                trace.results = len(result)
+            out.append(result)
+        return out
+
+    def _knn_search_batch(
+        self,
+        queries: np.ndarray,
+        k: int,
+        traces: "list[QueryTrace] | None" = None,
+    ) -> list[list[Neighbor]]:
+        """Chunk hook for kNN batches (*k* already clamped); see above."""
+        out: list[list[Neighbor]] = []
+        for pos in range(queries.shape[0]):
+            trace = traces[pos] if traces is not None else None
+            start = perf_counter()
+            with activate_trace(trace):
+                result = self._knn_search(queries[pos], k)
+            result.sort()
+            if trace is not None:
+                trace.seconds += perf_counter() - start
+                trace.results = len(result)
+            out.append(result)
+        return out
+
+    @property
+    def supports_inserts(self) -> bool:
+        """Whether this structure implements the dynamic-insert hook."""
+        return type(self)._register_insert is not AccessMethod._register_insert
+
     def insert(self, vector: ArrayLike) -> int:
         """Dynamically insert one object, returning its new index.
 
@@ -173,11 +285,25 @@ class AccessMethod(ABC):
         designed around static builds (vp-tree, GNAT, VA-file) absorb new
         objects into existing regions, which keeps queries exact at the
         cost of gradually looser partitions.
+
+        The operation is atomic with respect to the stored database: if
+        the structure does not support inserts, or its insert hook fails
+        partway, the appended row is rolled back so ``size`` and queries
+        are exactly as before the call.
         """
         v = as_vector(vector, self.dim, name="vector")
+        if not self.supports_inserts:
+            raise IndexStateError(
+                f"{type(self).__name__} does not support dynamic inserts"
+            )
         index = self.size
-        self._data = np.vstack([self._data, v.reshape(1, -1)])
-        self._register_insert(index, self._data[index])
+        previous = self._data
+        self._data = np.vstack([previous, v.reshape(1, -1)])
+        try:
+            self._register_insert(index, self._data[index])
+        except BaseException:
+            self._data = previous
+            raise
         return index
 
     def _register_insert(self, index: int, vector: np.ndarray) -> None:

@@ -19,7 +19,7 @@ with a growing radius until the kth neighbor is provably inside.
 from __future__ import annotations
 
 import bisect
-from typing import Callable, Sequence
+from typing import Callable
 
 import numpy as np
 

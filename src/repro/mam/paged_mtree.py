@@ -34,7 +34,7 @@ from typing import Callable
 import numpy as np
 
 from .._typing import ArrayLike
-from ..exceptions import PageError, QueryError
+from ..exceptions import PageError
 from ..storage.cache import LRUPageCache
 from ..storage.pages import PagedFile
 from .base import AccessMethod, DistancePort, Neighbor, _KnnHeap

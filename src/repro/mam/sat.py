@@ -25,7 +25,6 @@ from typing import Callable
 import numpy as np
 
 from .._typing import ArrayLike
-from ..exceptions import QueryError
 from .base import AccessMethod, DistancePort, Neighbor, _KnnHeap
 
 __all__ = ["SATree"]

@@ -15,13 +15,18 @@ Two variants are provided:
 
 from __future__ import annotations
 
-from typing import Callable
+from time import perf_counter
+from typing import TYPE_CHECKING, Callable
 
 import numpy as np
 
 from .._typing import ArrayLike
+from ..engine.trace import activate_trace, record_candidates
 from ..storage.vector_store import VectorStore
 from .base import AccessMethod, DistancePort, Neighbor, _KnnHeap, neighbors_from_distances
+
+if TYPE_CHECKING:
+    from ..engine.trace import QueryTrace
 
 __all__ = ["SequentialFile", "DiskSequentialFile"]
 
@@ -36,14 +41,48 @@ class SequentialFile(AccessMethod):
 
     def _range_search(self, query: np.ndarray, radius: float) -> list[Neighbor]:
         distances = self._port.many(query, self._data)
+        record_candidates(self.size)
         hits = np.flatnonzero(distances <= radius)
         return neighbors_from_distances(distances[hits], hits)
 
     def _knn_search(self, query: np.ndarray, k: int) -> list[Neighbor]:
         distances = self._port.many(query, self._data)
+        record_candidates(self.size)
         # argpartition gets the k smallest; explicit sort fixes tie order.
         order = np.argpartition(distances, k - 1)[:k]
         return neighbors_from_distances(distances[order], order)
+
+    def _range_search_batch(
+        self,
+        queries: np.ndarray,
+        radius: float,
+        traces: "list[QueryTrace] | None" = None,
+    ) -> list[list[Neighbor]]:
+        """Batch scan: per-query one-to-many distances (bit-identical to
+        the single-query path), with the threshold mask applied to the
+        whole ``s x m`` distance matrix at once."""
+        s = queries.shape[0]
+        matrix = np.empty((s, self.size), dtype=np.float64)
+        for pos in range(s):
+            trace = traces[pos] if traces is not None else None
+            start = perf_counter()
+            with activate_trace(trace):
+                matrix[pos] = self._port.many(queries[pos], self._data)
+                record_candidates(self.size)
+            if trace is not None:
+                trace.seconds += perf_counter() - start
+        within = matrix <= radius
+        out: list[list[Neighbor]] = []
+        for pos in range(s):
+            start = perf_counter()
+            hits = np.flatnonzero(within[pos])
+            result = neighbors_from_distances(matrix[pos, hits], hits)
+            out.append(result)
+            trace = traces[pos] if traces is not None else None
+            if trace is not None:
+                trace.seconds += perf_counter() - start
+                trace.results = len(result)
+        return out
 
     def _register_insert(self, index: int, vector: np.ndarray) -> None:
         """Appending the row is the entire build — nothing else to update."""
@@ -97,6 +136,7 @@ class DiskSequentialFile(AccessMethod):
         out: list[Neighbor] = []
         for first_index, rows in self._store.scan_pages():
             distances = self._port.many(query, rows)
+            record_candidates(rows.shape[0])
             for offset in np.flatnonzero(distances <= radius):
                 out.append(Neighbor(float(distances[offset]), first_index + int(offset)))
         return out
@@ -105,6 +145,7 @@ class DiskSequentialFile(AccessMethod):
         heap = _KnnHeap(k)
         for first_index, rows in self._store.scan_pages():
             distances = self._port.many(query, rows)
+            record_candidates(rows.shape[0])
             for offset, dist in enumerate(distances):
                 heap.offer(float(dist), first_index + offset)
         return heap.neighbors()

@@ -157,19 +157,62 @@ class BuiltIndex:
         """Range query in the source space (radii are preserved exactly)."""
         return self._am.range_search(self._map_query(query), radius)
 
-    def knn_search_batch(self, queries: ArrayLike, k: int) -> list[list[Neighbor]]:
+    def knn_search_batch(
+        self,
+        queries: ArrayLike,
+        k: int,
+        *,
+        executor: Any = None,
+        workers: int | None = None,
+        chunk_size: int | None = None,
+        collector: Any = None,
+    ) -> list[list[Neighbor]]:
         """kNN for a whole batch of source-space queries.
 
         In the QMap model all queries are transformed in one matrix-matrix
-        product, amortizing the O(n^2) per-query mapping cost.
+        product, amortizing the O(n^2) per-query mapping cost.  The mapped
+        batch then runs through the :mod:`repro.engine` planner: pass
+        ``executor``/``workers`` to parallelize and ``collector`` (a
+        :class:`~repro.engine.trace.TraceCollector`) for per-query cost
+        traces.  With the ``"process"`` executor the model's in-process
+        distance counter does not observe worker evaluations — use the
+        collector's traces as the authoritative counts there.
         """
         mapped = self._map_query_batch(queries)
-        return [self._am.knn_search(q, k) for q in mapped]
+        return self._am.knn_search_batch(
+            mapped,
+            k,
+            executor=executor,
+            workers=workers,
+            chunk_size=chunk_size,
+            collector=collector,
+        )
 
-    def range_search_batch(self, queries: ArrayLike, radius: float) -> list[list[Neighbor]]:
-        """Range queries for a whole batch of source-space queries."""
+    def range_search_batch(
+        self,
+        queries: ArrayLike,
+        radius: float,
+        *,
+        executor: Any = None,
+        workers: int | None = None,
+        chunk_size: int | None = None,
+        collector: Any = None,
+    ) -> list[list[Neighbor]]:
+        """Range queries for a whole batch of source-space queries.
+
+        Same engine plumbing as :meth:`knn_search_batch`; range radii are
+        preserved exactly by the QMap transform, so batch results in both
+        models are directly comparable.
+        """
         mapped = self._map_query_batch(queries)
-        return [self._am.range_search(q, radius) for q in mapped]
+        return self._am.range_search_batch(
+            mapped,
+            float(radius),
+            executor=executor,
+            workers=workers,
+            chunk_size=chunk_size,
+            collector=collector,
+        )
 
     def _map_query_batch(self, queries: ArrayLike) -> np.ndarray:
         rows = np.atleast_2d(np.asarray(queries, dtype=np.float64))

@@ -18,7 +18,6 @@ from __future__ import annotations
 import time
 from typing import Any
 
-import numpy as np
 
 from .._typing import ArrayLike, as_vector_batch
 from ..core.qfd import QuadraticFormDistance

@@ -9,6 +9,7 @@ starts faulting and the cost curve bends upward (bench E_A4).
 
 from __future__ import annotations
 
+import threading
 from collections import OrderedDict
 from dataclasses import dataclass
 
@@ -20,27 +21,63 @@ __all__ = ["CacheStats", "LRUPageCache"]
 
 @dataclass
 class CacheStats:
-    """Hit/fault counters of an :class:`LRUPageCache`."""
+    """Hit/fault counters of an :class:`LRUPageCache`.
+
+    Reads and writes are counted separately: ``hits``/``faults`` cover
+    the read path (a fault is a physical read), ``write_hits``/
+    ``write_faults`` cover the write-through path (a *write hit*
+    refreshes a resident page, a *write fault* installs a page that was
+    not cached).  Write-heavy workloads — bulk loads, dynamic inserts —
+    would otherwise report a misleading hit rate built from reads alone.
+    """
 
     hits: int = 0
     faults: int = 0
+    write_hits: int = 0
+    write_faults: int = 0
 
     @property
     def accesses(self) -> int:
-        """Total page accesses through the cache."""
+        """Read accesses through the cache."""
         return self.hits + self.faults
 
     @property
     def hit_rate(self) -> float:
-        """Fraction of accesses served from the cache (0 when untouched)."""
+        """Fraction of reads served from the cache (0 when untouched)."""
         if self.accesses == 0:
             return 0.0
         return self.hits / self.accesses
+
+    @property
+    def write_accesses(self) -> int:
+        """Write accesses through the cache."""
+        return self.write_hits + self.write_faults
+
+    @property
+    def write_hit_rate(self) -> float:
+        """Fraction of writes that refreshed an already-resident page."""
+        if self.write_accesses == 0:
+            return 0.0
+        return self.write_hits / self.write_accesses
+
+    @property
+    def total_accesses(self) -> int:
+        """All page accesses, reads and writes."""
+        return self.accesses + self.write_accesses
+
+    @property
+    def combined_hit_rate(self) -> float:
+        """Fraction of all accesses (reads + writes) that hit the cache."""
+        if self.total_accesses == 0:
+            return 0.0
+        return (self.hits + self.write_hits) / self.total_accesses
 
     def reset(self) -> None:
         """Zero the counters."""
         self.hits = 0
         self.faults = 0
+        self.write_hits = 0
+        self.write_faults = 0
 
 
 class LRUPageCache:
@@ -65,6 +102,9 @@ class LRUPageCache:
         self._capacity = capacity
         self._pages: OrderedDict[int, bytes] = OrderedDict()
         self._stats = CacheStats()
+        # Queries from the batch engine's thread executor share this
+        # cache; the LRU bookkeeping is check-then-act and must not race.
+        self._lock = threading.RLock()
 
     @property
     def capacity(self) -> int:
@@ -82,28 +122,41 @@ class LRUPageCache:
         return self._backing
 
     def __len__(self) -> int:
-        return len(self._pages)
+        with self._lock:
+            return len(self._pages)
 
     def read_page(self, page_id: int) -> bytes:
-        """Read a page, serving from the cache when possible."""
-        if page_id in self._pages:
-            self._stats.hits += 1
-            self._pages.move_to_end(page_id)
-            return self._pages[page_id]
-        self._stats.faults += 1
-        data = self._backing.read_page(page_id)
-        self._insert(page_id, data)
-        return data
+        """Read a page, serving from the cache when possible.
+
+        Thread-safe: concurrent readers (the batch engine's thread
+        executor) serialize on the LRU bookkeeping.
+        """
+        with self._lock:
+            if page_id in self._pages:
+                self._stats.hits += 1
+                self._pages.move_to_end(page_id)
+                return self._pages[page_id]
+            self._stats.faults += 1
+            data = self._backing.read_page(page_id)
+            self._insert(page_id, data)
+            return data
 
     def write_page(self, page_id: int, payload: bytes) -> None:
-        """Write-through a page and refresh the cached copy."""
-        self._backing.write_page(page_id, payload)
-        padded = payload.ljust(self._backing.page_size, b"\x00")
-        if page_id in self._pages:
-            self._pages[page_id] = padded
-            self._pages.move_to_end(page_id)
-        else:
-            self._insert(page_id, padded)
+        """Write-through a page and refresh the cached copy.
+
+        Counted in the write-path statistics: refreshing a resident page
+        is a write hit, installing a non-resident one a write fault.
+        """
+        with self._lock:
+            self._backing.write_page(page_id, payload)
+            padded = payload.ljust(self._backing.page_size, b"\x00")
+            if page_id in self._pages:
+                self._stats.write_hits += 1
+                self._pages[page_id] = padded
+                self._pages.move_to_end(page_id)
+            else:
+                self._stats.write_faults += 1
+                self._insert(page_id, padded)
 
     def allocate(self) -> int:
         """Allocate a page in the backing file."""
@@ -117,4 +170,5 @@ class LRUPageCache:
 
     def clear(self) -> None:
         """Drop all cached pages (counters are kept)."""
-        self._pages.clear()
+        with self._lock:
+            self._pages.clear()

@@ -10,7 +10,7 @@ from repro.analysis import (
     intrinsic_dimensionality,
     sample_distances,
 )
-from repro.core import QMap, QuadraticFormDistance
+from repro.core import QMap
 from repro.distances import euclidean
 from repro.exceptions import QueryError
 

@@ -27,6 +27,23 @@ class TestParser:
         assert args.method == "vptree"
         assert (args.size, args.bins, args.k) == (100, 2, 3)
 
+    def test_query_defaults(self) -> None:
+        args = build_parser().parse_args(["query"])
+        assert args.method == "pivot-table" and args.model == "qmap"
+        assert not args.batch and not args.trace
+        assert args.radius is None and args.executor is None
+
+    def test_query_options(self) -> None:
+        args = build_parser().parse_args(
+            ["query", "--batch", "--executor", "thread", "--workers", "4", "--trace"]
+        )
+        assert args.batch and args.trace
+        assert (args.executor, args.workers) == ("thread", 4)
+
+    def test_query_rejects_unknown_executor(self) -> None:
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["query", "--executor", "gpu"])
+
 
 class TestCommands:
     def test_info(self, capsys) -> None:
@@ -47,3 +64,35 @@ class TestCommands:
         assert code == 0
         out = capsys.readouterr().out
         assert "indexing" in out and "query" in out and "identical" in out
+
+    _QUERY_BASE = ["query", "--size", "80", "--bins", "2", "--queries", "4"]
+
+    def test_query_loop_runs(self, capsys) -> None:
+        assert main(self._QUERY_BASE + ["--k", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "per-query loop" in out and "queries/s" in out
+        assert "trace" not in out
+
+    def test_query_batch_traced(self, capsys) -> None:
+        code = main(
+            self._QUERY_BASE
+            + ["--k", "3", "--batch", "--workers", "2", "--trace"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "batch engine" in out and "(thread, 2 workers)" in out
+        assert "trace    :" in out and "evals/query" in out
+
+    def test_query_range_mode(self, capsys) -> None:
+        code = main(self._QUERY_BASE + ["--radius", "0.5", "--batch", "--trace"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "range(r=0.5)" in out and "batch engine" in out
+
+    def test_query_qfd_model_sequential(self, capsys) -> None:
+        code = main(
+            self._QUERY_BASE + ["--method", "sequential", "--model", "qfd", "--batch"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "[qfd model]" in out

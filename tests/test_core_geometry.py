@@ -6,7 +6,7 @@ import numpy as np
 import pytest
 
 from repro.core import QMap, QuadraticFormDistance, random_spd_matrix
-from repro.core.geometry import EllipsoidAxes, qfd_ball_axes, sample_ball_boundary
+from repro.core.geometry import qfd_ball_axes, sample_ball_boundary
 from repro.exceptions import QueryError
 
 

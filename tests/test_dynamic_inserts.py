@@ -144,3 +144,58 @@ class TestInsertDetails:
         seq = SequentialFile(workload.database[:5], euclidean)
         with pytest.raises(DimensionMismatchError):
             seq.insert(np.ones(3))
+
+
+@pytest.mark.parametrize("method", sorted(MAM_REGISTRY) + sorted(SAM_REGISTRY))
+class TestInsertAtomicity:
+    """Regression: a failing structure hook used to leave the appended
+    row behind, so ``size`` grew and scans returned a phantom object the
+    index never registered."""
+
+    def test_failed_hook_rolls_back(self, method, workload, monkeypatch) -> None:
+        model = QMapModel(workload.matrix)
+        index = model.build_index(method, workload.database[:60], **METHOD_KWARGS[method])
+        am = index.access_method
+        size_before = am.size
+        data_before = am.database.copy()
+        answer_before = index.knn_search(workload.queries[0], 5)
+
+        def explode(self, idx, vector):
+            raise RuntimeError("simulated structure failure")
+
+        monkeypatch.setattr(type(am), "_register_insert", explode)
+        with pytest.raises(RuntimeError):
+            index.insert(workload.database[60])
+        monkeypatch.undo()
+
+        assert am.size == size_before
+        np.testing.assert_array_equal(am.database, data_before)
+        assert index.knn_search(workload.queries[0], 5) == answer_before
+        # The structure is still usable: a clean insert goes through.
+        assert index.insert(workload.database[60]) == size_before
+
+    def test_all_registry_methods_support_inserts(self, method, workload) -> None:
+        model = QMapModel(workload.matrix)
+        index = model.build_index(method, workload.database[:30], **METHOD_KWARGS[method])
+        assert index.access_method.supports_inserts
+
+
+class TestInsertSupportGate:
+    def test_hookless_subclass_raises_cleanly(self, workload) -> None:
+        """A structure without the insert hook must refuse *before*
+        touching the stored database."""
+        from repro.exceptions import IndexStateError
+        from repro.mam.base import AccessMethod
+
+        class FrozenIndex(AccessMethod):
+            def _range_search(self, query, radius):
+                return []
+
+            def _knn_search(self, query, k):
+                return []
+
+        frozen = FrozenIndex(workload.database[:10], euclidean)
+        assert not frozen.supports_inserts
+        with pytest.raises(IndexStateError):
+            frozen.insert(workload.database[10])
+        assert frozen.size == 10

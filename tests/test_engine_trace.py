@@ -1,0 +1,165 @@
+"""Per-query tracing — traces must reproduce the paper's cost model.
+
+The central claims verified here:
+
+* the pivot table's traced kNN cost is exactly ``p + x`` — the ``p``
+  query-pivot distances plus the ``x`` refined candidates (paper
+  Section 4.2.1's querying complexity);
+* summed over a batch, traces agree *exactly* with the
+  :class:`CountingDistance` wrapper the models already use, so the two
+  cost accounts can never drift apart;
+* the contextvars plumbing attributes evaluations to the right query
+  even when queries run concurrently in worker threads.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.datasets import histogram_workload
+from repro.distances import CountingDistance, euclidean, euclidean_one_to_many
+from repro.engine import (
+    QueryTrace,
+    TraceCollector,
+    TracingPort,
+    activate_trace,
+    current_trace,
+    record_candidates,
+    record_filter,
+)
+from repro.mam import DistancePort, PivotTable, SequentialFile
+
+N_PIVOTS = 8
+
+
+@pytest.fixture(scope="module")
+def workload():
+    return histogram_workload(180, 5, bins_per_channel=4, seed=53)
+
+
+def _counting_port() -> tuple[DistancePort, CountingDistance]:
+    counter = CountingDistance(euclidean, one_to_many=euclidean_one_to_many)
+    return DistancePort(counter), counter
+
+
+class TestPivotTableCostModel:
+    def test_knn_costs_exactly_p_plus_x(self, workload) -> None:
+        """Paper Section 4.2.1: a pivot-table query pays p pivot
+        distances plus one real distance per non-filtered candidate."""
+        am = PivotTable(
+            workload.database, euclidean, n_pivots=N_PIVOTS,
+            rng=np.random.default_rng(3),
+        )
+        collector = TraceCollector()
+        am.knn_search_batch(workload.queries, 10, collector=collector)
+        for trace in collector.traces:
+            assert trace.batched_evaluations == N_PIVOTS  # the p term
+            assert trace.scalar_evaluations == trace.candidates  # the x term
+            assert trace.distance_evaluations == N_PIVOTS + trace.candidates
+
+    def test_range_filter_counts(self, workload) -> None:
+        am = PivotTable(
+            workload.database, euclidean, n_pivots=N_PIVOTS,
+            rng=np.random.default_rng(3),
+        )
+        radius = am.knn_search(workload.queries[0], 6)[-1].distance
+        collector = TraceCollector()
+        results = am.range_search_batch(workload.queries, radius, collector=collector)
+        for trace, result in zip(collector.traces, results):
+            assert trace.filter_checked == am.size
+            assert trace.filter_hits == trace.candidates
+            # Refinement is one batched many() over the candidates.
+            assert trace.batched_evaluations == N_PIVOTS + trace.candidates
+            assert trace.results == len(result)
+            # Filtering is sound: every answer survived the filter.
+            assert trace.filter_hits >= len(result)
+
+
+class TestTracesAgreeWithCounters:
+    @pytest.mark.parametrize("executor", ["serial", "thread"])
+    def test_batch_totals_match_counting_distance(self, workload, executor) -> None:
+        port, counter = _counting_port()
+        am = PivotTable(
+            workload.database, port, n_pivots=N_PIVOTS, rng=np.random.default_rng(7)
+        )
+        counter.reset()
+        collector = TraceCollector()
+        am.knn_search_batch(
+            workload.queries, 8, executor=executor, workers=3, collector=collector
+        )
+        summary = collector.summary()
+        assert summary.queries == workload.queries.shape[0]
+        assert summary.distance_evaluations == counter.count
+        assert summary.scalar_evaluations == counter.stats.calls
+        assert summary.batched_evaluations == counter.stats.batch_rows
+
+    def test_sequential_scan_costs_m_per_query(self, workload) -> None:
+        port, counter = _counting_port()
+        am = SequentialFile(workload.database, port)
+        counter.reset()
+        collector = TraceCollector()
+        am.knn_search_batch(workload.queries, 4, collector=collector)
+        for trace in collector.traces:
+            assert trace.distance_evaluations == am.size
+            assert trace.candidates == am.size
+        assert collector.summary().distance_evaluations == counter.count
+
+    def test_untraced_batch_leaves_port_untouched(self, workload) -> None:
+        am = SequentialFile(workload.database, euclidean)
+        port_before = am._port
+        am.knn_search_batch(workload.queries, 3, executor="thread", workers=2)
+        assert am._port is port_before
+        assert not isinstance(am._port, TracingPort)
+
+
+class TestTracePlumbing:
+    def test_activate_none_is_noop(self) -> None:
+        with activate_trace(None):
+            assert current_trace() is None
+
+    def test_activate_restores_previous(self) -> None:
+        outer, inner = QueryTrace(query_index=0), QueryTrace(query_index=1)
+        with activate_trace(outer):
+            with activate_trace(inner):
+                assert current_trace() is inner
+            assert current_trace() is outer
+        assert current_trace() is None
+
+    def test_record_hooks_without_trace_are_noops(self) -> None:
+        record_filter(10, 3)
+        record_candidates(5)  # must not raise
+
+    def test_tracing_port_forwards_and_charges(self) -> None:
+        port, counter = _counting_port()
+        tracing = TracingPort(port)
+        trace = QueryTrace()
+        u, rows = np.zeros(4), np.ones((3, 4))
+        with activate_trace(trace):
+            tracing.pair(u, rows[0])
+            tracing.many(u, rows)
+        assert (trace.scalar_evaluations, trace.batched_evaluations) == (1, 3)
+        assert counter.count == 4  # inner counter still sees everything
+        assert tracing.inner is port
+        assert tracing.raw is port.raw
+
+    def test_collector_orders_and_summarizes(self) -> None:
+        collector = TraceCollector()
+        collector.add(QueryTrace(query_index=2, scalar_evaluations=5, seconds=0.5))
+        collector.extend(
+            [
+                QueryTrace(query_index=0, batched_evaluations=10, seconds=0.25),
+                QueryTrace(query_index=1, scalar_evaluations=1, seconds=0.25),
+            ]
+        )
+        assert [t.query_index for t in collector.traces] == [0, 1, 2]
+        summary = collector.summary()
+        assert summary.queries == 3
+        assert summary.distance_evaluations == 16
+        assert summary.evaluations_per_query == pytest.approx(16 / 3)
+        assert summary.queries_per_second == pytest.approx(3.0)
+        collector.clear()
+        assert len(collector) == 0
+        empty = collector.summary()
+        assert empty.evaluations_per_query == 0.0
+        assert empty.queries_per_second == 0.0

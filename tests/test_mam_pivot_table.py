@@ -148,6 +148,15 @@ class TestPivotTable:
         with pytest.raises(QueryError):
             pt.candidates_for_radius(data[0], -1.0)
 
+    def test_candidates_rejects_malformed_query(self, data) -> None:
+        """Regression: a wrong-dimension query used to surface as a numpy
+        broadcast error from the pivot scan instead of a QueryError."""
+        pt = PivotTable(data, euclidean, n_pivots=4)
+        with pytest.raises(QueryError, match="malformed range query"):
+            pt.candidates_for_radius(np.ones(data.shape[1] + 3), 0.5)
+        with pytest.raises(QueryError):
+            pt.candidates_for_radius(np.ones((2, data.shape[1])), 0.5)
+
     def test_single_pivot(self, data) -> None:
         scan = SequentialFile(data, euclidean)
         pt = PivotTable(data, euclidean, n_pivots=1)

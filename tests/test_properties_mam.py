@@ -8,12 +8,11 @@ models must always agree with each other (invariant 5).
 from __future__ import annotations
 
 import numpy as np
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.core import random_spd_matrix
-from repro.distances import euclidean, euclidean_one_to_many
+from repro.distances import euclidean
 from repro.mam import GNAT, MIndex, MTree, PagedMTree, PivotTable, SATree, SequentialFile, VPTree
 from repro.models import QFDModel, QMapModel
 from repro.sam import RTree, VAFile, XTree

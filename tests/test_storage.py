@@ -6,7 +6,7 @@ import numpy as np
 import pytest
 
 from repro.exceptions import DimensionMismatchError, PageError, StorageError
-from repro.storage import DEFAULT_PAGE_SIZE, LRUPageCache, PagedFile, VectorStore
+from repro.storage import LRUPageCache, PagedFile, VectorStore
 
 
 class TestPagedFile:
@@ -126,6 +126,36 @@ class TestLRUPageCache:
         cache.read_page(0)
         cache.read_page(0)
         assert cache.stats.hit_rate == pytest.approx(0.5)
+
+    def test_write_path_counted(self) -> None:
+        """Regression: writes used to bypass CacheStats entirely, so
+        write-heavy workloads reported a hit rate built from reads alone."""
+        cache = LRUPageCache(self._file_with_pages(3), capacity=2)
+        cache.write_page(0, b"cold")  # not resident -> write fault
+        assert (cache.stats.write_hits, cache.stats.write_faults) == (0, 1)
+        cache.write_page(0, b"warm")  # resident now -> write hit
+        assert (cache.stats.write_hits, cache.stats.write_faults) == (1, 1)
+        cache.write_page(1, b"b")  # fault; fills the cache
+        cache.write_page(2, b"c")  # fault; evicts page 0
+        cache.write_page(0, b"back")  # faults again
+        assert cache.stats.write_faults == 4
+        assert cache.stats.write_accesses == 5
+        assert cache.stats.write_hit_rate == pytest.approx(1 / 5)
+        # Read counters are untouched by the write path.
+        assert (cache.stats.hits, cache.stats.faults) == (0, 0)
+
+    def test_combined_hit_rate_and_reset(self) -> None:
+        cache = LRUPageCache(self._file_with_pages(2), capacity=2)
+        assert cache.stats.combined_hit_rate == 0.0
+        cache.write_page(0, b"a")  # write fault
+        cache.read_page(0)  # read hit
+        cache.read_page(1)  # read fault
+        cache.write_page(1, b"b")  # write hit
+        assert cache.stats.total_accesses == 4
+        assert cache.stats.combined_hit_rate == pytest.approx(0.5)
+        cache.stats.reset()
+        assert cache.stats.total_accesses == 0
+        assert (cache.stats.write_hits, cache.stats.write_faults) == (0, 0)
 
     def test_clear_drops_pages(self) -> None:
         cache = LRUPageCache(self._file_with_pages(2), capacity=2)
