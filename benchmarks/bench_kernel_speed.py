@@ -1,0 +1,224 @@
+"""Kernel-layer speed benchmark: scalar vs node-batched vs Gram kernel.
+
+Times M-tree kNN querying under three evaluation strategies over the *same*
+tree, for the QFD model (raw histograms + quadratic form) and the QMap
+model (Cholesky-mapped vectors + L2), at n in {64, 256, 512}:
+
+* ``scalar``       — one Python-level distance call per candidate, the
+  pre-kernel fallback path (``use_kernel=False``, no vectorized form);
+* ``node_batched`` — all entries of a visited node evaluated through the
+  metric's own one-to-many form (diff-based, O(n^2) per row);
+* ``gram_kernel``  — the :mod:`repro.kernels` query context: ``qA`` and
+  ``qAq^T`` precomputed once per query, cached ``vAv^T`` per row, O(n) per
+  candidate.
+
+All three tiers traverse identically and charge identical logical distance
+counts (asserted); only the physical evaluation differs.  The full run
+writes ``BENCH_kernels.json`` at the repository root; ``--smoke`` runs a
+tiny grid without writing, as a CI liveness check.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_kernel_speed.py [--smoke] [--out PATH]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.core.qfd import QuadraticFormDistance
+from repro.core.qmap import QMap
+from repro.datasets import vector_workload
+from repro.distances import CountingDistance, euclidean, euclidean_one_to_many
+from repro.mam import MTree
+from repro.mam.base import DistancePort
+
+DEFAULT_OUT = Path(__file__).resolve().parent.parent / "BENCH_kernels.json"
+
+
+def _scalar_only(func):
+    """Hide *func*'s identity so no kernel or vectorized form resolves."""
+
+    def call(u, v):
+        return float(func(u, v))
+
+    return call
+
+
+def _tier_ports(model: str, matrix: np.ndarray) -> dict[str, DistancePort]:
+    """The three evaluation strategies for one model's metric."""
+    if model == "qfd":
+        qfd = QuadraticFormDistance(matrix)
+        return {
+            "scalar": DistancePort(
+                CountingDistance(_scalar_only(qfd)), use_kernel=False
+            ),
+            "node_batched": DistancePort(
+                CountingDistance(qfd, one_to_many=qfd.one_to_many), use_kernel=False
+            ),
+            "gram_kernel": DistancePort(
+                CountingDistance(qfd, one_to_many=qfd.one_to_many)
+            ),
+        }
+    return {
+        "scalar": DistancePort(
+            CountingDistance(_scalar_only(euclidean)), use_kernel=False
+        ),
+        "node_batched": DistancePort(
+            CountingDistance(euclidean, one_to_many=euclidean_one_to_many),
+            use_kernel=False,
+        ),
+        "gram_kernel": DistancePort(
+            CountingDistance(euclidean, one_to_many=euclidean_one_to_many)
+        ),
+    }
+
+
+def _time_queries(tree: MTree, queries: np.ndarray, k: int, repeats: int) -> float:
+    """Best-of-*repeats* wall time of the whole kNN query batch."""
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        for q in queries:
+            tree.knn_search(q, k)
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def run_model(
+    model: str,
+    dim: int,
+    *,
+    m: int,
+    n_queries: int,
+    k: int,
+    capacity: int,
+    repeats: int,
+) -> dict:
+    workload = vector_workload(m, n_queries, dim, seed=2011)
+    if model == "qfd":
+        data, queries = workload.database, workload.queries
+    else:
+        qmap = QMap(workload.matrix)
+        data = qmap.transform_batch(workload.database)
+        queries = qmap.transform_batch(workload.queries)
+
+    ports = _tier_ports(model, workload.matrix)
+    # One tree, three evaluation strategies: the structure is built once
+    # (with the kernel port) and the port swapped per tier, so the timing
+    # isolates the query hot path.
+    build_start = time.perf_counter()
+    tree = MTree(data, ports["gram_kernel"], capacity=capacity)
+    build_seconds = time.perf_counter() - build_start
+
+    entry: dict = {
+        "model": model,
+        "dim": dim,
+        "build_seconds": build_seconds,
+        "tiers": {},
+    }
+    reference: list[list] = []
+    counts: dict[str, int] = {}
+    for tier, port in ports.items():
+        tree._port = port
+        port.attach_database(tree.database)
+        counter: CountingDistance = port.raw  # type: ignore[assignment]
+        counter.reset()
+        seconds = _time_queries(tree, queries, k, repeats)
+        counts[tier] = counter.count // repeats
+        results = [tree.knn_search(q, k) for q in queries]
+        if not reference:
+            reference = results
+        else:
+            for got, want in zip(results, reference):
+                assert [n.index for n in got] == [n.index for n in want], (
+                    f"{model}/n={dim}: tier {tier} changed the neighbor set"
+                )
+                assert all(
+                    abs(g.distance - w.distance) <= 1e-6 for g, w in zip(got, want)
+                ), f"{model}/n={dim}: tier {tier} drifted distances past 1e-6"
+        entry["tiers"][tier] = {"seconds": seconds, "distance_count": counts[tier]}
+    assert len(set(counts.values())) == 1, (
+        f"{model}/n={dim}: logical distance counts differ across tiers: {counts}"
+    )
+    scalar_s = entry["tiers"]["scalar"]["seconds"]
+    entry["speedup_node_batched"] = scalar_s / entry["tiers"]["node_batched"]["seconds"]
+    entry["speedup_gram_kernel"] = scalar_s / entry["tiers"]["gram_kernel"]["seconds"]
+    return entry
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="tiny grid, no JSON written (CI liveness check)",
+    )
+    parser.add_argument(
+        "--out",
+        type=Path,
+        default=None,
+        help=f"output path (default: {DEFAULT_OUT}; never written in --smoke)",
+    )
+    args = parser.parse_args()
+
+    if args.smoke:
+        dims, m, n_queries, k, repeats = [64], 150, 3, 5, 1
+    else:
+        dims, m, n_queries, k, repeats = [64, 256, 512], 800, 10, 10, 3
+    capacity = 8
+
+    report = {
+        "benchmark": "kernel_speed",
+        "structure": "mtree",
+        "query": "knn",
+        "config": {
+            "m": m,
+            "n_queries": n_queries,
+            "k": k,
+            "capacity": capacity,
+            "dims": dims,
+            "repeats": repeats,
+            "smoke": args.smoke,
+        },
+        "results": [],
+    }
+    header = f"{'model':>6} {'n':>4} {'scalar':>10} {'node-batch':>11} {'gram':>10} {'speedup':>8}"
+    print(header)
+    print("-" * len(header))
+    for dim in dims:
+        for model in ("qfd", "qmap"):
+            entry = run_model(
+                model,
+                dim,
+                m=m,
+                n_queries=n_queries,
+                k=k,
+                capacity=capacity,
+                repeats=repeats,
+            )
+            report["results"].append(entry)
+            tiers = entry["tiers"]
+            print(
+                f"{model:>6} {dim:>4} "
+                f"{tiers['scalar']['seconds']:>10.4f} "
+                f"{tiers['node_batched']['seconds']:>11.4f} "
+                f"{tiers['gram_kernel']['seconds']:>10.4f} "
+                f"{entry['speedup_gram_kernel']:>7.1f}x"
+            )
+
+    if args.smoke and args.out is None:
+        print("smoke run: machinery OK, no JSON written")
+        return
+    out = args.out if args.out is not None else DEFAULT_OUT
+    out.write_text(json.dumps(report, indent=2) + "\n")
+    print(f"wrote {out}")
+
+
+if __name__ == "__main__":
+    main()

@@ -105,7 +105,12 @@ class QuadraticFormDistance:
         rows = as_vector_batch(batch, self.dim, name="batch")
         cross = rows @ self._matrix @ rows.T
         norms = np.diag(cross)
-        sq = norms[:, None] + norms[None, :] - 2.0 * cross
+        sq = norms[:, None] + norms[None, :] - (cross + cross.T)
+        # Gram-expansion cancellation can leave tiny negative values (or a
+        # nonzero diagonal); clamp and pin so the metric postulates hold
+        # exactly: d(u, u) == 0 and d >= 0 even for near-singular PD
+        # matrices.
+        np.fill_diagonal(sq, 0.0)
         return np.sqrt(np.maximum(sq, 0.0))
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic

@@ -23,7 +23,7 @@ import numpy as np
 import scipy.linalg
 
 from .._typing import ArrayLike, Matrix, Vector, as_vector, as_vector_batch
-from .cholesky import cholesky
+from ..kernels.cholesky_cache import cached_cholesky
 from .qfd import QuadraticFormDistance
 
 __all__ = ["QMap"]
@@ -53,8 +53,10 @@ class QMap:
         if not isinstance(qfd, QuadraticFormDistance):
             qfd = QuadraticFormDistance(qfd)
         self._qfd = qfd
-        self._b = cholesky(qfd.matrix, check_symmetry=False)
-        self._b.setflags(write=False)
+        # Content-addressed cache: experiment sweeps construct many QMaps
+        # over the same handful of matrices, so the O(n^3) factorization is
+        # paid once per distinct matrix (the factor is already read-only).
+        self._b = cached_cholesky(qfd.matrix)
 
     @property
     def qfd(self) -> QuadraticFormDistance:

@@ -64,7 +64,9 @@ class CountingDistance:
         The underlying distance ``d(u, v) -> float``.
     one_to_many:
         Optional vectorized form ``d1m(q, batch) -> ndarray``; when absent,
-        :meth:`one_to_many` falls back to a Python loop over ``func``.
+        a Gram-expansion kernel resolved from *func* takes its place, and
+        only if neither exists does :meth:`one_to_many` fall back to a
+        Python loop over ``func``.
     """
 
     def __init__(
@@ -74,6 +76,12 @@ class CountingDistance:
         one_to_many: Callable[[np.ndarray, np.ndarray], np.ndarray] | None = None,
     ) -> None:
         self._func = func
+        if one_to_many is None:
+            from ..kernels.kernels import resolve_kernel
+
+            kernel = resolve_kernel(func)
+            if kernel is not None:
+                one_to_many = kernel.one_to_many
         self._one_to_many = one_to_many
         self._calls = 0
         self._batch_rows = 0
@@ -106,14 +114,37 @@ class CountingDistance:
         return np.array([self._func(q, row) for row in rows], dtype=np.float64)
 
     @property
+    def func(self) -> DistanceFunction:
+        """The wrapped scalar distance (uncounted)."""
+        return self._func
+
+    @property
+    def vectorized(self) -> Callable[[np.ndarray, np.ndarray], np.ndarray] | None:
+        """The effective uncounted one-to-many form, if any."""
+        return self._one_to_many
+
+    def add_counts(self, *, calls: int = 0, batch_rows: int = 0) -> None:
+        """Charge evaluations performed outside the wrapper.
+
+        The kernel layer computes distances physically in batches but must
+        charge them according to the *logical* access pattern of the MAM
+        traversal; this is its entry point into the counter.
+        """
+        with self._lock:
+            self._calls += calls
+            self._batch_rows += batch_rows
+
+    @property
     def stats(self) -> DistanceStats:
-        """Current counter snapshot."""
-        return DistanceStats(calls=self._calls, batch_rows=self._batch_rows)
+        """Current counter snapshot (consistent: both fields read atomically)."""
+        with self._lock:
+            return DistanceStats(calls=self._calls, batch_rows=self._batch_rows)
 
     @property
     def count(self) -> int:
         """Total logical distance computations so far."""
-        return self._calls + self._batch_rows
+        with self._lock:
+            return self._calls + self._batch_rows
 
     def reset(self) -> DistanceStats:
         """Zero the counters, returning the snapshot from before the reset."""

@@ -259,6 +259,26 @@ class TracingPort:
             trace.batched_evaluations += int(out.shape[0])
         return out
 
+    def bind_query(self, query, data=None):  # noqa: ANN001
+        """Bound queries charge the active trace themselves — just forward."""
+        return self._inner.bind_query(query, data)
+
+    def charge(self, *, calls: int = 0, rows: int = 0) -> None:
+        return self._inner.charge(calls=calls, rows=rows)
+
+    def pairwise(self, rows, *, charge: bool = True):  # noqa: ANN001
+        return self._inner.pairwise(rows, charge=charge)
+
+    def cross(self, rows_a, rows_b, *, charge: bool = True):  # noqa: ANN001
+        return self._inner.cross(rows_a, rows_b, charge=charge)
+
+    def attach_database(self, data) -> None:  # noqa: ANN001
+        self._inner.attach_database(data)
+
+    @property
+    def kernel(self):  # noqa: ANN001
+        return self._inner.kernel
+
     @property
     def raw(self):  # noqa: ANN001
         return self._inner.raw

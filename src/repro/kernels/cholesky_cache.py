@@ -1,0 +1,77 @@
+"""Process-wide cache of Cholesky factors keyed by matrix content.
+
+The QMap model refactorizes ``A = B B^T`` every time a :class:`QMap` is
+constructed, yet an experiment sweep builds dozens of models over the *same*
+handful of matrices.  Factorization is O(n^3); hashing the matrix bytes is
+O(n^2) — so a content-addressed cache turns every repeat construction into
+a lookup.  Factors are returned read-only and shared between callers.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import threading
+from collections import OrderedDict
+
+import numpy as np
+
+__all__ = ["cached_cholesky", "clear_cholesky_cache", "cholesky_cache_info"]
+
+_MAX_ENTRIES = 32
+
+_lock = threading.Lock()
+_cache: OrderedDict[tuple, np.ndarray] = OrderedDict()
+_hits = 0
+_misses = 0
+
+
+def _key(matrix: np.ndarray) -> tuple:
+    contiguous = np.ascontiguousarray(matrix, dtype=np.float64)
+    digest = hashlib.sha1(contiguous.tobytes()).hexdigest()
+    return (contiguous.shape, digest)
+
+
+def cached_cholesky(matrix: np.ndarray) -> np.ndarray:
+    """Lower-triangular factor ``B`` with ``A = B B^T``, cached by content.
+
+    The returned array is read-only; callers needing a private mutable copy
+    must copy it themselves.
+    """
+    global _hits, _misses
+    key = _key(matrix)
+    with _lock:
+        factor = _cache.get(key)
+        if factor is not None:
+            _cache.move_to_end(key)
+            _hits += 1
+            return factor
+    # Factor outside the lock: O(n^3) work must not serialize other threads.
+    from ..core.cholesky import cholesky
+
+    factor = cholesky(matrix, check_symmetry=False)
+    factor.setflags(write=False)
+    with _lock:
+        existing = _cache.get(key)
+        if existing is not None:
+            _hits += 1
+            return existing
+        _misses += 1
+        _cache[key] = factor
+        while len(_cache) > _MAX_ENTRIES:
+            _cache.popitem(last=False)
+    return factor
+
+
+def clear_cholesky_cache() -> None:
+    """Drop every cached factor and reset the hit/miss counters."""
+    global _hits, _misses
+    with _lock:
+        _cache.clear()
+        _hits = 0
+        _misses = 0
+
+
+def cholesky_cache_info() -> dict:
+    """Snapshot of cache occupancy and hit/miss counts (for tests/benchmarks)."""
+    with _lock:
+        return {"entries": len(_cache), "hits": _hits, "misses": _misses}

@@ -30,14 +30,45 @@ from typing import TYPE_CHECKING, Callable, Sequence
 import numpy as np
 
 from .._typing import ArrayLike, as_vector, as_vector_batch
-from ..engine.trace import activate_trace
+from ..distances.base import CountingDistance
+from ..engine.trace import activate_trace, current_trace
 from ..exceptions import EmptyIndexError, IndexStateError, QueryError
 
 if TYPE_CHECKING:
     from ..engine.batch import BatchExecutor
     from ..engine.trace import QueryTrace, TraceCollector
 
-__all__ = ["Neighbor", "DistancePort", "AccessMethod", "neighbors_from_distances"]
+__all__ = [
+    "Neighbor",
+    "DistancePort",
+    "BoundQuery",
+    "AccessMethod",
+    "NodeBatchedSearchMixin",
+    "PRUNE_SLACK_REL",
+    "prune_slack",
+    "neighbors_from_distances",
+]
+
+#: Relative slack for pruning tests that compare kernel-evaluated query
+#: distances against build-stored bounds (covering radii, parent
+#: distances, vantage medians, GNAT ranges).  Those bounds are frequently
+#: *exactly tight* — a covering radius IS some member's build-time
+#: distance — and the batched Gram kernels agree with the build
+#: arithmetic only to the last few ulps, so a self-query (or an exact
+#: duplicate) would otherwise prune the very subtree holding its zero-
+#: distance match.  Slack only ever admits a subtree, never excludes one,
+#: so results stay exact; at 1e-12 relative it changes which nodes are
+#: visited only at bitwise-boundary coincidences, where the pre-kernel
+#: scalar arithmetic visited the node too.
+PRUNE_SLACK_REL = 1e-12
+
+
+def prune_slack(*terms: float) -> float:
+    """Ulp-scale tolerance for a pruning comparison involving *terms*."""
+    total = 0.0
+    for t in terms:
+        total += abs(t)
+    return PRUNE_SLACK_REL * total
 
 
 @dataclass(frozen=True, order=True)
@@ -77,10 +108,28 @@ class DistancePort:
         func: Callable[[np.ndarray, np.ndarray], float],
         *,
         one_to_many: Callable[[np.ndarray, np.ndarray], np.ndarray] | None = None,
+        use_kernel: bool = True,
     ) -> None:
         self._func = func
         bound = getattr(func, "one_to_many", None)
         self._one_to_many = bound if callable(bound) else one_to_many
+        counter = func if isinstance(func, CountingDistance) else None
+        self._counter = counter
+        # Uncounted forms: the kernel layer computes distances physically
+        # in batches and charges the counter by the *logical* access
+        # pattern, so it must never go through the counting wrappers.
+        self._scalar_uncounted = counter.func if counter is not None else func
+        self._vector_uncounted = (
+            counter.vectorized if counter is not None else self._one_to_many
+        )
+        if use_kernel:
+            from ..kernels.kernels import resolve_kernel  # kernels sit below mam
+
+            self._kernel = resolve_kernel(func)
+        else:
+            self._kernel = None
+        self._norms: np.ndarray | None = None
+        self._norms_source: np.ndarray | None = None
 
     def pair(self, u: np.ndarray, v: np.ndarray) -> float:
         """One distance evaluation."""
@@ -98,6 +147,207 @@ class DistancePort:
     def raw(self) -> Callable[[np.ndarray, np.ndarray], float]:
         """The wrapped scalar distance function."""
         return self._func
+
+    @property
+    def kernel(self):
+        """The resolved batched kernel, or ``None``."""
+        return self._kernel
+
+    def charge(self, *, calls: int = 0, rows: int = 0) -> None:
+        """Charge logical evaluations computed outside the counted paths.
+
+        Forwards to the wrapped :class:`CountingDistance` (if any) and the
+        thread's active :class:`~repro.engine.trace.QueryTrace`, keeping
+        the scalar/batched split intact.
+        """
+        if self._counter is not None and (calls or rows):
+            self._counter.add_counts(calls=calls, batch_rows=rows)
+        trace = current_trace()
+        if trace is not None:
+            trace.scalar_evaluations += calls
+            trace.batched_evaluations += rows
+
+    def attach_database(self, data: np.ndarray) -> None:
+        """Precompute and cache the per-row norms for *data* (build time)."""
+        self._norms_for(data)
+
+    def _norms_for(self, data: np.ndarray) -> np.ndarray | None:
+        """Cached kernel row norms for *data* (recomputed if the array changed).
+
+        Identity-keyed: dynamic inserts replace the database array, which
+        invalidates the cache wholesale — one cheap matrix product rebuilds
+        it on the next bound query.
+        """
+        if self._kernel is None:
+            return None
+        if data is not self._norms_source:
+            norms = self._kernel.row_norms(data)
+            norms.setflags(write=False)
+            self._norms = norms
+            self._norms_source = data
+        return self._norms
+
+    def bind_query(self, query: np.ndarray, data: np.ndarray | None = None) -> "BoundQuery":
+        """Bind *query* into a :class:`BoundQuery` evaluation context.
+
+        With a kernel, this precomputes the per-query Gram terms (``qA``,
+        ``qAq^T``) once; *data* enables the cached per-row norms so each
+        candidate distance afterwards is O(n).
+        """
+        norms = self._norms_for(data) if data is not None else None
+        ctx = self._kernel.bind(query) if self._kernel is not None else None
+        return BoundQuery(self, query, ctx, norms)
+
+    def pairwise(self, rows: np.ndarray, *, charge: bool = True) -> np.ndarray:
+        """Symmetric distance matrix over *rows* (zero diagonal).
+
+        Charges ``n(n-1)/2`` batched rows — the logical cost of evaluating
+        each unordered pair once, exactly what the suffix one-to-many loops
+        it replaces used to charge.  Pass ``charge=False`` when the caller
+        replays a different logical pattern and charges it explicitly.
+        """
+        n = rows.shape[0]
+        if self._kernel is not None:
+            out = self._kernel.pairwise(rows)
+        else:
+            out = np.zeros((n, n), dtype=np.float64)
+            if self._vector_uncounted is not None:
+                for i in range(n - 1):
+                    d = np.asarray(
+                        self._vector_uncounted(rows[i], rows[i + 1 :]), dtype=np.float64
+                    )
+                    out[i, i + 1 :] = d
+                    out[i + 1 :, i] = d
+            else:
+                for i in range(n - 1):
+                    for j in range(i + 1, n):
+                        d = float(self._scalar_uncounted(rows[i], rows[j]))
+                        out[i, j] = d
+                        out[j, i] = d
+        if charge:
+            self.charge(rows=n * (n - 1) // 2)
+        return out
+
+    def cross(
+        self, rows_a: np.ndarray, rows_b: np.ndarray, *, charge: bool = True
+    ) -> np.ndarray:
+        """``(len(a), len(b))`` distance matrix between two row batches.
+
+        Charges ``len(a) * len(b)`` batched rows unless ``charge=False``.
+        """
+        if self._kernel is not None:
+            out = self._kernel.cross(rows_a, rows_b)
+        elif self._vector_uncounted is not None:
+            out = np.stack(
+                [
+                    np.asarray(self._vector_uncounted(row, rows_b), dtype=np.float64)
+                    for row in rows_a
+                ]
+            )
+        else:
+            out = np.array(
+                [
+                    [float(self._scalar_uncounted(a, b)) for b in rows_b]
+                    for a in rows_a
+                ],
+                dtype=np.float64,
+            )
+        if charge:
+            self.charge(rows=rows_a.shape[0] * rows_b.shape[0])
+        return out
+
+
+class BoundQuery:
+    """One query bound to a :class:`DistancePort` for repeated evaluation.
+
+    Holds the per-query kernel context (``qA``/``qAq^T`` for QFD) and the
+    database's cached row norms, so every candidate evaluation during a
+    traversal is O(n).  Physical evaluation is batched; *charging* follows
+    the traversal's logical access pattern through the explicit ``charge``
+    arguments — ``"calls"`` for loops that used to make per-entry scalar
+    calls, ``"rows"`` for sites that were already one-to-many batches, and
+    ``None`` for speculative evaluation the caller replays and charges
+    itself.  This is what keeps the paper's distance counts bit-identical
+    under the kernel rewrite.
+    """
+
+    __slots__ = ("_port", "_query", "_ctx", "_norms")
+
+    def __init__(
+        self,
+        port: DistancePort,
+        query: np.ndarray,
+        ctx,
+        norms: np.ndarray | None,
+    ) -> None:
+        self._port = port
+        self._query = query
+        self._ctx = ctx
+        self._norms = norms
+
+    @property
+    def query(self) -> np.ndarray:
+        """The bound query vector."""
+        return self._query
+
+    def charge_calls(self, n: int) -> None:
+        """Charge *n* logical scalar evaluations (replayed loops)."""
+        if n:
+            self._port.charge(calls=n)
+
+    def charge_rows(self, n: int) -> None:
+        """Charge *n* logical batched-row evaluations (replayed batches)."""
+        if n:
+            self._port.charge(rows=n)
+
+    def compute_many(
+        self, rows: np.ndarray, indices: np.ndarray | Sequence[int] | None = None
+    ) -> np.ndarray:
+        """Physically evaluate query-to-rows distances without charging.
+
+        *indices* are the rows' database indices; when every index is valid
+        the cached row norms are used (the O(n)-per-candidate hot path).
+        """
+        if rows.shape[0] == 0:
+            return np.empty(0, dtype=np.float64)
+        if self._ctx is not None:
+            norms = None
+            if self._norms is not None and indices is not None:
+                idx = np.asarray(indices, dtype=np.intp)
+                if idx.size == 0 or idx.min() >= 0:
+                    norms = self._norms[idx]
+            return self._ctx.many(rows, norms)
+        vector = self._port._vector_uncounted
+        if vector is not None:
+            return np.asarray(vector(self._query, rows), dtype=np.float64)
+        scalar = self._port._scalar_uncounted
+        return np.array([scalar(self._query, row) for row in rows], dtype=np.float64)
+
+    def many(
+        self,
+        rows: np.ndarray,
+        indices: np.ndarray | Sequence[int] | None = None,
+        *,
+        charge: str | None = "rows",
+    ) -> np.ndarray:
+        """Query-to-rows distances, charged per *charge* category."""
+        out = self.compute_many(rows, indices)
+        n = int(out.shape[0])
+        if n and charge == "rows":
+            self._port.charge(rows=n)
+        elif n and charge == "calls":
+            self._port.charge(calls=n)
+        return out
+
+    def one(self, row: np.ndarray, index: int | None = None) -> float:
+        """One query-to-row distance, charged as a scalar call."""
+        self._port.charge(calls=1)
+        if self._ctx is not None:
+            norm = None
+            if self._norms is not None and index is not None and index >= 0:
+                norm = float(self._norms[index])
+            return self._ctx.one(row, norm)
+        return float(self._port._scalar_uncounted(self._query, row))
 
 
 def neighbors_from_distances(
@@ -129,6 +379,9 @@ class AccessMethod(ABC):
             raise EmptyIndexError("cannot build an index over an empty database")
         self._data = data
         self._port = distance if isinstance(distance, DistancePort) else DistancePort(distance)
+        # Row norms (vAv^T) for the whole store, computed once at build
+        # time; bound queries reuse them for O(n)-per-candidate evaluation.
+        self._port.attach_database(self._data)
 
     @property
     def database(self) -> np.ndarray:
@@ -319,6 +572,77 @@ class AccessMethod(ABC):
     @abstractmethod
     def _knn_search(self, query: np.ndarray, k: int) -> list[Neighbor]:
         """Subclass hook; may return results unsorted."""
+
+
+class NodeBatchedSearchMixin:
+    """Search plumbing for tree MAMs whose traversals use :class:`BoundQuery`.
+
+    Subclasses implement ``_range_impl(bound, radius)`` and
+    ``_knn_impl(bound, k)`` over a bound query; this mixin supplies the
+    single-query hooks and *real* chunk hooks for the batch engine: every
+    query of a chunk is bound up front, so the per-database row-norm cache
+    is synchronized once and each query pays only its own ``qA`` setup.
+    """
+
+    def _range_search(self, query: np.ndarray, radius: float) -> list[Neighbor]:
+        bound = self._port.bind_query(query, self._data)
+        return self._range_impl(bound, radius)
+
+    def _knn_search(self, query: np.ndarray, k: int) -> list[Neighbor]:
+        bound = self._port.bind_query(query, self._data)
+        return self._knn_impl(bound, k)
+
+    def _range_impl(self, bound: BoundQuery, radius: float) -> list[Neighbor]:
+        raise NotImplementedError
+
+    def _knn_impl(self, bound: BoundQuery, k: int) -> list[Neighbor]:
+        raise NotImplementedError
+
+    def _range_search_batch(
+        self,
+        queries: np.ndarray,
+        radius: float,
+        traces: "list[QueryTrace] | None" = None,
+    ) -> list[list[Neighbor]]:
+        bounds = [
+            self._port.bind_query(queries[pos], self._data)
+            for pos in range(queries.shape[0])
+        ]
+        out: list[list[Neighbor]] = []
+        for pos, bound in enumerate(bounds):
+            trace = traces[pos] if traces is not None else None
+            start = perf_counter()
+            with activate_trace(trace):
+                result = self._range_impl(bound, radius)
+            result.sort()
+            if trace is not None:
+                trace.seconds += perf_counter() - start
+                trace.results = len(result)
+            out.append(result)
+        return out
+
+    def _knn_search_batch(
+        self,
+        queries: np.ndarray,
+        k: int,
+        traces: "list[QueryTrace] | None" = None,
+    ) -> list[list[Neighbor]]:
+        bounds = [
+            self._port.bind_query(queries[pos], self._data)
+            for pos in range(queries.shape[0])
+        ]
+        out: list[list[Neighbor]] = []
+        for pos, bound in enumerate(bounds):
+            trace = traces[pos] if traces is not None else None
+            start = perf_counter()
+            with activate_trace(trace):
+                result = self._knn_impl(bound, k)
+            result.sort()
+            if trace is not None:
+                trace.seconds += perf_counter() - start
+                trace.results = len(result)
+            out.append(result)
+        return out
 
 
 class _KnnHeap:

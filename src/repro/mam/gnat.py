@@ -21,7 +21,15 @@ import numpy as np
 
 from .._typing import ArrayLike
 from ..exceptions import QueryError
-from .base import AccessMethod, DistancePort, Neighbor, _KnnHeap
+from .base import (
+    PRUNE_SLACK_REL,
+    AccessMethod,
+    BoundQuery,
+    DistancePort,
+    Neighbor,
+    NodeBatchedSearchMixin,
+    _KnnHeap,
+)
 
 __all__ = ["GNAT"]
 
@@ -37,7 +45,7 @@ class _GnatNode:
         self.bucket: list[int] | None = None
 
 
-class GNAT(AccessMethod):
+class GNAT(NodeBatchedSearchMixin, AccessMethod):
     """Geometric near-neighbor access tree.
 
     Parameters
@@ -146,32 +154,43 @@ class GNAT(AccessMethod):
             node = node.children[owner]
         node.bucket.append(index)
 
-    def _range_search(self, query: np.ndarray, radius: float) -> list[Neighbor]:
+    def _range_impl(self, bound: BoundQuery, radius: float) -> list[Neighbor]:
         out: list[Neighbor] = []
         stack = [self._root]
         while stack:
             node = stack.pop()
             if node.bucket is not None:
-                dists = self._port.many(query, self._data[node.bucket])
+                dists = bound.many(self._data[node.bucket], node.bucket)
                 for idx, dist in zip(node.bucket, dists):
                     if dist <= radius:
                         out.append(Neighbor(float(dist), int(idx)))
                 continue
+            # Every split point is evaluated: splits are themselves
+            # potential results, so an all-dead alive vector must not
+            # suppress later split reports (stopping early could silently
+            # drop a split lying inside the query ball).  One batch,
+            # charged as per-split scalar calls, like the kNN loop.
+            splits = node.split_indices
+            split_dists = bound.many(self._data[splits], splits, charge="calls")
             alive = np.ones(len(node.children), dtype=bool)
-            for i, split in enumerate(node.split_indices):
-                if not alive.any():
-                    break
-                d = self._port.pair(query, self._data[split])
+            for i, split in enumerate(splits):
+                d = float(split_dists[i])
                 if d <= radius:
-                    out.append(Neighbor(float(d), int(split)))
+                    out.append(Neighbor(d, int(split)))
                 lows = node.ranges[i, :, 0]  # type: ignore[index]
                 highs = node.ranges[i, :, 1]  # type: ignore[index]
-                alive &= (d - radius <= highs) & (d + radius >= lows)
+                # Ranges are member min/max distances — exactly tight — so
+                # the intersection test gets an ulp-scale slack.  Empty
+                # groups carry (inf, -inf); keep their slack finite so the
+                # comparisons stay inf-arithmetic, not nan.
+                span = np.where(np.isfinite(highs), np.abs(lows) + np.abs(highs), 0.0)
+                slack = PRUNE_SLACK_REL * (abs(d) + span)
+                alive &= (d - radius <= highs + slack) & (d + radius >= lows - slack)
             for j in np.flatnonzero(alive):
                 stack.append(node.children[j])
         return out
 
-    def _knn_search(self, query: np.ndarray, k: int) -> list[Neighbor]:
+    def _knn_impl(self, bound: BoundQuery, k: int) -> list[Neighbor]:
         heap = _KnnHeap(k)
         counter = itertools.count()
         queue: list[tuple[float, int, _GnatNode]] = [(0.0, next(counter), self._root)]
@@ -180,18 +199,25 @@ class GNAT(AccessMethod):
             if dmin > heap.radius:
                 break
             if node.bucket is not None:
-                dists = self._port.many(query, self._data[node.bucket])
+                dists = bound.many(self._data[node.bucket], node.bucket)
                 for idx, dist in zip(node.bucket, dists):
                     heap.offer(float(dist), int(idx))
                 continue
+            # Unlike the range filter, this loop never stops early (the
+            # pruning radius is only read after it), so every split point
+            # is evaluated: one batch, charged as per-split scalar calls.
+            splits = node.split_indices
+            split_dists = bound.many(self._data[splits], splits, charge="calls")
             arity = len(node.children)
             lower = np.zeros(arity, dtype=np.float64)
-            for i, split in enumerate(node.split_indices):
-                d = self._port.pair(query, self._data[split])
-                heap.offer(float(d), int(split))
+            for i, split in enumerate(splits):
+                d = float(split_dists[i])
+                heap.offer(d, int(split))
                 lows = node.ranges[i, :, 0]  # type: ignore[index]
                 highs = node.ranges[i, :, 1]  # type: ignore[index]
-                lower = np.maximum(lower, np.maximum(lows - d, d - highs))
+                span = np.where(np.isfinite(highs), np.abs(lows) + np.abs(highs), 0.0)
+                slack = PRUNE_SLACK_REL * (abs(d) + span)
+                lower = np.maximum(lower, np.maximum(lows - d, d - highs) - slack)
             tau = heap.radius
             for j in range(arity):
                 child_dmin = max(float(lower[j]), 0.0)

@@ -25,13 +25,19 @@ import numpy as np
 
 from .._typing import ArrayLike
 from ..exceptions import QueryError
-from .base import AccessMethod, DistancePort, Neighbor
+from .base import (
+    AccessMethod,
+    BoundQuery,
+    DistancePort,
+    Neighbor,
+    NodeBatchedSearchMixin,
+)
 from .pivots import select_pivots
 
 __all__ = ["MIndex"]
 
 
-class MIndex(AccessMethod):
+class MIndex(NodeBatchedSearchMixin, AccessMethod):
     """Single-level M-index over a black-box metric.
 
     Parameters
@@ -131,20 +137,31 @@ class MIndex(AccessMethod):
             return np.empty(0, dtype=np.int64)
         return np.concatenate(out)
 
-    def _range_search(self, query: np.ndarray, radius: float) -> list[Neighbor]:
-        query_vector = self._port.many(query, self._pivot_rows)
+    def _query_to_pivots(self, bound: BoundQuery) -> np.ndarray:
+        """Query-to-pivot distances, arithmetic-identical to the table.
+
+        The interval scan compares these against build-time keys with exact
+        ``searchsorted`` arithmetic (a radius-0 query needs bitwise
+        equality), so they must come from the same evaluation path that
+        built ``self._table`` — ``port.many`` — not the kernel query
+        context used for candidate refinement.
+        """
+        return self._port.many(bound.query, self._pivot_rows)
+
+    def _range_impl(self, bound: BoundQuery, radius: float) -> list[Neighbor]:
+        query_vector = self._query_to_pivots(bound)
         candidates = self._candidates(query_vector, radius)
         result: list[Neighbor] = []
         if candidates.size == 0:
             return result
-        distances = self._port.many(query, self._data[candidates])
+        distances = bound.many(self._data[candidates], candidates)
         for idx, dist in zip(candidates, distances):
             if dist <= radius:
                 result.append(Neighbor(float(dist), int(idx)))
         return result
 
-    def _knn_search(self, query: np.ndarray, k: int) -> list[Neighbor]:
-        query_vector = self._port.many(query, self._pivot_rows)
+    def _knn_impl(self, bound: BoundQuery, k: int) -> list[Neighbor]:
+        query_vector = self._query_to_pivots(bound)
         # Initial radius guess: the key gap around the query in its nearest
         # cluster — cheap and usually within one growth step of the answer.
         radius = max(float(query_vector.min(initial=1.0)), 1e-12)
@@ -153,7 +170,7 @@ class MIndex(AccessMethod):
             candidates = self._candidates(query_vector, radius)
             fresh = [int(i) for i in candidates if int(i) not in seen]
             if fresh:
-                distances = self._port.many(query, self._data[fresh])
+                distances = bound.many(self._data[fresh], fresh)
                 for idx, dist in zip(fresh, distances):
                     seen[idx] = float(dist)
             ranked = sorted((d, i) for i, d in seen.items())

@@ -35,7 +35,15 @@ import numpy as np
 
 from .._typing import ArrayLike
 from ..exceptions import QueryError
-from .base import AccessMethod, DistancePort, Neighbor, _KnnHeap
+from .base import (
+    AccessMethod,
+    BoundQuery,
+    DistancePort,
+    Neighbor,
+    NodeBatchedSearchMixin,
+    _KnnHeap,
+    prune_slack,
+)
 
 __all__ = ["MTree", "SPLIT_POLICIES"]
 
@@ -77,7 +85,7 @@ class _Node:
         self.is_leaf = is_leaf
 
 
-class MTree(AccessMethod):
+class MTree(NodeBatchedSearchMixin, AccessMethod):
     """In-memory M-tree over a black-box metric.
 
     Parameters
@@ -127,7 +135,7 @@ class MTree(AccessMethod):
         self._epsilon = epsilon
         self._rng = np.random.default_rng(0) if rng is None else rng
         if bulk_load:
-            self._root, _, _ = self._bulk_build(list(range(self.size)))
+            self._root, _, _, _ = self._bulk_build(list(range(self.size)))
         else:
             self._root = _Node(is_leaf=True)
             for i, row in enumerate(self._data):
@@ -137,39 +145,42 @@ class MTree(AccessMethod):
     # bulk loading (Ciaccia & Patella style, simplified)
     # ------------------------------------------------------------------
 
-    def _medoid(self, rows: np.ndarray) -> int:
-        """Position of the row minimizing the maximum distance to the rest."""
-        best_pos, best_score = 0, float("inf")
-        for pos in range(rows.shape[0]):
-            score = float(self._port.many(rows[pos], rows).max(initial=0.0))
-            if score < best_score:
-                best_pos, best_score = pos, score
-        return best_pos
+    def _medoid_distances(self, rows: np.ndarray) -> tuple[int, np.ndarray]:
+        """Medoid position plus its distances to every row.
 
-    def _bulk_build(self, indices: list[int]) -> tuple[_Node, np.ndarray, float]:
+        One physical pairwise matrix replaces the per-candidate loop; the
+        charge replays the loop's logical pattern exactly — ``n`` rows per
+        scored candidate (``n^2``) plus ``n`` for re-evaluating the winner.
+        """
+        n = rows.shape[0]
+        matrix = self._port.pairwise(rows, charge=False)
+        medoid = int(np.argmin(matrix.max(axis=1, initial=0.0)))
+        self._port.charge(rows=n * n + n)
+        return medoid, matrix[medoid]
+
+    def _bulk_build(self, indices: list[int]) -> tuple[_Node, np.ndarray, float, int]:
         """Recursive bulk build.
 
-        Returns ``(node, routing_vector, covering_radius)`` for the built
-        subtree.  Seeds are sampled, objects are clustered to their nearest
-        seed, and subtrees are built per cluster — the classic recipe,
-        trading strict height balance (which search correctness never
-        needed) for tight clusters from the start.
+        Returns ``(node, routing_vector, covering_radius, routing_index)``
+        for the built subtree.  Seeds are sampled, objects are clustered to
+        their nearest seed, and subtrees are built per cluster — the
+        classic recipe, trading strict height balance (which search
+        correctness never needed) for tight clusters from the start.
         """
         rows = self._data[indices]
         if len(indices) <= self._capacity:
             node = _Node(is_leaf=True)
-            medoid = self._medoid(rows)
-            dists = self._port.many(rows[medoid], rows)
+            medoid, dists = self._medoid_distances(rows)
             for pos, obj in enumerate(indices):
                 node.entries.append(
                     _Entry(self._data[obj], index=obj, dist_to_parent=float(dists[pos]))
                 )
-            return node, rows[medoid], float(dists.max(initial=0.0))
+            return node, rows[medoid], float(dists.max(initial=0.0)), indices[medoid]
 
         n_seeds = min(self._capacity, len(indices))
         seed_positions = self._rng.choice(len(indices), size=n_seeds, replace=False)
         seed_rows = rows[seed_positions]
-        dist_matrix = np.array([self._port.many(s, rows) for s in seed_rows])
+        dist_matrix = self._port.cross(seed_rows, rows)
         owner = np.argmin(dist_matrix, axis=0)
         # Coincident seeds can dump every object into one cluster — no
         # progress, infinite recursion.  Chunk arbitrarily instead: with
@@ -181,43 +192,45 @@ class MTree(AccessMethod):
                 for start in range(0, len(indices), self._capacity)
             ]
             node = _Node(is_leaf=False)
-            child_info = []
+            child_indices = []
             for chunk in chunks:
-                child, routing_vec, radius = self._bulk_build(chunk)
-                child_info.append((child, routing_vec, radius))
-                node.entries.append(_Entry(routing_vec, radius=radius, subtree=child))
-            routing_rows = np.array([vec for _, vec, _ in child_info])
-            medoid = self._medoid(routing_rows)
-            dists = self._port.many(routing_rows[medoid], routing_rows)
+                child, routing_vec, radius, routing_idx = self._bulk_build(chunk)
+                child_indices.append(routing_idx)
+                node.entries.append(
+                    _Entry(routing_vec, index=routing_idx, radius=radius, subtree=child)
+                )
+            routing_rows = np.array([e.vector for e in node.entries])
+            medoid, dists = self._medoid_distances(routing_rows)
             radius = 0.0
             for entry, dist in zip(node.entries, dists):
                 entry.dist_to_parent = float(dist)
                 radius = max(radius, float(dist) + entry.radius)
-            return node, routing_rows[medoid], radius
+            return node, routing_rows[medoid], radius, child_indices[medoid]
         # Every seed owns at least itself, but a cluster can still collapse
         # when seeds coincide; drop empty groups.
         node = _Node(is_leaf=False)
-        child_info = []
+        child_indices = []
         for group_id in range(n_seeds):
             members = [indices[pos] for pos in np.flatnonzero(owner == group_id)]
             if not members:
                 continue
-            child, routing_vec, radius = self._bulk_build(members)
-            child_info.append((child, routing_vec, radius))
-            node.entries.append(_Entry(routing_vec, radius=radius, subtree=child))
+            child, routing_vec, radius, routing_idx = self._bulk_build(members)
+            child_indices.append(routing_idx)
+            node.entries.append(
+                _Entry(routing_vec, index=routing_idx, radius=radius, subtree=child)
+            )
         if len(node.entries) == 1:
             # Degenerate clustering (all seeds equal): fall back to the
             # only child as this subtree.
             only = node.entries[0]
-            return only.subtree, only.vector, only.radius  # type: ignore[return-value]
-        routing_rows = np.array([vec for _, vec, _ in child_info])
-        medoid = self._medoid(routing_rows)
-        dists = self._port.many(routing_rows[medoid], routing_rows)
+            return only.subtree, only.vector, only.radius, only.index  # type: ignore[return-value]
+        routing_rows = np.array([e.vector for e in node.entries])
+        medoid, dists = self._medoid_distances(routing_rows)
         radius = 0.0
         for entry, dist in zip(node.entries, dists):
             entry.dist_to_parent = float(dist)
             radius = max(radius, float(dist) + entry.radius)
-        return node, routing_rows[medoid], radius
+        return node, routing_rows[medoid], radius, child_indices[medoid]
 
     # ------------------------------------------------------------------
     # construction
@@ -269,8 +282,18 @@ class MTree(AccessMethod):
         node1.entries = group1
         node2 = _Node(node.is_leaf)
         node2.entries = group2
-        routing1 = _Entry(entries[first].vector, radius=radius1, subtree=node1)
-        routing2 = _Entry(entries[second].vector, radius=radius2, subtree=node2)
+        routing1 = _Entry(
+            entries[first].vector,
+            index=entries[first].index,
+            radius=radius1,
+            subtree=node1,
+        )
+        routing2 = _Entry(
+            entries[second].vector,
+            index=entries[second].index,
+            radius=radius2,
+            subtree=node2,
+        )
 
         if not path:
             new_root = _Node(is_leaf=False)
@@ -289,14 +312,8 @@ class MTree(AccessMethod):
 
     def _pairwise_matrix(self, entries: list[_Entry]) -> np.ndarray:
         """Symmetric distance matrix over the entry vectors (charged once)."""
-        n = len(entries)
         rows = np.array([e.vector for e in entries])
-        out = np.zeros((n, n), dtype=np.float64)
-        for i in range(n - 1):
-            d = self._port.many(rows[i], rows[i + 1 :])
-            out[i, i + 1 :] = d
-            out[i + 1 :, i] = d
-        return out
+        return self._port.pairwise(rows)
 
     def _promote(self, entries: list[_Entry], pairwise: np.ndarray) -> tuple[int, int]:
         """Choose the two entries to promote as new routing objects."""
@@ -365,34 +382,50 @@ class MTree(AccessMethod):
     # queries
     # ------------------------------------------------------------------
 
-    def _range_search(self, query: np.ndarray, radius: float) -> list[Neighbor]:
+    def _range_impl(self, bound: BoundQuery, radius: float) -> list[Neighbor]:
         out: list[Neighbor] = []
-        self._range_node(self._root, query, radius, None, out)
+        self._range_node(self._root, bound, radius, None, out)
         return out
 
     def _range_node(
         self,
         node: _Node,
-        query: np.ndarray,
+        bound: BoundQuery,
         radius: float,
         d_query_parent: float | None,
         out: list[Neighbor],
     ) -> None:
-        for entry in node.entries:
-            # Distance-to-parent pruning: triangle inequality gives
-            # |d(q, parent) - d(o, parent)| <= d(q, o); if even that lower
-            # bound exceeds the region, skip without computing d(q, o).
-            if d_query_parent is not None:
-                if abs(d_query_parent - entry.dist_to_parent) > radius + entry.radius:
-                    continue
-            dist = self._port.pair(query, entry.vector)
+        # Distance-to-parent pruning: triangle inequality gives
+        # |d(q, parent) - d(o, parent)| <= d(q, o); if even that lower
+        # bound exceeds the region, skip without computing d(q, o).  The
+        # bound depends on nothing computed inside this node, so the whole
+        # surviving slice is evaluated with one batched call — charged as
+        # one logical scalar call per entry, like the loop it replaces.
+        # Stored bounds (dist_to_parent, covering radii) are often exactly
+        # tight, so prune tests against them get an ulp-scale slack.
+        if d_query_parent is None:
+            alive = node.entries
+        else:
+            alive = [
+                e
+                for e in node.entries
+                if abs(d_query_parent - e.dist_to_parent)
+                - prune_slack(d_query_parent, e.dist_to_parent)
+                <= radius + e.radius
+            ]
+        if not alive:
+            return
+        rows = np.array([e.vector for e in alive])
+        dists = bound.many(rows, [e.index for e in alive], charge="calls")
+        for pos, entry in enumerate(alive):
+            dist = float(dists[pos])
             if node.is_leaf:
                 if dist <= radius:
-                    out.append(Neighbor(float(dist), entry.index))
-            elif dist <= radius + entry.radius:
-                self._range_node(entry.subtree, query, radius, dist, out)
+                    out.append(Neighbor(dist, entry.index))
+            elif dist - prune_slack(dist, entry.radius) <= radius + entry.radius:
+                self._range_node(entry.subtree, bound, radius, dist, out)
 
-    def _knn_search(self, query: np.ndarray, k: int) -> list[Neighbor]:
+    def _knn_impl(self, bound: BoundQuery, k: int) -> list[Neighbor]:
         heap = _KnnHeap(k)
         # Best-first queue of (dmin, tiebreak, node, d(query, routing)).
         # With epsilon > 0 the effective pruning radius shrinks to
@@ -407,19 +440,53 @@ class MTree(AccessMethod):
             dmin, _, node, d_query_parent = heapq.heappop(queue)
             if dmin > heap.radius / relax:
                 break
-            for entry in node.entries:
-                if d_query_parent is not None:
-                    lower = abs(d_query_parent - entry.dist_to_parent) - entry.radius
-                    if lower > heap.radius / relax:
-                        continue
-                dist = self._port.pair(query, entry.vector)
-                if node.is_leaf:
-                    heap.offer(float(dist), entry.index)
+            if node.is_leaf:
+                # Leaf offers shrink the pruning radius mid-loop, so the
+                # skip test is replayed sequentially; distances are still
+                # computed in one uncharged batch and each consumed entry
+                # is charged as the scalar call the old loop made.
+                entries = node.entries
+                rows = np.array([e.vector for e in entries])
+                dists = bound.compute_many(rows, [e.index for e in entries])
+                for pos, entry in enumerate(entries):
+                    if d_query_parent is not None:
+                        lower = (
+                            abs(d_query_parent - entry.dist_to_parent)
+                            - entry.radius
+                            - prune_slack(d_query_parent, entry.dist_to_parent)
+                        )
+                        if lower > heap.radius / relax:
+                            continue
+                    bound.charge_calls(1)
+                    heap.offer(float(dists[pos]), entry.index)
+            else:
+                # No offers happen while scanning an internal node, so the
+                # pruning radius is constant: the survivor set is known up
+                # front and evaluated in one batch.
+                cutoff = heap.radius / relax
+                if d_query_parent is None:
+                    alive = node.entries
                 else:
-                    child_dmin = max(float(dist) - entry.radius, 0.0)
-                    if child_dmin <= heap.radius / relax:
+                    alive = [
+                        e
+                        for e in node.entries
+                        if abs(d_query_parent - e.dist_to_parent)
+                        - e.radius
+                        - prune_slack(d_query_parent, e.dist_to_parent)
+                        <= cutoff
+                    ]
+                if not alive:
+                    continue
+                rows = np.array([e.vector for e in alive])
+                dists = bound.many(rows, [e.index for e in alive], charge="calls")
+                for pos, entry in enumerate(alive):
+                    dist = float(dists[pos])
+                    child_dmin = max(
+                        dist - entry.radius - prune_slack(dist, entry.radius), 0.0
+                    )
+                    if child_dmin <= cutoff:
                         heapq.heappush(
-                            queue, (child_dmin, next(counter), entry.subtree, float(dist))
+                            queue, (child_dmin, next(counter), entry.subtree, dist)
                         )
         return heap.neighbors()
 
@@ -437,6 +504,7 @@ class MTree(AccessMethod):
         from .._typing import as_vector
 
         q = as_vector(query, self.dim, name="query")
+        bound = self._port.bind_query(q, self._data)
         counter = itertools.count()
         # Three item kinds, all keyed by a LOWER BOUND on any object
         # distance reachable through them, so a popped exact object beats
@@ -453,7 +521,10 @@ class MTree(AccessMethod):
                     bound = 0.0
                 else:
                     bound = max(
-                        abs(d_query_routing - entry.dist_to_parent) - entry.radius, 0.0
+                        abs(d_query_routing - entry.dist_to_parent)
+                        - entry.radius
+                        - prune_slack(d_query_routing, entry.dist_to_parent),
+                        0.0,
                     )
                 heapq.heappush(
                     queue, (bound, next(counter), "entry", (entry, node.is_leaf), None)
@@ -466,13 +537,16 @@ class MTree(AccessMethod):
                 yield Neighbor(priority, payload)  # type: ignore[arg-type]
             elif kind == "entry":
                 entry, is_leaf_entry = payload  # type: ignore[misc]
-                dist = self._port.pair(q, entry.vector)
+                dist = bound.one(entry.vector, entry.index)
                 if is_leaf_entry:
                     heapq.heappush(
                         queue, (float(dist), next(counter), "object", entry.index, None)
                     )
                 else:
-                    dmin = max(float(dist) - entry.radius, 0.0)
+                    dmin = max(
+                        float(dist) - entry.radius - prune_slack(dist, entry.radius),
+                        0.0,
+                    )
                     heapq.heappush(
                         queue, (dmin, next(counter), "node", entry.subtree, float(dist))
                     )

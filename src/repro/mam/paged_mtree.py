@@ -37,7 +37,16 @@ from .._typing import ArrayLike
 from ..exceptions import PageError
 from ..storage.cache import LRUPageCache
 from ..storage.pages import PagedFile
-from .base import AccessMethod, DistancePort, Neighbor, _KnnHeap
+from .base import (
+    PRUNE_SLACK_REL,
+    AccessMethod,
+    BoundQuery,
+    DistancePort,
+    Neighbor,
+    NodeBatchedSearchMixin,
+    _KnnHeap,
+    prune_slack,
+)
 from .mtree import MTree, _Node
 
 __all__ = ["PagedMTree"]
@@ -68,7 +77,7 @@ class _PagedNode:
         self.vectors = vectors
 
 
-class PagedMTree(AccessMethod):
+class PagedMTree(NodeBatchedSearchMixin, AccessMethod):
     """M-tree whose nodes live in fixed-size pages behind an LRU cache.
 
     Parameters
@@ -258,11 +267,7 @@ class PagedMTree(AccessMethod):
     ) -> None:
         """mM_RAD split of an overflowing page, propagating upward."""
         n = vectors.shape[0]
-        pairwise = np.zeros((n, n))
-        for i in range(n - 1):
-            d = self._port.many(vectors[i], vectors[i + 1 :])
-            pairwise[i, i + 1 :] = d
-            pairwise[i + 1 :, i] = d
+        pairwise = self._port.pairwise(vectors)
         subtree_radii = np.asarray(radii)
         best_pair, best_score = (0, 1), float("inf")
         for i in range(n):
@@ -311,13 +316,17 @@ class PagedMTree(AccessMethod):
         routing_radii = [radius1, radius2]
         routing_pages = [page_id, page2]
 
+        # Routing entries keep the promoted object's database index so the
+        # kernel layer can look up its cached row norm.
+        routing_indices = [indices[first], indices[second]]
+
         if not path:
             new_root = self._cache.allocate()
             self._write_node(
                 new_root,
                 False,
                 routing_pages,
-                [-1, -1],
+                routing_indices,
                 routing_radii,
                 [0.0, 0.0],
                 routing_vectors,
@@ -339,7 +348,7 @@ class PagedMTree(AccessMethod):
 
         keep = [pos for pos in range(len(parent.indices)) if pos != entry_pos]
         p_children = [parent.children[pos] for pos in keep] + routing_pages
-        p_indices = [parent.indices[pos] for pos in keep] + [-1, -1]
+        p_indices = [parent.indices[pos] for pos in keep] + routing_indices
         p_radii = [float(parent.radii[pos]) for pos in keep] + routing_radii
         p_dparent = [float(parent.dist_to_parent[pos]) for pos in keep] + d_parent_new
         p_vectors = np.vstack([parent.vectors[keep], routing_vectors])
@@ -356,26 +365,44 @@ class PagedMTree(AccessMethod):
     # queries (same algorithms as MTree, over paged nodes)
     # ------------------------------------------------------------------
 
-    def _range_search(self, query: np.ndarray, radius: float) -> list[Neighbor]:
+    def _range_impl(self, bound: BoundQuery, radius: float) -> list[Neighbor]:
         out: list[Neighbor] = []
         stack: list[tuple[int, float | None]] = [(self._root_page, None)]
         while stack:
             page_id, d_query_parent = stack.pop()
             node = self._load(page_id)
-            for pos in range(len(node.indices)):
-                if d_query_parent is not None:
-                    lower = abs(d_query_parent - node.dist_to_parent[pos]) - node.radii[pos]
-                    if lower > radius:
-                        continue
-                dist = self._port.pair(query, node.vectors[pos])
+            n = len(node.indices)
+            # Parent-distance pruning needs nothing computed inside this
+            # node, so the survivors are evaluated with one batched call
+            # (charged one logical scalar call each, like the old loop).
+            if d_query_parent is None:
+                alive = list(range(n))
+            else:
+                # Stored bounds are often exactly tight — same ulp-scale
+                # pruning slack as MTree (vectorized over the page).
+                slack = PRUNE_SLACK_REL * (
+                    abs(d_query_parent) + np.abs(node.dist_to_parent)
+                )
+                lower = np.abs(d_query_parent - node.dist_to_parent) - node.radii - slack
+                alive = [pos for pos in range(n) if lower[pos] <= radius]
+            if not alive:
+                continue
+            dists = bound.many(
+                node.vectors[alive], [node.indices[pos] for pos in alive], charge="calls"
+            )
+            for d, pos in zip(dists, alive):
+                dist = float(d)
                 if node.is_leaf:
                     if dist <= radius:
-                        out.append(Neighbor(float(dist), node.indices[pos]))
-                elif dist <= radius + node.radii[pos]:
-                    stack.append((node.children[pos], float(dist)))
+                        out.append(Neighbor(dist, node.indices[pos]))
+                elif (
+                    dist - prune_slack(dist, node.radii[pos])
+                    <= radius + node.radii[pos]
+                ):
+                    stack.append((node.children[pos], dist))
         return out
 
-    def _knn_search(self, query: np.ndarray, k: int) -> list[Neighbor]:
+    def _knn_impl(self, bound: BoundQuery, k: int) -> list[Neighbor]:
         heap = _KnnHeap(k)
         counter = itertools.count()
         queue: list[tuple[float, int, int, float | None]] = [
@@ -386,20 +413,55 @@ class PagedMTree(AccessMethod):
             if dmin > heap.radius:
                 break
             node = self._load(page_id)
-            for pos in range(len(node.indices)):
-                if d_query_parent is not None:
-                    lower = abs(d_query_parent - node.dist_to_parent[pos]) - node.radii[pos]
-                    if lower > heap.radius:
-                        continue
-                dist = self._port.pair(query, node.vectors[pos])
-                if node.is_leaf:
-                    heap.offer(float(dist), node.indices[pos])
+            n = len(node.indices)
+            if node.is_leaf:
+                # Offers shrink the pruning radius mid-loop: evaluate the
+                # whole page speculatively (uncharged), replay the skip
+                # test sequentially, charge only consumed entries.
+                dists = bound.compute_many(node.vectors, node.indices)
+                for pos in range(n):
+                    if d_query_parent is not None:
+                        lower = (
+                            abs(d_query_parent - node.dist_to_parent[pos])
+                            - node.radii[pos]
+                            - prune_slack(d_query_parent, node.dist_to_parent[pos])
+                        )
+                        if lower > heap.radius:
+                            continue
+                    bound.charge_calls(1)
+                    heap.offer(float(dists[pos]), node.indices[pos])
+            else:
+                # No offers while scanning an internal page — the pruning
+                # radius is constant and the survivor set known up front.
+                cutoff = heap.radius
+                if d_query_parent is None:
+                    alive = list(range(n))
                 else:
-                    child_dmin = max(float(dist) - node.radii[pos], 0.0)
-                    if child_dmin <= heap.radius:
+                    slack = PRUNE_SLACK_REL * (
+                        abs(d_query_parent) + np.abs(node.dist_to_parent)
+                    )
+                    lower = (
+                        np.abs(d_query_parent - node.dist_to_parent)
+                        - node.radii
+                        - slack
+                    )
+                    alive = [pos for pos in range(n) if lower[pos] <= cutoff]
+                if not alive:
+                    continue
+                dists = bound.many(
+                    node.vectors[alive],
+                    [node.indices[pos] for pos in alive],
+                    charge="calls",
+                )
+                for d, pos in zip(dists, alive):
+                    dist = float(d)
+                    child_dmin = max(
+                        dist - node.radii[pos] - prune_slack(dist, node.radii[pos]),
+                        0.0,
+                    )
+                    if child_dmin <= cutoff:
                         heapq.heappush(
-                            queue,
-                            (child_dmin, next(counter), node.children[pos], float(dist)),
+                            queue, (child_dmin, next(counter), node.children[pos], dist)
                         )
         return heap.neighbors()
 

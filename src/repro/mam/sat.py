@@ -25,7 +25,15 @@ from typing import Callable
 import numpy as np
 
 from .._typing import ArrayLike
-from .base import AccessMethod, DistancePort, Neighbor, _KnnHeap
+from .base import (
+    AccessMethod,
+    BoundQuery,
+    DistancePort,
+    Neighbor,
+    NodeBatchedSearchMixin,
+    _KnnHeap,
+    prune_slack,
+)
 
 __all__ = ["SATree"]
 
@@ -39,7 +47,7 @@ class _SatNode:
         self.children: list["_SatNode"] = []
 
 
-class SATree(AccessMethod):
+class SATree(NodeBatchedSearchMixin, AccessMethod):
     """Spatial approximation tree over a black-box metric.
 
     Parameters
@@ -127,7 +135,7 @@ class SATree(AccessMethod):
             node = node.children[best]
         node.children.append(_SatNode(index))
 
-    def _range_search(self, query: np.ndarray, radius: float) -> list[Neighbor]:
+    def _range_impl(self, bound: BoundQuery, radius: float) -> list[Neighbor]:
         out: list[Neighbor] = []
 
         def visit(node: _SatNode, d_node: float) -> None:
@@ -135,26 +143,31 @@ class SATree(AccessMethod):
                 out.append(Neighbor(float(d_node), node.index))
             if not node.children:
                 return
-            child_rows = self._data[[c.index for c in node.children]]
-            d_children = self._port.many(query, child_rows)
+            child_indices = [c.index for c in node.children]
+            d_children = bound.many(self._data[child_indices], child_indices)
             # Hyperplane bound uses the node itself and all its children.
             closest = min(float(d_children.min(initial=np.inf)), d_node)
             for child, d_child in zip(node.children, d_children):
-                if d_child > child.radius + radius:
+                # Covering radii are exactly tight (some member's build
+                # distance), so the prune test gets an ulp-scale slack.
+                if d_child - prune_slack(d_child, child.radius) > child.radius + radius:
                     continue  # covering-radius pruning
                 if self._hyperplane_ok and d_child > closest + 2.0 * radius:
                     continue  # hyperplane pruning
                 visit(child, float(d_child))
 
-        visit(self._root, self._port.pair(query, self._data[self._root.index]))
+        visit(self._root, bound.one(self._data[self._root.index], self._root.index))
         return out
 
-    def _knn_search(self, query: np.ndarray, k: int) -> list[Neighbor]:
+    def _knn_impl(self, bound: BoundQuery, k: int) -> list[Neighbor]:
         heap = _KnnHeap(k)
         counter = itertools.count()
-        d_root = self._port.pair(query, self._data[self._root.index])
+        d_root = bound.one(self._data[self._root.index], self._root.index)
+        root_dmin = max(
+            d_root - self._root.radius - prune_slack(d_root, self._root.radius), 0.0
+        )
         queue: list[tuple[float, int, _SatNode, float]] = [
-            (max(d_root - self._root.radius, 0.0), next(counter), self._root, d_root)
+            (root_dmin, next(counter), self._root, d_root)
         ]
         while queue:
             dmin, _, node, d_node = heapq.heappop(queue)
@@ -163,12 +176,17 @@ class SATree(AccessMethod):
             heap.offer(float(d_node), node.index)
             if not node.children:
                 continue
-            child_rows = self._data[[c.index for c in node.children]]
-            d_children = self._port.many(query, child_rows)
+            child_indices = [c.index for c in node.children]
+            d_children = bound.many(self._data[child_indices], child_indices)
             closest = min(float(d_children.min(initial=np.inf)), float(d_node))
             tau = heap.radius
             for child, d_child in zip(node.children, d_children):
-                lower = max(float(d_child) - child.radius, 0.0)
+                lower = max(
+                    float(d_child)
+                    - child.radius
+                    - prune_slack(d_child, child.radius),
+                    0.0,
+                )
                 if self._hyperplane_ok:
                     lower = max(lower, (float(d_child) - closest) / 2.0)
                 if lower <= tau:

@@ -24,7 +24,15 @@ import numpy as np
 
 from .._typing import ArrayLike
 from ..exceptions import QueryError
-from .base import AccessMethod, DistancePort, Neighbor, _KnnHeap
+from .base import (
+    AccessMethod,
+    BoundQuery,
+    DistancePort,
+    Neighbor,
+    NodeBatchedSearchMixin,
+    _KnnHeap,
+    prune_slack,
+)
 
 __all__ = ["VPTree"]
 
@@ -40,7 +48,7 @@ class _VPNode:
         self.bucket: list[int] | None = None
 
 
-class VPTree(AccessMethod):
+class VPTree(NodeBatchedSearchMixin, AccessMethod):
     """Vantage-point tree over a black-box metric.
 
     Parameters
@@ -105,27 +113,30 @@ class VPTree(AccessMethod):
             node = node.inside if d_vp <= node.mu else node.outside  # type: ignore[assignment]
         node.bucket.append(index)
 
-    def _range_search(self, query: np.ndarray, radius: float) -> list[Neighbor]:
+    def _range_impl(self, bound: BoundQuery, radius: float) -> list[Neighbor]:
         out: list[Neighbor] = []
         stack = [self._root]
         while stack:
             node = stack.pop()
             if node.bucket is not None:
-                dists = self._port.many(query, self._data[node.bucket])
+                dists = bound.many(self._data[node.bucket], node.bucket)
                 for idx, dist in zip(node.bucket, dists):
                     if dist <= radius:
                         out.append(Neighbor(float(dist), int(idx)))
                 continue
-            d_vp = self._port.pair(query, self._data[node.vp_index])
+            d_vp = bound.one(self._data[node.vp_index], node.vp_index)
             if d_vp <= radius:
                 out.append(Neighbor(float(d_vp), node.vp_index))
-            if d_vp - radius <= node.mu:
+            # mu is a member's build-time distance (the median), so the
+            # shell tests get an ulp-scale slack against kernel arithmetic.
+            slack = prune_slack(d_vp, node.mu)
+            if d_vp - radius - slack <= node.mu:
                 stack.append(node.inside)  # type: ignore[arg-type]
-            if d_vp + radius >= node.mu:
+            if d_vp + radius + slack >= node.mu:
                 stack.append(node.outside)  # type: ignore[arg-type]
         return out
 
-    def _knn_search(self, query: np.ndarray, k: int) -> list[Neighbor]:
+    def _knn_impl(self, bound: BoundQuery, k: int) -> list[Neighbor]:
         heap = _KnnHeap(k)
         counter = itertools.count()
         queue: list[tuple[float, int, _VPNode]] = [(0.0, next(counter), self._root)]
@@ -134,15 +145,16 @@ class VPTree(AccessMethod):
             if dmin > heap.radius:
                 break
             if node.bucket is not None:
-                dists = self._port.many(query, self._data[node.bucket])
+                dists = bound.many(self._data[node.bucket], node.bucket)
                 for idx, dist in zip(node.bucket, dists):
                     heap.offer(float(dist), int(idx))
                 continue
-            d_vp = self._port.pair(query, self._data[node.vp_index])
+            d_vp = bound.one(self._data[node.vp_index], node.vp_index)
             heap.offer(float(d_vp), node.vp_index)
             tau = heap.radius
-            inside_dmin = max(d_vp - node.mu, 0.0)
-            outside_dmin = max(node.mu - d_vp, 0.0)
+            slack = prune_slack(d_vp, node.mu)
+            inside_dmin = max(d_vp - node.mu - slack, 0.0)
+            outside_dmin = max(node.mu - d_vp - slack, 0.0)
             if inside_dmin <= tau:
                 heapq.heappush(queue, (inside_dmin, next(counter), node.inside))
             if outside_dmin <= tau:

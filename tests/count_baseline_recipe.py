@@ -1,0 +1,111 @@
+"""Shared recipe for the tree-MAM logical distance-count baseline.
+
+The paper's experiments measure *logical distance computations*; the kernel
+layer may reorganize how distances are physically evaluated (node-level
+batches, Gram expansion, query contexts) but must never change how many are
+logically charged.  This module builds every tree MAM under both models over
+a fixed seeded workload and records the build and per-query counts.
+
+``tests/fixtures/count_baseline.json`` was generated from the pre-kernel
+code; :mod:`tests.test_count_baseline` replays this recipe and asserts
+exact equality, so any count drift introduced by a batching rewrite fails
+loudly.  Regenerate (only from a tree whose counts are the intended
+baseline) with::
+
+    PYTHONPATH=src python tests/count_baseline_recipe.py
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.datasets import histogram_workload
+from repro.datasets.workloads import calibrate_radius
+from repro.models import QFDModel, QMapModel
+
+FIXTURE_PATH = Path(__file__).parent / "fixtures" / "count_baseline.json"
+
+#: The six tree MAMs whose traversal loops the kernel layer batches.
+TREE_METHODS: dict[str, dict] = {
+    "mtree": {"capacity": 8},
+    "paged-mtree": {"capacity": 8, "cache_pages": 4},
+    "vptree": {"leaf_size": 6},
+    "gnat": {"arity": 5, "leaf_size": 10},
+    "sat": {},
+    "mindex": {"n_pivots": 8},
+}
+
+M = 150
+N_QUERIES = 4
+K = 7
+RADIUS_TARGET = 10  # objects per range query (selectivity), calibrated once
+
+
+def baseline_workload():
+    """The fixed workload every baseline run shares (64-d histograms)."""
+    return histogram_workload(M, N_QUERIES, bins_per_channel=4, seed=2011)
+
+
+def compute_baseline(radius: float | None = None) -> dict:
+    """Build + query counts for every tree MAM under both models.
+
+    Pass the fixture's stored *radius* when replaying so the comparison
+    cannot depend on how the radius itself was derived.
+    """
+    workload = baseline_workload()
+    if radius is None:
+        radius = calibrate_radius(workload, RADIUS_TARGET)
+    out: dict = {
+        "m": M,
+        "n_queries": N_QUERIES,
+        "k": K,
+        "radius": radius,
+        "methods": {},
+    }
+    models = (("qfd", QFDModel(workload.matrix)), ("qmap", QMapModel(workload.matrix)))
+    for model_name, model in models:
+        for method, kwargs in TREE_METHODS.items():
+            built = model.build_index(method, workload.database, **kwargs)
+            entry: dict = {
+                "build": built.build_costs.distance_computations,
+                "knn": [],
+                "range": [],
+            }
+            for q in workload.queries:
+                built.reset_query_costs()
+                built.knn_search(q, K)
+                entry["knn"].append(built.query_costs().distance_computations)
+            for q in workload.queries:
+                built.reset_query_costs()
+                built.range_search(q, radius)
+                entry["range"].append(built.query_costs().distance_computations)
+            out["methods"][f"{model_name}/{method}"] = entry
+    # Bulk-loaded M-tree: the batched seed/medoid loops must neither change
+    # the charged build count nor the resulting tree structure.
+    bulk = QFDModel(workload.matrix).build_index(
+        "mtree", workload.database, capacity=8, bulk_load=True
+    )
+    tree = bulk.access_method
+    out["mtree_bulk"] = {
+        "build": bulk.build_costs.distance_computations,
+        "node_count": tree.node_count(),
+        "height": tree.height(),
+        "knn": [],
+    }
+    for q in workload.queries:
+        bulk.reset_query_costs()
+        bulk.knn_search(q, K)
+        out["mtree_bulk"]["knn"].append(bulk.query_costs().distance_computations)
+    return out
+
+
+def main() -> None:
+    baseline = compute_baseline()
+    FIXTURE_PATH.parent.mkdir(parents=True, exist_ok=True)
+    FIXTURE_PATH.write_text(json.dumps(baseline, indent=2) + "\n")
+    print(f"wrote {FIXTURE_PATH}")
+
+
+if __name__ == "__main__":
+    main()

@@ -162,3 +162,48 @@ class TestDuplicateObjects:
         q = workload.database[17]
         top = index.knn_search(q, 1)[0]
         assert top.index == 17 or top.distance == pytest.approx(0.0, abs=1e-9)
+
+
+TREE_METHODS = ("mtree", "paged-mtree", "vptree", "gnat", "sat", "mindex")
+
+
+class TestSelfQueryExactness:
+    """Regression: querying with a database object must find that object.
+
+    Stored pruning bounds (covering radii, parent distances, vantage
+    medians, GNAT ranges) are frequently *exactly tight* — defined by some
+    member's build-time distance — while the batched Gram kernels agree
+    with the build arithmetic only to the last few ulps.  Without the
+    ulp-scale pruning slack in :mod:`repro.mam.base`, a radius-0
+    self-query gets the subtree holding its own zero-distance match
+    pruned.  Exercised under QFD, where kernel query contexts guarantee an
+    exact 0.0 for identical vectors.
+    """
+
+    @pytest.mark.parametrize("probe", (0, 17, 349))
+    @pytest.mark.parametrize("method", TREE_METHODS)
+    def test_qfd_self_query_is_exact(self, method, probe, workload) -> None:
+        index = QFDModel(workload.matrix).build_index(
+            method, workload.database, **METHOD_KWARGS[method]
+        )
+        q = workload.database[probe]
+        hits = index.range_search(q, 0.0)
+        assert any(n.index == probe and n.distance == 0.0 for n in hits), (
+            f"{method}: radius-0 self-query missed object {probe}: {hits}"
+        )
+        top = index.knn_search(q, 1)[0]
+        assert top.index == probe and top.distance == 0.0
+
+    @pytest.mark.parametrize("method", TREE_METHODS)
+    def test_qmap_self_query_is_top_hit(self, method, workload) -> None:
+        # QMap maps the query through a separate matrix-vector product, so
+        # the mapped query differs from the stored mapped row in the last
+        # ulp and the self-distance is ~1e-16, not an exact 0 (true of the
+        # scalar path too): require the kNN hit rather than range-0
+        # membership.
+        index = QMapModel(workload.matrix).build_index(
+            method, workload.database, **METHOD_KWARGS[method]
+        )
+        q = workload.database[17]
+        top = index.knn_search(q, 1)[0]
+        assert top.index == 17 and top.distance < 1e-12
