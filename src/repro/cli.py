@@ -15,6 +15,12 @@ Commands
     method, model, executor and worker count; ``--trace`` prints the
     per-query cost aggregation (distance evaluations, filter hits,
     candidates) next to the throughput.
+``index build|save|load|query``
+    Index lifecycle on a reproducible synthetic workload: build an index
+    (``build``), snapshot it to a pickle-free ``.npz`` with the workload
+    recipe in its metadata (``save``), restore it with zero distance
+    evaluations (``load``), and run the recorded query workload against a
+    restored snapshot through the batch engine (``query``).
 """
 
 from __future__ import annotations
@@ -91,6 +97,76 @@ def build_parser() -> argparse.ArgumentParser:
         help="collect per-query traces and print the aggregated cost model",
     )
     query.add_argument("--seed", type=int, default=0)
+
+    index = sub.add_parser(
+        "index", help="build, snapshot, restore and query persistent indexes"
+    )
+    index_sub = index.add_subparsers(dest="index_command", required=True)
+
+    def _add_build_args(p: argparse.ArgumentParser) -> None:
+        p.add_argument("--method", default="pivot-table", help="access method name")
+        p.add_argument(
+            "--model", choices=["qfd", "qmap"], default="qmap", help="distance model"
+        )
+        p.add_argument("--size", type=int, default=1000, help="database size")
+        p.add_argument(
+            "--bins",
+            type=int,
+            default=4,
+            help="RGB bins per channel (4 -> 64-d, 8 -> 512-d)",
+        )
+        p.add_argument(
+            "--queries", type=int, default=20, help="workload queries (recorded)"
+        )
+        p.add_argument("--seed", type=int, default=0)
+
+    ibuild = index_sub.add_parser(
+        "build", help="build an index over a synthetic workload"
+    )
+    _add_build_args(ibuild)
+    ibuild.add_argument(
+        "--out", default=None, help="also snapshot the index to this .npz path"
+    )
+
+    isave = index_sub.add_parser(
+        "save", help="build an index and snapshot it (build with a required --out)"
+    )
+    _add_build_args(isave)
+    isave.add_argument("--out", required=True, help="snapshot .npz path")
+
+    iload = index_sub.add_parser(
+        "load", help="restore a snapshot and report the restore costs"
+    )
+    iload.add_argument("path", help="snapshot .npz path")
+    iload.add_argument(
+        "--no-verify",
+        action="store_true",
+        help="skip the integrity probe on load",
+    )
+
+    iquery = index_sub.add_parser(
+        "query", help="restore a snapshot and run its recorded query workload"
+    )
+    iquery.add_argument("path", help="snapshot .npz path")
+    iquery.add_argument("--k", type=int, default=10, help="kNN parameter")
+    iquery.add_argument(
+        "--radius",
+        type=float,
+        default=None,
+        help="run range queries with this radius instead of kNN",
+    )
+    iquery.add_argument(
+        "--executor",
+        choices=["serial", "thread", "process"],
+        default=None,
+        help="batch executor (default: serial, or thread when --workers > 1)",
+    )
+    iquery.add_argument("--workers", type=int, default=None, help="parallel workers")
+    iquery.add_argument(
+        "--trace",
+        action="store_true",
+        help="collect per-query traces and print the aggregated cost model",
+    )
     return parser
 
 
@@ -256,6 +332,152 @@ def _cmd_query(args: "argparse.Namespace") -> int:
     return 0
 
 
+#: Default construction arguments for the ``index`` lifecycle commands.
+_INDEX_KWARGS: dict[str, dict[str, int]] = {
+    "pivot-table": {"n_pivots": 16},
+    "mindex": {"n_pivots": 16},
+    "mtree": {"capacity": 16},
+    "paged-mtree": {"capacity": 16},
+    "rtree": {"capacity": 16},
+    "xtree": {"capacity": 16},
+}
+
+
+def _cmd_index_build(args: "argparse.Namespace") -> int:
+    from .datasets import histogram_workload
+    from .models import QFDModel, QMapModel
+
+    workload = histogram_workload(
+        args.size, args.queries, bins_per_channel=args.bins, seed=args.seed
+    )
+    model = (QMapModel if args.model == "qmap" else QFDModel)(workload.matrix)
+    kwargs = _INDEX_KWARGS.get(args.method, {})
+    index = model.build_index(args.method, workload.database, **kwargs)
+    costs = index.build_costs
+    print(f"workload : {workload.name}, m={args.size}, q={args.queries}")
+    print(f"method   : {args.method} {kwargs or ''} [{args.model} model]")
+    print(
+        f"build    : {costs.distance_computations} distance evaluations, "
+        f"{costs.transforms} transforms, {costs.seconds:.3f}s"
+    )
+    if args.out is not None:
+        recipe = {
+            "workload_size": np.int64(args.size),
+            "workload_bins": np.int64(args.bins),
+            "workload_queries": np.int64(args.queries),
+            "workload_seed": np.int64(args.seed),
+        }
+        path = index.save(args.out, extra_meta=recipe)
+        print(f"snapshot : {path}")
+    return 0
+
+
+def _cmd_index_load(path: str, verify: bool) -> int:
+    from .models import load_built_index
+
+    index = load_built_index(path, verify=verify)
+    am = index.access_method
+    costs = index.build_costs
+    print(f"snapshot : {path}")
+    print(
+        f"method   : {index.method_name} [{index.model_name} model], "
+        f"m={am.size}, dim={am.dim}"
+    )
+    print(
+        f"restore  : {costs.distance_computations} distance evaluations, "
+        f"{costs.transforms} transforms, {costs.seconds:.3f}s"
+    )
+    return 0
+
+
+def _cmd_index_query(args: "argparse.Namespace") -> int:
+    import time
+
+    from .datasets import histogram_workload
+    from .engine import TraceCollector
+    from .exceptions import StorageError
+    from .models import load_built_index
+    from .persistence import read_snapshot
+
+    snapshot = read_snapshot(args.path)
+    recipe_keys = (
+        "workload_size",
+        "workload_bins",
+        "workload_queries",
+        "workload_seed",
+    )
+    missing = [key for key in recipe_keys if key not in snapshot.meta]
+    if missing:
+        raise StorageError(
+            f"{snapshot.path} records no query workload recipe "
+            f"(missing {missing}); snapshot it with 'repro index save'"
+        )
+    size, bins, n_queries, seed = (int(snapshot.meta[key]) for key in recipe_keys)
+    workload = histogram_workload(size, n_queries, bins_per_channel=bins, seed=seed)
+    index = load_built_index(snapshot.path)
+    index.reset_query_costs()
+    collector = TraceCollector() if args.trace else None
+
+    what = f"range(r={args.radius})" if args.radius is not None else f"{args.k}NN"
+    print(f"snapshot : {snapshot.path}")
+    print(
+        f"method   : {index.method_name} [{index.model_name} model], "
+        f"m={size}, q={n_queries}, {what}"
+    )
+    print(
+        f"restore  : {index.build_costs.distance_computations} distance "
+        f"evaluations, {index.build_costs.seconds:.3f}s"
+    )
+
+    engine_kwargs = {
+        "executor": args.executor,
+        "workers": args.workers,
+        "collector": collector,
+    }
+    start = time.perf_counter()
+    if args.radius is not None:
+        results = index.range_search_batch(
+            workload.queries, args.radius, **engine_kwargs
+        )
+    else:
+        results = index.knn_search_batch(workload.queries, args.k, **engine_kwargs)
+    elapsed = time.perf_counter() - start
+
+    n = len(results)
+    print(
+        f"wall time: {elapsed:.3f}s for {n} queries -> {n / elapsed:.1f} queries/s"
+    )
+    costs = index.query_costs(elapsed)
+    print(
+        f"costs    : {costs.distance_computations} distance evaluations, "
+        f"{costs.transforms} query transforms"
+    )
+    if collector is not None:
+        summary = collector.summary()
+        print(
+            "trace    : "
+            f"{summary.evaluations_per_query:.1f} evals/query "
+            f"({summary.scalar_evaluations} scalar + "
+            f"{summary.batched_evaluations} batched), "
+            f"filter {summary.filter_hits}/{summary.filter_checked} passed, "
+            f"{summary.candidates} candidates refined, "
+            f"{summary.results} results"
+        )
+    return 0
+
+
+def _cmd_index(args: "argparse.Namespace") -> int:
+    if args.index_command in ("build", "save"):
+        return _cmd_index_build(args)
+    if args.index_command == "load":
+        return _cmd_index_load(args.path, not args.no_verify)
+    if args.index_command == "query":
+        return _cmd_index_query(args)
+    raise AssertionError(  # pragma: no cover
+        f"unhandled index command {args.index_command!r}"
+    )
+
+
 def main(argv: list[str] | None = None) -> int:
     """CLI entry point; returns the process exit code."""
     from .exceptions import ReproError
@@ -270,6 +492,8 @@ def main(argv: list[str] | None = None) -> int:
             return _cmd_compare(args.method, args.size, args.bins, args.k, args.seed)
         if args.command == "query":
             return _cmd_query(args)
+        if args.command == "index":
+            return _cmd_index(args)
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2

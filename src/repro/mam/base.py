@@ -32,7 +32,7 @@ import numpy as np
 from .._typing import ArrayLike, as_vector, as_vector_batch
 from ..distances.base import CountingDistance
 from ..engine.trace import activate_trace, current_trace
-from ..exceptions import EmptyIndexError, IndexStateError, QueryError
+from ..exceptions import EmptyIndexError, IndexStateError, QueryError, StorageError
 
 if TYPE_CHECKING:
     from ..engine.batch import BatchExecutor
@@ -47,7 +47,58 @@ __all__ = [
     "PRUNE_SLACK_REL",
     "prune_slack",
     "neighbors_from_distances",
+    "state_array",
+    "state_int",
+    "state_float",
+    "state_str",
 ]
+
+
+# ----------------------------------------------------------------------
+# structural-state helpers (snapshot protocol)
+# ----------------------------------------------------------------------
+
+def state_array(
+    state: dict[str, np.ndarray], key: str, *, dtype: object | None = None
+) -> np.ndarray:
+    """Pop a required array from a structural-state dict.
+
+    Raises :class:`~repro.exceptions.StorageError` when the key is absent,
+    so a snapshot written for a different method (or a truncated file)
+    fails loudly instead of surfacing as a ``KeyError`` deep in a restore.
+    """
+    try:
+        value = state.pop(key)
+    except KeyError:
+        raise StorageError(f"snapshot state is missing {key!r}") from None
+    arr = np.asarray(value)
+    if dtype is not None:
+        arr = arr.astype(dtype, copy=False)
+    return arr
+
+
+def state_int(state: dict[str, np.ndarray], key: str) -> int:
+    """Pop a scalar integer from a structural-state dict."""
+    arr = state_array(state, key)
+    if arr.size != 1:
+        raise StorageError(f"snapshot state entry {key!r} is not a scalar")
+    return int(arr.reshape(()))
+
+
+def state_float(state: dict[str, np.ndarray], key: str) -> float:
+    """Pop a scalar float from a structural-state dict."""
+    arr = state_array(state, key)
+    if arr.size != 1:
+        raise StorageError(f"snapshot state entry {key!r} is not a scalar")
+    return float(arr.reshape(()))
+
+
+def state_str(state: dict[str, np.ndarray], key: str) -> str:
+    """Pop a scalar string from a structural-state dict."""
+    arr = state_array(state, key)
+    if arr.size != 1:
+        raise StorageError(f"snapshot state entry {key!r} is not a scalar")
+    return str(arr.reshape(()))
 
 #: Relative slack for pruning tests that compare kernel-evaluated query
 #: distances against build-stored bounds (covering radii, parent
@@ -142,6 +193,17 @@ class DistancePort:
         if self._one_to_many is not None:
             return np.asarray(self._one_to_many(q, rows), dtype=np.float64)
         return np.array([self._func(q, row) for row in rows], dtype=np.float64)
+
+    def pair_uncounted(self, u: np.ndarray, v: np.ndarray) -> float:
+        """One distance evaluation outside the counting paths.
+
+        Used by snapshot integrity probes: restoring an index must perform
+        *zero* logical distance computations (the whole point of persisting
+        the structure), yet a loaded file should still be cross-checked
+        against the supplied metric — so the probe bypasses the
+        :class:`~repro.distances.base.CountingDistance` wrapper.
+        """
+        return float(self._scalar_uncounted(u, v))
 
     @property
     def raw(self) -> Callable[[np.ndarray, np.ndarray], float]:
@@ -521,6 +583,89 @@ class AccessMethod(ABC):
                 trace.results = len(result)
             out.append(result)
         return out
+
+    # ------------------------------------------------------------------
+    # structural snapshots (persistence protocol)
+    # ------------------------------------------------------------------
+
+    def structural_state(self) -> dict[str, np.ndarray]:
+        """Arrays describing the built structure, without the database.
+
+        The returned dict holds only plain numeric/string numpy arrays —
+        tree topology flattened to parallel index/float arrays, never
+        vectors (recoverable from the database by object index) and never
+        code objects — so :mod:`repro.persistence` can write it to a
+        portable ``.npz`` archive.  Structures with no state beyond the
+        stored rows (the sequential file) return an empty dict.
+        """
+        return {}
+
+    @classmethod
+    def from_state(
+        cls,
+        database: ArrayLike,
+        distance: "DistancePort | Callable | None",
+        state: dict[str, np.ndarray],
+    ) -> "AccessMethod":
+        """Reassemble an index from *database* plus a structural state.
+
+        The inverse of :meth:`structural_state`: performs **zero** distance
+        evaluations — every derived attribute is rebuilt from the stored
+        arrays, never recomputed through the metric.  The caller is
+        responsible for passing the same distance function the structure
+        was built with (SAMs may pass ``None`` to rebuild their default
+        Minkowski distance).
+        """
+        instance = cls.__new__(cls)
+        instance._init_restore(database, distance, dict(state))
+        return instance
+
+    def _init_restore(
+        self,
+        database: ArrayLike,
+        distance: "DistancePort | Callable | None",
+        state: dict[str, np.ndarray],
+    ) -> None:
+        """Initialization path used by :meth:`from_state`.
+
+        Subclasses whose constructor needs state *before* the base
+        initialization (e.g. SAMs building their default distance from the
+        stored Minkowski order) override this; everyone else just gets
+        ``__init__``-equivalent base setup followed by
+        :meth:`_restore_state`.
+        """
+        if distance is None:
+            raise StorageError(
+                f"{type(self).__name__} needs the distance function it was "
+                "built with to restore a snapshot"
+            )
+        AccessMethod.__init__(self, database, distance)
+        self._restore_state(state)
+
+    def _restore_state(self, state: dict[str, np.ndarray]) -> None:
+        """Subclass hook rebuilding structure attributes from state arrays.
+
+        Implementations pop the keys they own (via :func:`state_array` and
+        friends) and finish with ``super()._restore_state(state)``, which
+        rejects leftovers — a snapshot written by a different method or
+        format version fails here instead of silently dropping data.
+        """
+        if state:
+            raise StorageError(
+                f"unexpected snapshot state keys for {type(self).__name__}: "
+                f"{sorted(state)}"
+            )
+
+    def _verify_state_probe(self) -> None:
+        """Cheap integrity probe of a restored structure (load-time check).
+
+        Re-evaluates a sampled stored bound through
+        :meth:`DistancePort.pair_uncounted` — keeping the zero-evaluation
+        guarantee of :meth:`from_state` — and raises
+        :class:`~repro.exceptions.StorageError` when the supplied distance
+        disagrees with the stored structure.  The base implementation does
+        nothing; structures with re-checkable bounds override it.
+        """
 
     @property
     def supports_inserts(self) -> bool:

@@ -20,7 +20,7 @@ from typing import Callable
 import numpy as np
 
 from .._typing import ArrayLike
-from ..exceptions import QueryError
+from ..exceptions import QueryError, StorageError
 from .base import (
     PRUNE_SLACK_REL,
     AccessMethod,
@@ -29,6 +29,8 @@ from .base import (
     Neighbor,
     NodeBatchedSearchMixin,
     _KnnHeap,
+    state_array,
+    state_int,
 )
 
 __all__ = ["GNAT"]
@@ -153,6 +155,160 @@ class GNAT(NodeBatchedSearchMixin, AccessMethod):
                 )
             node = node.children[owner]
         node.bucket.append(index)
+
+    def structural_state(self) -> dict[str, np.ndarray]:
+        # Preorder nodes; buckets, split points, child links and the
+        # per-node (arity, arity, 2) range tensors are stored CSR-style.
+        is_bucket: list[int] = []
+        bucket_count: list[int] = []
+        bucket_items: list[int] = []
+        split_count: list[int] = []
+        split_items: list[int] = []
+        child_items: list[int] = []
+        ranges_parts: list[np.ndarray] = []
+
+        def collect(node: _GnatNode) -> int:
+            node_id = len(is_bucket)
+            if node.bucket is not None:
+                is_bucket.append(1)
+                bucket_count.append(len(node.bucket))
+                bucket_items.extend(node.bucket)
+                split_count.append(0)
+                return node_id
+            is_bucket.append(0)
+            bucket_count.append(0)
+            split_count.append(len(node.split_indices))
+            split_items.extend(node.split_indices)
+            ranges_parts.append(np.asarray(node.ranges, dtype=np.float64).ravel())
+            child_slots = [0] * len(node.children)
+            slot = len(child_items)
+            child_items.extend(child_slots)
+            for j, child in enumerate(node.children):
+                child_items[slot + j] = collect(child)
+            return node_id
+
+        collect(self._root)
+        ranges_flat = (
+            np.concatenate(ranges_parts)
+            if ranges_parts
+            else np.empty(0, dtype=np.float64)
+        )
+        return {
+            "node_is_bucket": np.asarray(is_bucket, dtype=np.uint8),
+            "bucket_count": np.asarray(bucket_count, dtype=np.int64),
+            "bucket_items": np.asarray(bucket_items, dtype=np.int64),
+            "split_count": np.asarray(split_count, dtype=np.int64),
+            "split_items": np.asarray(split_items, dtype=np.int64),
+            "child_items": np.asarray(child_items, dtype=np.int64),
+            "ranges_flat": ranges_flat,
+            "arity": np.int64(self._arity),
+            "leaf_size": np.int64(self._leaf_size),
+        }
+
+    def _restore_state(self, state: dict[str, np.ndarray]) -> None:
+        is_bucket = state_array(state, "node_is_bucket")
+        bucket_count = state_array(state, "bucket_count", dtype=np.int64)
+        bucket_items = state_array(state, "bucket_items", dtype=np.int64)
+        split_count = state_array(state, "split_count", dtype=np.int64)
+        split_items = state_array(state, "split_items", dtype=np.int64)
+        child_items = state_array(state, "child_items", dtype=np.int64)
+        ranges_flat = state_array(state, "ranges_flat", dtype=np.float64)
+        arity = state_int(state, "arity")
+        leaf_size = state_int(state, "leaf_size")
+        super()._restore_state(state)
+        if arity < 2:
+            raise StorageError(f"arity must be >= 2, got {arity}")
+        if leaf_size < 1:
+            raise StorageError(f"leaf_size must be >= 1, got {leaf_size}")
+        n = is_bucket.shape[0]
+        if n < 1 or bucket_count.shape[0] != n or split_count.shape[0] != n:
+            raise StorageError("GNAT snapshot: node arrays disagree")
+        covered = sorted(int(i) for i in bucket_items) + sorted(
+            int(i) for i in split_items
+        )
+        if sorted(covered) != list(range(self.size)):
+            raise StorageError(
+                "GNAT snapshot: split points and buckets do not partition "
+                "the database"
+            )
+        bucket_offsets = np.concatenate(([0], np.cumsum(bucket_count)))
+        split_offsets = np.concatenate(([0], np.cumsum(split_count)))
+        range_sizes = np.where(is_bucket == 0, split_count * split_count * 2, 0)
+        range_offsets = np.concatenate(([0], np.cumsum(range_sizes)))
+        if ranges_flat.shape[0] != range_offsets[-1]:
+            raise StorageError(
+                f"GNAT snapshot: range tensor has {ranges_flat.shape[0]} "
+                f"values, expected {int(range_offsets[-1])}"
+            )
+        if child_items.shape[0] != split_offsets[-1]:
+            raise StorageError(
+                "GNAT snapshot: child links do not match the split counts"
+            )
+        nodes: list[_GnatNode] = [_GnatNode() for _ in range(n)]
+        child_seen = np.zeros(n, dtype=bool)
+        for nid in range(n):
+            node = nodes[nid]
+            if is_bucket[nid]:
+                node.bucket = [
+                    int(i)
+                    for i in bucket_items[
+                        bucket_offsets[nid] : bucket_offsets[nid + 1]
+                    ]
+                ]
+                continue
+            a = int(split_count[nid])
+            node.split_indices = [
+                int(i)
+                for i in split_items[split_offsets[nid] : split_offsets[nid + 1]]
+            ]
+            node.ranges = ranges_flat[
+                range_offsets[nid] : range_offsets[nid + 1]
+            ].reshape(a, a, 2).copy()
+            for child in child_items[split_offsets[nid] : split_offsets[nid + 1]]:
+                child = int(child)
+                if not nid < child < n or child_seen[child]:
+                    raise StorageError(
+                        f"GNAT snapshot: invalid child link {child} "
+                        f"from node {nid}"
+                    )
+                child_seen[child] = True
+                node.children.append(nodes[child])
+        if not child_seen[1:].all():
+            raise StorageError("GNAT snapshot: unreachable nodes")
+        self._arity = arity
+        self._leaf_size = leaf_size
+        self._rng = np.random.default_rng(0)
+        self._root = nodes[0]
+
+    def _verify_state_probe(self) -> None:
+        # ranges[i, j] brackets d(split_i, members of group j): check one
+        # stored bracket against a recomputed distance.
+        node = self._root
+        if node.bucket is not None:
+            return
+        assert node.ranges is not None
+        finite = np.isfinite(node.ranges[0, :, 0])
+        if not finite.any():
+            return
+        j = int(np.argmax(finite))
+        child = node.children[j]
+        member = (
+            child.bucket[0]
+            if child.bucket is not None and child.bucket
+            else (child.split_indices[0] if child.split_indices else -1)
+        )
+        if member < 0:
+            return
+        lo, hi = float(node.ranges[0, j, 0]), float(node.ranges[0, j, 1])
+        probe = self._port.pair_uncounted(
+            self._data[node.split_indices[0]], self._data[member]
+        )
+        tol = 1e-6 * (abs(lo) + abs(hi)) + 1e-9
+        if not lo - tol <= probe <= hi + tol:
+            raise StorageError(
+                "supplied distance disagrees with the stored split ranges "
+                "(wrong metric or wrong matrix?)"
+            )
 
     def _range_impl(self, bound: BoundQuery, radius: float) -> list[Neighbor]:
         out: list[Neighbor] = []

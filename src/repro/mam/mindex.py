@@ -24,13 +24,15 @@ from typing import Callable
 import numpy as np
 
 from .._typing import ArrayLike
-from ..exceptions import QueryError
+from ..exceptions import QueryError, StorageError
 from .base import (
     AccessMethod,
     BoundQuery,
     DistancePort,
     Neighbor,
     NodeBatchedSearchMixin,
+    state_array,
+    state_float,
 )
 from .pivots import select_pivots
 
@@ -90,6 +92,52 @@ class MIndex(NodeBatchedSearchMixin, AccessMethod):
             order = np.argsort(keys[members], kind="stable")
             self._cluster_members.append(members[order])
             self._cluster_keys.append(keys[members][order])
+
+    def structural_state(self) -> dict[str, np.ndarray]:
+        return {
+            "pivot_indices": np.asarray(self._pivot_indices, dtype=np.int64),
+            "table": self._table.copy(),
+            "growth": np.float64(self._growth),
+        }
+
+    def _restore_state(self, state: dict[str, np.ndarray]) -> None:
+        pivot_list = [int(i) for i in state_array(state, "pivot_indices")]
+        if not pivot_list:
+            raise StorageError("pivot index list must not be empty")
+        for i in pivot_list:
+            if not 0 <= i < self.size:
+                raise StorageError(
+                    f"pivot index {i} out of range [0, {self.size})"
+                )
+        table = state_array(state, "table", dtype=np.float64)
+        if table.shape != (self.size, len(pivot_list)):
+            raise StorageError(
+                f"pivot table shape {table.shape} does not match "
+                f"({self.size}, {len(pivot_list)})"
+            )
+        growth = state_float(state, "growth")
+        if growth <= 1.0:
+            raise StorageError(
+                f"radius growth factor must exceed 1, got {growth}"
+            )
+        super()._restore_state(state)
+        self._growth = growth
+        self._pivot_indices = pivot_list
+        self._pivot_rows = self._data[pivot_list]
+        self._table = table.copy()
+        # Cluster assignment and scalar keys derive from the table alone —
+        # pure argmin/argsort arithmetic, no distance evaluations.
+        self._assign_clusters()
+
+    def _verify_state_probe(self) -> None:
+        probe = self._port.pair_uncounted(
+            self._data[0], self._data[self._pivot_indices[0]]
+        )
+        if not np.isclose(probe, self._table[0, 0], rtol=1e-6, atol=1e-9):
+            raise StorageError(
+                "supplied distance disagrees with the stored pivot table "
+                "(wrong metric or wrong matrix?)"
+            )
 
     @property
     def n_pivots(self) -> int:

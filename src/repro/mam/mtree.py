@@ -34,7 +34,7 @@ from typing import Callable
 import numpy as np
 
 from .._typing import ArrayLike
-from ..exceptions import QueryError
+from ..exceptions import QueryError, StorageError
 from .base import (
     AccessMethod,
     BoundQuery,
@@ -43,6 +43,10 @@ from .base import (
     NodeBatchedSearchMixin,
     _KnnHeap,
     prune_slack,
+    state_array,
+    state_float,
+    state_int,
+    state_str,
 )
 
 __all__ = ["MTree", "SPLIT_POLICIES"]
@@ -377,6 +381,152 @@ class MTree(NodeBatchedSearchMixin, AccessMethod):
     def _register_insert(self, index: int, vector: np.ndarray) -> None:
         """Dynamic insert — the M-tree's native operation (Section 4.3)."""
         self._insert(vector, index)
+
+    # ------------------------------------------------------------------
+    # snapshots
+    # ------------------------------------------------------------------
+
+    def structural_state(self) -> dict[str, np.ndarray]:
+        # Preorder node walk; every entry vector equals self._data[index]
+        # (both the dynamic and the bulk build promote actual database
+        # objects), so the topology arrays below are the whole tree.
+        nodes: list[_Node] = []
+
+        def collect(node: _Node) -> None:
+            nodes.append(node)
+            if not node.is_leaf:
+                for entry in node.entries:
+                    collect(entry.subtree)  # type: ignore[arg-type]
+
+        collect(self._root)
+        ids = {id(node): nid for nid, node in enumerate(nodes)}
+        is_leaf: list[int] = []
+        entry_count: list[int] = []
+        entry_index: list[int] = []
+        entry_radius: list[float] = []
+        entry_dtp: list[float] = []
+        entry_child: list[int] = []
+        for node in nodes:
+            is_leaf.append(1 if node.is_leaf else 0)
+            entry_count.append(len(node.entries))
+            for entry in node.entries:
+                entry_index.append(entry.index)
+                entry_radius.append(entry.radius)
+                entry_dtp.append(entry.dist_to_parent)
+                entry_child.append(
+                    -1 if entry.subtree is None else ids[id(entry.subtree)]
+                )
+        return {
+            "node_is_leaf": np.asarray(is_leaf, dtype=np.uint8),
+            "node_entry_count": np.asarray(entry_count, dtype=np.int64),
+            "entry_index": np.asarray(entry_index, dtype=np.int64),
+            "entry_radius": np.asarray(entry_radius, dtype=np.float64),
+            "entry_dist_to_parent": np.asarray(entry_dtp, dtype=np.float64),
+            "entry_child": np.asarray(entry_child, dtype=np.int64),
+            "capacity": np.int64(self._capacity),
+            "split_policy": np.str_(self._split_policy),
+            "epsilon": np.float64(self._epsilon),
+        }
+
+    def _restore_state(self, state: dict[str, np.ndarray]) -> None:
+        is_leaf = state_array(state, "node_is_leaf")
+        entry_count = state_array(state, "node_entry_count", dtype=np.int64)
+        entry_index = state_array(state, "entry_index", dtype=np.int64)
+        entry_radius = state_array(state, "entry_radius", dtype=np.float64)
+        entry_dtp = state_array(state, "entry_dist_to_parent", dtype=np.float64)
+        entry_child = state_array(state, "entry_child", dtype=np.int64)
+        capacity = state_int(state, "capacity")
+        split_policy = state_str(state, "split_policy")
+        epsilon = state_float(state, "epsilon")
+        super()._restore_state(state)
+
+        n_nodes = is_leaf.shape[0]
+        if n_nodes < 1 or entry_count.shape[0] != n_nodes:
+            raise StorageError("M-tree snapshot: node arrays disagree")
+        n_entries = int(entry_count.sum())
+        for arr, label in (
+            (entry_index, "entry_index"),
+            (entry_radius, "entry_radius"),
+            (entry_dtp, "entry_dist_to_parent"),
+            (entry_child, "entry_child"),
+        ):
+            if arr.shape[0] != n_entries:
+                raise StorageError(
+                    f"M-tree snapshot: {label} has {arr.shape[0]} rows, "
+                    f"expected {n_entries}"
+                )
+        if capacity < 2:
+            raise StorageError(f"node capacity must be >= 2, got {capacity}")
+        if split_policy not in SPLIT_POLICIES:
+            raise StorageError(
+                f"unknown split policy {split_policy!r}; "
+                f"choose from {SPLIT_POLICIES}"
+            )
+        if epsilon < 0.0:
+            raise StorageError(f"epsilon must be non-negative, got {epsilon}")
+
+        nodes = [_Node(bool(flag)) for flag in is_leaf]
+        offsets = np.concatenate(([0], np.cumsum(entry_count)))
+        child_seen = np.zeros(n_nodes, dtype=bool)
+        for nid, node in enumerate(nodes):
+            for pos in range(int(offsets[nid]), int(offsets[nid + 1])):
+                idx = int(entry_index[pos])
+                child = int(entry_child[pos])
+                if not 0 <= idx < self.size:
+                    raise StorageError(
+                        f"M-tree snapshot: entry index {idx} out of range "
+                        f"[0, {self.size})"
+                    )
+                if node.is_leaf:
+                    if child != -1:
+                        raise StorageError(
+                            "M-tree snapshot: leaf entry points at a subtree"
+                        )
+                    subtree = None
+                else:
+                    # Preorder guarantees children come after their parent;
+                    # the seen-once check rules out shared subtrees/cycles.
+                    if not nid < child < n_nodes or child_seen[child]:
+                        raise StorageError(
+                            f"M-tree snapshot: invalid child link {child} "
+                            f"from node {nid}"
+                        )
+                    child_seen[child] = True
+                    subtree = nodes[child]
+                node.entries.append(
+                    _Entry(
+                        self._data[idx],
+                        index=idx,
+                        radius=float(entry_radius[pos]),
+                        dist_to_parent=float(entry_dtp[pos]),
+                        subtree=subtree,
+                    )
+                )
+        if not child_seen[1:].all():
+            raise StorageError("M-tree snapshot: unreachable nodes")
+        self._capacity = capacity
+        self._split_policy = split_policy
+        self._epsilon = epsilon
+        self._rng = np.random.default_rng(0)
+        self._root = nodes[0]
+
+    def _verify_state_probe(self) -> None:
+        # dist_to_parent of a child-node entry is d(entry, parent routing
+        # object) — recomputable without touching the counter.  A leaf root
+        # has no such pair (bulk-built leaves store medoid distances whose
+        # medoid identity is not kept), so it is skipped.
+        if self._root.is_leaf or not self._root.entries:
+            return
+        routing = self._root.entries[0]
+        if routing.subtree is None or not routing.subtree.entries:
+            return
+        child_entry = routing.subtree.entries[0]
+        probe = self._port.pair_uncounted(child_entry.vector, routing.vector)
+        if not np.isclose(probe, child_entry.dist_to_parent, rtol=1e-6, atol=1e-9):
+            raise StorageError(
+                "supplied distance disagrees with the stored parent distances "
+                "(wrong metric or wrong matrix?)"
+            )
 
     # ------------------------------------------------------------------
     # queries

@@ -34,7 +34,7 @@ from typing import Callable
 import numpy as np
 
 from .._typing import ArrayLike
-from ..exceptions import PageError
+from ..exceptions import PageError, StorageError
 from ..storage.cache import LRUPageCache
 from ..storage.pages import PagedFile
 from .base import (
@@ -46,6 +46,8 @@ from .base import (
     NodeBatchedSearchMixin,
     _KnnHeap,
     prune_slack,
+    state_array,
+    state_int,
 )
 from .mtree import MTree, _Node
 
@@ -208,6 +210,73 @@ class PagedMTree(NodeBatchedSearchMixin, AccessMethod):
             )
             parts.append(np.ascontiguousarray(vectors[pos], dtype="<f8").tobytes())
         self._cache.write_page(page_id, b"".join(parts))
+
+    # ------------------------------------------------------------------
+    # snapshots
+    # ------------------------------------------------------------------
+
+    def structural_state(self) -> dict[str, np.ndarray]:
+        # The page image *is* the structure: dump every page verbatim.
+        # Reads bypass the LRU cache so saving does not disturb the
+        # hit/fault statistics the benchmarks report.
+        n_pages = self._file.n_pages
+        pages = np.empty((n_pages, self._file.page_size), dtype=np.uint8)
+        for page_id in range(n_pages):
+            pages[page_id] = np.frombuffer(
+                self._file.read_page(page_id), dtype=np.uint8
+            )
+        return {
+            "pages": pages,
+            "root_page": np.int64(self._root_page),
+            "capacity": np.int64(self._capacity),
+            "cache_pages": np.int64(self._cache.capacity),
+        }
+
+    def _restore_state(self, state: dict[str, np.ndarray]) -> None:
+        pages = state_array(state, "pages", dtype=np.uint8)
+        root_page = state_int(state, "root_page")
+        capacity = state_int(state, "capacity")
+        cache_pages = state_int(state, "cache_pages")
+        super()._restore_state(state)
+        if pages.ndim != 2 or pages.shape[0] < 1:
+            raise StorageError("paged M-tree snapshot: pages must be a 2-d array")
+        entry_size = _ENTRY_FIXED.size + self.dim * 8
+        expected = max(_HEADER.size + (capacity + 1) * entry_size, 64)
+        if pages.shape[1] != expected:
+            raise StorageError(
+                f"paged M-tree snapshot: page size {pages.shape[1]} does not "
+                f"match capacity {capacity} and dimension {self.dim} "
+                f"(expected {expected})"
+            )
+        if not 0 <= root_page < pages.shape[0]:
+            raise StorageError(
+                f"paged M-tree snapshot: root page {root_page} out of range "
+                f"[0, {pages.shape[0]})"
+            )
+        self._capacity = capacity
+        self._file = PagedFile(expected)
+        for row in pages:
+            page_id = self._file.allocate()
+            self._file.write_page(page_id, row.tobytes())
+        self._file.stats.reset()
+        self._cache = LRUPageCache(self._file, cache_pages)
+        self._root_page = root_page
+
+    def _verify_state_probe(self) -> None:
+        # Same check as MTree: a child entry's stored parent distance must
+        # be reproducible from the supplied metric.
+        root = self._load(self._root_page)
+        if root.is_leaf or not root.children:
+            return
+        child = self._load(root.children[0])
+        if not child.indices:
+            return
+        probe = self._port.pair_uncounted(child.vectors[0], root.vectors[0])
+        if not np.isclose(probe, child.dist_to_parent[0], rtol=1e-6, atol=1e-9):
+            raise StorageError(
+                "supplied distance disagrees with the stored parent distances "
+                "(wrong metric or wrong matrix?)"
+            )
 
     # ------------------------------------------------------------------
     # dynamic inserts (page-level, with mM_RAD splits)

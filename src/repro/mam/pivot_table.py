@@ -24,8 +24,8 @@ import numpy as np
 
 from .._typing import ArrayLike, as_vector
 from ..engine.trace import activate_trace, record_candidates, record_filter
-from ..exceptions import DimensionMismatchError, QueryError
-from .base import AccessMethod, DistancePort, Neighbor, _KnnHeap
+from ..exceptions import DimensionMismatchError, QueryError, StorageError
+from .base import AccessMethod, DistancePort, Neighbor, _KnnHeap, state_array
 from .pivots import select_pivots
 
 if TYPE_CHECKING:
@@ -107,27 +107,55 @@ class PivotTable(AccessMethod):
         """Reassemble a pivot table from persisted parts without
         recomputing the ``m x p`` distance matrix.
 
-        Used by :mod:`repro.persistence`; the caller is responsible for
-        passing the same distance function the table was built with.
+        A thin wrapper over the snapshot protocol (:meth:`from_state`),
+        kept for :mod:`repro.persistence` backward compatibility; the
+        caller is responsible for passing the same distance function the
+        table was built with.
         """
-        instance = cls.__new__(cls)
-        AccessMethod.__init__(instance, database, distance)
-        pivot_list = [int(i) for i in pivot_indices]
+        state = {
+            "pivot_indices": np.asarray(
+                [int(i) for i in pivot_indices], dtype=np.int64
+            ),
+            "table": np.asarray(table, dtype=np.float64),
+        }
+        return cls.from_state(database, distance, state)  # type: ignore[return-value]
+
+    def structural_state(self) -> dict[str, np.ndarray]:
+        return {
+            "pivot_indices": np.asarray(self._pivot_indices, dtype=np.int64),
+            "table": self._table.copy(),
+        }
+
+    def _restore_state(self, state: dict[str, np.ndarray]) -> None:
+        pivot_list = [int(i) for i in state_array(state, "pivot_indices")]
         if not pivot_list:
             raise QueryError("pivot index list must not be empty")
         for i in pivot_list:
-            if not 0 <= i < instance.size:
-                raise QueryError(f"pivot index {i} out of range [0, {instance.size})")
-        stored = np.asarray(table, dtype=np.float64)
-        if stored.shape != (instance.size, len(pivot_list)):
+            if not 0 <= i < self.size:
+                raise QueryError(f"pivot index {i} out of range [0, {self.size})")
+        stored = state_array(state, "table", dtype=np.float64)
+        if stored.shape != (self.size, len(pivot_list)):
             raise QueryError(
                 f"table shape {stored.shape} does not match "
-                f"({instance.size}, {len(pivot_list)})"
+                f"({self.size}, {len(pivot_list)})"
             )
-        instance._pivot_indices = pivot_list
-        instance._pivot_rows = instance._data[pivot_list]
-        instance._table = stored.copy()
-        return instance
+        super()._restore_state(state)
+        self._pivot_indices = pivot_list
+        self._pivot_rows = self._data[pivot_list]
+        self._table = stored.copy()
+
+    def _verify_state_probe(self) -> None:
+        # Same sampled bound re-evaluation load_pivot_table always did:
+        # entry (0, 0) of the table is d(o_0, p_0).  Uncounted, so a
+        # restore still performs zero logical distance computations.
+        probe = self._port.pair_uncounted(
+            self._data[0], self._data[self._pivot_indices[0]]
+        )
+        if not np.isclose(probe, self._table[0, 0], rtol=1e-6, atol=1e-9):
+            raise StorageError(
+                "supplied distance disagrees with the stored table "
+                "(wrong metric or wrong matrix?)"
+            )
 
     @property
     def pivot_indices(self) -> list[int]:

@@ -25,6 +25,7 @@ from typing import Callable
 import numpy as np
 
 from .._typing import ArrayLike
+from ..exceptions import StorageError
 from .base import (
     AccessMethod,
     BoundQuery,
@@ -33,6 +34,8 @@ from .base import (
     NodeBatchedSearchMixin,
     _KnnHeap,
     prune_slack,
+    state_array,
+    state_int,
 )
 
 __all__ = ["SATree"]
@@ -134,6 +137,77 @@ class SATree(NodeBatchedSearchMixin, AccessMethod):
                 return
             node = node.children[best]
         node.children.append(_SatNode(index))
+
+    def structural_state(self) -> dict[str, np.ndarray]:
+        # Preorder; parent links reconstruct the exact child order because
+        # children are appended in discovery order on both sides.
+        indices: list[int] = []
+        radii: list[float] = []
+        parents: list[int] = []
+
+        def collect(node: _SatNode, parent_id: int) -> None:
+            node_id = len(indices)
+            indices.append(node.index)
+            radii.append(node.radius)
+            parents.append(parent_id)
+            for child in node.children:
+                collect(child, node_id)
+
+        collect(self._root, -1)
+        return {
+            "node_index": np.asarray(indices, dtype=np.int64),
+            "node_radius": np.asarray(radii, dtype=np.float64),
+            "node_parent": np.asarray(parents, dtype=np.int64),
+            "hyperplane_ok": np.uint8(1 if self._hyperplane_ok else 0),
+        }
+
+    def _restore_state(self, state: dict[str, np.ndarray]) -> None:
+        indices = state_array(state, "node_index", dtype=np.int64)
+        radii = state_array(state, "node_radius", dtype=np.float64)
+        parents = state_array(state, "node_parent", dtype=np.int64)
+        hyperplane_ok = state_int(state, "hyperplane_ok")
+        super()._restore_state(state)
+        n = indices.shape[0]
+        if n != self.size or radii.shape[0] != n or parents.shape[0] != n:
+            raise StorageError(
+                f"SAT snapshot: node arrays do not cover the {self.size} "
+                "database objects"
+            )
+        if not np.array_equal(np.sort(indices), np.arange(self.size)):
+            raise StorageError(
+                "SAT snapshot: node indices are not a permutation of the database"
+            )
+        if parents[0] != -1:
+            raise StorageError("SAT snapshot: first node must be the root")
+        nodes: list[_SatNode] = []
+        for nid in range(n):
+            node = _SatNode(int(indices[nid]))
+            node.radius = float(radii[nid])
+            parent = int(parents[nid])
+            if nid > 0:
+                if not 0 <= parent < nid:
+                    raise StorageError(
+                        f"SAT snapshot: node {nid} has invalid parent {parent}"
+                    )
+                nodes[parent].children.append(node)
+            nodes.append(node)
+        self._hyperplane_ok = bool(hyperplane_ok)
+        self._root = nodes[0]
+
+    def _verify_state_probe(self) -> None:
+        # Every child lies within its parent's covering radius — an
+        # inequality the supplied metric must reproduce.
+        if not self._root.children:
+            return
+        child = self._root.children[0]
+        probe = self._port.pair_uncounted(
+            self._data[self._root.index], self._data[child.index]
+        )
+        if probe > self._root.radius * (1.0 + 1e-9) + 1e-9:
+            raise StorageError(
+                "supplied distance disagrees with the stored covering radii "
+                "(wrong metric or wrong matrix?)"
+            )
 
     def _range_impl(self, bound: BoundQuery, radius: float) -> list[Neighbor]:
         out: list[Neighbor] = []

@@ -23,7 +23,16 @@ import numpy as np
 from .._typing import ArrayLike
 from ..engine.trace import activate_trace, record_candidates
 from ..storage.vector_store import VectorStore
-from .base import AccessMethod, DistancePort, Neighbor, _KnnHeap, neighbors_from_distances
+from .base import (
+    AccessMethod,
+    DistancePort,
+    Neighbor,
+    _KnnHeap,
+    neighbors_from_distances,
+    state_float,
+    state_int,
+    state_str,
+)
 
 if TYPE_CHECKING:
     from ..engine.trace import QueryTrace
@@ -102,7 +111,7 @@ class DiskSequentialFile(AccessMethod):
         Rows to index (appended to the store at construction).
     distance:
         Black-box distance (port or plain callable).
-    page_size, cache_pages, read_latency:
+    page_size, cache_pages, read_latency, dtype:
         Forwarded to the :class:`~repro.storage.VectorStore`.
     """
 
@@ -114,18 +123,50 @@ class DiskSequentialFile(AccessMethod):
         page_size: int = 4096,
         cache_pages: int = 64,
         read_latency: float = 0.0,
+        dtype: str = "float64",
     ) -> None:
         super().__init__(database, distance)
-        self._store = VectorStore(
-            self.dim,
-            page_size=page_size,
-            cache_pages=cache_pages,
-            read_latency=read_latency,
-        )
-        self._store.extend(self._data)
+        self._store_config = {
+            "page_size": int(page_size),
+            "cache_pages": int(cache_pages),
+            "read_latency": float(read_latency),
+            "dtype": str(np.dtype(dtype)),
+        }
+        self._build_store()
         # The in-memory copy is kept only for the AccessMethod API
         # (database property used by correctness tests); queries below go
         # through the store.
+
+    def _build_store(self) -> None:
+        cfg = self._store_config
+        self._store = VectorStore(
+            self.dim,
+            page_size=cfg["page_size"],
+            cache_pages=cfg["cache_pages"],
+            read_latency=cfg["read_latency"],
+            dtype=cfg["dtype"],
+        )
+        self._store.extend(self._data)
+
+    def structural_state(self) -> dict[str, np.ndarray]:
+        cfg = self._store_config
+        return {
+            "page_size": np.int64(cfg["page_size"]),
+            "cache_pages": np.int64(cfg["cache_pages"]),
+            "read_latency": np.float64(cfg["read_latency"]),
+            "dtype": np.str_(cfg["dtype"]),
+        }
+
+    def _restore_state(self, state: dict[str, np.ndarray]) -> None:
+        self._store_config = {
+            "page_size": state_int(state, "page_size"),
+            "cache_pages": state_int(state, "cache_pages"),
+            "read_latency": state_float(state, "read_latency"),
+            "dtype": state_str(state, "dtype"),
+        }
+        super()._restore_state(state)
+        # Rebuilding the paged store is pure byte I/O — no distances.
+        self._build_store()
 
     @property
     def store(self) -> VectorStore:

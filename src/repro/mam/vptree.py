@@ -23,7 +23,7 @@ from typing import Callable
 import numpy as np
 
 from .._typing import ArrayLike
-from ..exceptions import QueryError
+from ..exceptions import QueryError, StorageError
 from .base import (
     AccessMethod,
     BoundQuery,
@@ -32,6 +32,8 @@ from .base import (
     NodeBatchedSearchMixin,
     _KnnHeap,
     prune_slack,
+    state_array,
+    state_int,
 )
 
 __all__ = ["VPTree"]
@@ -112,6 +114,126 @@ class VPTree(NodeBatchedSearchMixin, AccessMethod):
             d_vp = self._port.pair(vector, self._data[node.vp_index])
             node = node.inside if d_vp <= node.mu else node.outside  # type: ignore[assignment]
         node.bucket.append(index)
+
+    def structural_state(self) -> dict[str, np.ndarray]:
+        # Preorder node arrays; bucket contents are stored CSR-style
+        # (per-node count plus one flat item array).
+        is_bucket: list[int] = []
+        vp: list[int] = []
+        mu: list[float] = []
+        inside: list[int] = []
+        outside: list[int] = []
+        bucket_count: list[int] = []
+        bucket_items: list[int] = []
+
+        def collect(node: _VPNode) -> int:
+            node_id = len(is_bucket)
+            is_bucket.append(1 if node.bucket is not None else 0)
+            vp.append(node.vp_index)
+            mu.append(node.mu)
+            inside.append(-1)
+            outside.append(-1)
+            if node.bucket is not None:
+                bucket_count.append(len(node.bucket))
+                bucket_items.extend(node.bucket)
+            else:
+                bucket_count.append(0)
+                inside[node_id] = collect(node.inside)  # type: ignore[arg-type]
+                outside[node_id] = collect(node.outside)  # type: ignore[arg-type]
+            return node_id
+
+        collect(self._root)
+        return {
+            "node_is_bucket": np.asarray(is_bucket, dtype=np.uint8),
+            "node_vp": np.asarray(vp, dtype=np.int64),
+            "node_mu": np.asarray(mu, dtype=np.float64),
+            "node_inside": np.asarray(inside, dtype=np.int64),
+            "node_outside": np.asarray(outside, dtype=np.int64),
+            "bucket_count": np.asarray(bucket_count, dtype=np.int64),
+            "bucket_items": np.asarray(bucket_items, dtype=np.int64),
+            "leaf_size": np.int64(self._leaf_size),
+        }
+
+    def _restore_state(self, state: dict[str, np.ndarray]) -> None:
+        is_bucket = state_array(state, "node_is_bucket")
+        vp = state_array(state, "node_vp", dtype=np.int64)
+        mu = state_array(state, "node_mu", dtype=np.float64)
+        inside = state_array(state, "node_inside", dtype=np.int64)
+        outside = state_array(state, "node_outside", dtype=np.int64)
+        bucket_count = state_array(state, "bucket_count", dtype=np.int64)
+        bucket_items = state_array(state, "bucket_items", dtype=np.int64)
+        leaf_size = state_int(state, "leaf_size")
+        super()._restore_state(state)
+        if leaf_size < 1:
+            raise StorageError(f"leaf_size must be >= 1, got {leaf_size}")
+        n = is_bucket.shape[0]
+        if n < 1 or any(
+            arr.shape[0] != n for arr in (vp, mu, inside, outside, bucket_count)
+        ):
+            raise StorageError("vp-tree snapshot: node arrays disagree")
+        covered = sorted(
+            [int(i) for i in bucket_items]
+            + [int(i) for i in vp[is_bucket == 0]]
+        )
+        if covered != list(range(self.size)):
+            raise StorageError(
+                "vp-tree snapshot: vantage points and buckets do not "
+                "partition the database"
+            )
+        offsets = np.concatenate(([0], np.cumsum(bucket_count)))
+        nodes: list[_VPNode] = []
+        child_seen = np.zeros(n, dtype=bool)
+        for nid in range(n):
+            node = _VPNode()
+            node.vp_index = int(vp[nid])
+            node.mu = float(mu[nid])
+            if is_bucket[nid]:
+                node.bucket = [
+                    int(i) for i in bucket_items[offsets[nid] : offsets[nid + 1]]
+                ]
+            nodes.append(node)
+        for nid in range(n):
+            if is_bucket[nid]:
+                continue
+            for child in (int(inside[nid]), int(outside[nid])):
+                # Preorder: children follow their parent; seen-once rules
+                # out shared subtrees and cycles.
+                if not nid < child < n or child_seen[child]:
+                    raise StorageError(
+                        f"vp-tree snapshot: invalid child link {child} "
+                        f"from node {nid}"
+                    )
+                child_seen[child] = True
+            nodes[nid].inside = nodes[int(inside[nid])]
+            nodes[nid].outside = nodes[int(outside[nid])]
+        if not child_seen[1:].all():
+            raise StorageError("vp-tree snapshot: unreachable nodes")
+        self._leaf_size = leaf_size
+        self._rng = np.random.default_rng(0)
+        self._root = nodes[0]
+
+    def _verify_state_probe(self) -> None:
+        # The inside subtree holds objects with d(vp, o) <= mu — descend
+        # the inside spine to a bucket and check its first member.
+        node = self._root
+        if node.bucket is not None:
+            return
+        vp_index, mu = node.vp_index, node.mu
+        probe_node = node.inside
+        while probe_node.bucket is None:  # type: ignore[union-attr]
+            probe_node = probe_node.inside  # type: ignore[union-attr]
+        bucket = probe_node.bucket  # type: ignore[union-attr]
+        member = bucket[0] if bucket else probe_node.vp_index  # type: ignore[union-attr]
+        if member < 0:
+            return
+        probe = self._port.pair_uncounted(
+            self._data[vp_index], self._data[member]
+        )
+        if probe > mu * (1.0 + 1e-9) + 1e-9:
+            raise StorageError(
+                "supplied distance disagrees with the stored ball shells "
+                "(wrong metric or wrong matrix?)"
+            )
 
     def _range_impl(self, bound: BoundQuery, radius: float) -> list[Neighbor]:
         out: list[Neighbor] = []

@@ -7,6 +7,7 @@ accounting, so every experiment is a two-line comparison.
 """
 
 from .base import MAM_REGISTRY, SAM_REGISTRY, BuiltIndex, IndexCosts, resolve_method
+from .lifecycle import load_built_index
 from .qfd_model import QFDModel
 from .qmap_model import QMapModel
 
@@ -18,4 +19,5 @@ __all__ = [
     "MAM_REGISTRY",
     "SAM_REGISTRY",
     "resolve_method",
+    "load_built_index",
 ]

@@ -118,6 +118,8 @@ class BuiltIndex:
         query_mapper: Callable[[np.ndarray], np.ndarray] | None = None,
         batch_mapper: Callable[[np.ndarray], np.ndarray] | None = None,
         build_costs: IndexCosts,
+        method_name: str | None = None,
+        source_matrix: np.ndarray | None = None,
     ) -> None:
         self._am = access_method
         self._counter = counter
@@ -125,6 +127,8 @@ class BuiltIndex:
         self._query_mapper = query_mapper
         self._batch_mapper = batch_mapper
         self._build_costs = build_costs
+        self._method_name = method_name
+        self._source_matrix = source_matrix
         self._query_transforms = 0
 
     @property
@@ -141,6 +145,41 @@ class BuiltIndex:
     def build_costs(self) -> IndexCosts:
         """Costs spent building the index (including data transforms)."""
         return self._build_costs
+
+    @property
+    def method_name(self) -> str | None:
+        """Registry name of the access method (``None`` if hand-wired)."""
+        return self._method_name
+
+    def save(self, path: object, *, extra_meta: "dict[str, Any] | None" = None) -> str:
+        """Snapshot the built index, the model marker and the QFD matrix.
+
+        The archive restores through :meth:`QFDModel.load_index` /
+        :meth:`QMapModel.load_index` (which re-check the matrix) or
+        :func:`repro.models.load_built_index` (which rebuilds the model
+        from the stored matrix) — in all cases with zero distance
+        evaluations.  Returns the path written.
+        """
+        from ..exceptions import StorageError
+        from ..persistence import save_index
+
+        if self._method_name is None or self._source_matrix is None:
+            raise StorageError(
+                "this index was not built through a model pipeline; "
+                "snapshot the access method with repro.persistence.save_index"
+            )
+        meta: dict[str, Any] = {
+            "model": np.str_(self._model_name),
+            "matrix": np.asarray(self._source_matrix, dtype=np.float64),
+            "build_distance_computations": np.int64(
+                self._build_costs.distance_computations
+            ),
+            "build_transforms": np.int64(self._build_costs.transforms),
+            "build_seconds": np.float64(self._build_costs.seconds),
+        }
+        for key, value in (extra_meta or {}).items():
+            meta[key] = value
+        return save_index(self._am, path, meta=meta)
 
     def _map_query(self, query: ArrayLike) -> np.ndarray:
         q = as_vector(query, name="query")

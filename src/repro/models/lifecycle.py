@@ -1,0 +1,53 @@
+"""Model-agnostic index restore: rebuild the pipeline from the snapshot.
+
+:meth:`~repro.models.base.BuiltIndex.save` stores the model marker and
+the QFD matrix alongside the index structure, so a snapshot is
+self-contained — this module reconstructs the right model (QFD or QMap)
+from the stored matrix and restores the index into it, without the
+caller having to remember which pipeline produced the file.
+"""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+
+from ..exceptions import StorageError
+from .base import BuiltIndex
+from .qfd_model import QFDModel
+from .qmap_model import QMapModel
+
+__all__ = ["load_built_index"]
+
+
+def load_built_index(
+    source: "str | os.PathLike[str]", *, verify: bool = True
+) -> BuiltIndex:
+    """Restore a :meth:`BuiltIndex.save` snapshot, model included.
+
+    Reads the stored model marker and QFD matrix, builds the matching
+    :class:`QFDModel` or :class:`QMapModel`, and delegates to its
+    ``load_index`` — zero distance evaluations, like every snapshot
+    restore.
+    """
+    from ..persistence import read_snapshot
+
+    snapshot = read_snapshot(source)
+    label = snapshot.path or "snapshot"
+    model = str(snapshot.meta.get("model", "<missing>"))
+    matrix = snapshot.meta.get("matrix")
+    if matrix is None:
+        raise StorageError(
+            f"{label} carries no QFD matrix; it was not written by "
+            "BuiltIndex.save"
+        )
+    matrix = np.asarray(matrix, dtype=np.float64)
+    if model == QFDModel.name:
+        return QFDModel(matrix).load_index(snapshot, verify=verify)
+    if model == QMapModel.name:
+        return QMapModel(matrix).load_index(snapshot, verify=verify)
+    raise StorageError(
+        f"{label} was saved by unknown model {model!r}; "
+        f"expected {QFDModel.name!r} or {QMapModel.name!r}"
+    )

@@ -12,6 +12,7 @@ from __future__ import annotations
 import time
 from typing import Any
 
+import numpy as np
 
 from .._typing import ArrayLike, as_vector_batch
 from ..core.qfd import QuadraticFormDistance
@@ -76,6 +77,62 @@ class QFDModel:
             model_name=self.name,
             query_mapper=None,
             build_costs=build_costs,
+            method_name=method,
+            source_matrix=self._qfd.matrix,
+        )
+
+    def load_index(self, source: Any, *, verify: bool = True) -> BuiltIndex:
+        """Restore a :meth:`BuiltIndex.save` snapshot into this model.
+
+        *source* is a snapshot path (or an already-read
+        :class:`~repro.persistence.IndexSnapshot`).  The snapshot must
+        have been saved by the QFD model with this model's matrix; both
+        are checked before any structure is rebuilt.  Restoring performs
+        **zero** distance evaluations — the saved structure is re-wired,
+        not rebuilt (``build_costs.distance_computations == 0``).
+        """
+        from ..exceptions import StorageError
+        from ..persistence import IndexSnapshot, load_index, read_snapshot
+
+        snapshot = (
+            source if isinstance(source, IndexSnapshot) else read_snapshot(source)
+        )
+        label = snapshot.path or "snapshot"
+        model = str(snapshot.meta.get("model", "<missing>"))
+        if model != self.name:
+            raise StorageError(
+                f"{label} was saved by the {model!r} model, expected {self.name!r}"
+            )
+        matrix = snapshot.meta.get("matrix")
+        if matrix is None or not np.allclose(
+            np.asarray(matrix, dtype=np.float64), self._qfd.matrix,
+            rtol=1e-9, atol=1e-12,
+        ):
+            raise StorageError(
+                f"{label}: snapshot's QFD matrix disagrees with the model's "
+                "(wrong matrix?)"
+            )
+        if snapshot.method in SAM_REGISTRY:
+            raise QueryError(
+                f"SAM {snapshot.method!r} cannot index the raw QFD space; "
+                "transform it with the QMap model first (paper Section 2.4)"
+            )
+        counter = CountingDistance(self._qfd, one_to_many=self._qfd.one_to_many)
+        start = time.perf_counter()
+        am = load_index(snapshot, counter, verify=verify)
+        elapsed = time.perf_counter() - start
+        build_costs = IndexCosts(
+            distance_computations=counter.count, transforms=0, seconds=elapsed
+        )
+        counter.reset()
+        return BuiltIndex(
+            am,
+            counter,
+            model_name=self.name,
+            query_mapper=None,
+            build_costs=build_costs,
+            method_name=snapshot.method,
+            source_matrix=self._qfd.matrix,
         )
 
     def distance(self, u: ArrayLike, v: ArrayLike) -> float:

@@ -18,6 +18,7 @@ from __future__ import annotations
 import time
 from typing import Any
 
+import numpy as np
 
 from .._typing import ArrayLike, as_vector_batch
 from ..core.qfd import QuadraticFormDistance
@@ -84,6 +85,63 @@ class QMapModel:
             query_mapper=self._qmap.transform,
             batch_mapper=self._qmap.transform_batch,
             build_costs=build_costs,
+            method_name=method,
+            source_matrix=self.qfd.matrix,
+        )
+
+    def load_index(self, source: Any, *, verify: bool = True) -> BuiltIndex:
+        """Restore a :meth:`BuiltIndex.save` snapshot into this model.
+
+        The snapshot stores the *mapped* database (rows are ``uB``), so
+        the restore pays neither the O(m n^2) transform pass nor a single
+        distance evaluation — ``build_costs`` comes back with zero
+        distance computations and zero transforms, the whole point of
+        persisting QMap-model indexes.
+        """
+        from ..exceptions import StorageError
+        from ..persistence import IndexSnapshot, load_index, read_snapshot
+
+        snapshot = (
+            source if isinstance(source, IndexSnapshot) else read_snapshot(source)
+        )
+        label = snapshot.path or "snapshot"
+        model = str(snapshot.meta.get("model", "<missing>"))
+        if model != self.name:
+            raise StorageError(
+                f"{label} was saved by the {model!r} model, expected {self.name!r}"
+            )
+        matrix = snapshot.meta.get("matrix")
+        if matrix is None or not np.allclose(
+            np.asarray(matrix, dtype=np.float64), self.qfd.matrix,
+            rtol=1e-9, atol=1e-12,
+        ):
+            raise StorageError(
+                f"{label}: snapshot's QFD matrix disagrees with the model's "
+                "(wrong matrix?)"
+            )
+        counter = CountingDistance(euclidean, one_to_many=euclidean_one_to_many)
+        from ..mam.base import DistancePort
+        from ..persistence import codec_for
+
+        distance = (
+            DistancePort(counter) if codec_for(snapshot.method).is_sam else counter
+        )
+        start = time.perf_counter()
+        am = load_index(snapshot, distance, verify=verify)
+        elapsed = time.perf_counter() - start
+        build_costs = IndexCosts(
+            distance_computations=counter.count, transforms=0, seconds=elapsed
+        )
+        counter.reset()
+        return BuiltIndex(
+            am,
+            counter,
+            model_name=self.name,
+            query_mapper=self._qmap.transform,
+            batch_mapper=self._qmap.transform_batch,
+            build_costs=build_costs,
+            method_name=snapshot.method,
+            source_matrix=self.qfd.matrix,
         )
 
     def distance(self, u: ArrayLike, v: ArrayLike) -> float:

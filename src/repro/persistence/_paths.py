@@ -1,0 +1,25 @@
+"""Path normalization shared by every persistence entry point.
+
+``np.savez_compressed`` silently appends ``.npz`` when the target path
+lacks the suffix, while ``np.load`` does not — so ``save(x, "table")``
+followed by ``load("table")`` used to fail with a confusing
+``FileNotFoundError``.  Normalizing once, here, makes every save/load
+pair in the package symmetric regardless of whether the caller spelled
+the extension.
+"""
+
+from __future__ import annotations
+
+import os
+
+__all__ = ["NPZ_SUFFIX", "normalize_npz_path"]
+
+NPZ_SUFFIX = ".npz"
+
+
+def normalize_npz_path(path: "str | os.PathLike[str]") -> str:
+    """Return *path* as a string guaranteed to end in ``.npz``."""
+    text = os.fspath(path)
+    if not text.endswith(NPZ_SUFFIX):
+        text += NPZ_SUFFIX
+    return text

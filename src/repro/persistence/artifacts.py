@@ -1,61 +1,56 @@
-"""Persistence of the library's numeric artifacts.
+"""Persistence of the library's flat numeric artifacts.
 
 A production deployment of the QMap model stores, between sessions:
 
 * the QFD matrix and its Cholesky factor (tiny — n x n, computed once
   "at the time of designing the similarity", paper Section 4),
 * the transformed database (the expensive O(m n^2) pass),
-* flat index payloads such as the LAESA pivot table (m x p distances).
+* benchmark workloads (database, queries, matrix, repair provenance).
 
-All artifacts are written as numpy ``.npz`` archives with a ``kind``
-marker and explicit named arrays — no pickling of code objects, so files
-are portable across library versions and languages.  Hierarchical
-structures (M-tree, vp-tree, ...) are intentionally *not* serialized:
-in the QMap model rebuilding them from the persisted transformed database
-costs only O(n)-per-distance work, which is the paper's entire point.
+All artifacts are ``.npz`` archives with a ``kind`` marker and explicit
+named arrays — no pickling of code objects.  Index structures are handled
+by the snapshot layer (:mod:`repro.persistence.snapshots`); the pivot
+table save/load functions here are backward-compatible shims over it.
 """
 
 from __future__ import annotations
 
 import os
+import warnings
 from typing import Callable
 
 import numpy as np
 
-from ._typing import ArrayLike
-from .core.qmap import QMap
-from .core.validation import PDRepair
-from .datasets.workloads import Workload
-from .exceptions import StorageError
-from .mam.base import DistancePort
-from .mam.pivot_table import PivotTable
+from .._typing import ArrayLike
+from ..core.qmap import QMap
+from ..core.validation import PDRepair
+from ..datasets.workloads import Workload
+from ..exceptions import StorageError
+from ..mam.base import DistancePort
+from ..mam.pivot_table import PivotTable
+from ._paths import normalize_npz_path
+from .format import SNAPSHOT_KIND, check_kind, read_snapshot
+from .snapshots import load_index, save_index
 
 __all__ = [
-    "save_qmap",
-    "load_qmap",
-    "save_workload",
-    "load_workload",
-    "save_transformed_database",
-    "load_transformed_database",
-    "save_pivot_table",
     "load_pivot_table",
+    "load_qmap",
+    "load_transformed_database",
+    "load_workload",
+    "save_pivot_table",
+    "save_qmap",
+    "save_transformed_database",
+    "save_workload",
 ]
-
-_PathLike = "str | os.PathLike[str]"
-
-
-def _check_kind(archive: np.lib.npyio.NpzFile, expected: str, path: object) -> None:
-    kind = str(archive["kind"]) if "kind" in archive else "<missing>"
-    if kind != expected:
-        raise StorageError(
-            f"{path!s} holds a {kind!r} artifact, expected {expected!r}"
-        )
 
 
 def save_qmap(qmap: QMap, path: "str | os.PathLike[str]") -> None:
     """Persist a QMap: the QFD matrix A and its Cholesky factor B."""
     np.savez_compressed(
-        path, kind="qmap", matrix=qmap.qfd.matrix, cholesky=qmap.matrix
+        normalize_npz_path(path),
+        kind="qmap",
+        matrix=qmap.qfd.matrix,
+        cholesky=qmap.matrix,
     )
 
 
@@ -66,8 +61,8 @@ def load_qmap(path: "str | os.PathLike[str]") -> QMap:
     stored factor is cross-checked against the fresh one so silent file
     corruption cannot produce a distance-distorting transform.
     """
-    with np.load(path) as archive:
-        _check_kind(archive, "qmap", path)
+    with np.load(normalize_npz_path(path)) as archive:
+        check_kind(archive, "qmap", path)
         matrix = archive["matrix"]
         stored_factor = archive["cholesky"]
     qmap = QMap(matrix)
@@ -79,7 +74,7 @@ def load_qmap(path: "str | os.PathLike[str]") -> QMap:
 def save_workload(workload: Workload, path: "str | os.PathLike[str]") -> None:
     """Persist a benchmark workload (database, queries, matrix, repair)."""
     np.savez_compressed(
-        path,
+        normalize_npz_path(path),
         kind="workload",
         database=workload.database,
         queries=workload.queries,
@@ -92,8 +87,8 @@ def save_workload(workload: Workload, path: "str | os.PathLike[str]") -> None:
 
 def load_workload(path: "str | os.PathLike[str]") -> Workload:
     """Load a workload saved by :func:`save_workload`."""
-    with np.load(path) as archive:
-        _check_kind(archive, "workload", path)
+    with np.load(normalize_npz_path(path)) as archive:
+        check_kind(archive, "workload", path)
         matrix = archive["matrix"]
         repair = PDRepair(
             matrix=matrix,
@@ -121,7 +116,7 @@ def save_transformed_database(
     data = np.asarray(database, dtype=np.float64)
     mapped = qmap.transform_batch(data)
     np.savez_compressed(
-        path,
+        normalize_npz_path(path),
         kind="transformed-database",
         matrix=qmap.qfd.matrix,
         database=data,
@@ -137,8 +132,8 @@ def load_transformed_database(
     A sample of *verify_rows* rows is re-transformed and compared against
     the stored mapping to catch corrupted or mismatched files.
     """
-    with np.load(path) as archive:
-        _check_kind(archive, "transformed-database", path)
+    with np.load(normalize_npz_path(path)) as archive:
+        check_kind(archive, "transformed-database", path)
         matrix = archive["matrix"]
         database = archive["database"]
         mapped = archive["mapped"]
@@ -153,14 +148,19 @@ def load_transformed_database(
 
 
 def save_pivot_table(table: PivotTable, path: "str | os.PathLike[str]") -> None:
-    """Persist a LAESA pivot table: rows, pivot ids and the distance matrix."""
-    np.savez_compressed(
-        path,
-        kind="pivot-table",
-        database=table.database,
-        pivot_indices=np.asarray(table.pivot_indices, dtype=np.int64),
-        table=table.table,
+    """Persist a LAESA pivot table.
+
+    .. deprecated::
+        Thin shim over :func:`repro.persistence.save_index`, which works
+        for every registered access method; new archives are written in
+        the index-snapshot format (still pickle-free ``.npz``).
+    """
+    warnings.warn(
+        "save_pivot_table is deprecated; use repro.persistence.save_index",
+        DeprecationWarning,
+        stacklevel=2,
     )
+    save_index(table, path)
 
 
 def load_pivot_table(
@@ -168,23 +168,43 @@ def load_pivot_table(
 ) -> PivotTable:
     """Load a pivot table saved by :func:`save_pivot_table`.
 
-    *distance* must be the same function the table was built with; a
-    sample entry is re-evaluated to catch obvious mismatches.
+    Reads both the current index-snapshot format and the legacy
+    ``kind="pivot-table"`` archives.  *distance* must be the same function
+    the table was built with; a sample entry is re-evaluated to catch
+    obvious mismatches.
+
+    .. deprecated::
+        Thin shim over :func:`repro.persistence.load_index`.
     """
-    with np.load(path) as archive:
-        _check_kind(archive, "pivot-table", path)
-        instance = PivotTable.from_parts(
-            archive["database"],
-            distance,
-            [int(i) for i in archive["pivot_indices"]],
-            archive["table"],
-        )
-    probe = instance.distance.pair(
-        instance.database[0], instance.database[instance.pivot_indices[0]]
+    warnings.warn(
+        "load_pivot_table is deprecated; use repro.persistence.load_index",
+        DeprecationWarning,
+        stacklevel=2,
     )
-    if not np.isclose(probe, instance.table[0, 0], rtol=1e-6, atol=1e-9):
-        raise StorageError(
-            f"{path!s}: supplied distance disagrees with the stored table "
-            "(wrong metric or wrong matrix?)"
-        )
-    return instance
+    target = normalize_npz_path(path)
+    with np.load(target) as archive:
+        kind = str(archive["kind"]) if "kind" in archive else "<missing>"
+        if kind == "pivot-table":
+            instance = PivotTable.from_parts(
+                archive["database"],
+                distance,
+                [int(i) for i in archive["pivot_indices"]],
+                archive["table"],
+            )
+        elif kind != SNAPSHOT_KIND:
+            raise StorageError(
+                f"{path!s} holds a {kind!r} artifact, expected 'pivot-table'"
+            )
+    if kind == SNAPSHOT_KIND:
+        snapshot = read_snapshot(target)
+        if snapshot.method != "pivot-table":
+            raise StorageError(
+                f"{path!s} holds a {snapshot.method!r} index snapshot, "
+                "expected 'pivot-table'"
+            )
+        instance = load_index(snapshot, distance, verify=False)
+    try:
+        instance._verify_state_probe()
+    except StorageError as exc:
+        raise StorageError(f"{path!s}: {exc}") from None
+    return instance  # type: ignore[return-value]

@@ -1,0 +1,118 @@
+"""Per-method snapshot codecs.
+
+A codec binds a registry name to an access-method class and a codec
+version, and mediates between live indexes and snapshot state dicts.  The
+default registry mirrors :data:`~repro.models.base.MAM_REGISTRY` and
+:data:`~repro.models.base.SAM_REGISTRY`, so every access method the
+models can build can also be snapshotted and restored.
+
+The class lookup is by *exact* type (``XTree`` subclasses ``RTree`` but
+must round-trip through its own codec, which also carries the supernode
+flags).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..exceptions import StorageError
+from ..mam.base import AccessMethod, DistancePort
+
+__all__ = [
+    "CODEC_REGISTRY",
+    "IndexCodec",
+    "codec_for",
+    "codec_for_class",
+    "register_codec",
+    "registered_methods",
+]
+
+
+@dataclass(frozen=True)
+class IndexCodec:
+    """Snapshot codec for one access-method class.
+
+    ``version`` tracks the *state layout* of the method: bump it when a
+    method's ``structural_state`` keys change so older libraries refuse
+    newer snapshots instead of mis-restoring them.
+    """
+
+    method: str
+    cls: type[AccessMethod]
+    is_sam: bool
+    version: int = 1
+
+    def encode(self, index: AccessMethod) -> dict[str, np.ndarray]:
+        """The structural arrays of *index* (no database, no code)."""
+        return index.structural_state()
+
+    def decode(
+        self,
+        database: np.ndarray,
+        distance: "DistancePort | None",
+        state: dict[str, np.ndarray],
+    ) -> AccessMethod:
+        """Rebuild an index from *state* with zero distance computations.
+
+        MAMs need the *distance* they were built with (the structure is
+        meaningless without it); SAMs rebuild their default Minkowski
+        query distance from the stored order when none is supplied.
+        """
+        return self.cls.from_state(database, distance, state)
+
+
+CODEC_REGISTRY: dict[str, IndexCodec] = {}
+
+
+def register_codec(
+    method: str,
+    cls: type[AccessMethod],
+    *,
+    is_sam: bool,
+    version: int = 1,
+) -> IndexCodec:
+    """Register (or replace) the codec for *method*."""
+    codec = IndexCodec(method=method, cls=cls, is_sam=is_sam, version=version)
+    CODEC_REGISTRY[method] = codec
+    return codec
+
+
+def registered_methods() -> list[str]:
+    """Sorted registry names with a snapshot codec."""
+    return sorted(CODEC_REGISTRY)
+
+
+def codec_for(method: str) -> IndexCodec:
+    """The codec registered for *method* (:class:`StorageError` if none)."""
+    try:
+        return CODEC_REGISTRY[method]
+    except KeyError:
+        raise StorageError(
+            f"no snapshot codec registered for method {method!r}; "
+            f"known methods: {registered_methods()}"
+        ) from None
+
+
+def codec_for_class(cls: type) -> IndexCodec:
+    """The codec whose class is exactly *cls* (:class:`StorageError` if none)."""
+    for codec in CODEC_REGISTRY.values():
+        if codec.cls is cls:
+            return codec
+    raise StorageError(
+        f"no snapshot codec registered for class {cls.__name__!r}; "
+        "register one with repro.persistence.register_codec"
+    )
+
+
+def _register_defaults() -> None:
+    from ..models.base import MAM_REGISTRY, SAM_REGISTRY
+
+    for name, cls in MAM_REGISTRY.items():
+        register_codec(name, cls, is_sam=False)
+    for name, cls in SAM_REGISTRY.items():
+        register_codec(name, cls, is_sam=True)
+
+
+_register_defaults()

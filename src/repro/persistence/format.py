@@ -1,0 +1,150 @@
+"""The on-disk index snapshot format.
+
+A snapshot is a plain ``.npz`` archive — named numpy arrays only, no
+pickled code objects (``np.load`` is used with its default
+``allow_pickle=False``, so a tampered archive cannot execute code).  The
+layout is versioned and self-describing:
+
+==================  =====================================================
+``kind``            always ``"index-snapshot"``
+``format_version``  integer; readers reject versions newer than their own
+``method``          registry name of the access method (``"mtree"``, ...)
+``method_version``  per-method codec version
+``database``        the ``(m, n)`` float64 rows the index was built over
+``state__*``        the method's structural arrays (tree topology,
+                    pivot tables, page images, ... — see each method's
+                    ``structural_state``)
+``meta__*``         caller-provided metadata (model name, QFD matrix,
+                    build costs, workload recipe, ...)
+==================  =====================================================
+
+Restoring an index from a snapshot re-wires the structure from these
+arrays and performs **zero** logical distance computations.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..exceptions import StorageError
+from ._paths import normalize_npz_path
+
+__all__ = [
+    "FORMAT_VERSION",
+    "META_PREFIX",
+    "SNAPSHOT_KIND",
+    "STATE_PREFIX",
+    "IndexSnapshot",
+    "check_kind",
+    "read_snapshot",
+    "write_snapshot",
+]
+
+SNAPSHOT_KIND = "index-snapshot"
+FORMAT_VERSION = 1
+STATE_PREFIX = "state__"
+META_PREFIX = "meta__"
+
+#: Archive keys that are not state/meta payload.
+_HEADER_KEYS = ("kind", "format_version", "method", "method_version", "database")
+
+
+def check_kind(archive: "np.lib.npyio.NpzFile", expected: str, path: object) -> None:
+    """Raise :class:`StorageError` unless the archive's kind marker matches."""
+    kind = str(archive["kind"]) if "kind" in archive else "<missing>"
+    if kind != expected:
+        raise StorageError(
+            f"{path!s} holds a {kind!r} artifact, expected {expected!r}"
+        )
+
+
+@dataclass
+class IndexSnapshot:
+    """An index snapshot in memory: everything the archive holds.
+
+    ``state`` carries the structural arrays exactly as the method's
+    ``structural_state`` produced them; ``meta`` carries caller metadata
+    (arrays or numpy scalars).  ``path`` is the archive the snapshot was
+    read from, if any — used to label verification errors.
+    """
+
+    method: str
+    method_version: int
+    database: np.ndarray
+    state: dict[str, np.ndarray]
+    meta: dict[str, np.ndarray] = field(default_factory=dict)
+    path: str | None = None
+
+
+def _reject_objects(label: str, value: object) -> np.ndarray:
+    arr = np.asarray(value)
+    if arr.dtype.hasobject:
+        raise StorageError(
+            f"snapshot entry {label!r} has object dtype; only plain numeric "
+            "and string arrays can be persisted (no pickling)"
+        )
+    return arr
+
+
+def write_snapshot(
+    snapshot: IndexSnapshot, path: "str | os.PathLike[str]"
+) -> str:
+    """Write *snapshot* as a compressed archive, returning the real path."""
+    payload: dict[str, np.ndarray] = {
+        "kind": np.str_(SNAPSHOT_KIND),
+        "format_version": np.int64(FORMAT_VERSION),
+        "method": np.str_(snapshot.method),
+        "method_version": np.int64(snapshot.method_version),
+        "database": _reject_objects("database", snapshot.database),
+    }
+    for key, value in snapshot.state.items():
+        payload[STATE_PREFIX + key] = _reject_objects(key, value)
+    for key, value in snapshot.meta.items():
+        payload[META_PREFIX + key] = _reject_objects(key, value)
+    target = normalize_npz_path(path)
+    np.savez_compressed(target, **payload)
+    return target
+
+
+def read_snapshot(path: "str | os.PathLike[str]") -> IndexSnapshot:
+    """Read a snapshot archive written by :func:`write_snapshot`.
+
+    Rejects non-snapshot archives, archives written by a *newer* format
+    version, and (via numpy's default ``allow_pickle=False``) any archive
+    containing pickled objects.
+    """
+    target = normalize_npz_path(path)
+    try:
+        archive = np.load(target)
+    except OSError as exc:
+        raise StorageError(f"cannot read snapshot {path!s}: {exc}") from None
+    with archive:
+        check_kind(archive, SNAPSHOT_KIND, path)
+        version = int(archive["format_version"])
+        if version > FORMAT_VERSION:
+            raise StorageError(
+                f"{path!s} uses snapshot format version {version}; this "
+                f"library reads up to version {FORMAT_VERSION}"
+            )
+        state: dict[str, np.ndarray] = {}
+        meta: dict[str, np.ndarray] = {}
+        for key in archive.files:
+            if key.startswith(STATE_PREFIX):
+                state[key[len(STATE_PREFIX) :]] = archive[key]
+            elif key.startswith(META_PREFIX):
+                meta[key[len(META_PREFIX) :]] = archive[key]
+            elif key not in _HEADER_KEYS:
+                raise StorageError(
+                    f"{path!s}: unexpected snapshot entry {key!r}"
+                )
+        return IndexSnapshot(
+            method=str(archive["method"]),
+            method_version=int(archive["method_version"]),
+            database=archive["database"],
+            state=state,
+            meta=meta,
+            path=target,
+        )

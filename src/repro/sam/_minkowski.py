@@ -1,0 +1,56 @@
+"""Default Minkowski query distance shared by the SAMs.
+
+R-tree and VA-file pick their distance at query time (the defining SAM
+property, paper Section 2.1); when no counting port is injected they fall
+back to a plain Lp over the coordinates.  Snapshot restores need to rebuild
+that default from the stored Minkowski order alone, so the closures live
+here instead of inside each constructor.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+from ..exceptions import QueryError
+from ..mam.base import DistancePort
+
+__all__ = ["minkowski_functions", "minkowski_port", "validate_order"]
+
+
+def validate_order(p: float) -> float:
+    """Validate a Minkowski order (``p >= 1``; ``inf`` allowed for L∞)."""
+    p = float(p)
+    if p < 1.0:
+        raise QueryError(f"Minkowski order must satisfy p >= 1, got {p}")
+    return p
+
+
+def minkowski_functions(
+    p: float,
+) -> tuple[
+    Callable[[np.ndarray, np.ndarray], float],
+    Callable[[np.ndarray, np.ndarray], np.ndarray],
+]:
+    """``(dist, dist_many)`` closures for the Minkowski order *p*."""
+
+    def dist(u: np.ndarray, v: np.ndarray) -> float:
+        diff = np.abs(u - v)
+        if np.isinf(p):
+            return float(diff.max(initial=0.0))
+        return float(np.power(np.power(diff, p).sum(), 1.0 / p))
+
+    def dist_many(q: np.ndarray, rows: np.ndarray) -> np.ndarray:
+        diff = np.abs(rows - q)
+        if np.isinf(p):
+            return diff.max(axis=1, initial=0.0)
+        return np.power(np.power(diff, p).sum(axis=1), 1.0 / p)
+
+    return dist, dist_many
+
+
+def minkowski_port(p: float) -> DistancePort:
+    """A :class:`~repro.mam.base.DistancePort` over the plain Lp distance."""
+    dist, dist_many = minkowski_functions(p)
+    return DistancePort(dist, one_to_many=dist_many)

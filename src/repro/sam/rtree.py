@@ -22,8 +22,17 @@ from typing import Callable
 import numpy as np
 
 from .._typing import ArrayLike
-from ..exceptions import QueryError
-from ..mam.base import AccessMethod, DistancePort, Neighbor, _KnnHeap
+from ..exceptions import QueryError, StorageError
+from ..mam.base import (
+    AccessMethod,
+    DistancePort,
+    Neighbor,
+    _KnnHeap,
+    state_array,
+    state_float,
+    state_int,
+)
+from ._minkowski import minkowski_port, validate_order
 
 __all__ = ["RTree"]
 
@@ -93,27 +102,12 @@ class RTree(AccessMethod):
     ) -> None:
         if capacity < 2:
             raise QueryError(f"node capacity must be >= 2, got {capacity}")
-        if p < 1.0:
-            raise QueryError(f"Minkowski order must satisfy p >= 1, got {p}")
-        self._p = float(p)
-
-        def dist(u: np.ndarray, v: np.ndarray) -> float:
-            diff = np.abs(u - v)
-            if np.isinf(self._p):
-                return float(diff.max(initial=0.0))
-            return float(np.power(np.power(diff, self._p).sum(), 1.0 / self._p))
-
-        def dist_many(q: np.ndarray, rows: np.ndarray) -> np.ndarray:
-            diff = np.abs(rows - q)
-            if np.isinf(self._p):
-                return diff.max(axis=1, initial=0.0)
-            return np.power(np.power(diff, self._p).sum(axis=1), 1.0 / self._p)
-
+        self._p = validate_order(p)
         # An injected refine_distance (e.g. a CountingDistance over the
         # same Lp) lets the experiments charge refinement evaluations to a
         # shared counter; it must agree with the chosen p.
         if refine_distance is None:
-            refine_distance = DistancePort(dist, one_to_many=dist_many)
+            refine_distance = minkowski_port(self._p)
         super().__init__(database, refine_distance)
         self._capacity = capacity
         self._root = _RNode(self.dim, is_leaf=True)
@@ -124,6 +118,132 @@ class RTree(AccessMethod):
     def p(self) -> float:
         """Minkowski order of the query distance."""
         return self._p
+
+    # ------------------------------------------------------------------
+    # snapshots
+    # ------------------------------------------------------------------
+
+    def _init_restore(self, database, distance, state) -> None:
+        # SAMs pick the distance at query time, so a snapshot restore does
+        # not require one: the stored Minkowski order rebuilds the default
+        # port.  An injected port (e.g. a counting one) takes precedence.
+        p = state_float(state, "p")
+        try:
+            self._p = validate_order(p)
+        except QueryError as exc:
+            raise StorageError(str(exc)) from None
+        if distance is None:
+            distance = minkowski_port(self._p)
+        AccessMethod.__init__(self, database, distance)
+        self._restore_state(state)
+
+    def _preorder_nodes(self) -> list[_RNode]:
+        nodes: list[_RNode] = []
+
+        def collect(node: _RNode) -> None:
+            nodes.append(node)
+            for child in node.children:
+                collect(child)
+
+        collect(self._root)
+        return nodes
+
+    def structural_state(self) -> dict[str, np.ndarray]:
+        nodes = self._preorder_nodes()
+        ids = {id(node): nid for nid, node in enumerate(nodes)}
+        n = len(nodes)
+        is_leaf = np.zeros(n, dtype=np.uint8)
+        lower = np.empty((n, self.dim), dtype=np.float64)
+        upper = np.empty((n, self.dim), dtype=np.float64)
+        parent = np.full(n, -1, dtype=np.int64)
+        leaf_count = np.zeros(n, dtype=np.int64)
+        leaf_items: list[int] = []
+        for nid, node in enumerate(nodes):
+            is_leaf[nid] = 1 if node.is_leaf else 0
+            lower[nid] = node.lower
+            upper[nid] = node.upper
+            leaf_count[nid] = len(node.indices)
+            leaf_items.extend(node.indices)
+            for child in node.children:
+                parent[ids[id(child)]] = nid
+        return {
+            "node_is_leaf": is_leaf,
+            "node_lower": lower,
+            "node_upper": upper,
+            "node_parent": parent,
+            "leaf_count": leaf_count,
+            "leaf_items": np.asarray(leaf_items, dtype=np.int64),
+            "capacity": np.int64(self._capacity),
+            "p": np.float64(self._p),
+        }
+
+    def _restore_state(self, state: dict[str, np.ndarray]) -> list[_RNode]:
+        is_leaf = state_array(state, "node_is_leaf")
+        lower = state_array(state, "node_lower", dtype=np.float64)
+        upper = state_array(state, "node_upper", dtype=np.float64)
+        parent = state_array(state, "node_parent", dtype=np.int64)
+        leaf_count = state_array(state, "leaf_count", dtype=np.int64)
+        leaf_items = state_array(state, "leaf_items", dtype=np.int64)
+        capacity = state_int(state, "capacity")
+        super()._restore_state(state)
+        if capacity < 2:
+            raise StorageError(f"node capacity must be >= 2, got {capacity}")
+        n = is_leaf.shape[0]
+        if n < 1 or lower.shape != (n, self.dim) or upper.shape != (n, self.dim):
+            raise StorageError("R-tree snapshot: MBR arrays disagree")
+        if parent.shape[0] != n or leaf_count.shape[0] != n:
+            raise StorageError("R-tree snapshot: node arrays disagree")
+        if parent[0] != -1:
+            raise StorageError("R-tree snapshot: first node must be the root")
+        if not np.array_equal(np.sort(leaf_items), np.arange(self.size)):
+            raise StorageError(
+                "R-tree snapshot: leaf entries do not partition the database"
+            )
+        offsets = np.concatenate(([0], np.cumsum(leaf_count)))
+        if offsets[-1] != leaf_items.shape[0]:
+            raise StorageError(
+                "R-tree snapshot: leaf items do not match the leaf counts"
+            )
+        nodes: list[_RNode] = []
+        for nid in range(n):
+            node = _RNode(self.dim, is_leaf=bool(is_leaf[nid]))
+            node.lower = lower[nid].copy()
+            node.upper = upper[nid].copy()
+            if node.is_leaf:
+                node.indices = [
+                    int(i) for i in leaf_items[offsets[nid] : offsets[nid + 1]]
+                ]
+            pid = int(parent[nid])
+            if nid > 0:
+                # Preorder parents precede children; wiring in id order
+                # reproduces the original child order.
+                if not 0 <= pid < nid or nodes[pid].is_leaf:
+                    raise StorageError(
+                        f"R-tree snapshot: node {nid} has invalid parent {pid}"
+                    )
+                nodes[pid].children.append(node)
+            nodes.append(node)
+        self._capacity = capacity
+        self._root = nodes[0]
+        return nodes
+
+    def _verify_state_probe(self) -> None:
+        # MBRs are exactly tight over their leaf entries — a coordinate
+        # check that needs no distance function at all.
+        node = self._root
+        while not node.is_leaf:
+            node = node.children[0]
+        if not node.indices:
+            return
+        rows = self._data[node.indices]
+        if not (
+            np.allclose(node.lower, rows.min(axis=0), rtol=1e-9, atol=1e-12)
+            and np.allclose(node.upper, rows.max(axis=0), rtol=1e-9, atol=1e-12)
+        ):
+            raise StorageError(
+                "stored bounding rectangles disagree with the database "
+                "(snapshot from a different dataset?)"
+            )
 
     # ------------------------------------------------------------------
     # construction

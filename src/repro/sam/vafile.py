@@ -20,8 +20,17 @@ from typing import Callable
 import numpy as np
 
 from .._typing import ArrayLike
-from ..exceptions import QueryError
-from ..mam.base import AccessMethod, DistancePort, Neighbor, _KnnHeap
+from ..exceptions import QueryError, StorageError
+from ..mam.base import (
+    AccessMethod,
+    DistancePort,
+    Neighbor,
+    _KnnHeap,
+    state_array,
+    state_float,
+    state_int,
+)
+from ._minkowski import minkowski_port, validate_order
 
 __all__ = ["VAFile"]
 
@@ -49,25 +58,10 @@ class VAFile(AccessMethod):
     ) -> None:
         if not 1 <= bits <= 16:
             raise QueryError(f"bits per dimension must be in [1, 16], got {bits}")
-        if p < 1.0:
-            raise QueryError(f"Minkowski order must satisfy p >= 1, got {p}")
-        self._p = float(p)
-
-        def dist(u: np.ndarray, v: np.ndarray) -> float:
-            diff = np.abs(u - v)
-            if np.isinf(self._p):
-                return float(diff.max(initial=0.0))
-            return float(np.power(np.power(diff, self._p).sum(), 1.0 / self._p))
-
-        def dist_many(q: np.ndarray, rows: np.ndarray) -> np.ndarray:
-            diff = np.abs(rows - q)
-            if np.isinf(self._p):
-                return diff.max(axis=1, initial=0.0)
-            return np.power(np.power(diff, self._p).sum(axis=1), 1.0 / self._p)
-
+        self._p = validate_order(p)
         # See RTree: an injected counter charges refinements to the caller.
         if refine_distance is None:
-            refine_distance = DistancePort(dist, one_to_many=dist_many)
+            refine_distance = minkowski_port(self._p)
         super().__init__(database, refine_distance)
         self._bits = bits
         cells = 2**bits
@@ -89,6 +83,73 @@ class VAFile(AccessMethod):
     def bits(self) -> int:
         """Bits per dimension."""
         return self._bits
+
+    # ------------------------------------------------------------------
+    # snapshots
+    # ------------------------------------------------------------------
+
+    def _init_restore(self, database, distance, state) -> None:
+        # Like the R-tree, the VA-file needs no supplied distance: the
+        # stored Minkowski order rebuilds the default refinement port.
+        p = state_float(state, "p")
+        try:
+            self._p = validate_order(p)
+        except QueryError as exc:
+            raise StorageError(str(exc)) from None
+        if distance is None:
+            distance = minkowski_port(self._p)
+        AccessMethod.__init__(self, database, distance)
+        self._restore_state(state)
+
+    def structural_state(self) -> dict[str, np.ndarray]:
+        return {
+            "bits": np.int64(self._bits),
+            "p": np.float64(self._p),
+            "boundaries": self._boundaries.copy(),
+            "approx": self._approx.copy(),
+        }
+
+    def _restore_state(self, state: dict[str, np.ndarray]) -> None:
+        bits = state_int(state, "bits")
+        boundaries = state_array(state, "boundaries", dtype=np.float64)
+        approx = state_array(state, "approx", dtype=np.uint16)
+        super()._restore_state(state)
+        if not 1 <= bits <= 16:
+            raise StorageError(
+                f"bits per dimension must be in [1, 16], got {bits}"
+            )
+        cells = 2**bits
+        if boundaries.shape != (cells + 1, self.dim):
+            raise StorageError(
+                f"VA-file snapshot: boundary grid shape {boundaries.shape} "
+                f"does not match ({cells + 1}, {self.dim})"
+            )
+        if approx.shape != (self.size, self.dim):
+            raise StorageError(
+                f"VA-file snapshot: approximation shape {approx.shape} "
+                f"does not match ({self.size}, {self.dim})"
+            )
+        if approx.size and int(approx.max()) >= cells:
+            raise StorageError(
+                "VA-file snapshot: approximation cell out of range"
+            )
+        self._bits = bits
+        self._boundaries = boundaries.copy()
+        self._approx = approx.copy()
+        cells_idx = self._approx.astype(np.int64)
+        self._cell_lower = np.take_along_axis(self._boundaries, cells_idx, axis=0)
+        self._cell_upper = np.take_along_axis(self._boundaries, cells_idx + 1, axis=0)
+
+    def _verify_state_probe(self) -> None:
+        # Re-quantizing the first row with the stored grid must reproduce
+        # its stored approximation — no distance function involved.
+        if self.size == 0:
+            return
+        if not np.array_equal(self._quantize(self._data[:1]), self._approx[:1]):
+            raise StorageError(
+                "stored approximations disagree with the database "
+                "(snapshot from a different dataset?)"
+            )
 
     @property
     def approximation_bytes(self) -> int:

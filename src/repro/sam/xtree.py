@@ -20,8 +20,8 @@ from typing import Callable
 import numpy as np
 
 from .._typing import ArrayLike
-from ..exceptions import QueryError
-from ..mam.base import DistancePort
+from ..exceptions import QueryError, StorageError
+from ..mam.base import DistancePort, state_array, state_float
 from .rtree import RTree, _RNode
 
 __all__ = ["XTree"]
@@ -87,6 +87,35 @@ class XTree(RTree):
     def supernode_count(self) -> int:
         """Number of supernodes currently in the tree (diagnostic)."""
         return len(self._supernodes)
+
+    def structural_state(self) -> dict[str, np.ndarray]:
+        state = super().structural_state()
+        nodes = self._preorder_nodes()
+        flags = np.asarray(
+            [1 if id(node) in self._supernodes else 0 for node in nodes],
+            dtype=np.uint8,
+        )
+        state["supernode_flags"] = flags
+        state["max_overlap"] = np.float64(self._max_overlap)
+        return state
+
+    def _restore_state(self, state: dict[str, np.ndarray]) -> list[_RNode]:
+        flags = state_array(state, "supernode_flags")
+        max_overlap = state_float(state, "max_overlap")
+        if not 0.0 <= max_overlap <= 1.0:
+            raise StorageError(
+                f"max_overlap must be in [0, 1], got {max_overlap}"
+            )
+        nodes = super()._restore_state(state)
+        if flags.shape[0] != len(nodes):
+            raise StorageError(
+                "X-tree snapshot: supernode flags do not match the node count"
+            )
+        self._max_overlap = max_overlap
+        self._supernodes = {
+            id(node) for node, flag in zip(nodes, flags) if flag
+        }
+        return nodes
 
     def _group_mbrs(
         self, points: np.ndarray, group_a: list[int], group_b: list[int]

@@ -1,9 +1,11 @@
 """Disk-backed vector storage: fixed-length records packed into pages.
 
 This is the binary layout behind the paper's "sequential file" MAM
-(Section 4.1): appending a vector writes its ``float64`` coordinates into
-the next free slot; a sequential scan reads the pages in order through the
-LRU cache, paying one physical read per page not resident.
+(Section 4.1): appending a vector writes its coordinates into the next
+free slot; a sequential scan reads the pages in order through the LRU
+cache, paying one physical read per page not resident.  Records default to
+``float64``; a ``float32`` store halves the footprint at the cost of
+rounding each stored coordinate once.
 """
 
 from __future__ import annotations
@@ -18,11 +20,11 @@ from .pages import DEFAULT_PAGE_SIZE, PagedFile
 
 __all__ = ["VectorStore"]
 
-_FLOAT_BYTES = 8
+_RECORD_DTYPES = (np.dtype(np.float64), np.dtype(np.float32))
 
 
 class VectorStore:
-    """Append-only store of fixed-dimensionality ``float64`` vectors.
+    """Append-only store of fixed-dimensionality float vectors.
 
     Parameters
     ----------
@@ -37,6 +39,10 @@ class VectorStore:
     read_latency:
         Simulated seconds per physical page read (see
         :class:`~repro.storage.pages.PagedFile`).
+    dtype:
+        On-disk record precision, ``float64`` (default) or ``float32``.
+        Reads always return ``float64`` arrays; with a ``float32`` store
+        each coordinate passes through one precision-halving round-trip.
     """
 
     def __init__(
@@ -47,16 +53,24 @@ class VectorStore:
         cache_pages: int = 64,
         path: str | None = None,
         read_latency: float = 0.0,
+        dtype: str | np.dtype = "float64",
     ) -> None:
         if dim < 1:
             raise StorageError(f"dim must be >= 1, got {dim}")
-        record = dim * _FLOAT_BYTES
+        record_dtype = np.dtype(dtype)
+        if record_dtype not in _RECORD_DTYPES:
+            names = ", ".join(str(d) for d in _RECORD_DTYPES)
+            raise StorageError(
+                f"record dtype must be one of {names}, got {record_dtype}"
+            )
+        record = dim * record_dtype.itemsize
         if record > page_size:
             raise StorageError(
-                f"a {dim}-d float64 record ({record} B) does not fit a "
-                f"{page_size} B page; raise page_size"
+                f"a {dim}-d {record_dtype} record ({record} B) does not fit "
+                f"a {page_size} B page; raise page_size"
             )
         self._dim = dim
+        self._dtype = record_dtype
         self._record_size = record
         self._per_page = page_size // record
         self._file = PagedFile(page_size, path=path, read_latency=read_latency)
@@ -67,6 +81,16 @@ class VectorStore:
     def dim(self) -> int:
         """Vector dimensionality."""
         return self._dim
+
+    @property
+    def dtype(self) -> np.dtype:
+        """On-disk record precision."""
+        return self._dtype
+
+    @property
+    def record_size(self) -> int:
+        """Bytes per stored vector record."""
+        return self._record_size
 
     def __len__(self) -> int:
         return self._count
@@ -83,7 +107,7 @@ class VectorStore:
 
     def append(self, vector: np.ndarray) -> int:
         """Append one vector, returning its record index."""
-        arr = np.ascontiguousarray(vector, dtype=np.float64)
+        arr = np.ascontiguousarray(vector, dtype=self._dtype)
         if arr.shape != (self._dim,):
             raise DimensionMismatchError(
                 f"expected shape ({self._dim},), got {arr.shape}"
@@ -116,7 +140,10 @@ class VectorStore:
         page_id, slot = divmod(index, self._per_page)
         payload = self._cache.read_page(page_id)
         offset = slot * self._record_size
-        return np.frombuffer(payload, dtype=np.float64, count=self._dim, offset=offset).copy()
+        return (
+            np.frombuffer(payload, dtype=self._dtype, count=self._dim, offset=offset)
+            .astype(np.float64)
+        )
 
     def scan(self) -> Iterator[tuple[int, np.ndarray]]:
         """Iterate ``(index, vector)`` in storage order, page by page."""
@@ -125,10 +152,10 @@ class VectorStore:
             payload = self._cache.read_page(page_id)
             in_page = min(self._per_page, self._count - start)
             block = np.frombuffer(
-                payload, dtype=np.float64, count=in_page * self._dim
+                payload, dtype=self._dtype, count=in_page * self._dim
             ).reshape(in_page, self._dim)
             for slot in range(in_page):
-                yield start + slot, block[slot].copy()
+                yield start + slot, block[slot].astype(np.float64)
 
     def scan_pages(self) -> Iterator[tuple[int, np.ndarray]]:
         """Iterate ``(first_index, rows)`` one page at a time (vectorized scan)."""
@@ -137,9 +164,9 @@ class VectorStore:
             payload = self._cache.read_page(page_id)
             in_page = min(self._per_page, self._count - start)
             rows = np.frombuffer(
-                payload, dtype=np.float64, count=in_page * self._dim
+                payload, dtype=self._dtype, count=in_page * self._dim
             ).reshape(in_page, self._dim)
-            yield start, rows.copy()
+            yield start, rows.astype(np.float64)
 
     def close(self) -> None:
         """Close the backing paged file."""

@@ -1,0 +1,114 @@
+"""Tests for the ``repro index`` lifecycle subcommands."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_subcommand(self) -> None:
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["index"])
+
+    def test_build_defaults(self) -> None:
+        args = build_parser().parse_args(["index", "build"])
+        assert args.index_command == "build"
+        assert args.method == "pivot-table" and args.model == "qmap"
+        assert args.out is None
+
+    def test_save_requires_out(self) -> None:
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["index", "save"])
+
+    def test_load_takes_path(self) -> None:
+        args = build_parser().parse_args(["index", "load", "snap.npz"])
+        assert args.index_command == "load" and args.path == "snap.npz"
+        assert not args.no_verify
+
+    def test_query_options(self) -> None:
+        args = build_parser().parse_args(
+            [
+                "index", "query", "snap.npz",
+                "--radius", "0.5", "--executor", "thread",
+                "--workers", "2", "--trace",
+            ]
+        )
+        assert args.radius == 0.5 and args.executor == "thread"
+        assert args.workers == 2 and args.trace
+
+
+class TestLifecycle:
+    def _save(self, tmp_path, capsys, *extra: str) -> str:
+        path = str(tmp_path / "snap")
+        code = main(
+            [
+                "index", "save",
+                "--method", "pivot-table", "--size", "80",
+                "--queries", "4", "--seed", "3",
+                "--out", path, *extra,
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert f"snapshot : {path}.npz" in out
+        return path + ".npz"
+
+    def test_save_then_load_zero_evals(self, tmp_path, capsys) -> None:
+        saved = self._save(tmp_path, capsys)
+        code = main(["index", "load", saved])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "restore  : 0 distance evaluations" in out
+        assert "pivot-table [qmap model]" in out
+
+    def test_save_then_query_recorded_workload(self, tmp_path, capsys) -> None:
+        saved = self._save(tmp_path, capsys)
+        code = main(["index", "query", saved, "--k", "3"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "restore  : 0 distance evaluations" in out
+        assert "q=4, 3NN" in out
+
+    def test_query_range_with_trace(self, tmp_path, capsys) -> None:
+        saved = self._save(tmp_path, capsys)
+        code = main(["index", "query", saved, "--radius", "0.4", "--trace"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "range(r=0.4)" in out
+        assert "trace    :" in out
+
+    def test_qfd_model_build(self, tmp_path, capsys) -> None:
+        saved = self._save(tmp_path, capsys, "--model", "qfd")
+        code = main(["index", "load", saved])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "[qfd model]" in out
+
+    def test_build_without_out_writes_nothing(self, tmp_path, capsys) -> None:
+        code = main(
+            ["index", "build", "--method", "sequential", "--size", "50"]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "snapshot" not in out
+        assert list(tmp_path.iterdir()) == []
+
+    def test_query_without_recipe_fails_cleanly(self, tmp_path, capsys) -> None:
+        from repro.models import QFDModel
+
+        data = np.random.default_rng(0).random((20, 4))
+        path = QFDModel(np.eye(4)).build_index("sequential", data).save(
+            tmp_path / "bare"
+        )
+        code = main(["index", "query", path])
+        captured = capsys.readouterr()
+        assert code == 2
+        assert "records no query workload recipe" in captured.err
+
+    def test_load_missing_file_fails_cleanly(self, tmp_path, capsys) -> None:
+        code = main(["index", "load", str(tmp_path / "absent.npz")])
+        assert code == 2
+        assert "error:" in capsys.readouterr().err

@@ -1,0 +1,96 @@
+"""Property-based tests (hypothesis) for snapshot round-trips.
+
+For every registered access method, under random databases, matrices and
+queries: ``build -> save -> load`` must answer range and kNN queries
+bit-identically to the original *and* to a fresh deterministic rebuild,
+and the load must perform zero distance evaluations.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import random_spd_matrix
+from repro.core.qfd import QuadraticFormDistance
+from repro.distances import CountingDistance
+from repro.mam.base import DistancePort
+from repro.models import MAM_REGISTRY, SAM_REGISTRY
+from repro.models.base import instantiate
+from repro.persistence import load_index, save_index
+
+ALL_METHODS = sorted(MAM_REGISTRY) + sorted(SAM_REGISTRY)
+
+#: Construction arguments sized for the tiny random databases below.
+METHOD_KWARGS: dict[str, dict[str, int]] = {
+    "pivot-table": {"n_pivots": 3},
+    "mindex": {"n_pivots": 3},
+    "mtree": {"capacity": 4},
+    "paged-mtree": {"capacity": 4, "cache_pages": 8},
+    "vptree": {"leaf_size": 3},
+    "gnat": {"arity": 3, "leaf_size": 3},
+    "rtree": {"capacity": 4},
+    "xtree": {"capacity": 4},
+    "vafile": {"bits": 3},
+    "disk-sequential": {"page_size": 512},
+}
+
+
+def _counter(matrix: np.ndarray) -> CountingDistance:
+    qfd = QuadraticFormDistance(matrix)
+    return CountingDistance(qfd, one_to_many=qfd.one_to_many)
+
+
+def _build(method: str, data: np.ndarray, counter: CountingDistance):
+    return instantiate(method, data, counter, dict(METHOD_KWARGS.get(method, {})))
+
+
+@pytest.mark.parametrize("method", ALL_METHODS)
+class TestRoundTripProperty:
+    @given(
+        seed=st.integers(0, 10_000),
+        m=st.integers(8, 60),
+        dim=st.integers(2, 5),
+        k=st.integers(1, 8),
+        radius=st.floats(0.05, 1.5),
+    )
+    @settings(max_examples=10, deadline=None)
+    def test_save_load_preserves_answers(
+        self, method, tmp_path_factory, seed, m, dim, k, radius
+    ) -> None:
+        rng = np.random.default_rng(seed)
+        matrix = random_spd_matrix(dim, rng=rng, condition=10.0)
+        data = rng.random((m, dim))
+        query = rng.random(dim)
+        path = tmp_path_factory.mktemp("snap") / f"{method}.npz"
+
+        original = _build(method, data, _counter(matrix))
+        save_index(original, path)
+
+        fresh = _counter(matrix)
+        distance = DistancePort(fresh) if method in SAM_REGISTRY else fresh
+        restored = load_index(path, distance)
+        assert fresh.count == 0, f"{method}: load cost {fresh.count} evaluations"
+
+        rebuild_counter = _counter(matrix)
+        rebuilt = _build(method, data, rebuild_counter)
+
+        want_knn = [(n.index, n.distance) for n in original.knn_search(query, k)]
+        assert [
+            (n.index, n.distance) for n in restored.knn_search(query, k)
+        ] == want_knn
+        assert [
+            (n.index, n.distance) for n in rebuilt.knn_search(query, k)
+        ] == want_knn
+
+        want_range = [
+            (n.index, n.distance) for n in original.range_search(query, radius)
+        ]
+        assert [
+            (n.index, n.distance) for n in restored.range_search(query, radius)
+        ] == want_range
+        assert [
+            (n.index, n.distance) for n in rebuilt.range_search(query, radius)
+        ] == want_range

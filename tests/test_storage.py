@@ -223,3 +223,44 @@ class TestVectorStore:
             list(store.scan_pages())
             # Each full scan faults on every page (thrashing).
             assert store.cache.stats.faults == 6
+
+class TestVectorStoreDtype:
+    def test_default_is_float64(self) -> None:
+        with VectorStore(4) as store:
+            assert store.dtype == np.float64
+            assert store.record_size == 32
+
+    def test_float32_halves_the_record(self) -> None:
+        with VectorStore(4, page_size=128, dtype="float32") as store:
+            assert store.dtype == np.float32
+            assert store.record_size == 16
+            assert store.records_per_page == 8
+
+    def test_float32_roundtrip_reads_float64(self, rng: np.random.Generator) -> None:
+        rows = rng.random((6, 4))
+        with VectorStore(4, page_size=64, dtype=np.float32) as store:
+            store.extend(rows)
+            for i in range(6):
+                got = store.get(i)
+                assert got.dtype == np.float64
+                # One float32 rounding per coordinate, nothing worse.
+                assert np.allclose(got, rows[i], atol=1e-6)
+                assert np.array_equal(got, rows[i].astype(np.float32).astype(np.float64))
+
+    def test_scan_matches_get_for_float32(self, rng: np.random.Generator) -> None:
+        rows = rng.random((5, 4))
+        with VectorStore(4, page_size=64, dtype="float32") as store:
+            store.extend(rows)
+            for i, vec in store.scan():
+                assert np.array_equal(vec, store.get(i))
+
+    def test_unsupported_dtype_rejected(self) -> None:
+        with pytest.raises(StorageError, match="record dtype"):
+            VectorStore(4, dtype="int32")
+
+    def test_record_fit_respects_dtype(self) -> None:
+        # 16-d float64 records (128 B) overflow a 64 B page; float32 fits.
+        with pytest.raises(StorageError):
+            VectorStore(16, page_size=64)
+        with VectorStore(16, page_size=64, dtype="float32") as store:
+            assert store.records_per_page == 1
