@@ -23,16 +23,22 @@ Two caveats the numbers carry:
 
 from __future__ import annotations
 
+import argparse
 import functools
+import json
 import os
 import time
+from pathlib import Path
 
 import pytest
 
 from _common import get_workload, print_header
-from repro.bench import format_table, speedup
+from repro.bench import format_table, metrics_block, speedup
 from repro.engine import TraceCollector
 from repro.models import BuiltIndex, QFDModel, QMapModel
+from repro.obs import MetricsRegistry, use_registry
+
+DEFAULT_OUT = Path(__file__).resolve().parent.parent / "BENCH_batch_throughput.json"
 
 #: Thread-executor worker counts swept by the report.
 WORKER_GRID = [1, 2, 4, 8]
@@ -96,6 +102,20 @@ def _measure(fn, repeats: int = 3) -> float:
 
 
 def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="report only, no JSON written (CI liveness check)",
+    )
+    parser.add_argument(
+        "--out",
+        type=Path,
+        default=None,
+        help=f"output path (default: {DEFAULT_OUT}; never written in --smoke)",
+    )
+    args = parser.parse_args()
+
     print_header(
         "Batch throughput",
         f"pivot-table {K}NN via the batch engine (m={M}, q={N_QUERIES})",
@@ -106,6 +126,21 @@ def main() -> None:
         f"near min(workers, cores); expect a flat sweep on 1 core"
     )
 
+    report = {
+        "benchmark": "batch_throughput",
+        "structure": "pivot-table",
+        "query": "knn",
+        "config": {
+            "m": M,
+            "n_queries": N_QUERIES,
+            "k": K,
+            "n_pivots": N_PIVOTS,
+            "worker_grid": WORKER_GRID,
+            "cpu_cores": cores,
+            "smoke": args.smoke,
+        },
+        "results": [],
+    }
     rows = []
     qps = {}
     for label, runner in [("loop", None)] + [
@@ -120,6 +155,14 @@ def main() -> None:
                 seconds = _measure(lambda: _run_batch(index, runner))
             per_model[model_name] = N_QUERIES / seconds
         qps[label] = per_model
+        report["results"].append(
+            {
+                "execution": label,
+                "workers": runner,
+                "qfd_qps": per_model["qfd"],
+                "qmap_qps": per_model["qmap"],
+            }
+        )
         rows.append(
             [
                 label,
@@ -145,26 +188,41 @@ def main() -> None:
 
     # Cost-model sanity: both models must spend identical logical distance
     # evaluations per query — the paper's machine-independent invariant —
-    # and the traces must agree with the model-level counters.
-    for model_name in ("qfd", "qmap"):
-        index = _index(model_name)
-        index.reset_query_costs()
-        collector = TraceCollector()
-        _run_batch(index, 4, collector)
-        summary = collector.summary()
-        counted = index.query_costs().distance_computations
-        print(
-            f"{model_name:4s} trace: {summary.evaluations_per_query:.1f} "
-            f"evals/query ({summary.scalar_evaluations} scalar + "
-            f"{summary.batched_evaluations} batched; model counter "
-            f"{counted}, traces {'agree' if summary.distance_evaluations == counted else 'DISAGREE'})"
-        )
+    # and the traces must agree with the model-level counters.  This pass
+    # runs under a live metrics registry, so the report's ``metrics``
+    # block carries the full observability snapshot (batch wall time,
+    # per-query evaluation histograms, throughput gauges).
+    registry = MetricsRegistry()
+    with use_registry(registry):
+        for model_name in ("qfd", "qmap"):
+            index = _index(model_name)
+            index.reset_query_costs()
+            collector = TraceCollector()
+            _run_batch(index, 4, collector)
+            summary = collector.summary()
+            counted = index.query_costs().distance_computations
+            print(
+                f"{model_name:4s} trace: {summary.evaluations_per_query:.1f} "
+                f"evals/query ({summary.scalar_evaluations} scalar + "
+                f"{summary.batched_evaluations} batched; model counter "
+                f"{counted}, traces {'agree' if summary.distance_evaluations == counted else 'DISAGREE'}; "
+                f"batch wall {summary.batch_seconds:.3f}s "
+                f"-> {summary.queries_per_second:.1f} q/s)"
+            )
+    report["metrics"] = metrics_block(registry)
     print(
         "\npaper shape check: the QFD->QMap speedup column is constant "
         "across executors — parallelism accelerates both models equally "
         "because they evaluate the same number of distances; QMap's edge "
         "is purely the O(n) vs O(n^2) per-evaluation cost."
     )
+
+    if args.smoke and args.out is None:
+        print("smoke run: machinery OK, no JSON written")
+        return
+    out = args.out if args.out is not None else DEFAULT_OUT
+    out.write_text(json.dumps(report, indent=2) + "\n")
+    print(f"wrote {out}")
 
 
 if __name__ == "__main__":

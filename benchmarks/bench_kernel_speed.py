@@ -35,8 +35,10 @@ from repro.core.qfd import QuadraticFormDistance
 from repro.core.qmap import QMap
 from repro.datasets import vector_workload
 from repro.distances import CountingDistance, euclidean, euclidean_one_to_many
+from repro.bench import metrics_block
 from repro.mam import MTree
 from repro.mam.base import DistancePort
+from repro.obs import MetricsRegistry, span, use_registry
 
 DEFAULT_OUT = Path(__file__).resolve().parent.parent / "BENCH_kernels.json"
 
@@ -191,26 +193,33 @@ def main() -> None:
     header = f"{'model':>6} {'n':>4} {'scalar':>10} {'node-batch':>11} {'gram':>10} {'speedup':>8}"
     print(header)
     print("-" * len(header))
-    for dim in dims:
-        for model in ("qfd", "qmap"):
-            entry = run_model(
-                model,
-                dim,
-                m=m,
-                n_queries=n_queries,
-                k=k,
-                capacity=capacity,
-                repeats=repeats,
-            )
-            report["results"].append(entry)
-            tiers = entry["tiers"]
-            print(
-                f"{model:>6} {dim:>4} "
-                f"{tiers['scalar']['seconds']:>10.4f} "
-                f"{tiers['node_batched']['seconds']:>11.4f} "
-                f"{tiers['gram_kernel']['seconds']:>10.4f} "
-                f"{entry['speedup_gram_kernel']:>7.1f}x"
-            )
+    # The measured grid runs under a live metrics registry so the JSON
+    # report carries an observability ``metrics`` block (span timings per
+    # model x dim cell) alongside the raw tier numbers.
+    registry = MetricsRegistry()
+    with use_registry(registry):
+        for dim in dims:
+            for model in ("qfd", "qmap"):
+                with span("bench/kernel_speed", model=model, dim=str(dim)):
+                    entry = run_model(
+                        model,
+                        dim,
+                        m=m,
+                        n_queries=n_queries,
+                        k=k,
+                        capacity=capacity,
+                        repeats=repeats,
+                    )
+                report["results"].append(entry)
+                tiers = entry["tiers"]
+                print(
+                    f"{model:>6} {dim:>4} "
+                    f"{tiers['scalar']['seconds']:>10.4f} "
+                    f"{tiers['node_batched']['seconds']:>11.4f} "
+                    f"{tiers['gram_kernel']['seconds']:>10.4f} "
+                    f"{entry['speedup_gram_kernel']:>7.1f}x"
+                )
+    report["metrics"] = metrics_block(registry)
 
     if args.smoke and args.out is None:
         print("smoke run: machinery OK, no JSON written")

@@ -31,8 +31,10 @@ import tempfile
 import time
 from pathlib import Path
 
+from repro.bench import metrics_block
 from repro.datasets import histogram_workload
 from repro.models import QFDModel, QMapModel
+from repro.obs import MetricsRegistry, use_registry
 
 DEFAULT_OUT = Path(__file__).resolve().parent.parent / "BENCH_snapshot.json"
 
@@ -157,7 +159,12 @@ def main() -> None:
     )
     print(header)
     print("-" * len(header))
-    with tempfile.TemporaryDirectory() as tmpdir:
+    # Run under a live metrics registry: build_index/load_index emit
+    # build/load spans and phase="build" distance counters, so the JSON
+    # report's ``metrics`` block mirrors the table (and shows restores
+    # paying zero distance evaluations).
+    registry = MetricsRegistry()
+    with tempfile.TemporaryDirectory() as tmpdir, use_registry(registry):
         pairs = [(qfd, method) for method in mams]
         pairs += [(qmap, method) for method in (*mams, *sams)]
         for model, method in pairs:
@@ -171,6 +178,7 @@ def main() -> None:
                 f"{entry['restore']['seconds']:>10.4f} "
                 f"{entry['restore_speedup']:>7.1f}x"
             )
+    report["metrics"] = metrics_block(registry)
 
     if args.smoke and args.out is None:
         print("smoke run: machinery OK, no JSON written")

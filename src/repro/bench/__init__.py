@@ -11,7 +11,7 @@ from .complexity import (
     theoretical_indexing_flops,
     theoretical_querying_flops,
 )
-from .reporting import format_series, format_table, speedup
+from .reporting import format_series, format_table, metrics_block, speedup
 from .runner import (
     ModelComparison,
     QueryMeasurement,
@@ -28,6 +28,7 @@ __all__ = [
     "format_table",
     "format_series",
     "speedup",
+    "metrics_block",
     "QueryMeasurement",
     "ModelComparison",
     "measure_queries",

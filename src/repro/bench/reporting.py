@@ -7,9 +7,9 @@ explicit units) so the outputs in EXPERIMENTS.md stay readable.
 
 from __future__ import annotations
 
-from typing import Iterable, Sequence
+from typing import Any, Iterable, Sequence
 
-__all__ = ["format_table", "format_series", "speedup"]
+__all__ = ["format_table", "format_series", "speedup", "metrics_block"]
 
 
 def _fmt(value: object) -> str:
@@ -60,3 +60,19 @@ def speedup(baseline: float, improved: float) -> float:
     if improved <= 0.0:
         return float("inf") if baseline > 0.0 else 1.0
     return baseline / improved
+
+
+def metrics_block(registry: Any = None) -> dict[str, Any]:
+    """The ``metrics`` block the ``BENCH_*.json`` reports embed.
+
+    A JSON-able snapshot of *registry* (default: the active one) in the
+    :func:`repro.obs.snapshot_dict` shape.  With the null registry active
+    the block is present but empty, so report consumers can rely on the
+    key.
+    """
+    from ..obs import get_registry, snapshot_dict
+
+    reg = registry if registry is not None else get_registry()
+    if not getattr(reg, "enabled", False):
+        return {"metrics": [], "spans": []}
+    return snapshot_dict(reg)

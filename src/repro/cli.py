@@ -21,6 +21,15 @@ Commands
     recipe in its metadata (``save``), restore it with zero distance
     evaluations (``load``), and run the recorded query workload against a
     restored snapshot through the batch engine (``query``).
+``report``
+    Build and query a synthetic workload with a live metrics registry
+    and export everything the observability layer collected — build and
+    query spans, distance-evaluation counters, per-MAM node accounting —
+    as an aligned table, JSON-lines, or Prometheus text format.
+
+``query`` and ``index query`` additionally accept ``--trace-out PATH``
+(per-query ``QueryTrace`` records as JSON-lines) and ``--metrics
+{table,jsonl,prom}`` (run with a live registry and print the export).
 """
 
 from __future__ import annotations
@@ -96,6 +105,18 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="collect per-query traces and print the aggregated cost model",
     )
+    query.add_argument(
+        "--trace-out",
+        default=None,
+        metavar="PATH",
+        help="write per-query QueryTrace records to PATH as JSON-lines",
+    )
+    query.add_argument(
+        "--metrics",
+        choices=["table", "jsonl", "prom"],
+        default=None,
+        help="run with a live metrics registry and print the export",
+    )
     query.add_argument("--seed", type=int, default=0)
 
     index = sub.add_parser(
@@ -167,6 +188,55 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="collect per-query traces and print the aggregated cost model",
     )
+    iquery.add_argument(
+        "--trace-out",
+        default=None,
+        metavar="PATH",
+        help="write per-query QueryTrace records to PATH as JSON-lines",
+    )
+    iquery.add_argument(
+        "--metrics",
+        choices=["table", "jsonl", "prom"],
+        default=None,
+        help="run with a live metrics registry and print the export",
+    )
+
+    report = sub.add_parser(
+        "report",
+        help="build + query a synthetic workload and export all metrics",
+    )
+    report.add_argument("--method", default="pivot-table", help="access method name")
+    report.add_argument(
+        "--model", choices=["qfd", "qmap"], default="qmap", help="distance model"
+    )
+    report.add_argument("--size", type=int, default=500, help="database size")
+    report.add_argument(
+        "--bins", type=int, default=4, help="RGB bins per channel (4 -> 64-d, 8 -> 512-d)"
+    )
+    report.add_argument("--queries", type=int, default=20, help="number of queries")
+    report.add_argument("--k", type=int, default=10, help="kNN parameter")
+    report.add_argument(
+        "--radius",
+        type=float,
+        default=None,
+        help="run range queries with this radius instead of kNN",
+    )
+    report.add_argument(
+        "--metrics",
+        choices=["table", "jsonl", "prom"],
+        default="table",
+        help="export format (default: table)",
+    )
+    report.add_argument(
+        "--out", default=None, metavar="PATH", help="write the export to PATH"
+    )
+    report.add_argument(
+        "--trace-out",
+        default=None,
+        metavar="PATH",
+        help="write per-query QueryTrace records to PATH as JSON-lines",
+    )
+    report.add_argument("--seed", type=int, default=0)
     return parser
 
 
@@ -258,6 +328,83 @@ def _cmd_compare(method: str, size: int, bins: int, k: int, seed: int) -> int:
     return 0
 
 
+def _activate_metrics(fmt: "str | None"):
+    """Install a live registry when a metrics format was requested.
+
+    Returns ``(registry, restore)``; call ``restore()`` in a ``finally``
+    block to reinstate the previous active registry.  With *fmt* ``None``
+    the null registry stays active and ``restore`` is a no-op.
+    """
+    from .obs import MetricsRegistry, set_registry
+
+    if fmt is None:
+        return None, lambda: None
+    registry = MetricsRegistry()
+    previous = set_registry(registry)
+    return registry, lambda: set_registry(previous)
+
+
+def _emit_metrics(registry, fmt: "str | None", out: "str | None" = None) -> None:
+    """Print (or write) the registry export in the chosen format."""
+    from .obs import export
+
+    if registry is None or fmt is None:
+        return
+    text = export(registry, fmt)
+    if out is not None:
+        with open(out, "w", encoding="utf-8") as fh:
+            fh.write(text)
+        print(f"metrics  : {out} [{fmt}]")
+    else:
+        print(text, end="" if text.endswith("\n") else "\n")
+
+
+def _write_traces(collector, path: str) -> None:
+    """Dump a collector's per-query records to *path* as JSON-lines."""
+    from .obs import traces_to_jsonl
+
+    traces = collector.traces
+    with open(path, "w", encoding="utf-8") as fh:
+        fh.write(traces_to_jsonl(traces))
+    print(f"traces   : {path} ({len(traces)} records)")
+
+
+def _traced_loop(index, queries, collector, *, k: int, radius: float | None) -> list:
+    """Per-query loop with tracing: one :class:`QueryTrace` per query.
+
+    The batch engine traces its own chunks; this covers the plain loop
+    (no ``--batch``) so ``--trace``/``--trace-out`` work there too, with
+    the same per-query semantics as the engine's serial path.
+    """
+    from time import perf_counter
+
+    from .engine.trace import QueryTrace, TracingPort, activate_trace
+
+    am = index.access_method
+    original_port = am._port
+    am._port = TracingPort(original_port)
+    try:
+        results = []
+        for pos, q in enumerate(queries):
+            if radius is not None:
+                trace = QueryTrace(query_index=pos, kind="range", parameter=float(radius))
+            else:
+                trace = QueryTrace(query_index=pos, kind="knn", parameter=float(k))
+            start = perf_counter()
+            with activate_trace(trace):
+                if radius is not None:
+                    result = index.range_search(q, radius)
+                else:
+                    result = index.knn_search(q, k)
+            trace.seconds = perf_counter() - start
+            trace.results = len(result)
+            collector.add(trace)
+            results.append(result)
+        return results
+    finally:
+        am._port = original_port
+
+
 def _cmd_query(args: "argparse.Namespace") -> int:
     import time
 
@@ -268,13 +415,18 @@ def _cmd_query(args: "argparse.Namespace") -> int:
     workload = histogram_workload(
         args.size, args.queries, bins_per_channel=args.bins, seed=args.seed
     )
-    model = (QMapModel if args.model == "qmap" else QFDModel)(workload.matrix)
-    kwargs = {"pivot-table": {"n_pivots": 16}, "mtree": {"capacity": 16}}.get(
-        args.method, {}
-    )
-    index = model.build_index(args.method, workload.database, **kwargs)
+    registry, restore_registry = _activate_metrics(args.metrics)
+    try:
+        model = (QMapModel if args.model == "qmap" else QFDModel)(workload.matrix)
+        kwargs = {"pivot-table": {"n_pivots": 16}, "mtree": {"capacity": 16}}.get(
+            args.method, {}
+        )
+        index = model.build_index(args.method, workload.database, **kwargs)
+    except BaseException:
+        restore_registry()
+        raise
     index.reset_query_costs()
-    collector = TraceCollector() if args.trace else None
+    collector = TraceCollector() if (args.trace or args.trace_out) else None
 
     if args.radius is not None:
         what = f"range(r={args.radius})"
@@ -284,24 +436,33 @@ def _cmd_query(args: "argparse.Namespace") -> int:
     print(f"workload : {workload.name}, m={args.size}, q={args.queries}")
     print(f"method   : {args.method} {kwargs or ''} [{args.model} model], {what}")
 
-    start = time.perf_counter()
-    if args.batch:
-        engine_kwargs = {
-            "executor": args.executor,
-            "workers": args.workers,
-            "collector": collector,
-        }
-        if args.radius is not None:
-            results = index.range_search_batch(
-                workload.queries, args.radius, **engine_kwargs
+    try:
+        start = time.perf_counter()
+        if args.batch:
+            engine_kwargs = {
+                "executor": args.executor,
+                "workers": args.workers,
+                "collector": collector,
+            }
+            if args.radius is not None:
+                results = index.range_search_batch(
+                    workload.queries, args.radius, **engine_kwargs
+                )
+            else:
+                results = index.knn_search_batch(
+                    workload.queries, args.k, **engine_kwargs
+                )
+        elif collector is not None:
+            results = _traced_loop(
+                index, workload.queries, collector, k=args.k, radius=args.radius
             )
+        elif args.radius is not None:
+            results = [index.range_search(q, args.radius) for q in workload.queries]
         else:
-            results = index.knn_search_batch(workload.queries, args.k, **engine_kwargs)
-    elif args.radius is not None:
-        results = [index.range_search(q, args.radius) for q in workload.queries]
-    else:
-        results = [index.knn_search(q, args.k) for q in workload.queries]
-    elapsed = time.perf_counter() - start
+            results = [index.knn_search(q, args.k) for q in workload.queries]
+        elapsed = time.perf_counter() - start
+    finally:
+        restore_registry()
 
     n = len(results)
     executor = args.executor or ("thread" if (args.workers or 1) > 1 else "serial")
@@ -318,7 +479,7 @@ def _cmd_query(args: "argparse.Namespace") -> int:
         f"costs    : {costs.distance_computations} distance evaluations, "
         f"{costs.transforms} query transforms"
     )
-    if collector is not None:
+    if collector is not None and args.trace:
         summary = collector.summary()
         print(
             "trace    : "
@@ -329,6 +490,9 @@ def _cmd_query(args: "argparse.Namespace") -> int:
             f"{summary.candidates} candidates refined, "
             f"{summary.results} results"
         )
+    if collector is not None and args.trace_out:
+        _write_traces(collector, args.trace_out)
+    _emit_metrics(registry, args.metrics)
     return 0
 
 
@@ -414,9 +578,14 @@ def _cmd_index_query(args: "argparse.Namespace") -> int:
         )
     size, bins, n_queries, seed = (int(snapshot.meta[key]) for key in recipe_keys)
     workload = histogram_workload(size, n_queries, bins_per_channel=bins, seed=seed)
-    index = load_built_index(snapshot.path)
+    registry, restore_registry = _activate_metrics(args.metrics)
+    try:
+        index = load_built_index(snapshot.path)
+    except BaseException:
+        restore_registry()
+        raise
     index.reset_query_costs()
-    collector = TraceCollector() if args.trace else None
+    collector = TraceCollector() if (args.trace or args.trace_out) else None
 
     what = f"range(r={args.radius})" if args.radius is not None else f"{args.k}NN"
     print(f"snapshot : {snapshot.path}")
@@ -434,14 +603,17 @@ def _cmd_index_query(args: "argparse.Namespace") -> int:
         "workers": args.workers,
         "collector": collector,
     }
-    start = time.perf_counter()
-    if args.radius is not None:
-        results = index.range_search_batch(
-            workload.queries, args.radius, **engine_kwargs
-        )
-    else:
-        results = index.knn_search_batch(workload.queries, args.k, **engine_kwargs)
-    elapsed = time.perf_counter() - start
+    try:
+        start = time.perf_counter()
+        if args.radius is not None:
+            results = index.range_search_batch(
+                workload.queries, args.radius, **engine_kwargs
+            )
+        else:
+            results = index.knn_search_batch(workload.queries, args.k, **engine_kwargs)
+        elapsed = time.perf_counter() - start
+    finally:
+        restore_registry()
 
     n = len(results)
     print(
@@ -452,7 +624,7 @@ def _cmd_index_query(args: "argparse.Namespace") -> int:
         f"costs    : {costs.distance_computations} distance evaluations, "
         f"{costs.transforms} query transforms"
     )
-    if collector is not None:
+    if collector is not None and args.trace:
         summary = collector.summary()
         print(
             "trace    : "
@@ -463,6 +635,36 @@ def _cmd_index_query(args: "argparse.Namespace") -> int:
             f"{summary.candidates} candidates refined, "
             f"{summary.results} results"
         )
+    if collector is not None and args.trace_out:
+        _write_traces(collector, args.trace_out)
+    _emit_metrics(registry, args.metrics)
+    return 0
+
+
+def _cmd_report(args: "argparse.Namespace") -> int:
+    """Build + query with a live registry, then export everything."""
+    from .datasets import histogram_workload
+    from .engine import TraceCollector
+    from .models import QFDModel, QMapModel
+    from .obs import MetricsRegistry, use_registry
+
+    workload = histogram_workload(
+        args.size, args.queries, bins_per_channel=args.bins, seed=args.seed
+    )
+    model = (QMapModel if args.model == "qmap" else QFDModel)(workload.matrix)
+    kwargs = _INDEX_KWARGS.get(args.method, {})
+    registry = MetricsRegistry()
+    collector = TraceCollector() if args.trace_out else None
+    with use_registry(registry):
+        index = model.build_index(args.method, workload.database, **kwargs)
+        index.reset_query_costs()
+        if args.radius is not None:
+            index.range_search_batch(workload.queries, args.radius, collector=collector)
+        else:
+            index.knn_search_batch(workload.queries, args.k, collector=collector)
+    if collector is not None:
+        _write_traces(collector, args.trace_out)
+    _emit_metrics(registry, args.metrics, args.out)
     return 0
 
 
@@ -494,6 +696,8 @@ def main(argv: list[str] | None = None) -> int:
             return _cmd_query(args)
         if args.command == "index":
             return _cmd_index(args)
+        if args.command == "report":
+            return _cmd_report(args)
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2

@@ -26,12 +26,14 @@ from __future__ import annotations
 
 import functools
 import pickle
+from time import perf_counter
 from typing import TYPE_CHECKING
 
 import numpy as np
 
 from .._typing import ArrayLike, as_vector_batch
 from ..exceptions import QueryError
+from ..obs import get_registry, record_batch_summary, record_traces, span
 from .executors import (
     BatchExecutor,
     ProcessPoolBatchExecutor,
@@ -44,6 +46,25 @@ if TYPE_CHECKING:  # imported lazily at runtime to keep the layering acyclic
     from ..mam.base import AccessMethod, Neighbor
 
 __all__ = ["QueryBatch"]
+
+
+def _method_label(am: "AccessMethod") -> str:
+    """Registry name of *am* for metric labels (class name as fallback).
+
+    Uses the same label vocabulary as the model layer
+    (``method="mtree"``, not ``method="MTree"``), so the funneled batch
+    metrics join with the model's distance counters.  Imported lazily:
+    the engine sits below :mod:`repro.models` in the layering.
+    """
+    try:
+        from ..models.base import MAM_REGISTRY, SAM_REGISTRY
+
+        for name, cls in {**MAM_REGISTRY, **SAM_REGISTRY}.items():
+            if type(am) is cls:
+                return name
+    except Exception:
+        pass
+    return type(am).__name__
 
 
 def _chunk_ranges(n: int, n_chunks: int) -> list[tuple[int, int]]:
@@ -142,6 +163,13 @@ class QueryBatch:
             ``CountingDistance`` owned by the caller will *not* observe
             the workers' evaluations — the traces are the authoritative
             per-query counts.
+
+        When an observability registry is active (see
+        :mod:`repro.obs`), every executed batch is additionally funneled
+        into it: per-query traces (collected internally when no
+        *collector* was passed), a ``repro_batch_seconds`` observation
+        measured around the whole batch, and a ``query/batch/<kind>``
+        span.
         """
         queries = np.asarray(self.queries, dtype=np.float64)
         if queries.size == 0:
@@ -151,9 +179,31 @@ class QueryBatch:
         if self.kind == "knn":
             parameter = min(int(parameter), am.size)
         exec_ = resolve_executor(executor, workers=workers, chunk_size=chunk_size)
-        if isinstance(exec_, ProcessPoolBatchExecutor):
-            return self._run_process(am, qs, parameter, exec_, collector)
-        return self._run_in_process(am, qs, parameter, exec_, collector)
+        registry = get_registry()
+        method = _method_label(am) if registry.enabled else type(am).__name__
+        # With a live registry but no caller-owned collector, trace into a
+        # private one so the registry still sees per-query records.
+        funnel = collector
+        if funnel is None and registry.enabled:
+            funnel = TraceCollector()
+        with span(f"query/batch/{self.kind}", method=method):
+            start = perf_counter()
+            if isinstance(exec_, ProcessPoolBatchExecutor):
+                results, run_traces = self._run_process(am, qs, parameter, exec_, funnel)
+            else:
+                results, run_traces = self._run_in_process(am, qs, parameter, exec_, funnel)
+            elapsed = perf_counter() - start
+        if funnel is not None:
+            funnel.add_batch_seconds(elapsed)
+        if registry.enabled and run_traces is not None:
+            record_traces(run_traces, registry=registry, method=method)
+            batch = TraceCollector()
+            batch.extend(run_traces)
+            batch.add_batch_seconds(elapsed)
+            record_batch_summary(
+                batch.summary(), registry=registry, method=method, kind=self.kind
+            )
+        return results
 
     # ------------------------------------------------------------------
     # in-process execution (serial / threads)
@@ -166,7 +216,7 @@ class QueryBatch:
         parameter: float,
         exec_: BatchExecutor,
         collector: TraceCollector | None,
-    ) -> list[list["Neighbor"]]:
+    ) -> tuple[list[list["Neighbor"]], list[QueryTrace] | None]:
         n = qs.shape[0]
         traces: list[QueryTrace] | None = None
         original_port = am._port
@@ -200,7 +250,7 @@ class QueryBatch:
             results.extend(part)
         if collector is not None and traces is not None:
             collector.extend(traces)
-        return results
+        return results, traces
 
     # ------------------------------------------------------------------
     # process-pool execution (chunked, pickled)
@@ -213,7 +263,7 @@ class QueryBatch:
         parameter: float,
         exec_: ProcessPoolBatchExecutor,
         collector: TraceCollector | None,
-    ) -> list[list["Neighbor"]]:
+    ) -> tuple[list[list["Neighbor"]], list[QueryTrace] | None]:
         n = qs.shape[0]
         fn = functools.partial(
             _run_chunk,
@@ -239,7 +289,7 @@ class QueryBatch:
                 all_traces.extend(part_traces)
         if collector is not None:
             collector.extend(all_traces)
-        return results
+        return results, all_traces if collector is not None else None
 
 
 def run_query_batch(

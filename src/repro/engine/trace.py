@@ -29,7 +29,7 @@ import contextvars
 import threading
 from contextlib import contextmanager
 from dataclasses import dataclass
-from typing import Iterator
+from typing import Iterable, Iterator
 
 __all__ = [
     "QueryTrace",
@@ -40,6 +40,8 @@ __all__ = [
     "activate_trace",
     "record_filter",
     "record_candidates",
+    "record_node_visit",
+    "record_pruned",
 ]
 
 _ACTIVE_TRACE: contextvars.ContextVar["QueryTrace | None"] = contextvars.ContextVar(
@@ -78,6 +80,12 @@ class QueryTrace:
         Size of the final answer set.
     seconds:
         Wall-clock time of the query, including any filter work.
+    nodes_visited:
+        Index nodes whose entries the traversal examined (0 for flat
+        structures) — the M-tree node accounting of Ciaccia et al.
+    nodes_pruned:
+        Subtrees discarded by a cheap lower bound without being
+        descended — the per-MAM pruning effectiveness measure.
     """
 
     query_index: int = 0
@@ -90,6 +98,8 @@ class QueryTrace:
     candidates: int = 0
     results: int = 0
     seconds: float = 0.0
+    nodes_visited: int = 0
+    nodes_pruned: int = 0
 
     @property
     def distance_evaluations(self) -> int:
@@ -103,9 +113,14 @@ class TraceSummary:
 
     ``distance_evaluations`` is the same quantity the paper's Tables 1-2
     report per query batch (and :class:`CountingDistance` counts per
-    model); ``seconds`` is the summed per-query wall time, from which
-    ``queries_per_second`` derives the throughput the batch engine
-    benchmarks report.
+    model).  ``seconds`` is the *summed per-query* wall time;
+    ``batch_seconds`` is the wall clock measured around the whole batch
+    by :class:`~repro.engine.batch.QueryBatch` (0 when the traces were
+    aggregated outside the batch engine).  Under the thread/process
+    executors the two diverge — per-query times overlap — so
+    ``queries_per_second`` derives throughput from ``batch_seconds``
+    whenever it was measured, and the old summed-time estimate survives
+    as ``serial_queries_per_second``.
     """
 
     queries: int
@@ -117,6 +132,9 @@ class TraceSummary:
     candidates: int
     results: int
     seconds: float
+    batch_seconds: float = 0.0
+    nodes_visited: int = 0
+    nodes_pruned: int = 0
 
     @property
     def evaluations_per_query(self) -> float:
@@ -127,7 +145,23 @@ class TraceSummary:
 
     @property
     def queries_per_second(self) -> float:
-        """Throughput implied by the summed per-query wall time."""
+        """Throughput from the batch wall clock (parallelism-aware).
+
+        Falls back to :attr:`serial_queries_per_second` when no batch
+        wall time was measured, so callers that aggregate hand-built
+        traces keep getting a sensible number.
+        """
+        if self.batch_seconds > 0.0:
+            return self.queries / self.batch_seconds
+        return self.serial_queries_per_second
+
+    @property
+    def serial_queries_per_second(self) -> float:
+        """Throughput implied by the summed per-query wall time.
+
+        Overstates q/s under parallel executors (per-query times overlap
+        wall time); kept for comparing per-query work across executors.
+        """
         if self.seconds <= 0.0:
             return 0.0
         return self.queries / self.seconds
@@ -139,16 +173,32 @@ class TraceCollector:
     def __init__(self) -> None:
         self._lock = threading.Lock()
         self._traces: list[QueryTrace] = []
+        self._batch_seconds = 0.0
 
     def add(self, trace: QueryTrace) -> None:
         """Record one finished query (called from worker threads)."""
         with self._lock:
             self._traces.append(trace)
 
-    def extend(self, traces: Iterator[QueryTrace] | list[QueryTrace]) -> None:
+    def extend(self, traces: Iterable[QueryTrace]) -> None:
         """Record many finished queries at once."""
         with self._lock:
             self._traces.extend(traces)
+
+    def add_batch_seconds(self, seconds: float) -> None:
+        """Accumulate wall clock measured around a whole executed batch.
+
+        Called once per :meth:`QueryBatch.run`; when several batches feed
+        one collector, their wall times add up (they ran back to back).
+        """
+        with self._lock:
+            self._batch_seconds += seconds
+
+    @property
+    def batch_seconds(self) -> float:
+        """Total batch wall clock recorded so far."""
+        with self._lock:
+            return self._batch_seconds
 
     @property
     def traces(self) -> list[QueryTrace]:
@@ -169,6 +219,7 @@ class TraceCollector:
         """Aggregate every collected trace into one cost row."""
         with self._lock:
             traces = list(self._traces)
+            batch_seconds = self._batch_seconds
         return TraceSummary(
             queries=len(traces),
             distance_evaluations=sum(t.distance_evaluations for t in traces),
@@ -179,6 +230,9 @@ class TraceCollector:
             candidates=sum(t.candidates for t in traces),
             results=sum(t.results for t in traces),
             seconds=sum(t.seconds for t in traces),
+            batch_seconds=batch_seconds,
+            nodes_visited=sum(t.nodes_visited for t in traces),
+            nodes_pruned=sum(t.nodes_pruned for t in traces),
         )
 
 
@@ -226,6 +280,28 @@ def record_candidates(count: int) -> None:
     trace = _ACTIVE_TRACE.get()
     if trace is not None:
         trace.candidates += count
+
+
+def record_node_visit(count: int = 1) -> None:
+    """Report that *count* index nodes had their entries examined.
+
+    Tree access methods call this once per node whose entries the
+    traversal actually processes; flat structures never call it.
+    """
+    trace = _ACTIVE_TRACE.get()
+    if trace is not None:
+        trace.nodes_visited += count
+
+
+def record_pruned(count: int = 1) -> None:
+    """Report that *count* subtrees were discarded by a cheap lower bound.
+
+    Called by tree access methods when a covering-radius / hyperplane /
+    ring test excludes a child without descending into it.
+    """
+    trace = _ACTIVE_TRACE.get()
+    if trace is not None:
+        trace.nodes_pruned += count
 
 
 class TracingPort:

@@ -20,6 +20,7 @@ from typing import Callable
 import numpy as np
 
 from .._typing import ArrayLike
+from ..engine.trace import record_node_visit, record_pruned
 from ..exceptions import QueryError, StorageError
 from .base import (
     PRUNE_SLACK_REL,
@@ -315,6 +316,7 @@ class GNAT(NodeBatchedSearchMixin, AccessMethod):
         stack = [self._root]
         while stack:
             node = stack.pop()
+            record_node_visit()
             if node.bucket is not None:
                 dists = bound.many(self._data[node.bucket], node.bucket)
                 for idx, dist in zip(node.bucket, dists):
@@ -342,7 +344,10 @@ class GNAT(NodeBatchedSearchMixin, AccessMethod):
                 span = np.where(np.isfinite(highs), np.abs(lows) + np.abs(highs), 0.0)
                 slack = PRUNE_SLACK_REL * (abs(d) + span)
                 alive &= (d - radius <= highs + slack) & (d + radius >= lows - slack)
-            for j in np.flatnonzero(alive):
+            survivors = np.flatnonzero(alive)
+            if len(survivors) < len(node.children):
+                record_pruned(len(node.children) - len(survivors))
+            for j in survivors:
                 stack.append(node.children[j])
         return out
 
@@ -354,6 +359,7 @@ class GNAT(NodeBatchedSearchMixin, AccessMethod):
             dmin, _, node = heapq.heappop(queue)
             if dmin > heap.radius:
                 break
+            record_node_visit()
             if node.bucket is not None:
                 dists = bound.many(self._data[node.bucket], node.bucket)
                 for idx, dist in zip(node.bucket, dists):
@@ -379,4 +385,6 @@ class GNAT(NodeBatchedSearchMixin, AccessMethod):
                 child_dmin = max(float(lower[j]), 0.0)
                 if child_dmin <= tau:
                     heapq.heappush(queue, (child_dmin, next(counter), node.children[j]))
+                else:
+                    record_pruned()
         return heap.neighbors()

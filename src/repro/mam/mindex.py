@@ -24,6 +24,12 @@ from typing import Callable
 import numpy as np
 
 from .._typing import ArrayLike
+from ..engine.trace import (
+    record_candidates,
+    record_filter,
+    record_node_visit,
+    record_pruned,
+)
 from ..exceptions import QueryError, StorageError
 from .base import (
     AccessMethod,
@@ -176,11 +182,16 @@ class MIndex(NodeBatchedSearchMixin, AccessMethod):
             lo = np.searchsorted(keys, center - radius, side="left")
             hi = np.searchsorted(keys, center + radius, side="right")
             if lo >= hi:
+                # The whole cluster interval misses the query ring.
+                record_pruned()
                 continue
+            record_node_visit()
             members = self._cluster_members[cluster][lo:hi]
             # LAESA filter over the full pivot table.
             lb = np.max(np.abs(self._table[members] - query_vector), axis=1)
-            out.append(members[lb <= radius])
+            survivors = members[lb <= radius]
+            record_filter(int(members.size), int(survivors.size))
+            out.append(survivors)
         if not out:
             return np.empty(0, dtype=np.int64)
         return np.concatenate(out)
@@ -202,6 +213,7 @@ class MIndex(NodeBatchedSearchMixin, AccessMethod):
         result: list[Neighbor] = []
         if candidates.size == 0:
             return result
+        record_candidates(int(candidates.size))
         distances = bound.many(self._data[candidates], candidates)
         for idx, dist in zip(candidates, distances):
             if dist <= radius:
@@ -218,6 +230,7 @@ class MIndex(NodeBatchedSearchMixin, AccessMethod):
             candidates = self._candidates(query_vector, radius)
             fresh = [int(i) for i in candidates if int(i) not in seen]
             if fresh:
+                record_candidates(len(fresh))
                 distances = bound.many(self._data[fresh], fresh)
                 for idx, dist in zip(fresh, distances):
                     seen[idx] = float(dist)

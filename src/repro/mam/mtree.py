@@ -34,6 +34,7 @@ from typing import Callable
 import numpy as np
 
 from .._typing import ArrayLike
+from ..engine.trace import record_node_visit, record_pruned
 from ..exceptions import QueryError, StorageError
 from .base import (
     AccessMethod,
@@ -553,6 +554,7 @@ class MTree(NodeBatchedSearchMixin, AccessMethod):
         # one logical scalar call per entry, like the loop it replaces.
         # Stored bounds (dist_to_parent, covering radii) are often exactly
         # tight, so prune tests against them get an ulp-scale slack.
+        record_node_visit()
         if d_query_parent is None:
             alive = node.entries
         else:
@@ -563,6 +565,8 @@ class MTree(NodeBatchedSearchMixin, AccessMethod):
                 - prune_slack(d_query_parent, e.dist_to_parent)
                 <= radius + e.radius
             ]
+        if not node.is_leaf and len(alive) < len(node.entries):
+            record_pruned(len(node.entries) - len(alive))
         if not alive:
             return
         rows = np.array([e.vector for e in alive])
@@ -574,6 +578,8 @@ class MTree(NodeBatchedSearchMixin, AccessMethod):
                     out.append(Neighbor(dist, entry.index))
             elif dist - prune_slack(dist, entry.radius) <= radius + entry.radius:
                 self._range_node(entry.subtree, bound, radius, dist, out)
+            else:
+                record_pruned()
 
     def _knn_impl(self, bound: BoundQuery, k: int) -> list[Neighbor]:
         heap = _KnnHeap(k)
@@ -590,6 +596,7 @@ class MTree(NodeBatchedSearchMixin, AccessMethod):
             dmin, _, node, d_query_parent = heapq.heappop(queue)
             if dmin > heap.radius / relax:
                 break
+            record_node_visit()
             if node.is_leaf:
                 # Leaf offers shrink the pruning radius mid-loop, so the
                 # skip test is replayed sequentially; distances are still
@@ -625,6 +632,8 @@ class MTree(NodeBatchedSearchMixin, AccessMethod):
                         - prune_slack(d_query_parent, e.dist_to_parent)
                         <= cutoff
                     ]
+                if len(alive) < len(node.entries):
+                    record_pruned(len(node.entries) - len(alive))
                 if not alive:
                     continue
                 rows = np.array([e.vector for e in alive])
@@ -638,6 +647,8 @@ class MTree(NodeBatchedSearchMixin, AccessMethod):
                         heapq.heappush(
                             queue, (child_dmin, next(counter), entry.subtree, dist)
                         )
+                    else:
+                        record_pruned()
         return heap.neighbors()
 
     def nearest_iter(self, query: ArrayLike):

@@ -34,6 +34,7 @@ from typing import Callable
 import numpy as np
 
 from .._typing import ArrayLike
+from ..engine.trace import record_node_visit, record_pruned
 from ..exceptions import PageError, StorageError
 from ..storage.cache import LRUPageCache
 from ..storage.pages import PagedFile
@@ -440,6 +441,7 @@ class PagedMTree(NodeBatchedSearchMixin, AccessMethod):
         while stack:
             page_id, d_query_parent = stack.pop()
             node = self._load(page_id)
+            record_node_visit()
             n = len(node.indices)
             # Parent-distance pruning needs nothing computed inside this
             # node, so the survivors are evaluated with one batched call
@@ -454,6 +456,8 @@ class PagedMTree(NodeBatchedSearchMixin, AccessMethod):
                 )
                 lower = np.abs(d_query_parent - node.dist_to_parent) - node.radii - slack
                 alive = [pos for pos in range(n) if lower[pos] <= radius]
+            if not node.is_leaf and len(alive) < n:
+                record_pruned(n - len(alive))
             if not alive:
                 continue
             dists = bound.many(
@@ -469,6 +473,8 @@ class PagedMTree(NodeBatchedSearchMixin, AccessMethod):
                     <= radius + node.radii[pos]
                 ):
                     stack.append((node.children[pos], dist))
+                else:
+                    record_pruned()
         return out
 
     def _knn_impl(self, bound: BoundQuery, k: int) -> list[Neighbor]:
@@ -482,6 +488,7 @@ class PagedMTree(NodeBatchedSearchMixin, AccessMethod):
             if dmin > heap.radius:
                 break
             node = self._load(page_id)
+            record_node_visit()
             n = len(node.indices)
             if node.is_leaf:
                 # Offers shrink the pruning radius mid-loop: evaluate the
@@ -515,6 +522,8 @@ class PagedMTree(NodeBatchedSearchMixin, AccessMethod):
                         - slack
                     )
                     alive = [pos for pos in range(n) if lower[pos] <= cutoff]
+                if len(alive) < n:
+                    record_pruned(n - len(alive))
                 if not alive:
                     continue
                 dists = bound.many(
@@ -532,6 +541,8 @@ class PagedMTree(NodeBatchedSearchMixin, AccessMethod):
                         heapq.heappush(
                             queue, (child_dmin, next(counter), node.children[pos], dist)
                         )
+                    else:
+                        record_pruned()
         return heap.neighbors()
 
     def node_pages(self) -> int:

@@ -25,6 +25,7 @@ from typing import Callable
 import numpy as np
 
 from .._typing import ArrayLike
+from ..engine.trace import record_node_visit, record_pruned
 from ..exceptions import StorageError
 from .base import (
     AccessMethod,
@@ -213,6 +214,7 @@ class SATree(NodeBatchedSearchMixin, AccessMethod):
         out: list[Neighbor] = []
 
         def visit(node: _SatNode, d_node: float) -> None:
+            record_node_visit()
             if d_node <= radius:
                 out.append(Neighbor(float(d_node), node.index))
             if not node.children:
@@ -225,8 +227,10 @@ class SATree(NodeBatchedSearchMixin, AccessMethod):
                 # Covering radii are exactly tight (some member's build
                 # distance), so the prune test gets an ulp-scale slack.
                 if d_child - prune_slack(d_child, child.radius) > child.radius + radius:
+                    record_pruned()
                     continue  # covering-radius pruning
                 if self._hyperplane_ok and d_child > closest + 2.0 * radius:
+                    record_pruned()
                     continue  # hyperplane pruning
                 visit(child, float(d_child))
 
@@ -247,6 +251,7 @@ class SATree(NodeBatchedSearchMixin, AccessMethod):
             dmin, _, node, d_node = heapq.heappop(queue)
             if dmin > heap.radius:
                 break
+            record_node_visit()
             heap.offer(float(d_node), node.index)
             if not node.children:
                 continue
@@ -267,6 +272,8 @@ class SATree(NodeBatchedSearchMixin, AccessMethod):
                     heapq.heappush(
                         queue, (lower, next(counter), child, float(d_child))
                     )
+                else:
+                    record_pruned()
         return heap.neighbors()
 
     def height(self) -> int:

@@ -23,6 +23,7 @@ from typing import Callable
 import numpy as np
 
 from .._typing import ArrayLike
+from ..engine.trace import record_node_visit, record_pruned
 from ..exceptions import QueryError, StorageError
 from .base import (
     AccessMethod,
@@ -240,6 +241,7 @@ class VPTree(NodeBatchedSearchMixin, AccessMethod):
         stack = [self._root]
         while stack:
             node = stack.pop()
+            record_node_visit()
             if node.bucket is not None:
                 dists = bound.many(self._data[node.bucket], node.bucket)
                 for idx, dist in zip(node.bucket, dists):
@@ -254,8 +256,12 @@ class VPTree(NodeBatchedSearchMixin, AccessMethod):
             slack = prune_slack(d_vp, node.mu)
             if d_vp - radius - slack <= node.mu:
                 stack.append(node.inside)  # type: ignore[arg-type]
+            else:
+                record_pruned()
             if d_vp + radius + slack >= node.mu:
                 stack.append(node.outside)  # type: ignore[arg-type]
+            else:
+                record_pruned()
         return out
 
     def _knn_impl(self, bound: BoundQuery, k: int) -> list[Neighbor]:
@@ -266,6 +272,7 @@ class VPTree(NodeBatchedSearchMixin, AccessMethod):
             dmin, _, node = heapq.heappop(queue)
             if dmin > heap.radius:
                 break
+            record_node_visit()
             if node.bucket is not None:
                 dists = bound.many(self._data[node.bucket], node.bucket)
                 for idx, dist in zip(node.bucket, dists):
@@ -279,6 +286,10 @@ class VPTree(NodeBatchedSearchMixin, AccessMethod):
             outside_dmin = max(node.mu - d_vp - slack, 0.0)
             if inside_dmin <= tau:
                 heapq.heappush(queue, (inside_dmin, next(counter), node.inside))
+            else:
+                record_pruned()
             if outside_dmin <= tau:
                 heapq.heappush(queue, (outside_dmin, next(counter), node.outside))
+            else:
+                record_pruned()
         return heap.neighbors()

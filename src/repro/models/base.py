@@ -26,6 +26,15 @@ from .._typing import ArrayLike, as_vector
 from ..distances.base import CountingDistance
 from ..exceptions import QueryError
 from ..mam.base import AccessMethod, Neighbor
+from ..obs import (
+    TRANSFORMS,
+    DistanceInstrument,
+    get_registry,
+    record_cache_stats,
+    record_cholesky_cache,
+    record_distance_stats,
+    record_index_description,
+)
 from ..mam.gnat import GNAT
 from ..mam.mindex import MIndex
 from ..mam.mtree import MTree
@@ -38,7 +47,14 @@ from ..sam.rtree import RTree
 from ..sam.vafile import VAFile
 from ..sam.xtree import XTree
 
-__all__ = ["IndexCosts", "BuiltIndex", "MAM_REGISTRY", "SAM_REGISTRY", "resolve_method"]
+__all__ = [
+    "IndexCosts",
+    "BuiltIndex",
+    "MAM_REGISTRY",
+    "SAM_REGISTRY",
+    "resolve_method",
+    "record_build_metrics",
+]
 
 #: MAMs take (database, distance, **kwargs).
 MAM_REGISTRY: dict[str, type[AccessMethod]] = {
@@ -101,6 +117,59 @@ class IndexCosts:
         )
 
 
+def _page_cache(am: AccessMethod) -> Any:
+    """The LRU page cache backing *am*, if it has one (else ``None``)."""
+    cache = getattr(am, "cache", None)
+    if cache is not None:
+        return cache
+    store = getattr(am, "store", None)
+    return getattr(store, "cache", None) if store is not None else None
+
+
+def record_build_metrics(
+    am: AccessMethod,
+    counter: CountingDistance,
+    *,
+    model: str,
+    method: str,
+    transforms: int = 0,
+) -> None:
+    """Funnel a finished build into the active observability registry.
+
+    Call *before* the model resets its counter: the build-phase
+    evaluations are recorded one-shot here (labeled ``phase="build"``),
+    then the query-phase delta-sync starts from zero.  A no-op with the
+    null registry.
+    """
+    registry = get_registry()
+    if not registry.enabled:
+        return
+    record_distance_stats(
+        counter.stats, registry=registry, model=model, method=method, phase="build"
+    )
+    if transforms:
+        registry.counter(
+            TRANSFORMS, "vector transformations into the Euclidean space"
+        ).inc(transforms, model=model, method=method, phase="build")
+    from ..kernels.cholesky_cache import cholesky_cache_info
+    from ..mam.stats import describe_index
+
+    record_cholesky_cache(cholesky_cache_info(), registry=registry)
+    try:
+        description = describe_index(am)
+    except Exception:
+        # Diagnostics must never break a build; structure gauges are
+        # best-effort for exotic hand-wired methods.
+        description = None
+    if description is not None:
+        record_index_description(
+            description, registry=registry, model=model, method=method
+        )
+    cache = _page_cache(am)
+    if cache is not None:
+        record_cache_stats(cache.stats, registry=registry)
+
+
 class BuiltIndex:
     """An access method bound to a model's representation and counters.
 
@@ -130,6 +199,12 @@ class BuiltIndex:
         self._method_name = method_name
         self._source_matrix = source_matrix
         self._query_transforms = 0
+        self._instrument = DistanceInstrument(
+            counter,
+            model=model_name,
+            method=method_name or type(access_method).__name__,
+        )
+        self._transform_baselines: dict[int, int] = {}
 
     @property
     def access_method(self) -> AccessMethod:
@@ -188,13 +263,48 @@ class BuiltIndex:
         self._query_transforms += 1
         return self._query_mapper(q)
 
+    def _sync_metrics(self) -> None:
+        """Mirror query-phase counters into the active observability registry.
+
+        Delta-synced, so the registry's ``repro_distance_evaluations_total``
+        for this model/method equals the :class:`CountingDistance` exactly
+        at every sync point.  A no-op with the null registry active.
+        """
+        registry = get_registry()
+        if not registry.enabled:
+            return
+        self._instrument.sync(registry)
+        current = self._query_transforms
+        base = self._transform_baselines.get(id(registry), 0)
+        if current < base:
+            base = 0
+        if current > base:
+            registry.counter(
+                TRANSFORMS, "vector transformations into the Euclidean space"
+            ).inc(
+                current - base,
+                model=self._model_name,
+                method=self._method_name or type(self._am).__name__,
+                phase="query",
+            )
+        self._transform_baselines[id(registry)] = current
+        cache = _page_cache(self._am)
+        if cache is not None:
+            record_cache_stats(cache.stats, registry=registry)
+
     def knn_search(self, query: ArrayLike, k: int) -> list[Neighbor]:
         """kNN in the source space (transforming the query if needed)."""
-        return self._am.knn_search(self._map_query(query), k)
+        try:
+            return self._am.knn_search(self._map_query(query), k)
+        finally:
+            self._sync_metrics()
 
     def range_search(self, query: ArrayLike, radius: float) -> list[Neighbor]:
         """Range query in the source space (radii are preserved exactly)."""
-        return self._am.range_search(self._map_query(query), radius)
+        try:
+            return self._am.range_search(self._map_query(query), radius)
+        finally:
+            self._sync_metrics()
 
     def knn_search_batch(
         self,
@@ -218,14 +328,17 @@ class BuiltIndex:
         collector's traces as the authoritative counts there.
         """
         mapped = self._map_query_batch(queries)
-        return self._am.knn_search_batch(
-            mapped,
-            k,
-            executor=executor,
-            workers=workers,
-            chunk_size=chunk_size,
-            collector=collector,
-        )
+        try:
+            return self._am.knn_search_batch(
+                mapped,
+                k,
+                executor=executor,
+                workers=workers,
+                chunk_size=chunk_size,
+                collector=collector,
+            )
+        finally:
+            self._sync_metrics()
 
     def range_search_batch(
         self,
@@ -244,14 +357,17 @@ class BuiltIndex:
         models are directly comparable.
         """
         mapped = self._map_query_batch(queries)
-        return self._am.range_search_batch(
-            mapped,
-            float(radius),
-            executor=executor,
-            workers=workers,
-            chunk_size=chunk_size,
-            collector=collector,
-        )
+        try:
+            return self._am.range_search_batch(
+                mapped,
+                float(radius),
+                executor=executor,
+                workers=workers,
+                chunk_size=chunk_size,
+                collector=collector,
+            )
+        finally:
+            self._sync_metrics()
 
     def _map_query_batch(self, queries: ArrayLike) -> np.ndarray:
         rows = np.atleast_2d(np.asarray(queries, dtype=np.float64))
@@ -272,12 +388,17 @@ class BuiltIndex:
         database-dependent reductions of Section 2.3.1, the map never
         degrades as objects arrive.
         """
-        return self._am.insert(self._map_query(vector))
+        try:
+            return self._am.insert(self._map_query(vector))
+        finally:
+            self._sync_metrics()
 
     def reset_query_costs(self) -> None:
         """Zero the query-time counters (call between measured batches)."""
         self._counter.reset()
         self._query_transforms = 0
+        self._instrument.rebase()
+        self._transform_baselines = {key: 0 for key in self._transform_baselines}
 
     def query_costs(self, seconds: float = 0.0) -> IndexCosts:
         """Costs accumulated since the last :meth:`reset_query_costs`."""

@@ -18,7 +18,14 @@ from .._typing import ArrayLike, as_vector_batch
 from ..core.qfd import QuadraticFormDistance
 from ..distances.base import CountingDistance
 from ..exceptions import QueryError
-from .base import SAM_REGISTRY, BuiltIndex, IndexCosts, instantiate
+from ..obs import span
+from .base import (
+    SAM_REGISTRY,
+    BuiltIndex,
+    IndexCosts,
+    instantiate,
+    record_build_metrics,
+)
 
 __all__ = ["QFDModel"]
 
@@ -64,12 +71,14 @@ class QFDModel:
             )
         data = as_vector_batch(database, self.dim, name="database")
         counter = CountingDistance(self._qfd, one_to_many=self._qfd.one_to_many)
-        start = time.perf_counter()
-        am = instantiate(method, data, counter, kwargs)
-        elapsed = time.perf_counter() - start
+        with span(f"build/{method}", model=self.name):
+            start = time.perf_counter()
+            am = instantiate(method, data, counter, kwargs)
+            elapsed = time.perf_counter() - start
         build_costs = IndexCosts(
             distance_computations=counter.count, transforms=0, seconds=elapsed
         )
+        record_build_metrics(am, counter, model=self.name, method=method)
         counter.reset()
         return BuiltIndex(
             am,
@@ -118,12 +127,14 @@ class QFDModel:
                 "transform it with the QMap model first (paper Section 2.4)"
             )
         counter = CountingDistance(self._qfd, one_to_many=self._qfd.one_to_many)
-        start = time.perf_counter()
-        am = load_index(snapshot, counter, verify=verify)
-        elapsed = time.perf_counter() - start
+        with span(f"load/{snapshot.method}", model=self.name):
+            start = time.perf_counter()
+            am = load_index(snapshot, counter, verify=verify)
+            elapsed = time.perf_counter() - start
         build_costs = IndexCosts(
             distance_computations=counter.count, transforms=0, seconds=elapsed
         )
+        record_build_metrics(am, counter, model=self.name, method=snapshot.method)
         counter.reset()
         return BuiltIndex(
             am,

@@ -25,7 +25,8 @@ from ..core.qfd import QuadraticFormDistance
 from ..core.qmap import QMap
 from ..distances.base import CountingDistance
 from ..distances.minkowski import euclidean, euclidean_one_to_many
-from .base import BuiltIndex, IndexCosts, instantiate
+from ..obs import span
+from .base import BuiltIndex, IndexCosts, instantiate, record_build_metrics
 
 __all__ = ["QMapModel"]
 
@@ -68,14 +69,19 @@ class QMapModel:
         """
         data = as_vector_batch(database, self.dim, name="database")
         counter = CountingDistance(euclidean, one_to_many=euclidean_one_to_many)
-        start = time.perf_counter()
-        mapped = self._qmap.transform_batch(data)
-        am = instantiate(method, mapped, counter, kwargs)
-        elapsed = time.perf_counter() - start
+        with span(f"build/{method}", model=self.name):
+            start = time.perf_counter()
+            with span("build/transform", model=self.name):
+                mapped = self._qmap.transform_batch(data)
+            am = instantiate(method, mapped, counter, kwargs)
+            elapsed = time.perf_counter() - start
         build_costs = IndexCosts(
             distance_computations=counter.count,
             transforms=data.shape[0],
             seconds=elapsed,
+        )
+        record_build_metrics(
+            am, counter, model=self.name, method=method, transforms=data.shape[0]
         )
         counter.reset()
         return BuiltIndex(
@@ -126,12 +132,14 @@ class QMapModel:
         distance = (
             DistancePort(counter) if codec_for(snapshot.method).is_sam else counter
         )
-        start = time.perf_counter()
-        am = load_index(snapshot, distance, verify=verify)
-        elapsed = time.perf_counter() - start
+        with span(f"load/{snapshot.method}", model=self.name):
+            start = time.perf_counter()
+            am = load_index(snapshot, distance, verify=verify)
+            elapsed = time.perf_counter() - start
         build_costs = IndexCosts(
             distance_computations=counter.count, transforms=0, seconds=elapsed
         )
+        record_build_metrics(am, counter, model=self.name, method=snapshot.method)
         counter.reset()
         return BuiltIndex(
             am,

@@ -1,0 +1,101 @@
+"""Unified observability: instruments, spans, and exporters.
+
+The paper argues in *costs* — distance computations, filter hit rates,
+I/O — and every layer of this library measures some of them.  This
+package is the common model those measurements flow into:
+
+* :mod:`repro.obs.registry` — labeled :class:`Counter` / :class:`Gauge`
+  / log-bucketed :class:`Histogram` instruments in a thread-safe
+  :class:`MetricsRegistry`, with a process-wide active registry that
+  defaults to a no-op :class:`NullRegistry` (observability off = near
+  zero overhead, bit-identical distance counts);
+* :mod:`repro.obs.spans` — nestable monotonic-clocked :func:`span`
+  blocks propagated via contextvars;
+* :mod:`repro.obs.instruments` — duck-typed adapters funneling the
+  existing sinks (``CountingDistance``, ``QueryTrace``, ``CacheStats``,
+  the cholesky cache, ``describe_index``) into the registry;
+* :mod:`repro.obs.export` — JSON-lines, Prometheus text format, and
+  aligned-table exporters, plus the benches' ``metrics`` block.
+
+Layering rule: this package imports **nothing** from the rest of the
+library (enforced by a ruff ``flake8-tidy-imports`` ban for
+:mod:`repro.mam` / :mod:`repro.models`), so any layer may import it.
+Activate collection with::
+
+    from repro.obs import MetricsRegistry, use_registry, to_table
+    with use_registry(MetricsRegistry()) as reg:
+        ...  # build indexes, run query batches
+        print(to_table(reg))
+"""
+
+from __future__ import annotations
+
+from .export import (
+    EXPORT_FORMATS,
+    export,
+    snapshot_dict,
+    to_jsonl,
+    to_prometheus,
+    to_table,
+    traces_to_jsonl,
+)
+from .instruments import (
+    DISTANCE_EVALUATIONS,
+    TRANSFORMS,
+    DistanceInstrument,
+    record_batch_summary,
+    record_cache_stats,
+    record_cholesky_cache,
+    record_distance_stats,
+    record_index_description,
+    record_trace,
+    record_traces,
+)
+from .registry import (
+    NULL_REGISTRY,
+    Counter,
+    Gauge,
+    Histogram,
+    HistogramState,
+    MetricSample,
+    MetricsRegistry,
+    NullRegistry,
+    get_registry,
+    set_registry,
+    use_registry,
+)
+from .spans import SpanRecord, current_span, span
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "HistogramState",
+    "MetricSample",
+    "MetricsRegistry",
+    "NullRegistry",
+    "NULL_REGISTRY",
+    "get_registry",
+    "set_registry",
+    "use_registry",
+    "SpanRecord",
+    "span",
+    "current_span",
+    "DISTANCE_EVALUATIONS",
+    "TRANSFORMS",
+    "DistanceInstrument",
+    "record_distance_stats",
+    "record_trace",
+    "record_traces",
+    "record_batch_summary",
+    "record_cache_stats",
+    "record_cholesky_cache",
+    "record_index_description",
+    "to_jsonl",
+    "to_prometheus",
+    "to_table",
+    "snapshot_dict",
+    "traces_to_jsonl",
+    "EXPORT_FORMATS",
+    "export",
+]

@@ -1,0 +1,237 @@
+"""Exporters: one registry, three machine/human-readable surfaces.
+
+* :func:`to_jsonl` — newline-delimited JSON events (metrics then spans),
+  the archival format the benches embed and ``--trace-out`` reuses;
+* :func:`to_prometheus` — Prometheus text exposition format
+  (``name{labels} value`` with ``# HELP``/``# TYPE`` headers), so a
+  production deployment can scrape any experiment verbatim;
+* :func:`to_table` — aligned human-readable table for terminals.
+
+Everything here consumes only the snapshot model of
+:mod:`repro.obs.registry` (plus duck-typed trace records for
+:func:`traces_to_jsonl`), keeping the package dependency-free.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import re
+from typing import Any, Iterable, Mapping
+
+from .registry import HistogramState, MetricsRegistry
+
+__all__ = [
+    "to_jsonl",
+    "to_prometheus",
+    "to_table",
+    "snapshot_dict",
+    "traces_to_jsonl",
+    "EXPORT_FORMATS",
+    "export",
+]
+
+_NAME_OK = re.compile(r"[a-zA-Z_:][a-zA-Z0-9_:]*$")
+_LABEL_OK = re.compile(r"[a-zA-Z_][a-zA-Z0-9_]*$")
+
+
+def _prom_name(name: str) -> str:
+    if _NAME_OK.match(name):
+        return name
+    return re.sub(r"[^a-zA-Z0-9_:]", "_", name) or "_"
+
+
+def _prom_label_name(name: str) -> str:
+    if _LABEL_OK.match(name):
+        return name
+    return re.sub(r"[^a-zA-Z0-9_]", "_", name) or "_"
+
+
+def _prom_label_value(value: str) -> str:
+    return value.replace("\\", r"\\").replace('"', r"\"").replace("\n", r"\n")
+
+
+def _prom_labels(labels: Mapping[str, str], extra: Mapping[str, str] | None = None) -> str:
+    merged = {**labels, **(extra or {})}
+    if not merged:
+        return ""
+    inner = ",".join(
+        f'{_prom_label_name(k)}="{_prom_label_value(str(v))}"'
+        for k, v in sorted(merged.items())
+    )
+    return "{" + inner + "}"
+
+
+def _prom_float(value: float) -> str:
+    if math.isinf(value):
+        return "+Inf" if value > 0 else "-Inf"
+    if float(value).is_integer() and abs(value) < 1e15:
+        return str(int(value))
+    return repr(float(value))
+
+
+def to_prometheus(registry: MetricsRegistry) -> str:
+    """Render the registry in Prometheus text exposition format.
+
+    Histograms follow the standard cumulative-bucket convention
+    (``_bucket{le=...}`` / ``_sum`` / ``_count``).  Ends with a trailing
+    newline, as the format requires.
+    """
+    lines: list[str] = []
+    for instrument in registry.instruments():
+        samples = instrument.samples()
+        if not samples:
+            continue
+        name = _prom_name(instrument.name)
+        if instrument.help:
+            lines.append(f"# HELP {name} {instrument.help}")
+        lines.append(f"# TYPE {name} {instrument.kind}")
+        for sample in samples:
+            if sample.histogram is not None:
+                lines.extend(_prom_histogram(name, sample.labels, sample.histogram))
+            else:
+                lines.append(
+                    f"{name}{_prom_labels(sample.labels)} {_prom_float(sample.value)}"
+                )
+    return "\n".join(lines) + "\n" if lines else ""
+
+
+def _prom_histogram(
+    name: str, labels: Mapping[str, str], state: HistogramState
+) -> list[str]:
+    lines = []
+    cumulative = 0
+    for bound, count in zip(state.bounds, state.counts):
+        cumulative += count
+        le = {"le": _prom_float(bound)}
+        lines.append(f"{name}_bucket{_prom_labels(labels, le)} {cumulative}")
+    cumulative += state.counts[-1]
+    lines.append(f'{name}_bucket{_prom_labels(labels, {"le": "+Inf"})} {cumulative}')
+    lines.append(f"{name}_sum{_prom_labels(labels)} {_prom_float(state.total)}")
+    lines.append(f"{name}_count{_prom_labels(labels)} {state.count}")
+    return lines
+
+
+def snapshot_dict(registry: MetricsRegistry) -> dict[str, Any]:
+    """JSON-able dict of the whole registry (the benches' ``metrics`` block).
+
+    Shape: ``{"metrics": [...], "spans": [...]}`` with one entry per
+    sample — counters/gauges carry ``value``, histograms carry
+    ``count``/``sum`` plus the non-empty buckets.
+    """
+    metrics: list[dict[str, Any]] = []
+    for sample in registry.snapshot():
+        entry: dict[str, Any] = {
+            "name": sample.name,
+            "type": sample.kind,
+            "labels": dict(sample.labels),
+        }
+        if sample.histogram is not None:
+            state = sample.histogram
+            entry["count"] = state.count
+            entry["sum"] = state.total
+            buckets: dict[str, int] = {}
+            for bound, count in zip(state.bounds, state.counts):
+                if count:
+                    buckets[_prom_float(bound)] = count
+            if state.counts[-1]:
+                buckets["+Inf"] = state.counts[-1]
+            entry["buckets"] = buckets
+        else:
+            entry["value"] = sample.value
+        metrics.append(entry)
+    spans = [
+        {
+            "name": record.name,
+            "seconds": record.seconds,
+            "depth": record.depth,
+            "parent": record.parent,
+            "status": record.status,
+            **({"labels": record.labels} if record.labels else {}),
+        }
+        for record in registry.spans
+    ]
+    return {"metrics": metrics, "spans": spans}
+
+
+def to_jsonl(registry: MetricsRegistry) -> str:
+    """One JSON object per line: every metric sample, then every span."""
+    payload = snapshot_dict(registry)
+    lines = [json.dumps(entry, sort_keys=True) for entry in payload["metrics"]]
+    lines.extend(
+        json.dumps({"type": "span", **entry}, sort_keys=True)
+        for entry in payload["spans"]
+    )
+    return "\n".join(lines) + "\n" if lines else ""
+
+
+def to_table(registry: MetricsRegistry) -> str:
+    """Aligned human-readable rendering of the registry."""
+    rows: list[tuple[str, str, str, str]] = []
+    for sample in registry.snapshot():
+        labels = ",".join(f"{k}={v}" for k, v in sorted(sample.labels.items()))
+        if sample.histogram is not None:
+            state = sample.histogram
+            mean = state.total / state.count if state.count else 0.0
+            value = f"n={state.count} sum={state.total:.6g} mean={mean:.6g}"
+        else:
+            value = _prom_float(sample.value)
+        rows.append((sample.name, sample.kind, labels, value))
+    for record in registry.spans:
+        indent = "  " * record.depth
+        rows.append(
+            (
+                f"{indent}{record.name}",
+                "span",
+                record.status,
+                f"{record.seconds:.6f}s",
+            )
+        )
+    if not rows:
+        return "(no metrics recorded)\n"
+    headers = ("metric", "type", "labels", "value")
+    widths = [len(h) for h in headers]
+    for row in rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = ["  ".join(h.ljust(widths[i]) for i, h in enumerate(headers))]
+    lines.append("-" * len(lines[0]))
+    for row in rows:
+        lines.append("  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row)))
+    return "\n".join(lines) + "\n"
+
+
+def traces_to_jsonl(traces: Iterable[Any]) -> str:
+    """Per-query :class:`QueryTrace` records as JSON-lines.
+
+    Duck-typed: any object with a plain attribute ``__dict__`` works; the
+    derived ``distance_evaluations`` total is included when present so
+    each line is self-describing.
+    """
+    lines = []
+    for trace in traces:
+        entry: dict[str, Any] = {"type": "query_trace", **vars(trace)}
+        total = getattr(trace, "distance_evaluations", None)
+        if total is not None:
+            entry["distance_evaluations"] = int(total)
+        lines.append(json.dumps(entry, sort_keys=True))
+    return "\n".join(lines) + "\n" if lines else ""
+
+
+#: Exporters by CLI name.
+EXPORT_FORMATS = {
+    "table": to_table,
+    "jsonl": to_jsonl,
+    "prom": to_prometheus,
+}
+
+
+def export(registry: MetricsRegistry, fmt: str) -> str:
+    """Render *registry* in one of :data:`EXPORT_FORMATS`."""
+    try:
+        renderer = EXPORT_FORMATS[fmt]
+    except KeyError:
+        raise ValueError(
+            f"unknown metrics format {fmt!r}; choose from {sorted(EXPORT_FORMATS)}"
+        ) from None
+    return renderer(registry)

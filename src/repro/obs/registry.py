@@ -1,0 +1,394 @@
+"""Labeled metric instruments behind a thread-safe registry.
+
+The paper's whole argument is a *cost accounting* argument — distance
+computations (Tables 1-2), filter hit rates, page I/O — yet those
+quantities used to live in four ad-hoc sinks.  This module gives them one
+model: named, labeled instruments registered in a
+:class:`MetricsRegistry`:
+
+* :class:`Counter` — monotonically increasing totals (distance
+  evaluations, filter hits, nodes visited);
+* :class:`Gauge` — point-in-time values that may move both ways (tree
+  height, cache hit ratio, cholesky-cache occupancy);
+* :class:`Histogram` — log-bucketed distributions (per-query seconds,
+  evaluations per query, span durations).
+
+A process-wide *active registry* (default: the :data:`NULL_REGISTRY`)
+decouples instrumentation points from wiring: hot paths ask
+:func:`get_registry` and, when observability is off, hit only a single
+attribute check — the disabled path performs no allocation, no locking,
+and (critically for the count-baseline fixtures) never evaluates a
+distance.
+
+This module deliberately imports nothing from the rest of the library —
+the same convention as :mod:`repro.engine.trace` — so every layer,
+including :mod:`repro.mam`, can be instrumented without import cycles.
+The layering rule is enforced by a ruff ``flake8-tidy-imports`` ban (see
+``pyproject.toml``).
+"""
+
+from __future__ import annotations
+
+import bisect
+import threading
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Iterator, Mapping, Sequence
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "HistogramState",
+    "MetricSample",
+    "MetricsRegistry",
+    "NullRegistry",
+    "NULL_REGISTRY",
+    "get_registry",
+    "set_registry",
+    "use_registry",
+]
+
+#: Canonical label-set key: sorted ``(name, value)`` pairs.
+LabelKey = tuple[tuple[str, str], ...]
+
+
+def _label_key(labels: Mapping[str, object]) -> LabelKey:
+    return tuple(sorted((k, str(v)) for k, v in labels.items()))
+
+
+@dataclass(frozen=True)
+class MetricSample:
+    """One exported data point of an instrument.
+
+    ``value`` carries counter totals and gauge readings; histogram samples
+    instead populate ``histogram`` with the full bucket state.
+    """
+
+    name: str
+    kind: str
+    labels: dict[str, str]
+    value: float = 0.0
+    histogram: "HistogramState | None" = None
+
+
+@dataclass(frozen=True)
+class HistogramState:
+    """Immutable snapshot of one histogram label-set.
+
+    ``bounds`` are the inclusive upper bounds of the log-spaced buckets
+    (the last implicit bucket is ``+Inf``); ``counts`` are per-bucket
+    (non-cumulative) observation counts of the same length plus one for
+    the overflow bucket.
+    """
+
+    bounds: tuple[float, ...]
+    counts: tuple[int, ...]
+    count: int
+    total: float
+
+
+class _Instrument:
+    """Shared label-keyed storage; subclasses define the write verbs."""
+
+    kind = "untyped"
+
+    def __init__(self, name: str, help: str = "") -> None:
+        self.name = name
+        self.help = help
+        self._lock = threading.Lock()
+        self._values: dict[LabelKey, float] = {}
+
+    def value(self, **labels: object) -> float:
+        """Current value for one label set (0 when never written)."""
+        with self._lock:
+            return self._values.get(_label_key(labels), 0.0)
+
+    def samples(self) -> list[MetricSample]:
+        """One :class:`MetricSample` per label set, in insertion order."""
+        with self._lock:
+            items = list(self._values.items())
+        return [
+            MetricSample(self.name, self.kind, dict(key), value)
+            for key, value in items
+        ]
+
+
+class Counter(_Instrument):
+    """A monotonically increasing total, optionally labeled."""
+
+    kind = "counter"
+
+    def inc(self, amount: float = 1.0, **labels: object) -> None:
+        """Add *amount* (must be >= 0) to the labeled total."""
+        if amount < 0:
+            raise ValueError(f"counter {self.name!r} cannot decrease ({amount})")
+        key = _label_key(labels)
+        with self._lock:
+            self._values[key] = self._values.get(key, 0.0) + amount
+
+
+class Gauge(_Instrument):
+    """A point-in-time value that may move in both directions."""
+
+    kind = "gauge"
+
+    def set(self, value: float, **labels: object) -> None:
+        """Overwrite the labeled value."""
+        with self._lock:
+            self._values[_label_key(labels)] = float(value)
+
+    def inc(self, amount: float = 1.0, **labels: object) -> None:
+        """Shift the labeled value by *amount* (negative is fine)."""
+        key = _label_key(labels)
+        with self._lock:
+            self._values[key] = self._values.get(key, 0.0) + amount
+
+
+#: Default log-bucket grid: powers of two from ~1 microsecond to ~1 Mi.
+#: Covers both second-scale durations and count-scale distributions with
+#: constant relative resolution, the natural grid for quantities whose
+#: interesting structure spans orders of magnitude.
+_DEFAULT_BOUNDS: tuple[float, ...] = tuple(2.0**e for e in range(-20, 21))
+
+
+class Histogram(_Instrument):
+    """Log-bucketed distribution of observed values.
+
+    Buckets are fixed at construction (default: powers of two spanning
+    ``2^-20 .. 2^20`` plus an overflow bucket), so merging and exporting
+    need no re-binning; the paper-style tables read the count/sum pair,
+    Prometheus reads the cumulative buckets.
+    """
+
+    kind = "histogram"
+
+    def __init__(
+        self,
+        name: str,
+        help: str = "",
+        *,
+        bounds: Sequence[float] | None = None,
+    ) -> None:
+        super().__init__(name, help)
+        grid = tuple(float(b) for b in (bounds or _DEFAULT_BOUNDS))
+        if list(grid) != sorted(grid) or len(set(grid)) != len(grid):
+            raise ValueError(f"histogram {name!r} bounds must strictly increase")
+        self.bounds = grid
+        self._counts: dict[LabelKey, list[int]] = {}
+        self._totals: dict[LabelKey, tuple[int, float]] = {}
+
+    def observe(self, value: float, **labels: object) -> None:
+        """Record one observation."""
+        value = float(value)
+        pos = bisect.bisect_left(self.bounds, value)
+        key = _label_key(labels)
+        with self._lock:
+            counts = self._counts.get(key)
+            if counts is None:
+                counts = [0] * (len(self.bounds) + 1)
+                self._counts[key] = counts
+            counts[pos] += 1
+            count, total = self._totals.get(key, (0, 0.0))
+            self._totals[key] = (count + 1, total + value)
+
+    def state(self, **labels: object) -> HistogramState:
+        """Snapshot of one label set (empty state when never observed)."""
+        key = _label_key(labels)
+        with self._lock:
+            counts = tuple(self._counts.get(key, [0] * (len(self.bounds) + 1)))
+            count, total = self._totals.get(key, (0, 0.0))
+        return HistogramState(self.bounds, counts, count, total)
+
+    def samples(self) -> list[MetricSample]:
+        with self._lock:
+            keys = list(self._counts)
+        out = []
+        for key in keys:
+            out.append(
+                MetricSample(
+                    self.name,
+                    self.kind,
+                    dict(key),
+                    histogram=self.state(**dict(key)),
+                )
+            )
+        return out
+
+
+@dataclass
+class SpanRecord:
+    """One completed :func:`repro.obs.spans.span` block.
+
+    Defined here (not in :mod:`repro.obs.spans`) because the registry
+    stores completed spans for the JSON-lines exporter.
+    """
+
+    name: str
+    seconds: float = 0.0
+    depth: int = 0
+    parent: str | None = None
+    status: str = "ok"
+    labels: dict[str, str] = field(default_factory=dict)
+
+
+class MetricsRegistry:
+    """Thread-safe, ordered collection of named instruments.
+
+    Instrument accessors are get-or-create and idempotent: two call sites
+    asking for the same counter name share the instrument, and asking for
+    an existing name with a different instrument kind raises.
+    """
+
+    #: Hot paths test this single attribute to skip all metric work.
+    enabled = True
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._instruments: dict[str, _Instrument] = {}
+        self._spans: list[SpanRecord] = []
+
+    def _get_or_create(self, cls: type, name: str, help: str, **kwargs) -> _Instrument:
+        with self._lock:
+            existing = self._instruments.get(name)
+            if existing is not None:
+                if type(existing) is not cls:
+                    raise ValueError(
+                        f"metric {name!r} is already registered as a "
+                        f"{existing.kind}, not a {cls.kind}"
+                    )
+                return existing
+            instrument = cls(name, help, **kwargs)
+            self._instruments[name] = instrument
+            return instrument
+
+    def counter(self, name: str, help: str = "") -> Counter:
+        """Get or create the named :class:`Counter`."""
+        return self._get_or_create(Counter, name, help)
+
+    def gauge(self, name: str, help: str = "") -> Gauge:
+        """Get or create the named :class:`Gauge`."""
+        return self._get_or_create(Gauge, name, help)
+
+    def histogram(
+        self, name: str, help: str = "", *, bounds: Sequence[float] | None = None
+    ) -> Histogram:
+        """Get or create the named :class:`Histogram`."""
+        return self._get_or_create(Histogram, name, help, bounds=bounds)
+
+    def record_span(self, record: SpanRecord) -> None:
+        """Store a completed span (called by :func:`repro.obs.spans.span`)."""
+        with self._lock:
+            self._spans.append(record)
+
+    @property
+    def spans(self) -> list[SpanRecord]:
+        """Completed spans, in completion order."""
+        with self._lock:
+            return list(self._spans)
+
+    def instruments(self) -> list[_Instrument]:
+        """The registered instruments, in registration order."""
+        with self._lock:
+            return list(self._instruments.values())
+
+    def snapshot(self) -> list[MetricSample]:
+        """Every sample of every instrument, registration-ordered."""
+        out: list[MetricSample] = []
+        for instrument in self.instruments():
+            out.extend(instrument.samples())
+        return out
+
+    def clear(self) -> None:
+        """Drop all instruments and spans."""
+        with self._lock:
+            self._instruments.clear()
+            self._spans.clear()
+
+
+class _NullCounter(Counter):
+    def inc(self, amount: float = 1.0, **labels: object) -> None:
+        pass
+
+
+class _NullGauge(Gauge):
+    def set(self, value: float, **labels: object) -> None:
+        pass
+
+    def inc(self, amount: float = 1.0, **labels: object) -> None:
+        pass
+
+
+class _NullHistogram(Histogram):
+    def observe(self, value: float, **labels: object) -> None:
+        pass
+
+
+class NullRegistry(MetricsRegistry):
+    """The disabled registry: every verb is a no-op.
+
+    Instrument accessors hand back shared do-nothing singletons, so code
+    written against a live registry runs unchanged — and adds near-zero
+    overhead — when observability is off.  This is what guarantees the
+    bit-identical count baseline: with the null registry active, no
+    instrumentation path allocates, locks, or evaluates anything.
+    """
+
+    enabled = False
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._null_counter = _NullCounter("null")
+        self._null_gauge = _NullGauge("null")
+        self._null_histogram = _NullHistogram("null")
+
+    def counter(self, name: str, help: str = "") -> Counter:
+        return self._null_counter
+
+    def gauge(self, name: str, help: str = "") -> Gauge:
+        return self._null_gauge
+
+    def histogram(
+        self, name: str, help: str = "", *, bounds: Sequence[float] | None = None
+    ) -> Histogram:
+        return self._null_histogram
+
+    def record_span(self, record: SpanRecord) -> None:
+        pass
+
+
+#: The process-wide disabled registry (the default active registry).
+NULL_REGISTRY = NullRegistry()
+
+# A plain module global (not a contextvar): worker threads spawned by the
+# batch engine must see the same registry as the thread that activated it,
+# and contextvars do not propagate into ThreadPoolExecutor workers.
+_active: MetricsRegistry = NULL_REGISTRY
+_active_lock = threading.Lock()
+
+
+def get_registry() -> MetricsRegistry:
+    """The active registry (the :data:`NULL_REGISTRY` unless one was set)."""
+    return _active
+
+
+def set_registry(registry: MetricsRegistry | None) -> MetricsRegistry:
+    """Activate *registry* process-wide (``None`` restores the null one).
+
+    Returns the previously active registry so callers can restore it.
+    """
+    global _active
+    with _active_lock:
+        previous = _active
+        _active = registry if registry is not None else NULL_REGISTRY
+    return previous
+
+
+@contextmanager
+def use_registry(registry: MetricsRegistry | None) -> Iterator[MetricsRegistry]:
+    """Activate *registry* for the duration of the block."""
+    previous = set_registry(registry)
+    try:
+        yield get_registry()
+    finally:
+        set_registry(previous)

@@ -1,0 +1,78 @@
+"""Nestable, monotonic-clocked timing spans.
+
+A span prices one *phase* of work — ``span("build/pivot-selection")``,
+``span("query/refine")`` — the wall-time counterpart of the paper's
+distance-computation accounting.  Spans nest through a
+:mod:`contextvars` stack (the same propagation scheme as
+:class:`~repro.engine.trace.TracingPort`), so concurrently executing
+queries each time their own phases without locking, and a span opened
+inside another records its parent and depth.
+
+Completed spans land in the active :class:`~repro.obs.registry
+.MetricsRegistry` twice: as a :class:`SpanRecord` (for the JSON-lines
+event log) and as an observation of the ``repro_span_seconds`` histogram
+keyed by span name (for the Prometheus/table exporters).  With the null
+registry active, :func:`span` yields without reading the clock at all.
+
+Timing uses :func:`time.perf_counter` — monotonic, so spans are immune
+to wall-clock adjustments.
+"""
+
+from __future__ import annotations
+
+import contextvars
+from contextlib import contextmanager
+from time import perf_counter
+from typing import Iterator
+
+from .registry import SpanRecord, get_registry
+
+__all__ = ["SpanRecord", "span", "current_span"]
+
+_SPAN_STACK: contextvars.ContextVar[SpanRecord | None] = contextvars.ContextVar(
+    "repro_obs_active_span", default=None
+)
+
+#: Histogram receiving every span duration, labeled by span name.
+SPAN_SECONDS = "repro_span_seconds"
+
+
+def current_span() -> SpanRecord | None:
+    """The innermost open span of this thread/context, if any."""
+    return _SPAN_STACK.get()
+
+
+@contextmanager
+def span(name: str, **labels: object) -> Iterator[SpanRecord | None]:
+    """Time the enclosed block as one named phase.
+
+    Exception-safe: the duration is recorded and the stack unwound even
+    when the block raises, with the record's ``status`` set to
+    ``"error"``.  Yields the open :class:`SpanRecord` (or ``None`` when
+    observability is disabled, in which case the block runs untouched).
+    """
+    registry = get_registry()
+    if not registry.enabled:
+        yield None
+        return
+    parent = _SPAN_STACK.get()
+    record = SpanRecord(
+        name=name,
+        depth=0 if parent is None else parent.depth + 1,
+        parent=None if parent is None else parent.name,
+        labels={k: str(v) for k, v in labels.items()},
+    )
+    token = _SPAN_STACK.set(record)
+    start = perf_counter()
+    try:
+        yield record
+    except BaseException:
+        record.status = "error"
+        raise
+    finally:
+        record.seconds = perf_counter() - start
+        _SPAN_STACK.reset(token)
+        registry.record_span(record)
+        registry.histogram(
+            SPAN_SECONDS, "wall seconds per instrumented phase"
+        ).observe(record.seconds, span=name, **record.labels)

@@ -72,6 +72,16 @@ class CacheStats:
             return 0.0
         return (self.hits + self.write_hits) / self.total_accesses
 
+    @property
+    def combined_rate(self) -> float:
+        """Alias of :attr:`combined_hit_rate`.
+
+        The name the observability cache instrument
+        (:func:`repro.obs.instruments.record_cache_stats`) reads, kept
+        separate so the duck-typed adapter has a stable, short contract.
+        """
+        return self.combined_hit_rate
+
     def reset(self) -> None:
         """Zero the counters."""
         self.hits = 0

@@ -96,3 +96,68 @@ class TestCommands:
         assert code == 0
         out = capsys.readouterr().out
         assert "[qfd model]" in out
+
+
+class TestQueryObservability:
+    _BASE = ["query", "--size", "80", "--bins", "2", "--queries", "4"]
+
+    def test_loop_trace_out_writes_real_traces(self, capsys, tmp_path) -> None:
+        # Regression: without --batch the per-query loop used to leave the
+        # collector empty, silently writing an empty trace file.
+        import json
+
+        path = tmp_path / "traces.jsonl"
+        code = main(self._BASE + ["--k", "3", "--trace", "--trace-out", str(path)])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "per-query loop" in out and "evals/query" in out
+        lines = [json.loads(line) for line in path.read_text().splitlines()]
+        assert len(lines) == 4
+        assert all(line["type"] == "query_trace" for line in lines)
+        assert all(line["distance_evaluations"] > 0 for line in lines)
+
+    def test_loop_trace_matches_model_counter(self, capsys) -> None:
+        import re
+
+        code = main(self._BASE + ["--k", "3", "--trace"])
+        assert code == 0
+        out = capsys.readouterr().out
+        counted = int(re.search(r"costs    : (\d+) distance evaluations", out).group(1))
+        scalar, batched = map(
+            int, re.search(r"\((\d+) scalar \+ (\d+) batched\)", out).groups()
+        )
+        assert scalar + batched == counted
+
+    def test_metrics_table_printed(self, capsys) -> None:
+        code = main(self._BASE + ["--k", "3", "--batch", "--metrics", "table"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "repro_distance_evaluations_total" in out
+        assert "repro_queries_total" in out
+
+    def test_metrics_prom_is_restored_after_run(self, capsys) -> None:
+        from repro.obs import NULL_REGISTRY, get_registry
+
+        code = main(self._BASE + ["--k", "3", "--metrics", "prom"])
+        assert code == 0
+        assert get_registry() is NULL_REGISTRY
+        out = capsys.readouterr().out
+        assert "# TYPE repro_distance_evaluations_total counter" in out
+
+    def test_report_runs_all_formats(self, capsys) -> None:
+        for fmt in ("table", "jsonl", "prom"):
+            code = main(
+                [
+                    "report",
+                    "--size",
+                    "80",
+                    "--bins",
+                    "2",
+                    "--queries",
+                    "4",
+                    "--metrics",
+                    fmt,
+                ]
+            )
+            assert code == 0
+        assert "repro_distance_evaluations_total" in capsys.readouterr().out

@@ -1,0 +1,246 @@
+"""Observability acceptance tests: the registry never lies, never perturbs.
+
+Two invariants pin the whole subsystem:
+
+1. **Exactness** — with a live registry, the
+   ``repro_distance_evaluations_total`` counter equals the model's own
+   :class:`CountingDistance` snapshot exactly, for every registered access
+   method under both models (property-tested over random workloads).
+2. **Non-interference** — with the null registry (the default), the same
+   build/query flow charges bit-identical distance counts, which is what
+   keeps ``tests/fixtures/count_baseline.json`` valid.
+"""
+
+from __future__ import annotations
+
+import re
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import random_spd_matrix
+from repro.engine import TraceCollector
+from repro.models import QFDModel, QMapModel
+from repro.models.base import MAM_REGISTRY, SAM_REGISTRY
+from repro.obs import (
+    NULL_REGISTRY,
+    MetricsRegistry,
+    get_registry,
+    to_prometheus,
+    use_registry,
+)
+from repro.obs.instruments import DISTANCE_EVALUATIONS
+
+#: Small-workload construction arguments per method.
+METHOD_KWARGS: dict[str, dict[str, int]] = {
+    "pivot-table": {"n_pivots": 4},
+    "mindex": {"n_pivots": 4},
+    "mtree": {"capacity": 8},
+    "paged-mtree": {"capacity": 8},
+    "vptree": {"leaf_size": 4},
+    "gnat": {"arity": 3, "leaf_size": 4},
+    "rtree": {"capacity": 8},
+    "xtree": {"capacity": 8},
+    "vafile": {"bits": 4},
+}
+
+#: Every (model, method) pair the library supports: the QFD model covers
+#: the MAMs, the QMap model additionally covers the SAMs.
+ALL_PAIRS = [("qfd", m) for m in MAM_REGISTRY] + [
+    ("qmap", m) for m in (*MAM_REGISTRY, *SAM_REGISTRY)
+]
+
+DIM = 6
+
+
+def _workload(seed: int, m: int = 50, n_queries: int = 4):
+    rng = np.random.default_rng(seed)
+    matrix = random_spd_matrix(DIM, rng=rng, condition=6.0)
+    data = rng.uniform(0.0, 1.0, size=(m, DIM))
+    queries = rng.uniform(0.0, 1.0, size=(n_queries, DIM))
+    return matrix, data, queries
+
+
+def _build(model_name: str, method: str, matrix, data):
+    model = (QMapModel if model_name == "qmap" else QFDModel)(matrix)
+    return model.build_index(method, data, **METHOD_KWARGS.get(method, {}))
+
+
+def _registry_evaluations(reg: MetricsRegistry, model: str, method: str) -> int:
+    counter = reg.counter(DISTANCE_EVALUATIONS)
+    labels = {"model": model, "method": method, "phase": "query"}
+    return int(
+        counter.value(kind="scalar", **labels)
+        + counter.value(kind="batched", **labels)
+    )
+
+
+class TestRegistryEqualsCountingDistance:
+    """Invariant 1: registry counters == CountingDistance, exactly."""
+
+    @pytest.mark.parametrize("model_name,method", ALL_PAIRS)
+    @given(seed=st.integers(0, 10_000), k=st.integers(1, 8))
+    @settings(max_examples=5, deadline=None)
+    def test_query_counters_match_exactly(self, model_name, method, seed, k) -> None:
+        matrix, data, queries = _workload(seed)
+        built = _build(model_name, method, matrix, data)
+        reg = MetricsRegistry()
+        with use_registry(reg):
+            built.reset_query_costs()
+            for q in queries:
+                built.knn_search(q, k)
+                built.range_search(q, 0.5)
+        counted = built.query_costs().distance_computations
+        mirrored = _registry_evaluations(reg, model_name, method)
+        assert mirrored == counted, (
+            f"{model_name}/{method}: registry mirrors {mirrored} evaluations, "
+            f"CountingDistance says {counted}"
+        )
+
+    def test_batch_queries_match_exactly(self) -> None:
+        matrix, data, queries = _workload(7, m=120, n_queries=10)
+        for model_name in ("qfd", "qmap"):
+            built = _build(model_name, "pivot-table", matrix, data)
+            reg = MetricsRegistry()
+            with use_registry(reg):
+                built.reset_query_costs()
+                built.knn_search_batch(queries, 5, executor="thread", workers=4)
+            counted = built.query_costs().distance_computations
+            assert _registry_evaluations(reg, model_name, "pivot-table") == counted
+
+    def test_reset_query_costs_realigns_the_mirror(self) -> None:
+        matrix, data, queries = _workload(3)
+        built = _build("qfd", "mtree", matrix, data)
+        reg = MetricsRegistry()
+        with use_registry(reg):
+            built.reset_query_costs()
+            built.knn_search(queries[0], 3)
+            first = _registry_evaluations(reg, "qfd", "mtree")
+            built.reset_query_costs()
+            built.knn_search(queries[1], 3)
+        # The counter is cumulative across resets; the second query's share
+        # must equal the model counter reading after its own reset.
+        total = _registry_evaluations(reg, "qfd", "mtree")
+        assert total - first == built.query_costs().distance_computations
+
+
+class TestNullRegistryNonInterference:
+    """Invariant 2: observability off => nothing changes, nothing recorded."""
+
+    def test_default_registry_is_null(self) -> None:
+        assert get_registry() is NULL_REGISTRY
+
+    @pytest.mark.parametrize("model_name,method", ALL_PAIRS)
+    def test_counts_identical_with_and_without_registry(
+        self, model_name, method
+    ) -> None:
+        matrix, data, queries = _workload(11)
+
+        def run(active: MetricsRegistry | None) -> tuple[int, list]:
+            built = _build(model_name, method, matrix, data)
+            build_evals = built.build_costs.distance_computations
+            results = []
+            if active is None:
+                for q in queries:
+                    results.append(built.knn_search(q, 3))
+                    results.append(built.range_search(q, 0.5))
+            else:
+                with use_registry(active):
+                    for q in queries:
+                        results.append(built.knn_search(q, 3))
+                        results.append(built.range_search(q, 0.5))
+            answers = [
+                [(n.index, n.distance) for n in result] for result in results
+            ]
+            return build_evals, [
+                built.query_costs().distance_computations,
+                answers,
+            ]
+
+        bare = run(None)
+        observed = run(MetricsRegistry())
+        assert bare == observed, (
+            f"{model_name}/{method}: a live registry perturbed the distance "
+            f"counts or answers — the count-baseline fixture would drift"
+        )
+
+
+class TestBatchThroughputMetrics:
+    def test_batch_seconds_and_qps(self) -> None:
+        matrix, data, queries = _workload(5, m=80, n_queries=8)
+        built = _build("qmap", "pivot-table", matrix, data)
+        reg = MetricsRegistry()
+        collector = TraceCollector()
+        with use_registry(reg):
+            built.knn_search_batch(queries, 3, collector=collector)
+        summary = collector.summary()
+        assert summary.batch_seconds > 0.0
+        assert summary.queries_per_second == pytest.approx(
+            summary.queries / summary.batch_seconds
+        )
+        assert summary.serial_queries_per_second == pytest.approx(
+            summary.queries / summary.seconds
+        )
+        # Batch wall-clock can never exceed the summed per-query time by
+        # less than zero — and with one worker they bracket each other.
+        assert reg.counter("repro_queries_total").value(
+            method="pivot-table", kind="knn"
+        ) == len(queries)
+        assert (
+            reg.gauge("repro_batch_queries_per_second").value(
+                method="pivot-table", kind="knn"
+            )
+            > 0.0
+        )
+
+    def test_serial_fallback_when_no_batch_clock(self) -> None:
+        collector = TraceCollector()
+        summary = collector.summary()
+        assert summary.batch_seconds == 0.0
+        assert summary.queries_per_second == summary.serial_queries_per_second
+
+
+_PROM_LINE = re.compile(
+    r"^[a-zA-Z_:][a-zA-Z0-9_:]*"  # metric name
+    r"(\{[a-zA-Z_][a-zA-Z0-9_]*=\"[^\"\n]*\"(,[a-zA-Z_][a-zA-Z0-9_]*=\"[^\"\n]*\")*\})?"
+    r" (-?\d+(\.\d+)?([eE][+-]?\d+)?|[+-]Inf|NaN)$"
+)
+
+
+class TestPrometheusExport:
+    def test_every_line_is_valid_exposition_format(self) -> None:
+        matrix, data, queries = _workload(9)
+        reg = MetricsRegistry()
+        with use_registry(reg):
+            built = _build("qmap", "mtree", matrix, data)
+            for q in queries:
+                built.knn_search(q, 3)
+        text = to_prometheus(reg)
+        assert text.endswith("\n")
+        seen_types = 0
+        for line in text.splitlines():
+            if line.startswith("# TYPE"):
+                seen_types += 1
+                continue
+            if line.startswith("#"):
+                continue
+            assert _PROM_LINE.match(line), f"malformed exposition line: {line!r}"
+        assert seen_types >= 3  # build spans, distance counter, index gauges
+
+    def test_histograms_are_cumulative(self) -> None:
+        reg = MetricsRegistry()
+        h = reg.histogram("repro_test_seconds", bounds=[1.0, 2.0])
+        h.observe(0.5)
+        h.observe(1.5)
+        h.observe(99.0)
+        text = to_prometheus(reg)
+        buckets = [
+            int(line.rsplit(" ", 1)[1])
+            for line in text.splitlines()
+            if "_bucket" in line
+        ]
+        assert buckets == sorted(buckets), "bucket counts must be cumulative"
+        assert buckets[-1] == 3
+        assert 'le="+Inf"' in text

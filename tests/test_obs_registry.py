@@ -1,0 +1,184 @@
+"""Unit tests for the metric instruments and registry (repro.obs.registry)."""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.obs import (
+    NULL_REGISTRY,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    NullRegistry,
+    get_registry,
+    set_registry,
+    use_registry,
+)
+
+
+class TestCounter:
+    def test_inc_accumulates_per_label_set(self) -> None:
+        c = Counter("evals")
+        c.inc(3, model="qfd")
+        c.inc(2, model="qfd")
+        c.inc(7, model="qmap")
+        assert c.value(model="qfd") == 5
+        assert c.value(model="qmap") == 7
+        assert c.value(model="other") == 0
+
+    def test_label_order_is_irrelevant(self) -> None:
+        c = Counter("evals")
+        c.inc(1, a="x", b="y")
+        c.inc(1, b="y", a="x")
+        assert c.value(b="y", a="x") == 2
+
+    def test_label_values_are_stringified(self) -> None:
+        c = Counter("evals")
+        c.inc(1, dim=64)
+        assert c.value(dim="64") == 1
+
+    def test_negative_increment_rejected(self) -> None:
+        c = Counter("evals")
+        with pytest.raises(ValueError, match="cannot decrease"):
+            c.inc(-1)
+
+    def test_samples_carry_kind_and_labels(self) -> None:
+        c = Counter("evals")
+        c.inc(4, phase="build")
+        (sample,) = c.samples()
+        assert sample.name == "evals"
+        assert sample.kind == "counter"
+        assert sample.labels == {"phase": "build"}
+        assert sample.value == 4
+
+    def test_concurrent_increments_are_lossless(self) -> None:
+        c = Counter("evals")
+
+        def work() -> None:
+            for _ in range(1000):
+                c.inc(1, worker="shared")
+
+        threads = [threading.Thread(target=work) for _ in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert c.value(worker="shared") == 8000
+
+
+class TestGauge:
+    def test_set_overwrites_and_inc_shifts(self) -> None:
+        g = Gauge("height")
+        g.set(3, method="mtree")
+        g.set(5, method="mtree")
+        assert g.value(method="mtree") == 5
+        g.inc(-2, method="mtree")
+        assert g.value(method="mtree") == 3
+
+
+class TestHistogram:
+    def test_observations_land_in_log_buckets(self) -> None:
+        h = Histogram("seconds", bounds=[1.0, 2.0, 4.0])
+        for v in (0.5, 1.0, 3.0, 100.0):
+            h.observe(v)
+        state = h.state()
+        assert state.count == 4
+        assert state.total == pytest.approx(104.5)
+        # 0.5 and 1.0 fall in the <=1 bucket (bisect_left: 1.0 is inclusive),
+        # 3.0 in <=4, 100.0 overflows.
+        assert state.counts == (2, 0, 1, 1)
+
+    def test_unsorted_bounds_rejected(self) -> None:
+        with pytest.raises(ValueError, match="strictly increase"):
+            Histogram("bad", bounds=[1.0, 1.0, 2.0])
+
+    def test_empty_state_is_zeroed(self) -> None:
+        h = Histogram("seconds", bounds=[1.0])
+        state = h.state(method="never")
+        assert state.count == 0 and state.total == 0.0
+        assert state.counts == (0, 0)
+
+
+class TestMetricsRegistry:
+    def test_accessors_are_get_or_create(self) -> None:
+        reg = MetricsRegistry()
+        assert reg.counter("a") is reg.counter("a")
+        assert reg.gauge("b") is reg.gauge("b")
+        assert reg.histogram("c") is reg.histogram("c")
+
+    def test_kind_mismatch_raises(self) -> None:
+        reg = MetricsRegistry()
+        reg.counter("a")
+        with pytest.raises(ValueError, match="already registered"):
+            reg.gauge("a")
+
+    def test_snapshot_is_registration_ordered(self) -> None:
+        reg = MetricsRegistry()
+        reg.counter("z").inc(1)
+        reg.gauge("a").set(2)
+        assert [s.name for s in reg.snapshot()] == ["z", "a"]
+
+    def test_clear_drops_everything(self) -> None:
+        reg = MetricsRegistry()
+        reg.counter("a").inc(1)
+        reg.clear()
+        assert reg.snapshot() == []
+        assert reg.spans == []
+
+
+class TestNullRegistry:
+    def test_is_disabled_and_all_verbs_are_noops(self) -> None:
+        reg = NullRegistry()
+        assert reg.enabled is False
+        reg.counter("a").inc(5)
+        reg.gauge("b").set(5)
+        reg.gauge("b").inc(5)
+        reg.histogram("c").observe(5)
+        assert reg.snapshot() == []
+        assert reg.counter("a").value() == 0
+
+    def test_instruments_are_shared_singletons(self) -> None:
+        reg = NullRegistry()
+        assert reg.counter("a") is reg.counter("b")
+        assert reg.histogram("a") is reg.histogram("b")
+
+
+class TestActiveRegistry:
+    def test_default_is_the_null_registry(self) -> None:
+        assert get_registry() is NULL_REGISTRY
+
+    def test_set_registry_returns_previous(self) -> None:
+        reg = MetricsRegistry()
+        previous = set_registry(reg)
+        try:
+            assert get_registry() is reg
+        finally:
+            assert set_registry(previous) is reg
+        assert get_registry() is NULL_REGISTRY
+
+    def test_use_registry_restores_on_exception(self) -> None:
+        reg = MetricsRegistry()
+        with pytest.raises(RuntimeError):
+            with use_registry(reg):
+                assert get_registry() is reg
+                raise RuntimeError("boom")
+        assert get_registry() is NULL_REGISTRY
+
+    def test_none_restores_the_null_registry(self) -> None:
+        set_registry(MetricsRegistry())
+        set_registry(None)
+        assert get_registry() is NULL_REGISTRY
+
+    def test_worker_threads_see_the_active_registry(self) -> None:
+        # The registry is a module global, not a contextvar: threads spawned
+        # by the batch engine must observe the same activation.
+        reg = MetricsRegistry()
+        seen: list[object] = []
+        with use_registry(reg):
+            t = threading.Thread(target=lambda: seen.append(get_registry()))
+            t.start()
+            t.join()
+        assert seen == [reg]

@@ -1,0 +1,69 @@
+"""Tests for nestable timing spans (repro.obs.spans)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.obs import MetricsRegistry, current_span, span, use_registry
+from repro.obs.spans import SPAN_SECONDS
+
+
+class TestDisabledSpans:
+    def test_yields_none_and_records_nothing(self) -> None:
+        # The null registry is active by default.
+        with span("build/never") as record:
+            assert record is None
+        assert current_span() is None
+
+
+class TestLiveSpans:
+    def test_records_duration_and_histogram(self) -> None:
+        reg = MetricsRegistry()
+        with use_registry(reg):
+            with span("query/refine", method="mtree") as record:
+                assert current_span() is record
+        (done,) = reg.spans
+        assert done.name == "query/refine"
+        assert done.status == "ok"
+        assert done.seconds >= 0.0
+        assert done.labels == {"method": "mtree"}
+        hist = reg.histogram(SPAN_SECONDS)
+        assert hist.state(span="query/refine", method="mtree").count == 1
+
+    def test_nesting_tracks_depth_and_parent(self) -> None:
+        reg = MetricsRegistry()
+        with use_registry(reg):
+            with span("build/mtree") as outer:
+                with span("build/pivot-selection") as inner:
+                    assert inner.depth == 1
+                    assert inner.parent == "build/mtree"
+                assert current_span() is outer
+            assert outer.depth == 0 and outer.parent is None
+        # Inner completes (and is recorded) first.
+        assert [r.name for r in reg.spans] == [
+            "build/pivot-selection",
+            "build/mtree",
+        ]
+
+    def test_exception_marks_error_and_unwinds(self) -> None:
+        reg = MetricsRegistry()
+        with use_registry(reg):
+            with pytest.raises(RuntimeError):
+                with span("build/broken"):
+                    raise RuntimeError("boom")
+            assert current_span() is None
+        (done,) = reg.spans
+        assert done.status == "error"
+        assert done.seconds >= 0.0
+
+    def test_sequential_spans_do_not_nest(self) -> None:
+        reg = MetricsRegistry()
+        with use_registry(reg):
+            with span("a"):
+                pass
+            with span("b"):
+                pass
+        assert [(r.name, r.depth, r.parent) for r in reg.spans] == [
+            ("a", 0, None),
+            ("b", 0, None),
+        ]
