@@ -25,14 +25,13 @@ from __future__ import annotations
 
 import argparse
 import functools
-import json
 import os
 import time
 from pathlib import Path
 
 import pytest
 
-from _common import get_workload, print_header
+from _common import get_workload, print_header, write_report
 from repro.bench import format_table, metrics_block, speedup
 from repro.engine import TraceCollector
 from repro.models import BuiltIndex, QFDModel, QMapModel
@@ -221,8 +220,7 @@ def main() -> None:
         print("smoke run: machinery OK, no JSON written")
         return
     out = args.out if args.out is not None else DEFAULT_OUT
-    out.write_text(json.dumps(report, indent=2) + "\n")
-    print(f"wrote {out}")
+    write_report(report, out)
 
 
 if __name__ == "__main__":

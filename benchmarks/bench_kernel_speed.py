@@ -25,12 +25,12 @@ Usage::
 from __future__ import annotations
 
 import argparse
-import json
 import time
 from pathlib import Path
 
 import numpy as np
 
+from _common import write_report
 from repro.core.qfd import QuadraticFormDistance
 from repro.core.qmap import QMap
 from repro.datasets import vector_workload
@@ -225,8 +225,7 @@ def main() -> None:
         print("smoke run: machinery OK, no JSON written")
         return
     out = args.out if args.out is not None else DEFAULT_OUT
-    out.write_text(json.dumps(report, indent=2) + "\n")
-    print(f"wrote {out}")
+    write_report(report, out)
 
 
 if __name__ == "__main__":

@@ -25,12 +25,12 @@ Usage::
 from __future__ import annotations
 
 import argparse
-import json
 import os
 import tempfile
 import time
 from pathlib import Path
 
+from _common import write_report
 from repro.bench import metrics_block
 from repro.datasets import histogram_workload
 from repro.models import QFDModel, QMapModel
@@ -184,8 +184,7 @@ def main() -> None:
         print("smoke run: machinery OK, no JSON written")
         return
     out = args.out if args.out is not None else DEFAULT_OUT
-    out.write_text(json.dumps(report, indent=2) + "\n")
-    print(f"wrote {out}")
+    write_report(report, out)
 
 
 if __name__ == "__main__":

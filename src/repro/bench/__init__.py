@@ -11,6 +11,16 @@ from .complexity import (
     theoretical_indexing_flops,
     theoretical_querying_flops,
 )
+from .history import (
+    HISTORY_FILENAME,
+    RegressionCheck,
+    append_history,
+    check_regression,
+    environment_fingerprint,
+    git_revision,
+    history_record,
+    load_history,
+)
 from .reporting import format_series, format_table, metrics_block, speedup
 from .runner import (
     ModelComparison,
@@ -38,4 +48,12 @@ __all__ = [
     "theoretical_indexing_flops",
     "theoretical_querying_flops",
     "ComplexityRow",
+    "HISTORY_FILENAME",
+    "RegressionCheck",
+    "environment_fingerprint",
+    "git_revision",
+    "history_record",
+    "append_history",
+    "load_history",
+    "check_regression",
 ]

@@ -1,0 +1,202 @@
+"""Benchmark regression history: append-only run log + baseline gate.
+
+Two pieces keep the paper-shaped performance claims honest over time:
+
+* an **append-only history** (``BENCH_history.jsonl``): every benchmark
+  run appends one JSON record — environment fingerprint, git revision,
+  and the run's metrics block — so regressions can be bisected against
+  real data instead of memory;
+* a **baseline gate** (:func:`check_regression`): deterministic cost
+  metrics (distance-evaluation counts on a fixed-seed workload) are
+  compared against a committed baseline with per-metric relative
+  thresholds; any increase beyond its threshold is a regression.
+
+Counts are the right gate because the paper's cost unit is the distance
+computation: the counts are bit-reproducible for a fixed seed, so the
+default threshold is **zero** — any count drift means the traversal
+changed.  Wall-clock metrics are recorded in the history but never gated
+(machine-dependent).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import platform
+import subprocess
+import sys
+from dataclasses import dataclass
+from datetime import datetime, timezone
+from pathlib import Path
+
+import numpy as np
+
+__all__ = [
+    "HISTORY_FILENAME",
+    "RegressionCheck",
+    "environment_fingerprint",
+    "git_revision",
+    "history_record",
+    "append_history",
+    "load_history",
+    "check_regression",
+]
+
+#: Default history file name, created in the current working directory
+#: (the repository root when run from a checkout).
+HISTORY_FILENAME = "BENCH_history.jsonl"
+
+
+def environment_fingerprint() -> dict:
+    """Where a benchmark ran: interpreter, numpy, platform, CPU count."""
+    return {
+        "python": sys.version.split()[0],
+        "numpy": np.__version__,
+        "platform": platform.platform(),
+        "machine": platform.machine(),
+        "cpu_count": os.cpu_count() or 1,
+    }
+
+
+def git_revision(root: "str | os.PathLike | None" = None) -> str:
+    """The checkout's commit SHA, or ``"unknown"`` outside a work tree."""
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            cwd=root,
+            capture_output=True,
+            text=True,
+            timeout=10,
+            check=False,
+        )
+    except (OSError, subprocess.SubprocessError):
+        return "unknown"
+    sha = out.stdout.strip()
+    return sha if out.returncode == 0 and sha else "unknown"
+
+
+def history_record(
+    bench: str,
+    metrics: dict,
+    *,
+    meta: "dict | None" = None,
+) -> dict:
+    """One history line: who/where/when plus the run's metrics."""
+    record = {
+        "bench": bench,
+        "timestamp": datetime.now(timezone.utc).isoformat(timespec="seconds"),
+        "git": git_revision(),
+        "env": environment_fingerprint(),
+        "metrics": metrics,
+    }
+    if meta:
+        record["meta"] = meta
+    return record
+
+
+def append_history(
+    record: dict, path: "str | os.PathLike" = HISTORY_FILENAME
+) -> Path:
+    """Append *record* as one JSON line (creating the file if needed)."""
+    target = Path(path)
+    with target.open("a", encoding="utf-8") as fh:
+        fh.write(json.dumps(record, sort_keys=True) + "\n")
+    return target
+
+
+def load_history(path: "str | os.PathLike" = HISTORY_FILENAME) -> list[dict]:
+    """All history records, oldest first (empty list if no file)."""
+    target = Path(path)
+    if not target.exists():
+        return []
+    records = []
+    for line in target.read_text(encoding="utf-8").splitlines():
+        line = line.strip()
+        if line:
+            records.append(json.loads(line))
+    return records
+
+
+@dataclass(frozen=True)
+class RegressionCheck:
+    """One gated metric: baseline vs observed under a relative threshold.
+
+    ``regressed`` is True when the observed value *increased* past
+    ``baseline * (1 + threshold)`` (costs only go bad upward).
+    ``drifted`` additionally flags any out-of-threshold change in either
+    direction — an improvement should prompt a baseline update, not
+    silent staleness.
+    """
+
+    metric: str
+    baseline: float
+    observed: float
+    threshold: float
+
+    @property
+    def relative_change(self) -> float:
+        if self.baseline == 0:
+            return 0.0 if self.observed == 0 else float("inf")
+        return (self.observed - self.baseline) / self.baseline
+
+    @property
+    def regressed(self) -> bool:
+        change = self.relative_change
+        return change > self.threshold
+
+    @property
+    def drifted(self) -> bool:
+        return abs(self.relative_change) > self.threshold
+
+    def describe(self) -> str:
+        change = self.relative_change
+        if self.regressed:
+            verdict = "REGRESSED"
+        elif self.drifted:
+            verdict = "improved (update the baseline)"
+        else:
+            verdict = "ok"
+        return (
+            f"{self.metric}: baseline={self.baseline:g} observed={self.observed:g} "
+            f"change={change:+.2%} (threshold {self.threshold:.2%}) [{verdict}]"
+        )
+
+
+def check_regression(
+    observed: dict,
+    baseline: dict,
+    *,
+    default_threshold: float = 0.0,
+    thresholds: "dict | None" = None,
+) -> list[RegressionCheck]:
+    """Gate *observed* metrics against *baseline* metrics.
+
+    Every baseline metric must be present in *observed* (a vanished
+    metric is reported as a regression from baseline to ``inf``).
+    Metrics only present in *observed* are ignored — adding measurements
+    must not fail old baselines.
+    """
+    thresholds = thresholds or {}
+    checks = []
+    for metric in sorted(baseline):
+        base = float(baseline[metric])
+        threshold = float(thresholds.get(metric, default_threshold))
+        if metric not in observed:
+            checks.append(
+                RegressionCheck(
+                    metric=metric,
+                    baseline=base,
+                    observed=float("inf"),
+                    threshold=threshold,
+                )
+            )
+            continue
+        checks.append(
+            RegressionCheck(
+                metric=metric,
+                baseline=base,
+                observed=float(observed[metric]),
+                threshold=threshold,
+            )
+        )
+    return checks

@@ -26,10 +26,24 @@ Commands
     and export everything the observability layer collected — build and
     query spans, distance-evaluation counters, per-MAM node accounting —
     as an aligned table, JSON-lines, or Prometheus text format.
+``explain``
+    Run one query under traversal-event collection and print its EXPLAIN
+    plan: the node-by-node cost tree (distance charges, lower-bound
+    checks with their actual values, prunes, candidate verifications),
+    totals verified against the distance counter, and the paper's
+    Table 2 audit where a closed form exists.
+``bench check|history``
+    Benchmark regression gate: ``check`` measures the deterministic
+    distance-evaluation counts of a fixed-seed workload, appends them to
+    ``BENCH_history.jsonl``, and compares them against the committed
+    ``benchmarks/bench_baseline.json`` (nonzero exit on regression);
+    ``history`` lists the recorded runs.
 
 ``query`` and ``index query`` additionally accept ``--trace-out PATH``
-(per-query ``QueryTrace`` records as JSON-lines) and ``--metrics
-{table,jsonl,prom}`` (run with a live registry and print the export).
+(per-query ``QueryTrace`` records as JSON-lines), ``--metrics
+{table,jsonl,prom}`` (run with a live registry and print the export),
+and ``--explain`` / ``--explain-out PATH`` (EXPLAIN the batch's first
+query after the run).
 """
 
 from __future__ import annotations
@@ -117,7 +131,119 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="run with a live metrics registry and print the export",
     )
+    query.add_argument(
+        "--explain",
+        action="store_true",
+        help="after the batch, re-run the first query under event "
+        "collection and print its EXPLAIN plan",
+    )
+    query.add_argument(
+        "--explain-out",
+        default=None,
+        metavar="PATH",
+        help="write the first query's EXPLAIN plan to PATH as JSON",
+    )
     query.add_argument("--seed", type=int, default=0)
+
+    explain = sub.add_parser(
+        "explain",
+        help="run one query under traversal-event collection and print "
+        "its cost tree (node-by-node distance charges, lower-bound "
+        "checks, prunes) plus the Table 2 audit",
+    )
+    explain.add_argument("--method", default="mtree", help="access method name")
+    explain.add_argument(
+        "--model", choices=["qfd", "qmap"], default="qmap", help="distance model"
+    )
+    explain.add_argument("--size", type=int, default=500, help="database size")
+    explain.add_argument(
+        "--bins", type=int, default=4, help="RGB bins per channel (4 -> 64-d, 8 -> 512-d)"
+    )
+    explain.add_argument("--k", type=int, default=10, help="kNN parameter")
+    explain.add_argument(
+        "--radius",
+        type=float,
+        default=None,
+        help="explain a range query with this radius instead of kNN",
+    )
+    explain.add_argument(
+        "--query-index", type=int, default=0, help="which workload query to explain"
+    )
+    explain.add_argument(
+        "--max-events",
+        type=int,
+        default=10_000,
+        help="cap on recorded event objects (aggregates stay exact)",
+    )
+    explain.add_argument(
+        "--sample-every",
+        type=int,
+        default=1,
+        help="record every N-th lb_check/candidate_verify event",
+    )
+    explain.add_argument(
+        "--json",
+        action="store_true",
+        help="print the plan as JSON instead of the text tree",
+    )
+    explain.add_argument(
+        "--out", default=None, metavar="PATH", help="also write the plan JSON to PATH"
+    )
+    explain.add_argument("--seed", type=int, default=0)
+
+    bench = sub.add_parser(
+        "bench", help="benchmark regression history and baseline gate"
+    )
+    bench_sub = bench.add_subparsers(dest="bench_command", required=True)
+
+    bcheck = bench_sub.add_parser(
+        "check",
+        help="run the deterministic cost workload, append it to the "
+        "history, and gate the counts against the committed baseline "
+        "(exit 1 on regression)",
+    )
+    bcheck.add_argument("--size", type=int, default=400, help="database size")
+    bcheck.add_argument(
+        "--bins", type=int, default=4, help="RGB bins per channel (4 -> 64-d)"
+    )
+    bcheck.add_argument("--queries", type=int, default=10, help="number of queries")
+    bcheck.add_argument("--k", type=int, default=10, help="kNN parameter")
+    bcheck.add_argument("--seed", type=int, default=2011)
+    bcheck.add_argument(
+        "--baseline",
+        default="benchmarks/bench_baseline.json",
+        metavar="PATH",
+        help="committed baseline file",
+    )
+    bcheck.add_argument(
+        "--history",
+        default="BENCH_history.jsonl",
+        metavar="PATH",
+        help="append-only run history (JSON-lines)",
+    )
+    bcheck.add_argument(
+        "--no-history",
+        action="store_true",
+        help="do not append this run to the history file",
+    )
+    bcheck.add_argument(
+        "--update-baseline",
+        action="store_true",
+        help="rewrite the baseline from this run instead of gating",
+    )
+
+    bhistory = bench_sub.add_parser(
+        "history", help="show the recorded benchmark run history"
+    )
+    bhistory.add_argument(
+        "--history",
+        default="BENCH_history.jsonl",
+        metavar="PATH",
+        help="history file to read",
+    )
+    bhistory.add_argument(
+        "--last", type=int, default=10, help="show only the most recent N runs"
+    )
 
     index = sub.add_parser(
         "index", help="build, snapshot, restore and query persistent indexes"
@@ -199,6 +325,18 @@ def build_parser() -> argparse.ArgumentParser:
         choices=["table", "jsonl", "prom"],
         default=None,
         help="run with a live metrics registry and print the export",
+    )
+    iquery.add_argument(
+        "--explain",
+        action="store_true",
+        help="after the batch, re-run the first query under event "
+        "collection and print its EXPLAIN plan",
+    )
+    iquery.add_argument(
+        "--explain-out",
+        default=None,
+        metavar="PATH",
+        help="write the first query's EXPLAIN plan to PATH as JSON",
     )
 
     report = sub.add_parser(
@@ -405,6 +543,32 @@ def _traced_loop(index, queries, collector, *, k: int, radius: float | None) -> 
         am._port = original_port
 
 
+def _explain_first_query(
+    index, queries, *, k: int, radius: "float | None", show: bool, out: "str | None"
+) -> None:
+    """Re-run the batch's first query under event collection.
+
+    The batch itself runs with events off (the bit-identical fast path);
+    the plan re-executes query 0 with its own counter delta, so the
+    printed totals describe exactly that one query.
+    """
+    from .models import explain_query
+
+    if len(queries) == 0:
+        return
+    if radius is not None:
+        plan = explain_query(index, queries[0], radius=radius)
+    else:
+        plan = explain_query(index, queries[0], k=k)
+    if show:
+        print()
+        print(plan.render())
+    if out is not None:
+        with open(out, "w", encoding="utf-8") as fh:
+            fh.write(plan.to_json() + "\n")
+        print(f"explain  : {out} (query 0, {plan.kind})")
+
+
 def _cmd_query(args: "argparse.Namespace") -> int:
     import time
 
@@ -490,9 +654,23 @@ def _cmd_query(args: "argparse.Namespace") -> int:
             f"{summary.candidates} candidates refined, "
             f"{summary.results} results"
         )
+        print(
+            "latency  : "
+            f"p50 {summary.p50_seconds * 1000:.2f}ms, "
+            f"p95 {summary.p95_seconds * 1000:.2f}ms per query"
+        )
     if collector is not None and args.trace_out:
         _write_traces(collector, args.trace_out)
     _emit_metrics(registry, args.metrics)
+    if args.explain or args.explain_out:
+        _explain_first_query(
+            index,
+            workload.queries,
+            k=args.k,
+            radius=args.radius,
+            show=args.explain,
+            out=args.explain_out,
+        )
     return 0
 
 
@@ -635,10 +813,200 @@ def _cmd_index_query(args: "argparse.Namespace") -> int:
             f"{summary.candidates} candidates refined, "
             f"{summary.results} results"
         )
+        print(
+            "latency  : "
+            f"p50 {summary.p50_seconds * 1000:.2f}ms, "
+            f"p95 {summary.p95_seconds * 1000:.2f}ms per query"
+        )
     if collector is not None and args.trace_out:
         _write_traces(collector, args.trace_out)
     _emit_metrics(registry, args.metrics)
+    if args.explain or args.explain_out:
+        _explain_first_query(
+            index,
+            workload.queries,
+            k=args.k,
+            radius=args.radius,
+            show=args.explain,
+            out=args.explain_out,
+        )
     return 0
+
+
+def _cmd_explain(args: "argparse.Namespace") -> int:
+    """Build a synthetic workload and EXPLAIN one query against it."""
+    from .datasets import histogram_workload
+    from .exceptions import QueryError
+    from .models import QFDModel, QMapModel, explain_query
+
+    if args.query_index < 0:
+        raise QueryError(f"--query-index must be >= 0, got {args.query_index}")
+    workload = histogram_workload(
+        args.size,
+        args.query_index + 1,
+        bins_per_channel=args.bins,
+        seed=args.seed,
+    )
+    model = (QMapModel if args.model == "qmap" else QFDModel)(workload.matrix)
+    kwargs = _INDEX_KWARGS.get(args.method, {})
+    index = model.build_index(args.method, workload.database, **kwargs)
+    index.reset_query_costs()
+    plan = explain_query(
+        index,
+        workload.queries[args.query_index],
+        k=None if args.radius is not None else args.k,
+        radius=args.radius,
+        max_events=args.max_events,
+        sample_every=args.sample_every,
+    )
+    print(plan.to_json() if args.json else plan.render())
+    if args.out is not None:
+        with open(args.out, "w", encoding="utf-8") as fh:
+            fh.write(plan.to_json() + "\n")
+        print(f"plan JSON: {args.out}")
+    # A mismatch would mean the plan lost track of counted evaluations —
+    # surface it as a failure, it is the feature's core invariant.
+    return 0 if plan.totals_match else 1
+
+
+#: The deterministic cost workload gated by ``repro bench check``: the
+#: three methods with Table 1/2 closed forms, under both models.
+_BENCH_CHECK_METHODS = ("sequential", "pivot-table", "mtree")
+
+
+def _bench_check_metrics(args: "argparse.Namespace") -> dict:
+    """Distance-evaluation counts for the fixed-seed gate workload.
+
+    Counts (never wall-clock) are gated: for a fixed seed they are
+    bit-reproducible, so any drift means the traversal itself changed.
+    """
+    from .datasets import histogram_workload
+    from .models import QFDModel, QMapModel
+
+    workload = histogram_workload(
+        args.size, args.queries, bins_per_channel=args.bins, seed=args.seed
+    )
+    metrics: dict = {}
+    for model_cls, model_name in ((QFDModel, "qfd"), (QMapModel, "qmap")):
+        model = model_cls(workload.matrix)
+        for method in _BENCH_CHECK_METHODS:
+            kwargs = _INDEX_KWARGS.get(method, {})
+            index = model.build_index(method, workload.database, **kwargs)
+            prefix = f"{method}.{model_name}"
+            metrics[f"{prefix}.build_evaluations"] = (
+                index.build_costs.distance_computations
+            )
+            index.reset_query_costs()
+            for q in workload.queries:
+                index.knn_search(q, args.k)
+            costs = index.query_costs()
+            metrics[f"{prefix}.query_evaluations"] = costs.distance_computations
+            metrics[f"{prefix}.query_transforms"] = costs.transforms
+    return metrics
+
+
+def _cmd_bench_check(args: "argparse.Namespace") -> int:
+    import json
+    from pathlib import Path
+
+    from .bench import append_history, check_regression, history_record
+
+    meta = {
+        "size": args.size,
+        "bins": args.bins,
+        "queries": args.queries,
+        "k": args.k,
+        "seed": args.seed,
+    }
+    print(
+        f"workload : m={args.size}, q={args.queries}, k={args.k}, "
+        f"bins={args.bins}, seed={args.seed}"
+    )
+    metrics = _bench_check_metrics(args)
+    if not args.no_history:
+        path = append_history(history_record("bench-check", metrics, meta=meta), args.history)
+        print(f"history  : appended to {path}")
+
+    baseline_path = Path(args.baseline)
+    if args.update_baseline:
+        baseline_path.parent.mkdir(parents=True, exist_ok=True)
+        payload = {
+            "workload": meta,
+            "default_threshold": 0.0,
+            "metrics": metrics,
+        }
+        baseline_path.write_text(
+            json.dumps(payload, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+        )
+        print(f"baseline : rewritten at {baseline_path}")
+        return 0
+    if not baseline_path.exists():
+        print(
+            f"error: no baseline at {baseline_path}; create one with "
+            "--update-baseline",
+            file=sys.stderr,
+        )
+        return 2
+    baseline = json.loads(baseline_path.read_text(encoding="utf-8"))
+    stored_meta = baseline.get("workload", {})
+    if stored_meta and {k: stored_meta[k] for k in meta if k in stored_meta} != meta:
+        print(
+            f"error: baseline {baseline_path} was recorded for workload "
+            f"{stored_meta}, not {meta}; rerun with matching parameters "
+            "or --update-baseline",
+            file=sys.stderr,
+        )
+        return 2
+    checks = check_regression(
+        metrics,
+        baseline.get("metrics", {}),
+        default_threshold=float(baseline.get("default_threshold", 0.0)),
+        thresholds=baseline.get("thresholds"),
+    )
+    for check in checks:
+        print("  " + check.describe())
+    regressed = [c for c in checks if c.regressed]
+    improved = [c for c in checks if c.drifted and not c.regressed]
+    if regressed:
+        print(f"bench check: {len(regressed)} metric(s) REGRESSED")
+        return 1
+    if improved:
+        print(
+            f"bench check: passed ({len(improved)} metric(s) improved — "
+            "consider --update-baseline)"
+        )
+        return 0
+    print(f"bench check: passed, {len(checks)} metrics match the baseline")
+    return 0
+
+
+def _cmd_bench_history(args: "argparse.Namespace") -> int:
+    from .bench import load_history
+
+    records = load_history(args.history)
+    if not records:
+        print(f"no history at {args.history}")
+        return 0
+    shown = records[-args.last :] if args.last > 0 else records
+    print(f"{args.history}: {len(records)} run(s), showing {len(shown)}")
+    for record in shown:
+        metrics = record.get("metrics", {})
+        git = str(record.get("git", "unknown"))[:12]
+        print(
+            f"  {record.get('timestamp', '?'):25s} {record.get('bench', '?'):12s} "
+            f"git={git}  {len(metrics)} metrics"
+        )
+    return 0
+
+
+def _cmd_bench(args: "argparse.Namespace") -> int:
+    if args.bench_command == "check":
+        return _cmd_bench_check(args)
+    if args.bench_command == "history":
+        return _cmd_bench_history(args)
+    raise AssertionError(  # pragma: no cover
+        f"unhandled bench command {args.bench_command!r}"
+    )
 
 
 def _cmd_report(args: "argparse.Namespace") -> int:
@@ -694,6 +1062,10 @@ def main(argv: list[str] | None = None) -> int:
             return _cmd_compare(args.method, args.size, args.bins, args.k, args.seed)
         if args.command == "query":
             return _cmd_query(args)
+        if args.command == "explain":
+            return _cmd_explain(args)
+        if args.command == "bench":
+            return _cmd_bench(args)
         if args.command == "index":
             return _cmd_index(args)
         if args.command == "report":

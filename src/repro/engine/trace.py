@@ -26,6 +26,7 @@ that :mod:`repro.mam` modules can use the hooks without import cycles.
 from __future__ import annotations
 
 import contextvars
+import math
 import threading
 from contextlib import contextmanager
 from dataclasses import dataclass
@@ -135,6 +136,10 @@ class TraceSummary:
     batch_seconds: float = 0.0
     nodes_visited: int = 0
     nodes_pruned: int = 0
+    #: Nearest-rank percentiles of the per-query wall times (0.0 when no
+    #: traces were collected) — tail latency next to the mean throughput.
+    p50_seconds: float = 0.0
+    p95_seconds: float = 0.0
 
     @property
     def evaluations_per_query(self) -> float:
@@ -165,6 +170,14 @@ class TraceSummary:
         if self.seconds <= 0.0:
             return 0.0
         return self.queries / self.seconds
+
+
+def _nearest_rank(sorted_values: list[float], q: float) -> float:
+    """Nearest-rank percentile of pre-sorted values (0.0 when empty)."""
+    if not sorted_values:
+        return 0.0
+    rank = math.ceil(q * len(sorted_values))
+    return sorted_values[max(rank, 1) - 1]
 
 
 class TraceCollector:
@@ -220,6 +233,7 @@ class TraceCollector:
         with self._lock:
             traces = list(self._traces)
             batch_seconds = self._batch_seconds
+        times = sorted(t.seconds for t in traces)
         return TraceSummary(
             queries=len(traces),
             distance_evaluations=sum(t.distance_evaluations for t in traces),
@@ -233,6 +247,8 @@ class TraceCollector:
             batch_seconds=batch_seconds,
             nodes_visited=sum(t.nodes_visited for t in traces),
             nodes_pruned=sum(t.nodes_pruned for t in traces),
+            p50_seconds=_nearest_rank(times, 0.50),
+            p95_seconds=_nearest_rank(times, 0.95),
         )
 
 

@@ -33,6 +33,7 @@ from .._typing import ArrayLike, as_vector, as_vector_batch
 from ..distances.base import CountingDistance
 from ..engine.trace import activate_trace, current_trace
 from ..exceptions import EmptyIndexError, IndexStateError, QueryError, StorageError
+from ..obs.events import emit_charge
 
 if TYPE_CHECKING:
     from ..engine.batch import BatchExecutor
@@ -184,6 +185,7 @@ class DistancePort:
 
     def pair(self, u: np.ndarray, v: np.ndarray) -> float:
         """One distance evaluation."""
+        emit_charge(calls=1)
         return float(self._func(u, v))
 
     def many(self, q: np.ndarray, rows: np.ndarray) -> np.ndarray:
@@ -191,7 +193,12 @@ class DistancePort:
         if rows.shape[0] == 0:
             return np.empty(0, dtype=np.float64)
         if self._one_to_many is not None:
+            # The explain event mirrors the CountingDistance exactly:
+            # vectorized evaluation counts batch rows, the loop fallback
+            # counts scalar calls.
+            emit_charge(rows=int(rows.shape[0]))
             return np.asarray(self._one_to_many(q, rows), dtype=np.float64)
+        emit_charge(calls=int(rows.shape[0]))
         return np.array([self._func(q, row) for row in rows], dtype=np.float64)
 
     def pair_uncounted(self, u: np.ndarray, v: np.ndarray) -> float:
@@ -228,6 +235,7 @@ class DistancePort:
         if trace is not None:
             trace.scalar_evaluations += calls
             trace.batched_evaluations += rows
+        emit_charge(calls=calls, rows=rows)
 
     def attach_database(self, data: np.ndarray) -> None:
         """Precompute and cache the per-row norms for *data* (build time)."""

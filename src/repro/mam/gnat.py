@@ -21,6 +21,14 @@ import numpy as np
 
 from .._typing import ArrayLike
 from ..engine.trace import record_node_visit, record_pruned
+from ..obs.events import (
+    ROOT,
+    emit_candidate_verify,
+    emit_lb_check,
+    emit_node_enter,
+    emit_prune,
+    emit_result_add,
+)
 from ..exceptions import QueryError, StorageError
 from .base import (
     PRUNE_SLACK_REL,
@@ -313,16 +321,20 @@ class GNAT(NodeBatchedSearchMixin, AccessMethod):
 
     def _range_impl(self, bound: BoundQuery, radius: float) -> list[Neighbor]:
         out: list[Neighbor] = []
-        stack = [self._root]
+        stack: list[tuple[_GnatNode, int]] = [(self._root, ROOT)]
         while stack:
-            node = stack.pop()
+            node, parent_tok = stack.pop()
             record_node_visit()
             if node.bucket is not None:
+                tok = emit_node_enter(parent_tok, "bucket")
                 dists = bound.many(self._data[node.bucket], node.bucket)
                 for idx, dist in zip(node.bucket, dists):
+                    emit_candidate_verify(tok, int(idx), float(dist))
                     if dist <= radius:
                         out.append(Neighbor(float(dist), int(idx)))
+                        emit_result_add(tok, int(idx), float(dist))
                 continue
+            tok = emit_node_enter(parent_tok, "splits")
             # Every split point is evaluated: splits are themselves
             # potential results, so an all-dead alive vector must not
             # suppress later split reports (stopping early could silently
@@ -333,8 +345,10 @@ class GNAT(NodeBatchedSearchMixin, AccessMethod):
             alive = np.ones(len(node.children), dtype=bool)
             for i, split in enumerate(splits):
                 d = float(split_dists[i])
+                emit_candidate_verify(tok, int(split), d)
                 if d <= radius:
                     out.append(Neighbor(d, int(split)))
+                    emit_result_add(tok, int(split), d)
                 lows = node.ranges[i, :, 0]  # type: ignore[index]
                 highs = node.ranges[i, :, 1]  # type: ignore[index]
                 # Ranges are member min/max distances — exactly tight — so
@@ -345,26 +359,52 @@ class GNAT(NodeBatchedSearchMixin, AccessMethod):
                 slack = PRUNE_SLACK_REL * (abs(d) + span)
                 alive &= (d - radius <= highs + slack) & (d + radius >= lows - slack)
             survivors = np.flatnonzero(alive)
+            if tok >= 0:
+                # Explain replay of the vectorized intersection: per child,
+                # the tightest range lower bound vs the query radius.
+                lower = np.zeros(len(node.children), dtype=np.float64)
+                for i in range(len(splits)):
+                    d = float(split_dists[i])
+                    lows = node.ranges[i, :, 0]  # type: ignore[index]
+                    highs = node.ranges[i, :, 1]  # type: ignore[index]
+                    span = np.where(
+                        np.isfinite(highs), np.abs(lows) + np.abs(highs), 0.0
+                    )
+                    slack = PRUNE_SLACK_REL * (abs(d) + span)
+                    lower = np.maximum(lower, np.maximum(lows - d, d - highs) - slack)
+                for j in range(len(node.children)):
+                    emit_lb_check(
+                        tok, max(float(lower[j]), 0.0), radius,
+                        pruned=not bool(alive[j]), label="range-intersection",
+                    )
             if len(survivors) < len(node.children):
                 record_pruned(len(node.children) - len(survivors))
+                emit_prune(
+                    tok, len(node.children) - len(survivors), "range-intersection"
+                )
             for j in survivors:
-                stack.append(node.children[j])
+                stack.append((node.children[j], tok))
         return out
 
     def _knn_impl(self, bound: BoundQuery, k: int) -> list[Neighbor]:
         heap = _KnnHeap(k)
         counter = itertools.count()
-        queue: list[tuple[float, int, _GnatNode]] = [(0.0, next(counter), self._root)]
+        queue: list[tuple[float, int, _GnatNode, int]] = [
+            (0.0, next(counter), self._root, ROOT)
+        ]
         while queue:
-            dmin, _, node = heapq.heappop(queue)
+            dmin, _, node, parent_tok = heapq.heappop(queue)
             if dmin > heap.radius:
                 break
             record_node_visit()
             if node.bucket is not None:
+                tok = emit_node_enter(parent_tok, "bucket")
                 dists = bound.many(self._data[node.bucket], node.bucket)
                 for idx, dist in zip(node.bucket, dists):
+                    emit_candidate_verify(tok, int(idx), float(dist))
                     heap.offer(float(dist), int(idx))
                 continue
+            tok = emit_node_enter(parent_tok, "splits")
             # Unlike the range filter, this loop never stops early (the
             # pruning radius is only read after it), so every split point
             # is evaluated: one batch, charged as per-split scalar calls.
@@ -374,6 +414,7 @@ class GNAT(NodeBatchedSearchMixin, AccessMethod):
             lower = np.zeros(arity, dtype=np.float64)
             for i, split in enumerate(splits):
                 d = float(split_dists[i])
+                emit_candidate_verify(tok, int(split), d)
                 heap.offer(d, int(split))
                 lows = node.ranges[i, :, 0]  # type: ignore[index]
                 highs = node.ranges[i, :, 1]  # type: ignore[index]
@@ -384,7 +425,16 @@ class GNAT(NodeBatchedSearchMixin, AccessMethod):
             for j in range(arity):
                 child_dmin = max(float(lower[j]), 0.0)
                 if child_dmin <= tau:
-                    heapq.heappush(queue, (child_dmin, next(counter), node.children[j]))
+                    emit_lb_check(
+                        tok, child_dmin, tau, pruned=False, label="range-intersection"
+                    )
+                    heapq.heappush(
+                        queue, (child_dmin, next(counter), node.children[j], tok)
+                    )
                 else:
                     record_pruned()
+                    emit_lb_check(
+                        tok, child_dmin, tau, pruned=True, label="range-intersection"
+                    )
+                    emit_prune(tok, 1, "range-intersection")
         return heap.neighbors()

@@ -31,6 +31,15 @@ from ..engine.trace import (
     record_pruned,
 )
 from ..exceptions import QueryError, StorageError
+from ..obs.events import (
+    ROOT,
+    emit_candidate_verify,
+    emit_lb_check,
+    emit_node_enter,
+    emit_prune,
+    emit_result_add,
+    events_enabled,
+)
 from .base import (
     AccessMethod,
     BoundQuery,
@@ -171,7 +180,9 @@ class MIndex(NodeBatchedSearchMixin, AccessMethod):
             self._cluster_members[cluster], pos, index
         )
 
-    def _candidates(self, query_vector: np.ndarray, radius: float) -> np.ndarray:
+    def _candidates(
+        self, query_vector: np.ndarray, radius: float, parent_tok: int = ROOT
+    ) -> np.ndarray:
         """Interval-scan + pivot-filter candidates for a range query."""
         out: list[np.ndarray] = []
         for cluster in range(self.n_pivots):
@@ -184,13 +195,31 @@ class MIndex(NodeBatchedSearchMixin, AccessMethod):
             if lo >= hi:
                 # The whole cluster interval misses the query ring.
                 record_pruned()
+                if events_enabled():
+                    # Distance from the query's pivot coordinate to the
+                    # nearest cluster key — how far the interval missed.
+                    gap = float(np.min(np.abs(keys - center)))
+                    emit_lb_check(
+                        parent_tok, gap, radius,
+                        pruned=True, label="cluster-interval",
+                    )
+                    emit_prune(parent_tok, 1, "cluster-interval")
                 continue
             record_node_visit()
+            tok = emit_node_enter(
+                parent_tok, f"cluster {cluster}" if events_enabled() else ""
+            )
             members = self._cluster_members[cluster][lo:hi]
             # LAESA filter over the full pivot table.
             lb = np.max(np.abs(self._table[members] - query_vector), axis=1)
             survivors = members[lb <= radius]
             record_filter(int(members.size), int(survivors.size))
+            if tok >= 0:
+                for member, val in zip(members, lb):
+                    emit_lb_check(
+                        tok, float(val), radius,
+                        pruned=val > radius, label="laesa",
+                    )
             out.append(survivors)
         if not out:
             return np.empty(0, dtype=np.int64)
@@ -209,15 +238,18 @@ class MIndex(NodeBatchedSearchMixin, AccessMethod):
 
     def _range_impl(self, bound: BoundQuery, radius: float) -> list[Neighbor]:
         query_vector = self._query_to_pivots(bound)
-        candidates = self._candidates(query_vector, radius)
+        candidates = self._candidates(query_vector, radius, ROOT)
         result: list[Neighbor] = []
         if candidates.size == 0:
             return result
         record_candidates(int(candidates.size))
+        tok = emit_node_enter(ROOT, "refine")
         distances = bound.many(self._data[candidates], candidates)
         for idx, dist in zip(candidates, distances):
+            emit_candidate_verify(tok, int(idx), float(dist))
             if dist <= radius:
                 result.append(Neighbor(float(dist), int(idx)))
+                emit_result_add(tok, int(idx), float(dist))
         return result
 
     def _knn_impl(self, bound: BoundQuery, k: int) -> list[Neighbor]:
@@ -227,12 +259,17 @@ class MIndex(NodeBatchedSearchMixin, AccessMethod):
         radius = max(float(query_vector.min(initial=1.0)), 1e-12)
         seen: dict[int, float] = {}
         while True:
-            candidates = self._candidates(query_vector, radius)
+            round_tok = ROOT
+            if events_enabled():
+                round_tok = emit_node_enter(ROOT, f"round r={radius:.4g}")
+            candidates = self._candidates(query_vector, radius, round_tok)
             fresh = [int(i) for i in candidates if int(i) not in seen]
             if fresh:
                 record_candidates(len(fresh))
+                tok = emit_node_enter(round_tok, "refine")
                 distances = bound.many(self._data[fresh], fresh)
                 for idx, dist in zip(fresh, distances):
+                    emit_candidate_verify(tok, int(idx), float(dist))
                     seen[idx] = float(dist)
             ranked = sorted((d, i) for i, d in seen.items())
             if len(ranked) >= k and ranked[k - 1][0] <= radius:

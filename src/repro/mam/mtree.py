@@ -36,6 +36,14 @@ import numpy as np
 from .._typing import ArrayLike
 from ..engine.trace import record_node_visit, record_pruned
 from ..exceptions import QueryError, StorageError
+from ..obs.events import (
+    ROOT,
+    emit_candidate_verify,
+    emit_lb_check,
+    emit_node_enter,
+    emit_prune,
+    emit_result_add,
+)
 from .base import (
     AccessMethod,
     BoundQuery,
@@ -535,7 +543,7 @@ class MTree(NodeBatchedSearchMixin, AccessMethod):
 
     def _range_impl(self, bound: BoundQuery, radius: float) -> list[Neighbor]:
         out: list[Neighbor] = []
-        self._range_node(self._root, bound, radius, None, out)
+        self._range_node(self._root, bound, radius, None, out, ROOT)
         return out
 
     def _range_node(
@@ -545,6 +553,7 @@ class MTree(NodeBatchedSearchMixin, AccessMethod):
         radius: float,
         d_query_parent: float | None,
         out: list[Neighbor],
+        parent_tok: int = ROOT,
     ) -> None:
         # Distance-to-parent pruning: triangle inequality gives
         # |d(q, parent) - d(o, parent)| <= d(q, o); if even that lower
@@ -555,6 +564,7 @@ class MTree(NodeBatchedSearchMixin, AccessMethod):
         # Stored bounds (dist_to_parent, covering radii) are often exactly
         # tight, so prune tests against them get an ulp-scale slack.
         record_node_visit()
+        tok = emit_node_enter(parent_tok, "leaf" if node.is_leaf else "internal")
         if d_query_parent is None:
             alive = node.entries
         else:
@@ -565,8 +575,21 @@ class MTree(NodeBatchedSearchMixin, AccessMethod):
                 - prune_slack(d_query_parent, e.dist_to_parent)
                 <= radius + e.radius
             ]
+            if tok >= 0:
+                # Explain replay of the comprehension above — emits the
+                # exact two sides of each pruning comparison, computing
+                # nothing the filter did not.
+                for e in node.entries:
+                    lhs = abs(d_query_parent - e.dist_to_parent) - prune_slack(
+                        d_query_parent, e.dist_to_parent
+                    )
+                    rhs = radius + e.radius
+                    emit_lb_check(
+                        tok, lhs, rhs, pruned=lhs > rhs, label="parent-distance"
+                    )
         if not node.is_leaf and len(alive) < len(node.entries):
             record_pruned(len(node.entries) - len(alive))
+            emit_prune(tok, len(node.entries) - len(alive), "parent-distance")
         if not alive:
             return
         rows = np.array([e.vector for e in alive])
@@ -574,12 +597,29 @@ class MTree(NodeBatchedSearchMixin, AccessMethod):
         for pos, entry in enumerate(alive):
             dist = float(dists[pos])
             if node.is_leaf:
+                emit_candidate_verify(tok, entry.index, dist)
                 if dist <= radius:
                     out.append(Neighbor(dist, entry.index))
+                    emit_result_add(tok, entry.index, dist)
             elif dist - prune_slack(dist, entry.radius) <= radius + entry.radius:
-                self._range_node(entry.subtree, bound, radius, dist, out)
+                emit_lb_check(
+                    tok,
+                    dist - prune_slack(dist, entry.radius),
+                    radius + entry.radius,
+                    pruned=False,
+                    label="covering-radius",
+                )
+                self._range_node(entry.subtree, bound, radius, dist, out, tok)
             else:
                 record_pruned()
+                emit_lb_check(
+                    tok,
+                    dist - prune_slack(dist, entry.radius),
+                    radius + entry.radius,
+                    pruned=True,
+                    label="covering-radius",
+                )
+                emit_prune(tok, 1, "covering-radius")
 
     def _knn_impl(self, bound: BoundQuery, k: int) -> list[Neighbor]:
         heap = _KnnHeap(k)
@@ -589,14 +629,15 @@ class MTree(NodeBatchedSearchMixin, AccessMethod):
         # reported distances stay within (1 + epsilon) of the true answer.
         relax = 1.0 + self._epsilon
         counter = itertools.count()
-        queue: list[tuple[float, int, _Node, float | None]] = [
-            (0.0, next(counter), self._root, None)
+        queue: list[tuple[float, int, _Node, float | None, int]] = [
+            (0.0, next(counter), self._root, None, ROOT)
         ]
         while queue:
-            dmin, _, node, d_query_parent = heapq.heappop(queue)
+            dmin, _, node, d_query_parent, parent_tok = heapq.heappop(queue)
             if dmin > heap.radius / relax:
                 break
             record_node_visit()
+            tok = emit_node_enter(parent_tok, "leaf" if node.is_leaf else "internal")
             if node.is_leaf:
                 # Leaf offers shrink the pruning radius mid-loop, so the
                 # skip test is replayed sequentially; distances are still
@@ -613,8 +654,17 @@ class MTree(NodeBatchedSearchMixin, AccessMethod):
                             - prune_slack(d_query_parent, entry.dist_to_parent)
                         )
                         if lower > heap.radius / relax:
+                            emit_lb_check(
+                                tok, lower, heap.radius / relax,
+                                pruned=True, label="parent-distance",
+                            )
                             continue
+                        emit_lb_check(
+                            tok, lower, heap.radius / relax,
+                            pruned=False, label="parent-distance",
+                        )
                     bound.charge_calls(1)
+                    emit_candidate_verify(tok, entry.index, float(dists[pos]))
                     heap.offer(float(dists[pos]), entry.index)
             else:
                 # No offers happen while scanning an internal node, so the
@@ -632,8 +682,20 @@ class MTree(NodeBatchedSearchMixin, AccessMethod):
                         - prune_slack(d_query_parent, e.dist_to_parent)
                         <= cutoff
                     ]
+                    if tok >= 0:
+                        for e in node.entries:
+                            lhs = (
+                                abs(d_query_parent - e.dist_to_parent)
+                                - e.radius
+                                - prune_slack(d_query_parent, e.dist_to_parent)
+                            )
+                            emit_lb_check(
+                                tok, lhs, cutoff,
+                                pruned=lhs > cutoff, label="parent-distance",
+                            )
                 if len(alive) < len(node.entries):
                     record_pruned(len(node.entries) - len(alive))
+                    emit_prune(tok, len(node.entries) - len(alive), "parent-distance")
                 if not alive:
                     continue
                 rows = np.array([e.vector for e in alive])
@@ -644,11 +706,18 @@ class MTree(NodeBatchedSearchMixin, AccessMethod):
                         dist - entry.radius - prune_slack(dist, entry.radius), 0.0
                     )
                     if child_dmin <= cutoff:
+                        emit_lb_check(
+                            tok, child_dmin, cutoff, pruned=False, label="dmin"
+                        )
                         heapq.heappush(
-                            queue, (child_dmin, next(counter), entry.subtree, dist)
+                            queue, (child_dmin, next(counter), entry.subtree, dist, tok)
                         )
                     else:
                         record_pruned()
+                        emit_lb_check(
+                            tok, child_dmin, cutoff, pruned=True, label="dmin"
+                        )
+                        emit_prune(tok, 1, "covering-radius")
         return heap.neighbors()
 
     def nearest_iter(self, query: ArrayLike):

@@ -35,6 +35,14 @@ import numpy as np
 
 from .._typing import ArrayLike
 from ..engine.trace import record_node_visit, record_pruned
+from ..obs.events import (
+    ROOT,
+    emit_candidate_verify,
+    emit_lb_check,
+    emit_node_enter,
+    emit_prune,
+    emit_result_add,
+)
 from ..exceptions import PageError, StorageError
 from ..storage.cache import LRUPageCache
 from ..storage.pages import PagedFile
@@ -437,11 +445,14 @@ class PagedMTree(NodeBatchedSearchMixin, AccessMethod):
 
     def _range_impl(self, bound: BoundQuery, radius: float) -> list[Neighbor]:
         out: list[Neighbor] = []
-        stack: list[tuple[int, float | None]] = [(self._root_page, None)]
+        stack: list[tuple[int, float | None, int]] = [(self._root_page, None, ROOT)]
         while stack:
-            page_id, d_query_parent = stack.pop()
+            page_id, d_query_parent, parent_tok = stack.pop()
             node = self._load(page_id)
             record_node_visit()
+            tok = emit_node_enter(
+                parent_tok, f"page:{page_id}" if parent_tok >= 0 else "page"
+            )
             n = len(node.indices)
             # Parent-distance pruning needs nothing computed inside this
             # node, so the survivors are evaluated with one batched call
@@ -456,8 +467,15 @@ class PagedMTree(NodeBatchedSearchMixin, AccessMethod):
                 )
                 lower = np.abs(d_query_parent - node.dist_to_parent) - node.radii - slack
                 alive = [pos for pos in range(n) if lower[pos] <= radius]
+                if tok >= 0:
+                    for pos in range(n):
+                        emit_lb_check(
+                            tok, float(lower[pos]), radius,
+                            pruned=lower[pos] > radius, label="parent-distance",
+                        )
             if not node.is_leaf and len(alive) < n:
                 record_pruned(n - len(alive))
+                emit_prune(tok, n - len(alive), "parent-distance")
             if not alive:
                 continue
             dists = bound.many(
@@ -466,29 +484,47 @@ class PagedMTree(NodeBatchedSearchMixin, AccessMethod):
             for d, pos in zip(dists, alive):
                 dist = float(d)
                 if node.is_leaf:
+                    emit_candidate_verify(tok, node.indices[pos], dist)
                     if dist <= radius:
                         out.append(Neighbor(dist, node.indices[pos]))
+                        emit_result_add(tok, node.indices[pos], dist)
                 elif (
                     dist - prune_slack(dist, node.radii[pos])
                     <= radius + node.radii[pos]
                 ):
-                    stack.append((node.children[pos], dist))
+                    emit_lb_check(
+                        tok,
+                        dist - prune_slack(dist, node.radii[pos]),
+                        radius + node.radii[pos],
+                        pruned=False, label="covering-radius",
+                    )
+                    stack.append((node.children[pos], dist, tok))
                 else:
                     record_pruned()
+                    emit_lb_check(
+                        tok,
+                        dist - prune_slack(dist, node.radii[pos]),
+                        radius + node.radii[pos],
+                        pruned=True, label="covering-radius",
+                    )
+                    emit_prune(tok, 1, "covering-radius")
         return out
 
     def _knn_impl(self, bound: BoundQuery, k: int) -> list[Neighbor]:
         heap = _KnnHeap(k)
         counter = itertools.count()
-        queue: list[tuple[float, int, int, float | None]] = [
-            (0.0, next(counter), self._root_page, None)
+        queue: list[tuple[float, int, int, float | None, int]] = [
+            (0.0, next(counter), self._root_page, None, ROOT)
         ]
         while queue:
-            dmin, _, page_id, d_query_parent = heapq.heappop(queue)
+            dmin, _, page_id, d_query_parent, parent_tok = heapq.heappop(queue)
             if dmin > heap.radius:
                 break
             node = self._load(page_id)
             record_node_visit()
+            tok = emit_node_enter(
+                parent_tok, f"page:{page_id}" if parent_tok >= 0 else "page"
+            )
             n = len(node.indices)
             if node.is_leaf:
                 # Offers shrink the pruning radius mid-loop: evaluate the
@@ -503,8 +539,17 @@ class PagedMTree(NodeBatchedSearchMixin, AccessMethod):
                             - prune_slack(d_query_parent, node.dist_to_parent[pos])
                         )
                         if lower > heap.radius:
+                            emit_lb_check(
+                                tok, lower, heap.radius,
+                                pruned=True, label="parent-distance",
+                            )
                             continue
+                        emit_lb_check(
+                            tok, lower, heap.radius,
+                            pruned=False, label="parent-distance",
+                        )
                     bound.charge_calls(1)
+                    emit_candidate_verify(tok, node.indices[pos], float(dists[pos]))
                     heap.offer(float(dists[pos]), node.indices[pos])
             else:
                 # No offers while scanning an internal page — the pruning
@@ -522,8 +567,15 @@ class PagedMTree(NodeBatchedSearchMixin, AccessMethod):
                         - slack
                     )
                     alive = [pos for pos in range(n) if lower[pos] <= cutoff]
+                    if tok >= 0:
+                        for pos in range(n):
+                            emit_lb_check(
+                                tok, float(lower[pos]), cutoff,
+                                pruned=lower[pos] > cutoff, label="parent-distance",
+                            )
                 if len(alive) < n:
                     record_pruned(n - len(alive))
+                    emit_prune(tok, n - len(alive), "parent-distance")
                 if not alive:
                     continue
                 dists = bound.many(
@@ -538,11 +590,15 @@ class PagedMTree(NodeBatchedSearchMixin, AccessMethod):
                         0.0,
                     )
                     if child_dmin <= cutoff:
+                        emit_lb_check(tok, child_dmin, cutoff, pruned=False, label="dmin")
                         heapq.heappush(
-                            queue, (child_dmin, next(counter), node.children[pos], dist)
+                            queue,
+                            (child_dmin, next(counter), node.children[pos], dist, tok),
                         )
                     else:
                         record_pruned()
+                        emit_lb_check(tok, child_dmin, cutoff, pruned=True, label="dmin")
+                        emit_prune(tok, 1, "covering-radius")
         return heap.neighbors()
 
     def node_pages(self) -> int:

@@ -25,6 +25,14 @@ import numpy as np
 from .._typing import ArrayLike, as_vector
 from ..engine.trace import activate_trace, record_candidates, record_filter
 from ..exceptions import DimensionMismatchError, QueryError, StorageError
+from ..obs.events import (
+    ROOT,
+    emit_candidate_verify,
+    emit_lb_check,
+    emit_node_enter,
+    emit_result_add,
+    events_enabled,
+)
 from .base import AccessMethod, DistancePort, Neighbor, _KnnHeap, state_array
 from .pivots import select_pivots
 
@@ -201,6 +209,13 @@ class PivotTable(AccessMethod):
         qv = self._query_vector(query)
         lb = self._lower_bounds(qv)
         candidates = np.flatnonzero(lb <= radius)
+        if events_enabled():
+            tok = emit_node_enter(ROOT, "pivot-filter")
+            for pos, val in enumerate(lb):
+                emit_lb_check(
+                    tok, float(val), radius,
+                    pruned=val > radius, label="pivot-linf",
+                )
         return self._refine_range(query, radius, candidates)
 
     def _refine_range(
@@ -211,8 +226,14 @@ class PivotTable(AccessMethod):
         record_candidates(int(candidates.size))
         if candidates.size == 0:
             return []
+        tok = emit_node_enter(ROOT, "refine")
         distances = self._port.many(query, self._data[candidates])
         within = distances <= radius
+        if tok >= 0:
+            for dist, idx in zip(distances, candidates):
+                emit_candidate_verify(tok, int(idx), float(dist))
+                if dist <= radius:
+                    emit_result_add(tok, int(idx), float(dist))
         return [
             Neighbor(float(dist), int(idx))
             for dist, idx in zip(distances[within], candidates[within])
@@ -227,11 +248,21 @@ class PivotTable(AccessMethod):
         """Best-first refinement in ascending lower-bound order."""
         order = np.argsort(lb, kind="stable")
         heap = _KnnHeap(k)
+        tok = emit_node_enter(ROOT, "refine")
         refined = 0
         for idx in order:
             if lb[idx] > heap.radius:
+                emit_lb_check(
+                    tok, float(lb[idx]), heap.radius,
+                    pruned=True, label="pivot-linf",
+                )
                 break
-            heap.offer(self._port.pair(query, self._data[idx]), int(idx))
+            emit_lb_check(
+                tok, float(lb[idx]), heap.radius, pruned=False, label="pivot-linf"
+            )
+            dist = self._port.pair(query, self._data[idx])
+            emit_candidate_verify(tok, int(idx), float(dist))
+            heap.offer(dist, int(idx))
             refined += 1
         record_filter(self.size, refined)
         record_candidates(refined)

@@ -26,6 +26,14 @@ import numpy as np
 
 from .._typing import ArrayLike
 from ..engine.trace import record_node_visit, record_pruned
+from ..obs.events import (
+    ROOT,
+    emit_candidate_verify,
+    emit_lb_check,
+    emit_node_enter,
+    emit_prune,
+    emit_result_add,
+)
 from ..exceptions import StorageError
 from .base import (
     AccessMethod,
@@ -213,10 +221,13 @@ class SATree(NodeBatchedSearchMixin, AccessMethod):
     def _range_impl(self, bound: BoundQuery, radius: float) -> list[Neighbor]:
         out: list[Neighbor] = []
 
-        def visit(node: _SatNode, d_node: float) -> None:
+        def visit(node: _SatNode, d_node: float, parent_tok: int) -> None:
             record_node_visit()
+            tok = emit_node_enter(parent_tok, f"sat:{node.index}")
+            emit_candidate_verify(tok, node.index, float(d_node))
             if d_node <= radius:
                 out.append(Neighbor(float(d_node), node.index))
+                emit_result_add(tok, node.index, float(d_node))
             if not node.children:
                 return
             child_indices = [c.index for c in node.children]
@@ -228,13 +239,35 @@ class SATree(NodeBatchedSearchMixin, AccessMethod):
                 # distance), so the prune test gets an ulp-scale slack.
                 if d_child - prune_slack(d_child, child.radius) > child.radius + radius:
                     record_pruned()
+                    emit_lb_check(
+                        tok,
+                        d_child - prune_slack(d_child, child.radius),
+                        child.radius + radius,
+                        pruned=True, label="covering-radius",
+                    )
+                    emit_prune(tok, 1, "covering-radius")
                     continue  # covering-radius pruning
+                emit_lb_check(
+                    tok,
+                    d_child - prune_slack(d_child, child.radius),
+                    child.radius + radius,
+                    pruned=False, label="covering-radius",
+                )
                 if self._hyperplane_ok and d_child > closest + 2.0 * radius:
                     record_pruned()
+                    emit_lb_check(
+                        tok, float(d_child), closest + 2.0 * radius,
+                        pruned=True, label="hyperplane",
+                    )
+                    emit_prune(tok, 1, "hyperplane")
                     continue  # hyperplane pruning
-                visit(child, float(d_child))
+                visit(child, float(d_child), tok)
 
-        visit(self._root, bound.one(self._data[self._root.index], self._root.index))
+        visit(
+            self._root,
+            bound.one(self._data[self._root.index], self._root.index),
+            ROOT,
+        )
         return out
 
     def _knn_impl(self, bound: BoundQuery, k: int) -> list[Neighbor]:
@@ -244,14 +277,16 @@ class SATree(NodeBatchedSearchMixin, AccessMethod):
         root_dmin = max(
             d_root - self._root.radius - prune_slack(d_root, self._root.radius), 0.0
         )
-        queue: list[tuple[float, int, _SatNode, float]] = [
-            (root_dmin, next(counter), self._root, d_root)
+        queue: list[tuple[float, int, _SatNode, float, int]] = [
+            (root_dmin, next(counter), self._root, d_root, ROOT)
         ]
         while queue:
-            dmin, _, node, d_node = heapq.heappop(queue)
+            dmin, _, node, d_node, parent_tok = heapq.heappop(queue)
             if dmin > heap.radius:
                 break
             record_node_visit()
+            tok = emit_node_enter(parent_tok, f"sat:{node.index}")
+            emit_candidate_verify(tok, node.index, float(d_node))
             heap.offer(float(d_node), node.index)
             if not node.children:
                 continue
@@ -269,11 +304,14 @@ class SATree(NodeBatchedSearchMixin, AccessMethod):
                 if self._hyperplane_ok:
                     lower = max(lower, (float(d_child) - closest) / 2.0)
                 if lower <= tau:
+                    emit_lb_check(tok, lower, tau, pruned=False, label="dmin")
                     heapq.heappush(
-                        queue, (lower, next(counter), child, float(d_child))
+                        queue, (lower, next(counter), child, float(d_child), tok)
                     )
                 else:
                     record_pruned()
+                    emit_lb_check(tok, lower, tau, pruned=True, label="dmin")
+                    emit_prune(tok, 1, "dmin")
         return heap.neighbors()
 
     def height(self) -> int:

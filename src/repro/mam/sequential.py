@@ -22,6 +22,13 @@ import numpy as np
 
 from .._typing import ArrayLike
 from ..engine.trace import activate_trace, record_candidates
+from ..obs.events import (
+    ROOT,
+    emit_candidate_verify,
+    emit_node_enter,
+    emit_result_add,
+    events_enabled,
+)
 from ..storage.vector_store import VectorStore
 from .base import (
     AccessMethod,
@@ -49,14 +56,22 @@ class SequentialFile(AccessMethod):
     """
 
     def _range_search(self, query: np.ndarray, radius: float) -> list[Neighbor]:
+        tok = emit_node_enter(ROOT, "scan")
         distances = self._port.many(query, self._data)
         record_candidates(self.size)
         hits = np.flatnonzero(distances <= radius)
+        if tok >= 0:
+            emit_candidate_verify(tok, -1, float("nan"), count=self.size)
+            for idx in hits:
+                emit_result_add(tok, int(idx), float(distances[idx]))
         return neighbors_from_distances(distances[hits], hits)
 
     def _knn_search(self, query: np.ndarray, k: int) -> list[Neighbor]:
+        tok = emit_node_enter(ROOT, "scan")
         distances = self._port.many(query, self._data)
         record_candidates(self.size)
+        if tok >= 0:
+            emit_candidate_verify(tok, -1, float("nan"), count=self.size)
         # argpartition gets the k smallest; explicit sort fixes tie order.
         order = np.argpartition(distances, k - 1)[:k]
         return neighbors_from_distances(distances[order], order)
@@ -176,17 +191,25 @@ class DiskSequentialFile(AccessMethod):
     def _range_search(self, query: np.ndarray, radius: float) -> list[Neighbor]:
         out: list[Neighbor] = []
         for first_index, rows in self._store.scan_pages():
+            tok = emit_node_enter(ROOT, f"page@{first_index}" if events_enabled() else "")
             distances = self._port.many(query, rows)
             record_candidates(rows.shape[0])
+            if tok >= 0:
+                emit_candidate_verify(tok, -1, float("nan"), count=int(rows.shape[0]))
             for offset in np.flatnonzero(distances <= radius):
-                out.append(Neighbor(float(distances[offset]), first_index + int(offset)))
+                neighbor = Neighbor(float(distances[offset]), first_index + int(offset))
+                out.append(neighbor)
+                emit_result_add(tok, neighbor.index, neighbor.distance)
         return out
 
     def _knn_search(self, query: np.ndarray, k: int) -> list[Neighbor]:
         heap = _KnnHeap(k)
         for first_index, rows in self._store.scan_pages():
+            tok = emit_node_enter(ROOT, f"page@{first_index}" if events_enabled() else "")
             distances = self._port.many(query, rows)
             record_candidates(rows.shape[0])
+            if tok >= 0:
+                emit_candidate_verify(tok, -1, float("nan"), count=int(rows.shape[0]))
             for offset, dist in enumerate(distances):
                 heap.offer(float(dist), first_index + offset)
         return heap.neighbors()

@@ -7,6 +7,7 @@ accounting, so every experiment is a two-line comparison.
 """
 
 from .base import MAM_REGISTRY, SAM_REGISTRY, BuiltIndex, IndexCosts, resolve_method
+from .explain import AUDITABLE_METHODS, explain_query
 from .lifecycle import load_built_index
 from .qfd_model import QFDModel
 from .qmap_model import QMapModel
@@ -20,4 +21,6 @@ __all__ = [
     "SAM_REGISTRY",
     "resolve_method",
     "load_built_index",
+    "explain_query",
+    "AUDITABLE_METHODS",
 ]

@@ -1,0 +1,135 @@
+"""Run one query under event collection and assemble its EXPLAIN plan.
+
+:mod:`repro.obs.explain` is pure assembly; this module is the runner that
+knows about :class:`~repro.models.base.BuiltIndex`: it snapshots the
+model's distance counter, executes the query inside a
+:func:`~repro.obs.events.collect_events` block, and hands the filled
+buffer plus the exact counter delta to :func:`~repro.obs.explain.
+assemble_plan`.  For the methods with a Table 2 closed form (sequential,
+pivot table, M-tree) it also attaches the :class:`~repro.obs.explain.
+CostAudit` comparing the observed arithmetic against the paper's
+prediction.
+
+The import of :mod:`repro.bench.complexity` is deferred into the audit
+helper: ``bench`` imports ``models`` at module load, so a top-level
+import here would be circular.
+"""
+
+from __future__ import annotations
+
+from time import perf_counter
+
+from ..exceptions import QueryError
+from ..obs.events import ROOT, EventBuffer, collect_events
+from ..obs.explain import CostAudit, ExplainPlan, assemble_plan
+from .base import BuiltIndex, IndexCosts
+
+__all__ = ["explain_query", "AUDITABLE_METHODS"]
+
+#: Methods whose querying cost has a Table 2 closed form to audit against.
+AUDITABLE_METHODS = ("sequential", "pivot-table", "mtree")
+
+
+def _table2_audit(
+    index: BuiltIndex,
+    buffer: EventBuffer,
+    evaluations: int,
+    transforms: int,
+) -> "CostAudit | None":
+    """Observed vs predicted querying flops, for auditable methods only."""
+    method = index.method_name
+    if method not in AUDITABLE_METHODS:
+        return None
+    from ..bench.complexity import measured_flops, theoretical_querying_flops
+
+    am = index.access_method
+    m, n = am.size, am.dim
+    p = 0
+    x = 0
+    if method == "pivot-table":
+        p = am.n_pivots
+        # Table 2's x = non-filtered objects = the candidates actually
+        # verified with a real distance during refinement.
+        x = buffer.candidates_verified
+    elif method == "mtree":
+        # Table 2 prices the M-tree query as x distance computations.
+        x = evaluations
+    predicted = theoretical_querying_flops(
+        method, index.model_name, m=m, n=n, p=p, x=x
+    )
+    observed = measured_flops(
+        IndexCosts(distance_computations=evaluations, transforms=transforms),
+        index.model_name,
+        n,
+    )
+    return CostAudit(
+        method=method,
+        model=index.model_name,
+        predicted_flops=predicted,
+        observed_flops=observed,
+        observed_evaluations=evaluations,
+        observed_transforms=transforms,
+    )
+
+
+def explain_query(
+    index: BuiltIndex,
+    query: object,
+    *,
+    k: "int | None" = None,
+    radius: "float | None" = None,
+    max_events: int = 10_000,
+    sample_every: int = 1,
+    audit: bool = True,
+) -> ExplainPlan:
+    """Execute one query and return its :class:`ExplainPlan`.
+
+    Pass exactly one of ``k`` (kNN) or ``radius`` (range).  The query runs
+    normally — same answers, same counter updates as an unobserved run —
+    with an :class:`~repro.obs.events.EventBuffer` collecting traversal
+    events; ``max_events`` / ``sample_every`` bound the recorded event
+    list without affecting the plan's exact aggregates.
+
+    kNN traversals never emit ``result_add`` inside the structure (the
+    bounded heap may evict any accepted neighbor later), so the answer's
+    result events are synthesized after the fact; the same applies to the
+    SAM structures, which are observed through their refinement port only.
+    """
+    if (k is None) == (radius is None):
+        raise QueryError("explain_query needs exactly one of k= or radius=")
+    counter = index._counter
+    before = counter.stats
+    transforms_before = index._query_transforms
+    buffer = EventBuffer(max_events=max_events, sample_every=sample_every)
+    start = perf_counter()
+    with collect_events(buffer):
+        if k is not None:
+            answer = index.knn_search(query, int(k))
+        else:
+            answer = index.range_search(query, float(radius))
+    seconds = perf_counter() - start
+    after = counter.stats
+    counter_calls = after.calls - before.calls
+    counter_rows = after.batch_rows - before.batch_rows
+    transforms = index._query_transforms - transforms_before
+    if not buffer.results_added and answer:
+        for neighbor in answer:
+            buffer.result_add(ROOT, neighbor.index, neighbor.distance)
+    plan_audit = (
+        _table2_audit(index, buffer, counter_calls + counter_rows, transforms)
+        if audit
+        else None
+    )
+    return assemble_plan(
+        buffer,
+        method=index.method_name or type(index.access_method).__name__,
+        model=index.model_name,
+        kind="knn" if k is not None else "range",
+        parameter=float(k if k is not None else radius),
+        counter_calls=counter_calls,
+        counter_rows=counter_rows,
+        transforms=transforms,
+        answer=[(neighbor.index, neighbor.distance) for neighbor in answer],
+        seconds=seconds,
+        audit=plan_audit,
+    )

@@ -15,7 +15,14 @@ package is the common model those measurements flow into:
   existing sinks (``CountingDistance``, ``QueryTrace``, ``CacheStats``,
   the cholesky cache, ``describe_index``) into the registry;
 * :mod:`repro.obs.export` — JSON-lines, Prometheus text format, and
-  aligned-table exporters, plus the benches' ``metrics`` block.
+  aligned-table exporters, plus the benches' ``metrics`` block;
+* :mod:`repro.obs.events` — per-query traversal events (node entries,
+  lower-bound checks with actual bound values, prunes, candidate
+  verifications) in a bounded, optionally sampled buffer that is off by
+  default and keeps exact aggregates even when records are dropped;
+* :mod:`repro.obs.explain` — assembles the events of one query into an
+  :class:`ExplainPlan` cost tree whose charged totals equal the distance
+  counter exactly, with text/JSON rendering and the Table 2 cost audit.
 
 Layering rule: this package imports **nothing** from the rest of the
 library (enforced by a ruff ``flake8-tidy-imports`` ban for
@@ -30,6 +37,29 @@ Activate collection with::
 
 from __future__ import annotations
 
+from .events import (
+    EVENT_KINDS,
+    ROOT,
+    EventBuffer,
+    NodeStats,
+    TraversalEvent,
+    collect_events,
+    current_buffer,
+    emit_candidate_verify,
+    emit_charge,
+    emit_lb_check,
+    emit_node_enter,
+    emit_prune,
+    emit_result_add,
+    events_enabled,
+)
+from .explain import (
+    CostAudit,
+    ExplainNode,
+    ExplainPlan,
+    assemble_plan,
+    render_text,
+)
 from .export import (
     EXPORT_FORMATS,
     export,
@@ -67,6 +97,25 @@ from .registry import (
 from .spans import SpanRecord, current_span, span
 
 __all__ = [
+    "EVENT_KINDS",
+    "ROOT",
+    "EventBuffer",
+    "NodeStats",
+    "TraversalEvent",
+    "collect_events",
+    "current_buffer",
+    "events_enabled",
+    "emit_node_enter",
+    "emit_lb_check",
+    "emit_prune",
+    "emit_candidate_verify",
+    "emit_result_add",
+    "emit_charge",
+    "CostAudit",
+    "ExplainNode",
+    "ExplainPlan",
+    "assemble_plan",
+    "render_text",
     "Counter",
     "Gauge",
     "Histogram",

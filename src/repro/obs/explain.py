@@ -1,0 +1,347 @@
+"""Query EXPLAIN plans: assembling traversal events into a cost tree.
+
+This module turns a filled :class:`~repro.obs.events.EventBuffer` into an
+:class:`ExplainPlan` — a per-query tree of traversal nodes, each carrying
+the exact distance-evaluation charges, lower-bound checks, prunes,
+candidate verifications and result additions attributed to it — plus the
+plan-level totals and the paper's Table 2 audit.
+
+The plan's headline invariant: :attr:`ExplainPlan.charged_total` (the sum
+of per-node charges) equals the :class:`~repro.distances.base.
+CountingDistance` delta for the same query **exactly**, because the
+charges are emitted from the very sites where the counter counts (see
+:meth:`~repro.obs.events.EventBuffer.charge`).  :attr:`ExplainPlan.
+totals_match` makes the comparison explicit so reports can assert it.
+
+Layering: pure assembly/rendering over :mod:`repro.obs.events` — no
+imports from :mod:`repro.mam`, :mod:`repro.models` or
+:mod:`repro.bench`.  The runner that knows how to *produce* a plan from a
+built index lives in :mod:`repro.models.explain`.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+
+from .events import ROOT, EventBuffer
+
+__all__ = [
+    "ExplainNode",
+    "CostAudit",
+    "ExplainPlan",
+    "assemble_plan",
+    "render_text",
+]
+
+
+@dataclass
+class ExplainNode:
+    """One traversal node of the plan tree with its exact aggregates."""
+
+    token: int
+    label: str
+    charged_calls: int = 0
+    charged_rows: int = 0
+    lb_checks: int = 0
+    pruned: int = 0
+    candidates: int = 0
+    results: int = 0
+    children: "list[ExplainNode]" = field(default_factory=list)
+
+    @property
+    def charged_total(self) -> int:
+        """Distance computations charged while this node was current."""
+        return self.charged_calls + self.charged_rows
+
+    def to_dict(self) -> dict:
+        out: dict = {"token": self.token, "label": self.label}
+        for name in (
+            "charged_calls",
+            "charged_rows",
+            "lb_checks",
+            "pruned",
+            "candidates",
+            "results",
+        ):
+            value = getattr(self, name)
+            if value:
+                out[name] = value
+        if self.children:
+            out["children"] = [child.to_dict() for child in self.children]
+        return out
+
+
+@dataclass(frozen=True)
+class CostAudit:
+    """Observed distance work vs the paper's Table 2 closed form.
+
+    ``predicted_flops`` evaluates the Table 2 closed form for the method
+    and model at the run's sizes; ``observed_flops`` prices the actually
+    recorded evaluations/transforms the same way (``measured_flops``).
+    ``drift`` is the signed relative deviation, observed over predicted.
+    """
+
+    method: str
+    model: str
+    predicted_flops: float
+    observed_flops: float
+    observed_evaluations: int
+    observed_transforms: int
+
+    @property
+    def drift(self) -> float:
+        """``(observed - predicted) / predicted`` (inf for predicted=0)."""
+        if self.predicted_flops <= 0.0:
+            return float("inf")
+        return (self.observed_flops - self.predicted_flops) / self.predicted_flops
+
+    def to_dict(self) -> dict:
+        return {
+            "method": self.method,
+            "model": self.model,
+            "predicted_flops": self.predicted_flops,
+            "observed_flops": self.observed_flops,
+            "observed_evaluations": self.observed_evaluations,
+            "observed_transforms": self.observed_transforms,
+            "drift": self.drift,
+        }
+
+
+@dataclass
+class ExplainPlan:
+    """A per-query traversal/cost tree with verified totals.
+
+    Attributes
+    ----------
+    method, model:
+        Registry name of the access method and ``"qfd"`` / ``"qmap"``.
+    kind, parameter:
+        ``"range"`` with the radius, or ``"knn"`` with ``k``.
+    root:
+        The ``(query)`` pseudo-node; its own charges are pre-traversal
+        work (e.g. query-to-pivot distances), its children are the
+        top-level traversal nodes.
+    counter_calls, counter_rows:
+        The :class:`~repro.distances.base.CountingDistance` delta for
+        this query (scalar calls / vectorized batch rows).
+    events:
+        The recorded (bounded, possibly sampled) event dicts.
+    answer:
+        The query result as ``(index, distance)`` pairs.
+    """
+
+    method: str
+    model: str
+    kind: str
+    parameter: float
+    root: ExplainNode
+    nodes_entered: int
+    lb_checks: int
+    pruned: int
+    candidates_verified: int
+    results_added: int
+    charged_calls: int
+    charged_rows: int
+    counter_calls: int
+    counter_rows: int
+    transforms: int = 0
+    events: list[dict] = field(default_factory=list)
+    events_dropped: int = 0
+    events_sampled_out: int = 0
+    answer: "list[tuple[int, float]]" = field(default_factory=list)
+    seconds: float = 0.0
+    audit: "CostAudit | None" = None
+
+    @property
+    def charged_total(self) -> int:
+        """Distance computations attributed to plan nodes (exact)."""
+        return self.charged_calls + self.charged_rows
+
+    @property
+    def counter_total(self) -> int:
+        """Distance computations seen by the model's counter (exact)."""
+        return self.counter_calls + self.counter_rows
+
+    @property
+    def totals_match(self) -> bool:
+        """Whether the plan accounts for every counted evaluation exactly."""
+        return (
+            self.charged_calls == self.counter_calls
+            and self.charged_rows == self.counter_rows
+        )
+
+    def to_dict(self) -> dict:
+        """JSON-able form of the whole plan."""
+        out: dict = {
+            "method": self.method,
+            "model": self.model,
+            "kind": self.kind,
+            "parameter": self.parameter,
+            "totals": {
+                "nodes_entered": self.nodes_entered,
+                "lb_checks": self.lb_checks,
+                "pruned": self.pruned,
+                "candidates_verified": self.candidates_verified,
+                "results_added": self.results_added,
+                "charged_calls": self.charged_calls,
+                "charged_rows": self.charged_rows,
+                "charged_total": self.charged_total,
+                "counter_calls": self.counter_calls,
+                "counter_rows": self.counter_rows,
+                "counter_total": self.counter_total,
+                "totals_match": self.totals_match,
+                "transforms": self.transforms,
+            },
+            "tree": self.root.to_dict(),
+            "answer": [
+                {"index": index, "distance": distance}
+                for index, distance in self.answer
+            ],
+            "events": self.events,
+            "events_dropped": self.events_dropped,
+            "events_sampled_out": self.events_sampled_out,
+        }
+        if self.seconds:
+            out["seconds"] = self.seconds
+        if self.audit is not None:
+            out["audit"] = self.audit.to_dict()
+        return out
+
+    def to_json(self, *, indent: "int | None" = 2) -> str:
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=False)
+
+    def render(self) -> str:
+        """The human-readable indented tree (see :func:`render_text`)."""
+        return render_text(self)
+
+
+def assemble_plan(
+    buffer: EventBuffer,
+    *,
+    method: str,
+    model: str,
+    kind: str,
+    parameter: float,
+    counter_calls: int,
+    counter_rows: int,
+    transforms: int = 0,
+    answer: "list[tuple[int, float]] | None" = None,
+    seconds: float = 0.0,
+    audit: "CostAudit | None" = None,
+) -> ExplainPlan:
+    """Build an :class:`ExplainPlan` from a filled event buffer.
+
+    The tree is reconstructed from the buffer's exact per-node registry
+    (never from the bounded event list), so a tiny ``max_events`` still
+    yields a complete, exactly-charged tree.
+    """
+    nodes: dict[int, ExplainNode] = {}
+    for token, stats in buffer.nodes.items():
+        nodes[token] = ExplainNode(
+            token=token,
+            label=stats.label,
+            charged_calls=stats.charged_calls,
+            charged_rows=stats.charged_rows,
+            lb_checks=stats.lb_checks,
+            pruned=stats.pruned,
+            candidates=stats.candidates,
+            results=stats.results,
+        )
+    for token, stats in buffer.nodes.items():
+        if token == ROOT:
+            continue
+        parent = nodes.get(stats.parent, nodes[ROOT])
+        parent.children.append(nodes[token])
+    for node in nodes.values():
+        node.children.sort(key=lambda child: child.token)
+    return ExplainPlan(
+        method=method,
+        model=model,
+        kind=kind,
+        parameter=float(parameter),
+        root=nodes[ROOT],
+        nodes_entered=buffer.nodes_entered,
+        lb_checks=buffer.lb_checks,
+        pruned=buffer.pruned,
+        candidates_verified=buffer.candidates_verified,
+        results_added=buffer.results_added,
+        charged_calls=buffer.charged_calls,
+        charged_rows=buffer.charged_rows,
+        counter_calls=counter_calls,
+        counter_rows=counter_rows,
+        transforms=transforms,
+        events=[event.to_dict() for event in buffer.events],
+        events_dropped=buffer.dropped,
+        events_sampled_out=buffer.sampled_out,
+        answer=list(answer or []),
+        seconds=seconds,
+        audit=audit,
+    )
+
+
+def _node_line(node: ExplainNode) -> str:
+    parts = [node.label or f"node {node.token}"]
+    if node.charged_total:
+        parts.append(
+            f"d={node.charged_total}"
+            + (f" ({node.charged_calls}+{node.charged_rows}b)"
+               if node.charged_calls and node.charged_rows else "")
+        )
+    if node.lb_checks:
+        parts.append(f"lb={node.lb_checks}")
+    if node.pruned:
+        parts.append(f"pruned={node.pruned}")
+    if node.candidates:
+        parts.append(f"cand={node.candidates}")
+    if node.results:
+        parts.append(f"res={node.results}")
+    return "  ".join(parts)
+
+
+def _render_node(node: ExplainNode, prefix: str, lines: list[str]) -> None:
+    last = len(node.children) - 1
+    for pos, child in enumerate(node.children):
+        branch = "└─ " if pos == last else "├─ "
+        lines.append(prefix + branch + _node_line(child))
+        extension = "   " if pos == last else "│  "
+        _render_node(child, prefix + extension, lines)
+
+
+def render_text(plan: ExplainPlan) -> str:
+    """Render the plan as an indented text tree with a totals footer."""
+    what = (
+        f"range(r={plan.parameter:g})"
+        if plan.kind == "range"
+        else f"knn(k={int(plan.parameter)})"
+    )
+    lines = [f"EXPLAIN {what}  method={plan.method}  model={plan.model}"]
+    lines.append(_node_line(plan.root))
+    _render_node(plan.root, "", lines)
+    check = "OK" if plan.totals_match else "MISMATCH"
+    lines.append(
+        f"distance computations: charged={plan.charged_total} "
+        f"(scalar={plan.charged_calls}, batched={plan.charged_rows})  "
+        f"counter={plan.counter_total}  [{check}]"
+    )
+    lines.append(
+        f"traversal: nodes={plan.nodes_entered}  lb_checks={plan.lb_checks}  "
+        f"pruned={plan.pruned}  verified={plan.candidates_verified}  "
+        f"results={len(plan.answer) or plan.results_added}"
+    )
+    if plan.transforms:
+        lines.append(f"query transforms: {plan.transforms}")
+    if plan.events_dropped or plan.events_sampled_out:
+        lines.append(
+            f"events: {len(plan.events)} recorded, "
+            f"{plan.events_dropped} dropped, "
+            f"{plan.events_sampled_out} sampled out"
+        )
+    if plan.audit is not None:
+        audit = plan.audit
+        lines.append(
+            f"Table 2 audit: predicted={audit.predicted_flops:.4g} flops  "
+            f"observed={audit.observed_flops:.4g} flops  "
+            f"drift={audit.drift:+.2%}"
+        )
+    return "\n".join(lines)

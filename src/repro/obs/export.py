@@ -51,6 +51,12 @@ def _prom_label_value(value: str) -> str:
     return value.replace("\\", r"\\").replace('"', r"\"").replace("\n", r"\n")
 
 
+def _prom_help(text: str) -> str:
+    # HELP lines escape only backslash and newline (not quotes) — a raw
+    # newline would start a bogus exposition line and break scrapes.
+    return text.replace("\\", r"\\").replace("\n", r"\n")
+
+
 def _prom_labels(labels: Mapping[str, str], extra: Mapping[str, str] | None = None) -> str:
     merged = {**labels, **(extra or {})}
     if not merged:
@@ -84,7 +90,7 @@ def to_prometheus(registry: MetricsRegistry) -> str:
             continue
         name = _prom_name(instrument.name)
         if instrument.help:
-            lines.append(f"# HELP {name} {instrument.help}")
+            lines.append(f"# HELP {name} {_prom_help(instrument.help)}")
         lines.append(f"# TYPE {name} {instrument.kind}")
         for sample in samples:
             if sample.histogram is not None:

@@ -208,6 +208,13 @@ def record_batch_summary(
         reg.gauge(
             "repro_batch_queries_per_second", "throughput of the last batch"
         ).set(getattr(summary, "queries", 0) / batch_seconds, method=method, kind=kind)
+    latency = reg.gauge(
+        "repro_batch_query_seconds", "per-query wall-time percentiles"
+    )
+    for quantile in ("p50", "p95"):
+        value = float(getattr(summary, f"{quantile}_seconds", 0.0))
+        if value > 0.0:
+            latency.set(value, method=method, kind=kind, quantile=quantile)
 
 
 # ----------------------------------------------------------------------

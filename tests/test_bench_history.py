@@ -1,0 +1,229 @@
+"""Benchmark regression history and baseline gate (repro.bench.history).
+
+Covers the library layer (records, append-only log, the
+:class:`RegressionCheck` semantics) and the ``repro bench`` CLI: the gate
+passes against a freshly written baseline, fails with exit 1 on an
+injected count regression, exits 2 without a baseline, and every check
+run appends one record to the history log.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+
+import pytest
+
+from repro.bench import (
+    RegressionCheck,
+    append_history,
+    check_regression,
+    environment_fingerprint,
+    git_revision,
+    history_record,
+    load_history,
+)
+from repro.cli import main
+
+#: A tiny-but-real workload so the CLI gate runs in well under a second.
+_WORKLOAD_ARGS = ["--size", "80", "--queries", "2", "--k", "3", "--bins", "4"]
+
+
+def _check_args(tmp_path, *extra: str) -> list[str]:
+    return [
+        "bench",
+        "check",
+        *_WORKLOAD_ARGS,
+        "--baseline",
+        str(tmp_path / "baseline.json"),
+        "--history",
+        str(tmp_path / "history.jsonl"),
+        *extra,
+    ]
+
+
+class TestHistoryRecords:
+    def test_environment_fingerprint_shape(self) -> None:
+        env = environment_fingerprint()
+        assert set(env) == {"python", "numpy", "platform", "machine", "cpu_count"}
+        assert env["cpu_count"] >= 1
+
+    def test_git_revision_in_repo_and_outside(self, tmp_path) -> None:
+        assert git_revision() != "unknown"  # the test suite runs in a checkout
+        assert git_revision(tmp_path) == "unknown"
+
+    def test_record_append_load_roundtrip(self, tmp_path) -> None:
+        path = tmp_path / "history.jsonl"
+        first = history_record("unit", {"a.count": 3}, meta={"size": 10})
+        second = history_record("unit", {"a.count": 4})
+        append_history(first, path)
+        append_history(second, path)
+        records = load_history(path)
+        assert [r["metrics"] for r in records] == [{"a.count": 3}, {"a.count": 4}]
+        assert records[0]["meta"] == {"size": 10}
+        assert "meta" not in records[1]
+        for record in records:
+            assert record["bench"] == "unit"
+            assert record["git"] == git_revision()
+            assert "timestamp" in record and "env" in record
+        # Genuinely append-only JSON-lines: one object per line.
+        lines = path.read_text(encoding="utf-8").splitlines()
+        assert len(lines) == 2
+        assert all(json.loads(line) for line in lines)
+
+    def test_load_history_missing_file_is_empty(self, tmp_path) -> None:
+        assert load_history(tmp_path / "nope.jsonl") == []
+
+
+class TestRegressionCheck:
+    def test_increase_past_threshold_regresses(self) -> None:
+        check = RegressionCheck("m", baseline=100, observed=103, threshold=0.02)
+        assert check.relative_change == pytest.approx(0.03)
+        assert check.regressed and check.drifted
+        assert "REGRESSED" in check.describe()
+
+    def test_zero_threshold_gates_any_increase(self) -> None:
+        assert RegressionCheck("m", 100, 101, 0.0).regressed
+        assert not RegressionCheck("m", 100, 100, 0.0).regressed
+
+    def test_improvement_drifts_without_regressing(self) -> None:
+        check = RegressionCheck("m", baseline=100, observed=90, threshold=0.02)
+        assert check.drifted and not check.regressed
+        assert "update the baseline" in check.describe()
+
+    def test_zero_baseline_cases(self) -> None:
+        assert RegressionCheck("m", 0, 0, 0.0).relative_change == 0.0
+        grown = RegressionCheck("m", 0, 5, 0.0)
+        assert math.isinf(grown.relative_change) and grown.regressed
+
+    def test_check_regression_missing_metric_is_a_regression(self) -> None:
+        checks = check_regression({"kept": 1}, {"kept": 1, "gone": 7})
+        by_name = {c.metric: c for c in checks}
+        assert not by_name["kept"].regressed
+        assert math.isinf(by_name["gone"].observed) and by_name["gone"].regressed
+
+    def test_check_regression_ignores_new_metrics(self) -> None:
+        checks = check_regression({"old": 1, "new": 99}, {"old": 1})
+        assert [c.metric for c in checks] == ["old"]
+
+    def test_per_metric_threshold_overrides_default(self) -> None:
+        checks = check_regression(
+            {"loose": 110, "tight": 101},
+            {"loose": 100, "tight": 100},
+            default_threshold=0.0,
+            thresholds={"loose": 0.25},
+        )
+        by_name = {c.metric: c for c in checks}
+        assert not by_name["loose"].regressed
+        assert by_name["tight"].regressed
+
+
+class TestBenchCheckCLI:
+    def test_gate_lifecycle(self, tmp_path, capsys) -> None:
+        baseline = tmp_path / "baseline.json"
+        history = tmp_path / "history.jsonl"
+
+        # No baseline yet: exit 2 with a hint, nothing gated.
+        assert main(_check_args(tmp_path)) == 2
+        assert "--update-baseline" in capsys.readouterr().err
+
+        # Write the baseline: exit 0, metrics for 3 methods x 2 models.
+        assert main(_check_args(tmp_path, "--update-baseline")) == 0
+        payload = json.loads(baseline.read_text(encoding="utf-8"))
+        assert payload["default_threshold"] == 0.0
+        assert len(payload["metrics"]) == 18
+        assert payload["workload"]["size"] == 80
+
+        # Same workload, same seed: counts are bit-reproducible -> pass.
+        assert main(_check_args(tmp_path)) == 0
+        out = capsys.readouterr().out
+        assert "bench check: passed" in out
+
+        # Inject a regression: lower one baseline count so the observed
+        # run exceeds it, under the zero default threshold.
+        payload["metrics"]["mtree.qfd.query_evaluations"] -= 1
+        baseline.write_text(json.dumps(payload), encoding="utf-8")
+        assert main(_check_args(tmp_path)) == 1
+        out = capsys.readouterr().out
+        assert "REGRESSED" in out
+
+        # Every check run (including the baseline rewrite) appended one
+        # history record.
+        assert len(load_history(history)) == 4
+
+    def test_no_history_flag_skips_the_log(self, tmp_path) -> None:
+        assert main(_check_args(tmp_path, "--no-history", "--update-baseline")) == 0
+        assert not (tmp_path / "history.jsonl").exists()
+
+    def test_workload_mismatch_refuses_to_gate(self, tmp_path, capsys) -> None:
+        assert main(_check_args(tmp_path, "--update-baseline")) == 0
+        args = _check_args(tmp_path)
+        args[args.index("--size") + 1] = "81"
+        assert main(args) == 2
+        assert "was recorded for workload" in capsys.readouterr().err
+
+    def test_improvement_passes_with_update_hint(self, tmp_path, capsys) -> None:
+        baseline = tmp_path / "baseline.json"
+        assert main(_check_args(tmp_path, "--update-baseline")) == 0
+        payload = json.loads(baseline.read_text(encoding="utf-8"))
+        payload["metrics"]["mtree.qfd.query_evaluations"] += 10
+        baseline.write_text(json.dumps(payload), encoding="utf-8")
+        capsys.readouterr()
+        assert main(_check_args(tmp_path)) == 0
+        assert "consider --update-baseline" in capsys.readouterr().out
+
+
+class TestBenchHistoryCLI:
+    def test_history_listing(self, tmp_path, capsys) -> None:
+        path = tmp_path / "history.jsonl"
+        for pos in range(3):
+            append_history(history_record(f"run{pos}", {"m": pos}), path)
+        assert main(["bench", "history", "--history", str(path), "--last", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "3 run(s), showing 2" in out
+        assert "run2" in out and "run0" not in out
+
+    def test_missing_history_is_not_an_error(self, tmp_path, capsys) -> None:
+        assert main(["bench", "history", "--history", str(tmp_path / "no.jsonl")]) == 0
+        assert "no history" in capsys.readouterr().out
+
+
+class TestExplainCLI:
+    def test_explain_text_and_json_artifact(self, tmp_path, capsys) -> None:
+        out_path = tmp_path / "plan.json"
+        code = main(
+            [
+                "explain",
+                "--method",
+                "mtree",
+                "--size",
+                "80",
+                "--k",
+                "3",
+                "--out",
+                str(out_path),
+            ]
+        )
+        assert code == 0
+        text = capsys.readouterr().out
+        assert "EXPLAIN knn(k=3)" in text and "[OK]" in text
+        payload = json.loads(out_path.read_text(encoding="utf-8"))
+        assert payload["totals"]["totals_match"] is True
+
+    def test_explain_range_json_stdout(self, tmp_path, capsys) -> None:
+        code = main(
+            [
+                "explain",
+                "--method",
+                "pivot-table",
+                "--size",
+                "80",
+                "--radius",
+                "0.5",
+                "--json",
+            ]
+        )
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["kind"] == "range"
+        assert payload["totals"]["totals_match"] is True

@@ -163,3 +163,22 @@ class TestTracePlumbing:
         empty = collector.summary()
         assert empty.evaluations_per_query == 0.0
         assert empty.queries_per_second == 0.0
+        assert empty.p50_seconds == 0.0 and empty.p95_seconds == 0.0
+
+    def test_summary_latency_percentiles_are_nearest_rank(self) -> None:
+        collector = TraceCollector()
+        # 20 queries at 10ms..200ms: nearest-rank p50 is the 10th sorted
+        # value (100ms), p95 the 19th (190ms) — never interpolated.
+        collector.extend(
+            QueryTrace(query_index=i, seconds=(i + 1) * 0.010) for i in range(20)
+        )
+        summary = collector.summary()
+        assert summary.p50_seconds == pytest.approx(0.100)
+        assert summary.p95_seconds == pytest.approx(0.190)
+
+    def test_single_trace_percentiles_collapse_to_its_time(self) -> None:
+        collector = TraceCollector()
+        collector.add(QueryTrace(query_index=0, seconds=0.042))
+        summary = collector.summary()
+        assert summary.p50_seconds == pytest.approx(0.042)
+        assert summary.p95_seconds == pytest.approx(0.042)

@@ -1,0 +1,222 @@
+"""Unit tests for the traversal event buffer (repro.obs.events).
+
+The two design guarantees under test:
+
+1. off by default — with no buffer active every emit helper is a no-op
+   returning immediately (``emit_node_enter`` hands back :data:`ROOT`);
+2. exact totals under bounding — ``max_events`` caps and
+   ``sample_every`` thins the *recorded* event list only, while the
+   per-node and global aggregates stay exact.
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.obs import (
+    ROOT,
+    EventBuffer,
+    TraversalEvent,
+    collect_events,
+    current_buffer,
+    emit_candidate_verify,
+    emit_charge,
+    emit_lb_check,
+    emit_node_enter,
+    emit_prune,
+    emit_result_add,
+    events_enabled,
+)
+
+
+class TestDisabledEmission:
+    def test_no_buffer_active_by_default(self) -> None:
+        assert current_buffer() is None
+        assert not events_enabled()
+
+    def test_emit_helpers_are_noops_when_disabled(self) -> None:
+        # Must not raise, must not allocate: node_enter returns ROOT so
+        # call sites can thread the token through unconditionally.
+        assert emit_node_enter(ROOT, "leaf") == ROOT
+        emit_lb_check(ROOT, 0.5, 1.0, pruned=False)
+        emit_prune(ROOT, 3)
+        emit_candidate_verify(ROOT, 7, 0.25)
+        emit_result_add(ROOT, 7, 0.25)
+        emit_charge(calls=1, rows=10)
+        assert current_buffer() is None
+
+    def test_collect_events_none_is_a_noop(self) -> None:
+        with collect_events(None) as buf:
+            assert buf is None
+            assert not events_enabled()
+
+    def test_collect_events_activates_and_restores(self) -> None:
+        buffer = EventBuffer()
+        with collect_events(buffer) as active:
+            assert active is buffer
+            assert current_buffer() is buffer
+            assert events_enabled()
+        assert current_buffer() is None
+
+    def test_collect_events_restores_on_exception(self) -> None:
+        buffer = EventBuffer()
+        with pytest.raises(RuntimeError):
+            with collect_events(buffer):
+                raise RuntimeError("boom")
+        assert current_buffer() is None
+
+
+class TestEventBufferRecording:
+    def test_enter_node_allocates_sequential_tokens(self) -> None:
+        buf = EventBuffer()
+        a = buf.enter_node(ROOT, "root-node")
+        b = buf.enter_node(a, "child")
+        assert (a, b) == (0, 1)
+        assert buf.current == b
+        assert buf.nodes_entered == 2
+        assert buf.nodes[b].parent == a
+        assert buf.children_of(ROOT) == [a]
+        assert buf.children_of(a) == [b]
+
+    def test_charge_attributes_to_current_node(self) -> None:
+        buf = EventBuffer()
+        buf.charge(calls=2)  # before any node: charged to ROOT
+        tok = buf.enter_node(ROOT, "leaf")
+        buf.charge(calls=1, rows=5)
+        assert buf.nodes[ROOT].charged_calls == 2
+        assert buf.nodes[tok].charged_calls == 1
+        assert buf.nodes[tok].charged_rows == 5
+        assert buf.charged_calls == 3
+        assert buf.charged_rows == 5
+        assert buf.charged_total == 8
+
+    def test_charge_with_zero_work_records_nothing(self) -> None:
+        buf = EventBuffer()
+        buf.charge(calls=0, rows=0)
+        assert buf.charged_total == 0
+
+    def test_unknown_node_token_falls_back_to_root(self) -> None:
+        buf = EventBuffer()
+        buf.lb_check(999, 0.5, 1.0, pruned=True)
+        buf.candidate_verify(999, 3, 0.1)
+        buf.result_add(999, 3, 0.1)
+        buf.prune(999, 2)
+        root = buf.nodes[ROOT]
+        assert root.lb_checks == 1
+        assert root.candidates == 1
+        assert root.results == 1
+        assert root.pruned == 2
+
+    def test_prune_ignores_nonpositive_counts(self) -> None:
+        buf = EventBuffer()
+        buf.prune(ROOT, 0)
+        buf.prune(ROOT, -4)
+        assert buf.pruned == 0
+        assert buf.events == []
+
+    def test_events_for_filters_by_node_and_kind(self) -> None:
+        buf = EventBuffer()
+        tok = buf.enter_node(ROOT, "leaf")
+        buf.lb_check(tok, 0.2, 0.5, pruned=False)
+        buf.candidate_verify(tok, 1, 0.3)
+        buf.result_add(ROOT, 1, 0.3)
+        assert [e.kind for e in buf.events_for(tok)] == [
+            "node_enter",
+            "lb_check",
+            "candidate_verify",
+        ]
+        assert [e.kind for e in buf.events_for(tok, kinds=("lb_check",))] == [
+            "lb_check"
+        ]
+        assert [e.kind for e in buf.events_for(ROOT)] == ["result_add"]
+
+    def test_sequence_numbers_are_global_and_ordered(self) -> None:
+        buf = EventBuffer()
+        tok = buf.enter_node(ROOT, "n")
+        buf.lb_check(tok, 0.1, 0.2, pruned=False)
+        buf.prune(tok, 1)
+        assert [e.seq for e in buf.events] == [0, 1, 2]
+
+
+class TestBoundingAndSampling:
+    def test_constructor_validates_parameters(self) -> None:
+        with pytest.raises(ValueError, match="max_events"):
+            EventBuffer(max_events=-1)
+        with pytest.raises(ValueError, match="sample_every"):
+            EventBuffer(sample_every=0)
+
+    def test_aggregates_exact_past_the_event_cap(self) -> None:
+        buf = EventBuffer(max_events=3)
+        tok = buf.enter_node(ROOT, "scan")
+        for i in range(10):
+            buf.lb_check(tok, float(i), 5.0, pruned=i > 5)
+            buf.charge(calls=1)
+        assert len(buf.events) == 3  # node_enter + first two checks
+        assert buf.dropped == 8
+        # Aggregates never stopped counting.
+        assert buf.lb_checks == 10
+        assert buf.nodes[tok].lb_checks == 10
+        assert buf.charged_calls == 10
+
+    def test_zero_max_events_keeps_exact_aggregates(self) -> None:
+        buf = EventBuffer(max_events=0)
+        tok = buf.enter_node(ROOT, "scan")
+        buf.candidate_verify(tok, 4, 0.5)
+        buf.charge(rows=12)
+        assert buf.events == []
+        assert buf.dropped == 2
+        assert buf.candidates_verified == 1
+        assert buf.charged_rows == 12
+
+    def test_stride_sampling_thins_high_cardinality_kinds(self) -> None:
+        buf = EventBuffer(sample_every=3)
+        tok = buf.enter_node(ROOT, "scan")
+        for i in range(9):
+            buf.lb_check(tok, float(i), 10.0, pruned=False)
+        recorded = buf.events_for(tok, kinds=("lb_check",))
+        assert len(recorded) == 3  # every 3rd of 9
+        assert buf.sampled_out == 6
+        assert buf.lb_checks == 9  # aggregate stays exact
+
+    def test_structural_kinds_are_never_sampled(self) -> None:
+        buf = EventBuffer(sample_every=100)
+        tok = buf.enter_node(ROOT, "a")
+        buf.prune(tok, 2)
+        buf.result_add(tok, 0, 0.1)
+        kinds = [e.kind for e in buf.events]
+        assert kinds == ["node_enter", "prune", "result_add"]
+
+
+class TestTraversalEventDict:
+    def test_nan_fields_are_omitted(self) -> None:
+        ev = TraversalEvent(seq=0, kind="prune", node=2, count=3)
+        d = ev.to_dict()
+        assert "value" not in d and "threshold" not in d
+        assert d == {"seq": 0, "kind": "prune", "node": 2, "count": 3}
+
+    def test_lb_check_always_carries_pruned(self) -> None:
+        ev = TraversalEvent(
+            seq=1, kind="lb_check", node=0, value=0.4, threshold=0.5, pruned=False
+        )
+        d = ev.to_dict()
+        assert d["pruned"] is False
+        assert d["value"] == pytest.approx(0.4)
+        assert d["threshold"] == pytest.approx(0.5)
+
+    def test_node_enter_carries_parent(self) -> None:
+        ev = TraversalEvent(seq=0, kind="node_enter", node=5, parent=2, label="leaf")
+        d = ev.to_dict()
+        assert d["parent"] == 2 and d["label"] == "leaf"
+
+    def test_json_roundtrip_has_no_nan(self) -> None:
+        import json
+
+        buf = EventBuffer()
+        tok = buf.enter_node(ROOT, "n")
+        buf.candidate_verify(tok, 1, float("nan"))
+        # allow_nan=False raises on any NaN leaking into the payload.
+        payload = json.dumps([e.to_dict() for e in buf.events], allow_nan=False)
+        assert "NaN" not in payload
+        assert math.isnan(buf.events[-1].value)  # the raw event still has it

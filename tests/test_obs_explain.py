@@ -1,0 +1,235 @@
+"""EXPLAIN acceptance tests: exact accounting across every access method.
+
+Three invariants pin the explain subsystem:
+
+1. **Exactness** — for every registered (model, method) pair and both
+   query kinds, :attr:`ExplainPlan.charged_total` equals the
+   :class:`CountingDistance` delta of the explained query exactly, even
+   with a tiny bounded/sampled event buffer (property-tested).
+2. **Non-interference** — explaining a query charges bit-identical
+   distance counts and returns the identical answer as the same query run
+   without any buffer active.
+3. **Table 2 audit** — for the methods with a closed form the observed
+   arithmetic matches the paper's prediction: zero drift for the
+   sequential scan and the M-tree under both models, and exactly the
+   ``m*p`` filter term (priced in flops but not distance evaluations) for
+   the pivot table.
+"""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import random_spd_matrix
+from repro.exceptions import QueryError
+from repro.models import AUDITABLE_METHODS, QFDModel, QMapModel, explain_query
+from repro.models.base import MAM_REGISTRY, SAM_REGISTRY
+
+#: Small-workload construction arguments per method.
+METHOD_KWARGS: dict[str, dict[str, int]] = {
+    "pivot-table": {"n_pivots": 4},
+    "mindex": {"n_pivots": 4},
+    "mtree": {"capacity": 8},
+    "paged-mtree": {"capacity": 8},
+    "vptree": {"leaf_size": 4},
+    "gnat": {"arity": 3, "leaf_size": 4},
+    "rtree": {"capacity": 8},
+    "xtree": {"capacity": 8},
+    "vafile": {"bits": 4},
+}
+
+#: Every (model, method) pair: QFD covers the MAMs, QMap also the SAMs.
+ALL_PAIRS = [("qfd", m) for m in MAM_REGISTRY] + [
+    ("qmap", m) for m in (*MAM_REGISTRY, *SAM_REGISTRY)
+]
+
+DIM = 6
+
+
+def _workload(seed: int, m: int = 50, n_queries: int = 2):
+    rng = np.random.default_rng(seed)
+    matrix = random_spd_matrix(DIM, rng=rng, condition=6.0)
+    data = rng.uniform(0.0, 1.0, size=(m, DIM))
+    queries = rng.uniform(0.0, 1.0, size=(n_queries, DIM))
+    return matrix, data, queries
+
+
+def _build(model_name: str, method: str, matrix, data):
+    model = (QMapModel if model_name == "qmap" else QFDModel)(matrix)
+    return model.build_index(method, data, **METHOD_KWARGS.get(method, {}))
+
+
+def _counter_delta(built, run) -> tuple[int, object]:
+    """(evaluations, answer) of *run* as seen by the model's own counter."""
+    before = built._counter.stats
+    answer = run()
+    after = built._counter.stats
+    return (after.calls - before.calls) + (after.batch_rows - before.batch_rows), answer
+
+
+class TestPlanEqualsCounterExactly:
+    """Invariant 1: plan charges == CountingDistance delta, exactly."""
+
+    @pytest.mark.parametrize("model_name,method", ALL_PAIRS)
+    @given(seed=st.integers(0, 10_000))
+    @settings(max_examples=3, deadline=None)
+    def test_knn_plan_totals_match(self, model_name, method, seed) -> None:
+        matrix, data, queries = _workload(seed)
+        built = _build(model_name, method, matrix, data)
+        plan = explain_query(built, queries[0], k=5)
+        assert plan.totals_match, (
+            f"{model_name}/{method}: plan charged {plan.charged_total} "
+            f"({plan.charged_calls}+{plan.charged_rows}b), counter saw "
+            f"{plan.counter_total} ({plan.counter_calls}+{plan.counter_rows}b)"
+        )
+        assert plan.charged_total > 0
+        assert plan.kind == "knn" and plan.parameter == 5.0
+
+    @pytest.mark.parametrize("model_name,method", ALL_PAIRS)
+    @given(seed=st.integers(0, 10_000))
+    @settings(max_examples=3, deadline=None)
+    def test_range_plan_totals_match(self, model_name, method, seed) -> None:
+        matrix, data, queries = _workload(seed)
+        built = _build(model_name, method, matrix, data)
+        plan = explain_query(built, queries[0], radius=0.5)
+        assert plan.totals_match, f"{model_name}/{method}: charge/counter mismatch"
+        assert plan.kind == "range"
+
+    @pytest.mark.parametrize("model_name,method", ALL_PAIRS)
+    def test_bounded_sampled_buffer_keeps_exact_totals(
+        self, model_name, method
+    ) -> None:
+        # A 5-event cap with 1-in-3 sampling drops nearly every record,
+        # yet the aggregates (and thus the plan) must stay exact.
+        matrix, data, queries = _workload(17)
+        built = _build(model_name, method, matrix, data)
+        plan = explain_query(built, queries[0], k=5, max_events=5, sample_every=3)
+        assert plan.totals_match
+        assert len(plan.events) <= 5
+        # The run was big enough that bounding actually kicked in for the
+        # tree methods; at minimum the invariant holds vacuously.
+        full = explain_query(built, queries[1], k=5)
+        assert full.totals_match
+
+    def test_plan_answer_carries_index_distance_pairs(self) -> None:
+        matrix, data, queries = _workload(3)
+        built = _build("qfd", "mtree", matrix, data)
+        plan = explain_query(built, queries[0], k=4)
+        assert len(plan.answer) == 4
+        for index, distance in plan.answer:
+            assert 0 <= index < data.shape[0]
+            assert distance >= 0.0
+        # kNN answers are sorted by distance.
+        distances = [d for _, d in plan.answer]
+        assert distances == sorted(distances)
+
+
+class TestNonInterference:
+    """Invariant 2: explain changes neither answers nor counts."""
+
+    @pytest.mark.parametrize("model_name,method", ALL_PAIRS)
+    def test_explained_run_is_bit_identical(self, model_name, method) -> None:
+        matrix, data, queries = _workload(23)
+        query = queries[0]
+        plain = _build(model_name, method, matrix, data)
+        explained = _build(model_name, method, matrix, data)
+        baseline_evals, baseline_answer = _counter_delta(
+            plain, lambda: plain.knn_search(query, 5)
+        )
+        plan = explain_query(explained, query, k=5)
+        assert plan.counter_total == baseline_evals
+        assert plan.answer == [(n.index, n.distance) for n in baseline_answer]
+
+    def test_range_answers_identical_under_explain(self) -> None:
+        matrix, data, queries = _workload(29)
+        query = queries[0]
+        plain = _build("qfd", "pivot-table", matrix, data)
+        explained = _build("qfd", "pivot-table", matrix, data)
+        baseline_evals, baseline_answer = _counter_delta(
+            plain, lambda: plain.range_search(query, 0.6)
+        )
+        plan = explain_query(explained, query, radius=0.6)
+        assert plan.counter_total == baseline_evals
+        assert plan.answer == [(n.index, n.distance) for n in baseline_answer]
+
+
+class TestTable2Audit:
+    """Invariant 3: observed arithmetic vs the paper's Table 2 forms."""
+
+    @pytest.mark.parametrize("model_name", ["qfd", "qmap"])
+    @pytest.mark.parametrize("method", ["sequential", "mtree"])
+    def test_zero_drift_methods(self, model_name, method) -> None:
+        matrix, data, queries = _workload(41)
+        built = _build(model_name, method, matrix, data)
+        plan = explain_query(built, queries[0], k=5)
+        assert plan.audit is not None
+        assert plan.audit.drift == 0.0, plan.audit
+        assert plan.audit.observed_flops == plan.audit.predicted_flops
+
+    @pytest.mark.parametrize("model_name", ["qfd", "qmap"])
+    def test_pivot_table_gap_is_exactly_the_filter_term(self, model_name) -> None:
+        # Table 2 prices the pivot table's hyper-cube filter at m*p flops,
+        # but the filter spends no distance evaluations — so the observed
+        # arithmetic undershoots the prediction by exactly m*p.
+        matrix, data, queries = _workload(43)
+        built = _build(model_name, "pivot-table", matrix, data)
+        plan = explain_query(built, queries[0], k=5)
+        audit = plan.audit
+        assert audit is not None
+        m, p = data.shape[0], built.access_method.n_pivots
+        assert audit.predicted_flops - audit.observed_flops == float(m * p)
+
+    def test_non_auditable_method_has_no_audit(self) -> None:
+        matrix, data, queries = _workload(47)
+        built = _build("qfd", "vptree", matrix, data)
+        plan = explain_query(built, queries[0], k=3)
+        assert "vptree" not in AUDITABLE_METHODS
+        assert plan.audit is None
+
+    def test_audit_can_be_disabled(self) -> None:
+        matrix, data, queries = _workload(53)
+        built = _build("qfd", "sequential", matrix, data)
+        plan = explain_query(built, queries[0], k=3, audit=False)
+        assert plan.audit is None
+
+
+class TestPlanRendering:
+    def test_render_text_tree_and_footer(self) -> None:
+        matrix, data, queries = _workload(61)
+        built = _build("qfd", "mtree", matrix, data)
+        plan = explain_query(built, queries[0], k=5)
+        text = plan.render()
+        assert text.startswith("EXPLAIN knn(k=5)  method=mtree  model=qfd")
+        assert "[OK]" in text and "[MISMATCH]" not in text
+        assert "Table 2 audit:" in text
+        assert "└─" in text  # the tree actually rendered children
+
+    def test_to_json_is_valid_and_complete(self) -> None:
+        matrix, data, queries = _workload(67)
+        built = _build("qmap", "pivot-table", matrix, data)
+        plan = explain_query(built, queries[0], radius=0.5)
+        payload = json.loads(plan.to_json())
+        assert payload["totals"]["totals_match"] is True
+        assert payload["totals"]["charged_total"] == plan.charged_total
+        assert payload["totals"]["transforms"] == plan.transforms == 1
+        assert payload["tree"]["label"] == "(query)"
+        assert {e["kind"] for e in payload["events"]} <= {
+            "node_enter",
+            "lb_check",
+            "prune",
+            "candidate_verify",
+            "result_add",
+        }
+
+    def test_rejects_ambiguous_query_kind(self) -> None:
+        matrix, data, queries = _workload(71)
+        built = _build("qfd", "sequential", matrix, data)
+        with pytest.raises(QueryError, match="exactly one"):
+            explain_query(built, queries[0])
+        with pytest.raises(QueryError, match="exactly one"):
+            explain_query(built, queries[0], k=3, radius=0.5)

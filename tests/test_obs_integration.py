@@ -229,6 +229,24 @@ class TestPrometheusExport:
             assert _PROM_LINE.match(line), f"malformed exposition line: {line!r}"
         assert seen_types >= 3  # build spans, distance counter, index gauges
 
+    def test_help_text_is_escaped(self) -> None:
+        # Regression test: a raw newline in a HELP string would start a
+        # bogus exposition line and break scrapes; backslashes must be
+        # doubled per the exposition format.
+        reg = MetricsRegistry()
+        reg.counter(
+            "repro_test_total", "first line\nsecond line with a \\ backslash"
+        ).inc(1)
+        text = to_prometheus(reg)
+        (help_line,) = [ln for ln in text.splitlines() if ln.startswith("# HELP")]
+        assert help_line == (
+            "# HELP repro_test_total first line\\nsecond line with a \\\\ backslash"
+        )
+        # The whole exposition still parses line by line.
+        for line in text.splitlines():
+            if not line.startswith("#"):
+                assert _PROM_LINE.match(line), f"malformed exposition line: {line!r}"
+
     def test_histograms_are_cumulative(self) -> None:
         reg = MetricsRegistry()
         h = reg.histogram("repro_test_seconds", bounds=[1.0, 2.0])

@@ -101,6 +101,41 @@ class TestHistogram:
         assert state.count == 0 and state.total == 0.0
         assert state.counts == (0, 0)
 
+    def test_values_on_bucket_edges_land_in_that_bucket(self) -> None:
+        # Bounds are inclusive upper bounds (bisect_left): a value equal
+        # to bounds[i] must land in counts[i], not spill into counts[i+1].
+        bounds = [1.0, 2.0, 4.0]
+        h = Histogram("edges", bounds=bounds)
+        for edge in bounds:
+            h.observe(edge)
+        state = h.state()
+        assert state.counts == (1, 1, 1, 0)
+
+    def test_zero_lands_in_the_first_bucket(self) -> None:
+        h = Histogram("edges", bounds=[1.0, 2.0])
+        h.observe(0.0)
+        state = h.state()
+        assert state.counts == (1, 0, 0)
+        assert state.total == 0.0
+
+    def test_infinity_lands_in_the_overflow_bucket(self) -> None:
+        h = Histogram("edges", bounds=[1.0, 2.0])
+        h.observe(float("inf"))
+        state = h.state()
+        assert state.counts == (0, 0, 1)
+        assert state.count == 1
+
+    def test_default_log_grid_edges_are_inclusive(self) -> None:
+        # The default grid is powers of two; 2^k must not leak one bucket
+        # up, and values just above must.
+        h = Histogram("grid")
+        h.observe(1.0)      # == 2^0, an exact grid point
+        h.observe(1.0001)   # just above it
+        state = h.state()
+        pos = state.bounds.index(1.0)
+        assert state.counts[pos] == 1
+        assert state.counts[pos + 1] == 1
+
 
 class TestMetricsRegistry:
     def test_accessors_are_get_or_create(self) -> None:
