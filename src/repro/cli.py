@@ -97,6 +97,12 @@ def build_parser() -> argparse.ArgumentParser:
     query.add_argument("--queries", type=int, default=50, help="number of queries")
     query.add_argument("--k", type=int, default=10, help="kNN parameter")
     query.add_argument(
+        "--bound",
+        choices=["triangle", "ptolemaic", "best"],
+        default="triangle",
+        help="pivot-table lower-bound mode (ignored by other methods)",
+    )
+    query.add_argument(
         "--radius",
         type=float,
         default=None,
@@ -165,6 +171,13 @@ def build_parser() -> argparse.ArgumentParser:
         type=float,
         default=None,
         help="explain a range query with this radius instead of kNN",
+    )
+    explain.add_argument(
+        "--bound",
+        choices=["triangle", "ptolemaic", "best"],
+        default="triangle",
+        help="pivot-table lower-bound mode; ptolemaic/best render triangle "
+        "vs Ptolemaic prune counts side by side (ignored by other methods)",
     )
     explain.add_argument(
         "--query-index", type=int, default=0, help="which workload query to explain"
@@ -265,6 +278,12 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument(
             "--queries", type=int, default=20, help="workload queries (recorded)"
         )
+        p.add_argument(
+            "--bound",
+            choices=["triangle", "ptolemaic", "best"],
+            default="triangle",
+            help="pivot-table lower-bound mode (ignored by other methods)",
+        )
         p.add_argument("--seed", type=int, default=0)
 
     ibuild = index_sub.add_parser(
@@ -353,6 +372,12 @@ def build_parser() -> argparse.ArgumentParser:
     )
     report.add_argument("--queries", type=int, default=20, help="number of queries")
     report.add_argument("--k", type=int, default=10, help="kNN parameter")
+    report.add_argument(
+        "--bound",
+        choices=["triangle", "ptolemaic", "best"],
+        default="triangle",
+        help="pivot-table lower-bound mode (ignored by other methods)",
+    )
     report.add_argument(
         "--radius",
         type=float,
@@ -569,6 +594,13 @@ def _explain_first_query(
         print(f"explain  : {out} (query 0, {plan.kind})")
 
 
+def _with_bound(method: str, kwargs: dict, bound: "str | None") -> dict:
+    """Merge a non-default ``--bound`` into pivot-table build kwargs."""
+    if method == "pivot-table" and bound and bound != "triangle":
+        return {**kwargs, "bound": bound}
+    return dict(kwargs)
+
+
 def _cmd_query(args: "argparse.Namespace") -> int:
     import time
 
@@ -585,6 +617,7 @@ def _cmd_query(args: "argparse.Namespace") -> int:
         kwargs = {"pivot-table": {"n_pivots": 16}, "mtree": {"capacity": 16}}.get(
             args.method, {}
         )
+        kwargs = _with_bound(args.method, kwargs, getattr(args, "bound", None))
         index = model.build_index(args.method, workload.database, **kwargs)
     except BaseException:
         restore_registry()
@@ -693,7 +726,9 @@ def _cmd_index_build(args: "argparse.Namespace") -> int:
         args.size, args.queries, bins_per_channel=args.bins, seed=args.seed
     )
     model = (QMapModel if args.model == "qmap" else QFDModel)(workload.matrix)
-    kwargs = _INDEX_KWARGS.get(args.method, {})
+    kwargs = _with_bound(
+        args.method, _INDEX_KWARGS.get(args.method, {}), getattr(args, "bound", None)
+    )
     index = model.build_index(args.method, workload.database, **kwargs)
     costs = index.build_costs
     print(f"workload : {workload.name}, m={args.size}, q={args.queries}")
@@ -848,7 +883,9 @@ def _cmd_explain(args: "argparse.Namespace") -> int:
         seed=args.seed,
     )
     model = (QMapModel if args.model == "qmap" else QFDModel)(workload.matrix)
-    kwargs = _INDEX_KWARGS.get(args.method, {})
+    kwargs = _with_bound(
+        args.method, _INDEX_KWARGS.get(args.method, {}), getattr(args, "bound", None)
+    )
     index = model.build_index(args.method, workload.database, **kwargs)
     index.reset_query_costs()
     plan = explain_query(
@@ -870,8 +907,19 @@ def _cmd_explain(args: "argparse.Namespace") -> int:
 
 
 #: The deterministic cost workload gated by ``repro bench check``: the
-#: three methods with Table 1/2 closed forms, under both models.
+#: three methods with Table 1/2 closed forms, under both models.  The
+#: pivot table is additionally gated in its ptolemaic and best bound
+#: modes (variant suffix in the metric prefix); the unsuffixed
+#: pivot-table keys stay the triangle mode, pinning the classic code
+#: path against the bound-mode refactor.
 _BENCH_CHECK_METHODS = ("sequential", "pivot-table", "mtree")
+_BENCH_CHECK_VARIANTS: dict[str, tuple[tuple[str, dict], ...]] = {
+    "pivot-table": (
+        ("", {}),
+        ("+ptolemaic", {"bound": "ptolemaic"}),
+        ("+best", {"bound": "best"}),
+    ),
+}
 
 
 def _bench_check_metrics(args: "argparse.Namespace") -> dict:
@@ -890,18 +938,19 @@ def _bench_check_metrics(args: "argparse.Namespace") -> dict:
     for model_cls, model_name in ((QFDModel, "qfd"), (QMapModel, "qmap")):
         model = model_cls(workload.matrix)
         for method in _BENCH_CHECK_METHODS:
-            kwargs = _INDEX_KWARGS.get(method, {})
-            index = model.build_index(method, workload.database, **kwargs)
-            prefix = f"{method}.{model_name}"
-            metrics[f"{prefix}.build_evaluations"] = (
-                index.build_costs.distance_computations
-            )
-            index.reset_query_costs()
-            for q in workload.queries:
-                index.knn_search(q, args.k)
-            costs = index.query_costs()
-            metrics[f"{prefix}.query_evaluations"] = costs.distance_computations
-            metrics[f"{prefix}.query_transforms"] = costs.transforms
+            for suffix, extra in _BENCH_CHECK_VARIANTS.get(method, (("", {}),)):
+                kwargs = {**_INDEX_KWARGS.get(method, {}), **extra}
+                index = model.build_index(method, workload.database, **kwargs)
+                prefix = f"{method}{suffix}.{model_name}"
+                metrics[f"{prefix}.build_evaluations"] = (
+                    index.build_costs.distance_computations
+                )
+                index.reset_query_costs()
+                for q in workload.queries:
+                    index.knn_search(q, args.k)
+                costs = index.query_costs()
+                metrics[f"{prefix}.query_evaluations"] = costs.distance_computations
+                metrics[f"{prefix}.query_transforms"] = costs.transforms
     return metrics
 
 
@@ -1020,7 +1069,9 @@ def _cmd_report(args: "argparse.Namespace") -> int:
         args.size, args.queries, bins_per_channel=args.bins, seed=args.seed
     )
     model = (QMapModel if args.model == "qmap" else QFDModel)(workload.matrix)
-    kwargs = _INDEX_KWARGS.get(args.method, {})
+    kwargs = _with_bound(
+        args.method, _INDEX_KWARGS.get(args.method, {}), getattr(args, "bound", None)
+    )
     registry = MetricsRegistry()
     collector = TraceCollector() if args.trace_out else None
     with use_registry(registry):

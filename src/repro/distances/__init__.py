@@ -7,7 +7,13 @@ empirical metric-postulate checker used throughout the tests and benches.
 """
 
 from .base import CountingDistance, DistanceFunction, DistanceStats
-from .metric_checks import MetricReport, MetricViolation, check_metric_postulates
+from .metric_checks import (
+    MetricReport,
+    MetricViolation,
+    check_metric_postulates,
+    check_ptolemy_inequality,
+    check_ptolemy_matrix,
+)
 from .minkowski import (
     MinkowskiDistance,
     WeightedEuclidean,
@@ -33,6 +39,8 @@ __all__ = [
     "MetricReport",
     "MetricViolation",
     "check_metric_postulates",
+    "check_ptolemy_inequality",
+    "check_ptolemy_matrix",
     "MinkowskiDistance",
     "WeightedEuclidean",
     "minkowski",

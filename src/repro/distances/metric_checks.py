@@ -18,7 +18,13 @@ import numpy as np
 
 from ..exceptions import QueryError
 
-__all__ = ["MetricViolation", "MetricReport", "check_metric_postulates"]
+__all__ = [
+    "MetricViolation",
+    "MetricReport",
+    "check_metric_postulates",
+    "check_ptolemy_inequality",
+    "check_ptolemy_matrix",
+]
 
 #: Absolute slack allowed before a numeric discrepancy counts as a violation.
 _DEFAULT_TOLERANCE = 1e-9
@@ -32,10 +38,10 @@ class MetricViolation:
     ----------
     postulate:
         One of ``"non_negativity"``, ``"identity"``, ``"symmetry"``,
-        ``"triangle"``.
+        ``"triangle"``, ``"ptolemy"``.
     indices:
         Indices of the objects involved (2 for pairwise postulates,
-        3 for the triangle inequality).
+        3 for the triangle inequality, 4 for Ptolemy's inequality).
     magnitude:
         How far past the tolerance the violation went.
     """
@@ -51,6 +57,7 @@ class MetricReport:
 
     checked_pairs: int = 0
     checked_triples: int = 0
+    checked_quadruples: int = 0
     violations: list[MetricViolation] = field(default_factory=list)
 
     @property
@@ -142,5 +149,112 @@ def check_metric_postulates(
             if lhs > a + b + slack:
                 report.violations.append(
                     MetricViolation("triangle", (i, j, k), lhs - (a + b) - slack)
+                )
+    return report
+
+
+def _quadruples(
+    m: int, max_quadruples: int, rng: np.random.Generator
+):
+    total = m * (m - 1) * (m - 2) * (m - 3) // 24
+    if total <= max_quadruples:
+        return itertools.combinations(range(m), 4)
+    picks = rng.integers(0, m, size=(max_quadruples, 4))
+    return (tuple(sorted(int(v) for v in row)) for row in picks if len(set(row)) == 4)
+
+
+def check_ptolemy_matrix(
+    pair_distances: np.ndarray,
+    *,
+    max_quadruples: int = 500,
+    tolerance: float = _DEFAULT_TOLERANCE,
+    rng: np.random.Generator | None = None,
+) -> MetricReport:
+    """Check Ptolemy's inequality over a pre-computed distance matrix.
+
+    For every sampled quadruple ``(a, b, c, d)`` the three pairings of
+    "opposite side" products must satisfy
+
+        d(a,b) d(c,d) <= d(a,c) d(b,d) + d(a,d) d(b,c)
+
+    (and the two rotations).  Ptolemaic pivot bounds are valid lower
+    bounds exactly when the metric passes this, so the pivot table in
+    ``bound="ptolemaic"`` mode runs this check on its pivot-pair matrix
+    as a build-time guard — the matrix is already paid for, so the guard
+    costs **zero** extra distance evaluations.
+
+    Fewer than four points trivially pass.
+    """
+    d = np.asarray(pair_distances, dtype=np.float64)
+    if d.ndim != 2 or d.shape[0] != d.shape[1]:
+        raise QueryError(f"pair_distances must be square, got shape {d.shape}")
+    rng = np.random.default_rng(0) if rng is None else rng
+    report = MetricReport()
+    m = d.shape[0]
+    if m < 4:
+        return report
+    for a, b, c, e in _quadruples(m, max_quadruples, rng):
+        report.checked_quadruples += 1
+        products = (
+            d[a, b] * d[c, e],
+            d[a, c] * d[b, e],
+            d[a, e] * d[b, c],
+        )
+        slack = tolerance * max(1.0, *products)
+        for pos in range(3):
+            lhs = products[pos]
+            rhs = products[(pos + 1) % 3] + products[(pos + 2) % 3]
+            if lhs > rhs + slack:
+                report.violations.append(
+                    MetricViolation("ptolemy", (a, b, c, e), lhs - rhs - slack)
+                )
+    return report
+
+
+def check_ptolemy_inequality(
+    distance: Callable[[object, object], float],
+    objects: Sequence[object],
+    *,
+    max_quadruples: int = 500,
+    tolerance: float = _DEFAULT_TOLERANCE,
+    rng: np.random.Generator | None = None,
+) -> MetricReport:
+    """Sample Ptolemy's inequality for a black-box *distance*.
+
+    Evaluates the pairwise distances of the (at most
+    ``4 * max_quadruples``) objects touched by the sampled quadruples,
+    caching each pair once, then checks like :func:`check_ptolemy_matrix`.
+    The QFD with a positive-definite matrix passes (it embeds
+    isometrically into L2, which is Ptolemaic); an L1-like metric
+    generally does not.
+    """
+    if len(objects) < 4:
+        raise QueryError("need at least four objects to check Ptolemy's inequality")
+    rng = np.random.default_rng(0) if rng is None else rng
+    report = MetricReport()
+    m = len(objects)
+
+    cache: dict[tuple[int, int], float] = {}
+
+    def dist(i: int, j: int) -> float:
+        key = (i, j) if i <= j else (j, i)
+        if key not in cache:
+            cache[key] = float(distance(objects[key[0]], objects[key[1]]))
+        return cache[key]
+
+    for a, b, c, e in _quadruples(m, max_quadruples, rng):
+        report.checked_quadruples += 1
+        products = (
+            dist(a, b) * dist(c, e),
+            dist(a, c) * dist(b, e),
+            dist(a, e) * dist(b, c),
+        )
+        slack = tolerance * max(1.0, *products)
+        for pos in range(3):
+            lhs = products[pos]
+            rhs = products[(pos + 1) % 3] + products[(pos + 2) % 3]
+            if lhs > rhs + slack:
+                report.violations.append(
+                    MetricViolation("ptolemy", (a, b, c, e), lhs - rhs - slack)
                 )
     return report

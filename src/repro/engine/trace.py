@@ -173,11 +173,20 @@ class TraceSummary:
 
 
 def _nearest_rank(sorted_values: list[float], q: float) -> float:
-    """Nearest-rank percentile of pre-sorted values (0.0 when empty)."""
+    """Nearest-rank percentile of pre-sorted values (0.0 when empty).
+
+    The nearest-rank definition: the smallest value whose rank
+    ``ceil(q * n)`` covers fraction *q* of the samples.  A single-element
+    batch therefore yields p50 == p95 == that sample.  The rank is clamped
+    into ``[1, n]`` so q=0 maps to the minimum and floating-point noise in
+    ``q * n`` (e.g. ``1.0 * n`` landing a hair above ``n``) can never index
+    past the end.
+    """
     if not sorted_values:
         return 0.0
-    rank = math.ceil(q * len(sorted_values))
-    return sorted_values[max(rank, 1) - 1]
+    n = len(sorted_values)
+    rank = min(max(math.ceil(q * n), 1), n)
+    return sorted_values[rank - 1]
 
 
 class TraceCollector:

@@ -23,6 +23,12 @@ from .gram import (
     qfd_squared_pairwise,
 )
 from .kernels import L2Kernel, L2QueryContext, QFDKernel, QFDQueryContext, resolve_kernel
+from .ptolemaic import (
+    ptolemaic_bound_matrix,
+    ptolemaic_bound_scalar,
+    ptolemaic_bounds,
+    valid_pivot_pairs,
+)
 
 __all__ = [
     "RECHECK_REL",
@@ -43,5 +49,9 @@ __all__ = [
     "L2QueryContext",
     "QFDKernel",
     "QFDQueryContext",
+    "ptolemaic_bound_matrix",
+    "ptolemaic_bound_scalar",
+    "ptolemaic_bounds",
     "resolve_kernel",
+    "valid_pivot_pairs",
 ]

@@ -5,6 +5,14 @@ constructed, yet an experiment sweep builds dozens of models over the *same*
 handful of matrices.  Factorization is O(n^3); hashing the matrix bytes is
 O(n^2) — so a content-addressed cache turns every repeat construction into
 a lookup.  Factors are returned read-only and shared between callers.
+
+Concurrency: the O(n^3) factorization runs outside the lock (it must not
+serialize unrelated threads), but a per-key in-flight registry de-duplicates
+concurrent misses — the first thread to miss a key becomes its owner and
+factors it; others wait on the owner's event and read the inserted factor,
+so each distinct matrix is factored exactly once no matter how many threads
+race on it.  If the owner's factorization raises, its waiters retake the
+miss path (one of them becomes the new owner) instead of hanging.
 """
 
 from __future__ import annotations
@@ -21,6 +29,8 @@ _MAX_ENTRIES = 32
 
 _lock = threading.Lock()
 _cache: OrderedDict[tuple, np.ndarray] = OrderedDict()
+#: key -> event set when the owning thread finishes (successfully or not).
+_inflight: dict[tuple, threading.Event] = {}
 _hits = 0
 _misses = 0
 
@@ -39,31 +49,48 @@ def cached_cholesky(matrix: np.ndarray) -> np.ndarray:
     """
     global _hits, _misses
     key = _key(matrix)
-    with _lock:
-        factor = _cache.get(key)
-        if factor is not None:
-            _cache.move_to_end(key)
-            _hits += 1
-            return factor
+    while True:
+        with _lock:
+            factor = _cache.get(key)
+            if factor is not None:
+                _cache.move_to_end(key)
+                _hits += 1
+                return factor
+            waiting_on = _inflight.get(key)
+            if waiting_on is None:
+                # This thread owns the factorization for *key*.
+                _inflight[key] = done = threading.Event()
+                _misses += 1
+                break
+        # Another thread is already factoring this exact matrix; wait for
+        # it and re-check the cache (looping handles owner failure and the
+        # unlucky case of the entry being evicted before we woke up).
+        waiting_on.wait()
+
     # Factor outside the lock: O(n^3) work must not serialize other threads.
     from ..core.cholesky import cholesky
 
-    factor = cholesky(matrix, check_symmetry=False)
-    factor.setflags(write=False)
-    with _lock:
-        existing = _cache.get(key)
-        if existing is not None:
-            _hits += 1
-            return existing
-        _misses += 1
-        _cache[key] = factor
-        while len(_cache) > _MAX_ENTRIES:
-            _cache.popitem(last=False)
+    try:
+        factor = cholesky(matrix, check_symmetry=False)
+        factor.setflags(write=False)
+        with _lock:
+            _cache[key] = factor
+            _cache.move_to_end(key)
+            while len(_cache) > _MAX_ENTRIES:
+                _cache.popitem(last=False)
+    finally:
+        with _lock:
+            _inflight.pop(key, None)
+        done.set()
     return factor
 
 
 def clear_cholesky_cache() -> None:
-    """Drop every cached factor and reset the hit/miss counters."""
+    """Drop every cached factor and reset the hit/miss counters.
+
+    In-flight factorizations are left to complete; their entries will be
+    inserted into the now-empty cache when they finish.
+    """
     global _hits, _misses
     with _lock:
         _cache.clear()

@@ -12,7 +12,7 @@ from .gnat import GNAT
 from .mindex import MIndex
 from .mtree import SPLIT_POLICIES, MTree
 from .paged_mtree import PagedMTree
-from .pivot_table import PivotTable
+from .pivot_table import BOUND_MODES, PivotTable
 from .pivots import PIVOT_METHODS, select_pivots
 from .sat import SATree
 from .sequential import DiskSequentialFile, SequentialFile
@@ -26,6 +26,7 @@ __all__ = [
     "SequentialFile",
     "DiskSequentialFile",
     "PivotTable",
+    "BOUND_MODES",
     "MTree",
     "PagedMTree",
     "SPLIT_POLICIES",

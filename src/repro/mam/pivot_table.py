@@ -13,6 +13,20 @@ kNN processes candidates in ascending lower-bound order, shrinking the
 dynamic radius as better neighbors arrive — once the lower bound of the
 next candidate exceeds the current kth distance, the remainder is pruned
 wholesale.
+
+Beyond the paper: because QMap embeds the QFD isometrically into L2, the
+QFD is a *Ptolemaic* metric, and Hetland's Ptolemaic pivot bound
+
+    d(q, v) >= max over pivot pairs of
+               |d(q,p1) d(v,p2) - d(q,p2) d(v,p1)| / d(p1, p2)
+
+is often far tighter than the triangle bound.  ``bound="ptolemaic"``
+switches the filter to it (paying ``p (p-1) / 2`` extra build-time
+distances for the pivot-pair matrix), ``bound="best"`` takes the
+pointwise maximum of both bounds, and ``bound="triangle"`` (default)
+keeps the classic LAESA behaviour bit-for-bit.  Query-time charging is
+identical in every mode: ``p`` pivot distances plus one evaluation per
+verified candidate.
 """
 
 from __future__ import annotations
@@ -23,8 +37,14 @@ from typing import TYPE_CHECKING, Callable, Sequence
 import numpy as np
 
 from .._typing import ArrayLike, as_vector
+from ..distances.metric_checks import check_ptolemy_matrix
 from ..engine.trace import activate_trace, record_candidates, record_filter
 from ..exceptions import DimensionMismatchError, QueryError, StorageError
+from ..kernels.ptolemaic import (
+    ptolemaic_bound_matrix,
+    ptolemaic_bounds,
+    valid_pivot_pairs,
+)
 from ..obs.events import (
     ROOT,
     emit_candidate_verify,
@@ -33,13 +53,23 @@ from ..obs.events import (
     emit_result_add,
     events_enabled,
 )
-from .base import AccessMethod, DistancePort, Neighbor, _KnnHeap, state_array
+from .base import AccessMethod, DistancePort, Neighbor, _KnnHeap, state_array, state_str
 from .pivots import select_pivots
 
 if TYPE_CHECKING:
     from ..engine.trace import QueryTrace
 
-__all__ = ["PivotTable"]
+__all__ = ["PivotTable", "BOUND_MODES"]
+
+#: Lower-bound modes of :class:`PivotTable`.
+BOUND_MODES = ("triangle", "ptolemaic", "best")
+
+#: Event label of each mode's *operative* bound (the one that decides).
+_BOUND_LABELS = {
+    "triangle": "pivot-linf",
+    "ptolemaic": "pivot-ptolemaic",
+    "best": "pivot-best",
+}
 
 
 class PivotTable(AccessMethod):
@@ -59,6 +89,11 @@ class PivotTable(AccessMethod):
         Optional sample size ``s`` for selection.
     pivots:
         Explicit pivot indices (overrides selection; used by tests).
+    bound:
+        Lower-bound mode: ``"triangle"`` (classic LAESA L∞ bound,
+        default), ``"ptolemaic"`` (Hetland's pivot-pair bound, valid for
+        Ptolemaic metrics such as the QFD/QMap pair), or ``"best"``
+        (pointwise maximum of both).
     rng:
         Randomness for pivot selection.
 
@@ -67,6 +102,9 @@ class PivotTable(AccessMethod):
     Indexing cost matches the paper's Section 4.2.1 analysis: selection
     spends ``c`` distances over the sample, then the table needs ``m * p``
     distances — each O(n^2) in the QFD model and O(n) in the QMap model.
+    The non-triangle modes additionally charge ``p (p-1) / 2`` build
+    distances for the pivot-pair matrix; query-time charging is the same
+    in every mode.
     """
 
     def __init__(
@@ -78,9 +116,14 @@ class PivotTable(AccessMethod):
         pivot_method: str = "maxmin",
         pivot_sample: int | None = None,
         pivots: Sequence[int] | None = None,
+        bound: str = "triangle",
         rng: np.random.Generator | None = None,
     ) -> None:
         super().__init__(database, distance)
+        if bound not in BOUND_MODES:
+            raise QueryError(
+                f"unknown bound mode {bound!r}; choose from {BOUND_MODES}"
+            )
         if pivots is not None:
             pivot_list = [int(i) for i in pivots]
             if not pivot_list:
@@ -103,6 +146,35 @@ class PivotTable(AccessMethod):
         # The m x p distance matrix ("the pivot table").
         columns = [self._port.many(self._data[j], self._data) for j in pivot_list]
         self._table = np.column_stack(columns)
+        self._bound = bound
+        self._pivot_pair: np.ndarray | None = None
+        self._pairs: tuple[np.ndarray, np.ndarray] | None = None
+        if bound != "triangle":
+            # Charged: p (p-1) / 2 batched rows, the logical cost of
+            # evaluating each unordered pivot pair once.
+            self._pivot_pair = self._port.pairwise(self._pivot_rows)
+            self._pairs = valid_pivot_pairs(self._pivot_pair)
+            self._guard_ptolemaic()
+
+    def _guard_ptolemaic(self) -> None:
+        """Build-time guard: refuse Ptolemaic bounds for a metric that
+        violates Ptolemy's inequality on the pivots.
+
+        Runs on the already-paid-for pivot-pair matrix, so the check costs
+        zero extra distance evaluations.  A triangle-only metric (e.g. L1)
+        would produce *invalid* lower bounds here — silently wrong answers
+        — which is exactly the failure mode the paper documents for
+        methods that assume more structure than the distance has.
+        """
+        report = check_ptolemy_matrix(self._pivot_pair)
+        if not report.is_metric:
+            worst = report.worst()
+            raise QueryError(
+                f"bound={self._bound!r} requires a Ptolemaic metric, but the "
+                f"pivot-pair matrix violates Ptolemy's inequality on pivots "
+                f"{worst.indices} by {worst.magnitude:.3g}; "
+                "use bound='triangle' for this distance"
+            )
 
     @classmethod
     def from_parts(
@@ -129,10 +201,14 @@ class PivotTable(AccessMethod):
         return cls.from_state(database, distance, state)  # type: ignore[return-value]
 
     def structural_state(self) -> dict[str, np.ndarray]:
-        return {
+        state = {
             "pivot_indices": np.asarray(self._pivot_indices, dtype=np.int64),
             "table": self._table.copy(),
+            "bound": np.str_(self._bound),
         }
+        if self._pivot_pair is not None:
+            state["pivot_pair"] = self._pivot_pair.copy()
+        return state
 
     def _restore_state(self, state: dict[str, np.ndarray]) -> None:
         pivot_list = [int(i) for i in state_array(state, "pivot_indices")]
@@ -147,10 +223,28 @@ class PivotTable(AccessMethod):
                 f"table shape {stored.shape} does not match "
                 f"({self.size}, {len(pivot_list)})"
             )
+        # Version-1 snapshots predate bound modes; absent keys mean the
+        # classic triangle bound, so old archives keep loading unchanged.
+        bound = state_str(state, "bound") if "bound" in state else "triangle"
+        if bound not in BOUND_MODES:
+            raise StorageError(
+                f"unknown pivot-table bound mode {bound!r} in snapshot"
+            )
+        pair: np.ndarray | None = None
+        if bound != "triangle":
+            pair = state_array(state, "pivot_pair", dtype=np.float64)
+            p = len(pivot_list)
+            if pair.shape != (p, p):
+                raise QueryError(
+                    f"pivot-pair matrix shape {pair.shape} does not match ({p}, {p})"
+                )
         super()._restore_state(state)
         self._pivot_indices = pivot_list
         self._pivot_rows = self._data[pivot_list]
         self._table = stored.copy()
+        self._bound = bound
+        self._pivot_pair = pair.copy() if pair is not None else None
+        self._pairs = valid_pivot_pairs(pair) if pair is not None else None
 
     def _verify_state_probe(self) -> None:
         # Same sampled bound re-evaluation load_pivot_table always did:
@@ -164,6 +258,16 @@ class PivotTable(AccessMethod):
                 "supplied distance disagrees with the stored table "
                 "(wrong metric or wrong matrix?)"
             )
+        if self._pivot_pair is not None and len(self._pivot_indices) >= 2:
+            probe = self._port.pair_uncounted(
+                self._data[self._pivot_indices[0]],
+                self._data[self._pivot_indices[1]],
+            )
+            if not np.isclose(probe, self._pivot_pair[0, 1], rtol=1e-6, atol=1e-9):
+                raise StorageError(
+                    "supplied distance disagrees with the stored pivot-pair "
+                    "matrix (wrong metric or wrong matrix?)"
+                )
 
     @property
     def pivot_indices(self) -> list[int]:
@@ -182,28 +286,94 @@ class PivotTable(AccessMethod):
         view.setflags(write=False)
         return view
 
+    @property
+    def bound(self) -> str:
+        """The active lower-bound mode (one of :data:`BOUND_MODES`)."""
+        return self._bound
+
+    @property
+    def pivot_pair_matrix(self) -> "np.ndarray | None":
+        """The ``p x p`` pivot-pair distance matrix (read-only view),
+        present only in the non-triangle bound modes."""
+        if self._pivot_pair is None:
+            return None
+        view = self._pivot_pair.view()
+        view.setflags(write=False)
+        return view
+
     def _query_vector(self, query: np.ndarray) -> np.ndarray:
         """Distances from the query to every pivot (``p`` evaluations)."""
         return self._port.many(query, self._pivot_rows)
 
-    def _lower_bounds(self, query_vector: np.ndarray) -> np.ndarray:
-        """Pivot-mapped L∞ lower bound for every database object."""
+    def _triangle_bounds(self, query_vector: np.ndarray) -> np.ndarray:
+        """Pivot-mapped L∞ (triangle) lower bound for every object."""
         return np.max(np.abs(self._table - query_vector), axis=1)
 
-    def _lower_bound_matrix(self, query_vectors: np.ndarray) -> np.ndarray:
-        """``m x s`` lower-bound matrix for *s* stacked query vectors.
+    def _ptolemaic_lb(
+        self, query_vector: np.ndarray, out: "np.ndarray | None" = None
+    ) -> np.ndarray:
+        return ptolemaic_bounds(
+            self._table, query_vector, self._pivot_pair, self._pairs, out=out
+        )
 
-        Accumulating the L∞ maximum pivot by pivot keeps the working
-        memory at one ``m x s`` block (never ``m x s x p``) and produces
-        exactly the floats of the per-query :meth:`_lower_bounds` — the
-        entries are elementwise ``|t - q|`` maxima, with no rounding
-        reductions involved.
+    def _lower_bounds(self, query_vector: np.ndarray) -> np.ndarray:
+        """The mode's operative lower bound for every database object."""
+        if self._bound == "triangle":
+            return self._triangle_bounds(query_vector)
+        if self._bound == "ptolemaic":
+            return self._ptolemaic_lb(query_vector)
+        # "best": max-merge the Ptolemaic bound into the triangle one.
+        return self._ptolemaic_lb(query_vector, out=self._triangle_bounds(query_vector))
+
+    def _bound_views(
+        self, query_vector: np.ndarray, lb: np.ndarray
+    ) -> list[tuple[str, np.ndarray]]:
+        """``(label, bounds)`` pairs for event emission, operative last.
+
+        In the non-triangle modes the *other* bound is computed too — an
+        observability-only cost with no distance evaluations — so EXPLAIN
+        can put triangle and Ptolemaic prune counts side by side.
         """
+        if self._bound == "triangle":
+            return [("pivot-linf", lb)]
+        tri = self._triangle_bounds(query_vector)
+        if self._bound == "ptolemaic":
+            return [("pivot-linf", tri), ("pivot-ptolemaic", lb)]
+        return [
+            ("pivot-linf", tri),
+            ("pivot-ptolemaic", self._ptolemaic_lb(query_vector)),
+            ("pivot-best", lb),
+        ]
+
+    def _triangle_bound_matrix(self, query_vectors: np.ndarray) -> np.ndarray:
         table = self._table
         lb = np.abs(table[:, 0, None] - query_vectors[None, :, 0])
         for j in range(1, table.shape[1]):
             np.maximum(lb, np.abs(table[:, j, None] - query_vectors[None, :, j]), out=lb)
         return lb
+
+    def _lower_bound_matrix(self, query_vectors: np.ndarray) -> np.ndarray:
+        """``m x s`` lower-bound matrix for *s* stacked query vectors.
+
+        Accumulating the maximum pivot by pivot (pair by pair in the
+        Ptolemaic modes) keeps the working memory at one ``m x s`` block
+        (never ``m x s x p``) and produces exactly the floats of the
+        per-query :meth:`_lower_bounds` — the entries are elementwise
+        maxima, with no rounding reductions involved.
+        """
+        if self._bound == "triangle":
+            return self._triangle_bound_matrix(query_vectors)
+        if self._bound == "ptolemaic":
+            return ptolemaic_bound_matrix(
+                self._table, query_vectors, self._pivot_pair, self._pairs
+            )
+        return ptolemaic_bound_matrix(
+            self._table,
+            query_vectors,
+            self._pivot_pair,
+            self._pairs,
+            out=self._triangle_bound_matrix(query_vectors),
+        )
 
     def _range_search(self, query: np.ndarray, radius: float) -> list[Neighbor]:
         qv = self._query_vector(query)
@@ -211,11 +381,12 @@ class PivotTable(AccessMethod):
         candidates = np.flatnonzero(lb <= radius)
         if events_enabled():
             tok = emit_node_enter(ROOT, "pivot-filter")
-            for pos, val in enumerate(lb):
-                emit_lb_check(
-                    tok, float(val), radius,
-                    pruned=val > radius, label="pivot-linf",
-                )
+            for label, bounds in self._bound_views(qv, lb):
+                for val in bounds:
+                    emit_lb_check(
+                        tok, float(val), radius,
+                        pruned=val > radius, label=label,
+                    )
         return self._refine_range(query, radius, candidates)
 
     def _refine_range(
@@ -242,23 +413,46 @@ class PivotTable(AccessMethod):
     def _knn_search(self, query: np.ndarray, k: int) -> list[Neighbor]:
         qv = self._query_vector(query)
         lb = self._lower_bounds(qv)
-        return self._refine_knn(query, k, lb)
+        aux: tuple[tuple[str, np.ndarray], ...] = ()
+        if events_enabled() and self._bound != "triangle":
+            # Comparison bounds for the side-by-side EXPLAIN section;
+            # pure table arithmetic, zero distance evaluations.
+            views = self._bound_views(qv, lb)
+            aux = tuple(views[:-1])
+        return self._refine_knn(query, k, lb, aux=aux)
 
-    def _refine_knn(self, query: np.ndarray, k: int, lb: np.ndarray) -> list[Neighbor]:
-        """Best-first refinement in ascending lower-bound order."""
+    def _refine_knn(
+        self,
+        query: np.ndarray,
+        k: int,
+        lb: np.ndarray,
+        aux: "tuple[tuple[str, np.ndarray], ...]" = (),
+    ) -> list[Neighbor]:
+        """Best-first refinement in ascending lower-bound order.
+
+        *aux* carries comparison bound arrays (label, values) emitted
+        alongside the operative bound at each step — the "would the other
+        bound have pruned here?" record behind the EXPLAIN side-by-side.
+        """
         order = np.argsort(lb, kind="stable")
         heap = _KnnHeap(k)
         tok = emit_node_enter(ROOT, "refine")
+        label = _BOUND_LABELS[self._bound]
         refined = 0
         for idx in order:
+            for aux_label, bounds in aux:
+                emit_lb_check(
+                    tok, float(bounds[idx]), heap.radius,
+                    pruned=bounds[idx] > heap.radius, label=aux_label,
+                )
             if lb[idx] > heap.radius:
                 emit_lb_check(
                     tok, float(lb[idx]), heap.radius,
-                    pruned=True, label="pivot-linf",
+                    pruned=True, label=label,
                 )
                 break
             emit_lb_check(
-                tok, float(lb[idx]), heap.radius, pruned=False, label="pivot-linf"
+                tok, float(lb[idx]), heap.radius, pruned=False, label=label
             )
             dist = self._port.pair(query, self._data[idx])
             emit_candidate_verify(tok, int(idx), float(dist))

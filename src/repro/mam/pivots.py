@@ -29,8 +29,48 @@ __all__ = ["select_pivots", "PIVOT_METHODS"]
 PIVOT_METHODS = ("random", "maxmin", "spread")
 
 
-def _random_pivots(m: int, p: int, rng: np.random.Generator) -> list[int]:
-    return list(rng.choice(m, size=p, replace=False))
+def _duplicates_row(data: np.ndarray, idx: int, chosen: list[int]) -> bool:
+    """Whether row *idx* is byte-equal to an already chosen pivot row.
+
+    Row equality implies zero distance under any metric, so checking the
+    raw vectors costs no distance evaluations — crucial for keeping the
+    ``random`` technique free of charges.
+    """
+    row = data[idx]
+    return any(np.array_equal(row, data[c]) for c in chosen)
+
+
+def _distinct_fallback(data: np.ndarray, pivots: list[int]) -> int:
+    """First unused index whose row duplicates no chosen pivot.
+
+    Databases with repeated vectors used to let two copies of the same
+    vector become two pivots — a silently wasted pivot for the triangle
+    bound, and a zero denominator ``d(p1, p2)`` for the Ptolemaic bound.
+    Prefer a content-distinct row; only when every unused row coincides
+    with a pivot does a duplicate get accepted, honoring the requested
+    pivot count (the Ptolemaic kernel drops zero-distance pairs anyway).
+    """
+    m = data.shape[0]
+    for i in range(m):
+        if i not in pivots and not _duplicates_row(data, i, pivots):
+            return i
+    for i in range(m):
+        if i not in pivots:
+            return i
+    raise QueryError("no unused pivot candidates remain")  # unreachable: p <= m
+
+
+def _random_pivots(data: np.ndarray, p: int, rng: np.random.Generator) -> list[int]:
+    draw = [int(i) for i in rng.choice(data.shape[0], size=p, replace=False)]
+    pivots: list[int] = []
+    for idx in draw:
+        if not _duplicates_row(data, idx, pivots):
+            pivots.append(idx)
+    # Duplicate vectors drawn twice: top up with distinct unused rows so
+    # the requested pivot count survives repeated-vector databases.
+    while len(pivots) < p:
+        pivots.append(_distinct_fallback(data, pivots))
+    return pivots
 
 
 def _maxmin_pivots(
@@ -41,11 +81,12 @@ def _maxmin_pivots(
     min_dist = port.many(data[pivots[0]], data)
     while len(pivots) < p:
         candidate = int(np.argmax(min_dist))
-        if candidate in pivots:
-            # All remaining objects coincide with chosen pivots; fall back
-            # to any unused index to keep the pivot count as requested.
-            unused = [i for i in range(m) if i not in pivots]
-            candidate = unused[0]
+        if candidate in pivots or min_dist[candidate] <= 0.0:
+            # Every remaining object is at distance zero from a chosen
+            # pivot (repeated vectors, or a degenerate semi-metric);
+            # argmax would happily promote a duplicate.  Fall back to a
+            # content-distinct unused row when one exists.
+            candidate = _distinct_fallback(data, pivots)
         pivots.append(candidate)
         min_dist = np.minimum(min_dist, port.many(data[candidate], data))
     return pivots
@@ -66,10 +107,10 @@ def _spread_pivots(
     # Lower bound contributed so far for each evaluation pair.
     best_lb = np.zeros(pairs, dtype=np.float64)
     for _ in range(p):
-        cand_pool = [c for c in rng.choice(m, size=min(candidates, m), replace=False)
-                     if c not in pivots]
+        cand_pool = [int(c) for c in rng.choice(m, size=min(candidates, m), replace=False)
+                     if c not in pivots and not _duplicates_row(data, int(c), pivots)]
         if not cand_pool:
-            cand_pool = [i for i in range(m) if i not in pivots][:1]
+            cand_pool = [_distinct_fallback(data, pivots)]
         best_candidate, best_gain = cand_pool[0], -1.0
         for cand in cand_pool:
             d_left = port.many(data[cand], data[pair_idx[:, 0]])
@@ -126,7 +167,7 @@ def select_pivots(
 
     subset = data[sample]
     if method == "random":
-        local = _random_pivots(subset.shape[0], p, rng)
+        local = _random_pivots(subset, p, rng)
     elif method == "maxmin":
         local = _maxmin_pivots(subset, p, port, rng)
     else:

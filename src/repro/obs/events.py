@@ -220,6 +220,11 @@ class EventBuffer:
         # exact global totals
         self.nodes_entered = 0
         self.lb_checks = 0
+        #: label -> [checks, pruned]; exact per-bound-kind aggregates,
+        #: updated unconditionally like the other totals.  This is what
+        #: lets EXPLAIN put triangle and Ptolemaic prune counts side by
+        #: side even when the event list is capped or sampled.
+        self.lb_labels: dict[str, list[int]] = {}
         self.pruned = 0
         self.candidates_verified = 0
         self.results_added = 0
@@ -273,6 +278,11 @@ class EventBuffer:
             stats = self.nodes[ROOT]
         stats.lb_checks += count
         self.lb_checks += count
+        if label:
+            agg = self.lb_labels.setdefault(label, [0, 0])
+            agg[0] += count
+            if pruned:
+                agg[1] += count
         self._stride += 1
         if self._stride % self.sample_every:
             self.sampled_out += 1

@@ -146,6 +146,10 @@ class ExplainPlan:
     counter_calls: int
     counter_rows: int
     transforms: int = 0
+    #: label -> (checks, pruned): exact per-bound-kind lower-bound
+    #: aggregates (e.g. ``pivot-linf`` vs ``pivot-ptolemaic``), enabling
+    #: the side-by-side prune-count comparison in :func:`render_text`.
+    lb_labels: "dict[str, tuple[int, int]]" = field(default_factory=dict)
     events: list[dict] = field(default_factory=list)
     events_dropped: int = 0
     events_sampled_out: int = 0
@@ -192,6 +196,10 @@ class ExplainPlan:
                 "counter_total": self.counter_total,
                 "totals_match": self.totals_match,
                 "transforms": self.transforms,
+            },
+            "lb_by_label": {
+                label: {"checks": checks, "pruned": pruned}
+                for label, (checks, pruned) in sorted(self.lb_labels.items())
             },
             "tree": self.root.to_dict(),
             "answer": [
@@ -271,6 +279,9 @@ def assemble_plan(
         counter_calls=counter_calls,
         counter_rows=counter_rows,
         transforms=transforms,
+        lb_labels={
+            label: (agg[0], agg[1]) for label, agg in buffer.lb_labels.items()
+        },
         events=[event.to_dict() for event in buffer.events],
         events_dropped=buffer.dropped,
         events_sampled_out=buffer.sampled_out,
@@ -329,6 +340,16 @@ def render_text(plan: ExplainPlan) -> str:
         f"pruned={plan.pruned}  verified={plan.candidates_verified}  "
         f"results={len(plan.answer) or plan.results_added}"
     )
+    if plan.lb_labels:
+        lines.append("lower bounds (checks -> pruned):")
+        width = max(len(label) for label in plan.lb_labels)
+        for label in sorted(plan.lb_labels):
+            checks, pruned = plan.lb_labels[label]
+            rate = pruned / checks if checks else 0.0
+            lines.append(
+                f"  {label:<{width}}  checks={checks}  pruned={pruned}"
+                f"  ({rate:.1%})"
+            )
     if plan.transforms:
         lines.append(f"query transforms: {plan.transforms}")
     if plan.events_dropped or plan.events_sampled_out:

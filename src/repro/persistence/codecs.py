@@ -106,13 +106,20 @@ def codec_for_class(cls: type) -> IndexCodec:
     )
 
 
+#: State-layout versions that differ from the default 1.  pivot-table v2
+#: added the ``bound`` mode marker and the optional ``pivot_pair`` matrix
+#: (Ptolemaic lower bounds); v1 archives still load — absent keys mean the
+#: classic triangle bound — but older libraries refuse v2 snapshots.
+_METHOD_VERSIONS = {"pivot-table": 2}
+
+
 def _register_defaults() -> None:
     from ..models.base import MAM_REGISTRY, SAM_REGISTRY
 
     for name, cls in MAM_REGISTRY.items():
-        register_codec(name, cls, is_sam=False)
+        register_codec(name, cls, is_sam=False, version=_METHOD_VERSIONS.get(name, 1))
     for name, cls in SAM_REGISTRY.items():
-        register_codec(name, cls, is_sam=True)
+        register_codec(name, cls, is_sam=True, version=_METHOD_VERSIONS.get(name, 1))
 
 
 _register_defaults()

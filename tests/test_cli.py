@@ -161,3 +161,48 @@ class TestQueryObservability:
             )
             assert code == 0
         assert "repro_distance_evaluations_total" in capsys.readouterr().out
+
+
+class TestBoundModeOption:
+    """--bound wiring: query / explain / index build / report."""
+
+    def test_query_bound_default_is_triangle(self) -> None:
+        args = build_parser().parse_args(["query"])
+        assert args.bound == "triangle"
+
+    def test_bound_choices_are_validated(self) -> None:
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["query", "--bound", "euclid"])
+        for command in (["query"], ["explain"], ["index", "build"]):
+            for bound in ("triangle", "ptolemaic", "best"):
+                args = build_parser().parse_args(command + ["--bound", bound])
+                assert args.bound == bound
+
+    def test_query_runs_with_ptolemaic_bound(self, capsys) -> None:
+        code = main(
+            ["query", "--size", "80", "--bins", "2", "--queries", "4",
+             "--k", "3", "--bound", "ptolemaic"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "'bound': 'ptolemaic'" in out
+
+    def test_explain_renders_side_by_side(self, capsys) -> None:
+        code = main(
+            ["explain", "--method", "pivot-table", "--size", "80", "--bins", "2",
+             "--radius", "0.5", "--bound", "best"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "lower bounds (checks -> pruned):" in out
+        assert "pivot-linf" in out and "pivot-ptolemaic" in out
+        assert "pivot-best" in out
+        assert "[OK]" in out and "[MISMATCH]" not in out
+
+    def test_bound_is_ignored_by_other_methods(self, capsys) -> None:
+        code = main(
+            ["query", "--size", "80", "--bins", "2", "--queries", "2",
+             "--k", "3", "--method", "sequential", "--bound", "ptolemaic"]
+        )
+        assert code == 0  # no unexpected-kwarg crash
+        assert "'bound'" not in capsys.readouterr().out

@@ -112,3 +112,25 @@ class TestLifecycle:
         code = main(["index", "load", str(tmp_path / "absent.npz")])
         assert code == 2
         assert "error:" in capsys.readouterr().err
+
+
+class TestBoundModeLifecycle:
+    def test_ptolemaic_snapshot_round_trips_with_zero_evals(
+        self, tmp_path, capsys
+    ) -> None:
+        path = str(tmp_path / "pto")
+        code = main(
+            [
+                "index", "save",
+                "--method", "pivot-table", "--size", "80",
+                "--queries", "4", "--seed", "3",
+                "--bound", "ptolemaic", "--out", path,
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "'bound': 'ptolemaic'" in out
+        code = main(["index", "query", path + ".npz", "--k", "3"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "restore  : 0 distance evaluations" in out

@@ -79,3 +79,83 @@ class TestCheckMetricPostulates:
     def test_worst_is_none_for_metric(self, rng: np.random.Generator) -> None:
         objs = list(rng.random((6, 2)))
         assert check_metric_postulates(euclidean, objs).worst() is None
+
+
+class TestPtolemyChecks:
+    """check_ptolemy_inequality / check_ptolemy_matrix — the build-time
+    guard behind PivotTable's non-triangle bound modes."""
+
+    SQUARE = [
+        np.array([0.0, 0.0]),
+        np.array([1.0, 0.0]),
+        np.array([0.0, 1.0]),
+        np.array([1.0, 1.0]),
+    ]
+
+    @staticmethod
+    def _l1(u: np.ndarray, v: np.ndarray) -> float:
+        return float(np.abs(u - v).sum())
+
+    def test_euclidean_is_ptolemaic(self, rng: np.random.Generator) -> None:
+        from repro.distances import check_ptolemy_inequality
+
+        objs = list(rng.random((12, 4)))
+        report = check_ptolemy_inequality(euclidean, objs)
+        assert report.is_metric
+        assert report.checked_quadruples == 12 * 11 * 10 * 9 // 24
+
+    def test_qfd_is_ptolemaic(self, qfd_64, histograms_64) -> None:
+        from repro.distances import check_ptolemy_inequality
+
+        report = check_ptolemy_inequality(qfd_64, list(histograms_64[:10]))
+        assert report.is_metric, report.worst()
+
+    def test_l1_unit_square_violates_ptolemy(self) -> None:
+        # d(a,e) d(b,c) = 4 > d(a,b) d(c,e) + d(a,c) d(b,e) = 2: the
+        # textbook witness that L1 satisfies the triangle inequality but
+        # not Ptolemy's.
+        from repro.distances import check_ptolemy_inequality
+
+        report = check_ptolemy_inequality(self._l1, self.SQUARE)
+        assert not report.is_metric
+        worst = report.worst()
+        assert worst.postulate == "ptolemy"
+        assert worst.magnitude == pytest.approx(2.0)
+        assert len(worst.indices) == 4
+
+    def test_matrix_form_agrees_with_callable_form(self) -> None:
+        from repro.distances import check_ptolemy_inequality, check_ptolemy_matrix
+
+        objs = self.SQUARE
+        d = np.array([[self._l1(u, v) for v in objs] for u in objs])
+        by_matrix = check_ptolemy_matrix(d)
+        by_callable = check_ptolemy_inequality(self._l1, objs)
+        assert by_matrix.is_metric == by_callable.is_metric == False  # noqa: E712
+        assert by_matrix.worst().magnitude == pytest.approx(
+            by_callable.worst().magnitude
+        )
+
+    def test_matrix_form_requires_square_input(self) -> None:
+        from repro.distances import check_ptolemy_matrix
+
+        with pytest.raises(QueryError):
+            check_ptolemy_matrix(np.zeros((3, 4)))
+
+    def test_small_matrix_trivially_passes_but_callable_requires_four(self) -> None:
+        # A pivot set of < 4 spans no quadruple: the matrix guard passes
+        # vacuously; the sampling API treats it as a caller error.
+        from repro.distances import check_ptolemy_inequality, check_ptolemy_matrix
+
+        report = check_ptolemy_matrix(np.zeros((3, 3)))
+        assert report.is_metric and report.checked_quadruples == 0
+        with pytest.raises(QueryError):
+            check_ptolemy_inequality(euclidean, self.SQUARE[:3])
+
+    def test_quadruple_sampling_cap(self, rng: np.random.Generator) -> None:
+        from repro.distances import check_ptolemy_inequality
+
+        objs = list(rng.random((30, 3)))
+        report = check_ptolemy_inequality(
+            euclidean, objs, max_quadruples=50, rng=rng
+        )
+        assert 0 < report.checked_quadruples <= 50

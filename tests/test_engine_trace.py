@@ -182,3 +182,49 @@ class TestTracePlumbing:
         summary = collector.summary()
         assert summary.p50_seconds == pytest.approx(0.042)
         assert summary.p95_seconds == pytest.approx(0.042)
+
+
+class TestNearestRankEdgeCases:
+    """Exact-value pins for the nearest-rank percentile helper.
+
+    Regression: ``ceil(q * n)`` used to be taken unclamped, so q=0 indexed
+    rank 0 and float noise in ``q * n`` could index past the end; these pin
+    the corrected rank = min(max(ceil(q n), 1), n) on the sizes that
+    exercised the bugs (n = 1, 2, 20).
+    """
+
+    def _rank(self, values: list[float], q: float) -> float:
+        from repro.engine.trace import _nearest_rank
+
+        return _nearest_rank(sorted(values), q)
+
+    def test_empty_is_zero(self) -> None:
+        assert self._rank([], 0.5) == 0.0
+        assert self._rank([], 0.95) == 0.0
+
+    def test_n1_every_quantile_is_the_sample(self) -> None:
+        for q in (0.0, 0.5, 0.95, 1.0):
+            assert self._rank([0.7], q) == 0.7
+
+    def test_n2_exact_values(self) -> None:
+        values = [1.0, 2.0]
+        # ceil(0.5 * 2) = 1 -> first; ceil(0.95 * 2) = ceil(1.9) = 2 -> second.
+        assert self._rank(values, 0.5) == 1.0
+        assert self._rank(values, 0.95) == 2.0
+        assert self._rank(values, 0.0) == 1.0  # clamped up to rank 1
+        assert self._rank(values, 1.0) == 2.0
+
+    def test_n20_exact_values(self) -> None:
+        values = [float(i + 1) for i in range(20)]
+        # ceil(0.5 * 20) = 10; ceil(0.95 * 20) = 19 -- not interpolated,
+        # not the max: the 19th of 20 sorted values.
+        assert self._rank(values, 0.5) == 10.0
+        assert self._rank(values, 0.95) == 19.0
+        assert self._rank(values, 1.0) == 20.0
+
+    def test_q_one_never_indexes_past_the_end(self) -> None:
+        # 1.0 * n can land a hair above n in floating point for some n;
+        # the clamp makes q=1.0 safe for every size.
+        for n in range(1, 50):
+            values = [float(i) for i in range(n)]
+            assert self._rank(values, 1.0) == float(n - 1)

@@ -9,6 +9,7 @@ the paper's central Lemma, here exercised through the batched forms.
 
 from __future__ import annotations
 
+import importlib
 import threading
 
 import numpy as np
@@ -250,6 +251,105 @@ class TestCholeskyCache:
         clear_cholesky_cache()
         matrix = _spd_matrix(np.random.default_rng(13), 6)
         assert QMap(matrix).matrix is QMap(matrix.copy()).matrix
+
+    def test_concurrent_misses_factor_each_key_exactly_once(self, monkeypatch) -> None:
+        """Regression: N threads racing on the same cold key used to run N
+        factorizations (all but one thrown away). The in-flight registry
+        must de-duplicate them — one factorization per distinct matrix."""
+        # repro.core re-exports the cholesky *function* under the same
+        # name, so reach the submodule through importlib.
+        chol_mod = importlib.import_module("repro.core.cholesky")
+        from repro.kernels import cholesky_cache
+
+        clear_cholesky_cache()
+        rng = np.random.default_rng(21)
+        matrices = [_spd_matrix(rng, 6) for _ in range(3)]
+        factored: list[bytes] = []
+        record_lock = threading.Lock()
+        real = chol_mod.cholesky
+
+        def counting(matrix, **kwargs):
+            with record_lock:
+                factored.append(np.ascontiguousarray(matrix).tobytes())
+            return real(matrix, **kwargs)
+
+        monkeypatch.setattr(chol_mod, "cholesky", counting)
+        n_threads = 8
+        barrier = threading.Barrier(n_threads)
+        results: list[list[np.ndarray]] = [[] for _ in range(n_threads)]
+        errors: list[BaseException] = []
+
+        def worker(slot: int) -> None:
+            try:
+                barrier.wait()  # release everyone onto the cold cache at once
+                for matrix in matrices:
+                    results[slot].append(cholesky_cache.cached_cholesky(matrix.copy()))
+            except BaseException as exc:  # pragma: no cover - failure path
+                errors.append(exc)
+
+        threads = [
+            threading.Thread(target=worker, args=(slot,)) for slot in range(n_threads)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert not errors
+        assert len(factored) == len(matrices)  # one factorization per key
+        assert len({blob for blob in factored}) == len(matrices)
+        info = cholesky_cache_info()
+        assert info["misses"] == len(matrices)
+        for pos in range(len(matrices)):
+            shared = results[0][pos]
+            assert all(results[slot][pos] is shared for slot in range(n_threads))
+
+    def test_waiters_recover_when_the_owner_fails(self, monkeypatch) -> None:
+        """If the owning thread's factorization raises, waiters must retake
+        the miss path (not hang, not cache a broken entry)."""
+        # repro.core re-exports the cholesky *function* under the same
+        # name, so reach the submodule through importlib.
+        chol_mod = importlib.import_module("repro.core.cholesky")
+        from repro.kernels import cholesky_cache
+
+        clear_cholesky_cache()
+        matrix = _spd_matrix(np.random.default_rng(22), 5)
+        attempts: list[int] = []
+        attempt_lock = threading.Lock()
+        real = chol_mod.cholesky
+
+        def flaky(m, **kwargs):
+            with attempt_lock:
+                attempts.append(1)
+                first = len(attempts) == 1
+            if first:
+                raise RuntimeError("synthetic factorization failure")
+            return real(m, **kwargs)
+
+        monkeypatch.setattr(chol_mod, "cholesky", flaky)
+        barrier = threading.Barrier(4)
+        outcomes: list[object] = []
+        out_lock = threading.Lock()
+
+        def worker() -> None:
+            barrier.wait()
+            try:
+                out = cholesky_cache.cached_cholesky(matrix)
+            except RuntimeError as exc:
+                out = exc
+            with out_lock:
+                outcomes.append(out)
+
+        threads = [threading.Thread(target=worker) for _ in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=30)
+        assert all(not t.is_alive() for t in threads)  # nobody hangs
+        failures = [o for o in outcomes if isinstance(o, RuntimeError)]
+        factors = [o for o in outcomes if isinstance(o, np.ndarray)]
+        assert len(failures) == 1 and len(factors) == 3
+        assert all(f is factors[0] for f in factors)
+        np.testing.assert_allclose(factors[0] @ factors[0].T, matrix, atol=1e-9)
 
 
 class TestCountingDistanceThreadSafety:

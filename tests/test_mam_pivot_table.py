@@ -85,6 +85,51 @@ class TestPivotSelection:
             select_pivots(data, 10, port, sample_size=5)
 
 
+class TestDuplicateVectorSelection:
+    """Regression: repeated database vectors must not yield duplicate
+    pivots — two copies of the same vector waste a pivot for the triangle
+    bound and zero the denominator of the Ptolemaic one."""
+
+    @pytest.fixture(scope="class")
+    def dup_data(self):
+        base = clustered_histograms(30, 4, themes=4, rng=np.random.default_rng(17))
+        return np.repeat(base, 4, axis=0)  # 120 rows, each vector x4
+
+    @pytest.mark.parametrize("method", PIVOT_METHODS)
+    def test_pivots_are_content_distinct(self, method, dup_data) -> None:
+        port = DistancePort(euclidean, one_to_many=euclidean_one_to_many)
+        for seed in range(5):
+            pivots = select_pivots(
+                dup_data, 8, port, method=method, rng=np.random.default_rng(seed)
+            )
+            assert len(pivots) == 8
+            rows = dup_data[pivots]
+            for i in range(8):
+                for j in range(i + 1, 8):
+                    assert not np.array_equal(rows[i], rows[j]), (
+                        f"{method}/seed {seed}: pivots {pivots[i]} and "
+                        f"{pivots[j]} hold the same vector"
+                    )
+
+    def test_random_selection_stays_free_on_duplicates(self, dup_data) -> None:
+        counter = CountingDistance(euclidean, one_to_many=euclidean_one_to_many)
+        port = DistancePort(counter)
+        select_pivots(dup_data, 8, port, method="random", rng=np.random.default_rng(0))
+        assert counter.count == 0  # the dedup works on raw rows, not distances
+
+    @pytest.mark.parametrize("method", PIVOT_METHODS)
+    def test_fewer_distinct_vectors_than_p_still_honors_p(self, method) -> None:
+        base = clustered_histograms(3, 2, themes=3, rng=np.random.default_rng(5))
+        data = np.repeat(base, 4, axis=0)  # 12 rows, only 3 distinct
+        port = DistancePort(euclidean, one_to_many=euclidean_one_to_many)
+        pivots = select_pivots(
+            data, 5, port, method=method, rng=np.random.default_rng(1)
+        )
+        # The requested count survives; the 3 distinct vectors all appear.
+        assert len(pivots) == 5 and len(set(pivots)) == 5
+        distinct = {tuple(data[i]) for i in pivots}
+        assert len(distinct) == 3
+
 class TestPivotTable:
     def test_table_shape_and_content(self, data) -> None:
         pt = PivotTable(data, euclidean, n_pivots=6)

@@ -220,3 +220,38 @@ class TestTraversalEventDict:
         payload = json.dumps([e.to_dict() for e in buf.events], allow_nan=False)
         assert "NaN" not in payload
         assert math.isnan(buf.events[-1].value)  # the raw event still has it
+
+
+class TestPerLabelLowerBoundAggregates:
+    """lb_labels: exact per-bound-kind (checks, pruned) counts, the data
+    behind EXPLAIN's triangle-vs-Ptolemaic side-by-side section."""
+
+    def test_labels_accumulate_checks_and_prunes(self) -> None:
+        buf = EventBuffer()
+        tok = buf.enter_node(label="pivot-filter")
+        buf.lb_check(tok, 1.0, 0.5, pruned=True, label="pivot-linf")
+        buf.lb_check(tok, 0.2, 0.5, pruned=False, label="pivot-linf")
+        buf.lb_check(tok, 1.4, 0.5, pruned=True, label="pivot-ptolemaic")
+        assert buf.lb_labels == {
+            "pivot-linf": [2, 1],
+            "pivot-ptolemaic": [1, 1],
+        }
+        assert buf.lb_checks == 3  # the global aggregate still sees all
+
+    def test_unlabeled_checks_do_not_create_entries(self) -> None:
+        buf = EventBuffer()
+        buf.lb_check(ROOT, 1.0, 0.5, pruned=True)
+        assert buf.lb_labels == {}
+        assert buf.lb_checks == 1
+
+    def test_labels_stay_exact_under_bounding_and_sampling(self) -> None:
+        buf = EventBuffer(max_events=2, sample_every=7)
+        for i in range(100):
+            buf.lb_check(ROOT, float(i), 50.0, pruned=i > 50, label="pivot-linf")
+        assert buf.lb_labels["pivot-linf"] == [100, 49]
+        assert len(buf.events) <= 2
+
+    def test_count_parameter_is_respected(self) -> None:
+        buf = EventBuffer()
+        buf.lb_check(ROOT, 1.0, 0.5, pruned=True, count=10, label="pivot-best")
+        assert buf.lb_labels["pivot-best"] == [10, 10]

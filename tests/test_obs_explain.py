@@ -233,3 +233,80 @@ class TestPlanRendering:
             explain_query(built, queries[0])
         with pytest.raises(QueryError, match="exactly one"):
             explain_query(built, queries[0], k=3, radius=0.5)
+
+
+class TestBoundModeSideBySide:
+    """The per-label lower-bound section: triangle vs Ptolemaic prune
+    counts rendered side by side, with charges exact in every mode."""
+
+    def _built(self, model_name: str, bound: str, seed: int = 83):
+        matrix, data, _ = _workload(seed)
+        model = (QMapModel if model_name == "qmap" else QFDModel)(matrix)
+        return model.build_index("pivot-table", data, n_pivots=4, bound=bound)
+
+    @pytest.mark.parametrize("model_name", ["qfd", "qmap"])
+    def test_range_plan_carries_both_labels(self, model_name) -> None:
+        matrix, data, queries = _workload(83)
+        built = self._built(model_name, "ptolemaic")
+        plan = explain_query(built, queries[0], radius=0.5)
+        assert plan.totals_match
+        assert set(plan.lb_labels) == {"pivot-linf", "pivot-ptolemaic"}
+        # The filter scans every object once per bound kind.
+        for checks, _pruned in plan.lb_labels.values():
+            assert checks == len(data)
+        # Ptolemaic must prune at least as much as it reports checking.
+        for checks, pruned in plan.lb_labels.values():
+            assert 0 <= pruned <= checks
+
+    def test_best_mode_reports_three_labels(self) -> None:
+        matrix, data, queries = _workload(83)
+        built = self._built("qfd", "best")
+        plan = explain_query(built, queries[0], radius=0.5)
+        assert plan.totals_match
+        assert set(plan.lb_labels) == {
+            "pivot-linf",
+            "pivot-ptolemaic",
+            "pivot-best",
+        }
+        tri = plan.lb_labels["pivot-linf"][1]
+        pto = plan.lb_labels["pivot-ptolemaic"][1]
+        best = plan.lb_labels["pivot-best"][1]
+        assert best >= max(tri, pto)  # best dominates both pointwise
+
+    def test_triangle_mode_reports_only_the_classic_label(self) -> None:
+        matrix, data, queries = _workload(83)
+        built = self._built("qfd", "triangle")
+        plan = explain_query(built, queries[0], radius=0.5)
+        assert plan.totals_match
+        assert set(plan.lb_labels) == {"pivot-linf"}
+
+    def test_knn_plan_labels_and_exact_totals(self) -> None:
+        matrix, data, queries = _workload(89)
+        for bound in ("triangle", "ptolemaic", "best"):
+            built = self._built("qfd", bound, seed=89)
+            plan = explain_query(built, queries[0], k=5)
+            assert plan.totals_match, bound
+            operative = {
+                "triangle": "pivot-linf",
+                "ptolemaic": "pivot-ptolemaic",
+                "best": "pivot-best",
+            }[bound]
+            assert operative in plan.lb_labels
+
+    def test_render_has_a_side_by_side_section(self) -> None:
+        matrix, data, queries = _workload(83)
+        built = self._built("qfd", "ptolemaic")
+        plan = explain_query(built, queries[0], radius=0.5)
+        text = plan.render()
+        assert "lower bounds (checks -> pruned):" in text
+        assert "pivot-linf" in text and "pivot-ptolemaic" in text
+        assert "%" in text  # prune rates rendered
+
+    def test_json_payload_carries_lb_by_label(self) -> None:
+        matrix, data, queries = _workload(83)
+        built = self._built("qfd", "ptolemaic")
+        plan = explain_query(built, queries[0], radius=0.5)
+        payload = json.loads(plan.to_json())
+        assert set(payload["lb_by_label"]) == {"pivot-linf", "pivot-ptolemaic"}
+        for entry in payload["lb_by_label"].values():
+            assert set(entry) == {"checks", "pruned"}
