@@ -35,6 +35,7 @@ __all__ = [
     "get_workload",
     "report_sweep",
     "print_header",
+    "reset_store_cache",
     "write_report",
 ]
 
@@ -59,6 +60,21 @@ def get_workload(max_db: int = MAX_DB, n_queries: int = N_QUERIES) -> Workload:
     return histogram_workload(
         max_db, n_queries, bins_per_channel=BINS_PER_CHANNEL, seed=2011
     )
+
+
+def reset_store_cache(index) -> None:
+    """Start a measured phase from a cold page cache with zeroed counters.
+
+    Benches reuse one built index across repetitions (the
+    ``functools.lru_cache`` pattern above), so without this the LRU
+    cache enters each phase holding whatever the previous phase left —
+    and, worse, ``clear()`` alone would keep the historical hit/fault
+    counters.  ``clear(reset_stats=True)`` drops both, making each
+    sweep's cache statistics self-contained.
+    """
+    cache = getattr(getattr(index, "store", None), "cache", None)
+    if cache is not None:
+        cache.clear(reset_stats=True)
 
 
 def print_header(experiment: str, description: str) -> None:

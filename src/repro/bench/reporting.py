@@ -9,7 +9,13 @@ from __future__ import annotations
 
 from typing import Any, Iterable, Sequence
 
-__all__ = ["format_table", "format_series", "speedup", "metrics_block"]
+__all__ = [
+    "format_table",
+    "format_series",
+    "speedup",
+    "memory_block",
+    "metrics_block",
+]
 
 
 def _fmt(value: object) -> str:
@@ -62,17 +68,38 @@ def speedup(baseline: float, improved: float) -> float:
     return baseline / improved
 
 
+def memory_block() -> dict[str, Any]:
+    """Process peak-memory snapshot embedded in every bench report.
+
+    ``peak_rss_bytes`` is the high-water mark of the process resident
+    set (``getrusage``; a running ``tracemalloc`` session where the
+    :mod:`resource` module is unavailable — ``source`` says which), so
+    the scale benches can assert the out-of-core path stayed out of
+    core.  Always present, even with observability off.
+    """
+    from ..obs import peak_rss_bytes, peak_rss_source
+
+    return {
+        "peak_rss_bytes": peak_rss_bytes(),
+        "source": peak_rss_source(),
+    }
+
+
 def metrics_block(registry: Any = None) -> dict[str, Any]:
     """The ``metrics`` block the ``BENCH_*.json`` reports embed.
 
     A JSON-able snapshot of *registry* (default: the active one) in the
-    :func:`repro.obs.snapshot_dict` shape.  With the null registry active
-    the block is present but empty, so report consumers can rely on the
-    key.
+    :func:`repro.obs.snapshot_dict` shape, plus a ``memory`` key (see
+    :func:`memory_block`).  With the null registry active the metric list
+    is empty but the keys are present, so report consumers can rely on
+    them.
     """
     from ..obs import get_registry, snapshot_dict
 
     reg = registry if registry is not None else get_registry()
     if not getattr(reg, "enabled", False):
-        return {"metrics": [], "spans": []}
-    return snapshot_dict(reg)
+        block: dict[str, Any] = {"metrics": [], "spans": []}
+    else:
+        block = snapshot_dict(reg)
+    block["memory"] = memory_block()
+    return block

@@ -284,6 +284,27 @@ def build_parser() -> argparse.ArgumentParser:
             default="triangle",
             help="pivot-table lower-bound mode (ignored by other methods)",
         )
+        p.add_argument(
+            "--store",
+            choices=["heap", "mmap"],
+            default="heap",
+            help="vector storage: heap float64 arrays (default) or an "
+            "out-of-core float32 memmap evaluated by the blocked kernels",
+        )
+        p.add_argument(
+            "--store-path",
+            default=None,
+            metavar="PATH",
+            help="backing file for --store mmap (default: a temporary file)",
+        )
+        p.add_argument(
+            "--block-rows",
+            type=int,
+            default=None,
+            help="tile height of the blocked kernels (selects the "
+            "out-of-core evaluation path; defaults to 8192 under "
+            "--store mmap)",
+        )
         p.add_argument("--seed", type=int, default=0)
 
     ibuild = index_sub.add_parser(
@@ -308,6 +329,19 @@ def build_parser() -> argparse.ArgumentParser:
         "--no-verify",
         action="store_true",
         help="skip the integrity probe on load",
+    )
+    iload.add_argument(
+        "--store",
+        choices=["heap", "mmap"],
+        default="heap",
+        help="restore the archived rows onto the heap (default) or into "
+        "an out-of-core float32 memmap (still zero distance evaluations)",
+    )
+    iload.add_argument(
+        "--block-rows",
+        type=int,
+        default=None,
+        help="blocked-kernel tile height for --store mmap restores",
     )
 
     iquery = index_sub.add_parser(
@@ -729,10 +763,18 @@ def _cmd_index_build(args: "argparse.Namespace") -> int:
     kwargs = _with_bound(
         args.method, _INDEX_KWARGS.get(args.method, {}), getattr(args, "bound", None)
     )
-    index = model.build_index(args.method, workload.database, **kwargs)
+    index = model.build_index(
+        args.method,
+        workload.database,
+        store=args.store,
+        store_path=args.store_path,
+        block_rows=args.block_rows,
+        **kwargs,
+    )
     costs = index.build_costs
     print(f"workload : {workload.name}, m={args.size}, q={args.queries}")
-    print(f"method   : {args.method} {kwargs or ''} [{args.model} model]")
+    store_tag = "" if args.store == "heap" else f" store={args.store}"
+    print(f"method   : {args.method} {kwargs or ''} [{args.model} model]{store_tag}")
     print(
         f"build    : {costs.distance_computations} distance evaluations, "
         f"{costs.transforms} transforms, {costs.seconds:.3f}s"
@@ -749,16 +791,23 @@ def _cmd_index_build(args: "argparse.Namespace") -> int:
     return 0
 
 
-def _cmd_index_load(path: str, verify: bool) -> int:
+def _cmd_index_load(
+    path: str,
+    verify: bool,
+    *,
+    store: str = "heap",
+    block_rows: "int | None" = None,
+) -> int:
     from .models import load_built_index
 
-    index = load_built_index(path, verify=verify)
+    index = load_built_index(path, verify=verify, store=store, block_rows=block_rows)
     am = index.access_method
     costs = index.build_costs
+    store_tag = "" if store == "heap" else f" store={store}"
     print(f"snapshot : {path}")
     print(
         f"method   : {index.method_name} [{index.model_name} model], "
-        f"m={am.size}, dim={am.dim}"
+        f"m={am.size}, dim={am.dim}{store_tag}"
     )
     print(
         f"restore  : {costs.distance_computations} distance evaluations, "
@@ -1091,7 +1140,12 @@ def _cmd_index(args: "argparse.Namespace") -> int:
     if args.index_command in ("build", "save"):
         return _cmd_index_build(args)
     if args.index_command == "load":
-        return _cmd_index_load(args.path, not args.no_verify)
+        return _cmd_index_load(
+            args.path,
+            not args.no_verify,
+            store=args.store,
+            block_rows=args.block_rows,
+        )
     if args.index_command == "query":
         return _cmd_index_query(args)
     raise AssertionError(  # pragma: no cover

@@ -4,7 +4,12 @@ See DESIGN.md Section 5 for the substitution rationale: synthetic clustered
 RGB histograms stand in for the paper's 1M Flickr images.
 """
 
-from .synthetic import SyntheticImageCorpus, clustered_histograms, gaussian_vectors
+from .synthetic import (
+    SyntheticImageCorpus,
+    clustered_histograms,
+    gaussian_vectors,
+    stream_clustered_histograms,
+)
 from .workloads import (
     Workload,
     calibrate_radius,
@@ -17,6 +22,7 @@ __all__ = [
     "SyntheticImageCorpus",
     "clustered_histograms",
     "gaussian_vectors",
+    "stream_clustered_histograms",
     "Workload",
     "histogram_workload",
     "vector_workload",

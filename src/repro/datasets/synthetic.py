@@ -27,8 +27,14 @@ import numpy as np
 from ..color.histograms import rgb_histogram
 from ..color.prototypes import rgb_bin_prototypes
 from ..exceptions import QueryError
+from ..storage.mmap_store import MmapVectorStore
 
-__all__ = ["SyntheticImageCorpus", "clustered_histograms", "gaussian_vectors"]
+__all__ = [
+    "SyntheticImageCorpus",
+    "clustered_histograms",
+    "stream_clustered_histograms",
+    "gaussian_vectors",
+]
 
 
 def _random_palette(rng: np.random.Generator, blobs: int) -> tuple[np.ndarray, np.ndarray]:
@@ -103,6 +109,30 @@ class SyntheticImageCorpus:
         )
 
 
+def _theme_base_shapes(
+    rng: np.random.Generator,
+    prototypes: np.ndarray,
+    themes: int,
+    smoothing: float,
+) -> list[np.ndarray]:
+    """Per-theme normalized bin-mass shapes (shared by both generators)."""
+    n_bins = prototypes.shape[0]
+    base_shapes = []
+    for _ in range(themes):
+        anchors = rng.uniform(0.0, 1.0, size=(3, 3))
+        anchor_weights = rng.dirichlet(np.ones(3) * 2.0)
+        diff = prototypes[:, None, :] - anchors[None, :, :]
+        dist = np.sqrt(np.sum(diff * diff, axis=2))
+        bumps = np.exp(-(dist / smoothing) ** 2) @ anchor_weights
+        total = bumps.sum()
+        if total <= 0.0:  # pragma: no cover - smoothing > 0 prevents this
+            bumps = np.full(n_bins, 1.0 / n_bins)
+        else:
+            bumps = bumps / total
+        base_shapes.append(bumps)
+    return base_shapes
+
+
 def clustered_histograms(
     count: int,
     bins_per_channel: int,
@@ -131,20 +161,7 @@ def clustered_histograms(
     rng = np.random.default_rng(0) if rng is None else rng
     prototypes = rgb_bin_prototypes(bins_per_channel)
     n_bins = prototypes.shape[0]
-
-    base_shapes = []
-    for _ in range(themes):
-        anchors = rng.uniform(0.0, 1.0, size=(3, 3))
-        anchor_weights = rng.dirichlet(np.ones(3) * 2.0)
-        diff = prototypes[:, None, :] - anchors[None, :, :]
-        dist = np.sqrt(np.sum(diff * diff, axis=2))
-        bumps = np.exp(-(dist / smoothing) ** 2) @ anchor_weights
-        total = bumps.sum()
-        if total <= 0.0:  # pragma: no cover - smoothing > 0 prevents this
-            bumps = np.full(n_bins, 1.0 / n_bins)
-        else:
-            bumps = bumps / total
-        base_shapes.append(bumps)
+    base_shapes = _theme_base_shapes(rng, prototypes, themes, smoothing)
 
     out = np.empty((count, n_bins), dtype=np.float64)
     theme_of = rng.integers(0, themes, size=count)
@@ -154,6 +171,76 @@ def clustered_histograms(
         alpha = shape * concentration * n_bins + 1e-3
         out[i] = rng.dirichlet(alpha)
     return out
+
+
+def stream_clustered_histograms(
+    count: int,
+    bins_per_channel: int,
+    *,
+    themes: int = 10,
+    concentration: float = 6.0,
+    smoothing: float = 0.12,
+    rng: np.random.Generator | None = None,
+    store: MmapVectorStore | None = None,
+    dtype: str = "float32",
+    path: "str | None" = None,
+    block_rows: int = 65536,
+) -> MmapVectorStore:
+    """Stream Flickr-scale clustered histograms straight into a memmap store.
+
+    The out-of-core twin of :func:`clustered_histograms`: the same theme
+    model (anchor colors, distance-decayed bin mass, Dirichlet jitter per
+    image), but sampled block-by-block with vectorized gamma draws
+    (``Dirichlet(a) = Gamma(a) / sum``) and written directly to a
+    :class:`~repro.storage.MmapVectorStore` — the heap never holds more
+    than one ``(block_rows, n_bins)`` slab, so the paper's 1M x 512-d
+    testbed generates in bounded memory.
+
+    Appends to *store* when given (its dimensionality must match),
+    otherwise creates one (``dtype``/``path`` forwarded, pre-sized to
+    *count*).  Returns the store.  Deterministic for a given *rng*
+    seed; the sampling stream differs from :func:`clustered_histograms`,
+    so the two generators produce statistically equivalent but not
+    row-identical corpora.
+    """
+    if count < 1:
+        raise QueryError(f"count must be >= 1, got {count}")
+    if themes < 1:
+        raise QueryError(f"themes must be >= 1, got {themes}")
+    if smoothing <= 0.0 or concentration <= 0.0:
+        raise QueryError("smoothing and concentration must be positive")
+    if block_rows < 1:
+        raise QueryError(f"block_rows must be >= 1, got {block_rows}")
+    rng = np.random.default_rng(0) if rng is None else rng
+    prototypes = rgb_bin_prototypes(bins_per_channel)
+    n_bins = prototypes.shape[0]
+    base_shapes = _theme_base_shapes(rng, prototypes, themes, smoothing)
+    # alpha ~ concentration, matching clustered_histograms' jitter model.
+    alphas = np.stack(base_shapes) * concentration * n_bins + 1e-3
+    if store is None:
+        store = MmapVectorStore(n_bins, dtype=dtype, path=path, capacity=count)
+    elif store.dim != n_bins:
+        raise QueryError(
+            f"store dimensionality {store.dim} does not match "
+            f"bins_per_channel^3 = {n_bins}"
+        )
+    store.ensure_capacity(len(store) + count)
+    # Dirty mapped pages count toward RSS until flushed; release them
+    # every ~256 MiB so generating 1M x 512-d never looks like holding it.
+    drop_every = max(
+        1, (256 << 20) // max(1, block_rows * n_bins * store.dtype.itemsize)
+    )
+    for i, start in enumerate(range(0, count, block_rows)):
+        k = min(block_rows, count - start)
+        theme_of = rng.integers(0, themes, size=k)
+        block = rng.standard_gamma(alphas[theme_of])
+        sums = block.sum(axis=1, keepdims=True)
+        sums[sums == 0.0] = 1.0  # pragma: no cover - alpha > 0 prevents this
+        block /= sums
+        store.append_block(block)
+        if (i + 1) % drop_every == 0:
+            store.drop_pages()
+    return store
 
 
 def gaussian_vectors(

@@ -8,6 +8,18 @@ in :mod:`~repro.kernels.cholesky_cache`.  Nothing here counts distance
 evaluations — logical charging stays in :class:`repro.mam.base.DistancePort`.
 """
 
+from .blocked import (
+    DEFAULT_BLOCK_ROWS,
+    blocked_l2_cross,
+    blocked_l2_one_to_many,
+    blocked_l2_pairwise,
+    blocked_l2_row_norms,
+    blocked_qfd_cross,
+    blocked_qfd_one_to_many,
+    blocked_qfd_pairwise,
+    blocked_qfd_row_norms,
+    iter_blocks,
+)
 from .cholesky_cache import cached_cholesky, cholesky_cache_info, clear_cholesky_cache
 from .gram import (
     RECHECK_REL,
@@ -31,7 +43,17 @@ from .ptolemaic import (
 )
 
 __all__ = [
+    "DEFAULT_BLOCK_ROWS",
     "RECHECK_REL",
+    "blocked_l2_cross",
+    "blocked_l2_one_to_many",
+    "blocked_l2_pairwise",
+    "blocked_l2_row_norms",
+    "blocked_qfd_cross",
+    "blocked_qfd_one_to_many",
+    "blocked_qfd_pairwise",
+    "blocked_qfd_row_norms",
+    "iter_blocks",
     "cached_cholesky",
     "cholesky_cache_info",
     "clear_cholesky_cache",

@@ -48,19 +48,32 @@ __all__ = [
 RECHECK_REL = 1e-12
 
 
+def _as64(rows: np.ndarray) -> np.ndarray:
+    """Coerce to float64 so every accumulation runs in double precision.
+
+    A no-op (no copy) for float64 inputs; float32 rows from a
+    half-precision store would otherwise hit same-dtype fast paths
+    (``rows @ rows.T``, ``einsum("ij,ij->i", rows, rows)``) that
+    accumulate in float32 and drift past the kernel-vs-scalar tolerance.
+    """
+    return np.asarray(rows, dtype=np.float64)
+
+
 def qfd_row_norms(matrix: np.ndarray, rows: np.ndarray) -> np.ndarray:
     """Per-row quadratic forms ``vAv^T`` (the cacheable half of the Gram sum)."""
+    rows = _as64(rows)
     return np.einsum("ij,ij->i", rows @ matrix, rows)
 
 
 def l2_row_norms(rows: np.ndarray) -> np.ndarray:
     """Per-row squared L2 norms ``vv^T``."""
+    rows = _as64(rows)
     return np.einsum("ij,ij->i", rows, rows)
 
 
 def _qfd_squared_diff(matrix: np.ndarray, q: np.ndarray, rows: np.ndarray) -> np.ndarray:
     """Exact difference-based squared QFD (the recheck path)."""
-    diff = rows - q
+    diff = _as64(rows) - _as64(q)
     return np.einsum("ij,ij->i", diff @ matrix, diff)
 
 
@@ -79,6 +92,8 @@ def qfd_squared_one_to_many(
     each row costs one O(n) dot product — this is the amortized hot path of
     :class:`~repro.kernels.kernels.QFDQueryContext`.
     """
+    q = _as64(q)
+    rows = _as64(rows)
     if q_a is None:
         q_a = q @ matrix
     if q_norm is None:
@@ -116,7 +131,7 @@ def l2_one_to_many(q: np.ndarray, rows: np.ndarray) -> np.ndarray:
     the Gram form, exact near zero; the QMap-space query path uses it so
     mapped-space results stay bit-identical to a plain Euclidean scan.
     """
-    diff = rows - q
+    diff = _as64(rows) - _as64(q)
     return np.sqrt(np.einsum("ij,ij->i", diff, diff))
 
 
@@ -133,6 +148,7 @@ def qfd_squared_pairwise(
     bit-symmetric — partition decisions that read row *i* against row *j*
     see the same number in both orders.
     """
+    rows = _as64(rows)
     g = rows @ matrix
     if row_norms is None:
         row_norms = np.einsum("ij,ij->i", g, rows)
@@ -162,6 +178,7 @@ def qfd_pairwise(
 
 def l2_pairwise(rows: np.ndarray, *, row_norms: np.ndarray | None = None) -> np.ndarray:
     """Pairwise L2 distance matrix via the Gram expansion (+ recheck)."""
+    rows = _as64(rows)
     if row_norms is None:
         row_norms = l2_row_norms(rows)
     cross = rows @ rows.T
@@ -187,6 +204,8 @@ def qfd_cross(
     norms_b: np.ndarray | None = None,
 ) -> np.ndarray:
     """``(a, b)`` QFD distance matrix between two row batches."""
+    rows_a = _as64(rows_a)
+    rows_b = _as64(rows_b)
     g = rows_a @ matrix
     if norms_a is None:
         norms_a = np.einsum("ij,ij->i", g, rows_a)
@@ -209,6 +228,8 @@ def l2_cross(
     norms_b: np.ndarray | None = None,
 ) -> np.ndarray:
     """``(a, b)`` L2 distance matrix between two row batches."""
+    rows_a = _as64(rows_a)
+    rows_b = _as64(rows_b)
     if norms_a is None:
         norms_a = l2_row_norms(rows_a)
     if norms_b is None:

@@ -14,6 +14,13 @@ behind a small object interface the access-method layer can hold on to:
 :func:`resolve_kernel` maps a scalar distance function to its kernel, or
 ``None`` when no batched form is known (the caller then falls back to the
 function's own vectorized form or a plain loop).
+
+Kernels are constructed with an optional ``block_rows``: when set, every
+batch method streams its candidate rows through the tiled,
+block-size-invariant primitives of :mod:`repro.kernels.blocked` instead
+of the unblocked BLAS forms — the out-of-core configuration used with
+memory-mapped float32 stores.  ``block_rows=None`` (the default) keeps
+the original unblocked arithmetic byte-identical.
 """
 
 from __future__ import annotations
@@ -22,7 +29,7 @@ from typing import Callable
 
 import numpy as np
 
-from . import gram
+from . import blocked, gram
 
 __all__ = [
     "QFDKernel",
@@ -45,14 +52,24 @@ class QFDQueryContext:
 
     def __init__(self, kernel: "QFDKernel", query: np.ndarray) -> None:
         self._kernel = kernel
-        self.query = query
+        self.query = np.asarray(query, dtype=np.float64)
         # gemv, not part of a chunk-wide gemm: per-query BLAS paths must be
         # identical no matter how many queries share the bind site.
-        self.q_a = query @ kernel.matrix
-        self.q_norm = float(self.q_a @ query)
+        self.q_a = self.query @ kernel.matrix
+        self.q_norm = float(self.q_a @ self.query)
 
     def many(self, rows: np.ndarray, norms: np.ndarray | None = None) -> np.ndarray:
         """Distances from the bound query to every row."""
+        if self._kernel.block_rows is not None:
+            return blocked.blocked_qfd_one_to_many(
+                self._kernel.matrix,
+                self.query,
+                rows,
+                row_norms=norms,
+                q_a=self.q_a,
+                q_norm=self.q_norm,
+                block_rows=self._kernel.block_rows,
+            )
         return gram.qfd_one_to_many(
             self._kernel.matrix,
             self.query,
@@ -64,6 +81,7 @@ class QFDQueryContext:
 
     def one(self, row: np.ndarray, norm: float | None = None) -> float:
         """Distance from the bound query to a single row."""
+        row = np.asarray(row, dtype=np.float64)
         if norm is None:
             g = row @ self._kernel.matrix
             norm = float(g @ row)
@@ -75,14 +93,23 @@ class QFDQueryContext:
 
 
 class QFDKernel:
-    """Batched Gram-expansion evaluator for a static QFD matrix."""
+    """Batched Gram-expansion evaluator for a static QFD matrix.
 
-    __slots__ = ("matrix",)
+    ``block_rows`` selects the tiled out-of-core arithmetic (see module
+    docstring); ``None`` keeps the unblocked path.
+    """
 
-    def __init__(self, matrix: np.ndarray) -> None:
+    __slots__ = ("matrix", "block_rows")
+
+    def __init__(self, matrix: np.ndarray, *, block_rows: int | None = None) -> None:
         self.matrix = np.asarray(matrix, dtype=np.float64)
+        self.block_rows = block_rows
 
     def row_norms(self, rows: np.ndarray) -> np.ndarray:
+        if self.block_rows is not None:
+            return blocked.blocked_qfd_row_norms(
+                self.matrix, rows, block_rows=self.block_rows
+            )
         return gram.qfd_row_norms(self.matrix, rows)
 
     def bind(self, query: np.ndarray) -> QFDQueryContext:
@@ -91,11 +118,19 @@ class QFDKernel:
     def one_to_many(
         self, q: np.ndarray, rows: np.ndarray, *, row_norms: np.ndarray | None = None
     ) -> np.ndarray:
+        if self.block_rows is not None:
+            return blocked.blocked_qfd_one_to_many(
+                self.matrix, q, rows, row_norms=row_norms, block_rows=self.block_rows
+            )
         return gram.qfd_one_to_many(self.matrix, q, rows, row_norms=row_norms)
 
     def pairwise(
         self, rows: np.ndarray, *, row_norms: np.ndarray | None = None
     ) -> np.ndarray:
+        if self.block_rows is not None:
+            return blocked.blocked_qfd_pairwise(
+                self.matrix, rows, row_norms=row_norms, block_rows=self.block_rows
+            )
         return gram.qfd_pairwise(self.matrix, rows, row_norms=row_norms)
 
     def cross(
@@ -106,6 +141,15 @@ class QFDKernel:
         norms_a: np.ndarray | None = None,
         norms_b: np.ndarray | None = None,
     ) -> np.ndarray:
+        if self.block_rows is not None:
+            return blocked.blocked_qfd_cross(
+                self.matrix,
+                rows_a,
+                rows_b,
+                norms_a=norms_a,
+                norms_b=norms_b,
+                block_rows=self.block_rows,
+            )
         return gram.qfd_cross(
             self.matrix, rows_a, rows_b, norms_a=norms_a, norms_b=norms_b
         )
@@ -118,39 +162,57 @@ class L2QueryContext:
     :func:`repro.distances.minkowski.euclidean_one_to_many`, which keeps the
     QMap model's mapped-space results exactly equal to a plain scan; the
     Gram form for L2 is exposed only through the kernel's batch methods.
+    The blocked variant tiles the same per-row difference arithmetic, so
+    its floats do not move either.
     """
 
-    __slots__ = ("query",)
+    __slots__ = ("query", "block_rows")
 
-    def __init__(self, query: np.ndarray) -> None:
-        self.query = query
+    def __init__(self, query: np.ndarray, *, block_rows: int | None = None) -> None:
+        self.query = np.asarray(query, dtype=np.float64)
+        self.block_rows = block_rows
 
     def many(self, rows: np.ndarray, norms: np.ndarray | None = None) -> np.ndarray:
+        if self.block_rows is not None:
+            return blocked.blocked_l2_one_to_many(
+                self.query, rows, block_rows=self.block_rows
+            )
         return gram.l2_one_to_many(self.query, rows)
 
     def one(self, row: np.ndarray, norm: float | None = None) -> float:
-        return float(np.linalg.norm(row - self.query))
+        return float(np.linalg.norm(np.asarray(row, dtype=np.float64) - self.query))
 
 
 class L2Kernel:
     """Batched evaluator for the Euclidean distance."""
 
-    __slots__ = ()
+    __slots__ = ("block_rows",)
+
+    def __init__(self, *, block_rows: int | None = None) -> None:
+        self.block_rows = block_rows
 
     def row_norms(self, rows: np.ndarray) -> np.ndarray:
+        if self.block_rows is not None:
+            return blocked.blocked_l2_row_norms(rows, block_rows=self.block_rows)
         return gram.l2_row_norms(rows)
 
     def bind(self, query: np.ndarray) -> L2QueryContext:
-        return L2QueryContext(query)
+        return L2QueryContext(query, block_rows=self.block_rows)
 
     def one_to_many(
         self, q: np.ndarray, rows: np.ndarray, *, row_norms: np.ndarray | None = None
     ) -> np.ndarray:
+        if self.block_rows is not None:
+            return blocked.blocked_l2_one_to_many(q, rows, block_rows=self.block_rows)
         return gram.l2_one_to_many(q, rows)
 
     def pairwise(
         self, rows: np.ndarray, *, row_norms: np.ndarray | None = None
     ) -> np.ndarray:
+        if self.block_rows is not None:
+            return blocked.blocked_l2_pairwise(
+                rows, row_norms=row_norms, block_rows=self.block_rows
+            )
         return gram.l2_pairwise(rows, row_norms=row_norms)
 
     def cross(
@@ -161,15 +223,27 @@ class L2Kernel:
         norms_a: np.ndarray | None = None,
         norms_b: np.ndarray | None = None,
     ) -> np.ndarray:
+        if self.block_rows is not None:
+            return blocked.blocked_l2_cross(
+                rows_a,
+                rows_b,
+                norms_a=norms_a,
+                norms_b=norms_b,
+                block_rows=self.block_rows,
+            )
         return gram.l2_cross(rows_a, rows_b, norms_a=norms_a, norms_b=norms_b)
 
 
-def resolve_kernel(func: Callable) -> QFDKernel | L2Kernel | None:
+def resolve_kernel(
+    func: Callable, *, block_rows: int | None = None
+) -> QFDKernel | L2Kernel | None:
     """Best batched kernel for a scalar distance function, or ``None``.
 
     Unwraps :class:`~repro.distances.base.CountingDistance` to inspect the
     underlying metric; recognizes the static QFD and the plain Euclidean
     distance.  Imports lazily — this module sits below the distance layer.
+    *block_rows* configures the returned kernel for tiled out-of-core
+    evaluation (see :mod:`repro.kernels.blocked`).
     """
     from ..distances.base import CountingDistance
 
@@ -178,9 +252,9 @@ def resolve_kernel(func: Callable) -> QFDKernel | L2Kernel | None:
     from ..core.qfd import QuadraticFormDistance
 
     if isinstance(func, QuadraticFormDistance):
-        return QFDKernel(func.matrix)
+        return QFDKernel(func.matrix, block_rows=block_rows)
     from ..distances.minkowski import euclidean
 
     if func is euclidean:
-        return L2Kernel()
+        return L2Kernel(block_rows=block_rows)
     return None

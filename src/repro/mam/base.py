@@ -147,6 +147,12 @@ class DistancePort:
         when supplied, else a Python loop.
     one_to_many:
         Optional vectorized ``d1m(q, rows) -> ndarray`` fallback.
+    block_rows:
+        When set, the resolved kernel evaluates batches through the
+        tiled block-size-invariant primitives of
+        :mod:`repro.kernels.blocked` — the out-of-core configuration for
+        memory-mapped float32 databases.  ``None`` (default) keeps every
+        existing code path byte-identical.
 
     Notes
     -----
@@ -161,6 +167,7 @@ class DistancePort:
         *,
         one_to_many: Callable[[np.ndarray, np.ndarray], np.ndarray] | None = None,
         use_kernel: bool = True,
+        block_rows: int | None = None,
     ) -> None:
         self._func = func
         bound = getattr(func, "one_to_many", None)
@@ -174,12 +181,18 @@ class DistancePort:
         self._vector_uncounted = (
             counter.vectorized if counter is not None else self._one_to_many
         )
+        self._block_rows = block_rows
         if use_kernel:
             from ..kernels.kernels import resolve_kernel  # kernels sit below mam
 
-            self._kernel = resolve_kernel(func)
+            self._kernel = resolve_kernel(func, block_rows=block_rows)
         else:
             self._kernel = None
+        if block_rows is not None and self._kernel is None:
+            raise QueryError(
+                "block_rows requires a kernel-backed distance (QFD or "
+                "Euclidean); this distance has no batched kernel"
+            )
         self._norms: np.ndarray | None = None
         self._norms_source: np.ndarray | None = None
 
@@ -192,6 +205,18 @@ class DistancePort:
         """Distances from *q* to every row of *rows*."""
         if rows.shape[0] == 0:
             return np.empty(0, dtype=np.float64)
+        if self._block_rows is not None and self._kernel is not None:
+            # Out-of-core scan: stream tiles through the blocked kernel
+            # (with the cached database norms when *rows* is the attached
+            # store) instead of the counted one-to-many, whose difference
+            # form would materialize full n x d float64 temporaries.
+            # Charging is identical: one batched row per candidate.
+            n = int(rows.shape[0])
+            emit_charge(rows=n)
+            if self._counter is not None:
+                self._counter.add_counts(batch_rows=n)
+            norms = self._norms if rows is self._norms_source else None
+            return self._kernel.one_to_many(q, rows, row_norms=norms)
         if self._one_to_many is not None:
             # The explain event mirrors the CountingDistance exactly:
             # vectorized evaluation counts batch rows, the loop fallback
@@ -221,6 +246,11 @@ class DistancePort:
     def kernel(self):
         """The resolved batched kernel, or ``None``."""
         return self._kernel
+
+    @property
+    def block_rows(self) -> int | None:
+        """Tile height of the blocked kernels (``None`` = unblocked)."""
+        return self._block_rows
 
     def charge(self, *, calls: int = 0, rows: int = 0) -> None:
         """Charge logical evaluations computed outside the counted paths.
@@ -443,15 +473,42 @@ class AccessMethod(ABC):
     result-ordering guarantees live here so every index behaves uniformly.
     """
 
+    #: Whether this structure's build and search touch vector data only
+    #: through the :class:`DistancePort` batch paths and per-row copies —
+    #: the contract that lets a blocked port keep the database as a raw
+    #: float32 memmap view instead of a heap-resident float64 copy.
+    supports_out_of_core = False
+
     def __init__(self, database: ArrayLike, distance: DistancePort | Callable) -> None:
-        data = as_vector_batch(database, name="database")
+        port = distance if isinstance(distance, DistancePort) else DistancePort(distance)
+        data = self._coerce_database(database, port)
         if data.shape[0] == 0:
             raise EmptyIndexError("cannot build an index over an empty database")
         self._data = data
-        self._port = distance if isinstance(distance, DistancePort) else DistancePort(distance)
+        self._port = port
         # Row norms (vAv^T) for the whole store, computed once at build
         # time; bound queries reuse them for O(n)-per-candidate evaluation.
         self._port.attach_database(self._data)
+
+    def _coerce_database(self, database: ArrayLike, port: DistancePort) -> np.ndarray:
+        """The stored database array for *database*.
+
+        Default: a validated float64 heap copy (`as_vector_batch`), the
+        arithmetic every existing path is pinned to.  Under a blocked
+        port, out-of-core-capable structures keep a dense float32/float64
+        2-D array (typically an :class:`~repro.storage.mmap_store
+        .MmapVectorStore` row view) as-is — zero copies; the blocked
+        kernels upcast tile by tile.
+        """
+        if (
+            port.block_rows is not None
+            and type(self).supports_out_of_core
+            and isinstance(database, np.ndarray)
+            and database.ndim == 2
+            and database.dtype in (np.float32, np.float64)
+        ):
+            return database
+        return as_vector_batch(database, name="database")
 
     @property
     def database(self) -> np.ndarray:
@@ -701,6 +758,14 @@ class AccessMethod(ABC):
         if not self.supports_inserts:
             raise IndexStateError(
                 f"{type(self).__name__} does not support dynamic inserts"
+            )
+        if isinstance(self._data, np.memmap) or self._data.dtype != np.float64:
+            # vstack over an out-of-core store would materialize the
+            # whole database on the heap — exactly what the mmap path
+            # exists to avoid.  Out-of-core indexes are static.
+            raise IndexStateError(
+                "out-of-core (memory-mapped) indexes are static; rebuild "
+                "the index to add objects"
             )
         index = self.size
         previous = self._data

@@ -29,11 +29,13 @@ from __future__ import annotations
 
 import heapq
 import itertools
+import mmap as _mmap
 from typing import Callable
 
 import numpy as np
 
 from .._typing import ArrayLike
+from ..engine.executors import resolve_executor
 from ..engine.trace import record_node_visit, record_pruned
 from ..exceptions import QueryError, StorageError
 from ..obs.events import (
@@ -121,7 +123,23 @@ class MTree(NodeBatchedSearchMixin, AccessMethod):
         (cf. the paper's reference [27]).  ``0`` (default) is exact.
     rng:
         Randomness for the random split policy and promotion sampling.
+    bulk_workers:
+        With ``bulk_load=True``, fan the top-level cluster builds out
+        over this many workers through the engine's executors.  The
+        resulting tree is deterministic for *any* worker count (each
+        cluster gets its own spawned RNG stream), but differs from the
+        sequential default (``None``), whose RNG stream is shared across
+        clusters in build order.
+    bulk_executor:
+        Executor name for the parallel bulk path: ``"thread"`` (default)
+        or ``"serial"``.  The process executor cannot share the node
+        graph under assembly and is rejected.
     """
+
+    #: Bulk loads gather rows per leaf / per seed set / per cross chunk,
+    #: and entries keep row *views* of the store, so a memory-mapped
+    #: database is never materialized on the heap.
+    supports_out_of_core = True
 
     def __init__(
         self,
@@ -133,6 +151,8 @@ class MTree(NodeBatchedSearchMixin, AccessMethod):
         bulk_load: bool = False,
         epsilon: float = 0.0,
         rng: np.random.Generator | None = None,
+        bulk_workers: int | None = None,
+        bulk_executor: str = "thread",
     ) -> None:
         if capacity < 2:
             raise QueryError(f"node capacity must be >= 2, got {capacity}")
@@ -142,16 +162,37 @@ class MTree(NodeBatchedSearchMixin, AccessMethod):
             )
         if epsilon < 0.0:
             raise QueryError(f"epsilon must be non-negative, got {epsilon}")
+        if bulk_workers is not None and bulk_workers < 1:
+            raise QueryError(f"bulk_workers must be >= 1, got {bulk_workers}")
+        if bulk_executor not in ("thread", "serial"):
+            raise QueryError(
+                "bulk_executor must be 'thread' or 'serial': worker "
+                "processes cannot share the node graph under assembly"
+            )
         super().__init__(database, distance)
         self._capacity = capacity
         self._split_policy = split_policy
         self._epsilon = epsilon
         self._rng = np.random.default_rng(0) if rng is None else rng
+        # Entry vectors are per-row views of the database.  Views of an
+        # np.memmap are np.memmap instances, each carrying an attribute
+        # dict (_mmap/filename/offset/mode, ~1 KiB) — about 2 GiB of
+        # pure bookkeeping across 1M leaves.  A plain-ndarray alias of
+        # the same mapping makes them ordinary lightweight views; the
+        # floats (and therefore every distance) are untouched.
+        self._entry_rows = (
+            self._data.view(np.ndarray)
+            if isinstance(self._data, np.memmap)
+            else self._data
+        )
         if bulk_load:
-            self._root, _, _, _ = self._bulk_build(list(range(self.size)))
+            indices = np.arange(self.size, dtype=np.intp)
+            self._root, _, _, _ = self._bulk_build(
+                indices, workers=bulk_workers, executor=bulk_executor
+            )
         else:
             self._root = _Node(is_leaf=True)
-            for i, row in enumerate(self._data):
+            for i, row in enumerate(self._entry_rows):
                 self._insert(row, i)
 
     # ------------------------------------------------------------------
@@ -171,7 +212,85 @@ class MTree(NodeBatchedSearchMixin, AccessMethod):
         self._port.charge(rows=n * n + n)
         return medoid, matrix[medoid]
 
-    def _bulk_build(self, indices: list[int]) -> tuple[_Node, np.ndarray, float, int]:
+    def _cluster_owners(self, seed_rows: np.ndarray, indices: np.ndarray) -> np.ndarray:
+        """Nearest-seed assignment for every object in *indices*.
+
+        The seed-to-object cross matrix is the one place a bulk load
+        touches the whole database at once, so it is computed in chunks
+        of ``port.block_rows`` candidate rows (the whole set when
+        unblocked): each chunk materializes only ``block_rows`` records
+        from the store, keeping an out-of-core build's heap bounded.  One
+        explicit charge replays the logical cost of the full cross —
+        identical to the unchunked call it replaces.
+        """
+        n = int(indices.shape[0])
+        n_seeds = int(seed_rows.shape[0])
+        owner = np.empty(n, dtype=np.intp)
+        chunk = self._port.block_rows or n
+        for start in range(0, n, chunk):
+            stop = min(start + chunk, n)
+            block = self._entry_rows[indices[start:stop]]
+            dist_matrix = self._port.cross(seed_rows, block, charge=False)
+            owner[start:stop] = np.argmin(dist_matrix, axis=0)
+        self._port.charge(rows=n_seeds * n)
+        return owner
+
+    def _release_source_pages(self) -> None:
+        """Advise the OS to evict the database mapping's resident pages.
+
+        Only meaningful for memory-mapped databases: the pages are clean
+        and file-backed, so the next access simply re-faults them — no
+        data moves, no float changes, only the measured RSS.  Called
+        between *top-level* cluster builds so the source residency stays
+        near one cluster's slice instead of the whole file.
+        """
+        mapped = getattr(self._data, "_mmap", None)
+        if mapped is not None and hasattr(_mmap, "MADV_DONTNEED"):
+            mapped.madvise(_mmap.MADV_DONTNEED)
+
+    def _build_children(
+        self,
+        groups: list[np.ndarray],
+        rng: np.random.Generator,
+        workers: int | None,
+        executor: str,
+        depth: int = 1,
+    ) -> list[tuple["_Node", np.ndarray, float, int]]:
+        """Build one subtree per index group, optionally in parallel.
+
+        Sequential (``workers=None``) shares *rng* across groups in build
+        order — byte-identical to the historical recursion.  With workers,
+        each group gets its own spawned stream so the tree is
+        deterministic for any worker count; the thread pool is safe here
+        because the groups' node graphs are disjoint and the distance
+        counter serializes its own bookkeeping.
+        """
+        if workers is None or len(groups) <= 1:
+            children = []
+            for group in groups:
+                children.append(self._bulk_build(group, rng=rng, depth=depth + 1))
+                if depth == 0:
+                    self._release_source_pages()
+            return children
+        rngs = rng.spawn(len(groups))
+        pool = resolve_executor(executor, workers=workers)
+        children = pool.map_ordered(
+            lambda pos: self._bulk_build(groups[pos], rng=rngs[pos], depth=depth + 1),
+            range(len(groups)),
+        )
+        if depth == 0:
+            self._release_source_pages()
+        return children
+
+    def _bulk_build(
+        self,
+        indices: np.ndarray,
+        *,
+        rng: np.random.Generator | None = None,
+        workers: int | None = None,
+        executor: str = "thread",
+        depth: int = 0,
+    ) -> tuple[_Node, np.ndarray, float, int]:
         """Recursive bulk build.
 
         Returns ``(node, routing_vector, covering_radius, routing_index)``
@@ -179,35 +298,53 @@ class MTree(NodeBatchedSearchMixin, AccessMethod):
         their nearest seed, and subtrees are built per cluster — the
         classic recipe, trading strict height balance (which search
         correctness never needed) for tight clusters from the start.
+
+        *indices* is an intp array into the database; rows are gathered
+        from the store per leaf / per seed set / per cross chunk, never
+        all at once, so a memory-mapped database is streamed rather than
+        materialized.  *workers* fans the top-level clusters out across
+        the engine's executors (recursive calls stay sequential — the
+        top split alone exposes up to ``capacity``-way parallelism).
         """
-        rows = self._data[indices]
-        if len(indices) <= self._capacity:
+        if rng is None:
+            rng = self._rng
+        n = int(indices.shape[0])
+        if n <= self._capacity:
+            rows = np.asarray(self._entry_rows[indices])
             node = _Node(is_leaf=True)
             medoid, dists = self._medoid_distances(rows)
             for pos, obj in enumerate(indices):
+                obj = int(obj)
                 node.entries.append(
-                    _Entry(self._data[obj], index=obj, dist_to_parent=float(dists[pos]))
+                    _Entry(self._entry_rows[obj], index=obj, dist_to_parent=float(dists[pos]))
                 )
-            return node, rows[medoid], float(dists.max(initial=0.0)), indices[medoid]
+            # .copy(): a bare rows[medoid] view would pin the whole
+            # leaf gather (capacity x dim) alive for the tree's lifetime.
+            return (
+                node,
+                rows[medoid].copy(),
+                float(dists.max(initial=0.0)),
+                int(indices[medoid]),
+            )
 
-        n_seeds = min(self._capacity, len(indices))
-        seed_positions = self._rng.choice(len(indices), size=n_seeds, replace=False)
-        seed_rows = rows[seed_positions]
-        dist_matrix = self._port.cross(seed_rows, rows)
-        owner = np.argmin(dist_matrix, axis=0)
+        n_seeds = min(self._capacity, n)
+        seed_positions = rng.choice(n, size=n_seeds, replace=False)
+        seed_rows = np.asarray(self._entry_rows[indices[seed_positions]])
+        owner = self._cluster_owners(seed_rows, indices)
         # Coincident seeds can dump every object into one cluster — no
         # progress, infinite recursion.  Chunk arbitrarily instead: with
         # (near-)identical objects any partition is equally tight.
         largest = int(np.bincount(owner, minlength=n_seeds).max())
-        if largest == len(indices):
+        if largest == n:
             chunks = [
                 indices[start : start + self._capacity]
-                for start in range(0, len(indices), self._capacity)
+                for start in range(0, n, self._capacity)
             ]
             node = _Node(is_leaf=False)
             child_indices = []
-            for chunk in chunks:
-                child, routing_vec, radius, routing_idx = self._bulk_build(chunk)
+            for child, routing_vec, radius, routing_idx in self._build_children(
+                chunks, rng, workers, executor, depth
+            ):
                 child_indices.append(routing_idx)
                 node.entries.append(
                     _Entry(routing_vec, index=routing_idx, radius=radius, subtree=child)
@@ -218,16 +355,19 @@ class MTree(NodeBatchedSearchMixin, AccessMethod):
             for entry, dist in zip(node.entries, dists):
                 entry.dist_to_parent = float(dist)
                 radius = max(radius, float(dist) + entry.radius)
-            return node, routing_rows[medoid], radius, child_indices[medoid]
+            return node, routing_rows[medoid].copy(), radius, child_indices[medoid]
         # Every seed owns at least itself, but a cluster can still collapse
         # when seeds coincide; drop empty groups.
+        groups = [
+            members
+            for group_id in range(n_seeds)
+            if (members := indices[np.flatnonzero(owner == group_id)]).size
+        ]
         node = _Node(is_leaf=False)
         child_indices = []
-        for group_id in range(n_seeds):
-            members = [indices[pos] for pos in np.flatnonzero(owner == group_id)]
-            if not members:
-                continue
-            child, routing_vec, radius, routing_idx = self._bulk_build(members)
+        for child, routing_vec, radius, routing_idx in self._build_children(
+            groups, rng, workers, executor, depth
+        ):
             child_indices.append(routing_idx)
             node.entries.append(
                 _Entry(routing_vec, index=routing_idx, radius=radius, subtree=child)
@@ -243,7 +383,7 @@ class MTree(NodeBatchedSearchMixin, AccessMethod):
         for entry, dist in zip(node.entries, dists):
             entry.dist_to_parent = float(dist)
             radius = max(radius, float(dist) + entry.radius)
-        return node, routing_rows[medoid], radius, child_indices[medoid]
+        return node, routing_rows[medoid].copy(), radius, child_indices[medoid]
 
     # ------------------------------------------------------------------
     # construction

@@ -107,6 +107,11 @@ class PivotTable(AccessMethod):
     in every mode.
     """
 
+    #: Every database touch is a ``port.many`` over the stored rows or a
+    #: small fancy-indexed candidate copy — a blocked kernel streams the
+    #: former in tiles, so a memory-mapped store is never materialized.
+    supports_out_of_core = True
+
     def __init__(
         self,
         database: ArrayLike,

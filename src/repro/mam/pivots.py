@@ -162,10 +162,14 @@ def select_pivots(
         if sample_size < p:
             raise QueryError(f"sample_size {sample_size} is smaller than p={p}")
         sample = rng.choice(m, size=sample_size, replace=False)
+        subset = data[sample]
     else:
+        # Whole-database selection: keep the stored array itself.  A
+        # fancy-indexed copy would materialize a memory-mapped database
+        # on the heap and, having a fresh identity, miss the port's
+        # cached row norms on every selection scan.
         sample = np.arange(m)
-
-    subset = data[sample]
+        subset = data
     if method == "random":
         local = _random_pivots(subset, p, rng)
     elif method == "maxmin":

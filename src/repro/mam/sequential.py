@@ -55,6 +55,10 @@ class SequentialFile(AccessMethod):
     — the single row of Table 1 where the QFD model wins).
     """
 
+    #: A scan is one ``port.many`` over the database rows; with a blocked
+    #: kernel that streams cache-sized tiles of a memory-mapped store.
+    supports_out_of_core = True
+
     def _range_search(self, query: np.ndarray, radius: float) -> list[Neighbor]:
         tok = emit_node_enter(ROOT, "scan")
         distances = self._port.many(query, self._data)

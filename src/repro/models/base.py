@@ -22,7 +22,7 @@ from typing import Any, Callable
 
 import numpy as np
 
-from .._typing import ArrayLike, as_vector
+from .._typing import ArrayLike, as_vector, as_vector_batch
 from ..distances.base import CountingDistance
 from ..exceptions import QueryError
 from ..mam.base import AccessMethod, Neighbor
@@ -34,7 +34,9 @@ from ..obs import (
     record_cholesky_cache,
     record_distance_stats,
     record_index_description,
+    record_memory,
 )
+from ..storage.mmap_store import MmapVectorStore
 from ..mam.gnat import GNAT
 from ..mam.mindex import MIndex
 from ..mam.mtree import MTree
@@ -52,9 +54,15 @@ __all__ = [
     "BuiltIndex",
     "MAM_REGISTRY",
     "SAM_REGISTRY",
+    "STORES",
     "resolve_method",
+    "resolve_store",
+    "restore_distance",
     "record_build_metrics",
 ]
+
+#: Database record backends a model build accepts.
+STORES = ("heap", "mmap")
 
 #: MAMs take (database, distance, **kwargs).
 MAM_REGISTRY: dict[str, type[AccessMethod]] = {
@@ -117,6 +125,95 @@ class IndexCosts:
         )
 
 
+def resolve_store(
+    database: ArrayLike,
+    dim: int | None,
+    *,
+    store: str = "heap",
+    store_dtype: "str | np.dtype | None" = None,
+    store_path: "str | None" = None,
+) -> tuple[np.ndarray, "MmapVectorStore | None"]:
+    """Resolve a model database into ``(rows, backing_store)``.
+
+    ``store="heap"`` keeps the historical in-memory float64 path; with a
+    ``store_dtype`` of float32 the rows are additionally *rounded through*
+    float32 — the exact heap twin of an mmap-backed build, which the
+    bit-identity property tests compare against.
+
+    ``store="mmap"`` returns a zero-copy view over a
+    :class:`~repro.storage.MmapVectorStore`: an existing store (or raw
+    ``np.memmap``) is used as-is, any other array-like is spilled into a
+    fresh store block-by-block (``store_path`` persists it; the default
+    is an unlinked temporary file).  The returned store must be kept
+    alive as long as the rows view is used — model builds stash it on
+    the built index.
+    """
+    if store not in STORES:
+        raise QueryError(f"unknown store {store!r}; choose from {list(STORES)}")
+    if store == "heap":
+        data = as_vector_batch(database, dim, name="database")
+        if store_dtype is not None and np.dtype(store_dtype) != np.float64:
+            data = data.astype(np.dtype(store_dtype)).astype(np.float64)
+        return data, None
+    if isinstance(database, MmapVectorStore):
+        rows = database.rows
+        backing: MmapVectorStore | None = database
+    elif isinstance(database, np.memmap):
+        rows = database
+        backing = None
+    else:
+        backing = MmapVectorStore.from_array(
+            np.atleast_2d(np.asarray(database)),
+            dtype=store_dtype or "float32",
+            path=store_path,
+        )
+        rows = backing.rows
+    if rows.ndim != 2 or (dim is not None and rows.shape[1] != dim):
+        raise QueryError(
+            f"database shape {rows.shape} does not match expected "
+            f"dimensionality {dim}"
+        )
+    return rows, backing
+
+
+def restore_distance(
+    counter: CountingDistance,
+    snapshot: Any,
+    *,
+    store: str = "heap",
+    store_path: "str | None" = None,
+    block_rows: int | None = None,
+    force_port: bool = False,
+) -> tuple[Any, "MmapVectorStore | None"]:
+    """Snapshot-restore companion of :func:`resolve_store`.
+
+    Returns ``(distance, backing_store)`` for
+    :func:`repro.persistence.load_index`: with ``store="mmap"`` the
+    archived rows are spilled block-by-block into a memory-mapped store
+    (pass its ``rows`` as the load's database override) and
+    ``block_rows`` defaults on, so the restored index streams pages
+    exactly like a fresh out-of-core build.  *force_port* wraps the
+    counter in a :class:`~repro.mam.base.DistancePort` even without
+    blocking (the SAM refinement contract).
+    """
+    if store not in STORES:
+        raise QueryError(f"unknown store {store!r}; choose from {list(STORES)}")
+    if store == "mmap" and block_rows is None:
+        from ..kernels import DEFAULT_BLOCK_ROWS
+
+        block_rows = DEFAULT_BLOCK_ROWS
+    backing: MmapVectorStore | None = None
+    if store == "mmap":
+        db = np.asarray(snapshot.database)
+        dtype = db.dtype if db.dtype in (np.float32, np.float64) else np.float64
+        backing = MmapVectorStore.from_array(db, dtype=dtype, path=store_path)
+    if block_rows is None and not force_port:
+        return counter, backing
+    from ..mam.base import DistancePort
+
+    return DistancePort(counter, block_rows=block_rows), backing
+
+
 def _page_cache(am: AccessMethod) -> Any:
     """The LRU page cache backing *am*, if it has one (else ``None``)."""
     cache = getattr(am, "cache", None)
@@ -133,6 +230,7 @@ def record_build_metrics(
     model: str,
     method: str,
     transforms: int = 0,
+    block_rows: int | None = None,
 ) -> None:
     """Funnel a finished build into the active observability registry.
 
@@ -168,6 +266,13 @@ def record_build_metrics(
     cache = _page_cache(am)
     if cache is not None:
         record_cache_stats(cache.stats, registry=registry)
+    record_memory(
+        registry=registry,
+        model=model,
+        method=method,
+        phase="build",
+        block_rows=block_rows,
+    )
 
 
 class BuiltIndex:
@@ -414,16 +519,28 @@ def instantiate(
     database: np.ndarray,
     counter: CountingDistance,
     kwargs: dict[str, Any],
+    *,
+    block_rows: int | None = None,
 ) -> AccessMethod:
     """Build a registry access method, wiring the model's counter in.
 
     MAMs take the distance as their black box; SAMs pick their own query
     distance but accept an injected refinement counter so the experiments
-    can account their distance evaluations identically.
+    can account their distance evaluations identically.  *block_rows*
+    flows into the method's :class:`~repro.mam.base.DistancePort`,
+    switching its batched evaluations onto the blocked kernels (and, for
+    out-of-core capable methods, letting a memory-mapped database pass
+    through without a heap copy).
     """
     cls, is_sam = resolve_method(name)
-    if is_sam:
-        from ..mam.base import DistancePort
+    from ..mam.base import DistancePort
 
-        return cls(database, refine_distance=DistancePort(counter), **kwargs)
-    return cls(database, counter, **kwargs)
+    if is_sam:
+        return cls(
+            database,
+            refine_distance=DistancePort(counter, block_rows=block_rows),
+            **kwargs,
+        )
+    if block_rows is None:
+        return cls(database, counter, **kwargs)
+    return cls(database, DistancePort(counter, block_rows=block_rows), **kwargs)

@@ -22,14 +22,21 @@ __all__ = ["load_built_index"]
 
 
 def load_built_index(
-    source: "str | os.PathLike[str]", *, verify: bool = True
+    source: "str | os.PathLike[str]",
+    *,
+    verify: bool = True,
+    store: str = "heap",
+    store_path: "str | None" = None,
+    block_rows: int | None = None,
 ) -> BuiltIndex:
     """Restore a :meth:`BuiltIndex.save` snapshot, model included.
 
     Reads the stored model marker and QFD matrix, builds the matching
     :class:`QFDModel` or :class:`QMapModel`, and delegates to its
     ``load_index`` — zero distance evaluations, like every snapshot
-    restore.
+    restore.  ``store``/``store_path``/``block_rows`` forward to the
+    model: ``store="mmap"`` re-wires the structure over a memory-mapped
+    spill of the archived rows and evaluates through the blocked kernels.
     """
     from ..persistence import read_snapshot
 
@@ -43,10 +50,11 @@ def load_built_index(
             "BuiltIndex.save"
         )
     matrix = np.asarray(matrix, dtype=np.float64)
+    restore_kwargs = dict(store=store, store_path=store_path, block_rows=block_rows)
     if model == QFDModel.name:
-        return QFDModel(matrix).load_index(snapshot, verify=verify)
+        return QFDModel(matrix).load_index(snapshot, verify=verify, **restore_kwargs)
     if model == QMapModel.name:
-        return QMapModel(matrix).load_index(snapshot, verify=verify)
+        return QMapModel(matrix).load_index(snapshot, verify=verify, **restore_kwargs)
     raise StorageError(
         f"{label} was saved by unknown model {model!r}; "
         f"expected {QFDModel.name!r} or {QMapModel.name!r}"

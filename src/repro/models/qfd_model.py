@@ -25,6 +25,8 @@ from .base import (
     IndexCosts,
     instantiate,
     record_build_metrics,
+    resolve_store,
+    restore_distance,
 )
 
 __all__ = ["QFDModel"]
@@ -56,29 +58,58 @@ class QFDModel:
         """Histogram dimensionality ``n``."""
         return self._qfd.dim
 
-    def build_index(self, method: str, database: ArrayLike, **kwargs: Any) -> BuiltIndex:
+    def build_index(
+        self,
+        method: str,
+        database: ArrayLike,
+        *,
+        store: str = "heap",
+        store_dtype: Any = None,
+        store_path: "str | None" = None,
+        block_rows: int | None = None,
+        **kwargs: Any,
+    ) -> BuiltIndex:
         """Build the named access method over *database*.
 
         SAM methods are rejected: a coordinate index built for rectangles
         cannot answer QFD ball queries without ellipsoid-aware bounds,
         which is precisely the paper's Section 2.1 caveat.  Use the QMap
         model for SAMs.
+
+        ``store="mmap"`` indexes a memory-mapped record store (built from
+        *database* if it is not already a
+        :class:`~repro.storage.MmapVectorStore`) and defaults
+        ``block_rows`` on, so out-of-core capable methods stream the rows
+        through the blocked kernels instead of materializing them.
         """
         if method in SAM_REGISTRY:
             raise QueryError(
                 f"SAM {method!r} cannot index the raw QFD space; transform "
                 "it with the QMap model first (paper Section 2.4)"
             )
-        data = as_vector_batch(database, self.dim, name="database")
+        if store == "mmap" and block_rows is None:
+            from ..kernels import DEFAULT_BLOCK_ROWS
+
+            block_rows = DEFAULT_BLOCK_ROWS
+        data, backing = resolve_store(
+            database, self.dim, store=store, store_dtype=store_dtype,
+            store_path=store_path,
+        )
         counter = CountingDistance(self._qfd, one_to_many=self._qfd.one_to_many)
         with span(f"build/{method}", model=self.name):
             start = time.perf_counter()
-            am = instantiate(method, data, counter, kwargs)
+            am = instantiate(method, data, counter, kwargs, block_rows=block_rows)
             elapsed = time.perf_counter() - start
+        if backing is not None:
+            # The rows view aliases the mapping; pin the store to the index
+            # so the file outlives every query against it.
+            am._backing_store = backing
         build_costs = IndexCosts(
             distance_computations=counter.count, transforms=0, seconds=elapsed
         )
-        record_build_metrics(am, counter, model=self.name, method=method)
+        record_build_metrics(
+            am, counter, model=self.name, method=method, block_rows=block_rows
+        )
         counter.reset()
         return BuiltIndex(
             am,
@@ -90,7 +121,15 @@ class QFDModel:
             source_matrix=self._qfd.matrix,
         )
 
-    def load_index(self, source: Any, *, verify: bool = True) -> BuiltIndex:
+    def load_index(
+        self,
+        source: Any,
+        *,
+        verify: bool = True,
+        store: str = "heap",
+        store_path: "str | None" = None,
+        block_rows: int | None = None,
+    ) -> BuiltIndex:
         """Restore a :meth:`BuiltIndex.save` snapshot into this model.
 
         *source* is a snapshot path (or an already-read
@@ -99,6 +138,11 @@ class QFDModel:
         are checked before any structure is rebuilt.  Restoring performs
         **zero** distance evaluations — the saved structure is re-wired,
         not rebuilt (``build_costs.distance_computations == 0``).
+
+        ``store="mmap"`` spills the archived rows into a memory-mapped
+        store (block by block — the heap never holds the full database)
+        and re-wires the structure over its pages, still at zero
+        evaluations; ``block_rows`` defaults on in that case.
         """
         from ..exceptions import StorageError
         from ..persistence import IndexSnapshot, load_index, read_snapshot
@@ -127,10 +171,21 @@ class QFDModel:
                 "transform it with the QMap model first (paper Section 2.4)"
             )
         counter = CountingDistance(self._qfd, one_to_many=self._qfd.one_to_many)
+        distance, backing = restore_distance(
+            counter, snapshot, store=store, store_path=store_path,
+            block_rows=block_rows,
+        )
         with span(f"load/{snapshot.method}", model=self.name):
             start = time.perf_counter()
-            am = load_index(snapshot, counter, verify=verify)
+            am = load_index(
+                snapshot,
+                distance,
+                verify=verify,
+                database=None if backing is None else backing.rows,
+            )
             elapsed = time.perf_counter() - start
+        if backing is not None:
+            am._backing_store = backing
         build_costs = IndexCosts(
             distance_computations=counter.count, transforms=0, seconds=elapsed
         )

@@ -81,6 +81,13 @@ from .instruments import (
     record_trace,
     record_traces,
 )
+from .memory import (
+    KERNEL_BLOCK_ROWS,
+    PEAK_RSS,
+    peak_rss_bytes,
+    peak_rss_source,
+    record_memory,
+)
 from .registry import (
     NULL_REGISTRY,
     Counter,
@@ -132,6 +139,11 @@ __all__ = [
     "current_span",
     "DISTANCE_EVALUATIONS",
     "TRANSFORMS",
+    "PEAK_RSS",
+    "KERNEL_BLOCK_ROWS",
+    "peak_rss_bytes",
+    "peak_rss_source",
+    "record_memory",
     "DistanceInstrument",
     "record_distance_stats",
     "record_trace",

@@ -1,0 +1,95 @@
+"""Process memory measurement for the out-of-core experiments.
+
+The scale-up benchmark's claim is about *memory*, not only speed: the
+1M x 512-d testbed must run with a peak resident set far below the ~4 GB
+a heap-resident float64 copy of the database would cost.  This module is
+the one place that reads the process high-water mark, so benches, build
+metrics and reports all agree on the number.
+
+``resource.getrusage`` is the primary source (``ru_maxrss`` — reported in
+kilobytes on Linux, bytes on macOS).  Where the :mod:`resource` module is
+unavailable, a running :mod:`tracemalloc` session is used instead; note
+that tracemalloc only sees Python-level allocations (not mapped pages),
+so the fallback under-reports — callers can tell which source produced a
+number via :func:`peak_rss_source`.
+"""
+
+from __future__ import annotations
+
+import sys
+
+from .registry import MetricsRegistry, get_registry
+
+try:  # pragma: no cover - platform dependent
+    import resource as _resource
+except ImportError:  # pragma: no cover - non-POSIX
+    _resource = None
+
+__all__ = [
+    "PEAK_RSS",
+    "KERNEL_BLOCK_ROWS",
+    "peak_rss_bytes",
+    "peak_rss_source",
+    "record_memory",
+]
+
+#: Gauge of the process peak resident set size in bytes (high-water mark).
+PEAK_RSS = "repro_peak_rss_bytes"
+
+#: Gauge of the blocked-kernel tile height used by a build (rows).
+KERNEL_BLOCK_ROWS = "repro_kernel_block_rows"
+
+
+def peak_rss_source() -> str:
+    """Which measurement backs :func:`peak_rss_bytes` on this platform."""
+    if _resource is not None:
+        return "getrusage"
+    import tracemalloc
+
+    return "tracemalloc" if tracemalloc.is_tracing() else "unavailable"
+
+
+def peak_rss_bytes() -> int:
+    """The process's peak resident set size in bytes (0 when unmeasurable).
+
+    A high-water mark: it never decreases over the process lifetime, so
+    phase-accurate measurements run each phase in a fresh (forked)
+    process — see ``benchmarks/bench_scale_1m.py``.
+    """
+    if _resource is not None:
+        peak = _resource.getrusage(_resource.RUSAGE_SELF).ru_maxrss
+        if sys.platform == "darwin":  # pragma: no cover - macOS reports bytes
+            return int(peak)
+        return int(peak) * 1024
+    import tracemalloc  # pragma: no cover - exercised only without resource
+
+    if tracemalloc.is_tracing():  # pragma: no cover
+        return int(tracemalloc.get_traced_memory()[1])
+    return 0  # pragma: no cover
+
+
+def record_memory(
+    *,
+    registry: MetricsRegistry | None = None,
+    model: str = "",
+    method: str = "",
+    phase: str = "build",
+    block_rows: int | None = None,
+) -> None:
+    """Record the current peak RSS (and the kernel tile size, if blocked).
+
+    A no-op with the null registry.  Labels mirror the distance counters
+    so one query joins memory against evaluations per model/method.
+    """
+    reg = registry if registry is not None else get_registry()
+    if not reg.enabled:
+        return
+    peak = peak_rss_bytes()
+    if peak:
+        reg.gauge(
+            PEAK_RSS, "process peak resident set size in bytes (high-water mark)"
+        ).set(peak, model=model, method=method, phase=phase)
+    if block_rows:
+        reg.gauge(
+            KERNEL_BLOCK_ROWS, "blocked Gram kernel tile height in rows"
+        ).set(int(block_rows), model=model, method=method)

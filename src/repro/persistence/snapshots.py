@@ -43,10 +43,18 @@ def save_index(
     numpy-convertible without object dtype.
     """
     codec = codec_for_class(type(index))
+    database = np.asarray(index.database)
+    if database.dtype != np.float32:
+        # float32 (the out-of-core record dtype) round-trips as-is so a
+        # reload reproduces bit-identical distances; everything else is
+        # normalized to the historical float64 representation.  For a
+        # memory-mapped database ``asarray`` stays zero-copy — the
+        # archive writer streams pages straight out of the mapping.
+        database = np.asarray(database, dtype=np.float64)
     snapshot = IndexSnapshot(
         method=codec.method,
         method_version=codec.version,
-        database=np.asarray(index.database, dtype=np.float64),
+        database=database,
         state=codec.encode(index),
         meta={k: np.asarray(v) for k, v in (meta or {}).items()},
     )
@@ -58,6 +66,7 @@ def load_index(
     distance: "DistancePort | Callable | None" = None,
     *,
     verify: bool = True,
+    database: "np.ndarray | None" = None,
 ) -> AccessMethod:
     """Restore an index from a snapshot path (or an in-memory snapshot).
 
@@ -66,6 +75,14 @@ def load_index(
     With ``verify=True`` (default) a stored bound is re-evaluated against
     the supplied distance — uncounted, so the restore still performs zero
     logical distance computations.
+
+    *database* substitutes the record backing without touching the stored
+    structure — the out-of-core restore path: the caller spills the
+    snapshot's rows into a memory-mapped store and passes the store's
+    view here, so the rebuilt index reads pages instead of a heap copy.
+    The override must hold the same values as the archived rows (same
+    shape is enforced; contents are the caller's contract, backed by the
+    ``verify`` probe).
     """
     if isinstance(source, IndexSnapshot):
         snapshot = source
@@ -78,7 +95,15 @@ def load_index(
             f"{snapshot.method_version}; this library reads up to "
             f"version {codec.version}"
         )
-    index = codec.decode(snapshot.database, distance, snapshot.state)
+    rows = snapshot.database
+    if database is not None:
+        if database.shape != snapshot.database.shape:
+            raise StorageError(
+                f"database override shape {database.shape} does not match "
+                f"the snapshot's {snapshot.database.shape}"
+            )
+        rows = database
+    index = codec.decode(rows, distance, snapshot.state)
     if verify:
         label = snapshot.path or "snapshot"
         try:

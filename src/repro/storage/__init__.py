@@ -3,9 +3,16 @@
 Reproduces the secondary-memory environment of the paper's experiments,
 including the Section 5.3 "fixed-size disk cache" whose overflow bends the
 query-time curves on the largest databases (ablation bench E_A4).
+
+Two record backends share the vector-store API: the paged
+:class:`VectorStore` (explicit pages + LRU cache + physical-I/O
+accounting, the paper's simulated disk) and the memory-mapped
+:class:`MmapVectorStore` (``np.memmap`` float32 records behind zero-copy
+row views — the out-of-core backend for the 1M x 512-d testbed).
 """
 
 from .cache import CacheStats, LRUPageCache
+from .mmap_store import MmapVectorStore
 from .pages import DEFAULT_PAGE_SIZE, PagedFile, PageStats
 from .vector_store import VectorStore
 
@@ -15,5 +22,6 @@ __all__ = [
     "DEFAULT_PAGE_SIZE",
     "LRUPageCache",
     "CacheStats",
+    "MmapVectorStore",
     "VectorStore",
 ]

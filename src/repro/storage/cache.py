@@ -178,7 +178,16 @@ class LRUPageCache:
         while len(self._pages) > self._capacity:
             self._pages.popitem(last=False)
 
-    def clear(self) -> None:
-        """Drop all cached pages (counters are kept)."""
+    def clear(self, *, reset_stats: bool = False) -> None:
+        """Drop all cached pages.
+
+        Counters are kept by default (the historical behaviour, which
+        lets a warm-up phase stay visible in the totals).  Benchmarks
+        that reuse one store across repetitions pass ``reset_stats=True``
+        so each run's hit/fault rates start from zero instead of
+        accumulating the previous runs' traffic.
+        """
         with self._lock:
             self._pages.clear()
+            if reset_stats:
+                self._stats.reset()
