@@ -14,13 +14,21 @@ Commands
     Run a batch of queries through the batch engine: pick the access
     method, model, executor and worker count; ``--trace`` prints the
     per-query cost aggregation (distance evaluations, filter hits,
-    candidates) next to the throughput.
-``index build|save|load|query``
+    candidates) next to the throughput.  ``--plan auto`` hands the
+    batch to the cost-based planner instead: it enumerates every
+    physical alternative (both scans, filter-and-refine pipelines, one
+    probe per snapshot in ``--index-dir``), prints the considered plans
+    with predicted costs, and executes the cheapest; ``--plan <name>``
+    forces a specific alternative.
+``index build|save|load|query|ls``
     Index lifecycle on a reproducible synthetic workload: build an index
     (``build``), snapshot it to a pickle-free ``.npz`` with the workload
     recipe in its metadata (``save``), restore it with zero distance
-    evaluations (``load``), and run the recorded query workload against a
-    restored snapshot through the batch engine (``query``).
+    evaluations (``load``), run the recorded query workload against a
+    restored snapshot through the batch engine (``query``, with
+    ``--plan`` routing it through the planner against the snapshot's
+    directory as catalog), and list the snapshots discovered in a
+    directory from their headers alone (``ls``).
 ``report``
     Build and query a synthetic workload with a live metrics registry
     and export everything the observability layer collected — build and
@@ -148,6 +156,28 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         metavar="PATH",
         help="write the first query's EXPLAIN plan to PATH as JSON",
+    )
+    query.add_argument(
+        "--plan",
+        default=None,
+        metavar="auto|NAME",
+        help="route the batch through the cost-based planner: 'auto' "
+        "executes the cheapest physical plan, a plan name (e.g. "
+        "'scan[qmap]') forces that alternative; the considered-plans "
+        "header is printed either way (--method/--bound are ignored)",
+    )
+    query.add_argument(
+        "--index-dir",
+        default=None,
+        metavar="DIR",
+        help="directory of .npz index snapshots the planner may probe",
+    )
+    query.add_argument(
+        "--calibrate-from",
+        default=None,
+        metavar="PATH",
+        help="bench history JSON-lines used to calibrate the planner's "
+        "cost model (default: uncalibrated Table 2 closed forms)",
     )
     query.add_argument("--seed", type=int, default=0)
 
@@ -391,6 +421,19 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="PATH",
         help="write the first query's EXPLAIN plan to PATH as JSON",
     )
+    iquery.add_argument(
+        "--plan",
+        default=None,
+        metavar="auto|NAME",
+        help="plan the recorded workload instead of probing this snapshot "
+        "directly: the planner's catalog is the snapshot's directory, "
+        "'auto' executes the cheapest alternative, a plan name forces one",
+    )
+
+    ils = index_sub.add_parser(
+        "ls", help="list the index snapshots discovered in a directory"
+    )
+    ils.add_argument("directory", help="directory containing .npz snapshots")
 
     report = sub.add_parser(
         "report",
@@ -635,6 +678,132 @@ def _with_bound(method: str, kwargs: dict, bound: "str | None") -> dict:
     return dict(kwargs)
 
 
+def _explain_planned(planned, workload, *, k, radius, show, out) -> None:
+    """The planner's EXPLAIN: considered plans with measured actuals.
+
+    Re-runs query 0 through *every* considered alternative to fill the
+    ``actual=`` column (per-query flops in the cost model's unit), then
+    — when the chosen plan is index-backed — prints the usual traversal
+    tree for the chosen plan, whose totals still match the distance
+    counter exactly.
+    """
+    import json
+
+    from .models import explain_query
+    from .models.planning import alternative_actual_flops
+
+    if len(workload.queries) == 0:
+        return
+    query = workload.queries[0]
+    actuals = alternative_actual_flops(
+        planned.choice, workload.matrix, workload.database, query, k=k, radius=radius
+    )
+    if show:
+        print()
+        print(planned.choice.render(per_query=True, actual_flops=actuals))
+    plan_dict = None
+    if planned.execution.index is not None:
+        plan = explain_query(planned.execution.index, query, k=k, radius=radius)
+        if show:
+            print()
+            print(plan.render())
+        plan_dict = plan.to_dict()
+    if out is not None:
+        payload = {
+            "considered": [
+                {
+                    "plan": c.name,
+                    "predicted_flops": c.total_flops,
+                    "predicted_per_query_flops": c.cost.per_query_flops,
+                    "actual_per_query_flops": actuals.get(c.name),
+                    "executor": c.executor.describe(),
+                    "chosen": c.chosen,
+                }
+                for c in planned.choice.considered
+            ],
+            "explain": plan_dict,
+        }
+        with open(out, "w", encoding="utf-8") as fh:
+            json.dump(payload, fh, indent=2)
+            fh.write("\n")
+        print(f"explain  : {out} (query 0)")
+
+
+def _run_planned(
+    workload,
+    *,
+    plan: str,
+    index_dir: "str | None",
+    calibrate_from: "str | None",
+    k: "int | None",
+    radius: "float | None",
+    executor_name: "str | None",
+    workers: "int | None",
+    explain: bool,
+    explain_out: "str | None",
+    seed: int,
+) -> int:
+    """Plan, print the considered alternatives, and execute the choice."""
+    import time
+
+    from .models.planning import plan_query_batch
+    from .planner import ExecutorChoice
+
+    history = None
+    if calibrate_from:
+        from .bench import load_history
+
+        history = load_history(calibrate_from)
+    executor = None
+    if executor_name or workers:
+        executor = ExecutorChoice(
+            name=executor_name or ("thread" if (workers or 1) > 1 else "serial"),
+            workers=workers,
+        )
+    planned = plan_query_batch(
+        workload.matrix,
+        workload.database,
+        workload.queries,
+        k=k,
+        radius=radius,
+        index_dir=index_dir,
+        history=history,
+        force=None if plan == "auto" else plan,
+        executor=executor,
+        seed=seed,
+    )
+    catalog = planned.catalog
+    if catalog.directory is not None:
+        note = f"{len(catalog)} snapshot(s)"
+        if catalog.warnings:
+            note += f", {len(catalog.warnings)} warning(s)"
+        print(f"catalog  : {catalog.directory}: {note}")
+        for warning in catalog.warnings:
+            print(f"warning: {warning}", file=sys.stderr)
+    if history is not None:
+        print(f"calibrate: {calibrate_from} ({len(history)} record(s))")
+    print(planned.choice.render())
+    execution = planned.execution
+    start = time.perf_counter()
+    results = execution.run_batch(workload.queries, k=k, radius=radius)
+    elapsed = time.perf_counter() - start
+    n = len(results)
+    print(f"execution: {execution.name} [{execution.executor.describe()}]")
+    print(
+        f"wall time: {elapsed:.3f}s for {n} queries -> {n / elapsed:.1f} queries/s"
+    )
+    costs = execution.query_costs(elapsed)
+    print(
+        f"costs    : {costs.distance_computations} distance evaluations, "
+        f"{costs.transforms} query transforms"
+    )
+    if explain or explain_out:
+        _explain_planned(
+            planned, workload, k=k, radius=radius, show=explain, out=explain_out
+        )
+    return 0
+
+
 def _cmd_query(args: "argparse.Namespace") -> int:
     import time
 
@@ -645,6 +814,21 @@ def _cmd_query(args: "argparse.Namespace") -> int:
     workload = histogram_workload(
         args.size, args.queries, bins_per_channel=args.bins, seed=args.seed
     )
+    if args.plan:
+        print(f"workload : {workload.name}, m={args.size}, q={args.queries}")
+        return _run_planned(
+            workload,
+            plan=args.plan,
+            index_dir=args.index_dir,
+            calibrate_from=args.calibrate_from,
+            k=None if args.radius is not None else args.k,
+            radius=args.radius,
+            executor_name=args.executor,
+            workers=args.workers,
+            explain=args.explain,
+            explain_out=args.explain_out,
+            seed=args.seed,
+        )
     registry, restore_registry = _activate_metrics(args.metrics)
     try:
         model = (QMapModel if args.model == "qmap" else QFDModel)(workload.matrix)
@@ -840,9 +1024,30 @@ def _cmd_index_query(args: "argparse.Namespace") -> int:
         )
     size, bins, n_queries, seed = (int(snapshot.meta[key]) for key in recipe_keys)
     workload = histogram_workload(size, n_queries, bins_per_channel=bins, seed=seed)
+    if getattr(args, "plan", None):
+        from pathlib import Path
+
+        print(f"snapshot : {snapshot.path}")
+        print(f"workload : {workload.name}, m={size}, q={n_queries}")
+        return _run_planned(
+            workload,
+            plan=args.plan,
+            index_dir=str(Path(args.path).parent),
+            calibrate_from=None,
+            k=None if args.radius is not None else args.k,
+            radius=args.radius,
+            executor_name=args.executor,
+            workers=args.workers,
+            explain=args.explain,
+            explain_out=args.explain_out,
+            seed=seed,
+        )
     registry, restore_registry = _activate_metrics(args.metrics)
     try:
-        index = load_built_index(snapshot.path)
+        # The header was already parsed above — pass the snapshot through
+        # so the restore does not open and decode the archive a second
+        # time.
+        index = load_built_index(snapshot)
     except BaseException:
         restore_registry()
         raise
@@ -914,6 +1119,32 @@ def _cmd_index_query(args: "argparse.Namespace") -> int:
             show=args.explain,
             out=args.explain_out,
         )
+    return 0
+
+
+def _cmd_index_ls(directory: str) -> int:
+    """List discovered snapshots; unreadable files warn on stderr."""
+    import os
+
+    from .models import load_catalog
+
+    catalog = load_catalog(directory)
+    print(f"{catalog.directory}: {len(catalog)} snapshot(s)")
+    if catalog.entries:
+        print(
+            f"  {'file':<30} {'method':<15} {'model':<5} {'bound':<9} "
+            f"{'n':>7} {'dim':>5} {'fmt':>3} {'store':<5} {'pivots':>6}"
+        )
+        for entry in catalog.entries:
+            name = os.path.basename(entry.path)
+            print(
+                f"  {name:<30} {entry.method:<15} {entry.model:<5} "
+                f"{str(entry.bound or '-'):<9} {entry.size:>7} "
+                f"{entry.dim:>5} {entry.format_version:>3} "
+                f"{entry.store:<5} {entry.n_pivots if entry.n_pivots is not None else '-':>6}"
+            )
+    for warning in catalog.warnings:
+        print(f"warning: {warning}", file=sys.stderr)
     return 0
 
 
@@ -1000,6 +1231,35 @@ def _bench_check_metrics(args: "argparse.Namespace") -> dict:
                 costs = index.query_costs()
                 metrics[f"{prefix}.query_evaluations"] = costs.distance_computations
                 metrics[f"{prefix}.query_transforms"] = costs.transforms
+
+    # Planner gate: snapshot the closed-form qmap indexes into a scratch
+    # catalog, plan the same workload with the uncalibrated cost model
+    # (calibration would make the pick machine-dependent), and gate what
+    # the chosen plan actually spends.  Any drift means either the cost
+    # model's argmin moved or the chosen traversal changed.
+    import tempfile
+    from pathlib import Path
+
+    from .models.planning import plan_query_batch
+
+    with tempfile.TemporaryDirectory() as tmp:
+        for method in ("pivot-table", "mtree"):
+            built = QMapModel(workload.matrix).build_index(
+                method, workload.database, **_INDEX_KWARGS.get(method, {})
+            )
+            built.save(str(Path(tmp) / f"{method}.npz"))
+        planned = plan_query_batch(
+            workload.matrix,
+            workload.database,
+            workload.queries,
+            k=args.k,
+            index_dir=tmp,
+        )
+        planned.execution.run_batch(workload.queries, k=args.k)
+        costs = planned.execution.query_costs()
+        metrics["planner.auto.alternatives"] = len(planned.choice.considered)
+        metrics["planner.auto.query_evaluations"] = costs.distance_computations
+        metrics["planner.auto.query_transforms"] = costs.transforms
     return metrics
 
 
@@ -1148,6 +1408,8 @@ def _cmd_index(args: "argparse.Namespace") -> int:
         )
     if args.index_command == "query":
         return _cmd_index_query(args)
+    if args.index_command == "ls":
+        return _cmd_index_ls(args.directory)
     raise AssertionError(  # pragma: no cover
         f"unhandled index command {args.index_command!r}"
     )

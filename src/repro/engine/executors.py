@@ -156,14 +156,30 @@ def resolve_executor(
     workers: int | None = None,
     chunk_size: int | None = None,
 ) -> BatchExecutor:
-    """Normalize an executor spec (instance, name, or ``None``).
+    """Normalize an executor spec (instance, name, choice, or ``None``).
 
     ``None`` means serial unless *workers* asks for parallelism, in
     which case threads are chosen — the right default for numpy-backed
-    distances.
+    distances.  A planner-chosen executor (any object with a string
+    ``name`` and optional ``workers``/``chunk_size`` attributes, e.g.
+    :class:`repro.planner.ExecutorChoice`) is accepted duck-typed, so
+    the engine needs no planner import; explicit *workers*/*chunk_size*
+    arguments override the choice's own fields.
     """
     if isinstance(executor, BatchExecutor):
         return executor
+    if executor is not None and not isinstance(executor, str):
+        name = getattr(executor, "name", None)
+        if not isinstance(name, str):
+            raise QueryError(
+                f"cannot resolve executor from {executor!r}; pass a name, "
+                "a BatchExecutor, or an object with a string 'name'"
+            )
+        if workers is None:
+            workers = getattr(executor, "workers", None)
+        if chunk_size is None:
+            chunk_size = getattr(executor, "chunk_size", None)
+        executor = name
     if executor is None:
         executor = "serial" if workers in (None, 0, 1) else "thread"
     if executor not in EXECUTOR_REGISTRY:

@@ -8,7 +8,7 @@ accounting, so every experiment is a two-line comparison.
 
 from .base import MAM_REGISTRY, SAM_REGISTRY, BuiltIndex, IndexCosts, resolve_method
 from .explain import AUDITABLE_METHODS, explain_query
-from .lifecycle import load_built_index
+from .lifecycle import load_built_index, load_catalog
 from .qfd_model import QFDModel
 from .qmap_model import QMapModel
 
@@ -21,6 +21,7 @@ __all__ = [
     "SAM_REGISTRY",
     "resolve_method",
     "load_built_index",
+    "load_catalog",
     "explain_query",
     "AUDITABLE_METHODS",
 ]

@@ -46,21 +46,30 @@ def _table2_audit(
     m, n = am.size, am.dim
     p = 0
     x = 0
+    filter_flops = 0.0
     if method == "pivot-table":
         p = am.n_pivots
         # Table 2's x = non-filtered objects = the candidates actually
         # verified with a real distance during refinement.
         x = buffer.candidates_verified
+        # The hyper-cube filter compares m objects against p pivot
+        # distances — arithmetic Table 2 prices but no CountingDistance
+        # observes.  Charging it on the observed side makes the pivot
+        # table audit zero-drift like the other closed forms.
+        filter_flops = float(m * p)
     elif method == "mtree":
         # Table 2 prices the M-tree query as x distance computations.
         x = evaluations
     predicted = theoretical_querying_flops(
         method, index.model_name, m=m, n=n, p=p, x=x
     )
-    observed = measured_flops(
-        IndexCosts(distance_computations=evaluations, transforms=transforms),
-        index.model_name,
-        n,
+    observed = (
+        measured_flops(
+            IndexCosts(distance_computations=evaluations, transforms=transforms),
+            index.model_name,
+            n,
+        )
+        + filter_flops
     )
     return CostAudit(
         method=method,
@@ -69,6 +78,7 @@ def _table2_audit(
         observed_flops=observed,
         observed_evaluations=evaluations,
         observed_transforms=transforms,
+        observed_filter_flops=filter_flops,
     )
 
 

@@ -18,11 +18,11 @@ from .base import BuiltIndex
 from .qfd_model import QFDModel
 from .qmap_model import QMapModel
 
-__all__ = ["load_built_index"]
+__all__ = ["load_built_index", "load_catalog"]
 
 
 def load_built_index(
-    source: "str | os.PathLike[str]",
+    source: object,
     *,
     verify: bool = True,
     store: str = "heap",
@@ -31,16 +31,21 @@ def load_built_index(
 ) -> BuiltIndex:
     """Restore a :meth:`BuiltIndex.save` snapshot, model included.
 
-    Reads the stored model marker and QFD matrix, builds the matching
-    :class:`QFDModel` or :class:`QMapModel`, and delegates to its
-    ``load_index`` — zero distance evaluations, like every snapshot
-    restore.  ``store``/``store_path``/``block_rows`` forward to the
-    model: ``store="mmap"`` re-wires the structure over a memory-mapped
-    spill of the archived rows and evaluates through the blocked kernels.
+    *source* is a snapshot path or an already-read
+    :class:`~repro.persistence.IndexSnapshot` — callers that inspected
+    the archive first (``repro index query``, the planner's probe
+    materializer) pass the parsed snapshot through, so a restore stays a
+    single file open.  Reads the stored model marker and QFD matrix,
+    builds the matching :class:`QFDModel` or :class:`QMapModel`, and
+    delegates to its ``load_index`` — zero distance evaluations, like
+    every snapshot restore.  ``store``/``store_path``/``block_rows``
+    forward to the model: ``store="mmap"`` re-wires the structure over a
+    memory-mapped spill of the archived rows and evaluates through the
+    blocked kernels.
     """
-    from ..persistence import read_snapshot
+    from ..persistence import IndexSnapshot, read_snapshot
 
-    snapshot = read_snapshot(source)
+    snapshot = source if isinstance(source, IndexSnapshot) else read_snapshot(source)
     label = snapshot.path or "snapshot"
     model = str(snapshot.meta.get("model", "<missing>"))
     matrix = snapshot.meta.get("matrix")
@@ -59,3 +64,18 @@ def load_built_index(
         f"{label} was saved by unknown model {model!r}; "
         f"expected {QFDModel.name!r} or {QMapModel.name!r}"
     )
+
+
+def load_catalog(directory: "str | os.PathLike[str]"):
+    """Discover built index snapshots under *directory*.
+
+    Thin lifecycle entry point over
+    :meth:`repro.planner.IndexCatalog.scan`: probes every ``*.npz``
+    through its zip/npy headers (never loading vectors) and returns the
+    catalog, with unreadable files surfaced as warnings.  The planner
+    import is deferred so ``repro.models`` stays loadable without the
+    planner package's dependency chain.
+    """
+    from ..planner import IndexCatalog
+
+    return IndexCatalog.scan(directory)

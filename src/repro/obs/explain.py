@@ -78,8 +78,13 @@ class CostAudit:
 
     ``predicted_flops`` evaluates the Table 2 closed form for the method
     and model at the run's sizes; ``observed_flops`` prices the actually
-    recorded evaluations/transforms the same way (``measured_flops``).
-    ``drift`` is the signed relative deviation, observed over predicted.
+    recorded evaluations/transforms the same way (``measured_flops``),
+    plus any filter arithmetic the structure spends outside the distance
+    counters (``observed_filter_flops`` — the pivot table's ``m * p``
+    hyper-cube filter, which Table 2 prices but no
+    :class:`~repro.distances.base.CountingDistance` ever sees).  With
+    the filter term accounted on the observed side, every auditable
+    method's ``drift`` is exactly zero.
     """
 
     method: str
@@ -88,6 +93,7 @@ class CostAudit:
     observed_flops: float
     observed_evaluations: int
     observed_transforms: int
+    observed_filter_flops: float = 0.0
 
     @property
     def drift(self) -> float:
@@ -104,6 +110,7 @@ class CostAudit:
             "observed_flops": self.observed_flops,
             "observed_evaluations": self.observed_evaluations,
             "observed_transforms": self.observed_transforms,
+            "observed_filter_flops": self.observed_filter_flops,
             "drift": self.drift,
         }
 
@@ -360,9 +367,12 @@ def render_text(plan: ExplainPlan) -> str:
         )
     if plan.audit is not None:
         audit = plan.audit
-        lines.append(
+        line = (
             f"Table 2 audit: predicted={audit.predicted_flops:.4g} flops  "
             f"observed={audit.observed_flops:.4g} flops  "
             f"drift={audit.drift:+.2%}"
         )
+        if audit.observed_filter_flops:
+            line += f"  (incl. filter {audit.observed_filter_flops:.4g})"
+        lines.append(line)
     return "\n".join(lines)

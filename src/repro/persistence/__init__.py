@@ -38,6 +38,8 @@ from .format import (
     FORMAT_VERSION,
     SNAPSHOT_KIND,
     IndexSnapshot,
+    SnapshotProbe,
+    probe_snapshot,
     read_snapshot,
     write_snapshot,
 )
@@ -57,6 +59,8 @@ __all__ = [
     "save_index",
     "load_index",
     "IndexSnapshot",
+    "SnapshotProbe",
+    "probe_snapshot",
     "read_snapshot",
     "write_snapshot",
     "SNAPSHOT_KIND",

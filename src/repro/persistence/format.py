@@ -25,6 +25,7 @@ arrays and performs **zero** logical distance computations.
 from __future__ import annotations
 
 import os
+import zipfile
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -38,7 +39,9 @@ __all__ = [
     "SNAPSHOT_KIND",
     "STATE_PREFIX",
     "IndexSnapshot",
+    "SnapshotProbe",
     "check_kind",
+    "probe_snapshot",
     "read_snapshot",
     "write_snapshot",
 ]
@@ -148,3 +151,173 @@ def read_snapshot(path: "str | os.PathLike[str]") -> IndexSnapshot:
             meta=meta,
             path=target,
         )
+
+
+#: Entries at most this many elements are materialized by a probe; larger
+#: ones (the database, pivot tables, the QFD matrix, page images, ...)
+#: contribute only their shape.  Large enough for every scalar marker and
+#: the workload recipe, small enough that probing never decompresses a
+#: vector payload.
+_PROBE_VALUE_ELEMENTS = 16
+
+
+@dataclass(frozen=True)
+class SnapshotProbe:
+    """Header-only view of a snapshot archive: metadata, never vectors.
+
+    Produced by :func:`probe_snapshot` from the ``.npy`` member headers of
+    the archive — the database rows and every other large array stay
+    compressed on disk, so probing a directory of snapshots is I/O-cheap
+    regardless of index size.  Small entries (scalar markers such as the
+    model name, the pivot-table bound mode, build costs, and the workload
+    recipe) are materialized as plain Python values; everything else is
+    reported by shape only.
+    """
+
+    path: str
+    method: str
+    method_version: int
+    format_version: int
+    shape: "tuple[int, int]"
+    dtype: str
+    meta: "dict[str, object]"
+    meta_shapes: "dict[str, tuple[int, ...]]"
+    state_scalars: "dict[str, object]"
+    state_shapes: "dict[str, tuple[int, ...]]"
+
+    @property
+    def size(self) -> int:
+        """Database size ``m`` (rows the index was built over)."""
+        return self.shape[0]
+
+    @property
+    def dim(self) -> int:
+        """Vector dimensionality ``n``."""
+        return self.shape[1]
+
+
+def _scalarize(value: np.ndarray) -> object:
+    """A 0-d (or tiny) numpy value as a plain Python object."""
+    arr = np.asarray(value)
+    if arr.ndim == 0:
+        return arr.item()
+    return arr.tolist()
+
+
+def _member_header(
+    zf: zipfile.ZipFile, name: str, label: object
+) -> "tuple[tuple[int, ...], np.dtype]":
+    """Shape and dtype of one ``.npy`` member without reading its data."""
+    with zf.open(name) as fh:
+        version = np.lib.format.read_magic(fh)
+        if version == (1, 0):
+            shape, _, dtype = np.lib.format.read_array_header_1_0(fh)
+        elif version == (2, 0):
+            shape, _, dtype = np.lib.format.read_array_header_2_0(fh)
+        else:
+            raise StorageError(
+                f"{label!s}: entry {name!r} uses unsupported npy format "
+                f"version {version}"
+            )
+    return tuple(int(s) for s in shape), dtype
+
+
+def _member_value(zf: zipfile.ZipFile, name: str) -> np.ndarray:
+    """Fully read one (small) ``.npy`` member."""
+    with zf.open(name) as fh:
+        return np.lib.format.read_array(fh, allow_pickle=False)
+
+
+def probe_snapshot(path: "str | os.PathLike[str]") -> SnapshotProbe:
+    """Probe a snapshot archive's metadata without loading any vectors.
+
+    Reads only the zip directory, the per-member ``.npy`` headers, and the
+    tiny scalar entries (kind/method markers, ``meta__*`` scalars such as
+    the model name and build costs, 0-d ``state__*`` markers such as the
+    pivot-table bound mode).  The database array — and every other large
+    payload — is never decompressed.  Raises :class:`StorageError` for
+    anything that is not a readable index snapshot of a supported format
+    version, exactly like :func:`read_snapshot` would.
+    """
+    target = normalize_npz_path(path)
+    try:
+        zf = zipfile.ZipFile(target)
+    except (OSError, zipfile.BadZipFile) as exc:
+        raise StorageError(f"cannot read snapshot {path!s}: {exc}") from None
+    with zf:
+        members: dict[str, str] = {}
+        for name in zf.namelist():
+            key = name[: -len(".npy")] if name.endswith(".npy") else name
+            members[key] = name
+        for required in _HEADER_KEYS:
+            if required not in members:
+                raise StorageError(
+                    f"{path!s} is not an index snapshot (missing {required!r})"
+                )
+        try:
+            kind = str(_scalarize(_member_value(zf, members["kind"])))
+            if kind != SNAPSHOT_KIND:
+                raise StorageError(
+                    f"{path!s} holds a {kind!r} artifact, expected "
+                    f"{SNAPSHOT_KIND!r}"
+                )
+            format_version = int(_member_value(zf, members["format_version"]))
+            if format_version > FORMAT_VERSION:
+                raise StorageError(
+                    f"{path!s} uses snapshot format version {format_version}; "
+                    f"this library reads up to version {FORMAT_VERSION}"
+                )
+            method = str(_scalarize(_member_value(zf, members["method"])))
+            method_version = int(_member_value(zf, members["method_version"]))
+            db_shape, db_dtype = _member_header(zf, members["database"], path)
+            if len(db_shape) != 2:
+                raise StorageError(
+                    f"{path!s}: database entry has shape {db_shape}, "
+                    "expected 2-D rows"
+                )
+            meta: dict[str, object] = {}
+            meta_shapes: dict[str, tuple[int, ...]] = {}
+            state_scalars: dict[str, object] = {}
+            state_shapes: dict[str, tuple[int, ...]] = {}
+            for key, name in members.items():
+                if key in _HEADER_KEYS:
+                    continue
+                shape, _ = _member_header(zf, name, path)
+                elements = 1
+                for extent in shape:
+                    elements *= extent
+                if key.startswith(META_PREFIX):
+                    short = key[len(META_PREFIX) :]
+                    if elements <= _PROBE_VALUE_ELEMENTS:
+                        meta[short] = _scalarize(_member_value(zf, name))
+                    else:
+                        meta_shapes[short] = shape
+                elif key.startswith(STATE_PREFIX):
+                    short = key[len(STATE_PREFIX) :]
+                    state_shapes[short] = shape
+                    if shape == ():
+                        state_scalars[short] = _scalarize(
+                            _member_value(zf, name)
+                        )
+                else:
+                    raise StorageError(
+                        f"{path!s}: unexpected snapshot entry {key!r}"
+                    )
+        except StorageError:
+            raise
+        except (OSError, ValueError, zipfile.BadZipFile) as exc:
+            raise StorageError(
+                f"cannot probe snapshot {path!s}: {exc}"
+            ) from None
+    return SnapshotProbe(
+        path=target,
+        method=method,
+        method_version=method_version,
+        format_version=format_version,
+        shape=(db_shape[0], db_shape[1]),
+        dtype=str(db_dtype),
+        meta=meta,
+        meta_shapes=meta_shapes,
+        state_scalars=state_scalars,
+        state_shapes=state_shapes,
+    )

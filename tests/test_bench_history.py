@@ -129,13 +129,16 @@ class TestBenchCheckCLI:
 
         # Write the baseline: exit 0, metrics for 3 methods x 2 models,
         # with the pivot table gated in all three bound modes (its
-        # +ptolemaic / +best variant keys).
+        # +ptolemaic / +best variant keys) plus the planner's auto-pick
+        # counters (alternatives / evaluations / transforms).
         assert main(_check_args(tmp_path, "--update-baseline")) == 0
         payload = json.loads(baseline.read_text(encoding="utf-8"))
         assert payload["default_threshold"] == 0.0
-        assert len(payload["metrics"]) == 30
+        assert len(payload["metrics"]) == 33
         assert "pivot-table+ptolemaic.qfd.query_evaluations" in payload["metrics"]
         assert "pivot-table+best.qmap.build_evaluations" in payload["metrics"]
+        assert "planner.auto.alternatives" in payload["metrics"]
+        assert "planner.auto.query_evaluations" in payload["metrics"]
         assert payload["workload"]["size"] == 80
 
         # Same workload, same seed: counts are bit-reproducible -> pass.

@@ -153,3 +153,21 @@ class TestExecutorResolution:
     def test_instance_passes_through(self) -> None:
         exec_ = ThreadPoolBatchExecutor(workers=2)
         assert resolve_executor(exec_) is exec_
+
+    def test_planner_choice_resolves_duck_typed(self) -> None:
+        """Any object with a string ``name`` works — no planner import."""
+        from repro.planner import ExecutorChoice
+
+        choice = ExecutorChoice(name="thread", workers=3, chunk_size=4)
+        exec_ = resolve_executor(choice)
+        assert isinstance(exec_, ThreadPoolBatchExecutor)
+        assert exec_.workers == 3
+        # Explicit arguments override the choice's own fields.
+        assert resolve_executor(choice, workers=5).workers == 5
+        assert isinstance(
+            resolve_executor(ExecutorChoice(name="serial")), SerialExecutor
+        )
+
+    def test_nameless_object_is_rejected(self) -> None:
+        with pytest.raises(QueryError):
+            resolve_executor(object())

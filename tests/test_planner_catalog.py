@@ -1,0 +1,139 @@
+"""Catalog discovery over real snapshots: probing, scanning, `index ls`.
+
+Pinned invariants:
+
+1. ``probe_snapshot`` reads exactly what ``BuiltIndex.save`` wrote —
+   method, shape, model marker, pivot layout — without deserializing the
+   index (and rejects anything that is not a snapshot);
+2. ``IndexCatalog.scan`` turns every readable snapshot into an entry and
+   every unreadable ``.npz`` into a *warning* — nothing is silently
+   skipped;
+3. ``repro index ls`` surfaces both: the table on stdout, the warnings
+   on stderr.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.cli import main
+from repro.datasets import histogram_workload
+from repro.exceptions import StorageError
+from repro.models import QFDModel, QMapModel
+from repro.persistence import probe_snapshot
+from repro.planner import CatalogEntry, IndexCatalog
+
+
+@pytest.fixture(scope="module")
+def workload():
+    return histogram_workload(120, 4, bins_per_channel=4, seed=5)
+
+
+@pytest.fixture(scope="module")
+def snapshot_dir(tmp_path_factory, workload):
+    """Two restorable snapshots plus two unreadable ``.npz`` files."""
+    root = tmp_path_factory.mktemp("catalog")
+    QMapModel(workload.matrix).build_index(
+        "pivot-table", workload.database, n_pivots=8, bound="best"
+    ).save(str(root / "pivot.npz"))
+    QFDModel(workload.matrix).build_index("mtree", workload.database, capacity=16).save(
+        str(root / "mtree.npz")
+    )
+    (root / "garbage.npz").write_bytes(b"not a zip archive")
+    np.savez(root / "foreign.npz", rows=np.zeros((3, 3)))  # no snapshot markers
+    return root
+
+
+class TestProbeSnapshot:
+    def test_probe_matches_save(self, snapshot_dir, workload) -> None:
+        probe = probe_snapshot(snapshot_dir / "pivot.npz")
+        assert probe.method == "pivot-table"
+        assert (probe.size, probe.dim) == workload.database.shape
+        assert probe.meta["model"] == "qmap"
+        assert probe.state_scalars["bound"] == "best"
+        assert probe.state_shapes["pivot_indices"] == (8,)
+        # Header-only: the archived matrix is reported by shape, not value.
+        assert probe.meta_shapes["matrix"] == workload.matrix.shape
+
+    def test_probe_rejects_non_snapshots(self, snapshot_dir) -> None:
+        with pytest.raises(StorageError):
+            probe_snapshot(snapshot_dir / "garbage.npz")
+        with pytest.raises(StorageError):
+            probe_snapshot(snapshot_dir / "foreign.npz")
+        with pytest.raises(StorageError):
+            probe_snapshot(snapshot_dir / "missing.npz")
+
+
+class TestCatalogScan:
+    def test_entries_and_warnings(self, snapshot_dir, workload) -> None:
+        catalog = IndexCatalog.scan(snapshot_dir)
+        assert len(catalog) == 2
+        by_method = {entry.method: entry for entry in catalog}
+        pivot = by_method["pivot-table"]
+        assert pivot.model == "qmap" and pivot.bound == "best"
+        assert pivot.n_pivots == 8 and pivot.store == "heap"
+        assert pivot.label == "pivot-table+best,qmap"
+        mtree = by_method["mtree"]
+        assert mtree.model == "qfd" and mtree.bound is None
+        assert mtree.label == "mtree,qfd"
+        assert (mtree.size, mtree.dim) == workload.database.shape
+        assert mtree.build_distance_computations > 0
+        # Both unreadable files surfaced, each exactly once per file.
+        assert len(catalog.warnings) == 2
+        assert any("garbage.npz" in w for w in catalog.warnings)
+        assert any("foreign.npz" in w for w in catalog.warnings)
+        for warning in catalog.warnings:
+            name = next(n for n in ("garbage.npz", "foreign.npz") if n in warning)
+            assert warning.count(name) == 1, warning  # no stuttered paths
+
+    def test_missing_directory_raises(self, tmp_path) -> None:
+        with pytest.raises(StorageError):
+            IndexCatalog.scan(tmp_path / "nope")
+
+    def test_compatible_filters_dim_and_model(self, snapshot_dir) -> None:
+        catalog = IndexCatalog.scan(snapshot_dir)
+        assert len(catalog.compatible(64)) == 2
+        assert [e.method for e in catalog.compatible(64, model="qfd")] == ["mtree"]
+        assert catalog.compatible(512) == []
+
+    def test_workload_recipe_roundtrips_from_cli_saves(
+        self, tmp_path, capsys
+    ) -> None:
+        assert (
+            main(
+                [
+                    "index", "save", "--method", "pivot-table",
+                    "--size", "80", "--queries", "4", "--seed", "3",
+                    "--out", str(tmp_path / "snap"),
+                ]
+            )
+            == 0
+        )
+        capsys.readouterr()
+        entry = IndexCatalog.scan(tmp_path).entries[0]
+        assert entry.workload == {"size": 80, "bins": 4, "queries": 4, "seed": 3}
+
+
+class TestIndexLsCommand:
+    def test_ls_lists_and_warns(self, snapshot_dir, capsys) -> None:
+        assert main(["index", "ls", str(snapshot_dir)]) == 0
+        captured = capsys.readouterr()
+        assert "2 snapshot(s)" in captured.out
+        assert "pivot.npz" in captured.out and "mtree.npz" in captured.out
+        assert "best" in captured.out  # the bound column
+        assert "warning" in captured.err
+        assert "garbage.npz" in captured.err and "foreign.npz" in captured.err
+
+    def test_ls_missing_directory_fails(self, tmp_path, capsys) -> None:
+        assert main(["index", "ls", str(tmp_path / "nope")]) != 0
+
+
+def test_catalog_entry_label_hides_triangle_bound() -> None:
+    entry = CatalogEntry(
+        path="x.npz", method="pivot-table", model="qfd", bound="triangle",
+        size=10, dim=4, dtype="float64", format_version=1, method_version=1,
+        n_pivots=4, build_distance_computations=0, build_transforms=0,
+        build_seconds=0.0,
+    )
+    assert entry.label == "pivot-table,qfd"

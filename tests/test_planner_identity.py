@@ -1,0 +1,137 @@
+"""Planner answer identity: every plan answers like the sequential scan.
+
+The acceptance property of the whole planner layer: routing a query
+batch through *any* planner alternative — a probe of any of the twelve
+access methods under either model, either direct scan, or a
+filter-and-refine pipeline — returns the same neighbors as the
+sequential raw-QFD baseline (indices exact, distances within the ulp
+tolerance the whole suite uses).  The planner only ever moves
+*evaluations*, never answers.
+
+Deterministic sweep: one forced probe per (method, model) snapshot.
+Hypothesis sweep: random k / radius / query against the planner's own
+*chosen* plan.
+"""
+
+from __future__ import annotations
+
+import functools
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.datasets import calibrate_radius, histogram_workload
+from repro.models import MAM_REGISTRY, SAM_REGISTRY, QFDModel, QMapModel
+from repro.models.planning import plan_query_batch
+
+from .helpers import assert_same_neighbors
+
+#: Build kwargs per method (mirrors the CLI's `_INDEX_KWARGS`).
+_BUILD_KWARGS = {
+    "pivot-table": {"n_pivots": 8},
+    "mindex": {"n_pivots": 8},
+    "mtree": {"capacity": 16},
+    "paged-mtree": {"capacity": 16},
+    "rtree": {"capacity": 16},
+    "xtree": {"capacity": 16},
+}
+
+#: All twelve access methods: MAMs under both models, SAMs (which pick
+#: the distance at query time) under the QMap model only.
+COMBOS = [(method, model) for method in MAM_REGISTRY for model in ("qfd", "qmap")] + [
+    (method, "qmap") for method in SAM_REGISTRY
+]
+
+M, N_QUERIES, K = 120, 4, 5
+
+
+@functools.lru_cache(maxsize=1)
+def _workload():
+    return histogram_workload(M, N_QUERIES, bins_per_channel=4, seed=13)
+
+
+@functools.lru_cache(maxsize=1)
+def _radius() -> float:
+    return calibrate_radius(_workload(), 8)
+
+
+@pytest.fixture(scope="module")
+def snapshot_dir(tmp_path_factory):
+    """One saved snapshot per (method, model) combo."""
+    root = tmp_path_factory.mktemp("identity")
+    workload = _workload()
+    for method, model_name in COMBOS:
+        model_cls = QMapModel if model_name == "qmap" else QFDModel
+        built = model_cls(workload.matrix).build_index(
+            method, workload.database, **_BUILD_KWARGS.get(method, {})
+        )
+        built.save(str(root / f"{method}_{model_name}.npz"))
+    return root
+
+
+@pytest.fixture(scope="module")
+def baseline():
+    index = QFDModel(_workload().matrix).build_index(
+        "sequential", _workload().database
+    )
+    return {
+        "knn": [index.knn_search(q, K) for q in _workload().queries],
+        "range": [index.range_search(q, _radius()) for q in _workload().queries],
+    }
+
+
+def test_catalog_sees_every_combo(snapshot_dir) -> None:
+    planned = plan_query_batch(
+        _workload().matrix, _workload().database, _workload().queries,
+        k=K, index_dir=str(snapshot_dir),
+    )
+    probes = [c for c in planned.choice.considered if c.name.startswith("probe[")]
+    assert len(probes) == len(COMBOS)
+    assert not planned.catalog.warnings
+
+
+@pytest.mark.parametrize("method,model_name", COMBOS)
+def test_forced_probe_matches_sequential_baseline(
+    method: str, model_name: str, snapshot_dir, baseline
+) -> None:
+    workload = _workload()
+    for kind, kwargs in (("knn", {"k": K}), ("range", {"radius": _radius()})):
+        planned = plan_query_batch(
+            workload.matrix, workload.database, workload.queries,
+            index_dir=str(snapshot_dir),
+            force=f"probe[{method},{model_name}]",
+            **kwargs,
+        )
+        results = planned.execution.run_batch(workload.queries, **kwargs)
+        for pos, (got, expected) in enumerate(zip(results, baseline[kind])):
+            assert_same_neighbors(
+                got, expected, label=f"{method}/{model_name}/{kind} q{pos}"
+            )
+
+
+@given(
+    k=st.integers(min_value=1, max_value=12),
+    query_pos=st.integers(min_value=0, max_value=N_QUERIES - 1),
+)
+@settings(
+    max_examples=15, deadline=None,
+    suppress_health_check=[HealthCheck.function_scoped_fixture],
+)
+def test_chosen_plan_matches_baseline_for_any_k(
+    snapshot_dir, k: int, query_pos: int
+) -> None:
+    """Whatever the argmin picks answers exactly like the baseline."""
+    workload = _workload()
+    query = workload.queries[query_pos]
+    planned = plan_query_batch(
+        workload.matrix, workload.database, query.reshape(1, -1),
+        k=k, index_dir=str(snapshot_dir),
+    )
+    expected = (
+        QFDModel(workload.matrix)
+        .build_index("sequential", workload.database)
+        .knn_search(query, k)
+    )
+    (got,) = planned.execution.run_batch(query.reshape(1, -1), k=k)
+    assert_same_neighbors(got, expected, label=planned.plan_name)
