@@ -18,6 +18,7 @@ per channel -> 512-d) with databases up to ``MAX_DB`` vectors; set
 
 from __future__ import annotations
 
+import contextlib
 import functools
 import json
 import os
@@ -33,6 +34,7 @@ __all__ = [
     "N_QUERIES",
     "SIZES",
     "get_workload",
+    "maybe_serve_metrics",
     "report_sweep",
     "print_header",
     "reset_store_cache",
@@ -60,6 +62,39 @@ def get_workload(max_db: int = MAX_DB, n_queries: int = N_QUERIES) -> Workload:
     return histogram_workload(
         max_db, n_queries, bins_per_channel=BINS_PER_CHANNEL, seed=2011
     )
+
+
+@contextlib.contextmanager
+def maybe_serve_metrics(registry=None, *, env_var: str = "REPRO_BENCH_SERVE"):
+    """Serve the bench's live registry over HTTP when *env_var* is set.
+
+    ``REPRO_BENCH_SERVE=[host:]port`` (port 0 auto-assigns) starts a
+    :class:`repro.obs.TelemetryServer` for the duration of the ``with``
+    block, so a long 1M-scale run can be watched from outside with
+    ``curl http://host:port/metrics``.  Unset, this yields ``None`` and
+    adds nothing — the default bench run stays telemetry-free.
+
+    With *registry* ``None`` the server resolves the process's active
+    registry on every request, so benches that install a fresh registry
+    per phase (``use_registry``) stay scrapeable throughout.
+    """
+    spec = os.environ.get(env_var, "").strip()
+    if not spec:
+        yield None
+        return
+    from repro.obs import TelemetryServer, parse_serve_spec
+
+    host, port = parse_serve_spec(spec)
+    server = TelemetryServer(registry, host=host, port=port)
+    server.start()
+    print(
+        f"serving  : {server.url} (GET /metrics /healthz /snapshot.json)",
+        flush=True,
+    )
+    try:
+        yield server
+    finally:
+        server.stop()
 
 
 def reset_store_cache(index) -> None:

@@ -109,7 +109,15 @@ def _phase_cell(args: argparse.Namespace, model_name: str, method: str) -> dict:
     """Build + query one (model, method) cell over the memmap source."""
     from repro.bench import measure_queries, metrics_block
     from repro.models import QFDModel, QMapModel
-    from repro.obs import MetricsRegistry, peak_rss_bytes, peak_rss_source, use_registry
+    from repro.obs import (
+        MetricsRegistry,
+        RssSampler,
+        peak_rss_bytes,
+        peak_rss_source,
+        use_registry,
+    )
+
+    from _common import maybe_serve_metrics
 
     workdir = Path(args.workdir)
     source = np.memmap(
@@ -127,7 +135,17 @@ def _phase_cell(args: argparse.Namespace, model_name: str, method: str) -> dict:
         str(workdir / f"mapped_{method}.bin") if model_name == "qmap" else None
     )
     registry = MetricsRegistry()
-    with use_registry(registry):
+    # Background RSS sampling (ru_maxrss is a lifetime high-water mark;
+    # the sampler attributes the peak to this cell specifically) plus an
+    # optional live scrape endpoint via REPRO_BENCH_SERVE=[host:]port.
+    sampler = RssSampler(
+        interval=0.2,
+        registry=registry,
+        model=model_name,
+        method=method,
+        phase="cell",
+    )
+    with use_registry(registry), maybe_serve_metrics(registry), sampler:
         built = model.build_index(
             method,
             source,
@@ -142,6 +160,8 @@ def _phase_cell(args: argparse.Namespace, model_name: str, method: str) -> dict:
         # structures, so the 1NN must be identical).
         top1 = [built.knn_search(q, 1)[0].index for q in queries]
     return {
+        "sampled_peak_rss_bytes": sampler.peak_seen,
+        "rss_samples": sampler.samples,
         "phase": f"{model_name}:{method}",
         "model": model_name,
         "method": method,

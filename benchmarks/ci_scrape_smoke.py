@@ -1,0 +1,165 @@
+"""CI smoke: scrape a live ``repro query --serve-metrics`` run over HTTP.
+
+Spawns ``repro query`` with a telemetry endpoint on an auto-assigned
+port and a short ``--serve-hold``, parses the flushed ``serving  :``
+line for the bound URL, and — while the child is still holding the
+endpoint open — fetches
+
+* ``/healthz``   (must answer ``ok``),
+* ``/metrics``   — scraped twice: once immediately (mid-run: must be
+  valid Prometheus text per the repo's strict conformance parser), and
+  once after the child prints its ``costs    :`` line, when the
+  query-phase ``repro_distance_evaluations_total`` samples must sum to
+  exactly the evaluation count the child printed,
+* ``/snapshot.json`` (must be JSON with a non-empty metrics list).
+
+Exits non-zero on any failure; no third-party dependencies (urllib +
+the in-repo parser only).
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/ci_scrape_smoke.py [--size N]
+        [--queries Q] [--hold SECONDS]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import subprocess
+import sys
+import urllib.request
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+from repro.obs import parse_prometheus_text  # noqa: E402
+
+
+def _fail(child: subprocess.Popen, message: str) -> "int":
+    child.terminate()
+    out, _ = child.communicate(timeout=30)
+    print(f"FAIL: {message}", file=sys.stderr)
+    print(f"child output:\n{out}", file=sys.stderr)
+    return 1
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.split("\n", 1)[0])
+    parser.add_argument("--size", type=int, default=400)
+    parser.add_argument("--queries", type=int, default=50)
+    parser.add_argument("--hold", type=float, default=20.0)
+    args = parser.parse_args()
+
+    env = dict(os.environ)
+    src = str(REPO_ROOT / "src")
+    env["PYTHONPATH"] = (
+        src + os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else src
+    )
+    cmd = [
+        sys.executable,
+        "-u",
+        "-m",
+        "repro",
+        "query",
+        "--method",
+        "mtree",
+        "--size",
+        str(args.size),
+        "--queries",
+        str(args.queries),
+        "--k",
+        "10",
+        "--batch",
+        "--serve-metrics",
+        "127.0.0.1:0",
+        "--serve-hold",
+        str(args.hold),
+    ]
+    child = subprocess.Popen(
+        cmd,
+        env=env,
+        stdout=subprocess.PIPE,
+        stderr=subprocess.STDOUT,
+        text=True,
+    )
+    # The serving line is printed (flushed) before the batch starts.
+    url = None
+    assert child.stdout is not None
+    for line in child.stdout:
+        if line.startswith("serving  :"):
+            url = line.split()[2]
+            break
+    if url is None:
+        return _fail(child, "child never printed a 'serving  :' line")
+    print(f"scraping {url}")
+
+    try:
+        with urllib.request.urlopen(f"{url}/healthz", timeout=10) as resp:
+            health = resp.read().decode("utf-8")
+        if health.strip() != "ok":
+            return _fail(child, f"/healthz answered {health!r}, expected 'ok'")
+        print("healthz  : ok")
+
+        # First scrape, racing the run itself: whatever is there must
+        # already be well-formed exposition text.
+        with urllib.request.urlopen(f"{url}/metrics", timeout=10) as resp:
+            content_type = resp.headers.get("Content-Type", "")
+            text = resp.read().decode("utf-8")
+        if "text/plain" not in content_type:
+            return _fail(child, f"/metrics content-type {content_type!r}")
+        live_samples = parse_prometheus_text(text)
+        print(f"mid-run  : {len(live_samples)} samples, all valid")
+
+        # Wait for the batch to finish (the child prints its exact
+        # distance-evaluation count), then the counter must agree.
+        printed_evals = None
+        for line in child.stdout:
+            if line.startswith("costs    :"):
+                printed_evals = int(line.split(":", 1)[1].split()[0])
+                break
+        if printed_evals is None:
+            return _fail(child, "child never printed a 'costs    :' line")
+        with urllib.request.urlopen(f"{url}/metrics", timeout=10) as resp:
+            samples = parse_prometheus_text(resp.read().decode("utf-8"))
+        if not samples:
+            return _fail(child, "/metrics parsed to zero samples")
+        counted = sum(
+            s.value
+            for s in samples
+            if s.name == "repro_distance_evaluations_total"
+            and s.label_dict.get("phase") == "query"
+        )
+        if int(counted) != printed_evals:
+            return _fail(
+                child,
+                "repro_distance_evaluations_total (phase=query) is "
+                f"{counted:g}, child printed {printed_evals}",
+            )
+        names = {s.name for s in samples}
+        print(
+            f"metrics  : {len(samples)} samples, {len(names)} series names; "
+            f"query-phase evaluations == printed costs == {printed_evals}"
+        )
+
+        with urllib.request.urlopen(f"{url}/snapshot.json", timeout=10) as resp:
+            snapshot = json.loads(resp.read().decode("utf-8"))
+        if not snapshot.get("metrics"):
+            return _fail(child, "/snapshot.json has no metrics")
+        print(f"snapshot : {len(snapshot['metrics'])} metric entries")
+    except OSError as exc:
+        return _fail(child, f"scrape failed: {exc}")
+
+    # Done scraping — stop the hold early and drain the child.
+    child.terminate()
+    out, _ = child.communicate(timeout=30)
+    tail = [line for line in out.splitlines() if line.strip()][-3:]
+    for line in tail:
+        print(f"child    : {line}")
+    print("scrape smoke: PASSED")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

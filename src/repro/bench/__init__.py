@@ -22,6 +22,18 @@ from .history import (
     load_history,
 )
 from .reporting import format_series, format_table, metrics_block, speedup
+from .watch import (
+    BenchWatch,
+    MetricDelta,
+    MetricDrift,
+    WatchReport,
+    diff_metrics,
+    is_count_metric,
+    load_metrics_jsonl,
+    render_diff,
+    robust_zscore,
+    watch_history,
+)
 from .runner import (
     ModelComparison,
     QueryMeasurement,
@@ -56,4 +68,14 @@ __all__ = [
     "append_history",
     "load_history",
     "check_regression",
+    "BenchWatch",
+    "MetricDelta",
+    "MetricDrift",
+    "WatchReport",
+    "diff_metrics",
+    "is_count_metric",
+    "load_metrics_jsonl",
+    "render_diff",
+    "robust_zscore",
+    "watch_history",
 ]

@@ -1,0 +1,336 @@
+"""Drift detection over the benchmark history, and metrics-file diffing.
+
+:func:`~repro.bench.history.check_regression` gates the latest run
+against a *single committed baseline* with zero tolerance on counts —
+the right gate for bit-reproducible cost metrics, but blind to the
+history's own trajectory: a timing metric can degrade 5% per run for
+ten runs without ever tripping a per-run threshold, and machine noise
+makes any fixed threshold on wall-clock values either deaf or flappy.
+
+This module watches the *trailing window* instead, per metric key:
+
+* the trailing window (default: the 10 runs before the latest) gives a
+  **median** and **MAD** (median absolute deviation) — robust location
+  and scale, one outlier run cannot poison either;
+* the latest value's robust z-score is ``0.6745 * (x - median) / MAD``
+  (0.6745 is the normal-consistency constant, so sigma thresholds read
+  like ordinary z-scores);
+* **count keys** (``*_evaluations``, ``*_transforms``, ...) stay
+  zero-tolerance: any deviation from the window median is drift — the
+  paper's cost unit is deterministic for a fixed seed, so "noise" in a
+  count is a behavior change by definition;
+* **timing keys** (everything else: seconds, queries/sec, RSS bytes)
+  drift when ``|z| > sigma`` (default 5.0).  When the MAD is zero (the
+  window is constant) any change is infinitely surprising, so the
+  z-score degenerates to 0 (equal) or ``inf`` (different) — documented
+  behavior, not an accident.
+
+Surfaced as ``repro bench watch`` (exit 0 clean / 1 drift / 2
+insufficient history) and, for comparing two exported metrics files
+directly, :func:`diff_metrics` behind ``repro report --diff A B``.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+from dataclasses import dataclass, field
+from pathlib import Path
+from statistics import median
+from typing import Any, Mapping
+
+from .history import HISTORY_FILENAME, load_history
+
+__all__ = [
+    "MetricDrift",
+    "BenchWatch",
+    "WatchReport",
+    "robust_zscore",
+    "is_count_metric",
+    "watch_history",
+    "load_metrics_jsonl",
+    "diff_metrics",
+    "render_diff",
+]
+
+#: Normal-consistency constant: for Gaussian data MAD*1.4826 ~= stddev,
+#: so multiplying by its inverse makes the robust z read like a z-score.
+_MAD_CONSISTENCY = 0.6745
+
+#: Last dotted segment of a metric key naming a deterministic count.
+_COUNT_KEY = re.compile(
+    r"(_|^)(evaluations|transforms|alternatives|checks|candidates|hits|"
+    r"count|counts|nodes|pivots|results|queries|size|dim|bins)$"
+)
+
+
+def is_count_metric(key: str) -> bool:
+    """Whether *key* names a deterministic count (zero-tolerance gate)."""
+    return bool(_COUNT_KEY.search(key.rsplit(".", 1)[-1]))
+
+
+def robust_zscore(value: float, window: "list[float]") -> tuple[float, float, float]:
+    """``(z, median, MAD)`` of *value* against the trailing *window*.
+
+    With a zero MAD (constant window) the z degenerates to 0.0 when the
+    value equals the median and ``inf`` otherwise.
+    """
+    med = median(window)
+    mad = median(abs(x - med) for x in window)
+    if mad == 0.0:
+        z = 0.0 if value == med else float("inf")
+    else:
+        z = _MAD_CONSISTENCY * (value - med) / mad
+    return z, med, mad
+
+
+@dataclass(frozen=True)
+class MetricDrift:
+    """Verdict for one metric key of one bench."""
+
+    bench: str
+    metric: str
+    kind: str  # "count" | "timing"
+    value: float
+    median: float
+    mad: float
+    zscore: float
+    window: int
+    status: str  # "ok" | "drift" | "new"
+
+    def describe(self) -> str:
+        tail = (
+            f"value={self.value:g} median={self.median:g} "
+            f"mad={self.mad:g} z={self.zscore:+.2f} n={self.window}"
+        )
+        return f"[{self.status.upper():5s}] {self.metric} ({self.kind}): {tail}"
+
+
+@dataclass
+class BenchWatch:
+    """All verdicts for one bench name."""
+
+    bench: str
+    checked: int = 0
+    priors: int = 0
+    drifts: "list[MetricDrift]" = field(default_factory=list)
+    news: "list[MetricDrift]" = field(default_factory=list)
+    oks: "list[MetricDrift]" = field(default_factory=list)
+    insufficient: bool = False
+
+
+@dataclass
+class WatchReport:
+    """The whole watch run: per-bench results plus the process exit code."""
+
+    benches: "list[BenchWatch]" = field(default_factory=list)
+    sigma: float = 5.0
+    window: int = 10
+    min_history: int = 3
+
+    @property
+    def drifted(self) -> bool:
+        return any(b.drifts for b in self.benches)
+
+    @property
+    def checked_any(self) -> bool:
+        return any(not b.insufficient for b in self.benches)
+
+    @property
+    def exit_code(self) -> int:
+        """0 clean, 1 drift detected, 2 insufficient history everywhere."""
+        if self.drifted:
+            return 1
+        if not self.checked_any:
+            return 2
+        return 0
+
+    def render(self) -> str:
+        lines = [
+            f"bench watch: window={self.window} sigma={self.sigma:g} "
+            f"min-history={self.min_history}"
+        ]
+        if not self.benches:
+            lines.append("  (no history records)")
+        for bench in self.benches:
+            if bench.insufficient:
+                lines.append(
+                    f"  {bench.bench}: SKIPPED — {bench.priors} prior run(s), "
+                    f"need {self.min_history}"
+                )
+                continue
+            verdict = "DRIFT" if bench.drifts else "ok"
+            lines.append(
+                f"  {bench.bench}: {verdict} — {bench.checked} metric(s) vs "
+                f"{bench.priors} prior run(s)"
+                + (f", {len(bench.news)} new" if bench.news else "")
+            )
+            for drift in bench.drifts:
+                lines.append("    " + drift.describe())
+        codes = {0: "clean", 1: "drift detected", 2: "insufficient history"}
+        lines.append(f"result: {codes[self.exit_code]} (exit {self.exit_code})")
+        return "\n".join(lines)
+
+
+def _numeric_metrics(record: Mapping[str, Any]) -> dict[str, float]:
+    out: dict[str, float] = {}
+    for key, value in (record.get("metrics") or {}).items():
+        if isinstance(value, bool):
+            continue
+        if isinstance(value, (int, float)):
+            out[str(key)] = float(value)
+    return out
+
+
+def watch_history(
+    path: "str | Path" = HISTORY_FILENAME,
+    *,
+    bench: "str | None" = None,
+    window: int = 10,
+    sigma: float = 5.0,
+    min_history: int = 3,
+) -> WatchReport:
+    """Run the drift detector over a ``BENCH_history.jsonl`` file.
+
+    For each bench name (or just *bench*), the newest record is compared
+    per metric key against the up-to-*window* prior records.  A bench
+    with fewer than *min_history* priors is skipped (and, if no bench
+    has enough history, the report's exit code is 2).  Metric keys new
+    in the latest record are reported informationally, never as drift.
+    """
+    if window < 1:
+        raise ValueError(f"window must be >= 1, got {window}")
+    if min_history < 1:
+        raise ValueError(f"min_history must be >= 1, got {min_history}")
+    records = load_history(path)
+    by_bench: dict[str, list[dict]] = {}
+    for record in records:
+        name = str(record.get("bench", ""))
+        if bench is not None and name != bench:
+            continue
+        by_bench.setdefault(name, []).append(record)
+    report = WatchReport(sigma=sigma, window=window, min_history=min_history)
+    for name, runs in by_bench.items():
+        result = BenchWatch(bench=name)
+        latest = _numeric_metrics(runs[-1])
+        priors = [_numeric_metrics(r) for r in runs[:-1]][-window:]
+        result.priors = len(priors)
+        if len(priors) < min_history:
+            result.insufficient = True
+            report.benches.append(result)
+            continue
+        for key in sorted(latest):
+            series = [m[key] for m in priors if key in m]
+            if not series:
+                result.news.append(
+                    MetricDrift(
+                        bench=name, metric=key, kind="new", value=latest[key],
+                        median=latest[key], mad=0.0, zscore=0.0,
+                        window=0, status="new",
+                    )
+                )
+                continue
+            kind = "count" if is_count_metric(key) else "timing"
+            z, med, mad = robust_zscore(latest[key], series)
+            if kind == "count":
+                drifted = latest[key] != med
+            else:
+                drifted = abs(z) > sigma
+            verdict = MetricDrift(
+                bench=name, metric=key, kind=kind, value=latest[key],
+                median=med, mad=mad, zscore=z, window=len(series),
+                status="drift" if drifted else "ok",
+            )
+            result.checked += 1
+            (result.drifts if drifted else result.oks).append(verdict)
+        report.benches.append(result)
+    return report
+
+
+# ----------------------------------------------------------------------
+# metrics-JSONL diffing (repro report --diff A B)
+# ----------------------------------------------------------------------
+
+def load_metrics_jsonl(path: "str | Path") -> dict[str, float]:
+    """Flatten one ``--metrics jsonl`` export into ``{key: value}``.
+
+    Keys are ``name{label=value,...}`` for counters/gauges; histograms
+    contribute ``...#count`` and ``...#sum``.  Span records are skipped
+    (wall times per individual span are not comparable run to run).
+    """
+    out: dict[str, float] = {}
+    for line in Path(path).read_text(encoding="utf-8").splitlines():
+        line = line.strip()
+        if not line:
+            continue
+        entry = json.loads(line)
+        if entry.get("type") == "span":
+            continue
+        name = str(entry.get("name", ""))
+        labels = entry.get("labels") or {}
+        label_text = ",".join(f"{k}={v}" for k, v in sorted(labels.items()))
+        key = f"{name}{{{label_text}}}" if label_text else name
+        if "value" in entry:
+            out[key] = float(entry["value"])
+        else:
+            out[f"{key}#count"] = float(entry.get("count", 0))
+            out[f"{key}#sum"] = float(entry.get("sum", 0.0))
+    return out
+
+
+@dataclass(frozen=True)
+class MetricDelta:
+    """One key's A-vs-B comparison in :func:`diff_metrics`."""
+
+    key: str
+    a: "float | None"
+    b: "float | None"
+
+    @property
+    def delta(self) -> float:
+        return (self.b or 0.0) - (self.a or 0.0)
+
+    @property
+    def relative(self) -> float:
+        if not self.a:
+            return float("inf") if self.delta else 0.0
+        return self.delta / self.a
+
+
+def diff_metrics(
+    a: Mapping[str, float], b: Mapping[str, float]
+) -> list[MetricDelta]:
+    """Key-wise comparison of two flattened metrics maps (changed first)."""
+    deltas = [
+        MetricDelta(key, a.get(key), b.get(key))
+        for key in sorted(set(a) | set(b))
+    ]
+    return sorted(
+        deltas, key=lambda d: (-abs(d.delta), d.key)
+    )
+
+
+def render_diff(
+    deltas: "list[MetricDelta]", *, label_a: str = "A", label_b: str = "B"
+) -> str:
+    """Aligned table of :func:`diff_metrics` output."""
+    changed = [d for d in deltas if d.delta or d.a is None or d.b is None]
+    lines = [
+        f"metrics diff: {label_a} -> {label_b} "
+        f"({len(changed)} changed / {len(deltas)} keys)"
+    ]
+    if not changed:
+        lines.append("  (identical)")
+        return "\n".join(lines)
+    width = max(len(d.key) for d in changed)
+
+    def cell(value: "float | None") -> str:
+        return "-" if value is None else f"{value:g}"
+
+    for d in changed:
+        rel = "" if d.a in (None, 0.0) or d.b is None else f"  ({d.relative:+.1%})"
+        lines.append(
+            f"  {d.key:<{width}}  {cell(d.a):>14} -> {cell(d.b):>14}"
+            f"  Δ={d.delta:+g}{rel}"
+        )
+    return "\n".join(lines)

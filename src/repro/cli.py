@@ -47,11 +47,30 @@ Commands
     ``benchmarks/bench_baseline.json`` (nonzero exit on regression);
     ``history`` lists the recorded runs.
 
+``trace export``
+    Run a workload under spans + traversal-event collection and write a
+    Chrome trace-event JSON timeline (loadable in Perfetto /
+    ``chrome://tracing``): wall-clock span slices per phase and worker
+    thread, plus the first query's traversal with per-node charged
+    distance evaluations.
+``bench watch``
+    Drift detector over the benchmark history: per metric key, the
+    latest run is compared against the trailing window with robust
+    median/MAD statistics — count keys zero-tolerance, timing keys
+    gated at a configurable sigma.  Exit 0 clean, 1 drift, 2
+    insufficient history.
+``report --diff A B``
+    Key-wise comparison of two ``--metrics jsonl`` exports.
+
 ``query`` and ``index query`` additionally accept ``--trace-out PATH``
 (per-query ``QueryTrace`` records as JSON-lines), ``--metrics
 {table,jsonl,prom}`` (run with a live registry and print the export),
-and ``--explain`` / ``--explain-out PATH`` (EXPLAIN the batch's first
-query after the run).
+``--serve-metrics [host:]port`` (serve the live registry over HTTP at
+``/metrics`` / ``/healthz`` / ``/snapshot.json`` while the batch runs;
+port 0 auto-assigns; ``--serve-hold S`` keeps the endpoint up S seconds
+after the run), and ``--explain`` / ``--explain-out PATH`` (EXPLAIN the
+batch's first query after the run).  ``query`` and ``explain`` accept
+``--timeline-out PATH`` to write the run's Chrome trace-event timeline.
 """
 
 from __future__ import annotations
@@ -146,6 +165,27 @@ def build_parser() -> argparse.ArgumentParser:
         help="run with a live metrics registry and print the export",
     )
     query.add_argument(
+        "--serve-metrics",
+        default=None,
+        metavar="[HOST:]PORT",
+        help="serve the live registry over HTTP while the batch runs "
+        "(GET /metrics, /healthz, /snapshot.json; port 0 auto-assigns)",
+    )
+    query.add_argument(
+        "--serve-hold",
+        type=float,
+        default=0.0,
+        metavar="SECONDS",
+        help="keep the metrics endpoint up this long after the run",
+    )
+    query.add_argument(
+        "--timeline-out",
+        default=None,
+        metavar="PATH",
+        help="write a Chrome trace-event timeline (wall-clock spans plus "
+        "the first query's traversal); open in Perfetto",
+    )
+    query.add_argument(
         "--explain",
         action="store_true",
         help="after the batch, re-run the first query under event "
@@ -232,7 +272,60 @@ def build_parser() -> argparse.ArgumentParser:
     explain.add_argument(
         "--out", default=None, metavar="PATH", help="also write the plan JSON to PATH"
     )
+    explain.add_argument(
+        "--timeline-out",
+        default=None,
+        metavar="PATH",
+        help="write a Chrome trace-event timeline of the build/query "
+        "spans and this query's traversal; open in Perfetto",
+    )
     explain.add_argument("--seed", type=int, default=0)
+
+    trace = sub.add_parser(
+        "trace", help="export observability timelines for external viewers"
+    )
+    trace_sub = trace.add_subparsers(dest="trace_command", required=True)
+    texport = trace_sub.add_parser(
+        "export",
+        help="run a workload under spans + event collection and write a "
+        "Chrome trace-event JSON timeline loadable in Perfetto",
+    )
+    texport.add_argument("--method", default="mtree", help="access method name")
+    texport.add_argument(
+        "--model", choices=["qfd", "qmap"], default="qmap", help="distance model"
+    )
+    texport.add_argument("--size", type=int, default=500, help="database size")
+    texport.add_argument(
+        "--bins", type=int, default=4, help="RGB bins per channel (4 -> 64-d, 8 -> 512-d)"
+    )
+    texport.add_argument("--queries", type=int, default=20, help="number of queries")
+    texport.add_argument("--k", type=int, default=10, help="kNN parameter")
+    texport.add_argument(
+        "--radius",
+        type=float,
+        default=None,
+        help="run range queries with this radius instead of kNN",
+    )
+    texport.add_argument(
+        "--bound",
+        choices=["triangle", "ptolemaic", "best"],
+        default="triangle",
+        help="pivot-table lower-bound mode (ignored by other methods)",
+    )
+    texport.add_argument(
+        "--executor",
+        choices=["serial", "thread", "process"],
+        default=None,
+        help="batch executor (default: serial, or thread when --workers > 1)",
+    )
+    texport.add_argument("--workers", type=int, default=None, help="parallel workers")
+    texport.add_argument(
+        "--out",
+        default="repro_timeline.json",
+        metavar="PATH",
+        help="timeline JSON output path",
+    )
+    texport.add_argument("--seed", type=int, default=0)
 
     bench = sub.add_parser(
         "bench", help="benchmark regression history and baseline gate"
@@ -286,6 +379,44 @@ def build_parser() -> argparse.ArgumentParser:
     )
     bhistory.add_argument(
         "--last", type=int, default=10, help="show only the most recent N runs"
+    )
+
+    bwatch = bench_sub.add_parser(
+        "watch",
+        help="detect drift in the benchmark history with robust "
+        "median/MAD statistics (count keys zero-tolerance, timing keys "
+        "sigma-gated); exit 0 clean, 1 drift, 2 insufficient history",
+    )
+    bwatch.add_argument(
+        "--history",
+        default="BENCH_history.jsonl",
+        metavar="PATH",
+        help="history file to read",
+    )
+    bwatch.add_argument(
+        "--bench",
+        default=None,
+        metavar="NAME",
+        help="watch only this bench name (default: every bench found)",
+    )
+    bwatch.add_argument(
+        "--window",
+        type=int,
+        default=10,
+        help="trailing prior runs forming the baseline window",
+    )
+    bwatch.add_argument(
+        "--sigma",
+        type=float,
+        default=5.0,
+        help="robust z-score threshold for timing metrics (counts stay "
+        "zero-tolerance)",
+    )
+    bwatch.add_argument(
+        "--min-history",
+        type=int,
+        default=3,
+        help="minimum prior runs a bench needs before it is checked",
     )
 
     index = sub.add_parser(
@@ -410,6 +541,20 @@ def build_parser() -> argparse.ArgumentParser:
         help="run with a live metrics registry and print the export",
     )
     iquery.add_argument(
+        "--serve-metrics",
+        default=None,
+        metavar="[HOST:]PORT",
+        help="serve the live registry over HTTP while the batch runs "
+        "(GET /metrics, /healthz, /snapshot.json; port 0 auto-assigns)",
+    )
+    iquery.add_argument(
+        "--serve-hold",
+        type=float,
+        default=0.0,
+        metavar="SECONDS",
+        help="keep the metrics endpoint up this long after the run",
+    )
+    iquery.add_argument(
         "--explain",
         action="store_true",
         help="after the batch, re-run the first query under event "
@@ -475,6 +620,14 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         metavar="PATH",
         help="write per-query QueryTrace records to PATH as JSON-lines",
+    )
+    report.add_argument(
+        "--diff",
+        nargs=2,
+        default=None,
+        metavar=("A", "B"),
+        help="compare two --metrics jsonl export files key by key "
+        "instead of running a workload",
     )
     report.add_argument("--seed", type=int, default=0)
     return parser
@@ -568,20 +721,77 @@ def _cmd_compare(method: str, size: int, bins: int, k: int, seed: int) -> int:
     return 0
 
 
-def _activate_metrics(fmt: "str | None"):
+def _activate_metrics(fmt: "str | None", *, force: bool = False):
     """Install a live registry when a metrics format was requested.
 
     Returns ``(registry, restore)``; call ``restore()`` in a ``finally``
     block to reinstate the previous active registry.  With *fmt* ``None``
-    the null registry stays active and ``restore`` is a no-op.
+    the null registry stays active and ``restore`` is a no-op — unless
+    *force* is set (``--serve-metrics`` / ``--timeline-out`` need a live
+    registry even when no export format was asked for).
     """
     from .obs import MetricsRegistry, set_registry
 
-    if fmt is None:
+    if fmt is None and not force:
         return None, lambda: None
     registry = MetricsRegistry()
     previous = set_registry(registry)
     return registry, lambda: set_registry(previous)
+
+
+def _start_telemetry(spec: "str | None", registry):
+    """Start a :class:`~repro.obs.live.TelemetryServer` for *registry*.
+
+    Returns the running server, or ``None`` when no ``--serve-metrics``
+    spec was given.  The printed ``serving  :`` line is flushed so a
+    parent process (the CI scrape smoke) can parse the bound URL before
+    the batch finishes.
+    """
+    if spec is None:
+        return None
+    from .exceptions import QueryError
+    from .obs import TelemetryServer, parse_serve_spec
+
+    try:
+        host, port = parse_serve_spec(spec)
+    except ValueError as exc:
+        raise QueryError(str(exc)) from exc
+    server = TelemetryServer(registry, host=host, port=port)
+    server.start()
+    print(
+        f"serving  : {server.url} (GET /metrics /healthz /snapshot.json)",
+        flush=True,
+    )
+    return server
+
+
+def _finish_telemetry(server, hold: float) -> None:
+    """Hold the metrics endpoint up for *hold* seconds, then stop it."""
+    if server is None:
+        return
+    if hold and hold > 0:
+        import time
+
+        print(f"holding  : metrics endpoint up for {hold:g}s", flush=True)
+        try:
+            time.sleep(hold)
+        except KeyboardInterrupt:  # pragma: no cover - interactive only
+            pass
+    server.stop()
+
+
+def _write_timeline_out(path: str, registry, plan) -> None:
+    """Write the run's Chrome trace-event timeline to *path*."""
+    from .obs import write_timeline
+
+    spans = registry.spans if registry is not None else None
+    out = write_timeline(path, spans=spans, plan=plan)
+    n_spans = len(spans or ())
+    n_events = len(plan.events) if plan is not None else 0
+    print(
+        f"timeline : {out} ({n_spans} span(s), {n_events} traversal "
+        "event(s)); open in Perfetto or chrome://tracing"
+    )
 
 
 def _emit_metrics(registry, fmt: "str | None", out: "str | None" = None) -> None:
@@ -647,17 +857,19 @@ def _traced_loop(index, queries, collector, *, k: int, radius: float | None) -> 
 
 def _explain_first_query(
     index, queries, *, k: int, radius: "float | None", show: bool, out: "str | None"
-) -> None:
+):
     """Re-run the batch's first query under event collection.
 
     The batch itself runs with events off (the bit-identical fast path);
     the plan re-executes query 0 with its own counter delta, so the
-    printed totals describe exactly that one query.
+    printed totals describe exactly that one query.  Returns the
+    :class:`~repro.obs.explain.ExplainPlan` (or ``None`` with no
+    queries) so callers can feed it to the timeline exporter.
     """
     from .models import explain_query
 
     if len(queries) == 0:
-        return
+        return None
     if radius is not None:
         plan = explain_query(index, queries[0], radius=radius)
     else:
@@ -669,6 +881,7 @@ def _explain_first_query(
         with open(out, "w", encoding="utf-8") as fh:
             fh.write(plan.to_json() + "\n")
         print(f"explain  : {out} (query 0, {plan.kind})")
+    return plan
 
 
 def _with_bound(method: str, kwargs: dict, bound: "str | None") -> dict:
@@ -815,6 +1028,11 @@ def _cmd_query(args: "argparse.Namespace") -> int:
         args.size, args.queries, bins_per_channel=args.bins, seed=args.seed
     )
     if args.plan:
+        if args.serve_metrics is not None or args.timeline_out:
+            print(
+                "note: --serve-metrics/--timeline-out are ignored under --plan",
+                file=sys.stderr,
+            )
         print(f"workload : {workload.name}, m={args.size}, q={args.queries}")
         return _run_planned(
             workload,
@@ -829,100 +1047,113 @@ def _cmd_query(args: "argparse.Namespace") -> int:
             explain_out=args.explain_out,
             seed=args.seed,
         )
-    registry, restore_registry = _activate_metrics(args.metrics)
+    force = args.serve_metrics is not None or bool(args.timeline_out)
+    registry, restore_registry = _activate_metrics(args.metrics, force=force)
+    server = None
     try:
+        server = _start_telemetry(args.serve_metrics, registry)
         model = (QMapModel if args.model == "qmap" else QFDModel)(workload.matrix)
         kwargs = {"pivot-table": {"n_pivots": 16}, "mtree": {"capacity": 16}}.get(
             args.method, {}
         )
         kwargs = _with_bound(args.method, kwargs, getattr(args, "bound", None))
         index = model.build_index(args.method, workload.database, **kwargs)
+        index.reset_query_costs()
+        collector = TraceCollector() if (args.trace or args.trace_out) else None
+
+        if args.radius is not None:
+            what = f"range(r={args.radius})"
+        else:
+            what = f"{args.k}NN"
+        mode = "batch engine" if args.batch else "per-query loop"
+        print(f"workload : {workload.name}, m={args.size}, q={args.queries}")
+        print(f"method   : {args.method} {kwargs or ''} [{args.model} model], {what}")
+
+        try:
+            start = time.perf_counter()
+            if args.batch:
+                engine_kwargs = {
+                    "executor": args.executor,
+                    "workers": args.workers,
+                    "collector": collector,
+                }
+                if args.radius is not None:
+                    results = index.range_search_batch(
+                        workload.queries, args.radius, **engine_kwargs
+                    )
+                else:
+                    results = index.knn_search_batch(
+                        workload.queries, args.k, **engine_kwargs
+                    )
+            elif collector is not None:
+                results = _traced_loop(
+                    index, workload.queries, collector, k=args.k, radius=args.radius
+                )
+            elif args.radius is not None:
+                results = [index.range_search(q, args.radius) for q in workload.queries]
+            else:
+                results = [index.knn_search(q, args.k) for q in workload.queries]
+            elapsed = time.perf_counter() - start
+        finally:
+            # Deactivate before the EXPLAIN re-run below so the exported
+            # metrics describe exactly the build + batch (the server keeps
+            # serving this registry's final state during --serve-hold).
+            restore_registry()
+
+        n = len(results)
+        executor = args.executor or ("thread" if (args.workers or 1) > 1 else "serial")
+        workers = f"{args.workers} workers" if args.workers else "default workers"
+        print(
+            f"execution: {mode}" + (f" ({executor}, {workers})" if args.batch else "")
+        )
+        print(
+            f"wall time: {elapsed:.3f}s for {n} queries "
+            f"-> {n / elapsed:.1f} queries/s"
+        )
+        costs = index.query_costs(elapsed)
+        print(
+            f"costs    : {costs.distance_computations} distance evaluations, "
+            f"{costs.transforms} query transforms"
+        )
+        if collector is not None and args.trace:
+            summary = collector.summary()
+            print(
+                "trace    : "
+                f"{summary.evaluations_per_query:.1f} evals/query "
+                f"({summary.scalar_evaluations} scalar + "
+                f"{summary.batched_evaluations} batched), "
+                f"filter {summary.filter_hits}/{summary.filter_checked} passed, "
+                f"{summary.candidates} candidates refined, "
+                f"{summary.results} results"
+            )
+            print(
+                "latency  : "
+                f"p50 {summary.p50_seconds * 1000:.2f}ms, "
+                f"p95 {summary.p95_seconds * 1000:.2f}ms per query"
+            )
+        if collector is not None and args.trace_out:
+            _write_traces(collector, args.trace_out)
+        _emit_metrics(registry, args.metrics)
+        plan = None
+        if args.explain or args.explain_out or args.timeline_out:
+            plan = _explain_first_query(
+                index,
+                workload.queries,
+                k=args.k,
+                radius=args.radius,
+                show=args.explain,
+                out=args.explain_out,
+            )
+        if args.timeline_out:
+            _write_timeline_out(args.timeline_out, registry, plan)
+        _finish_telemetry(server, args.serve_hold)
+        server = None
+        return 0
     except BaseException:
+        if server is not None:
+            server.stop()
         restore_registry()
         raise
-    index.reset_query_costs()
-    collector = TraceCollector() if (args.trace or args.trace_out) else None
-
-    if args.radius is not None:
-        what = f"range(r={args.radius})"
-    else:
-        what = f"{args.k}NN"
-    mode = "batch engine" if args.batch else "per-query loop"
-    print(f"workload : {workload.name}, m={args.size}, q={args.queries}")
-    print(f"method   : {args.method} {kwargs or ''} [{args.model} model], {what}")
-
-    try:
-        start = time.perf_counter()
-        if args.batch:
-            engine_kwargs = {
-                "executor": args.executor,
-                "workers": args.workers,
-                "collector": collector,
-            }
-            if args.radius is not None:
-                results = index.range_search_batch(
-                    workload.queries, args.radius, **engine_kwargs
-                )
-            else:
-                results = index.knn_search_batch(
-                    workload.queries, args.k, **engine_kwargs
-                )
-        elif collector is not None:
-            results = _traced_loop(
-                index, workload.queries, collector, k=args.k, radius=args.radius
-            )
-        elif args.radius is not None:
-            results = [index.range_search(q, args.radius) for q in workload.queries]
-        else:
-            results = [index.knn_search(q, args.k) for q in workload.queries]
-        elapsed = time.perf_counter() - start
-    finally:
-        restore_registry()
-
-    n = len(results)
-    executor = args.executor or ("thread" if (args.workers or 1) > 1 else "serial")
-    workers = f"{args.workers} workers" if args.workers else "default workers"
-    print(
-        f"execution: {mode}" + (f" ({executor}, {workers})" if args.batch else "")
-    )
-    print(
-        f"wall time: {elapsed:.3f}s for {n} queries "
-        f"-> {n / elapsed:.1f} queries/s"
-    )
-    costs = index.query_costs(elapsed)
-    print(
-        f"costs    : {costs.distance_computations} distance evaluations, "
-        f"{costs.transforms} query transforms"
-    )
-    if collector is not None and args.trace:
-        summary = collector.summary()
-        print(
-            "trace    : "
-            f"{summary.evaluations_per_query:.1f} evals/query "
-            f"({summary.scalar_evaluations} scalar + "
-            f"{summary.batched_evaluations} batched), "
-            f"filter {summary.filter_hits}/{summary.filter_checked} passed, "
-            f"{summary.candidates} candidates refined, "
-            f"{summary.results} results"
-        )
-        print(
-            "latency  : "
-            f"p50 {summary.p50_seconds * 1000:.2f}ms, "
-            f"p95 {summary.p95_seconds * 1000:.2f}ms per query"
-        )
-    if collector is not None and args.trace_out:
-        _write_traces(collector, args.trace_out)
-    _emit_metrics(registry, args.metrics)
-    if args.explain or args.explain_out:
-        _explain_first_query(
-            index,
-            workload.queries,
-            k=args.k,
-            radius=args.radius,
-            show=args.explain,
-            out=args.explain_out,
-        )
-    return 0
 
 
 #: Default construction arguments for the ``index`` lifecycle commands.
@@ -1042,84 +1273,93 @@ def _cmd_index_query(args: "argparse.Namespace") -> int:
             explain_out=args.explain_out,
             seed=seed,
         )
-    registry, restore_registry = _activate_metrics(args.metrics)
+    force = args.serve_metrics is not None
+    registry, restore_registry = _activate_metrics(args.metrics, force=force)
+    server = None
     try:
+        server = _start_telemetry(args.serve_metrics, registry)
         # The header was already parsed above — pass the snapshot through
         # so the restore does not open and decode the archive a second
         # time.
         index = load_built_index(snapshot)
+        index.reset_query_costs()
+        collector = TraceCollector() if (args.trace or args.trace_out) else None
+
+        what = f"range(r={args.radius})" if args.radius is not None else f"{args.k}NN"
+        print(f"snapshot : {snapshot.path}")
+        print(
+            f"method   : {index.method_name} [{index.model_name} model], "
+            f"m={size}, q={n_queries}, {what}"
+        )
+        print(
+            f"restore  : {index.build_costs.distance_computations} distance "
+            f"evaluations, {index.build_costs.seconds:.3f}s"
+        )
+
+        engine_kwargs = {
+            "executor": args.executor,
+            "workers": args.workers,
+            "collector": collector,
+        }
+        try:
+            start = time.perf_counter()
+            if args.radius is not None:
+                results = index.range_search_batch(
+                    workload.queries, args.radius, **engine_kwargs
+                )
+            else:
+                results = index.knn_search_batch(
+                    workload.queries, args.k, **engine_kwargs
+                )
+            elapsed = time.perf_counter() - start
+        finally:
+            restore_registry()
+
+        n = len(results)
+        print(
+            f"wall time: {elapsed:.3f}s for {n} queries -> {n / elapsed:.1f} queries/s"
+        )
+        costs = index.query_costs(elapsed)
+        print(
+            f"costs    : {costs.distance_computations} distance evaluations, "
+            f"{costs.transforms} query transforms"
+        )
+        if collector is not None and args.trace:
+            summary = collector.summary()
+            print(
+                "trace    : "
+                f"{summary.evaluations_per_query:.1f} evals/query "
+                f"({summary.scalar_evaluations} scalar + "
+                f"{summary.batched_evaluations} batched), "
+                f"filter {summary.filter_hits}/{summary.filter_checked} passed, "
+                f"{summary.candidates} candidates refined, "
+                f"{summary.results} results"
+            )
+            print(
+                "latency  : "
+                f"p50 {summary.p50_seconds * 1000:.2f}ms, "
+                f"p95 {summary.p95_seconds * 1000:.2f}ms per query"
+            )
+        if collector is not None and args.trace_out:
+            _write_traces(collector, args.trace_out)
+        _emit_metrics(registry, args.metrics)
+        if args.explain or args.explain_out:
+            _explain_first_query(
+                index,
+                workload.queries,
+                k=args.k,
+                radius=args.radius,
+                show=args.explain,
+                out=args.explain_out,
+            )
+        _finish_telemetry(server, args.serve_hold)
+        server = None
+        return 0
     except BaseException:
+        if server is not None:
+            server.stop()
         restore_registry()
         raise
-    index.reset_query_costs()
-    collector = TraceCollector() if (args.trace or args.trace_out) else None
-
-    what = f"range(r={args.radius})" if args.radius is not None else f"{args.k}NN"
-    print(f"snapshot : {snapshot.path}")
-    print(
-        f"method   : {index.method_name} [{index.model_name} model], "
-        f"m={size}, q={n_queries}, {what}"
-    )
-    print(
-        f"restore  : {index.build_costs.distance_computations} distance "
-        f"evaluations, {index.build_costs.seconds:.3f}s"
-    )
-
-    engine_kwargs = {
-        "executor": args.executor,
-        "workers": args.workers,
-        "collector": collector,
-    }
-    try:
-        start = time.perf_counter()
-        if args.radius is not None:
-            results = index.range_search_batch(
-                workload.queries, args.radius, **engine_kwargs
-            )
-        else:
-            results = index.knn_search_batch(workload.queries, args.k, **engine_kwargs)
-        elapsed = time.perf_counter() - start
-    finally:
-        restore_registry()
-
-    n = len(results)
-    print(
-        f"wall time: {elapsed:.3f}s for {n} queries -> {n / elapsed:.1f} queries/s"
-    )
-    costs = index.query_costs(elapsed)
-    print(
-        f"costs    : {costs.distance_computations} distance evaluations, "
-        f"{costs.transforms} query transforms"
-    )
-    if collector is not None and args.trace:
-        summary = collector.summary()
-        print(
-            "trace    : "
-            f"{summary.evaluations_per_query:.1f} evals/query "
-            f"({summary.scalar_evaluations} scalar + "
-            f"{summary.batched_evaluations} batched), "
-            f"filter {summary.filter_hits}/{summary.filter_checked} passed, "
-            f"{summary.candidates} candidates refined, "
-            f"{summary.results} results"
-        )
-        print(
-            "latency  : "
-            f"p50 {summary.p50_seconds * 1000:.2f}ms, "
-            f"p95 {summary.p95_seconds * 1000:.2f}ms per query"
-        )
-    if collector is not None and args.trace_out:
-        _write_traces(collector, args.trace_out)
-    _emit_metrics(registry, args.metrics)
-    if args.explain or args.explain_out:
-        _explain_first_query(
-            index,
-            workload.queries,
-            k=args.k,
-            radius=args.radius,
-            show=args.explain,
-            out=args.explain_out,
-        )
-    return 0
 
 
 def _cmd_index_ls(directory: str) -> int:
@@ -1162,25 +1402,40 @@ def _cmd_explain(args: "argparse.Namespace") -> int:
         bins_per_channel=args.bins,
         seed=args.seed,
     )
-    model = (QMapModel if args.model == "qmap" else QFDModel)(workload.matrix)
-    kwargs = _with_bound(
-        args.method, _INDEX_KWARGS.get(args.method, {}), getattr(args, "bound", None)
-    )
-    index = model.build_index(args.method, workload.database, **kwargs)
-    index.reset_query_costs()
-    plan = explain_query(
-        index,
-        workload.queries[args.query_index],
-        k=None if args.radius is not None else args.k,
-        radius=args.radius,
-        max_events=args.max_events,
-        sample_every=args.sample_every,
-    )
+    # With --timeline-out, run the build + explain under a live registry
+    # so the timeline gets wall-clock spans alongside the traversal.
+    registry = None
+    restore = lambda: None  # noqa: E731 - trivial no-op restore
+    if args.timeline_out:
+        from .obs import MetricsRegistry, set_registry
+
+        registry = MetricsRegistry()
+        previous = set_registry(registry)
+        restore = lambda: set_registry(previous)  # noqa: E731
+    try:
+        model = (QMapModel if args.model == "qmap" else QFDModel)(workload.matrix)
+        kwargs = _with_bound(
+            args.method, _INDEX_KWARGS.get(args.method, {}), getattr(args, "bound", None)
+        )
+        index = model.build_index(args.method, workload.database, **kwargs)
+        index.reset_query_costs()
+        plan = explain_query(
+            index,
+            workload.queries[args.query_index],
+            k=None if args.radius is not None else args.k,
+            radius=args.radius,
+            max_events=args.max_events,
+            sample_every=args.sample_every,
+        )
+    finally:
+        restore()
     print(plan.to_json() if args.json else plan.render())
     if args.out is not None:
         with open(args.out, "w", encoding="utf-8") as fh:
             fh.write(plan.to_json() + "\n")
         print(f"plan JSON: {args.out}")
+    if args.timeline_out:
+        _write_timeline_out(args.timeline_out, registry, plan)
     # A mismatch would mean the plan lost track of counted evaluations —
     # surface it as a failure, it is the feature's core invariant.
     return 0 if plan.totals_match else 1
@@ -1357,18 +1612,120 @@ def _cmd_bench_history(args: "argparse.Namespace") -> int:
     return 0
 
 
+def _cmd_bench_watch(args: "argparse.Namespace") -> int:
+    from .bench import watch_history
+    from .exceptions import QueryError
+
+    if args.window < 1:
+        raise QueryError(f"--window must be >= 1, got {args.window}")
+    if args.min_history < 1:
+        raise QueryError(f"--min-history must be >= 1, got {args.min_history}")
+    report = watch_history(
+        args.history,
+        bench=args.bench,
+        window=args.window,
+        sigma=args.sigma,
+        min_history=args.min_history,
+    )
+    print(report.render())
+    return report.exit_code
+
+
 def _cmd_bench(args: "argparse.Namespace") -> int:
     if args.bench_command == "check":
         return _cmd_bench_check(args)
     if args.bench_command == "history":
         return _cmd_bench_history(args)
+    if args.bench_command == "watch":
+        return _cmd_bench_watch(args)
     raise AssertionError(  # pragma: no cover
         f"unhandled bench command {args.bench_command!r}"
     )
 
 
+def _cmd_trace_export(args: "argparse.Namespace") -> int:
+    """Run a workload under span + event collection, write the timeline."""
+    import time
+
+    from .datasets import histogram_workload
+    from .models import QFDModel, QMapModel, explain_query
+    from .obs import MetricsRegistry, use_registry, write_timeline
+
+    workload = histogram_workload(
+        args.size, args.queries, bins_per_channel=args.bins, seed=args.seed
+    )
+    model = (QMapModel if args.model == "qmap" else QFDModel)(workload.matrix)
+    kwargs = _with_bound(
+        args.method, _INDEX_KWARGS.get(args.method, {}), getattr(args, "bound", None)
+    )
+    registry = MetricsRegistry()
+    what = f"range(r={args.radius})" if args.radius is not None else f"{args.k}NN"
+    print(f"workload : {workload.name}, m={args.size}, q={args.queries}")
+    print(f"method   : {args.method} {kwargs or ''} [{args.model} model], {what}")
+    with use_registry(registry):
+        index = model.build_index(args.method, workload.database, **kwargs)
+        index.reset_query_costs()
+        start = time.perf_counter()
+        if args.radius is not None:
+            index.range_search_batch(
+                workload.queries, args.radius,
+                executor=args.executor, workers=args.workers,
+            )
+        else:
+            index.knn_search_batch(
+                workload.queries, args.k,
+                executor=args.executor, workers=args.workers,
+            )
+        elapsed = time.perf_counter() - start
+    costs = index.query_costs(elapsed)
+    print(
+        f"costs    : {costs.distance_computations} distance evaluations, "
+        f"{costs.transforms} query transforms in {elapsed:.3f}s"
+    )
+    plan = None
+    if len(workload.queries):
+        plan = explain_query(
+            index,
+            workload.queries[0],
+            k=None if args.radius is not None else args.k,
+            radius=args.radius,
+        )
+    path = write_timeline(args.out, spans=registry.spans, plan=plan)
+    n_events = len(plan.events) if plan is not None else 0
+    print(
+        f"timeline : {path} ({len(registry.spans)} span(s), {n_events} "
+        "traversal event(s)); open in Perfetto or chrome://tracing"
+    )
+    return 0
+
+
+def _cmd_trace(args: "argparse.Namespace") -> int:
+    if args.trace_command == "export":
+        return _cmd_trace_export(args)
+    raise AssertionError(  # pragma: no cover
+        f"unhandled trace command {args.trace_command!r}"
+    )
+
+
+def _cmd_report_diff(args: "argparse.Namespace") -> int:
+    from .bench import diff_metrics, load_metrics_jsonl, render_diff
+
+    path_a, path_b = args.diff
+    deltas = diff_metrics(load_metrics_jsonl(path_a), load_metrics_jsonl(path_b))
+    text = render_diff(deltas, label_a=path_a, label_b=path_b)
+    if args.out is not None:
+        with open(args.out, "w", encoding="utf-8") as fh:
+            fh.write(text + "\n")
+        print(f"diff     : {args.out}")
+    else:
+        print(text)
+    return 0
+
+
 def _cmd_report(args: "argparse.Namespace") -> int:
     """Build + query with a live registry, then export everything."""
+    if args.diff is not None:
+        return _cmd_report_diff(args)
     from .datasets import histogram_workload
     from .engine import TraceCollector
     from .models import QFDModel, QMapModel
@@ -1433,6 +1790,8 @@ def main(argv: list[str] | None = None) -> int:
             return _cmd_explain(args)
         if args.command == "bench":
             return _cmd_bench(args)
+        if args.command == "trace":
+            return _cmd_trace(args)
         if args.command == "index":
             return _cmd_index(args)
         if args.command == "report":

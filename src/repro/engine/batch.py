@@ -33,7 +33,13 @@ import numpy as np
 
 from .._typing import ArrayLike, as_vector_batch
 from ..exceptions import QueryError
-from ..obs import get_registry, record_batch_summary, record_traces, span
+from ..obs import (
+    get_registry,
+    observe_query_progress,
+    record_batch_summary,
+    record_traces,
+    span,
+)
 from .executors import (
     BatchExecutor,
     ProcessPoolBatchExecutor,
@@ -235,12 +241,26 @@ class QueryBatch:
                 workers = getattr(exec_, "workers", 1)
                 ranges = _chunk_ranges(n, workers * 4)
 
+            registry = get_registry()
+            method = _method_label(am) if registry.enabled else ""
+
             def chunk_task(ci: int) -> list[list["Neighbor"]]:
                 a, b = ranges[ci]
                 chunk_traces = traces[a:b] if traces is not None else None
                 if self.kind == "range":
-                    return am._range_search_batch(qs[a:b], parameter, traces=chunk_traces)
-                return am._knn_search_batch(qs[a:b], int(parameter), traces=chunk_traces)
+                    out = am._range_search_batch(qs[a:b], parameter, traces=chunk_traces)
+                else:
+                    out = am._knn_search_batch(qs[a:b], int(parameter), traces=chunk_traces)
+                if registry.enabled:
+                    # Feed the rolling-rate windows as each chunk lands, so
+                    # a /metrics scrape mid-batch shows live throughput.
+                    evaluations = sum(
+                        t.distance_evaluations for t in chunk_traces or ()
+                    )
+                    observe_query_progress(
+                        b - a, evaluations, method=method, registry=registry
+                    )
+                return out
 
             parts = exec_.map_ordered(chunk_task, range(len(ranges)))
         finally:
@@ -283,10 +303,19 @@ class QueryBatch:
             ) from exc
         results: list[list["Neighbor"]] = []
         all_traces: list[QueryTrace] = []
+        registry = get_registry()
+        method = _method_label(am) if registry.enabled else ""
         for part_results, part_traces in parts:
             results.extend(part_results)
             if part_traces is not None:
                 all_traces.extend(part_traces)
+                if registry.enabled:
+                    observe_query_progress(
+                        len(part_results),
+                        sum(t.distance_evaluations for t in part_traces),
+                        method=method,
+                        registry=registry,
+                    )
         if collector is not None:
             collector.extend(all_traces)
         return results, all_traces if collector is not None else None

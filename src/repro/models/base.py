@@ -30,6 +30,7 @@ from ..obs import (
     TRANSFORMS,
     DistanceInstrument,
     get_registry,
+    observe_query_progress,
     record_cache_stats,
     record_cholesky_cache,
     record_distance_stats,
@@ -368,17 +369,29 @@ class BuiltIndex:
         self._query_transforms += 1
         return self._query_mapper(q)
 
-    def _sync_metrics(self) -> None:
+    def _sync_metrics(self, queries: int = 0) -> None:
         """Mirror query-phase counters into the active observability registry.
 
         Delta-synced, so the registry's ``repro_distance_evaluations_total``
         for this model/method equals the :class:`CountingDistance` exactly
         at every sync point.  A no-op with the null registry active.
+
+        *queries* is how many queries this sync closes out; the
+        single-query entry points pass 1 so the rolling-rate windows see
+        per-query loops too.  Batch paths pass 0 — the engine already
+        fed the windows chunk-by-chunk as the batch ran.
         """
         registry = get_registry()
         if not registry.enabled:
             return
-        self._instrument.sync(registry)
+        delta = self._instrument.sync(registry)
+        if queries:
+            observe_query_progress(
+                queries,
+                delta,
+                method=self._method_name or type(self._am).__name__,
+                registry=registry,
+            )
         current = self._query_transforms
         base = self._transform_baselines.get(id(registry), 0)
         if current < base:
@@ -402,14 +415,14 @@ class BuiltIndex:
         try:
             return self._am.knn_search(self._map_query(query), k)
         finally:
-            self._sync_metrics()
+            self._sync_metrics(queries=1)
 
     def range_search(self, query: ArrayLike, radius: float) -> list[Neighbor]:
         """Range query in the source space (radii are preserved exactly)."""
         try:
             return self._am.range_search(self._map_query(query), radius)
         finally:
-            self._sync_metrics()
+            self._sync_metrics(queries=1)
 
     def knn_search_batch(
         self,

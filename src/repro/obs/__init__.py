@@ -62,7 +62,10 @@ from .explain import (
 )
 from .export import (
     EXPORT_FORMATS,
+    ParsedSample,
+    PromParseError,
     export,
+    parse_prometheus_text,
     snapshot_dict,
     to_jsonl,
     to_prometheus,
@@ -81,9 +84,21 @@ from .instruments import (
     record_trace,
     record_traces,
 )
+from .live import (
+    TELEMETRY_SCRAPES,
+    WINDOW_EVALUATIONS_PER_SECOND,
+    WINDOW_QUERIES_PER_SECOND,
+    TelemetryServer,
+    WindowedRate,
+    observe_query_progress,
+    parse_serve_spec,
+    sync_rate_gauges,
+)
 from .memory import (
     KERNEL_BLOCK_ROWS,
     PEAK_RSS,
+    RssSampler,
+    current_rss_bytes,
     peak_rss_bytes,
     peak_rss_source,
     record_memory,
@@ -102,6 +117,12 @@ from .registry import (
     use_registry,
 )
 from .spans import SpanRecord, current_span, span
+from .timeline import (
+    chrome_trace,
+    plan_trace_events,
+    span_trace_events,
+    write_timeline,
+)
 
 __all__ = [
     "EVENT_KINDS",
@@ -143,7 +164,24 @@ __all__ = [
     "KERNEL_BLOCK_ROWS",
     "peak_rss_bytes",
     "peak_rss_source",
+    "current_rss_bytes",
     "record_memory",
+    "RssSampler",
+    "TELEMETRY_SCRAPES",
+    "WINDOW_QUERIES_PER_SECOND",
+    "WINDOW_EVALUATIONS_PER_SECOND",
+    "TelemetryServer",
+    "WindowedRate",
+    "observe_query_progress",
+    "parse_serve_spec",
+    "sync_rate_gauges",
+    "chrome_trace",
+    "span_trace_events",
+    "plan_trace_events",
+    "write_timeline",
+    "ParsedSample",
+    "PromParseError",
+    "parse_prometheus_text",
     "DistanceInstrument",
     "record_distance_stats",
     "record_trace",

@@ -17,6 +17,7 @@ from __future__ import annotations
 import json
 import math
 import re
+from dataclasses import dataclass
 from typing import Any, Iterable, Mapping
 
 from .registry import HistogramState, MetricsRegistry
@@ -29,7 +30,13 @@ __all__ = [
     "traces_to_jsonl",
     "EXPORT_FORMATS",
     "export",
+    "ParsedSample",
+    "PromParseError",
+    "parse_prometheus_text",
 ]
+
+#: Histogram quantiles surfaced by :func:`to_table` / :func:`snapshot_dict`.
+_QUANTILES = (("p50", 0.50), ("p95", 0.95), ("p99", 0.99))
 
 _NAME_OK = re.compile(r"[a-zA-Z_:][a-zA-Z0-9_:]*$")
 _LABEL_OK = re.compile(r"[a-zA-Z_][a-zA-Z0-9_]*$")
@@ -48,7 +55,11 @@ def _prom_label_name(name: str) -> str:
 
 
 def _prom_label_value(value: str) -> str:
-    return value.replace("\\", r"\\").replace('"', r"\"").replace("\n", r"\n")
+    # Exposition-format label escaping: backslash FIRST (or the escapes
+    # introduced for quote/newline would themselves be re-escaped), then
+    # double-quote and newline.  The exact inverse lives in the strict
+    # parser below and the conformance tests round-trip both directions.
+    return str(value).replace("\\", r"\\").replace('"', r"\"").replace("\n", r"\n")
 
 
 def _prom_help(text: str) -> str:
@@ -143,6 +154,10 @@ def snapshot_dict(registry: MetricsRegistry) -> dict[str, Any]:
             if state.counts[-1]:
                 buckets["+Inf"] = state.counts[-1]
             entry["buckets"] = buckets
+            if state.count:
+                entry["quantiles"] = {
+                    label: state.quantile(q) for label, q in _QUANTILES
+                }
         else:
             entry["value"] = sample.value
         metrics.append(entry)
@@ -180,6 +195,10 @@ def to_table(registry: MetricsRegistry) -> str:
             state = sample.histogram
             mean = state.total / state.count if state.count else 0.0
             value = f"n={state.count} sum={state.total:.6g} mean={mean:.6g}"
+            if state.count:
+                value += " " + " ".join(
+                    f"{label}={state.quantile(q):.4g}" for label, q in _QUANTILES
+                )
         else:
             value = _prom_float(sample.value)
         rows.append((sample.name, sample.kind, labels, value))
@@ -222,6 +241,166 @@ def traces_to_jsonl(traces: Iterable[Any]) -> str:
             entry["distance_evaluations"] = int(total)
         lines.append(json.dumps(entry, sort_keys=True))
     return "\n".join(lines) + "\n" if lines else ""
+
+
+# ----------------------------------------------------------------------
+# Strict exposition-format parser (conformance checking / scrape smoke)
+# ----------------------------------------------------------------------
+
+#: Metric kinds the exposition format admits in ``# TYPE`` lines.
+_PROM_KINDS = frozenset({"counter", "gauge", "histogram", "summary", "untyped"})
+
+
+class PromParseError(ValueError):
+    """Raised by :func:`parse_prometheus_text` with a 1-based line number."""
+
+    def __init__(self, line_no: int, message: str) -> None:
+        super().__init__(f"line {line_no}: {message}")
+        self.line_no = line_no
+
+
+@dataclass(frozen=True)
+class ParsedSample:
+    """One sample line of a Prometheus text exposition."""
+
+    name: str
+    labels: tuple[tuple[str, str], ...]
+    value: float
+    line_no: int
+
+    @property
+    def label_dict(self) -> dict[str, str]:
+        return dict(self.labels)
+
+
+def _parse_labels(text: str, line_no: int) -> tuple[tuple[tuple[str, str], ...], str]:
+    """Parse a ``{...}`` label block character-by-character.
+
+    Returns the sorted label pairs and the remainder of the line.  Unlike
+    a regex, this handles escaped quotes/backslashes/newlines inside
+    label values exactly per the exposition format.
+    """
+    assert text[0] == "{"
+    i = 1
+    pairs: list[tuple[str, str]] = []
+    while True:
+        if i >= len(text):
+            raise PromParseError(line_no, "unterminated label block")
+        if text[i] == "}":
+            i += 1
+            break
+        name_match = re.match(r"[a-zA-Z_][a-zA-Z0-9_]*", text[i:])
+        if name_match is None:
+            raise PromParseError(line_no, f"bad label name at {text[i:]!r}")
+        name = name_match.group(0)
+        i += len(name)
+        if text[i : i + 2] != '="':
+            raise PromParseError(line_no, f"label {name!r} must be followed by =\"")
+        i += 2
+        out: list[str] = []
+        while True:
+            if i >= len(text):
+                raise PromParseError(line_no, f"unterminated value for label {name!r}")
+            ch = text[i]
+            if ch == '"':
+                i += 1
+                break
+            if ch == "\\":
+                if i + 1 >= len(text):
+                    raise PromParseError(line_no, "dangling backslash in label value")
+                esc = text[i + 1]
+                if esc == "\\":
+                    out.append("\\")
+                elif esc == '"':
+                    out.append('"')
+                elif esc == "n":
+                    out.append("\n")
+                else:
+                    raise PromParseError(
+                        line_no, f"invalid escape \\{esc} in label value"
+                    )
+                i += 2
+            else:
+                out.append(ch)
+                i += 1
+        pairs.append((name, "".join(out)))
+        if i < len(text) and text[i] == ",":
+            i += 1
+    return tuple(sorted(pairs)), text[i:]
+
+
+def _parse_value(token: str, line_no: int) -> float:
+    if token in ("+Inf", "Inf"):
+        return math.inf
+    if token == "-Inf":
+        return -math.inf
+    if token in ("NaN", "nan"):
+        return math.nan
+    try:
+        return float(token)
+    except ValueError:
+        raise PromParseError(line_no, f"bad sample value {token!r}") from None
+
+
+def parse_prometheus_text(text: str) -> list[ParsedSample]:
+    """Strictly parse a Prometheus text exposition into samples.
+
+    A deliberately unforgiving conformance checker used by the tests and
+    the CI scrape smoke: it validates metric/label name charsets,
+    ``# HELP`` / ``# TYPE`` comment structure, label-value escaping
+    (including escaped quotes a naive regex would split on), that every
+    sample's family carries a prior ``# TYPE`` declaration (histogram
+    samples may use the ``_bucket``/``_sum``/``_count`` suffixes), and
+    the required trailing newline.  Raises :class:`PromParseError` with
+    the offending line number; returns the samples in document order.
+    """
+    if text == "":
+        return []
+    if not text.endswith("\n"):
+        raise PromParseError(text.count("\n") + 1, "exposition must end with a newline")
+    samples: list[ParsedSample] = []
+    types: dict[str, str] = {}
+    for line_no, line in enumerate(text.split("\n")[:-1], start=1):
+        if line == "":
+            continue  # blank separator lines are allowed
+        if line.startswith("#"):
+            parts = line.split(" ", 3)
+            if len(parts) < 3 or parts[0] != "#" or parts[1] not in ("HELP", "TYPE"):
+                raise PromParseError(line_no, f"malformed comment line {line!r}")
+            if not _NAME_OK.match(parts[2]):
+                raise PromParseError(line_no, f"bad metric name {parts[2]!r}")
+            if parts[1] == "TYPE":
+                if len(parts) != 4 or parts[3] not in _PROM_KINDS:
+                    raise PromParseError(line_no, f"bad TYPE line {line!r}")
+                if parts[2] in types:
+                    raise PromParseError(line_no, f"duplicate TYPE for {parts[2]!r}")
+                types[parts[2]] = parts[3]
+            continue
+        name_match = re.match(r"[a-zA-Z_:][a-zA-Z0-9_:]*", line)
+        if name_match is None:
+            raise PromParseError(line_no, f"bad sample line {line!r}")
+        name = name_match.group(0)
+        rest = line[len(name) :]
+        labels: tuple[tuple[str, str], ...] = ()
+        if rest.startswith("{"):
+            labels, rest = _parse_labels(rest, line_no)
+        if not rest.startswith(" "):
+            raise PromParseError(line_no, f"missing space before value in {line!r}")
+        tokens = rest[1:].split(" ")
+        if len(tokens) != 1:
+            # We never emit timestamps; reject them so the suite notices
+            # if an exporter starts producing multi-token lines.
+            raise PromParseError(line_no, f"expected exactly one value in {line!r}")
+        family = name
+        for suffix in ("_bucket", "_sum", "_count"):
+            base = name[: -len(suffix)] if name.endswith(suffix) else None
+            if base and types.get(base) in ("histogram", "summary"):
+                family = base
+                break
+        if family not in types:
+            raise PromParseError(line_no, f"sample {name!r} has no # TYPE declaration")
+        samples.append(ParsedSample(name, labels, _parse_value(tokens[0], line_no), line_no))
+    return samples
 
 
 #: Exporters by CLI name.

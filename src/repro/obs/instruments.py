@@ -98,11 +98,17 @@ class DistanceInstrument:
         self._method = method
         self._baselines: dict[int, tuple[int, int]] = {}
 
-    def sync(self, registry: MetricsRegistry | None = None) -> None:
-        """Charge evaluations made since the previous sync (or rebase)."""
+    def sync(self, registry: MetricsRegistry | None = None) -> int:
+        """Charge evaluations made since the previous sync (or rebase).
+
+        Returns the total evaluations charged (scalar calls + batched
+        rows) so callers — e.g. the live rate board — can reuse the
+        exact delta without re-reading the source.  Returns 0 when the
+        registry is disabled.
+        """
         reg = _registry(registry)
         if not reg.enabled:
-            return
+            return 0
         stats = self._source.stats
         calls, rows = int(stats.calls), int(stats.batch_rows)
         base_calls, base_rows = self._baselines.get(id(reg), (0, 0))
@@ -121,6 +127,7 @@ class DistanceInstrument:
             counter.inc(delta_calls, kind="scalar", **labels)
         if delta_rows:
             counter.inc(delta_rows, kind="batched", **labels)
+        return delta_calls + delta_rows
 
     def rebase(self) -> None:
         """Re-anchor all baselines at the source's current snapshot."""

@@ -30,6 +30,7 @@ The layering rule is enforced by a ruff ``flake8-tidy-imports`` ban (see
 from __future__ import annotations
 
 import bisect
+import math
 import threading
 from contextlib import contextmanager
 from dataclasses import dataclass, field
@@ -86,6 +87,45 @@ class HistogramState:
     counts: tuple[int, ...]
     count: int
     total: float
+
+    def quantile(self, q: float) -> float:
+        """Estimate the *q*-quantile from the bucket counts.
+
+        Uses nearest-rank placement into the cumulative bucket counts and
+        linear interpolation inside the containing bucket, anchored at
+        its **upper edge** (the ``le`` bound Prometheus exports): the
+        estimate is the lower edge plus the fraction of the bucket's
+        observations at or below the rank.  The first bucket's lower edge
+        is taken as 0.0 (all recorded quantities are non-negative).
+
+        Error bound: the true quantile lies somewhere in the same bucket,
+        so the absolute error is at most one bucket width.  With the
+        default power-of-two grid (``2^-20 .. 2^20``) bucket edges are a
+        factor of 2 apart, bounding the estimate within one octave of the
+        truth — i.e. relative error < 2x, and typically far less since
+        the interpolation splits the bucket.  Observations above the last
+        bound fall in the overflow bucket and are reported as the last
+        finite bound (an underestimate).
+        """
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"quantile q must be in [0, 1], got {q}")
+        if self.count == 0:
+            return 0.0
+        rank = max(1, math.ceil(q * self.count))
+        cumulative = 0
+        for pos, bucket_count in enumerate(self.counts):
+            if not bucket_count:
+                continue
+            below = cumulative
+            cumulative += bucket_count
+            if cumulative >= rank:
+                if pos >= len(self.bounds):
+                    return self.bounds[-1]
+                upper = self.bounds[pos]
+                lower = self.bounds[pos - 1] if pos > 0 else min(0.0, upper)
+                fraction = (rank - below) / bucket_count
+                return lower + fraction * (upper - lower)
+        return self.bounds[-1]  # pragma: no cover - count guarantees a hit
 
 
 class _Instrument:
@@ -230,6 +270,12 @@ class SpanRecord:
     parent: str | None = None
     status: str = "ok"
     labels: dict[str, str] = field(default_factory=dict)
+    #: :func:`time.perf_counter` reading when the span opened (0.0 for
+    #: records predating the timeline exporter); only differences between
+    #: spans of one process are meaningful.
+    start: float = 0.0
+    #: :func:`threading.get_ident` of the thread that ran the span.
+    thread: int = 0
 
 
 class MetricsRegistry:

@@ -21,6 +21,7 @@ to wall-clock adjustments.
 from __future__ import annotations
 
 import contextvars
+import threading
 from contextlib import contextmanager
 from time import perf_counter
 from typing import Iterator
@@ -61,9 +62,11 @@ def span(name: str, **labels: object) -> Iterator[SpanRecord | None]:
         depth=0 if parent is None else parent.depth + 1,
         parent=None if parent is None else parent.name,
         labels={k: str(v) for k, v in labels.items()},
+        thread=threading.get_ident(),
     )
     token = _SPAN_STACK.set(record)
     start = perf_counter()
+    record.start = start
     try:
         yield record
     except BaseException:

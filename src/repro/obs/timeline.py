@@ -1,0 +1,243 @@
+"""Chrome trace-event timelines from spans and traversal events.
+
+Spans and EXPLAIN plans already carry everything a flame view needs —
+what phase ran, for how long, on which thread, and how many distance
+evaluations it charged.  This module assembles them into the Chrome
+trace-event JSON format (the ``traceEvents`` array of ``ph: "B"/"E"/"X"``
+records with microsecond ``ts``/``dur``), which Perfetto and
+``chrome://tracing`` load directly:
+
+* :func:`span_trace_events` — each completed
+  :class:`~repro.obs.registry.SpanRecord` becomes one complete
+  (``"X"``) slice.  ``ts`` comes from the span's
+  :func:`~time.perf_counter` start (normalized so the earliest span sits
+  at 0), ``tid`` from the worker thread that ran it, so a threaded batch
+  renders as parallel lanes of ``query/batch/...`` slices.
+* :func:`plan_trace_events` — one query's traversal from an
+  :class:`~repro.obs.explain.ExplainPlan`.  Traversal events carry a
+  sequence number, not a clock (recording one would perturb the counts
+  the plan certifies), so the timeline uses **1 tick = 1 µs of virtual
+  time**: a node's slice spans from its ``node_enter`` to the next
+  node's — exactly the interval the buffer attributes charges to — and
+  the slice ``args`` carry the node's charged evaluation deltas, lower
+  bound checks and prunes from the exact per-node aggregates.
+
+:func:`chrome_trace` merges both into one JSON object (spans and
+traversal under separate ``pid`` lanes, with ``"M"`` metadata records
+naming them); :func:`write_timeline` writes it to disk.  Exposed on the
+CLI as ``repro trace export`` and ``--timeline-out`` on
+``query``/``explain``.
+
+Layering: consumes only sibling :mod:`repro.obs` data structures (duck
+typed — a plan's ``to_dict()`` output works as well as the object), no
+imports from :mod:`repro.mam` / :mod:`repro.models`.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+from typing import Any, Iterable, Mapping
+
+from .registry import SpanRecord
+
+__all__ = [
+    "span_trace_events",
+    "plan_trace_events",
+    "chrome_trace",
+    "write_timeline",
+]
+
+#: Synthetic process ids keeping the two lanes separate in the viewer.
+SPAN_PID_OFFSET = 0
+PLAN_PID_OFFSET = 1_000_000
+
+
+def _meta(pid: int, name: str) -> dict[str, Any]:
+    return {
+        "name": "process_name",
+        "ph": "M",
+        "pid": pid,
+        "tid": 0,
+        "args": {"name": name},
+    }
+
+
+def span_trace_events(
+    spans: Iterable[SpanRecord], *, pid: int | None = None
+) -> list[dict[str, Any]]:
+    """Render completed spans as complete (``"X"``) trace slices.
+
+    Timestamps are the spans' ``perf_counter`` starts shifted so the
+    earliest span is at ``ts=0``; spans recorded before the ``start``
+    field existed (all-zero starts) are laid out back-to-back instead so
+    old captures still render.
+    """
+    records = list(spans)
+    if pid is None:
+        pid = os.getpid()
+    timed = [r for r in records if r.start > 0.0]
+    origin = min((r.start for r in timed), default=0.0)
+    events: list[dict[str, Any]] = []
+    fallback_ts = 0.0
+    for record in records:
+        if record.start > 0.0:
+            ts = (record.start - origin) * 1e6
+        else:
+            ts = fallback_ts
+            fallback_ts += record.seconds * 1e6
+        args: dict[str, Any] = {"depth": record.depth, "status": record.status}
+        if record.parent:
+            args["parent"] = record.parent
+        args.update(record.labels)
+        events.append(
+            {
+                "name": record.name,
+                "cat": "span",
+                "ph": "X",
+                "ts": ts,
+                "dur": record.seconds * 1e6,
+                "pid": pid,
+                "tid": record.thread or 0,
+                "args": args,
+            }
+        )
+    return events
+
+
+def _plan_dict(plan: Any) -> Mapping[str, Any]:
+    to_dict = getattr(plan, "to_dict", None)
+    return to_dict() if callable(to_dict) else plan
+
+
+def _walk_tree(node: Mapping[str, Any], out: dict[int, Mapping[str, Any]]) -> None:
+    out[int(node["token"])] = node
+    for child in node.get("children", ()):
+        _walk_tree(child, out)
+
+
+_NODE_ARG_KEYS = (
+    "charged_calls",
+    "charged_rows",
+    "lb_checks",
+    "pruned",
+    "candidates",
+    "results",
+)
+
+
+def plan_trace_events(
+    plan: Any, *, pid: int | None = None, tid: int = 1
+) -> list[dict[str, Any]]:
+    """Render one query's traversal as trace events (1 seq tick = 1 µs).
+
+    Accepts an :class:`~repro.obs.explain.ExplainPlan` or its
+    ``to_dict()`` form.  A ``B``/``E`` pair brackets the whole query;
+    each recorded ``node_enter`` becomes an ``X`` slice lasting until the
+    next node entry (the interval the event buffer attributes charges
+    to), with the node's exact aggregates — including the charged
+    distance-evaluation deltas — in ``args``.  Nodes whose enter event
+    was dropped by the buffer's cap/sampling are absent from the
+    timeline (the exact totals still live in the wrapper's ``args``).
+    """
+    data = _plan_dict(plan)
+    if pid is None:
+        pid = os.getpid() + PLAN_PID_OFFSET
+    events = list(data.get("events", ()))
+    enters = [e for e in events if e.get("kind") == "node_enter"]
+    nodes: dict[int, Mapping[str, Any]] = {}
+    _walk_tree(data["tree"], nodes)
+    last_seq = max((int(e["seq"]) for e in events), default=0)
+    totals = dict(data.get("totals", {}))
+    kind = data.get("kind", "query")
+    parameter = data.get("parameter", 0.0)
+    if kind == "knn":
+        title = f"knn(k={int(parameter)})"
+    elif kind == "range":
+        title = f"range(r={parameter:g})"
+    else:
+        title = str(kind)
+    name = f"{title} {data.get('method', '?')}/{data.get('model', '?')}"
+    common = {"cat": "traversal", "pid": pid, "tid": tid}
+    out: list[dict[str, Any]] = [
+        {
+            "name": name,
+            "ph": "B",
+            "ts": 0.0,
+            "args": {
+                **totals,
+                "events_dropped": data.get("events_dropped", 0),
+                "events_sampled_out": data.get("events_sampled_out", 0),
+            },
+            **common,
+        }
+    ]
+    for position, event in enumerate(enters):
+        start = int(event["seq"])
+        if position + 1 < len(enters):
+            end = int(enters[position + 1]["seq"])
+        else:
+            end = last_seq + 1
+        node = nodes.get(int(event["node"]), {})
+        args = {key: node[key] for key in _NODE_ARG_KEYS if node.get(key)}
+        args["token"] = int(event["node"])
+        out.append(
+            {
+                "name": event.get("label") or node.get("label") or f"node {event['node']}",
+                "ph": "X",
+                "ts": float(start),
+                "dur": float(max(end - start, 1)),
+                "args": args,
+                **common,
+            }
+        )
+    out.append({"name": name, "ph": "E", "ts": float(last_seq + 1), "args": {}, **common})
+    return out
+
+
+def chrome_trace(
+    *,
+    spans: Iterable[SpanRecord] | None = None,
+    plan: Any = None,
+    pid: int | None = None,
+) -> dict[str, Any]:
+    """Assemble spans and/or one plan into a Chrome trace-event document.
+
+    The result is the JSON-object form (``{"traceEvents": [...]}``)
+    Perfetto and ``chrome://tracing`` open directly.  Span slices and
+    traversal slices get separate ``pid`` lanes with metadata names, so
+    wall-clock microseconds and virtual sequence ticks are never mixed
+    on one timescale.
+    """
+    base = os.getpid() if pid is None else int(pid)
+    trace_events: list[dict[str, Any]] = []
+    if spans is not None:
+        span_events = span_trace_events(spans, pid=base + SPAN_PID_OFFSET)
+        if span_events:
+            trace_events.append(_meta(base + SPAN_PID_OFFSET, "repro spans (wall clock)"))
+            trace_events.extend(span_events)
+    if plan is not None:
+        trace_events.append(
+            _meta(base + PLAN_PID_OFFSET, "repro traversal (1 tick = 1 event)")
+        )
+        trace_events.extend(plan_trace_events(plan, pid=base + PLAN_PID_OFFSET))
+    return {
+        "traceEvents": trace_events,
+        "displayTimeUnit": "ms",
+        "otherData": {"producer": "repro.obs.timeline"},
+    }
+
+
+def write_timeline(
+    path: "str | Path",
+    *,
+    spans: Iterable[SpanRecord] | None = None,
+    plan: Any = None,
+    pid: int | None = None,
+) -> Path:
+    """Write :func:`chrome_trace` output to *path*; returns the path."""
+    document = chrome_trace(spans=spans, plan=plan, pid=pid)
+    target = Path(path)
+    target.write_text(json.dumps(document, indent=1, sort_keys=False) + "\n")
+    return target

@@ -1,0 +1,212 @@
+"""Drift-detector tests: robust statistics, exit codes, metrics diffing."""
+
+from __future__ import annotations
+
+import json
+import math
+
+import pytest
+
+from repro.bench import (
+    diff_metrics,
+    is_count_metric,
+    load_metrics_jsonl,
+    render_diff,
+    robust_zscore,
+    watch_history,
+)
+from repro.bench.history import append_history, history_record
+
+
+def _write_history(path, bench: str, metric_rows: list[dict]) -> None:
+    for metrics in metric_rows:
+        append_history(history_record(bench, metrics), path)
+
+
+class TestRobustZscore:
+    def test_centered_value_scores_zero(self) -> None:
+        z, med, mad = robust_zscore(10.0, [8.0, 10.0, 12.0, 10.0, 9.0])
+        assert med == 10.0
+        assert z == 0.0
+
+    def test_scales_like_a_zscore_for_gaussianish_data(self) -> None:
+        window = [9.0, 10.0, 11.0, 10.0, 10.0, 9.5, 10.5]
+        z, med, mad = robust_zscore(15.0, window)
+        assert med == 10.0
+        assert mad == 0.5
+        assert z == pytest.approx(0.6745 * 5.0 / 0.5)
+
+    def test_constant_window_degenerates(self) -> None:
+        z_same, _, mad = robust_zscore(5.0, [5.0, 5.0, 5.0])
+        assert mad == 0.0
+        assert z_same == 0.0
+        z_diff, _, _ = robust_zscore(5.1, [5.0, 5.0, 5.0])
+        assert math.isinf(z_diff)
+
+
+class TestIsCountMetric:
+    @pytest.mark.parametrize(
+        "key",
+        [
+            "mtree.qfd.build_evaluations",
+            "mtree.qfd.query_transforms",
+            "planner.auto.alternatives",
+            "results.headline.queries",
+            "filter_checks",
+            "candidates",
+            "dim",
+        ],
+    )
+    def test_count_keys(self, key: str) -> None:
+        assert is_count_metric(key)
+
+    @pytest.mark.parametrize(
+        "key",
+        [
+            "mtree.qfd.build_seconds",
+            "queries_per_second",
+            "peak_rss_bytes",
+            "seconds_per_query",
+            "rss_over_heap_copy",
+        ],
+    )
+    def test_timing_keys(self, key: str) -> None:
+        assert not is_count_metric(key)
+
+
+class TestWatchHistory:
+    def test_clean_history_exits_zero(self, tmp_path) -> None:
+        path = tmp_path / "hist.jsonl"
+        rows = [{"a.build_evaluations": 100, "a.build_seconds": 1.0 + 0.01 * i} for i in range(5)]
+        _write_history(path, "bench-a", rows)
+        report = watch_history(path, min_history=3)
+        assert report.exit_code == 0
+        assert not report.drifted
+        (bench,) = report.benches
+        assert bench.checked == 2
+
+    def test_count_drift_is_zero_tolerance(self, tmp_path) -> None:
+        path = tmp_path / "hist.jsonl"
+        rows = [{"a.build_evaluations": 100} for _ in range(4)]
+        rows.append({"a.build_evaluations": 101})  # off by one: drift
+        _write_history(path, "bench-a", rows)
+        report = watch_history(path, min_history=3)
+        assert report.exit_code == 1
+        (drift,) = report.benches[0].drifts
+        assert drift.kind == "count"
+        assert drift.status == "drift"
+
+    def test_timing_noise_within_sigma_is_ok(self, tmp_path) -> None:
+        path = tmp_path / "hist.jsonl"
+        rows = [{"a.seconds": 1.0 + 0.05 * (i % 3)} for i in range(6)]
+        rows.append({"a.seconds": 1.06})
+        _write_history(path, "bench-a", rows)
+        report = watch_history(path, sigma=5.0, min_history=3)
+        assert report.exit_code == 0
+
+    def test_timing_blowup_beyond_sigma_drifts(self, tmp_path) -> None:
+        path = tmp_path / "hist.jsonl"
+        rows = [{"a.seconds": 1.0 + 0.05 * (i % 3)} for i in range(6)]
+        rows.append({"a.seconds": 10.0})
+        _write_history(path, "bench-a", rows)
+        report = watch_history(path, sigma=5.0, min_history=3)
+        assert report.exit_code == 1
+        (drift,) = report.benches[0].drifts
+        assert drift.kind == "timing"
+        assert abs(drift.zscore) > 5.0
+
+    def test_insufficient_history_exits_two(self, tmp_path) -> None:
+        path = tmp_path / "hist.jsonl"
+        _write_history(path, "bench-a", [{"a.x": 1.0}, {"a.x": 1.0}])
+        report = watch_history(path, min_history=3)
+        assert report.exit_code == 2
+        assert report.benches[0].insufficient
+        assert "SKIPPED" in report.render()
+
+    def test_new_keys_are_informational_not_drift(self, tmp_path) -> None:
+        path = tmp_path / "hist.jsonl"
+        rows = [{"a.build_evaluations": 100} for _ in range(4)]
+        rows.append({"a.build_evaluations": 100, "a.brand_new_evaluations": 7})
+        _write_history(path, "bench-a", rows)
+        report = watch_history(path, min_history=3)
+        assert report.exit_code == 0
+        (bench,) = report.benches
+        assert [d.metric for d in bench.news] == ["a.brand_new_evaluations"]
+
+    def test_bench_filter_selects_one_bench(self, tmp_path) -> None:
+        path = tmp_path / "hist.jsonl"
+        _write_history(path, "bench-a", [{"a.x_evaluations": 1} for _ in range(5)])
+        _write_history(path, "bench-b", [{"b.x_evaluations": 1} for _ in range(5)])
+        report = watch_history(path, bench="bench-a", min_history=3)
+        assert [b.bench for b in report.benches] == ["bench-a"]
+
+    def test_window_limits_the_baseline(self, tmp_path) -> None:
+        path = tmp_path / "hist.jsonl"
+        # Old regime at 100 evals, recent regime at 200: with a window of
+        # 3 the old records must not poison the median.
+        rows = [{"a.build_evaluations": 100} for _ in range(5)]
+        rows += [{"a.build_evaluations": 200} for _ in range(4)]
+        _write_history(path, "bench-a", rows)
+        report = watch_history(path, window=3, min_history=3)
+        assert report.exit_code == 0
+
+    def test_rejects_bad_parameters(self, tmp_path) -> None:
+        path = tmp_path / "hist.jsonl"
+        with pytest.raises(ValueError):
+            watch_history(path, window=0)
+        with pytest.raises(ValueError):
+            watch_history(path, min_history=0)
+
+    def test_committed_repo_history_is_clean(self) -> None:
+        # The repository's own history must always pass the watch — CI
+        # runs this same check as a smoke step.
+        report = watch_history("BENCH_history.jsonl", bench="bench-check", min_history=2)
+        assert report.exit_code == 0
+
+
+class TestMetricsDiff:
+    def _jsonl(self, path, entries) -> None:
+        path.write_text("\n".join(json.dumps(e) for e in entries) + "\n")
+
+    def test_load_flattens_counters_and_histograms(self, tmp_path) -> None:
+        path = tmp_path / "metrics.jsonl"
+        self._jsonl(
+            path,
+            [
+                {"type": "counter", "name": "repro_x_total", "labels": {"m": "a"}, "value": 3},
+                {"type": "histogram", "name": "repro_y_seconds", "labels": {}, "count": 4, "sum": 0.5},
+                {"type": "span", "name": "build/index", "seconds": 1.0},
+            ],
+        )
+        flat = load_metrics_jsonl(path)
+        assert flat == {
+            "repro_x_total{m=a}": 3.0,
+            "repro_y_seconds#count": 4.0,
+            "repro_y_seconds#sum": 0.5,
+        }
+
+    def test_diff_orders_by_absolute_delta(self) -> None:
+        deltas = diff_metrics(
+            {"a": 1.0, "b": 10.0, "c": 5.0},
+            {"a": 2.0, "b": 110.0, "c": 5.0},
+        )
+        assert [d.key for d in deltas] == ["b", "a", "c"]
+        assert deltas[0].delta == 100.0
+        assert deltas[-1].delta == 0.0
+
+    def test_diff_tracks_added_and_removed_keys(self) -> None:
+        deltas = diff_metrics({"gone": 4.0}, {"new": 9.0})
+        by_key = {d.key: d for d in deltas}
+        assert by_key["gone"].b is None
+        assert by_key["new"].a is None
+
+    def test_render_diff_mentions_changed_keys_only(self) -> None:
+        text = render_diff(
+            diff_metrics({"same": 1.0, "up": 2.0}, {"same": 1.0, "up": 3.0})
+        )
+        assert "up" in text
+        assert "1 changed / 2 keys" in text
+
+    def test_render_identical_maps(self) -> None:
+        text = render_diff(diff_metrics({"k": 1.0}, {"k": 1.0}))
+        assert "(identical)" in text

@@ -1,0 +1,331 @@
+"""Exposition-format conformance: strict parser, round-trips, quantiles.
+
+Three layers of pinning:
+
+1. The strict parser (:func:`parse_prometheus_text`) rejects every
+   malformation it claims to — escapes, duplicate ``# TYPE``, missing
+   trailing newline, timestamps — with the right line number.
+2. Every metric the full suite emits (build + knn + range across the
+   whole (model, method) matrix) round-trips ``to_prometheus`` →
+   ``parse_prometheus_text`` with exact values, including histograms'
+   cumulative-bucket reconstruction and escaped label values.
+3. :meth:`HistogramState.quantile` honours its documented contract —
+   nearest-rank + in-bucket interpolation, one-octave error bound on the
+   default power-of-two grid — and p50/p95/p99 surface in
+   :func:`to_table` / :func:`snapshot_dict`.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core import random_spd_matrix
+from repro.models import QFDModel, QMapModel
+from repro.models.base import MAM_REGISTRY, SAM_REGISTRY
+from repro.obs import (
+    MetricsRegistry,
+    parse_prometheus_text,
+    snapshot_dict,
+    to_prometheus,
+    to_table,
+    use_registry,
+)
+from repro.obs.export import PromParseError
+from repro.obs.registry import HistogramState
+
+DIM = 6
+
+METHOD_KWARGS: dict[str, dict[str, int]] = {
+    "pivot-table": {"n_pivots": 4},
+    "mindex": {"n_pivots": 4},
+    "mtree": {"capacity": 8},
+    "paged-mtree": {"capacity": 8},
+    "vptree": {"leaf_size": 4},
+    "gnat": {"arity": 3, "leaf_size": 4},
+    "rtree": {"capacity": 8},
+    "xtree": {"capacity": 8},
+    "vafile": {"bits": 4},
+}
+
+ALL_PAIRS = [("qfd", m) for m in MAM_REGISTRY] + [
+    ("qmap", m) for m in (*MAM_REGISTRY, *SAM_REGISTRY)
+]
+
+
+def _err(text: str) -> PromParseError:
+    with pytest.raises(PromParseError) as excinfo:
+        parse_prometheus_text(text)
+    return excinfo.value
+
+
+class TestStrictParser:
+    def test_empty_exposition_is_empty(self) -> None:
+        assert parse_prometheus_text("") == []
+
+    def test_plain_counter_line(self) -> None:
+        (sample,) = parse_prometheus_text("# TYPE a counter\na 3\n")
+        assert sample.name == "a"
+        assert sample.labels == ()
+        assert sample.value == 3.0
+        assert sample.line_no == 2
+
+    def test_missing_trailing_newline_is_rejected(self) -> None:
+        err = _err("# TYPE a counter\na 1")
+        assert err.line_no == 2
+        assert "newline" in str(err)
+
+    def test_duplicate_type_is_rejected(self) -> None:
+        err = _err("# TYPE a counter\n# TYPE a counter\na 1\n")
+        assert err.line_no == 2
+        assert "duplicate" in str(err)
+
+    def test_sample_without_type_is_rejected(self) -> None:
+        err = _err("a 1\n")
+        assert err.line_no == 1
+        assert "TYPE" in str(err)
+
+    def test_timestamps_are_rejected(self) -> None:
+        err = _err("# TYPE a counter\na 1 1700000000\n")
+        assert err.line_no == 2
+
+    def test_malformed_comment_is_rejected(self) -> None:
+        assert _err("# FOO a b\n").line_no == 1
+
+    def test_bad_type_kind_is_rejected(self) -> None:
+        assert "bad TYPE" in str(_err("# TYPE a widget\n"))
+
+    def test_help_lines_are_accepted(self) -> None:
+        text = "# HELP a does things\n# TYPE a counter\na 1\n"
+        (sample,) = parse_prometheus_text(text)
+        assert sample.value == 1.0
+
+    def test_blank_lines_are_allowed(self) -> None:
+        (sample,) = parse_prometheus_text("# TYPE a counter\n\na 1\n")
+        assert sample.line_no == 3
+
+    @pytest.mark.parametrize(
+        "token,expected",
+        [("+Inf", math.inf), ("Inf", math.inf), ("-Inf", -math.inf)],
+    )
+    def test_infinite_values(self, token: str, expected: float) -> None:
+        (sample,) = parse_prometheus_text(f"# TYPE g gauge\ng {token}\n")
+        assert sample.value == expected
+
+    def test_nan_value(self) -> None:
+        (sample,) = parse_prometheus_text("# TYPE g gauge\ng NaN\n")
+        assert math.isnan(sample.value)
+
+    def test_bad_value_is_rejected(self) -> None:
+        assert "bad sample value" in str(_err("# TYPE g gauge\ng zero\n"))
+
+    def test_escaped_quote_inside_label_value(self) -> None:
+        # A naive regex splitting on '"' breaks exactly here.
+        text = '# TYPE a counter\na{x="say \\"hi\\""} 1\n'
+        (sample,) = parse_prometheus_text(text)
+        assert sample.label_dict == {"x": 'say "hi"'}
+
+    def test_escaped_backslash_and_newline(self) -> None:
+        text = '# TYPE a counter\na{p="C:\\\\tmp",m="two\\nlines"} 1\n'
+        (sample,) = parse_prometheus_text(text)
+        assert sample.label_dict == {"p": "C:\\tmp", "m": "two\nlines"}
+
+    def test_invalid_escape_is_rejected(self) -> None:
+        assert "invalid escape" in str(_err('# TYPE a counter\na{x="\\t"} 1\n'))
+
+    def test_dangling_backslash_is_rejected(self) -> None:
+        assert "backslash" in str(_err('# TYPE a counter\na{x="oops\\\n'))
+
+    def test_unterminated_label_block_is_rejected(self) -> None:
+        assert "unterminated" in str(_err('# TYPE a counter\na{x="v"\n'))
+
+    def test_junk_after_label_value_is_rejected(self) -> None:
+        _err('# TYPE a counter\na{x="v" 1\n')
+
+    def test_label_without_quoted_value_is_rejected(self) -> None:
+        _err("# TYPE a counter\na{x=3} 1\n")
+
+    def test_multiple_labels_sorted(self) -> None:
+        (sample,) = parse_prometheus_text(
+            '# TYPE a counter\na{zeta="1",alpha="2"} 1\n'
+        )
+        assert sample.labels == (("alpha", "2"), ("zeta", "1"))
+
+    def test_histogram_suffixes_resolve_to_family(self) -> None:
+        text = (
+            "# TYPE h histogram\n"
+            'h_bucket{le="1"} 2\n'
+            'h_bucket{le="+Inf"} 3\n'
+            "h_sum 4.5\n"
+            "h_count 3\n"
+        )
+        samples = parse_prometheus_text(text)
+        assert [s.name for s in samples] == ["h_bucket", "h_bucket", "h_sum", "h_count"]
+
+    def test_histogram_suffix_without_family_type_is_rejected(self) -> None:
+        # _count alone does not conjure a histogram family.
+        assert _err("x_count 1\n").line_no == 1
+
+    def test_line_numbers_point_at_the_offender(self) -> None:
+        text = "# TYPE a counter\na 1\n# TYPE b gauge\nb nope\n"
+        assert _err(text).line_no == 4
+
+
+class TestRoundTrip:
+    def test_escaped_labels_round_trip_exactly(self) -> None:
+        registry = MetricsRegistry()
+        nasty = 'back\\slash "quoted"\nnewline'
+        registry.counter("repro_escape_total", "help").inc(2, path=nasty)
+        samples = parse_prometheus_text(to_prometheus(registry))
+        (sample,) = [s for s in samples if s.name == "repro_escape_total"]
+        assert sample.label_dict == {"path": nasty}
+        assert sample.value == 2.0
+
+    def test_full_suite_emission_round_trips(self) -> None:
+        """Every metric the library emits survives the strict parser.
+
+        One live registry accumulates build + knn + range work for the
+        entire (model, method) matrix; the exposition must parse, and
+        every counter/gauge sample must reappear with its exact value.
+        """
+        rng = np.random.default_rng(41)
+        matrix = random_spd_matrix(DIM, rng=rng, condition=6.0)
+        data = rng.random((50, DIM))
+        queries = rng.random((2, DIM))
+        registry = MetricsRegistry()
+        with use_registry(registry):
+            for model_name, method in ALL_PAIRS:
+                model = (QMapModel if model_name == "qmap" else QFDModel)(matrix)
+                built = model.build_index(
+                    method, data, **METHOD_KWARGS.get(method, {})
+                )
+                for q in queries:
+                    built.knn_search(q, 3)
+                    built.range_search(q, 0.5)
+
+        parsed = parse_prometheus_text(to_prometheus(registry))
+        assert parsed, "the suite must emit at least one sample"
+        by_key = {(s.name, s.labels): s.value for s in parsed}
+
+        checked = 0
+        for sample in registry.snapshot():
+            key_labels = tuple(sorted(sample.labels.items()))
+            if sample.histogram is None:
+                assert by_key[(sample.name, key_labels)] == sample.value
+                checked += 1
+            else:
+                state = sample.histogram
+                assert by_key[(f"{sample.name}_count", key_labels)] == state.count
+                assert by_key[(f"{sample.name}_sum", key_labels)] == pytest.approx(
+                    state.total
+                )
+                inf_key = tuple(sorted([*sample.labels.items(), ("le", "+Inf")]))
+                assert by_key[(f"{sample.name}_bucket", inf_key)] == state.count
+                checked += 1
+        assert checked == len(registry.snapshot())
+
+    def test_histogram_buckets_are_cumulative_and_monotone(self) -> None:
+        registry = MetricsRegistry()
+        hist = registry.histogram("repro_rt_seconds", "help", bounds=(1.0, 2.0, 4.0))
+        for value in (0.5, 1.5, 1.5, 3.0, 99.0):
+            hist.observe(value)
+        parsed = parse_prometheus_text(to_prometheus(registry))
+        buckets = [s for s in parsed if s.name == "repro_rt_seconds_bucket"]
+        values = [s.value for s in buckets]
+        assert values == sorted(values), "cumulative buckets must be monotone"
+        assert buckets[-1].label_dict["le"] == "+Inf"
+        assert buckets[-1].value == 5
+
+
+class TestHistogramQuantile:
+    def _state(self, bounds, observations) -> HistogramState:
+        registry = MetricsRegistry()
+        hist = registry.histogram("q", bounds=bounds)
+        for value in observations:
+            hist.observe(value)
+        return hist.state()
+
+    def test_rejects_out_of_range_q(self) -> None:
+        state = self._state((1.0, 2.0), [1.5])
+        with pytest.raises(ValueError):
+            state.quantile(-0.01)
+        with pytest.raises(ValueError):
+            state.quantile(1.01)
+
+    def test_empty_state_reads_zero(self) -> None:
+        registry = MetricsRegistry()
+        state = registry.histogram("q", bounds=(1.0, 2.0)).state()
+        assert state.count == 0
+        assert state.quantile(0.5) == 0.0
+
+    def test_interpolates_inside_the_bucket(self) -> None:
+        # Four observations in the (1, 2] bucket: rank r maps to the
+        # lower edge plus r/4 of the bucket width.
+        state = self._state((1.0, 2.0), [1.5, 1.5, 1.5, 1.5])
+        assert state.quantile(0.25) == pytest.approx(1.25)
+        assert state.quantile(0.5) == pytest.approx(1.5)
+        assert state.quantile(1.0) == pytest.approx(2.0)
+
+    def test_first_bucket_anchors_at_zero(self) -> None:
+        state = self._state((1.0, 2.0), [0.5])
+        # Single observation in the first bucket: lower edge is 0.0.
+        assert state.quantile(1.0) == pytest.approx(1.0)
+
+    def test_overflow_reports_last_finite_bound(self) -> None:
+        state = self._state((1.0, 2.0), [100.0])
+        assert state.quantile(0.5) == 2.0
+        assert state.quantile(1.0) == 2.0
+
+    def test_default_grid_one_octave_error_bound(self) -> None:
+        # Identical observations land in one power-of-two bucket; the
+        # estimate must stay inside that bucket (relative error < 2x).
+        registry = MetricsRegistry()
+        hist = registry.histogram("q")
+        truth = 0.01
+        for _ in range(10):
+            hist.observe(truth)
+        state = hist.state()
+        for q in (0.5, 0.95, 0.99):
+            estimate = state.quantile(q)
+            assert estimate / truth < 2.0
+            assert truth / estimate < 2.0
+
+    def test_quantiles_are_monotone_in_q(self) -> None:
+        rng = np.random.default_rng(5)
+        registry = MetricsRegistry()
+        hist = registry.histogram("q")
+        for value in rng.lognormal(0.0, 1.5, size=200):
+            hist.observe(float(value))
+        state = hist.state()
+        estimates = [state.quantile(q) for q in (0.1, 0.5, 0.9, 0.99)]
+        assert estimates == sorted(estimates)
+
+
+class TestQuantileSurfaces:
+    def _registry(self) -> MetricsRegistry:
+        registry = MetricsRegistry()
+        hist = registry.histogram("repro_query_seconds", "help")
+        for value in (0.001, 0.002, 0.004, 0.1):
+            hist.observe(value, method="mtree")
+        return registry
+
+    def test_snapshot_dict_carries_quantiles(self) -> None:
+        payload = snapshot_dict(self._registry())
+        (entry,) = payload["metrics"]
+        assert set(entry["quantiles"]) == {"p50", "p95", "p99"}
+        assert entry["quantiles"]["p50"] <= entry["quantiles"]["p99"]
+
+    def test_to_table_prints_quantiles(self) -> None:
+        text = to_table(self._registry())
+        assert "p50=" in text
+        assert "p95=" in text
+        assert "p99=" in text
+
+    def test_empty_histograms_omit_quantiles(self) -> None:
+        registry = MetricsRegistry()
+        registry.counter("repro_only_total").inc(1)
+        payload = snapshot_dict(registry)
+        (entry,) = payload["metrics"]
+        assert "quantiles" not in entry

@@ -1,0 +1,353 @@
+"""Live telemetry tests: rolling rates, the scrape server, thread safety.
+
+The headline acceptance test scrapes ``/metrics`` *during* a running
+batch (a slow distance function keeps the batch alive) and checks both
+halves of the contract: every mid-batch scrape is valid Prometheus text,
+and at batch end ``repro_distance_evaluations_total`` equals the model's
+own ``CountingDistance`` delta exactly.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import urllib.request
+
+import numpy as np
+import pytest
+
+from repro.core import random_spd_matrix
+from repro.models import QFDModel
+from repro.obs import (
+    NULL_REGISTRY,
+    MetricsRegistry,
+    TelemetryServer,
+    WindowedRate,
+    observe_query_progress,
+    parse_prometheus_text,
+    parse_serve_spec,
+    sync_rate_gauges,
+    use_registry,
+)
+from repro.obs.instruments import DISTANCE_EVALUATIONS
+from repro.obs.live import (
+    WINDOW_EVALUATIONS_PER_SECOND,
+    WINDOW_QUERIES_PER_SECOND,
+)
+
+DIM = 6
+
+
+def _workload(seed: int = 7, m: int = 60, n_queries: int = 6):
+    rng = np.random.default_rng(seed)
+    matrix = random_spd_matrix(DIM, rng=rng, condition=6.0)
+    data = rng.random((m, DIM))
+    queries = rng.random((n_queries, DIM))
+    return matrix, data, queries
+
+
+def _get(url: str) -> bytes:
+    with urllib.request.urlopen(url, timeout=10) as resp:
+        return resp.read()
+
+
+class TestWindowedRate:
+    def test_rate_over_a_steady_stream(self) -> None:
+        clock = [0.0]
+        window = WindowedRate(10.0, buckets=10, clock=lambda: clock[0])
+        for step in range(5):
+            clock[0] = float(step)
+            window.add(20)
+        clock[0] = 5.0
+        # 100 events over 5 elapsed seconds (partial window denominator).
+        assert window.total() == 100
+        assert window.rate() == pytest.approx(20.0)
+
+    def test_old_events_fall_out_of_the_window(self) -> None:
+        clock = [0.0]
+        window = WindowedRate(10.0, buckets=10, clock=lambda: clock[0])
+        window.add(50)
+        clock[0] = 30.0
+        assert window.total() == 0
+        assert window.rate() == 0.0
+
+    def test_full_window_denominator_is_the_window(self) -> None:
+        clock = [0.0]
+        window = WindowedRate(10.0, buckets=10, clock=lambda: clock[0])
+        for step in range(20):
+            clock[0] = float(step)
+            window.add(10)
+        clock[0] = 19.5
+        # Only the last 10 s of events remain; rate is per window second.
+        assert window.rate() == pytest.approx(window.total() / 10.0)
+
+    def test_never_fed_reads_zero(self) -> None:
+        window = WindowedRate(5.0)
+        assert window.rate() == 0.0
+        assert window.total() == 0.0
+
+    def test_rejects_bad_parameters(self) -> None:
+        with pytest.raises(ValueError):
+            WindowedRate(0.0)
+        with pytest.raises(ValueError):
+            WindowedRate(5.0, buckets=0)
+
+
+class TestParseServeSpec:
+    def test_bare_port(self) -> None:
+        assert parse_serve_spec("0") == ("127.0.0.1", 0)
+        assert parse_serve_spec("9100") == ("127.0.0.1", 9100)
+
+    def test_host_and_port(self) -> None:
+        assert parse_serve_spec("0.0.0.0:9100") == ("0.0.0.0", 9100)
+
+    @pytest.mark.parametrize("spec", ["", "abc", "host:", "host:notaport", "1:70000"])
+    def test_rejects_malformed_specs(self, spec: str) -> None:
+        with pytest.raises(ValueError):
+            parse_serve_spec(spec)
+
+
+class TestObserveQueryProgress:
+    def test_feeds_gauges_through_sync(self) -> None:
+        registry = MetricsRegistry()
+        observe_query_progress(10, 400, method="mtree", registry=registry, now=1.0)
+        sync_rate_gauges(registry, now=2.0)
+        gauges = {
+            (s.name, s.labels.get("method")): s.value
+            for s in registry.snapshot()
+            if s.kind == "gauge"
+        }
+        assert (WINDOW_QUERIES_PER_SECOND, "mtree") in gauges
+        assert (WINDOW_EVALUATIONS_PER_SECOND, "mtree") in gauges
+
+    def test_null_registry_is_a_noop(self) -> None:
+        # Must not raise, must not allocate a board for the null registry.
+        observe_query_progress(10, 400, method="mtree", registry=NULL_REGISTRY)
+        from repro.obs.live import _boards
+
+        assert NULL_REGISTRY not in _boards
+
+
+class TestTelemetryServer:
+    def test_endpoints_roundtrip(self) -> None:
+        registry = MetricsRegistry()
+        registry.counter("repro_test_total", "help").inc(3, method="mtree")
+        with TelemetryServer(registry) as server:
+            assert server.running
+            assert _get(f"{server.url}/healthz") == b"ok\n"
+            samples = parse_prometheus_text(
+                _get(f"{server.url}/metrics").decode("utf-8")
+            )
+            by_name = {s.name: s.value for s in samples}
+            assert by_name["repro_test_total"] == 3
+            snapshot = json.loads(_get(f"{server.url}/snapshot.json"))
+            assert any(e["name"] == "repro_test_total" for e in snapshot["metrics"])
+        assert not server.running
+
+    def test_scrapes_are_counted(self) -> None:
+        registry = MetricsRegistry()
+        with TelemetryServer(registry) as server:
+            _get(f"{server.url}/metrics")
+            _get(f"{server.url}/metrics")
+            text = _get(f"{server.url}/metrics").decode("utf-8")
+        samples = parse_prometheus_text(text)
+        scrapes = [
+            s
+            for s in samples
+            if s.name == "repro_telemetry_requests_total"
+            and s.label_dict.get("path") == "/metrics"
+        ]
+        # The third scrape sees the first two already counted.
+        assert scrapes and scrapes[0].value == 3
+
+    def test_unknown_path_is_404(self) -> None:
+        with TelemetryServer(MetricsRegistry()) as server:
+            with pytest.raises(urllib.error.HTTPError) as err:
+                _get(f"{server.url}/nope")
+            assert err.value.code == 404
+
+    def test_unbound_server_resolves_active_registry(self) -> None:
+        registry = MetricsRegistry()
+        registry.counter("repro_live_total", "help").inc(7)
+        with TelemetryServer() as server:
+            with use_registry(registry):
+                samples = parse_prometheus_text(
+                    _get(f"{server.url}/metrics").decode("utf-8")
+                )
+            assert any(s.name == "repro_live_total" for s in samples)
+
+    def test_port_zero_binds_distinct_ports(self) -> None:
+        with TelemetryServer() as a, TelemetryServer() as b:
+            assert a.address[1] != b.address[1]
+
+    def test_server_over_null_registry_serves_empty_exposition(self) -> None:
+        with TelemetryServer(NULL_REGISTRY) as server:
+            text = _get(f"{server.url}/metrics").decode("utf-8")
+        assert parse_prometheus_text(text) == []
+
+
+class TestMidBatchScrape:
+    """The acceptance criterion: scrape during the batch, exact at the end."""
+
+    def test_live_scrape_valid_and_final_counter_exact(self) -> None:
+        matrix, data, queries = _workload(m=80, n_queries=8)
+        registry = MetricsRegistry()
+
+        in_batch = threading.Event()
+        scraped: list[list] = []
+
+        with use_registry(registry), TelemetryServer(registry) as server:
+            index = QFDModel(matrix).build_index("sequential", data)
+            index.reset_query_costs()
+
+            def scraper() -> None:
+                in_batch.wait(timeout=10)
+                for _ in range(5):
+                    text = _get(f"{server.url}/metrics").decode("utf-8")
+                    scraped.append(parse_prometheus_text(text))
+
+            thread = threading.Thread(target=scraper)
+            thread.start()
+            in_batch.set()
+            for q in queries:
+                index.knn_search(q, 5)
+            thread.join(timeout=30)
+            assert not thread.is_alive()
+            # The CountingDistance delta since the reset above.
+            delta = index.query_costs().distance_computations
+            final = parse_prometheus_text(
+                _get(f"{server.url}/metrics").decode("utf-8")
+            )
+
+        # Every mid-batch scrape parsed cleanly (the parser raises on any
+        # malformed line, so reaching here proves validity).
+        assert len(scraped) == 5
+        counter_total = sum(
+            s.value
+            for s in final
+            if s.name == DISTANCE_EVALUATIONS
+            and s.label_dict.get("phase") == "query"
+        )
+        assert int(counter_total) == delta
+        # The rate gauges appeared once queries flowed.
+        gauge_names = {s.name for s in final}
+        assert WINDOW_QUERIES_PER_SECOND in gauge_names
+
+    def test_batch_engine_feeds_rate_windows(self) -> None:
+        matrix, data, queries = _workload(m=60, n_queries=10)
+        registry = MetricsRegistry()
+        with use_registry(registry):
+            index = QFDModel(matrix).build_index("mtree", data, capacity=8)
+            index.knn_search_batch(queries, 4)
+            sync_rate_gauges(registry)
+        qps = [
+            s.value
+            for s in registry.snapshot()
+            if s.kind == "gauge" and s.name == WINDOW_QUERIES_PER_SECOND
+        ]
+        assert qps and qps[0] > 0.0
+
+
+class TestRegistryHammer:
+    """N writer threads + a scraping reader: exact sums, no torn scrapes."""
+
+    def test_concurrent_writes_sum_exactly_and_scrapes_stay_valid(self) -> None:
+        registry = MetricsRegistry()
+        n_threads, n_iter = 8, 300
+        start = threading.Barrier(n_threads + 1)
+        stop = threading.Event()
+        parse_failures: list[Exception] = []
+
+        def writer(tid: int) -> None:
+            start.wait()
+            counter = registry.counter("repro_hammer_total", "help")
+            histogram = registry.histogram("repro_hammer_seconds", "help")
+            for i in range(n_iter):
+                counter.inc(1, worker=str(tid % 2))
+                histogram.observe(0.001 * (i + 1), worker=str(tid % 2))
+
+        def scraper() -> None:
+            from repro.obs import to_prometheus
+
+            start.wait()
+            while not stop.is_set():
+                try:
+                    parse_prometheus_text(to_prometheus(registry))
+                    registry.snapshot()
+                except Exception as exc:  # pragma: no cover - failure path
+                    parse_failures.append(exc)
+                    return
+
+        threads = [
+            threading.Thread(target=writer, args=(tid,)) for tid in range(n_threads)
+        ]
+        reader = threading.Thread(target=scraper)
+        for t in threads:
+            t.start()
+        reader.start()
+        for t in threads:
+            t.join(timeout=60)
+        stop.set()
+        reader.join(timeout=60)
+
+        assert not parse_failures, parse_failures
+        samples = registry.snapshot()
+        total = sum(
+            s.value for s in samples if s.name == "repro_hammer_total"
+        )
+        assert total == n_threads * n_iter
+        states = [
+            s.histogram for s in samples if s.name == "repro_hammer_seconds"
+        ]
+        assert sum(state.count for state in states) == n_threads * n_iter
+        # No torn histogram: bucket counts sum to the total count.
+        for state in states:
+            assert sum(state.counts) == state.count
+
+
+class TestNonInterference:
+    """With telemetry disabled, answers and counts stay bit-identical."""
+
+    def test_server_presence_does_not_change_counts(self) -> None:
+        matrix, data, queries = _workload(seed=13)
+
+        def run(with_server: bool) -> tuple[list, int]:
+            index = QFDModel(matrix).build_index("mtree", data, capacity=8)
+            index.reset_query_costs()
+            if with_server:
+                with TelemetryServer() as server:
+                    _get(f"{server.url}/metrics")
+                    answers = [
+                        [n.index for n in index.knn_search(q, 5)] for q in queries
+                    ]
+                    _get(f"{server.url}/metrics")
+            else:
+                answers = [
+                    [n.index for n in index.knn_search(q, 5)] for q in queries
+                ]
+            return answers, index.query_costs().distance_computations
+
+        base_answers, base_counts = run(with_server=False)
+        live_answers, live_counts = run(with_server=True)
+        assert live_answers == base_answers
+        assert live_counts == base_counts
+
+    def test_rss_sampler_is_inert_without_registry(self) -> None:
+        from repro.obs import RssSampler
+
+        before = threading.active_count()
+        with RssSampler(0.01) as sampler:
+            assert threading.active_count() == before
+        assert sampler.samples == 0
+        assert sampler.peak_seen == 0
+
+    def test_rss_sampler_samples_with_registry(self) -> None:
+        from repro.obs import RssSampler
+        from repro.obs.memory import PEAK_RSS
+
+        registry = MetricsRegistry()
+        with RssSampler(0.01, registry=registry) as sampler:
+            sampler.sample()
+        assert sampler.samples >= 2
+        assert sampler.peak_seen > 0
+        assert any(s.name == PEAK_RSS for s in registry.snapshot())

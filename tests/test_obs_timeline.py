@@ -1,0 +1,161 @@
+"""Timeline exporter tests: spans and traversals as Chrome trace events.
+
+The load-bearing claims: the document is valid Chrome trace-event JSON
+(``traceEvents`` with ``B``/``E``/``X``/``M`` phases and µs fields), the
+span lane reproduces wall-clock ordering and threads, the traversal lane
+covers the virtual time axis gaplessly per the event buffer's charge
+attribution, and the per-node ``args`` sum back to the plan's charged
+totals.
+"""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.core import random_spd_matrix
+from repro.models import QFDModel, explain_query
+from repro.obs import (
+    MetricsRegistry,
+    chrome_trace,
+    plan_trace_events,
+    span_trace_events,
+    use_registry,
+    write_timeline,
+)
+from repro.obs.registry import SpanRecord
+from repro.obs.timeline import PLAN_PID_OFFSET
+
+DIM = 6
+
+
+def _plan(method: str = "mtree", seed: int = 5, k: int = 4):
+    rng = np.random.default_rng(seed)
+    matrix = random_spd_matrix(DIM, rng=rng, condition=6.0)
+    data = rng.random((60, DIM))
+    query = rng.random(DIM)
+    kwargs = {"mtree": {"capacity": 8}, "pivot-table": {"n_pivots": 4}}.get(method, {})
+    index = QFDModel(matrix).build_index(method, data, **kwargs)
+    index.reset_query_costs()
+    return explain_query(index, query, k=k)
+
+
+class TestSpanTraceEvents:
+    def test_slices_carry_wall_clock_and_thread(self) -> None:
+        records = [
+            SpanRecord(
+                name="build/index", seconds=0.25, depth=0,
+                start=100.0, thread=11,
+            ),
+            SpanRecord(
+                name="query/batch/knn", seconds=0.5, depth=0,
+                start=100.5, thread=22, parent="build/index",
+            ),
+        ]
+        events = span_trace_events(records, pid=1)
+        assert [e["ph"] for e in events] == ["X", "X"]
+        first, second = events
+        assert first["ts"] == 0.0  # normalized to the earliest start
+        assert first["dur"] == pytest.approx(0.25e6)
+        assert first["tid"] == 11
+        assert second["ts"] == pytest.approx(0.5e6)
+        assert second["args"]["parent"] == "build/index"
+
+    def test_legacy_spans_without_start_lay_back_to_back(self) -> None:
+        records = [
+            SpanRecord(name="a", seconds=1.0, depth=0),
+            SpanRecord(name="b", seconds=2.0, depth=0),
+        ]
+        events = span_trace_events(records, pid=1)
+        assert events[0]["ts"] == 0.0
+        assert events[1]["ts"] == pytest.approx(1e6)
+
+    def test_labels_become_args(self) -> None:
+        record = SpanRecord(
+            name="query/batch/knn", seconds=0.1, depth=0,
+            labels={"method": "mtree"}, start=1.0, thread=1,
+        )
+        (event,) = span_trace_events([record], pid=1)
+        assert event["args"]["method"] == "mtree"
+
+
+class TestPlanTraceEvents:
+    def test_traversal_covers_virtual_time_gaplessly(self) -> None:
+        plan = _plan("mtree")
+        events = plan_trace_events(plan, pid=1, tid=1)
+        assert events[0]["ph"] == "B"
+        assert events[-1]["ph"] == "E"
+        slices = [e for e in events if e["ph"] == "X"]
+        assert slices, "a tree traversal must produce node slices"
+        # Node slices are [enter_seq, next_enter_seq): ordered, gapless.
+        for here, there in zip(slices, slices[1:]):
+            assert here["ts"] + here["dur"] == there["ts"]
+        assert events[-1]["ts"] >= slices[-1]["ts"]
+
+    def test_charged_evaluations_sum_to_plan_totals(self) -> None:
+        plan = _plan("mtree")
+        # The explain plan must have recorded every event for the sums to
+        # be exact (no cap/sampling drops on this tiny workload).
+        assert plan.events_dropped == 0
+        events = plan_trace_events(plan, pid=1)
+        charged = sum(
+            e["args"].get("charged_calls", 0) + e["args"].get("charged_rows", 0)
+            for e in events
+            if e["ph"] == "X"
+        )
+        totals = plan.to_dict()["totals"]
+        expected = totals.get("charged_calls", 0) + totals.get("charged_rows", 0)
+        assert charged == expected
+        # And the plan's own invariant held, so args equal true counts.
+        assert plan.totals_match
+
+    def test_wrapper_args_carry_totals_and_drop_counts(self) -> None:
+        plan = _plan("pivot-table")
+        events = plan_trace_events(plan, pid=1)
+        begin = events[0]
+        assert begin["name"].startswith("knn(k=4)")
+        assert "events_dropped" in begin["args"]
+        assert "events_sampled_out" in begin["args"]
+
+    def test_accepts_plan_dict_form(self) -> None:
+        plan = _plan("mtree")
+        from_obj = plan_trace_events(plan, pid=1)
+        from_dict = plan_trace_events(plan.to_dict(), pid=1)
+        assert from_obj == from_dict
+
+
+class TestChromeTrace:
+    def test_lanes_are_separate_pids_with_metadata(self) -> None:
+        registry = MetricsRegistry()
+        rng = np.random.default_rng(3)
+        matrix = random_spd_matrix(DIM, rng=rng, condition=6.0)
+        data = rng.random((50, DIM))
+        with use_registry(registry):
+            index = QFDModel(matrix).build_index("mtree", data, capacity=8)
+            index.knn_search_batch(rng.random((4, DIM)), 3)
+        plan = explain_query(index, rng.random(DIM), k=3)
+        doc = chrome_trace(spans=registry.spans, plan=plan, pid=7)
+        assert doc["otherData"]["producer"] == "repro.obs.timeline"
+        events = doc["traceEvents"]
+        metas = [e for e in events if e["ph"] == "M"]
+        assert {m["pid"] for m in metas} == {7, 7 + PLAN_PID_OFFSET}
+        span_pids = {e["pid"] for e in events if e.get("cat") == "span"}
+        plan_pids = {e["pid"] for e in events if e.get("cat") == "traversal"}
+        assert span_pids == {7}
+        assert plan_pids == {7 + PLAN_PID_OFFSET}
+
+    def test_empty_inputs_produce_empty_document(self) -> None:
+        doc = chrome_trace(spans=[], plan=None, pid=1)
+        assert doc["traceEvents"] == []
+
+    def test_write_timeline_roundtrips_json(self, tmp_path) -> None:
+        plan = _plan("mtree")
+        target = tmp_path / "timeline.json"
+        written = write_timeline(target, plan=plan, pid=1)
+        assert written == target
+        doc = json.loads(target.read_text())
+        assert doc["traceEvents"]
+        phases = {e["ph"] for e in doc["traceEvents"]}
+        assert phases <= {"B", "E", "X", "M"}
