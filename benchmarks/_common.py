@@ -34,6 +34,7 @@ __all__ = [
     "N_QUERIES",
     "SIZES",
     "get_workload",
+    "maybe_profile",
     "maybe_serve_metrics",
     "report_sweep",
     "print_header",
@@ -95,6 +96,38 @@ def maybe_serve_metrics(registry=None, *, env_var: str = "REPRO_BENCH_SERVE"):
         yield server
     finally:
         server.stop()
+
+
+@contextlib.contextmanager
+def maybe_profile(*, env_var: str = "REPRO_BENCH_PROFILE"):
+    """Sample the bench under the built-in profiler when *env_var* is set.
+
+    ``REPRO_BENCH_PROFILE=PATH`` starts a
+    :class:`repro.obs.SamplingProfiler` for the duration of the ``with``
+    block and writes the profile to ``PATH`` on exit — speedscope JSON
+    for a ``.json`` suffix, collapsed flamegraph stacks otherwise.
+    ``PATH:HZ`` (e.g. ``profile.txt:500``) overrides the default 200 Hz
+    sampling rate.  Unset, this yields ``None`` and adds nothing — the
+    default bench run stays profiler-free, keeping the count baselines
+    bit-identical.
+    """
+    spec = os.environ.get(env_var, "").strip()
+    if not spec:
+        yield None
+        return
+    from repro.obs import profile_to
+
+    path, hz = spec, 200.0
+    base, sep, suffix = spec.rpartition(":")
+    if sep and base:
+        try:
+            hz = float(suffix)
+            path = base
+        except ValueError:
+            pass
+    with profile_to(path, hz=hz) as profiler:
+        yield profiler
+    print(f"profile  : {path} ({profiler.sample_count} samples @ {hz:g}Hz)", flush=True)
 
 
 def reset_store_cache(index) -> None:

@@ -117,7 +117,7 @@ def _phase_cell(args: argparse.Namespace, model_name: str, method: str) -> dict:
         use_registry,
     )
 
-    from _common import maybe_serve_metrics
+    from _common import maybe_profile, maybe_serve_metrics
 
     workdir = Path(args.workdir)
     source = np.memmap(
@@ -145,7 +145,7 @@ def _phase_cell(args: argparse.Namespace, model_name: str, method: str) -> dict:
         method=method,
         phase="cell",
     )
-    with use_registry(registry), maybe_serve_metrics(registry), sampler:
+    with use_registry(registry), maybe_serve_metrics(registry), maybe_profile(), sampler:
         built = model.build_index(
             method,
             source,

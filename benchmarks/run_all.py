@@ -5,6 +5,10 @@ Usage::
     python benchmarks/run_all.py            # paper-dim profile (512-d)
     REPRO_BENCH_SCALE=small python benchmarks/run_all.py   # fast 64-d
 
+Set ``REPRO_BENCH_PROFILE=PATH[:HZ]`` to sample the whole sweep with the
+built-in profiler and write a flamegraph-ready profile to ``PATH``
+(speedscope JSON for ``.json``, collapsed stacks otherwise).
+
 The output of this script is what EXPERIMENTS.md records.
 """
 
@@ -39,10 +43,13 @@ REPORTS = [
 
 
 def main() -> None:
+    from _common import maybe_profile
+
     start = time.perf_counter()
-    for name in REPORTS:
-        module = importlib.import_module(name)
-        module.main()
+    with maybe_profile():
+        for name in REPORTS:
+            module = importlib.import_module(name)
+            module.main()
     print(f"\nall reports done in {time.perf_counter() - start:.1f}s")
 
 

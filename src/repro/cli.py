@@ -70,7 +70,12 @@ Commands
 port 0 auto-assigns; ``--serve-hold S`` keeps the endpoint up S seconds
 after the run), and ``--explain`` / ``--explain-out PATH`` (EXPLAIN the
 batch's first query after the run).  ``query`` and ``explain`` accept
-``--timeline-out PATH`` to write the run's Chrome trace-event timeline.
+``--timeline-out PATH`` to write the run's Chrome trace-event timeline
+and ``--profile-out PATH`` / ``--profile-hz HZ`` to run under the
+built-in sampling profiler (``.json`` writes speedscope JSON, any other
+extension collapsed flamegraph stacks).  ``query``, ``index query`` and
+``report`` accept ``--log-json PATH`` to write one structured JSON
+record per build/query/batch/plan event, correlated by ``trace_id``.
 """
 
 from __future__ import annotations
@@ -186,6 +191,28 @@ def build_parser() -> argparse.ArgumentParser:
         "the first query's traversal); open in Perfetto",
     )
     query.add_argument(
+        "--profile-out",
+        default=None,
+        metavar="PATH",
+        help="run under the built-in sampling profiler and write the "
+        "profile (.json -> speedscope, anything else -> collapsed "
+        "stacks for flamegraph.pl)",
+    )
+    query.add_argument(
+        "--profile-hz",
+        type=float,
+        default=200.0,
+        metavar="HZ",
+        help="profiler sampling rate in samples/second (default: 200)",
+    )
+    query.add_argument(
+        "--log-json",
+        default=None,
+        metavar="PATH",
+        help="write one structured JSON record per build/query/batch "
+        "event to PATH (trace_id-correlated JSON-lines)",
+    )
+    query.add_argument(
         "--explain",
         action="store_true",
         help="after the batch, re-run the first query under event "
@@ -278,6 +305,21 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="PATH",
         help="write a Chrome trace-event timeline of the build/query "
         "spans and this query's traversal; open in Perfetto",
+    )
+    explain.add_argument(
+        "--profile-out",
+        default=None,
+        metavar="PATH",
+        help="run under the built-in sampling profiler and write the "
+        "profile (.json -> speedscope, anything else -> collapsed "
+        "stacks for flamegraph.pl)",
+    )
+    explain.add_argument(
+        "--profile-hz",
+        type=float,
+        default=200.0,
+        metavar="HZ",
+        help="profiler sampling rate in samples/second (default: 200)",
     )
     explain.add_argument("--seed", type=int, default=0)
 
@@ -555,6 +597,13 @@ def build_parser() -> argparse.ArgumentParser:
         help="keep the metrics endpoint up this long after the run",
     )
     iquery.add_argument(
+        "--log-json",
+        default=None,
+        metavar="PATH",
+        help="write one structured JSON record per build/query/batch "
+        "event to PATH (trace_id-correlated JSON-lines)",
+    )
+    iquery.add_argument(
         "--explain",
         action="store_true",
         help="after the batch, re-run the first query under event "
@@ -620,6 +669,13 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         metavar="PATH",
         help="write per-query QueryTrace records to PATH as JSON-lines",
+    )
+    report.add_argument(
+        "--log-json",
+        default=None,
+        metavar="PATH",
+        help="write one structured JSON record per build/query/batch "
+        "event to PATH (trace_id-correlated JSON-lines)",
     )
     report.add_argument(
         "--diff",
@@ -737,6 +793,50 @@ def _activate_metrics(fmt: "str | None", *, force: bool = False):
     registry = MetricsRegistry()
     previous = set_registry(registry)
     return registry, lambda: set_registry(previous)
+
+
+def _activate_logger(path: "str | None"):
+    """Install a JSON-lines structured logger when ``--log-json`` was given.
+
+    Returns ``(logger, restore)``; call ``restore()`` in a ``finally``
+    block to reinstate the previous logger and close the file.  With
+    *path* ``None`` the null logger stays active and ``restore`` is a
+    no-op.
+    """
+    if path is None:
+        return None, lambda: None
+    from .obs import JsonLinesLogger, set_logger
+
+    logger = JsonLinesLogger(path)
+    previous = set_logger(logger)
+
+    def restore() -> None:
+        set_logger(previous)
+        logger.close()
+
+    return logger, restore
+
+
+def _start_profiler(path: "str | None", hz: float):
+    """Start the sampling profiler when ``--profile-out`` was given."""
+    if path is None:
+        return None
+    from .obs import SamplingProfiler
+
+    return SamplingProfiler(hz=hz).start()
+
+
+def _finish_profiler(profiler, path: str, hz: float, registry) -> None:
+    """Stop *profiler*, mirror its phase counts, and write the profile."""
+    if profiler is None:
+        return
+    profiler.stop()
+    profiler.record_to(registry)
+    out = profiler.write(path)
+    print(
+        f"profile  : {out} ({profiler.sample_count} samples @ {hz:g}Hz, "
+        f"{'speedscope JSON' if str(out).lower().endswith('.json') else 'collapsed stacks'})"
+    )
 
 
 def _start_telemetry(spec: "str | None", registry):
@@ -955,8 +1055,44 @@ def _run_planned(
     explain: bool,
     explain_out: "str | None",
     seed: int,
+    log_json: "str | None" = None,
 ) -> int:
     """Plan, print the considered alternatives, and execute the choice."""
+    logger, restore_logger = _activate_logger(log_json)
+    try:
+        return _run_planned_inner(
+            workload,
+            plan=plan,
+            index_dir=index_dir,
+            calibrate_from=calibrate_from,
+            k=k,
+            radius=radius,
+            executor_name=executor_name,
+            workers=workers,
+            explain=explain,
+            explain_out=explain_out,
+            seed=seed,
+        )
+    finally:
+        restore_logger()
+        if logger is not None:
+            print(f"log      : {log_json} ({logger.records_written} records)")
+
+
+def _run_planned_inner(
+    workload,
+    *,
+    plan: str,
+    index_dir: "str | None",
+    calibrate_from: "str | None",
+    k: "int | None",
+    radius: "float | None",
+    executor_name: "str | None",
+    workers: "int | None",
+    explain: bool,
+    explain_out: "str | None",
+    seed: int,
+) -> int:
     import time
 
     from .models.planning import plan_query_batch
@@ -1028,9 +1164,10 @@ def _cmd_query(args: "argparse.Namespace") -> int:
         args.size, args.queries, bins_per_channel=args.bins, seed=args.seed
     )
     if args.plan:
-        if args.serve_metrics is not None or args.timeline_out:
+        if args.serve_metrics is not None or args.timeline_out or args.profile_out:
             print(
-                "note: --serve-metrics/--timeline-out are ignored under --plan",
+                "note: --serve-metrics/--timeline-out/--profile-out are "
+                "ignored under --plan",
                 file=sys.stderr,
             )
         print(f"workload : {workload.name}, m={args.size}, q={args.queries}")
@@ -1046,9 +1183,16 @@ def _cmd_query(args: "argparse.Namespace") -> int:
             explain=args.explain,
             explain_out=args.explain_out,
             seed=args.seed,
+            log_json=args.log_json,
         )
-    force = args.serve_metrics is not None or bool(args.timeline_out)
+    force = (
+        args.serve_metrics is not None
+        or bool(args.timeline_out)
+        or bool(args.profile_out)
+    )
     registry, restore_registry = _activate_metrics(args.metrics, force=force)
+    logger, restore_logger = _activate_logger(args.log_json)
+    profiler = _start_profiler(args.profile_out, args.profile_hz)
     server = None
     try:
         server = _start_telemetry(args.serve_metrics, registry)
@@ -1096,9 +1240,11 @@ def _cmd_query(args: "argparse.Namespace") -> int:
             elapsed = time.perf_counter() - start
         finally:
             # Deactivate before the EXPLAIN re-run below so the exported
-            # metrics describe exactly the build + batch (the server keeps
-            # serving this registry's final state during --serve-hold).
+            # metrics and log describe exactly the build + batch (the
+            # server keeps serving this registry's final state during
+            # --serve-hold).
             restore_registry()
+            restore_logger()
 
         n = len(results)
         executor = args.executor or ("thread" if (args.workers or 1) > 1 else "serial")
@@ -1133,6 +1279,10 @@ def _cmd_query(args: "argparse.Namespace") -> int:
             )
         if collector is not None and args.trace_out:
             _write_traces(collector, args.trace_out)
+        _finish_profiler(profiler, args.profile_out, args.profile_hz, registry)
+        profiler = None
+        if logger is not None:
+            print(f"log      : {args.log_json} ({logger.records_written} records)")
         _emit_metrics(registry, args.metrics)
         plan = None
         if args.explain or args.explain_out or args.timeline_out:
@@ -1152,7 +1302,10 @@ def _cmd_query(args: "argparse.Namespace") -> int:
     except BaseException:
         if server is not None:
             server.stop()
+        if profiler is not None:
+            profiler.stop()
         restore_registry()
+        restore_logger()
         raise
 
 
@@ -1272,9 +1425,11 @@ def _cmd_index_query(args: "argparse.Namespace") -> int:
             explain=args.explain,
             explain_out=args.explain_out,
             seed=seed,
+            log_json=args.log_json,
         )
     force = args.serve_metrics is not None
     registry, restore_registry = _activate_metrics(args.metrics, force=force)
+    logger, restore_logger = _activate_logger(args.log_json)
     server = None
     try:
         server = _start_telemetry(args.serve_metrics, registry)
@@ -1314,6 +1469,7 @@ def _cmd_index_query(args: "argparse.Namespace") -> int:
             elapsed = time.perf_counter() - start
         finally:
             restore_registry()
+            restore_logger()
 
         n = len(results)
         print(
@@ -1342,6 +1498,8 @@ def _cmd_index_query(args: "argparse.Namespace") -> int:
             )
         if collector is not None and args.trace_out:
             _write_traces(collector, args.trace_out)
+        if logger is not None:
+            print(f"log      : {args.log_json} ({logger.records_written} records)")
         _emit_metrics(registry, args.metrics)
         if args.explain or args.explain_out:
             _explain_first_query(
@@ -1359,6 +1517,7 @@ def _cmd_index_query(args: "argparse.Namespace") -> int:
         if server is not None:
             server.stop()
         restore_registry()
+        restore_logger()
         raise
 
 
@@ -1402,16 +1561,18 @@ def _cmd_explain(args: "argparse.Namespace") -> int:
         bins_per_channel=args.bins,
         seed=args.seed,
     )
-    # With --timeline-out, run the build + explain under a live registry
-    # so the timeline gets wall-clock spans alongside the traversal.
+    # With --timeline-out or --profile-out, run the build + explain under
+    # a live registry so the timeline gets wall-clock spans alongside the
+    # traversal and the profiler can attribute samples to span phases.
     registry = None
     restore = lambda: None  # noqa: E731 - trivial no-op restore
-    if args.timeline_out:
+    if args.timeline_out or args.profile_out:
         from .obs import MetricsRegistry, set_registry
 
         registry = MetricsRegistry()
         previous = set_registry(registry)
         restore = lambda: set_registry(previous)  # noqa: E731
+    profiler = _start_profiler(args.profile_out, args.profile_hz)
     try:
         model = (QMapModel if args.model == "qmap" else QFDModel)(workload.matrix)
         kwargs = _with_bound(
@@ -1427,6 +1588,10 @@ def _cmd_explain(args: "argparse.Namespace") -> int:
             max_events=args.max_events,
             sample_every=args.sample_every,
         )
+    except BaseException:
+        if profiler is not None:
+            profiler.stop()
+        raise
     finally:
         restore()
     print(plan.to_json() if args.json else plan.render())
@@ -1434,6 +1599,7 @@ def _cmd_explain(args: "argparse.Namespace") -> int:
         with open(args.out, "w", encoding="utf-8") as fh:
             fh.write(plan.to_json() + "\n")
         print(f"plan JSON: {args.out}")
+    _finish_profiler(profiler, args.profile_out, args.profile_hz, registry)
     if args.timeline_out:
         _write_timeline_out(args.timeline_out, registry, plan)
     # A mismatch would mean the plan lost track of counted evaluations —
@@ -1740,15 +1906,23 @@ def _cmd_report(args: "argparse.Namespace") -> int:
     )
     registry = MetricsRegistry()
     collector = TraceCollector() if args.trace_out else None
-    with use_registry(registry):
-        index = model.build_index(args.method, workload.database, **kwargs)
-        index.reset_query_costs()
-        if args.radius is not None:
-            index.range_search_batch(workload.queries, args.radius, collector=collector)
-        else:
-            index.knn_search_batch(workload.queries, args.k, collector=collector)
+    logger, restore_logger = _activate_logger(args.log_json)
+    try:
+        with use_registry(registry):
+            index = model.build_index(args.method, workload.database, **kwargs)
+            index.reset_query_costs()
+            if args.radius is not None:
+                index.range_search_batch(
+                    workload.queries, args.radius, collector=collector
+                )
+            else:
+                index.knn_search_batch(workload.queries, args.k, collector=collector)
+    finally:
+        restore_logger()
     if collector is not None:
         _write_traces(collector, args.trace_out)
+    if logger is not None:
+        print(f"log      : {args.log_json} ({logger.records_written} records)")
     _emit_metrics(registry, args.metrics, args.out)
     return 0
 

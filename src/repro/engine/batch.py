@@ -26,6 +26,7 @@ from __future__ import annotations
 
 import functools
 import pickle
+from contextlib import nullcontext
 from time import perf_counter
 from typing import TYPE_CHECKING
 
@@ -34,11 +35,20 @@ import numpy as np
 from .._typing import ArrayLike, as_vector_batch
 from ..exceptions import QueryError
 from ..obs import (
+    MetricsRegistry,
+    TraceContext,
+    activate_trace_context,
+    current_span,
+    current_trace_context,
+    get_logger,
     get_registry,
+    log_event,
     observe_query_progress,
     record_batch_summary,
     record_traces,
     span,
+    trace_scope,
+    use_registry,
 )
 from .executors import (
     BatchExecutor,
@@ -88,27 +98,74 @@ def _run_chunk(
     parameter: float,
     queries: np.ndarray,
     tracing: bool,
-) -> tuple[list[list["Neighbor"]], list[QueryTrace] | None]:
+    obs: "dict | None" = None,
+) -> tuple[list[list["Neighbor"]], list[QueryTrace] | None, "dict | None"]:
     """Execute one contiguous chunk of the batch (process-pool entry).
 
-    Runs in a worker process: *am* is this process's private copy, so
-    wrapping its port for tracing cannot race with anyone.  Traces are
-    returned alongside the results and merged by the parent.
+    Usually runs in a worker process: *am* is this process's private
+    copy, so wrapping its port for tracing cannot race with anyone.
+    Traces are returned alongside the results and merged by the parent.
+
+    *obs* is the parent's observability payload: the request's
+    :class:`TraceContext` (so worker spans carry the batch's trace_id),
+    whether the parent registry is live, and the method label.  When
+    metrics are on, the chunk runs against a **fresh worker registry**
+    under a ``query/chunk/<kind>`` span; the registry's
+    :meth:`~repro.obs.MetricsRegistry.dump_state` delta and the chunk's
+    exact :class:`CountingDistance` delta are returned in the third
+    tuple slot for the parent to merge — this is what makes timelines
+    and ``/metrics`` totals complete under ``--executor process``.
     """
     start, stop = bounds
     traces = None
+    counter = getattr(am._port, "_counter", None)
+    base = counter.stats if counter is not None else None
+    original_port = am._port
     if tracing:
         traces = [
             QueryTrace(query_index=j, kind=kind, parameter=parameter)
             for j in range(start, stop)
         ]
         am._port = TracingPort(am._port)
-    chunk = queries[start:stop]
-    if kind == "range":
-        results = am._range_search_batch(chunk, parameter, traces=traces)
-    else:
-        results = am._knn_search_batch(chunk, int(parameter), traces=traces)
-    return results, traces
+    context = None if obs is None else obs.get("context")
+    registry = (
+        MetricsRegistry() if obs is not None and obs.get("metrics") else None
+    )
+
+    def execute() -> list[list["Neighbor"]]:
+        chunk = queries[start:stop]
+        if kind == "range":
+            return am._range_search_batch(chunk, parameter, traces=traces)
+        return am._knn_search_batch(chunk, int(parameter), traces=traces)
+
+    try:
+        if registry is not None:
+            with activate_trace_context(context) if context is not None else nullcontext():
+                with use_registry(registry):
+                    with span(
+                        f"query/chunk/{kind}",
+                        method="" if obs is None else obs.get("method", ""),
+                        queries=stop - start,
+                    ):
+                        results = execute()
+        else:
+            results = execute()
+    finally:
+        # Restore even though a true worker discards *am*: with a single
+        # chunk (or one worker) the executor runs this inline on the
+        # parent's index, which must not keep the tracing wrapper.
+        am._port = original_port
+    obs_out = None
+    if obs is not None:
+        delta = (0, 0)
+        if counter is not None and base is not None:
+            stats = counter.stats
+            delta = (stats.calls - base.calls, stats.batch_rows - base.batch_rows)
+        obs_out = {
+            "delta": delta,
+            "state": registry.dump_state() if registry is not None else None,
+        }
+    return results, traces, obs_out
 
 
 class QueryBatch:
@@ -165,10 +222,10 @@ class QueryBatch:
         collector:
             Attach to receive one :class:`QueryTrace` per query.  With
             the process executor, traces are recorded in the workers and
-            merged back; note that in that case any in-process
-            ``CountingDistance`` owned by the caller will *not* observe
-            the workers' evaluations — the traces are the authoritative
-            per-query counts.
+            merged back.  When an observability registry is active, the
+            workers' exact ``CountingDistance`` deltas, spans, and
+            registry state are merged back too, so the caller's counter
+            and the registry totals match serial execution exactly.
 
         When an observability registry is active (see
         :mod:`repro.obs`), every executed batch is additionally funneled
@@ -186,29 +243,60 @@ class QueryBatch:
             parameter = min(int(parameter), am.size)
         exec_ = resolve_executor(executor, workers=workers, chunk_size=chunk_size)
         registry = get_registry()
-        method = _method_label(am) if registry.enabled else type(am).__name__
-        # With a live registry but no caller-owned collector, trace into a
-        # private one so the registry still sees per-query records.
+        logger = get_logger()
+        observing = registry.enabled or logger.enabled
+        method = _method_label(am) if observing else type(am).__name__
+        # With a live registry or logger but no caller-owned collector,
+        # trace into a private one so they still see per-query records.
         funnel = collector
-        if funnel is None and registry.enabled:
+        if funnel is None and observing:
             funnel = TraceCollector()
-        with span(f"query/batch/{self.kind}", method=method):
-            start = perf_counter()
-            if isinstance(exec_, ProcessPoolBatchExecutor):
-                results, run_traces = self._run_process(am, qs, parameter, exec_, funnel)
-            else:
-                results, run_traces = self._run_in_process(am, qs, parameter, exec_, funnel)
-            elapsed = perf_counter() - start
-        if funnel is not None:
-            funnel.add_batch_seconds(elapsed)
-        if registry.enabled and run_traces is not None:
-            record_traces(run_traces, registry=registry, method=method)
-            batch = TraceCollector()
-            batch.extend(run_traces)
-            batch.add_batch_seconds(elapsed)
-            record_batch_summary(
-                batch.summary(), registry=registry, method=method, kind=self.kind
-            )
+        # Give the batch a request identity (reusing any outer one), so
+        # spans, worker chunks, and log records all share one trace_id.
+        with trace_scope() if observing else nullcontext():
+            with span(f"query/batch/{self.kind}", method=method):
+                start = perf_counter()
+                if isinstance(exec_, ProcessPoolBatchExecutor):
+                    results, run_traces = self._run_process(am, qs, parameter, exec_, funnel)
+                else:
+                    results, run_traces = self._run_in_process(am, qs, parameter, exec_, funnel)
+                elapsed = perf_counter() - start
+            if funnel is not None:
+                funnel.add_batch_seconds(elapsed)
+            if registry.enabled and run_traces is not None:
+                record_traces(run_traces, registry=registry, method=method)
+                batch = TraceCollector()
+                batch.extend(run_traces)
+                batch.add_batch_seconds(elapsed)
+                record_batch_summary(
+                    batch.summary(), registry=registry, method=method, kind=self.kind
+                )
+            if logger.enabled and run_traces is not None:
+                total = 0
+                for trace in run_traces:
+                    total += trace.distance_evaluations
+                    log_event(
+                        "query",
+                        method=method,
+                        kind=self.kind,
+                        parameter=float(self.parameter),
+                        query_index=trace.query_index,
+                        seconds=trace.seconds,
+                        distance_evaluations=trace.distance_evaluations,
+                        scalar_evaluations=trace.scalar_evaluations,
+                        batched_evaluations=trace.batched_evaluations,
+                        candidates=trace.candidates,
+                        results=trace.results,
+                    )
+                log_event(
+                    "batch",
+                    method=method,
+                    kind=self.kind,
+                    queries=len(run_traces),
+                    seconds=elapsed,
+                    distance_evaluations=total,
+                    executor=exec_.name,
+                )
         return results
 
     # ------------------------------------------------------------------
@@ -285,6 +373,30 @@ class QueryBatch:
         collector: TraceCollector | None,
     ) -> tuple[list[list["Neighbor"]], list[QueryTrace] | None]:
         n = qs.shape[0]
+        registry = get_registry()
+        method = (
+            _method_label(am)
+            if registry.enabled or get_logger().enabled
+            else ""
+        )
+        context = current_trace_context()
+        obs: dict | None = None
+        if registry.enabled or context is not None:
+            shipped = context
+            parent_span = current_span()
+            if context is not None and parent_span is not None and parent_span.span_id:
+                # Re-root the shipped context at the open batch span so
+                # worker chunk spans parent there, not at the trace root.
+                shipped = TraceContext(
+                    trace_id=context.trace_id,
+                    span_id=parent_span.span_id,
+                    parent_span_id=parent_span.parent_span_id,
+                )
+            obs = {
+                "context": shipped,
+                "metrics": registry.enabled,
+                "method": method,
+            }
         fn = functools.partial(
             _run_chunk,
             am=am,
@@ -292,7 +404,13 @@ class QueryBatch:
             parameter=float(parameter),
             queries=qs,
             tracing=collector is not None,
+            obs=obs,
         )
+        # With one chunk (or one worker) the executor runs inline on the
+        # parent's own index and counter, so the chunk's evaluations are
+        # already in the parent counter; merging the delta again would
+        # double-charge.
+        pooled = len(exec_.chunks(n)) > 1 and exec_.workers > 1
         try:
             parts = exec_.map_chunks(fn, n)
         except (pickle.PicklingError, AttributeError, TypeError) as exc:
@@ -303,10 +421,22 @@ class QueryBatch:
             ) from exc
         results: list[list["Neighbor"]] = []
         all_traces: list[QueryTrace] = []
-        registry = get_registry()
-        method = _method_label(am) if registry.enabled else ""
-        for part_results, part_traces in parts:
+        counter = getattr(am._port, "_counter", None)
+        for part_results, part_traces, part_obs in parts:
             results.extend(part_results)
+            if part_obs is not None:
+                if pooled and counter is not None:
+                    calls, rows = part_obs["delta"]
+                    if calls or rows:
+                        # Fold the worker's exact evaluation delta into
+                        # the parent's CountingDistance: query_costs()
+                        # and the registry's delta-synced
+                        # repro_distance_evaluations_total then equal
+                        # serial execution exactly.
+                        counter.add_counts(calls=calls, batch_rows=rows)
+                state = part_obs.get("state")
+                if state is not None and registry.enabled:
+                    registry.merge_state(state)
             if part_traces is not None:
                 all_traces.extend(part_traces)
                 if registry.enabled:

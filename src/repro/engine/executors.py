@@ -20,6 +20,7 @@ query semantics live in :mod:`repro.engine.batch`.
 
 from __future__ import annotations
 
+import contextvars
 import os
 from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
 from typing import Callable, Sequence, TypeVar
@@ -85,8 +86,14 @@ class ThreadPoolBatchExecutor(BatchExecutor):
     def map_ordered(self, fn: Callable[[int], T], indices: Sequence[int]) -> list[T]:
         if len(indices) <= 1 or self.workers == 1:
             return [fn(i) for i in indices]
+        # Pool threads do not inherit the submitter's contextvars (the
+        # active trace context and span stack), so snapshot the context
+        # once per task at submit time and run the task inside its own
+        # copy — worker-thread spans then nest under the batch span and
+        # carry the request's trace_id.
+        tasks = [(contextvars.copy_context(), i) for i in indices]
         with ThreadPoolExecutor(max_workers=self.workers) as pool:
-            return list(pool.map(fn, indices))
+            return list(pool.map(lambda task: task[0].run(fn, task[1]), tasks))
 
 
 class ProcessPoolBatchExecutor(BatchExecutor):

@@ -17,6 +17,7 @@ analyze.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
 from typing import Any, Callable
 
@@ -29,13 +30,17 @@ from ..mam.base import AccessMethod, Neighbor
 from ..obs import (
     TRANSFORMS,
     DistanceInstrument,
+    get_logger,
     get_registry,
+    log_event,
     observe_query_progress,
     record_cache_stats,
     record_cholesky_cache,
     record_distance_stats,
     record_index_description,
     record_memory,
+    record_query_error,
+    trace_scope,
 )
 from ..storage.mmap_store import MmapVectorStore
 from ..mam.gnat import GNAT
@@ -232,14 +237,30 @@ def record_build_metrics(
     method: str,
     transforms: int = 0,
     block_rows: int | None = None,
+    seconds: float = 0.0,
+    event: str = "build",
 ) -> None:
     """Funnel a finished build into the active observability registry.
 
     Call *before* the model resets its counter: the build-phase
     evaluations are recorded one-shot here (labeled ``phase="build"``),
     then the query-phase delta-sync starts from zero.  A no-op with the
-    null registry.
+    null registry.  When the structured JSON-lines logger is active, one
+    *event* record (``"build"`` or ``"load"``) with the exact build-phase
+    costs is emitted regardless of the registry — inside a trace scope,
+    so the record carries a ``trace_id``.
     """
+    logger = get_logger()
+    if logger.enabled:
+        with trace_scope():
+            log_event(
+                event,
+                model=model,
+                method=method,
+                distance_computations=int(counter.count),
+                transforms=transforms or None,
+                seconds=round(seconds, 6) if seconds else None,
+            )
     registry = get_registry()
     if not registry.enabled:
         return
@@ -369,7 +390,7 @@ class BuiltIndex:
         self._query_transforms += 1
         return self._query_mapper(q)
 
-    def _sync_metrics(self, queries: int = 0) -> None:
+    def _sync_metrics(self, queries: int = 0, kind: str = "") -> None:
         """Mirror query-phase counters into the active observability registry.
 
         Delta-synced, so the registry's ``repro_distance_evaluations_total``
@@ -379,7 +400,10 @@ class BuiltIndex:
         *queries* is how many queries this sync closes out; the
         single-query entry points pass 1 so the rolling-rate windows see
         per-query loops too.  Batch paths pass 0 — the engine already
-        fed the windows chunk-by-chunk as the batch ran.
+        fed the windows chunk-by-chunk as the batch ran.  When *kind* is
+        given for a single-query sync, the exact counter delta also
+        lands in the ``repro_query_distance_evaluations`` histogram (the
+        batch paths feed it per-trace through the engine funnel instead).
         """
         registry = get_registry()
         if not registry.enabled:
@@ -392,6 +416,15 @@ class BuiltIndex:
                 method=self._method_name or type(self._am).__name__,
                 registry=registry,
             )
+            if kind:
+                registry.histogram(
+                    "repro_query_distance_evaluations",
+                    "distance evaluations per query",
+                ).observe(
+                    float(delta),
+                    method=self._method_name or type(self._am).__name__,
+                    kind=kind,
+                )
         current = self._query_transforms
         base = self._transform_baselines.get(id(registry), 0)
         if current < base:
@@ -410,19 +443,77 @@ class BuiltIndex:
         if cache is not None:
             record_cache_stats(cache.stats, registry=registry)
 
+    def _method_label(self) -> str:
+        return self._method_name or type(self._am).__name__
+
+    def _run_single(
+        self, kind: str, parameter: float, call: Callable[[], list[Neighbor]]
+    ) -> list[Neighbor]:
+        """Run one query under the active observability sinks.
+
+        With both the registry and the structured logger off this is the
+        bare call plus the (no-op) metrics sync — bit-identical to the
+        uninstrumented path.  With either sink on, the query runs inside
+        a trace scope (minting a root context if the caller has none), a
+        failure is accounted through :func:`record_query_error`, and a
+        success emits one ``"query"`` log record carrying the exact
+        :class:`CountingDistance` delta and wall time.
+        """
+        registry = get_registry()
+        logger = get_logger()
+        if not (registry.enabled or logger.enabled):
+            try:
+                return call()
+            finally:
+                self._sync_metrics(queries=1)
+        method = self._method_label()
+        base = self._counter.stats
+        start = time.perf_counter()
+        with trace_scope():
+            try:
+                result = call()
+            except BaseException as exc:
+                self._sync_metrics(queries=1)
+                record_query_error(
+                    exc,
+                    registry=registry,
+                    model=self._model_name,
+                    method=method,
+                    kind=kind,
+                )
+                raise
+            self._sync_metrics(queries=1, kind=kind)
+            if logger.enabled:
+                stats = self._counter.stats
+                calls = int(stats.calls - base.calls)
+                rows = int(stats.batch_rows - base.batch_rows)
+                log_event(
+                    "query",
+                    model=self._model_name,
+                    method=method,
+                    kind=kind,
+                    parameter=parameter,
+                    seconds=round(time.perf_counter() - start, 6),
+                    distance_evaluations=calls + rows,
+                    scalar_evaluations=calls,
+                    batched_evaluations=rows,
+                    results=len(result),
+                )
+            return result
+
     def knn_search(self, query: ArrayLike, k: int) -> list[Neighbor]:
         """kNN in the source space (transforming the query if needed)."""
-        try:
-            return self._am.knn_search(self._map_query(query), k)
-        finally:
-            self._sync_metrics(queries=1)
+        return self._run_single(
+            "knn", float(k), lambda: self._am.knn_search(self._map_query(query), k)
+        )
 
     def range_search(self, query: ArrayLike, radius: float) -> list[Neighbor]:
         """Range query in the source space (radii are preserved exactly)."""
-        try:
-            return self._am.range_search(self._map_query(query), radius)
-        finally:
-            self._sync_metrics(queries=1)
+        return self._run_single(
+            "range",
+            float(radius),
+            lambda: self._am.range_search(self._map_query(query), radius),
+        )
 
     def knn_search_batch(
         self,
@@ -445,18 +536,17 @@ class BuiltIndex:
         distance counter does not observe worker evaluations — use the
         collector's traces as the authoritative counts there.
         """
-        mapped = self._map_query_batch(queries)
-        try:
-            return self._am.knn_search_batch(
-                mapped,
+        return self._run_batch(
+            "knn",
+            lambda: self._am.knn_search_batch(
+                self._map_query_batch(queries),
                 k,
                 executor=executor,
                 workers=workers,
                 chunk_size=chunk_size,
                 collector=collector,
-            )
-        finally:
-            self._sync_metrics()
+            ),
+        )
 
     def range_search_batch(
         self,
@@ -474,18 +564,49 @@ class BuiltIndex:
         preserved exactly by the QMap transform, so batch results in both
         models are directly comparable.
         """
-        mapped = self._map_query_batch(queries)
-        try:
-            return self._am.range_search_batch(
-                mapped,
+        return self._run_batch(
+            "range",
+            lambda: self._am.range_search_batch(
+                self._map_query_batch(queries),
                 float(radius),
                 executor=executor,
                 workers=workers,
                 chunk_size=chunk_size,
                 collector=collector,
-            )
-        finally:
-            self._sync_metrics()
+            ),
+        )
+
+    def _run_batch(
+        self, kind: str, call: Callable[[], list[list[Neighbor]]]
+    ) -> list[list[Neighbor]]:
+        """Run a batch call, accounting a failure against this index.
+
+        The engine's own trace scope is entered inside the call; opening
+        one here first (only when a sink is active — :func:`trace_scope`
+        is idempotent) means a query that raises mid-batch is logged and
+        counted under the same ``trace_id`` as the batch that carried it.
+        """
+        registry = get_registry()
+        logger = get_logger()
+        if not (registry.enabled or logger.enabled):
+            try:
+                return call()
+            finally:
+                self._sync_metrics()
+        with trace_scope():
+            try:
+                return call()
+            except BaseException as exc:
+                record_query_error(
+                    exc,
+                    registry=registry,
+                    model=self._model_name,
+                    method=self._method_label(),
+                    kind=kind,
+                )
+                raise
+            finally:
+                self._sync_metrics()
 
     def _map_query_batch(self, queries: ArrayLike) -> np.ndarray:
         rows = np.atleast_2d(np.asarray(queries, dtype=np.float64))

@@ -28,6 +28,7 @@ import numpy as np
 
 from ..core.qfd import QuadraticFormDistance
 from ..exceptions import QueryError, StorageError
+from ..obs import log_event
 from ..lowerbound import FilterRefineScan, FilterRefineStats, SVDReduction, average_color_bound
 from ..planner import (
     CostModel,
@@ -323,6 +324,17 @@ def plan_query_batch(
     calibration = calibration_from_history(history) if history else None
     planner = Planner(catalog=catalog, cost_model=CostModel(calibration=calibration))
     choice = planner.plan(spec, force=force)
+    log_event(
+        "plan",
+        kind=spec.kind,
+        parameter=spec.param,
+        batch_size=spec.batch_size,
+        plan=choice.chosen.name,
+        executor=choice.chosen.executor.name,
+        predicted_cost=choice.predicted_cost,
+        considered=len(choice.considered),
+        forced=force,
+    )
     execution = materialize_plan(
         choice.chosen.plan,
         matrix,

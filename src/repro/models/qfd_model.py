@@ -108,7 +108,8 @@ class QFDModel:
             distance_computations=counter.count, transforms=0, seconds=elapsed
         )
         record_build_metrics(
-            am, counter, model=self.name, method=method, block_rows=block_rows
+            am, counter, model=self.name, method=method, block_rows=block_rows,
+            seconds=elapsed,
         )
         counter.reset()
         return BuiltIndex(
@@ -189,7 +190,10 @@ class QFDModel:
         build_costs = IndexCosts(
             distance_computations=counter.count, transforms=0, seconds=elapsed
         )
-        record_build_metrics(am, counter, model=self.name, method=snapshot.method)
+        record_build_metrics(
+            am, counter, model=self.name, method=snapshot.method,
+            seconds=elapsed, event="load",
+        )
         counter.reset()
         return BuiltIndex(
             am,

@@ -195,7 +195,7 @@ class QMapModel:
         )
         record_build_metrics(
             am, counter, model=self.name, method=method, transforms=m,
-            block_rows=block_rows,
+            block_rows=block_rows, seconds=elapsed,
         )
         counter.reset()
         return BuiltIndex(
@@ -274,7 +274,10 @@ class QMapModel:
         build_costs = IndexCosts(
             distance_computations=counter.count, transforms=0, seconds=elapsed
         )
-        record_build_metrics(am, counter, model=self.name, method=snapshot.method)
+        record_build_metrics(
+            am, counter, model=self.name, method=snapshot.method,
+            seconds=elapsed, event="load",
+        )
         counter.reset()
         return BuiltIndex(
             am,

@@ -22,7 +22,17 @@ package is the common model those measurements flow into:
   default and keeps exact aggregates even when records are dropped;
 * :mod:`repro.obs.explain` — assembles the events of one query into an
   :class:`ExplainPlan` cost tree whose charged totals equal the distance
-  counter exactly, with text/JSON rendering and the Table 2 cost audit.
+  counter exactly, with text/JSON rendering and the Table 2 cost audit;
+* :mod:`repro.obs.context` — request-scoped :class:`TraceContext`
+  (trace_id/span_id) carried by every span and log record, propagated
+  across thread pools (``contextvars.copy_context``) and process pools
+  (pickled into chunk payloads) by the batch engine;
+* :mod:`repro.obs.prof` — a zero-dependency sampling profiler, off by
+  default, attributing wall-clock samples to the open span stack and
+  exporting collapsed-stack text and speedscope JSON;
+* :mod:`repro.obs.logging` — a JSON-lines structured logger (one record
+  per query/build/plan/error event, trace_id-correlated) behind the same
+  null-by-default activation pattern as the registry.
 
 Layering rule: this package imports **nothing** from the rest of the
 library (enforced by a ruff ``flake8-tidy-imports`` ban for
@@ -37,6 +47,13 @@ Activate collection with::
 
 from __future__ import annotations
 
+from .context import (
+    TraceContext,
+    activate_trace_context,
+    current_trace_context,
+    new_span_id,
+    trace_scope,
+)
 from .events import (
     EVENT_KINDS,
     ROOT,
@@ -74,6 +91,7 @@ from .export import (
 )
 from .instruments import (
     DISTANCE_EVALUATIONS,
+    QUERY_ERRORS,
     TRANSFORMS,
     DistanceInstrument,
     record_batch_summary,
@@ -81,6 +99,7 @@ from .instruments import (
     record_cholesky_cache,
     record_distance_stats,
     record_index_description,
+    record_query_error,
     record_trace,
     record_traces,
 )
@@ -103,6 +122,20 @@ from .memory import (
     peak_rss_source,
     record_memory,
 )
+from .logging import (
+    NULL_LOGGER,
+    JsonLinesLogger,
+    NullLogger,
+    get_logger,
+    log_event,
+    set_logger,
+    use_logger,
+)
+from .prof import (
+    PROFILE_SAMPLES,
+    SamplingProfiler,
+    profile_to,
+)
 from .registry import (
     NULL_REGISTRY,
     Counter,
@@ -116,7 +149,7 @@ from .registry import (
     set_registry,
     use_registry,
 )
-from .spans import SpanRecord, current_span, span
+from .spans import SpanRecord, current_span, open_span_for_thread, span
 from .timeline import (
     chrome_trace,
     plan_trace_events,
@@ -158,7 +191,24 @@ __all__ = [
     "SpanRecord",
     "span",
     "current_span",
+    "open_span_for_thread",
+    "TraceContext",
+    "current_trace_context",
+    "activate_trace_context",
+    "trace_scope",
+    "new_span_id",
+    "JsonLinesLogger",
+    "NullLogger",
+    "NULL_LOGGER",
+    "get_logger",
+    "set_logger",
+    "use_logger",
+    "log_event",
+    "PROFILE_SAMPLES",
+    "SamplingProfiler",
+    "profile_to",
     "DISTANCE_EVALUATIONS",
+    "QUERY_ERRORS",
     "TRANSFORMS",
     "PEAK_RSS",
     "KERNEL_BLOCK_ROWS",
@@ -184,6 +234,7 @@ __all__ = [
     "parse_prometheus_text",
     "DistanceInstrument",
     "record_distance_stats",
+    "record_query_error",
     "record_trace",
     "record_traces",
     "record_batch_summary",

@@ -168,6 +168,14 @@ def snapshot_dict(registry: MetricsRegistry) -> dict[str, Any]:
             "depth": record.depth,
             "parent": record.parent,
             "status": record.status,
+            **({"trace_id": record.trace_id} if record.trace_id else {}),
+            **({"span_id": record.span_id} if record.span_id else {}),
+            **(
+                {"parent_span_id": record.parent_span_id}
+                if record.parent_span_id
+                else {}
+            ),
+            **({"pid": record.pid} if record.pid else {}),
             **({"labels": record.labels} if record.labels else {}),
         }
         for record in registry.spans

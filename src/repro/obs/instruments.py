@@ -20,13 +20,16 @@ from __future__ import annotations
 
 from typing import Any, Iterable, Mapping
 
+from .logging import log_event
 from .registry import MetricsRegistry, get_registry
 
 __all__ = [
     "DISTANCE_EVALUATIONS",
+    "QUERY_ERRORS",
     "TRANSFORMS",
     "DistanceInstrument",
     "record_distance_stats",
+    "record_query_error",
     "record_trace",
     "record_traces",
     "record_batch_summary",
@@ -41,6 +44,9 @@ DISTANCE_EVALUATIONS = "repro_distance_evaluations_total"
 
 #: Counter of vector transformations into the Euclidean space (QMap only).
 TRANSFORMS = "repro_transforms_total"
+
+#: Counter of queries that raised, labeled by method/model/kind/error.
+QUERY_ERRORS = "repro_query_errors_total"
 
 
 def _registry(registry: MetricsRegistry | None) -> MetricsRegistry:
@@ -134,6 +140,38 @@ class DistanceInstrument:
         stats = self._source.stats
         for key in self._baselines:
             self._baselines[key] = (int(stats.calls), int(stats.batch_rows))
+
+
+def record_query_error(
+    error: BaseException,
+    *,
+    registry: MetricsRegistry | None = None,
+    model: str = "",
+    method: str = "",
+    kind: str = "",
+) -> None:
+    """Account one failed query: error counter plus structured log record.
+
+    Increments :data:`QUERY_ERRORS` (when a registry is active) and
+    emits a ``query_error`` record through the active JSON-lines logger
+    (when one is active) carrying the current ``trace_id`` — so a query
+    that raised inside a worker process still leaves a correlated
+    metric and log trail instead of only a bare exception.
+    """
+    reg = _registry(registry)
+    error_type = type(error).__name__
+    if reg.enabled:
+        reg.counter(QUERY_ERRORS, "queries that raised an exception").inc(
+            1, model=model, method=method, kind=kind, error=error_type
+        )
+    log_event(
+        "query_error",
+        model=model or None,
+        method=method or None,
+        kind=kind or None,
+        error=error_type,
+        message=str(error),
+    )
 
 
 # ----------------------------------------------------------------------

@@ -1,0 +1,204 @@
+"""Structured JSON-lines logging with trace-context correlation.
+
+One record per *event* — a query answered, an index built, a plan
+chosen, a query that raised — as a single JSON object per line, so the
+log is grep-able, ``jq``-able, and joinable against the timeline and
+metrics exports through the shared ``trace_id``
+(:mod:`repro.obs.context`).
+
+The wiring mirrors the metrics registry exactly: a process-wide active
+logger defaulting to the no-op :data:`NULL_LOGGER`, activated with
+:func:`use_logger` (or ``repro ... --log-json PATH`` on the CLI).  Hot
+paths call :func:`log_event`, which with the null logger active costs
+one attribute check — the disabled path allocates nothing, locks
+nothing, and (critically for the count-baseline fixtures) never
+evaluates a distance.
+
+Record schema (fields beyond these two are event-specific, and ``None``
+values are dropped):
+
+* ``ts`` — UNIX epoch seconds (wall clock, for cross-host correlation);
+* ``event`` — ``"query"`` / ``"batch"`` / ``"build"`` / ``"plan"`` /
+  ``"query_error"``;
+* ``trace_id`` / ``span_id`` — attached automatically from the active
+  :class:`~repro.obs.context.TraceContext` and open span, when present.
+
+``docs/api_guide.md`` §15 maps the event fields onto the paper's
+Table 1/2 columns.
+
+Layering: imports only the standard library and sibling
+:mod:`repro.obs` modules (the TID251 ban applies here as everywhere in
+the package).
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from contextlib import contextmanager
+from pathlib import Path
+from typing import Any, Callable, Iterator
+
+from .context import current_trace_context
+from .spans import current_span
+
+__all__ = [
+    "JsonLinesLogger",
+    "NullLogger",
+    "NULL_LOGGER",
+    "get_logger",
+    "set_logger",
+    "use_logger",
+    "log_event",
+]
+
+
+class JsonLinesLogger:
+    """Append structured event records to a stream or file, one per line.
+
+    Parameters
+    ----------
+    target:
+        A path (opened for writing, truncating — one run, one log) or
+        any object with a ``write(str)`` method.
+    clock:
+        Timestamp source; injectable for deterministic tests.
+
+    Thread-safe: each record is serialized under a lock and written as
+    one ``write`` call followed by a flush, so concurrent batch chunks
+    never interleave bytes and ``tail -f`` sees whole lines.
+    """
+
+    #: Hot paths test this single attribute to skip all logging work.
+    enabled = True
+
+    def __init__(
+        self,
+        target: "str | Path | Any",
+        *,
+        clock: Callable[[], float] = time.time,
+    ) -> None:
+        self._clock = clock
+        self._lock = threading.Lock()
+        if hasattr(target, "write"):
+            self.path: Path | None = None
+            self._stream = target
+            self._owns_stream = False
+        else:
+            self.path = Path(target)
+            self._stream = self.path.open("w", encoding="utf-8")
+            self._owns_stream = True
+        self._records = 0
+
+    @property
+    def records_written(self) -> int:
+        """Records emitted so far."""
+        with self._lock:
+            return self._records
+
+    def log(self, event: str, **fields: object) -> None:
+        """Emit one event record; ``None``-valued fields are dropped.
+
+        ``trace_id`` and ``span_id`` are filled from the active trace
+        context and open span unless the caller supplies them.
+        """
+        record: dict[str, Any] = {"ts": round(float(self._clock()), 6), "event": str(event)}
+        if "trace_id" not in fields:
+            context = current_trace_context()
+            if context is not None:
+                record["trace_id"] = context.trace_id
+        if "span_id" not in fields:
+            open_span = current_span()
+            if open_span is not None and open_span.span_id:
+                record["span_id"] = open_span.span_id
+        for key, value in fields.items():
+            if value is None:
+                continue
+            record[key] = value
+        line = json.dumps(record, sort_keys=True, default=str)
+        with self._lock:
+            self._stream.write(line + "\n")
+            flush = getattr(self._stream, "flush", None)
+            if flush is not None:
+                flush()
+            self._records += 1
+
+    def close(self) -> None:
+        """Close the underlying file (no-op for caller-owned streams)."""
+        if self._owns_stream:
+            self._stream.close()
+
+    def __enter__(self) -> "JsonLinesLogger":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+
+class NullLogger(JsonLinesLogger):
+    """The disabled logger: :meth:`log` is a no-op.
+
+    Mirrors :class:`~repro.obs.registry.NullRegistry` — code written
+    against a live logger runs unchanged, and adds near-zero overhead,
+    when structured logging is off.
+    """
+
+    enabled = False
+
+    def __init__(self) -> None:  # no stream, no lock contention
+        self.path = None
+        self._records = 0
+        self._lock = threading.Lock()
+        self._owns_stream = False
+
+    def log(self, event: str, **fields: object) -> None:
+        pass
+
+    def close(self) -> None:
+        pass
+
+
+#: The process-wide disabled logger (the default active logger).
+NULL_LOGGER = NullLogger()
+
+# A plain module global (not a contextvar), for the same reason as the
+# registry: worker threads spawned by the batch engine must see the
+# logger the main thread activated.
+_active: JsonLinesLogger = NULL_LOGGER
+_active_lock = threading.Lock()
+
+
+def get_logger() -> JsonLinesLogger:
+    """The active logger (the :data:`NULL_LOGGER` unless one was set)."""
+    return _active
+
+
+def set_logger(logger: JsonLinesLogger | None) -> JsonLinesLogger:
+    """Activate *logger* process-wide (``None`` restores the null one).
+
+    Returns the previously active logger so callers can restore it.
+    """
+    global _active
+    with _active_lock:
+        previous = _active
+        _active = logger if logger is not None else NULL_LOGGER
+    return previous
+
+
+@contextmanager
+def use_logger(logger: JsonLinesLogger | None) -> Iterator[JsonLinesLogger]:
+    """Activate *logger* for the duration of the block."""
+    previous = set_logger(logger)
+    try:
+        yield get_logger()
+    finally:
+        set_logger(previous)
+
+
+def log_event(event: str, **fields: object) -> None:
+    """Emit one record through the active logger (no-op when disabled)."""
+    logger = _active
+    if not logger.enabled:
+        return
+    logger.log(event, **fields)

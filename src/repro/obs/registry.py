@@ -240,6 +240,36 @@ class Histogram(_Instrument):
             count, total = self._totals.get(key, (0, 0.0))
         return HistogramState(self.bounds, counts, count, total)
 
+    def merge(
+        self,
+        counts: Sequence[int],
+        count: int,
+        total: float,
+        **labels: object,
+    ) -> None:
+        """Add another histogram's per-bucket *counts* to one label set.
+
+        Exact (no re-binning): both sides must share this histogram's
+        bucket grid — the default grid everywhere in this library, which
+        is why worker-process deltas merge losslessly.
+        """
+        added = [int(c) for c in counts]
+        if len(added) != len(self.bounds) + 1:
+            raise ValueError(
+                f"histogram {self.name!r}: cannot merge {len(added)} buckets "
+                f"into a {len(self.bounds) + 1}-bucket grid"
+            )
+        key = _label_key(labels)
+        with self._lock:
+            mine = self._counts.get(key)
+            if mine is None:
+                mine = [0] * (len(self.bounds) + 1)
+                self._counts[key] = mine
+            for pos, value in enumerate(added):
+                mine[pos] += value
+            have_count, have_total = self._totals.get(key, (0, 0.0))
+            self._totals[key] = (have_count + int(count), have_total + float(total))
+
     def samples(self) -> list[MetricSample]:
         with self._lock:
             keys = list(self._counts)
@@ -276,6 +306,16 @@ class SpanRecord:
     start: float = 0.0
     #: :func:`threading.get_ident` of the thread that ran the span.
     thread: int = 0
+    #: :func:`os.getpid` of the process that ran the span (0 for records
+    #: predating cross-process propagation); worker-process spans merged
+    #: back by the engine keep their worker pid, giving the timeline
+    #: exporter its per-process lanes.
+    pid: int = 0
+    #: Trace-context correlation ids (see :mod:`repro.obs.context`);
+    #: empty when no :class:`TraceContext` was active.
+    trace_id: str = ""
+    span_id: str = ""
+    parent_span_id: str = ""
 
 
 class MetricsRegistry:
@@ -350,6 +390,65 @@ class MetricsRegistry:
         with self._lock:
             self._instruments.clear()
             self._spans.clear()
+
+    def dump_state(self) -> dict:
+        """Picklable dump of every instrument value and completed span.
+
+        The cross-process delta format: a worker process runs its chunk
+        against a *fresh* registry, so the full dump **is** the delta,
+        and the parent folds it in with :meth:`merge_state`.  Counters
+        and histograms merge by addition (exact — histogram grids are
+        fixed at construction), gauges by last-write-wins, spans by
+        append.
+        """
+        counters: list[tuple] = []
+        gauges: list[tuple] = []
+        histograms: list[tuple] = []
+        for instrument in self.instruments():
+            if isinstance(instrument, Histogram):
+                with instrument._lock:
+                    items = [
+                        (
+                            key,
+                            list(counts),
+                            *instrument._totals.get(key, (0, 0.0)),
+                        )
+                        for key, counts in instrument._counts.items()
+                    ]
+                histograms.append(
+                    (instrument.name, instrument.help, instrument.bounds, items)
+                )
+                continue
+            with instrument._lock:
+                values = list(instrument._values.items())
+            target = counters if isinstance(instrument, Counter) else gauges
+            target.append((instrument.name, instrument.help, values))
+        return {
+            "counters": counters,
+            "gauges": gauges,
+            "histograms": histograms,
+            "spans": self.spans,
+        }
+
+    def merge_state(self, state: Mapping) -> None:
+        """Fold a :meth:`dump_state` delta from another registry into this one."""
+        if not self.enabled:
+            return
+        for name, help_text, values in state.get("counters", ()):
+            counter = self.counter(name, help_text)
+            for key, value in values:
+                if value:
+                    counter.inc(value, **dict(key))
+        for name, help_text, values in state.get("gauges", ()):
+            gauge = self.gauge(name, help_text)
+            for key, value in values:
+                gauge.set(value, **dict(key))
+        for name, help_text, bounds, items in state.get("histograms", ()):
+            histogram = self.histogram(name, help_text, bounds=bounds)
+            for key, counts, count, total in items:
+                histogram.merge(counts, count, total, **dict(key))
+        for record in state.get("spans", ()):
+            self.record_span(record)
 
 
 class _NullCounter(Counter):

@@ -73,6 +73,13 @@ def span_trace_events(
     earliest span is at ``ts=0``; spans recorded before the ``start``
     field existed (all-zero starts) are laid out back-to-back instead so
     old captures still render.
+
+    A span that ran in another process (its record carries the worker's
+    ``pid``, merged back by the batch engine) keeps that pid, so a
+    ``--executor process`` batch renders one lane per worker process.
+    ``perf_counter`` is CLOCK_MONOTONIC-backed and system-wide on Linux,
+    so parent and worker starts share one origin.  Trace-context ids
+    travel in the slice ``args`` for request-level filtering.
     """
     records = list(spans)
     if pid is None:
@@ -90,6 +97,12 @@ def span_trace_events(
         args: dict[str, Any] = {"depth": record.depth, "status": record.status}
         if record.parent:
             args["parent"] = record.parent
+        if record.trace_id:
+            args["trace_id"] = record.trace_id
+        if record.span_id:
+            args["span_id"] = record.span_id
+        if record.parent_span_id:
+            args["parent_span_id"] = record.parent_span_id
         args.update(record.labels)
         events.append(
             {
@@ -98,7 +111,10 @@ def span_trace_events(
                 "ph": "X",
                 "ts": ts,
                 "dur": record.seconds * 1e6,
-                "pid": pid,
+                # Spans recorded by this process land on the requested
+                # lane; spans merged back from worker processes keep
+                # their worker pid so each worker gets its own lane.
+                "pid": record.pid if record.pid and record.pid != os.getpid() else pid,
                 "tid": record.thread or 0,
                 "args": args,
             }
@@ -216,6 +232,16 @@ def chrome_trace(
         span_events = span_trace_events(spans, pid=base + SPAN_PID_OFFSET)
         if span_events:
             trace_events.append(_meta(base + SPAN_PID_OFFSET, "repro spans (wall clock)"))
+            # Spans merged back from worker processes keep their worker
+            # pid; name each extra lane so the viewer shows where the
+            # process executor actually ran the chunks.
+            worker_pids = sorted(
+                {e["pid"] for e in span_events} - {base + SPAN_PID_OFFSET}
+            )
+            for worker_pid in worker_pids:
+                trace_events.append(
+                    _meta(worker_pid, f"repro worker process {worker_pid}")
+                )
             trace_events.extend(span_events)
     if plan is not None:
         trace_events.append(

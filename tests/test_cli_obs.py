@@ -55,6 +55,25 @@ class TestParser:
         args = build_parser().parse_args(["explain", "--timeline-out", "x.json"])
         assert args.timeline_out == "x.json"
 
+    def test_query_profile_and_log_flags(self) -> None:
+        args = build_parser().parse_args(
+            _QUERY_BASE
+            + ["--profile-out", "p.txt", "--profile-hz", "500", "--log-json", "q.jsonl"]
+        )
+        assert args.profile_out == "p.txt"
+        assert args.profile_hz == 500.0
+        assert args.log_json == "q.jsonl"
+
+    def test_profile_and_log_default_off(self) -> None:
+        args = build_parser().parse_args(["query"])
+        assert args.profile_out is None
+        assert args.profile_hz == 200.0
+        assert args.log_json is None
+
+    def test_explain_profile_out(self) -> None:
+        args = build_parser().parse_args(["explain", "--profile-out", "e.json"])
+        assert args.profile_out == "e.json" and args.profile_hz == 200.0
+
 
 class TestServeMetrics:
     def test_query_serves_and_announces_the_endpoint(self, capsys) -> None:
@@ -147,6 +166,65 @@ class TestTimelineOut:
         assert code == 0
         doc = json.loads(target.read_text())
         assert any(e.get("cat") == "traversal" for e in doc["traceEvents"])
+
+
+class TestProfileOut:
+    def test_query_profile_out_writes_collapsed_stacks(self, capsys, tmp_path) -> None:
+        target = tmp_path / "profile.txt"
+        code = main(
+            _QUERY_BASE
+            + ["--queries", "16", "--profile-out", str(target), "--profile-hz", "2000"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "profile  :" in out
+        text = target.read_text()
+        for line in text.strip().splitlines():
+            stack, count = line.rsplit(" ", 1)
+            assert int(count) >= 1 and ";" in stack
+
+    def test_query_profile_out_json_is_speedscope(self, capsys, tmp_path) -> None:
+        target = tmp_path / "profile.json"
+        code = main(
+            _QUERY_BASE
+            + ["--queries", "16", "--profile-out", str(target), "--profile-hz", "2000"]
+        )
+        assert code == 0
+        doc = json.loads(target.read_text())
+        assert doc["$schema"] == "https://www.speedscope.app/file-format-schema.json"
+        assert doc["profiles"][0]["type"] == "sampled"
+
+
+class TestLogJson:
+    def test_query_log_json_writes_correlated_records(self, capsys, tmp_path) -> None:
+        target = tmp_path / "query.jsonl"
+        code = main(_QUERY_BASE + ["--log-json", str(target)])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "log      :" in out
+        records = [json.loads(line) for line in target.read_text().splitlines()]
+        events = [r["event"] for r in records]
+        assert events.count("build") == 1
+        assert events.count("query") == 4  # one per --queries
+        queries = [r for r in records if r["event"] == "query"]
+        assert all("trace_id" in r and "distance_evaluations" in r for r in queries)
+
+    def test_batch_log_shares_one_trace_id(self, capsys, tmp_path) -> None:
+        target = tmp_path / "batch.jsonl"
+        code = main(_QUERY_BASE + ["--batch", "--log-json", str(target)])
+        assert code == 0
+        records = [json.loads(line) for line in target.read_text().splitlines()]
+        (batch,) = [r for r in records if r["event"] == "batch"]
+        queries = [r for r in records if r["event"] == "query"]
+        assert len(queries) == 4
+        assert {r["trace_id"] for r in queries} == {batch["trace_id"]}
+        assert [r["query_index"] for r in queries] == list(range(4))
+
+    def test_logger_restored_after_run(self, tmp_path) -> None:
+        from repro.obs import NullLogger, get_logger
+
+        assert main(_QUERY_BASE + ["--log-json", str(tmp_path / "a.jsonl")]) == 0
+        assert isinstance(get_logger(), NullLogger)
 
 
 class TestTraceExport:

@@ -166,6 +166,74 @@ class TestNullRegistryNonInterference:
             f"counts or answers — the count-baseline fixture would drift"
         )
 
+    def test_default_logger_is_null(self) -> None:
+        from repro.obs import NullLogger, get_logger
+
+        assert isinstance(get_logger(), NullLogger)
+        assert not get_logger().enabled
+
+    def test_counts_identical_with_and_without_logger(self) -> None:
+        """A live JSON-lines logger must not move a single counter."""
+        import io
+
+        from repro.obs import JsonLinesLogger, use_logger
+
+        matrix, data, queries = _workload(13)
+
+        def run(logged: bool) -> tuple[int, list]:
+            built = _build("qmap", "vptree", matrix, data)
+            results = []
+
+            def query_all() -> None:
+                for q in queries:
+                    results.append(built.knn_search(q, 3))
+                    results.append(built.range_search(q, 0.5))
+
+            if logged:
+                with use_logger(JsonLinesLogger(io.StringIO())):
+                    query_all()
+            else:
+                query_all()
+            answers = [
+                [(n.index, n.distance) for n in result] for result in results
+            ]
+            return built.build_costs.distance_computations, [
+                built.query_costs().distance_computations,
+                answers,
+            ]
+
+        assert run(False) == run(True)
+
+    def test_counts_identical_with_and_without_profiler(self) -> None:
+        """A running sampler observes; it never participates."""
+        from repro.obs import SamplingProfiler
+
+        matrix, data, queries = _workload(13)
+
+        def run(profiled: bool) -> tuple[int, list]:
+            built = _build("qfd", "mtree", matrix, data)
+            results = []
+
+            def query_all() -> None:
+                for q in queries:
+                    results.append(built.knn_search(q, 3))
+                    results.append(built.range_search(q, 0.5))
+
+            if profiled:
+                with SamplingProfiler(hz=1000):
+                    query_all()
+            else:
+                query_all()
+            answers = [
+                [(n.index, n.distance) for n in result] for result in results
+            ]
+            return built.build_costs.distance_computations, [
+                built.query_costs().distance_computations,
+                answers,
+            ]
+
+        assert run(False) == run(True)
+
 
 class TestBatchThroughputMetrics:
     def test_batch_seconds_and_qps(self) -> None:

@@ -1,0 +1,163 @@
+"""Structured JSON-lines logger: records, correlation, and null fast path.
+
+Contract of :mod:`repro.obs.logging`:
+
+* one JSON object per line, sorted keys, ``ts``/``event`` always present;
+* ``trace_id``/``span_id`` auto-stamped from the active trace context and
+  open span — this is what correlates log lines with timeline slices;
+* the process-wide default is :data:`NULL_LOGGER` and ``log_event``
+  through it is a no-op, so unlogged runs pay one attribute check.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+import threading
+
+from repro.obs import (
+    NULL_LOGGER,
+    JsonLinesLogger,
+    MetricsRegistry,
+    NullLogger,
+    get_logger,
+    log_event,
+    set_logger,
+    span,
+    trace_scope,
+    use_logger,
+    use_registry,
+)
+
+
+def _lines(stream: io.StringIO) -> list[dict]:
+    return [json.loads(line) for line in stream.getvalue().splitlines()]
+
+
+class TestJsonLinesLogger:
+    def test_writes_one_json_object_per_line(self) -> None:
+        stream = io.StringIO()
+        logger = JsonLinesLogger(stream)
+        logger.log("query", model="qmap", k=3)
+        logger.log("batch", queries=8)
+        first, second = _lines(stream)
+        assert first["event"] == "query" and first["model"] == "qmap"
+        assert second["event"] == "batch" and second["queries"] == 8
+        assert "ts" in first and "ts" in second
+        assert logger.records_written == 2
+
+    def test_keys_are_sorted(self) -> None:
+        stream = io.StringIO()
+        JsonLinesLogger(stream).log("query", zebra=1, alpha=2)
+        (line,) = stream.getvalue().splitlines()
+        assert line.index('"alpha"') < line.index('"zebra"')
+
+    def test_none_fields_are_dropped(self) -> None:
+        stream = io.StringIO()
+        JsonLinesLogger(stream).log("build", transforms=None, seconds=1.5)
+        (record,) = _lines(stream)
+        assert "transforms" not in record
+        assert record["seconds"] == 1.5
+
+    def test_non_json_values_fall_back_to_str(self) -> None:
+        stream = io.StringIO()
+        JsonLinesLogger(stream).log("event", where=Exception("boom"))
+        (record,) = _lines(stream)
+        assert record["where"] == "boom"
+
+    def test_path_target_appends(self, tmp_path) -> None:
+        out = tmp_path / "run.jsonl"
+        logger = JsonLinesLogger(out)
+        logger.log("query", k=1)
+        logger.log("query", k=2)
+        logger.close()
+        logger.close()  # idempotent
+        records = [json.loads(line) for line in out.read_text().splitlines()]
+        assert [r["k"] for r in records] == [1, 2]
+
+    def test_concurrent_writes_stay_line_atomic(self, tmp_path) -> None:
+        out = tmp_path / "threads.jsonl"
+        logger = JsonLinesLogger(out)
+
+        def write(worker: int) -> None:
+            for i in range(25):
+                logger.log("tick", worker=worker, i=i)
+
+        threads = [threading.Thread(target=write, args=(w,)) for w in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        logger.close()
+        records = [json.loads(line) for line in out.read_text().splitlines()]
+        assert len(records) == 100
+        assert logger.records_written == 100
+
+
+class TestCorrelation:
+    def test_trace_and_span_ids_stamped(self) -> None:
+        stream = io.StringIO()
+        logger = JsonLinesLogger(stream)
+        reg = MetricsRegistry()
+        with use_registry(reg), trace_scope() as ctx:
+            with span("query/batch/knn"):
+                logger.log("query", k=3)
+        (record,) = _lines(stream)
+        assert record["trace_id"] == ctx.trace_id
+        (span_record,) = reg.spans
+        assert record["span_id"] == span_record.span_id
+
+    def test_no_context_means_no_ids(self) -> None:
+        stream = io.StringIO()
+        JsonLinesLogger(stream).log("query", k=3)
+        (record,) = _lines(stream)
+        assert "trace_id" not in record and "span_id" not in record
+
+    def test_explicit_ids_win_over_ambient(self) -> None:
+        stream = io.StringIO()
+        logger = JsonLinesLogger(stream)
+        with trace_scope():
+            logger.log("query", trace_id="feedface")
+        (record,) = _lines(stream)
+        assert record["trace_id"] == "feedface"
+
+
+class TestProcessDefault:
+    def test_default_is_the_null_logger(self) -> None:
+        logger = get_logger()
+        assert isinstance(logger, NullLogger)
+        assert not logger.enabled
+
+    def test_log_event_through_null_is_a_no_op(self) -> None:
+        # Must not raise, allocate a record, or require a target.
+        log_event("query", model="qfd", k=3)
+        assert NULL_LOGGER.records_written == 0
+
+    def test_set_logger_returns_previous(self) -> None:
+        stream = io.StringIO()
+        mine = JsonLinesLogger(stream)
+        previous = set_logger(mine)
+        try:
+            assert get_logger() is mine
+            log_event("query", k=1)
+        finally:
+            assert set_logger(previous) is mine
+        assert len(_lines(stream)) == 1
+        assert isinstance(get_logger(), NullLogger)
+
+    def test_use_logger_restores_on_exit(self) -> None:
+        stream = io.StringIO()
+        with use_logger(JsonLinesLogger(stream)) as logger:
+            assert get_logger() is logger
+            log_event("build", method="mtree")
+        assert isinstance(get_logger(), NullLogger)
+        (record,) = _lines(stream)
+        assert record["event"] == "build"
+
+    def test_use_logger_restores_after_error(self) -> None:
+        try:
+            with use_logger(JsonLinesLogger(io.StringIO())):
+                raise RuntimeError("boom")
+        except RuntimeError:
+            pass
+        assert isinstance(get_logger(), NullLogger)

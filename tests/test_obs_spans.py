@@ -28,7 +28,9 @@ class TestLiveSpans:
         assert done.seconds >= 0.0
         assert done.labels == {"method": "mtree"}
         hist = reg.histogram(SPAN_SECONDS)
-        assert hist.state(span="query/refine", method="mtree").count == 1
+        # Timings are additionally labeled by terminal status, so error
+        # spans can be excluded from latency aggregations.
+        assert hist.state(span="query/refine", method="mtree", status="ok").count == 1
 
     def test_nesting_tracks_depth_and_parent(self) -> None:
         reg = MetricsRegistry()
